@@ -1,0 +1,45 @@
+"""Shared configuration for the figure/table regeneration benches.
+
+Each bench regenerates one paper table or figure end-to-end (Monte-Carlo
+chip sampling + cache/CPU simulation) and asserts the *shape* of the
+result against the paper.  pytest-benchmark measures the wall-clock of
+one full regeneration (``pedantic`` with a single round -- these are
+experiments, not microbenchmarks).
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_CHIPS``  -- Monte-Carlo chips per scenario (default 30;
+  the paper uses 100).
+* ``REPRO_BENCH_REFS``   -- trace references per benchmark (default 6000).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+    REPRO_BENCH_CHIPS=100 pytest benchmarks/ --benchmark-only   # paper scale
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+
+BENCH_CHIPS = int(os.environ.get("REPRO_BENCH_CHIPS", "30"))
+BENCH_REFS = int(os.environ.get("REPRO_BENCH_REFS", "6000"))
+
+
+@pytest.fixture(scope="session")
+def context():
+    """One shared experiment context so chip batches and traces are
+    sampled once per bench session."""
+    return ExperimentContext(
+        n_chips=BENCH_CHIPS, n_references=BENCH_REFS, seed=2007
+    )
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )

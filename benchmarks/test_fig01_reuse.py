@@ -1,0 +1,22 @@
+"""Regenerate Figure 1: reference distance from line load."""
+
+import numpy as np
+
+from repro.experiments import fig01_reuse
+from benchmarks.conftest import run_once
+
+
+def test_fig01_reuse(benchmark, context):
+    result = run_once(benchmark, fig01_reuse.run, context)
+    print("\n" + fig01_reuse.report(result))
+
+    # Paper: ~90% of references within 6K cycles on average.
+    at_6k = result.average_measured[list(result.grid).index(6000)]
+    assert 0.85 < at_6k < 0.97
+
+    # Per-benchmark curves are CDFs and streaming codes lead.
+    for name, cdf in result.measured.items():
+        assert np.all(np.diff(cdf) >= 0)
+    at6 = result.measured_at_6k()
+    assert at6["applu"] > at6["mcf"]
+    assert at6["mesa"] > at6["twolf"]

@@ -1,0 +1,41 @@
+"""Regenerate Figure 6: 6T frequency vs. 3T1D retention distributions."""
+
+import numpy as np
+
+from repro.experiments import fig06_typical
+from benchmarks.conftest import run_once
+
+
+def test_fig06_distributions(benchmark, context):
+    result = run_once(benchmark, fig06_typical.run, context)
+    print("\n" + fig06_typical.report(result))
+
+    centers = np.arange(0.775, 1.076, 0.025)
+
+    # 6a: 1X 6T chips cluster around 10-20% frequency loss.
+    mean_1x = float(np.dot(centers, result.frequency_histogram_1x))
+    assert 0.78 < mean_1x < 0.92
+
+    # 6a: 2X recovers a large part of the loss.
+    mean_2x = float(np.dot(centers, result.frequency_histogram_2x))
+    assert mean_2x > mean_1x + 0.04
+
+    # 6b: retention histogram covers the paper's 476-3094ns axis with the
+    # bulk in the middle, and most operable chips lose < 2%.
+    assert result.retention_histogram.sum() > 0.99
+    assert result.chips_within_2pct() > 0.75
+
+    # 6b: performance rises and refresh power falls with retention.
+    if len(result.points) >= 6:
+        perfs = [p.mean_performance for p in result.points]
+        refresh = [p.refresh_dynamic_power for p in result.points]
+        # Compare the short-retention third to the long-retention third.
+        third = max(1, len(perfs) // 3)
+        assert np.mean(perfs[-third:]) >= np.mean(perfs[:third]) - 1e-9
+        assert np.mean(refresh[:third]) > np.mean(refresh[-third:])
+
+    # 6b: total dynamic power overhead within the paper's 1.3-2.25X band
+    # (allowing band edges some slack).
+    totals = [p.total_dynamic_power for p in result.points]
+    assert 1.1 < min(totals) < 1.7
+    assert max(totals) < 3.0

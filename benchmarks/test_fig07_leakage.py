@@ -1,0 +1,24 @@
+"""Regenerate Figure 7: leakage power distributions."""
+
+import numpy as np
+
+from repro.experiments import fig07_leakage
+from benchmarks.conftest import run_once
+
+
+def test_fig07_leakage(benchmark, context):
+    result = run_once(benchmark, fig07_leakage.run, context)
+    print("\n" + fig07_leakage.report(result))
+
+    # Paper: >50% of 1X 6T chips leak above 1.5X the golden design.
+    assert result.fraction_6t_above_1_5x > 0.35
+
+    # Paper: the 6T tail reaches many-X; the 3T1D spread stays compressed.
+    assert np.max(result.samples_6t) > 4.0
+    assert result.max_3t1d < 4.0
+
+    # Paper: only ~11% of 3T1D chips leak above the golden 6T design.
+    assert result.fraction_3t1d_above_golden < 0.35
+
+    # The 3T1D distribution sits well below the 6T distribution.
+    assert np.median(result.samples_3t1d) < 0.7 * np.median(result.samples_6t)

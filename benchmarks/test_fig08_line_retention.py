@@ -1,0 +1,29 @@
+"""Regenerate Figure 8: line retention of good/median/bad chips (severe)."""
+
+from repro.experiments import fig08_line_retention
+from benchmarks.conftest import run_once
+
+
+def test_fig08_line_retention(benchmark, context):
+    result = run_once(benchmark, fig08_line_retention.run, context)
+    print("\n" + fig08_line_retention.report(result))
+
+    # Paper: bad chip ~23% dead lines, median ~3%, good near zero.
+    assert result.dead_fractions["bad"] > 0.05
+    assert result.dead_fractions["median"] < 0.10
+    assert result.dead_fractions["good"] <= result.dead_fractions["median"] + 0.01
+    assert (
+        result.dead_fractions["good"]
+        <= result.dead_fractions["bad"]
+    )
+
+    # Paper: ~80% of chips discarded under the global scheme.
+    assert 0.55 <= result.discard_rate <= 0.97
+
+    # Good chip's retention histogram sits to the right of the bad chip's.
+    import numpy as np
+
+    centers = np.arange(250.0, 5000.0, 500.0)
+    mean_good = float(np.dot(centers, result.histograms["good"]))
+    mean_bad = float(np.dot(centers, result.histograms["bad"]))
+    assert mean_good > mean_bad

@@ -1,0 +1,44 @@
+"""Regenerate Figure 10: per-chip performance & power, three schemes."""
+
+import numpy as np
+
+from repro.experiments import fig10_hundred_chips
+from benchmarks.conftest import run_once
+
+
+def test_fig10_hundred_chips(benchmark, context):
+    result = run_once(benchmark, fig10_hundred_chips.run, context)
+    print("\n" + fig10_hundred_chips.report(result))
+
+    perf = result.performance
+    power = result.power
+
+    # Every chip functions under every line-level scheme (vs ~80%
+    # discarded under the global scheme); the retention-aware schemes
+    # keep even the worst chips close to ideal.
+    for series in perf.values():
+        assert np.all(series > 0.1)
+    # The retention-aware schemes hold essentially every chip near ideal;
+    # our severe tail is heavier than the paper's, so allow the worst
+    # 1-2 chips of a batch to dip (see EXPERIMENTS.md deviations).
+    assert np.mean(perf["RSP-FIFO"] > 0.8) >= 0.97
+    assert np.mean(perf["partial-refresh/DSP"] > 0.8) >= 0.97
+
+    # Paper: RSP-FIFO and partial/DSP hold within a few percent for most
+    # chips; no-refresh/LRU degrades the furthest.
+    assert np.median(perf["RSP-FIFO"]) > 0.94
+    assert np.median(perf["partial-refresh/DSP"]) > 0.92
+    assert result.worst_performance("RSP-FIFO") > result.worst_performance(
+        "no-refresh/LRU"
+    )
+    assert result.worst_performance(
+        "partial-refresh/DSP"
+    ) > result.worst_performance("no-refresh/LRU")
+
+    # Paper: no-refresh/LRU's power overhead balloons on bad chips (extra
+    # L2 traffic), beyond the retention-aware schemes'.
+    assert result.worst_power("no-refresh/LRU") > result.worst_power(
+        "partial-refresh/DSP"
+    ) - 0.05
+    for scheme in power:
+        assert np.median(power[scheme]) < 1.6

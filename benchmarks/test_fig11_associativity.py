@@ -1,0 +1,28 @@
+"""Regenerate Figure 11: scheme performance vs. associativity."""
+
+from repro.experiments import fig11_associativity
+from benchmarks.conftest import run_once
+
+
+def test_fig11_associativity(benchmark, context):
+    result = run_once(benchmark, fig11_associativity.run, context)
+    print("\n" + fig11_associativity.report(result))
+
+    # Paper: in a direct-mapped cache the placement policies cannot act,
+    # so the schemes converge; with associativity the retention-sensitive
+    # schemes pull away on the bad chip.
+    assert result.spread_at("bad", 1) < 0.08
+    assert result.spread_at("bad", 4) > result.spread_at("bad", 1)
+
+    # 2-way already provides enough flexibility (paper's observation).
+    assert result.spread_at("bad", 2) > result.spread_at("bad", 1)
+
+    perf = result.performance
+    for ways in (2, 4, 8):
+        assert (
+            perf["bad"]["RSP-FIFO"][ways]
+            >= perf["bad"]["no-refresh/LRU"][ways]
+        )
+
+    # The good chip barely cares (paper: differences small).
+    assert result.spread_at("good", 4) < result.spread_at("bad", 4) + 0.02

@@ -1,0 +1,38 @@
+"""Regenerate Figure 12: mu-sigma/mu performance surfaces."""
+
+import numpy as np
+
+from repro.experiments import fig12_sensitivity
+from benchmarks.conftest import run_once
+
+
+def test_fig12_sensitivity(benchmark, context):
+    result = run_once(benchmark, fig12_sensitivity.run, context)
+    print("\n" + fig12_sensitivity.report(result))
+
+    no_refresh = result.surfaces["no-refresh/LRU"]
+    dsp = result.surfaces["partial-refresh/DSP"]
+    rsp = result.surfaces["RSP-FIFO"]
+
+    # Paper: sigma/mu matters more than mu -- the worst corner is high
+    # sigma at low mu, and performance collapses there for no-refresh.
+    assert no_refresh[0, -1] == no_refresh.min()
+    assert no_refresh[0, -1] < 0.9
+
+    # Paper: larger mu helps at fixed sigma/mu.
+    assert np.all(no_refresh[-1, :] >= no_refresh[0, :] - 0.01)
+
+    # Paper: the dead-line- and retention-sensitive schemes dominate
+    # no-refresh almost everywhere (allow noise at easy corners).
+    assert np.mean(dsp >= no_refresh - 0.005) > 0.8
+    assert np.mean(rsp >= no_refresh - 0.005) > 0.8
+
+    # Paper: the dead-line-sensitive scheme is the most robust surface.
+    assert dsp.min() > 0.85
+
+    # Design points: severity and voltage scaling move points toward the
+    # bad corner (larger sigma/mu, smaller mu).
+    points = {p.label.split(":")[0]: p for p in result.design_points}
+    assert points["4"].sigma_ratio > points["3"].sigma_ratio
+    assert points["5"].mu_cycles < points["3"].mu_cycles
+    assert points["6"].sigma_ratio >= points["4"].sigma_ratio - 0.02

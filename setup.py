@@ -1,0 +1,11 @@
+"""Legacy setup shim so `pip install -e .` works without network access.
+
+The environment has no `wheel` package and no PyPI connectivity, so the
+PEP 660 editable path (which builds a wheel) is unavailable; this shim lets
+pip fall back to the classic `setup.py develop` editable install.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

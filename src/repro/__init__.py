@@ -1,0 +1,144 @@
+"""repro -- Process Variation Tolerant 3T1D-Based Cache Architectures.
+
+A full reproduction of Liang, Canal, Wei & Brooks, MICRO 2007: 3T1D
+dynamic-memory L1 data caches whose process-variation response is lumped
+into per-line *retention times* and absorbed by retention-aware refresh
+and placement schemes.
+
+Quickstart::
+
+    from repro import (
+        NODE_32NM, VariationParams, ChipSampler, Evaluator,
+        Cache3T1DArchitecture, SCHEME_RSP_FIFO,
+    )
+
+    sampler = ChipSampler(NODE_32NM, VariationParams.severe(), seed=1)
+    chip = sampler.sample_3t1d_chip()
+    arch = Cache3T1DArchitecture(chip, SCHEME_RSP_FIFO)
+    result = Evaluator(NODE_32NM).evaluate(arch)
+    print(result.normalized_performance)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.errors import (
+    CalibrationError,
+    ChipDiscardedError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.technology import (
+    ALL_NODES,
+    NODE_32NM,
+    NODE_45NM,
+    NODE_65NM,
+    TechnologyNode,
+)
+from repro.variation import (
+    ChipVariation,
+    QuadTreeSampler,
+    VariationParams,
+    VariationSampler,
+    harmonic_mean,
+)
+from repro.cells import (
+    AccessTimeCurve,
+    DRAM3T1DCell,
+    RetentionModel,
+    SRAM6TCell,
+)
+from repro.array import (
+    CacheGeometry,
+    CachePowerModel,
+    ChipSampler,
+    DRAM3T1DChipSample,
+    SRAMChipSample,
+)
+from repro.cache import (
+    CacheConfig,
+    LineCounterConfig,
+    RetentionAwareCache,
+)
+from repro.cpu import Core, CoreConfig
+from repro.workloads import (
+    SPEC2000_PROFILES,
+    BenchmarkProfile,
+    SyntheticWorkload,
+    benchmark_names,
+    get_profile,
+)
+from repro.core import (
+    Cache3T1DArchitecture,
+    Cache6TArchitecture,
+    ChipEvaluation,
+    Evaluator,
+    HEADLINE_SCHEMES,
+    IdealCacheArchitecture,
+    LINE_LEVEL_SCHEMES,
+    RetentionScheme,
+    SCHEME_GLOBAL,
+    SCHEME_NO_REFRESH_LRU,
+    SCHEME_PARTIAL_DSP,
+    SCHEME_RSP_FIFO,
+    SCHEME_RSP_LRU,
+    YieldModel,
+    get_scheme,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CalibrationError",
+    "SimulationError",
+    "TraceError",
+    "ChipDiscardedError",
+    "TechnologyNode",
+    "ALL_NODES",
+    "NODE_65NM",
+    "NODE_45NM",
+    "NODE_32NM",
+    "VariationParams",
+    "VariationSampler",
+    "ChipVariation",
+    "QuadTreeSampler",
+    "harmonic_mean",
+    "SRAM6TCell",
+    "DRAM3T1DCell",
+    "RetentionModel",
+    "AccessTimeCurve",
+    "CacheGeometry",
+    "CachePowerModel",
+    "ChipSampler",
+    "SRAMChipSample",
+    "DRAM3T1DChipSample",
+    "CacheConfig",
+    "LineCounterConfig",
+    "RetentionAwareCache",
+    "Core",
+    "CoreConfig",
+    "BenchmarkProfile",
+    "SPEC2000_PROFILES",
+    "SyntheticWorkload",
+    "benchmark_names",
+    "get_profile",
+    "RetentionScheme",
+    "SCHEME_GLOBAL",
+    "SCHEME_NO_REFRESH_LRU",
+    "SCHEME_PARTIAL_DSP",
+    "SCHEME_RSP_FIFO",
+    "SCHEME_RSP_LRU",
+    "LINE_LEVEL_SCHEMES",
+    "HEADLINE_SCHEMES",
+    "get_scheme",
+    "Cache3T1DArchitecture",
+    "Cache6TArchitecture",
+    "IdealCacheArchitecture",
+    "Evaluator",
+    "ChipEvaluation",
+    "YieldModel",
+]

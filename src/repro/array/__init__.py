@@ -1,0 +1,29 @@
+"""Cache array substrate: geometry, timing, power, and chip sampling.
+
+This layer aggregates cell-level models over the paper's 64KB L1 data
+cache organisation (8 sub-arrays of 256x256 bits; each pair of sub-arrays
+shares 64 sense amplifiers and forms the 512-bit blocks) and produces the
+chip-level Monte-Carlo samples every architecture experiment consumes.
+"""
+
+from repro.array.geometry import CacheGeometry
+from repro.array.subarray import SubArrayTiming, RefreshTiming
+from repro.array.power import CachePowerModel
+from repro.array.bist import BISTResult, RetentionBIST
+from repro.array.chip import (
+    ChipSampler,
+    DRAM3T1DChipSample,
+    SRAMChipSample,
+)
+
+__all__ = [
+    "CacheGeometry",
+    "SubArrayTiming",
+    "RefreshTiming",
+    "CachePowerModel",
+    "RetentionBIST",
+    "BISTResult",
+    "ChipSampler",
+    "DRAM3T1DChipSample",
+    "SRAMChipSample",
+]

@@ -1,0 +1,116 @@
+"""Built-in self test for retention measurement (paper section 4.3.1).
+
+After fabrication the retention time of each cache line must be measured
+and loaded into the line counters.  The paper's procedure: "a built-in
+self test structure can load a pattern of '1s' into the cache and keep
+reading out the contents of each line until the line fails to give the
+correct value.  The amount of time required to fail reading the '1s'
+pattern is recorded as the line retention time."  Testing happens at a
+guard-banded worst-case temperature.
+
+:class:`RetentionBIST` models that procedure against the physical chip
+sample: it probes each line at a configurable time step (the tester
+cannot observe continuous time), applies the temperature guard-band, and
+returns the counter contents the architecture will run with.  The
+measured values are *conservative by construction*: a BIST measurement
+never exceeds the line's true retention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.array.chip import DRAM3T1DChipSample
+from repro.cache.counters import LineCounterConfig, quantize_retention
+
+TEMPERATURE_GUARD_BAND: float = 0.9
+"""Retention derating applied for worst-case operating temperature.
+
+The paper assumes worst-case temperatures when setting retention times;
+circuit simulations run at 80C while the thermal spec corner sits higher,
+costing roughly 10% of retention (subthreshold leakage grows with T)."""
+
+
+@dataclass(frozen=True)
+class BISTResult:
+    """Outcome of one chip's retention self-test."""
+
+    measured_retention_cycles: np.ndarray
+    """Per-line retention as measured (guard-banded, probe-quantised)."""
+    counter_values: np.ndarray
+    """Per-line retention as stored in the line counters (cycles)."""
+    counter: LineCounterConfig
+    test_cycles: int
+    """Total tester time spent, in chip cycles."""
+
+    @property
+    def dead_lines(self) -> np.ndarray:
+        """Lines whose counters read zero."""
+        return self.counter_values == 0
+
+    @property
+    def dead_line_fraction(self) -> float:
+        """Fraction of lines the architecture will treat as dead."""
+        return float(np.mean(self.dead_lines))
+
+
+@dataclass
+class RetentionBIST:
+    """Retention self-test engine for 3T1D chips.
+
+    ``probe_step_cycles`` is the interval at which the tester re-reads the
+    "1s" pattern; a line's measured retention is the last probe at which
+    it still read correctly (floored, hence conservative).  ``None``
+    defaults to the line-counter step that will be used anyway -- probing
+    finer than the counter resolution buys nothing.
+    """
+
+    counter_bits: int = 3
+    probe_step_cycles: Optional[int] = None
+    guard_band: float = TEMPERATURE_GUARD_BAND
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.guard_band <= 1.0:
+            raise ConfigurationError(
+                f"guard_band must be in (0, 1], got {self.guard_band!r}"
+            )
+        if self.probe_step_cycles is not None and self.probe_step_cycles < 1:
+            raise ConfigurationError("probe_step_cycles must be >= 1")
+
+    def test_chip(self, chip: DRAM3T1DChipSample) -> BISTResult:
+        """Run the retention self-test on ``chip``.
+
+        Returns the counter contents plus tester-time bookkeeping.
+        """
+        true_cycles = chip.retention_by_line * chip.node.frequency
+        derated = true_cycles * self.guard_band
+
+        counter = LineCounterConfig.for_chip(
+            float(np.max(derated)) if derated.size else 1.0,
+            bits=self.counter_bits,
+        )
+        step = self.probe_step_cycles or counter.step_cycles
+        # The tester observes failure between probe k and k+1; the last
+        # good probe (floor) is recorded -- conservative.
+        measured = (np.floor(derated / step) * step).astype(np.int64)
+        counters = quantize_retention(measured, counter)
+
+        # Tester time: each line is probed until it fails, i.e. roughly
+        # its retention; probing runs per sub-array pair in parallel, and
+        # line ``i`` lives in pair ``i % n_pairs``.
+        n_pairs = chip.geometry.n_pairs
+        line_time = measured + step
+        pair_time = [
+            int(np.sum(line_time[pair::n_pairs])) for pair in range(n_pairs)
+        ]
+        test_cycles = max(pair_time) if pair_time else 0
+        return BISTResult(
+            measured_retention_cycles=measured,
+            counter_values=np.asarray(counters, dtype=np.int64),
+            counter=counter,
+            test_cycles=test_cycles,
+        )

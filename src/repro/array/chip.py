@@ -1,0 +1,421 @@
+"""Chip-level Monte-Carlo sampling (the paper's "100 sample chips").
+
+Each sampled chip freezes one draw of die-to-die, correlated within-die,
+and random per-device variation, and reduces it to the quantities the
+architecture study consumes:
+
+* **6T chips** (:class:`SRAMChipSample`): the slowest cell sets the chip
+  frequency (Figure 6a); threshold mismatch sets the count of unstable
+  bits (section 2.1); per-cell leakage sums into chip leakage (Figure 7a).
+* **3T1D chips** (:class:`DRAM3T1DChipSample`): every line gets the
+  retention time of its worst cell (Figure 8); the worst line sets the
+  global-scheme retention (Figure 6b); leakage sums as for 6T but with the
+  3T1D cell's compressed sensitivity (Figure 7b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.technology.node import TechnologyNode
+from repro.variation.montecarlo import ChipVariation, VariationSampler
+from repro.variation.parameters import VariationParams
+import repro.cells.dram3t1d as dram3t1d
+from repro.cells.dram3t1d import DRAM3T1DCell
+from repro.cells.retention import RetentionModel
+from repro.cells.sram6t import SRAM6TCell
+from repro.array.geometry import CacheGeometry
+
+
+@dataclass(frozen=True)
+class SRAMChipSample:
+    """One fabricated 6T-cache chip under process variation."""
+
+    node: TechnologyNode
+    cell_label: str
+    chip_id: int
+    worst_access_time: float
+    nominal_access_time: float
+    leakage_power: float
+    golden_leakage_power: float
+    flip_count: int
+    total_cells: int
+    access_time_by_line: Optional[np.ndarray] = None
+    """Optional per-line worst access time in seconds (flat line-id
+    order), for variable-latency 6T studies; its maximum equals
+    ``worst_access_time``."""
+
+    def slow_line_fraction(self, budget_seconds: float) -> float:
+        """Fraction of lines slower than an access-time budget."""
+        if self.access_time_by_line is None:
+            raise ConfigurationError(
+                "chip sample carries no per-line access times; resample "
+                "with the current ChipSampler"
+            )
+        if budget_seconds <= 0:
+            raise ConfigurationError("budget_seconds must be positive")
+        return float(np.mean(self.access_time_by_line > budget_seconds))
+
+    @property
+    def normalized_frequency(self) -> float:
+        """Chip frequency relative to the ideal design (Figure 6a x-axis).
+
+        The slowest cell's access path sets the cycle; 1.0 is the
+        no-variation design, values above 1.0 are chips that bin faster.
+        """
+        return self.nominal_access_time / self.worst_access_time
+
+    @property
+    def frequency(self) -> float:
+        """Absolute chip frequency in Hz."""
+        return self.normalized_frequency * self.node.frequency
+
+    @property
+    def normalized_leakage(self) -> float:
+        """Leakage relative to the golden (no-variation) design (Figure 7)."""
+        return self.leakage_power / self.golden_leakage_power
+
+    @property
+    def flip_rate(self) -> float:
+        """Fraction of bits that are read-unstable."""
+        return self.flip_count / self.total_cells
+
+    @property
+    def has_unstable_cells(self) -> bool:
+        """True if any bit in the cache can flip on a read."""
+        return self.flip_count > 0
+
+
+@dataclass(frozen=True)
+class DRAM3T1DChipSample:
+    """One fabricated 3T1D-cache chip under process variation.
+
+    ``retention_by_line`` holds each line's retention time in seconds,
+    indexed by flat line id (``set * ways + way``); a zero means the line
+    is dead (cannot be read at 6T speed even right after a write).
+    """
+
+    node: TechnologyNode
+    geometry: CacheGeometry
+    chip_id: int
+    retention_by_line: np.ndarray
+    leakage_power: float
+    golden_leakage_power: float
+    retention_by_word: Optional[np.ndarray] = None
+    """Optional per-word retention, shape ``(n_lines, words_per_line)``;
+    word 0 also covers the line's tag cells.  Populated by the sampler to
+    support word-granularity refresh studies; the per-line values are the
+    row-wise minima of this array."""
+
+    def __post_init__(self) -> None:
+        if self.retention_by_line.shape != (self.geometry.n_lines,):
+            raise ConfigurationError(
+                f"retention_by_line must have shape ({self.geometry.n_lines},), "
+                f"got {self.retention_by_line.shape}"
+            )
+        if self.retention_by_word is not None:
+            if (
+                self.retention_by_word.ndim != 2
+                or self.retention_by_word.shape[0] != self.geometry.n_lines
+            ):
+                raise ConfigurationError(
+                    "retention_by_word must have one row per line"
+                )
+
+    @property
+    def retention_grid(self) -> np.ndarray:
+        """Retention times as a ``(n_sets, ways)`` grid, seconds."""
+        return self.retention_by_line.reshape(
+            self.geometry.n_sets, self.geometry.ways
+        )
+
+    @property
+    def chip_retention_time(self) -> float:
+        """Global-scheme retention: the worst line limits the whole cache."""
+        return float(np.min(self.retention_by_line))
+
+    @property
+    def mean_line_retention(self) -> float:
+        """Mean per-line retention time, seconds."""
+        return float(np.mean(self.retention_by_line))
+
+    def dead_lines(self, threshold: float = 0.0) -> np.ndarray:
+        """Boolean mask of lines whose retention is at or below ``threshold``.
+
+        The paper also counts a line as dead when its retention is below
+        the minimal line-counter step; pass that step as ``threshold``.
+        """
+        if threshold < 0:
+            raise ConfigurationError("threshold must be >= 0")
+        return self.retention_by_line <= threshold
+
+    def dead_line_fraction(self, threshold: float = 0.0) -> float:
+        """Fraction of cache lines that are dead."""
+        return float(np.mean(self.dead_lines(threshold)))
+
+    def is_discarded_under_global_scheme(self, threshold: float = 0.0) -> bool:
+        """True if the global refresh scheme cannot operate this chip.
+
+        One dead line forces the global retention to zero, so the chip
+        must be discarded (paper section 4.3).
+        """
+        return bool(np.any(self.dead_lines(threshold)))
+
+    @property
+    def normalized_leakage(self) -> float:
+        """Leakage relative to the *golden 6T* design (Figure 7b x-axis)."""
+        return self.leakage_power / self.golden_leakage_power
+
+    def with_geometry(self, geometry: CacheGeometry) -> "DRAM3T1DChipSample":
+        """Re-interpret the same physical chip with a different associativity.
+
+        The physical lines and their retention times are unchanged; only
+        the (set, way) interpretation moves.  Used by the Figure 11 sweep.
+        """
+        if geometry.n_lines != self.geometry.n_lines:
+            raise ConfigurationError(
+                "can only re-interpret a chip with the same total line count"
+            )
+        return DRAM3T1DChipSample(
+            node=self.node,
+            geometry=geometry,
+            chip_id=self.chip_id,
+            retention_by_line=self.retention_by_line,
+            leakage_power=self.leakage_power,
+            golden_leakage_power=self.golden_leakage_power,
+            retention_by_word=self.retention_by_word,
+        )
+
+
+@dataclass
+class ChipSampler:
+    """Draws fabricated-chip samples for one node and variation scenario.
+
+    A single sampler instance produces a deterministic chip sequence for a
+    given ``seed``; 6T and 3T1D samples drawn at the same position in the
+    sequence share the same correlated-variation draw, mimicking "the same
+    wafer corner built both ways".
+    """
+
+    node: TechnologyNode
+    params: VariationParams
+    seed: int = 0
+    geometry: CacheGeometry = field(default_factory=CacheGeometry)
+    _sampler: VariationSampler = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.geometry.n_subarrays != 8:
+            raise ConfigurationError(
+                "the variation layout assumes the paper's 8 sub-arrays"
+            )
+        self._sampler = VariationSampler(
+            node=self.node, params=self.params, seed=self.seed
+        )
+
+    # ------------------------------------------------------------------
+    # 6T sampling
+    # ------------------------------------------------------------------
+
+    def sample_sram_chip(self, size_factor: float = 1.0) -> SRAMChipSample:
+        """Draw the next chip built with 6T cells of ``size_factor``."""
+        chip = self._sampler.sample_chip()
+        return self._build_sram_sample(chip, size_factor)
+
+    def sample_sram_chips(
+        self, count: int, size_factor: float = 1.0
+    ) -> List[SRAMChipSample]:
+        """Draw ``count`` consecutive 6T chips."""
+        return [self.sample_sram_chip(size_factor) for _ in range(count)]
+
+    def _build_sram_sample(
+        self, chip: ChipVariation, size_factor: float
+    ) -> SRAMChipSample:
+        cell = SRAM6TCell(self.node, size_factor=size_factor)
+        sigma_vth_min = self.params.sigma_vth(self.node)
+        sigma_vth_cell = sigma_vth_min * cell.mismatch_scale
+        geometry = self.geometry
+        rows = geometry.rows_per_pair
+        cells = geometry.cells_per_line
+
+        access_by_line = np.empty(geometry.n_lines)
+        leakage = 0.0
+        golden_cell_leak = cell.nominal_cell_leakage_power()
+        for pair in range(geometry.n_pairs):
+            sub_a, sub_b = geometry.subarrays_of_pair(pair)
+            delta_l = 0.5 * (
+                chip.delta_l_total(sub_a) + chip.delta_l_total(sub_b)
+            )
+            periphery = float(cell.periphery_delay_factor(delta_l))
+            shape = (rows, cells)
+            delta_vth = (
+                chip.rng.normal(0.0, sigma_vth_cell, size=shape)
+                if sigma_vth_cell > 0
+                else np.zeros(shape)
+            )
+            access = cell.access_time(
+                delta_vth=delta_vth, delta_l=delta_l, periphery_factor=periphery
+            )
+            line_ids = np.arange(rows) * geometry.n_pairs + pair
+            access_by_line[line_ids] = np.max(access, axis=1)
+            leak_vth = (
+                chip.rng.normal(0.0, sigma_vth_cell, size=shape)
+                if sigma_vth_cell > 0
+                else np.zeros(shape)
+            )
+            leakage += float(np.sum(cell.leakage_power(leak_vth, delta_l)))
+        worst_access = float(np.max(access_by_line))
+
+        p_flip = cell.flip_probability(sigma_vth_min)
+        flip_count = (
+            int(chip.rng.binomial(self.geometry.total_cells, p_flip))
+            if p_flip > 0
+            else 0
+        )
+        return SRAMChipSample(
+            node=self.node,
+            cell_label=cell.label,
+            chip_id=chip.chip_id,
+            worst_access_time=worst_access,
+            nominal_access_time=cell.nominal_access_time(),
+            leakage_power=leakage,
+            golden_leakage_power=golden_cell_leak * self.geometry.total_cells,
+            flip_count=flip_count,
+            total_cells=self.geometry.total_cells,
+            access_time_by_line=access_by_line,
+        )
+
+    # ------------------------------------------------------------------
+    # 3T1D sampling
+    # ------------------------------------------------------------------
+
+    def sample_3t1d_chip(self) -> DRAM3T1DChipSample:
+        """Draw the next chip built with 3T1D cells."""
+        chip = self._sampler.sample_chip()
+        return self._build_3t1d_sample(chip)
+
+    def sample_3t1d_chips(self, count: int) -> List[DRAM3T1DChipSample]:
+        """Draw ``count`` consecutive 3T1D chips."""
+        return [self.sample_3t1d_chip() for _ in range(count)]
+
+    def _build_3t1d_sample(self, chip: ChipVariation) -> DRAM3T1DChipSample:
+        cell = DRAM3T1DCell(self.node)
+        model = RetentionModel(cell)
+        sigma_vth = (
+            self.params.sigma_vth(self.node)
+            * dram3t1d.DEVICE_AREA_SIGMA_SCALE
+        )
+        sigma_eps = (
+            dram3t1d.DIODE_BOOST_SIGMA_FACTOR * self.params.sigma_vth_rel
+        )
+        geometry = self.geometry
+        rows = geometry.rows_per_pair
+        cells = geometry.cells_per_line
+
+        words_per_line = 8  # 512 data bits in 64-bit words
+        retention = np.empty(geometry.n_lines)
+        word_retention = np.empty((geometry.n_lines, words_per_line))
+        leakage = 0.0
+        golden_cell_leak = cell.nominal_cell_leakage_power()
+        sram_golden = (
+            SRAM6TCell(self.node).nominal_cell_leakage_power()
+            * geometry.total_cells
+        )
+        for pair in range(geometry.n_pairs):
+            sub_a, sub_b = geometry.subarrays_of_pair(pair)
+            delta_l = 0.5 * (
+                chip.delta_l_total(sub_a) + chip.delta_l_total(sub_b)
+            )
+            shape = (rows, cells)
+            if sigma_vth > 0:
+                d_t1 = chip.rng.normal(0.0, sigma_vth, size=shape)
+                d_t2 = chip.rng.normal(0.0, sigma_vth, size=shape)
+            else:
+                d_t1 = np.zeros(shape)
+                d_t2 = np.zeros(shape)
+            eps = (
+                chip.rng.normal(0.0, sigma_eps, size=shape)
+                if sigma_eps > 0
+                else np.zeros(shape)
+            )
+            cell_retention = np.asarray(
+                model.retention_time(d_t1, d_t2, delta_l, eps)
+            )
+            line_retention = np.min(cell_retention, axis=1)
+            # Word-granularity minima: 8 x 64 data cells; the tag cells
+            # (beyond bit 512) fold into word 0, which refreshes with the
+            # tags anyway.
+            data_words = np.min(
+                cell_retention[:, : 8 * 64].reshape(rows, 8, 64), axis=2
+            )
+            if cells > 8 * 64:
+                tag_min = np.min(cell_retention[:, 8 * 64:], axis=1)
+                data_words[:, 0] = np.minimum(data_words[:, 0], tag_min)
+            line_ids = np.arange(rows) * geometry.n_pairs + pair
+            retention[line_ids] = line_retention
+            word_retention[line_ids] = data_words
+            # Supply leakage flows through the read stack; reuse the T2 draw.
+            leakage += float(np.sum(cell.leakage_power(d_t2, delta_l)))
+
+        return DRAM3T1DChipSample(
+            node=self.node,
+            geometry=geometry,
+            chip_id=chip.chip_id,
+            retention_by_line=retention,
+            leakage_power=leakage,
+            golden_leakage_power=sram_golden,
+            retention_by_word=word_retention,
+        )
+
+    # ------------------------------------------------------------------
+    # golden references
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def golden_sram_chip(
+        cls,
+        node: TechnologyNode,
+        size_factor: float = 1.0,
+        geometry: Optional[CacheGeometry] = None,
+    ) -> SRAMChipSample:
+        """The no-variation 6T chip (the normalisation reference)."""
+        geometry = geometry or CacheGeometry()
+        cell = SRAM6TCell(node, size_factor=size_factor)
+        golden_leak = cell.nominal_cell_leakage_power() * geometry.total_cells
+        return SRAMChipSample(
+            node=node,
+            cell_label=cell.label,
+            chip_id=-1,
+            worst_access_time=cell.nominal_access_time(),
+            nominal_access_time=cell.nominal_access_time(),
+            leakage_power=golden_leak,
+            golden_leakage_power=golden_leak,
+            flip_count=0,
+            total_cells=geometry.total_cells,
+        )
+
+    @classmethod
+    def golden_3t1d_chip(
+        cls,
+        node: TechnologyNode,
+        geometry: Optional[CacheGeometry] = None,
+    ) -> DRAM3T1DChipSample:
+        """The no-variation 3T1D chip: every line at nominal retention."""
+        geometry = geometry or CacheGeometry()
+        cell = DRAM3T1DCell(node)
+        model = RetentionModel(cell)
+        nominal = model.nominal_retention_time()
+        sram_golden = (
+            SRAM6TCell(node).nominal_cell_leakage_power() * geometry.total_cells
+        )
+        return DRAM3T1DChipSample(
+            node=node,
+            geometry=geometry,
+            chip_id=-1,
+            retention_by_line=np.full(geometry.n_lines, nominal),
+            leakage_power=cell.nominal_cell_leakage_power() * geometry.total_cells,
+            golden_leakage_power=sram_golden,
+        )

@@ -1,0 +1,184 @@
+"""Physical organisation of the paper's 64KB L1 data cache.
+
+Section 3.2: "The data cache is a 64KB, 512-bit block size, 4-way set
+associative, write-back memory, with 2 read ports and 1 write port.  This
+cache is divided into 8 sub-arrays of 256x256b with a cache access latency
+of three cycles where one cycle is reserved to access the array.  Every
+pair of arrays share 64 sense amplifiers and combine to form the 512-bit
+blocks."
+
+The geometry object also defines the physical line placement used by the
+variation model: line ``line_id`` lives in sub-array pair ``line_id %
+n_pairs`` at row ``line_id // n_pairs``, so for the 4-way configuration
+each way of a set sits in a different sub-array pair -- which is why ways
+of one set have (partially) independent retention times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size and organisation of the cache array."""
+
+    size_bytes: int = 64 * 1024
+    line_bits: int = 512
+    ways: int = 4
+    n_subarrays: int = 8
+    subarray_rows: int = 256
+    subarray_cols: int = 256
+    sense_amps_per_pair: int = 64
+    tag_bits_per_line: int = 34
+    read_ports: int = 2
+    write_ports: int = 1
+    access_latency_cycles: int = 3
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bits <= 0:
+            raise ConfigurationError("cache size and line size must be positive")
+        if self.line_bits % 8 != 0:
+            raise ConfigurationError("line_bits must be a whole number of bytes")
+        if self.ways < 1:
+            raise ConfigurationError(f"ways must be >= 1, got {self.ways}")
+        if self.n_subarrays % 2 != 0:
+            raise ConfigurationError(
+                "sub-arrays pair up to form blocks; need an even count"
+            )
+        if self.n_lines % self.ways != 0:
+            raise ConfigurationError(
+                f"{self.n_lines} lines do not divide into {self.ways} ways"
+            )
+        if self.n_lines % self.n_pairs != 0:
+            raise ConfigurationError(
+                f"{self.n_lines} lines do not map onto {self.n_pairs} sub-array pairs"
+            )
+        if self.line_bits % self.sense_amps_per_pair != 0:
+            raise ConfigurationError(
+                "line_bits must be a multiple of the shared sense amplifiers"
+            )
+        array_bits = self.n_subarrays * self.subarray_rows * self.subarray_cols
+        if array_bits != self.total_data_bits:
+            raise ConfigurationError(
+                f"sub-array geometry stores {array_bits} bits but the cache "
+                f"holds {self.total_data_bits}"
+            )
+
+    # --- derived counts --------------------------------------------------
+
+    @property
+    def total_data_bits(self) -> int:
+        """Data bits in the cache."""
+        return self.size_bytes * 8
+
+    @property
+    def n_lines(self) -> int:
+        """Number of cache lines."""
+        return self.total_data_bits // self.line_bits
+
+    @property
+    def n_sets(self) -> int:
+        """Number of cache sets."""
+        return self.n_lines // self.ways
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of sub-array pairs (each pair forms full 512-bit blocks)."""
+        return self.n_subarrays // 2
+
+    @property
+    def rows_per_pair(self) -> int:
+        """Cache lines stored in each sub-array pair."""
+        return self.n_lines // self.n_pairs
+
+    @property
+    def cells_per_line(self) -> int:
+        """Memory cells backing one line, including its tag/status bits."""
+        return self.line_bits + self.tag_bits_per_line
+
+    @property
+    def total_cells(self) -> int:
+        """All memory cells in the cache (data + tags)."""
+        return self.n_lines * self.cells_per_line
+
+    @property
+    def line_offset_bits(self) -> int:
+        """Address bits covered by the line offset."""
+        return (self.line_bits // 8).bit_length() - 1
+
+    @property
+    def set_index_bits(self) -> int:
+        """Address bits used as the set index."""
+        return self.n_sets.bit_length() - 1
+
+    # --- refresh timing counts (section 4.1) ------------------------------
+
+    @property
+    def refresh_cycles_per_line(self) -> int:
+        """Cycles to refresh one line: limited by the shared sense amps.
+
+        For the paper's design: 512 bits / 64 sense amps = 8 cycles.
+        """
+        return self.line_bits // self.sense_amps_per_pair
+
+    @property
+    def refresh_cycles_full_pass(self) -> int:
+        """Cycles for a full refresh pass over the cache.
+
+        Sub-array pairs refresh in parallel (the refresh is encapsulated in
+        each sub-array), so a pass takes rows_per_pair * cycles_per_line --
+        2K cycles for the paper's 256-line sub-arrays.
+        """
+        return self.rows_per_pair * self.refresh_cycles_per_line
+
+    # --- physical placement ----------------------------------------------
+
+    def line_id(self, set_index: int, way: int) -> int:
+        """Flat line id of (set, way)."""
+        if not 0 <= set_index < self.n_sets:
+            raise ConfigurationError(
+                f"set_index {set_index} out of range [0, {self.n_sets})"
+            )
+        if not 0 <= way < self.ways:
+            raise ConfigurationError(f"way {way} out of range [0, {self.ways})")
+        return set_index * self.ways + way
+
+    def pair_of_line(self, line_id: int) -> int:
+        """Sub-array pair holding ``line_id``."""
+        if not 0 <= line_id < self.n_lines:
+            raise ConfigurationError(
+                f"line_id {line_id} out of range [0, {self.n_lines})"
+            )
+        return line_id % self.n_pairs
+
+    def subarrays_of_pair(self, pair: int) -> Tuple[int, int]:
+        """The two sub-array indices forming ``pair``."""
+        if not 0 <= pair < self.n_pairs:
+            raise ConfigurationError(
+                f"pair {pair} out of range [0, {self.n_pairs})"
+            )
+        return 2 * pair, 2 * pair + 1
+
+    def with_ways(self, ways: int) -> "CacheGeometry":
+        """Same cache re-organised with a different associativity.
+
+        Used by the Figure 11 associativity sweep; total capacity, line
+        size, and the physical sub-array layout stay fixed.
+        """
+        return CacheGeometry(
+            size_bytes=self.size_bytes,
+            line_bits=self.line_bits,
+            ways=ways,
+            n_subarrays=self.n_subarrays,
+            subarray_rows=self.subarray_rows,
+            subarray_cols=self.subarray_cols,
+            sense_amps_per_pair=self.sense_amps_per_pair,
+            tag_bits_per_line=self.tag_bits_per_line,
+            read_ports=self.read_ports,
+            write_ports=self.write_ports,
+            access_latency_cycles=self.access_latency_cycles,
+        )

@@ -1,0 +1,151 @@
+"""Cache power aggregation: dynamic, refresh, and leakage components.
+
+Dynamic energy anchors come from Table 3 (see
+:mod:`repro.technology.calibration`); this module turns them into the
+power numbers the experiments report:
+
+* ``dynamic_power`` -- activity-driven dynamic power from port accesses,
+* ``global_refresh_power`` -- the section 4.1 global scheme's overhead
+  (a fixed control/clocking part plus a per-pass energy part that grows as
+  retention time shrinks, saturating when the cache refreshes
+  back-to-back),
+* ``l2_access_energy`` -- energy of an L2 access caused by an extra L1
+  miss (what makes the no-refresh scheme's power overhead balloon on bad
+  chips in Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.technology import calibration
+from repro.technology.node import TechnologyNode
+from repro.array.geometry import CacheGeometry
+from repro.array.subarray import RefreshTiming
+
+L2_ACCESS_ENERGY_FACTOR: float = 8.0
+"""Energy of one L2 access in units of one L1 full-port access.
+
+The 2MB L2 moves far more bits per access over longer wires; 8x is in line
+with CACTI-class ratios for a 32x capacity step."""
+
+LINE_COUNTER_POWER_OVERHEAD: float = 0.04
+"""Dynamic power overhead of the per-line retention counters and control
+logic for line-level schemes, as a fraction of ideal mean dynamic power
+(the paper estimates ~10% area overhead for the 3-bit counters; their
+switching activity is a small fraction of the array's)."""
+
+
+@dataclass(frozen=True)
+class CachePowerModel:
+    """Power bookkeeping for one cache design at one node."""
+
+    node: TechnologyNode
+    cell_kind: str = "3T1D"
+    geometry: CacheGeometry = CacheGeometry()
+
+    def __post_init__(self) -> None:
+        if self.cell_kind not in ("6T", "3T1D"):
+            raise ConfigurationError(
+                f"cell_kind must be '6T' or '3T1D', got {self.cell_kind!r}"
+            )
+
+    # --- energies ---------------------------------------------------------
+
+    @property
+    def port_access_energy(self) -> float:
+        """Energy of one full-width port access (joules)."""
+        return calibration.port_access_energy(self.node, self.cell_kind)
+
+    @property
+    def refresh_line_energy(self) -> float:
+        """Energy to refresh one line (pipelined read + write back), joules."""
+        return calibration.refresh_line_energy(self.node)
+
+    @property
+    def l2_access_energy(self) -> float:
+        """Energy charged to one L2 access caused by an L1 miss, joules."""
+        return L2_ACCESS_ENERGY_FACTOR * calibration.port_access_energy(
+            self.node, "6T"
+        )
+
+    # --- reference powers ---------------------------------------------------
+
+    @property
+    def full_dynamic_power(self) -> float:
+        """Dynamic power with every port busy every cycle, watts."""
+        total_ports = self.geometry.read_ports + self.geometry.write_ports
+        return total_ports * self.port_access_energy * self.node.frequency
+
+    @property
+    def ideal_mean_dynamic_power(self) -> float:
+        """Table 3 mean dynamic power of the ideal 6T design, watts.
+
+        The normalisation reference for every dynamic-power figure.
+        """
+        return calibration.MEAN_DYNAMIC_POWER_6T[self.node.name]
+
+    # --- activity-driven powers ----------------------------------------------
+
+    def dynamic_power(self, port_accesses_per_cycle: float) -> float:
+        """Dynamic power for a measured port-access rate, watts.
+
+        ``port_accesses_per_cycle`` is the average number of ports active
+        per cycle (0 .. read_ports + write_ports).
+        """
+        total_ports = self.geometry.read_ports + self.geometry.write_ports
+        if not 0.0 <= port_accesses_per_cycle <= total_ports + 1e-9:
+            raise ConfigurationError(
+                f"port_accesses_per_cycle must be within [0, {total_ports}], "
+                f"got {port_accesses_per_cycle!r}"
+            )
+        return (
+            port_accesses_per_cycle * self.port_access_energy * self.node.frequency
+        )
+
+    def global_refresh_power(self, retention_time: float) -> float:
+        """Dynamic power of the global refresh scheme, watts.
+
+        A fixed control overhead plus the per-pass array energy: every
+        ``retention_time`` seconds all lines are re-read and re-written.
+        When retention is shorter than a full pass the refresh runs
+        back-to-back and the power saturates.
+        """
+        if retention_time < 0:
+            raise ConfigurationError("retention_time must be >= 0")
+        timing = RefreshTiming(self.node, self.geometry)
+        period = max(retention_time, timing.full_pass_seconds)
+        pass_energy = self.geometry.n_lines * self.refresh_line_energy
+        control = calibration.REFRESH_CONTROL_OVERHEAD * self.ideal_mean_dynamic_power
+        return control + pass_energy / period
+
+    def line_counter_power(self) -> float:
+        """Dynamic power of line-level retention counters/control, watts."""
+        return LINE_COUNTER_POWER_OVERHEAD * self.ideal_mean_dynamic_power
+
+    def event_dynamic_power(
+        self,
+        cycles: float,
+        port_accesses: float,
+        line_refreshes: float = 0.0,
+        extra_l2_accesses: float = 0.0,
+        include_line_counters: bool = False,
+    ) -> float:
+        """Dynamic power from event counts of a simulation window, watts.
+
+        ``cycles`` is the window length in clock cycles; the event counts
+        are totals over the window.
+        """
+        if cycles <= 0:
+            raise ConfigurationError(f"cycles must be positive, got {cycles}")
+        window = cycles / self.node.frequency
+        energy = (
+            port_accesses * self.port_access_energy
+            + line_refreshes * self.refresh_line_energy
+            + extra_l2_accesses * self.l2_access_energy
+        )
+        power = energy / window
+        if include_line_counters:
+            power += self.line_counter_power()
+        return power

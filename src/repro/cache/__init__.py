@@ -1,0 +1,61 @@
+"""Retention-aware L1 data-cache simulator.
+
+This package implements the paper's cache architectures as an event-driven
+(trace-driven) simulator:
+
+* the baseline set-associative write-back cache (64KB, 4-way, 512-bit
+  lines, 2 read + 1 write port, 3-cycle latency);
+* per-line retention tracking with quantised line counters (section 4.3.1);
+* the refresh policy spectrum: no-refresh, partial-refresh, full-refresh,
+  and the section 4.1 global refresh scheme;
+* the placement policies: conventional LRU, Dead-Sensitive Placement
+  (DSP), Retention-Sensitive Placement FIFO and LRU (RSP-FIFO, RSP-LRU)
+  with their intrinsic refresh through line moves.
+
+The simulator reports the event counts (misses by cause, refreshes, line
+moves, write-backs, blocked port cycles) that the performance and power
+models in :mod:`repro.core` convert into the paper's metrics.
+"""
+
+from repro.cache.config import CacheConfig
+from repro.cache.stats import AccessOutcome, CacheStats
+from repro.cache.counters import LineCounterConfig, quantize_retention
+from repro.cache.replacement import (
+    DSPPolicy,
+    LRUPolicy,
+    RSPFIFOPolicy,
+    RSPLRUPolicy,
+    make_replacement_policy,
+)
+from repro.cache.refresh import (
+    FullRefresh,
+    GlobalRefresh,
+    NoRefresh,
+    PartialRefresh,
+    make_refresh_policy,
+)
+from repro.cache.l2 import L2Model, WriteBuffer
+from repro.cache.token import TokenRefreshEngine
+from repro.cache.controller import RetentionAwareCache
+
+__all__ = [
+    "CacheConfig",
+    "AccessOutcome",
+    "CacheStats",
+    "LineCounterConfig",
+    "quantize_retention",
+    "LRUPolicy",
+    "DSPPolicy",
+    "RSPFIFOPolicy",
+    "RSPLRUPolicy",
+    "make_replacement_policy",
+    "NoRefresh",
+    "PartialRefresh",
+    "FullRefresh",
+    "GlobalRefresh",
+    "make_refresh_policy",
+    "L2Model",
+    "WriteBuffer",
+    "TokenRefreshEngine",
+    "RetentionAwareCache",
+]

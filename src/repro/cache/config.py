@@ -1,0 +1,96 @@
+"""Cache simulator configuration.
+
+Binds the physical :class:`~repro.array.geometry.CacheGeometry` to the
+timing parameters the simulator needs and the retention-scheme knobs from
+the paper:
+
+* ``partial_refresh_threshold_cycles`` -- the partial-refresh scheme's
+  lifetime guarantee; the paper uses a 6K-cycle threshold (section 4.3.3);
+* ``counter_bits`` -- per-line retention counters are 3 bits wide
+  (section 4.3.1);
+* L2 latency / write-buffer depth for the backing store model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.array.geometry import CacheGeometry
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """All knobs of one retention-aware cache instance."""
+
+    geometry: CacheGeometry = field(default_factory=CacheGeometry)
+    hit_latency_cycles: int = 3
+    l2_latency_cycles: int = 12
+    memory_latency_cycles: int = 250
+    l2_miss_rate: float = 0.05
+    counter_bits: int = 3
+    partial_refresh_threshold_cycles: int = 6000
+    write_buffer_entries: int = 8
+    l2_write_interval_cycles: int = 4
+    write_back: bool = True
+    """True for the paper's write-back cache; False models a write-through,
+    no-write-allocate cache, for which expiring dirty data needs no action
+    (section 4.3.1)."""
+    real_l2: bool = False
+    """When True the simulator instantiates the Table 2 L2 (2MB, 4-way,
+    LRU, write-back) and measures its miss rate from the trace instead of
+    using the per-benchmark statistical ``l2_miss_rate``."""
+    l2_capacity_bytes: int = 2 * 1024 * 1024
+    l2_ways: int = 4
+
+    def __post_init__(self) -> None:
+        if self.hit_latency_cycles < 1:
+            raise ConfigurationError("hit_latency_cycles must be >= 1")
+        if self.l2_latency_cycles <= self.hit_latency_cycles:
+            raise ConfigurationError(
+                "L2 latency must exceed the L1 hit latency"
+            )
+        if self.memory_latency_cycles <= self.l2_latency_cycles:
+            raise ConfigurationError(
+                "memory latency must exceed the L2 latency"
+            )
+        if not 0.0 <= self.l2_miss_rate <= 1.0:
+            raise ConfigurationError("l2_miss_rate must be in [0, 1]")
+        if self.counter_bits < 1:
+            raise ConfigurationError("counter_bits must be >= 1")
+        if self.partial_refresh_threshold_cycles < 1:
+            raise ConfigurationError(
+                "partial_refresh_threshold_cycles must be >= 1"
+            )
+        if self.write_buffer_entries < 1:
+            raise ConfigurationError("write_buffer_entries must be >= 1")
+        if self.l2_write_interval_cycles < 1:
+            raise ConfigurationError("l2_write_interval_cycles must be >= 1")
+        if self.l2_capacity_bytes <= 0 or self.l2_ways < 1:
+            raise ConfigurationError("L2 capacity and ways must be positive")
+
+    @property
+    def miss_latency_cycles(self) -> float:
+        """Average L1-miss service latency, cycles (L2 hit/miss weighted)."""
+        return (
+            (1.0 - self.l2_miss_rate) * self.l2_latency_cycles
+            + self.l2_miss_rate * self.memory_latency_cycles
+        )
+
+    def with_ways(self, ways: int) -> "CacheConfig":
+        """Same configuration at a different associativity (Figure 11)."""
+        return CacheConfig(
+            geometry=self.geometry.with_ways(ways),
+            hit_latency_cycles=self.hit_latency_cycles,
+            l2_latency_cycles=self.l2_latency_cycles,
+            memory_latency_cycles=self.memory_latency_cycles,
+            l2_miss_rate=self.l2_miss_rate,
+            counter_bits=self.counter_bits,
+            partial_refresh_threshold_cycles=self.partial_refresh_threshold_cycles,
+            write_buffer_entries=self.write_buffer_entries,
+            l2_write_interval_cycles=self.l2_write_interval_cycles,
+            write_back=self.write_back,
+            real_l2=self.real_l2,
+            l2_capacity_bytes=self.l2_capacity_bytes,
+            l2_ways=self.l2_ways,
+        )

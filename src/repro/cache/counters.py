@@ -1,0 +1,92 @@
+"""Per-line retention counters (paper section 4.3.1).
+
+Every line-level scheme tags each line with its (post-fabrication-test)
+retention time, held in a small counter.  All counters tick on a shared
+global clock running at 1/N of the chip frequency, so the counter
+resolution is N cycles and a ``b``-bit counter can represent at most
+``(2**b - 1) * N`` cycles.
+
+Two consequences the paper calls out, both reproduced here:
+
+* retention is *quantised down* to a multiple of N (the stored count must
+  be conservative -- never longer than the real retention);
+* a line whose retention is below one counter step N **counts as dead**,
+  even if its raw retention is positive.
+
+``N`` is set per chip: "larger retention time requires larger N so that
+for the counter with the same number of bits, it can count more".  The
+default picks the smallest N that lets the counter span the chip's
+longest line retention.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class LineCounterConfig:
+    """Resolution of the per-line retention counters for one chip."""
+
+    bits: int = 3
+    step_cycles: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ConfigurationError(f"bits must be >= 1, got {self.bits}")
+        if self.step_cycles < 1:
+            raise ConfigurationError(
+                f"step_cycles must be >= 1, got {self.step_cycles}"
+            )
+
+    @property
+    def max_count(self) -> int:
+        """Largest representable count."""
+        return 2 ** self.bits - 1
+
+    @property
+    def max_cycles(self) -> int:
+        """Largest representable retention in cycles."""
+        return self.max_count * self.step_cycles
+
+    @classmethod
+    def for_chip(
+        cls, max_line_retention_cycles: float, bits: int = 3
+    ) -> "LineCounterConfig":
+        """Smallest step N that spans the chip's longest line retention.
+
+        A chip with no usable lines at all still gets a 1-cycle step so the
+        configuration stays valid (everything is dead anyway).
+        """
+        max_count = 2 ** bits - 1
+        step = max(1, math.ceil(max_line_retention_cycles / max_count))
+        return cls(bits=bits, step_cycles=step)
+
+
+def quantize_retention(
+    retention_cycles: ArrayLike, counter: LineCounterConfig
+) -> ArrayLike:
+    """Retention as the line counter sees it: floored to counter steps.
+
+    Values below one step quantise to zero -- the line is dead to the
+    architecture.  Values beyond the counter range clamp to the maximum
+    representable count (the counter simply cannot promise more).
+    """
+    values = np.asarray(retention_cycles, dtype=float)
+    if np.any(values < 0):
+        raise ConfigurationError("retention_cycles must be >= 0")
+    steps = np.minimum(
+        np.floor(values / counter.step_cycles), counter.max_count
+    )
+    result = steps * counter.step_cycles
+    if np.isscalar(retention_cycles) or np.ndim(retention_cycles) == 0:
+        return int(result)
+    return result.astype(np.int64)

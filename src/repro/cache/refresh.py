@@ -1,0 +1,203 @@
+"""Refresh policies (paper sections 4.1 and 4.3.1).
+
+A refresh policy answers two questions about a line with hardware
+retention ``r`` cycles:
+
+* ``effective_lifetime(r)`` -- how long after a fill the data stays
+  usable (possibly ``inf`` if the policy keeps refreshing it);
+* ``refresh_count(age, r)`` -- how many refresh operations the policy
+  spent on the line while it lived ``age`` cycles.
+
+The four policies:
+
+* :class:`NoRefresh` -- lines simply expire after ``r``; hardware evicts
+  them at expiry (dirty data is written back to the L2).
+* :class:`PartialRefresh` -- lines with ``r`` below the threshold are
+  refreshed until their age passes the threshold, guaranteeing every line
+  a lifetime of at least the threshold; longer-retention lines are left
+  alone.  The paper uses a 6K-cycle threshold.
+* :class:`FullRefresh` -- every line is refreshed forever while valid.
+* :class:`GlobalRefresh` -- the section 4.1 scheme: a single global
+  counter refreshes the whole cache every chip-retention period.  Only
+  usable on chips with no dead lines; the refresh pass blocks one read
+  and one write port while it runs.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ChipDiscardedError, ConfigurationError
+
+
+class RefreshPolicy(ABC):
+    """Common interface of the line-level refresh policies."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def effective_lifetime(self, retention_cycles: int) -> float:
+        """Usable data lifetime after a fill, in cycles (may be ``inf``)."""
+
+    @abstractmethod
+    def refresh_count(self, age_cycles: int, retention_cycles: int) -> int:
+        """Refreshes spent on a line that stayed valid for ``age_cycles``."""
+
+    @staticmethod
+    def _check_args(age_cycles: int, retention_cycles: int) -> None:
+        if age_cycles < 0:
+            raise ConfigurationError("age_cycles must be >= 0")
+        if retention_cycles < 0:
+            raise ConfigurationError("retention_cycles must be >= 0")
+
+
+@dataclass(frozen=True)
+class NoRefresh(RefreshPolicy):
+    """Never refresh; rely on eviction (and L2 inclusion) instead."""
+
+    name: str = "no-refresh"
+
+    def effective_lifetime(self, retention_cycles: int) -> float:
+        """Data lives exactly one retention period."""
+        return float(retention_cycles)
+
+    def refresh_count(self, age_cycles: int, retention_cycles: int) -> int:
+        """Always zero: nothing is ever refreshed."""
+        self._check_args(age_cycles, retention_cycles)
+        return 0
+
+
+@dataclass(frozen=True)
+class PartialRefresh(RefreshPolicy):
+    """Refresh only lines whose retention is below ``threshold_cycles``.
+
+    A short-retention line is refreshed every ``r`` cycles until its age
+    passes the threshold, after which it expires naturally; its effective
+    lifetime is therefore ``ceil(threshold / r) * r``.  Lines at or above
+    the threshold are never refreshed.
+    """
+
+    threshold_cycles: int = 6000
+    name: str = "partial-refresh"
+
+    def __post_init__(self) -> None:
+        if self.threshold_cycles < 1:
+            raise ConfigurationError("threshold_cycles must be >= 1")
+
+    def effective_lifetime(self, retention_cycles: int) -> float:
+        """Guaranteed lifetime: the first retention multiple past the
+        threshold for short lines, the natural retention otherwise."""
+        if retention_cycles <= 0:
+            return 0.0
+        if retention_cycles >= self.threshold_cycles:
+            return float(retention_cycles)
+        passes = math.ceil(self.threshold_cycles / retention_cycles)
+        return float(passes * retention_cycles)
+
+    def max_refreshes(self, retention_cycles: int) -> int:
+        """Refreshes a short line receives before it is allowed to expire."""
+        if retention_cycles <= 0 or retention_cycles >= self.threshold_cycles:
+            return 0
+        return math.ceil(self.threshold_cycles / retention_cycles) - 1
+
+    def refresh_count(self, age_cycles: int, retention_cycles: int) -> int:
+        """Refreshes performed so far, capped at the threshold guarantee."""
+        self._check_args(age_cycles, retention_cycles)
+        if retention_cycles <= 0:
+            return 0
+        performed = age_cycles // retention_cycles
+        return min(performed, self.max_refreshes(retention_cycles))
+
+
+@dataclass(frozen=True)
+class FullRefresh(RefreshPolicy):
+    """Refresh every line before its retention expires, forever."""
+
+    name: str = "full-refresh"
+
+    def effective_lifetime(self, retention_cycles: int) -> float:
+        """Unbounded for any live line (dead lines stay dead)."""
+        if retention_cycles <= 0:
+            return 0.0
+        return math.inf
+
+    def refresh_count(self, age_cycles: int, retention_cycles: int) -> int:
+        """One refresh per elapsed retention period while the line lived."""
+        self._check_args(age_cycles, retention_cycles)
+        if retention_cycles <= 0:
+            return 0
+        return age_cycles // retention_cycles
+
+
+@dataclass(frozen=True)
+class GlobalRefresh(RefreshPolicy):
+    """Section 4.1: one global counter refreshes the whole cache.
+
+    ``chip_retention_cycles`` is the worst line's retention; a refresh
+    pass over the cache takes ``pass_cycles`` (2K cycles for the paper's
+    geometry).  A chip whose retention cannot even cover one pass loses
+    data during the pass: construction raises
+    :class:`~repro.errors.ChipDiscardedError`, matching the paper's chip
+    discard rule.
+    """
+
+    chip_retention_cycles: int = 0
+    pass_cycles: int = 2048
+    name: str = "global-refresh"
+
+    def __post_init__(self) -> None:
+        if self.pass_cycles < 1:
+            raise ConfigurationError("pass_cycles must be >= 1")
+        if self.chip_retention_cycles < self.pass_cycles:
+            raise ChipDiscardedError(
+                f"chip retention ({self.chip_retention_cycles} cycles) is "
+                f"shorter than one refresh pass ({self.pass_cycles} cycles); "
+                "the global scheme cannot keep the data alive"
+            )
+
+    def effective_lifetime(self, retention_cycles: int) -> float:
+        """Unbounded: every line is rewritten each global pass."""
+        return math.inf
+
+    def refresh_count(self, age_cycles: int, retention_cycles: int) -> int:
+        """Zero per line: global refresh is charged per pass over the
+        whole cache from the window length (see the controller)."""
+        self._check_args(age_cycles, retention_cycles)
+        return 0
+
+    @property
+    def duty(self) -> float:
+        """Fraction of time the refresh pass occupies the blocked ports."""
+        return self.pass_cycles / self.chip_retention_cycles
+
+    def passes_in_window(self, window_cycles: int) -> int:
+        """Complete refresh passes issued during ``window_cycles``."""
+        if window_cycles < 0:
+            raise ConfigurationError("window_cycles must be >= 0")
+        return window_cycles // self.chip_retention_cycles
+
+
+def make_refresh_policy(
+    name: str,
+    partial_threshold_cycles: int = 6000,
+    chip_retention_cycles: int = 0,
+    pass_cycles: int = 2048,
+) -> RefreshPolicy:
+    """Factory by paper-style policy name."""
+    key = name.lower().replace("_", "-")
+    if key == "no-refresh":
+        return NoRefresh()
+    if key == "partial-refresh":
+        return PartialRefresh(threshold_cycles=partial_threshold_cycles)
+    if key == "full-refresh":
+        return FullRefresh()
+    if key == "global-refresh":
+        return GlobalRefresh(
+            chip_retention_cycles=chip_retention_cycles, pass_cycles=pass_cycles
+        )
+    raise ConfigurationError(
+        f"unknown refresh policy {name!r}; expected one of "
+        "'no-refresh', 'partial-refresh', 'full-refresh', 'global-refresh'"
+    )

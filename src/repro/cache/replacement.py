@@ -1,0 +1,176 @@
+"""Placement / replacement policies (paper section 4.3.2).
+
+Four policies, from the paper:
+
+* **LRU** -- the conventional policy.  It is *unaware* of retention: dead
+  ways look permanently free (their data expires instantly), so LRU keeps
+  filling them and every reuse misses -- the failure mode Figure 9 shows
+  for the bad chip.
+* **DSP** (Dead-Sensitive Placement) -- LRU over the live ways only; dead
+  ways are never used.  If every way of a set is dead the access bypasses
+  the L1 entirely.
+* **RSP-FIFO** (Retention-Sensitive Placement) -- ways of a set are
+  logically ordered by descending retention; a new block always enters
+  the longest-retention way and pushes the existing blocks one step down
+  the order (each push physically rewrites the block into its new line,
+  which *intrinsically refreshes* it).  The block in the last live way is
+  evicted.
+* **RSP-LRU** -- like RSP-FIFO, but every *access* also promotes the
+  touched block back to the longest-retention way, shuffling the blocks
+  in between one step down.
+
+The policies operate on the controller's per-set state and call back into
+the controller to evict and move lines, so all bookkeeping (write-backs,
+refresh-on-move, port blocking) stays in one place.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.controller import RetentionAwareCache, SetState
+
+
+class ReplacementPolicy(ABC):
+    """Common interface: pick/prepare a way for an incoming block."""
+
+    name: str = "abstract"
+    uses_retention_info: bool = False
+
+    @abstractmethod
+    def make_room(
+        self, cache: "RetentionAwareCache", set_state: "SetState", cycle: int
+    ) -> Optional[int]:
+        """Free and return the way the new block should be written to.
+
+        Any eviction or block movement needed happens here (through the
+        controller's helpers).  Returns ``None`` when the set has no usable
+        way at all and the access must bypass the L1.
+        """
+
+    def on_hit(
+        self, cache: "RetentionAwareCache", set_state: "SetState", way: int,
+        cycle: int,
+    ) -> None:
+        """Hook invoked on every hit (after recency bookkeeping)."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Conventional least-recently-used replacement, retention-blind."""
+
+    name = "LRU"
+
+    def make_room(self, cache, set_state, cycle):
+        """Pick the LRU way, retention-blind.
+
+        Invalid ways first (a just-expired or never-filled way looks
+        free), then the least recently used way -- dead or not."""
+        way = set_state.invalid_way()
+        if way is None:
+            way = set_state.lru_way(candidates=range(set_state.n_ways))
+            cache.evict_line(set_state, way, cycle)
+        return way
+
+
+class DSPPolicy(ReplacementPolicy):
+    """Dead-Sensitive Placement: conventional LRU over live ways only."""
+
+    name = "DSP"
+    uses_retention_info = True
+
+    def make_room(self, cache, set_state, cycle):
+        """LRU over the live ways only; ``None`` when every way is dead."""
+        live = set_state.live_ways
+        if not live:
+            return None  # every way dead: bypass the L1 (paper 4.3.2)
+        way = set_state.invalid_way(candidates=live)
+        if way is None:
+            way = set_state.lru_way(candidates=live)
+            cache.evict_line(set_state, way, cycle)
+        return way
+
+
+class RSPFIFOPolicy(ReplacementPolicy):
+    """Retention-Sensitive Placement, FIFO flavour.
+
+    New blocks enter the longest-retention live way; resident blocks shift
+    one step down the retention order (an intrinsic refresh); the block in
+    the last live way falls out.
+    """
+
+    name = "RSP-FIFO"
+    uses_retention_info = True
+
+    def make_room(self, cache, set_state, cycle):
+        """Shift resident blocks down the retention order and hand back
+        the longest-retention way for the incoming block."""
+        order = set_state.retention_order  # live ways, longest first
+        if not order:
+            return None
+        # Shift the resident chain down, starting from the tail.  Stop the
+        # chain at the first invalid slot -- nothing below it needs to move.
+        depth = len(order) - 1
+        for position in range(depth, -1, -1):
+            if not set_state.valid[order[position]]:
+                depth = position
+                break
+        else:
+            # Chain is full: the block in the last live way is evicted.
+            cache.evict_line(set_state, order[-1], cycle)
+            depth = len(order) - 1
+        for position in range(depth, 0, -1):
+            src, dst = order[position - 1], order[position]
+            if set_state.valid[src]:
+                cache.move_line(set_state, src, dst, cycle)
+        return order[0]
+
+
+class RSPLRUPolicy(RSPFIFOPolicy):
+    """Retention-Sensitive Placement, LRU flavour.
+
+    Fill behaviour matches RSP-FIFO, but every hit also promotes the
+    accessed block back into the longest-retention way, pushing the blocks
+    above it one step down (more shuffling, more intrinsic refresh).
+    """
+
+    name = "RSP-LRU"
+    uses_retention_info = True
+
+    def on_hit(self, cache, set_state, way, cycle):
+        """Promote the accessed block to the longest-retention way."""
+        order = set_state.retention_order
+        if not order or way == order[0]:
+            return
+        try:
+            position = order.index(way)
+        except ValueError:
+            # The hit way is dead (possible only under a retention-blind
+            # fill, which RSP never performs) -- nothing to promote.
+            return
+        # Promote: the accessed block's payload moves to order[0]; blocks
+        # in between shift one step toward shorter retention.
+        cache.promote_line(set_state, order, position, cycle)
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "dsp": DSPPolicy,
+    "rsp-fifo": RSPFIFOPolicy,
+    "rsp-lru": RSPLRUPolicy,
+}
+
+
+def make_replacement_policy(name: str) -> ReplacementPolicy:
+    """Factory by paper-style policy name (case-insensitive)."""
+    key = name.lower().replace("_", "-")
+    try:
+        return _POLICIES[key]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown replacement policy {name!r}; expected one of "
+            f"{sorted(_POLICIES)}"
+        ) from None

@@ -1,0 +1,121 @@
+"""Generic set-associative cache simulator (used for the L2).
+
+The retention machinery lives in
+:class:`~repro.cache.controller.RetentionAwareCache`; this class is the
+plain building block behind it for levels that do not need retention
+tracking -- by default configured as the paper's Table 2 L2: 2MB, 4-way,
+write-back, LRU, with the same 64-byte lines as the L1 so line addresses
+pass through unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SetAssociativeCache:
+    """An LRU, write-back set-associative cache over line addresses."""
+
+    capacity_bytes: int = 2 * 1024 * 1024
+    line_bytes: int = 64
+    ways: int = 4
+    assume_warm: bool = True
+    """Treat the first-ever touch of a line as a hit (install it), modeling
+    a window cut from steady-state execution whose working set was already
+    L2-resident.  Only lines evicted *within* the window and re-touched
+    count as misses.  Set False for a cold L2."""
+    accesses: int = field(init=False, default=0)
+    hits: int = field(init=False, default=0)
+    writebacks: int = field(init=False, default=0)
+    _sets: List["OrderedDict[int, bool]"] = field(init=False, repr=False)
+    _ever_seen: set = field(init=False, repr=False, default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0:
+            raise ConfigurationError("capacity and line size must be positive")
+        if self.ways < 1:
+            raise ConfigurationError("ways must be >= 1")
+        total_lines = self.capacity_bytes // self.line_bytes
+        if total_lines % self.ways != 0:
+            raise ConfigurationError(
+                f"{total_lines} lines do not divide into {self.ways} ways"
+            )
+        self._sets = [OrderedDict() for _ in range(total_lines // self.ways)]
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return len(self._sets)
+
+    @property
+    def n_lines(self) -> int:
+        """Total line capacity."""
+        return self.n_sets * self.ways
+
+    @property
+    def misses(self) -> int:
+        """Demand misses so far."""
+        return self.accesses - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        """Demand miss rate; zero on an empty window."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def access(self, line_address: int, is_write: bool = False) -> bool:
+        """Look up (and on miss, allocate) ``line_address``; returns *hit*.
+
+        ``is_write`` marks the resident line dirty (an eviction of a dirty
+        line counts a write-back to the next level).
+        """
+        self.accesses += 1
+        entries = self._sets[line_address % self.n_sets]
+        tag = line_address // self.n_sets
+        if tag in entries:
+            self.hits += 1
+            entries[tag] = entries[tag] or is_write
+            entries.move_to_end(tag)
+            return True
+        first_touch = line_address not in self._ever_seen
+        self._ever_seen.add(line_address)
+        if len(entries) >= self.ways:
+            _, victim_dirty = entries.popitem(last=False)
+            if victim_dirty:
+                self.writebacks += 1
+        entries[tag] = is_write
+        if self.assume_warm and first_touch:
+            self.hits += 1
+            return True
+        return False
+
+    def fill_dirty(self, line_address: int) -> None:
+        """Install/refresh a line as dirty (an L1 write-back arriving).
+
+        Not a demand access: the hit/miss counters are untouched, but an
+        eviction forced by the fill still counts its write-back.
+        """
+        entries = self._sets[line_address % self.n_sets]
+        tag = line_address // self.n_sets
+        self._ever_seen.add(line_address)
+        if tag in entries:
+            entries[tag] = True
+            entries.move_to_end(tag)
+            return
+        if len(entries) >= self.ways:
+            _, victim_dirty = entries.popitem(last=False)
+            if victim_dirty:
+                self.writebacks += 1
+        entries[tag] = True
+
+    def reset_stats(self) -> None:
+        """Zero the counters, keeping cache contents."""
+        self.accesses = 0
+        self.hits = 0
+        self.writebacks = 0

@@ -1,0 +1,24 @@
+"""Memory-cell circuit models.
+
+* :mod:`repro.cells.sram6t` -- the 6T SRAM cell (actually the paper's
+  2-read/1-write 8-transistor variant, called "6T" throughout the paper):
+  access-time variation, read-stability bit flips, and leakage.
+* :mod:`repro.cells.dram3t1d` -- the 3T1D dynamic cell: degraded stored
+  level, gated-diode boost, and leakage.
+* :mod:`repro.cells.retention` -- the retention-time solver that converts
+  device variation into the single lumped parameter the paper's
+  architecture schemes consume (Figure 4).
+"""
+
+from repro.cells.sram6t import SRAM6TCell
+from repro.cells.dram3t1d import DRAM3T1DCell
+from repro.cells.retention import RetentionModel, AccessTimeCurve
+from repro.cells import thermal
+
+__all__ = [
+    "SRAM6TCell",
+    "DRAM3T1DCell",
+    "RetentionModel",
+    "AccessTimeCurve",
+    "thermal",
+]

@@ -1,0 +1,73 @@
+"""Temperature dependence of 3T1D retention.
+
+All circuit numbers in the paper are simulated at 80C (section 3.1), and
+retention times are set assuming "worst-case temperatures" (section
+4.3.1).  This module supplies the standard first-order link between the
+two: storage-node leakage is subthreshold-dominated and roughly doubles
+every ``DOUBLING_INTERVAL_C`` degrees, so retention halves at the same
+rate.  It feeds the BIST guard band and supports what-if studies of
+thermal margins.
+
+The scaling is deliberately kept *out* of the calibrated default models
+(everything else in the library is an 80C quantity, like the paper's);
+callers opt in through these helpers.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.errors import ConfigurationError
+
+DOUBLING_INTERVAL_C: float = 15.0
+"""Temperature step over which storage-node leakage doubles, Celsius.
+
+DRAM retention measurements commonly show halving every 10-20C; 15C is
+the middle of that band and consistent with the subthreshold slope of the
+calibrated storage leak at 80C."""
+
+
+def leakage_temperature_factor(
+    temperature_c: float,
+    reference_c: float = units.SIMULATION_TEMPERATURE_C,
+) -> float:
+    """Storage-node leakage multiplier at ``temperature_c`` vs reference."""
+    _check_temperature(temperature_c)
+    return 2.0 ** ((temperature_c - reference_c) / DOUBLING_INTERVAL_C)
+
+
+def retention_temperature_factor(
+    temperature_c: float,
+    reference_c: float = units.SIMULATION_TEMPERATURE_C,
+) -> float:
+    """Retention multiplier at ``temperature_c`` vs the 80C reference.
+
+    Retention is inversely proportional to the storage-node leakage, so a
+    hotter cell retains for less time.
+    """
+    return 1.0 / leakage_temperature_factor(temperature_c, reference_c)
+
+
+def guard_band_for(
+    max_operating_c: float,
+    test_c: float = units.SIMULATION_TEMPERATURE_C,
+) -> float:
+    """Retention derating a tester at ``test_c`` must apply so the stored
+    counter values stay safe up to ``max_operating_c``.
+
+    This is the physical justification for
+    :data:`repro.array.bist.TEMPERATURE_GUARD_BAND`: testing at 80C while
+    guaranteeing ~82C operation gives the default ~0.9 factor.
+    """
+    if max_operating_c < test_c:
+        raise ConfigurationError(
+            "the guard band covers operation *hotter* than the test; "
+            f"got max_operating_c={max_operating_c} < test_c={test_c}"
+        )
+    return retention_temperature_factor(max_operating_c, test_c)
+
+
+def _check_temperature(temperature_c: float) -> None:
+    if not -55.0 <= temperature_c <= 150.0:
+        raise ConfigurationError(
+            f"temperature {temperature_c}C outside the model's -55..150C range"
+        )

@@ -1,0 +1,80 @@
+"""The paper's contribution: process-variation-tolerant 3T1D cache
+architectures.
+
+This package assembles the substrates into the systems the paper
+evaluates:
+
+* :mod:`repro.core.schemes` -- the retention-scheme design space (global
+  refresh and the eight line-level refresh x placement combinations);
+* :mod:`repro.core.architecture` -- a sampled chip + a scheme = a cache
+  architecture instance that can build simulators;
+* :mod:`repro.core.evaluation` -- runs benchmarks against an architecture
+  and reports the paper's metrics (normalized performance, BIPS, dynamic
+  and leakage power);
+* :mod:`repro.core.yieldmodel` -- chip binning and discard statistics.
+"""
+
+from repro.core.schemes import (
+    RetentionScheme,
+    SCHEME_GLOBAL,
+    SCHEME_NO_REFRESH_LRU,
+    SCHEME_PARTIAL_LRU,
+    SCHEME_FULL_LRU,
+    SCHEME_NO_REFRESH_DSP,
+    SCHEME_PARTIAL_DSP,
+    SCHEME_FULL_DSP,
+    SCHEME_RSP_FIFO,
+    SCHEME_RSP_LRU,
+    LINE_LEVEL_SCHEMES,
+    HEADLINE_SCHEMES,
+    get_scheme,
+)
+from repro.core.architecture import (
+    Cache3T1DArchitecture,
+    Cache6TArchitecture,
+    IdealCacheArchitecture,
+)
+from repro.core.evaluation import (
+    BenchmarkResult,
+    ChipEvaluation,
+    Evaluator,
+)
+from repro.core.yieldmodel import YieldModel, YieldReport
+from repro.core.wordlevel import WordLevelComparison, compare_refresh_granularity
+from repro.core import redundancy
+from repro.core.analytic import AnalyticResult, evaluate_analytically
+from repro.core.variable_latency import (
+    VariableLatencyResult,
+    evaluate_variable_latency,
+)
+
+__all__ = [
+    "RetentionScheme",
+    "SCHEME_GLOBAL",
+    "SCHEME_NO_REFRESH_LRU",
+    "SCHEME_PARTIAL_LRU",
+    "SCHEME_FULL_LRU",
+    "SCHEME_NO_REFRESH_DSP",
+    "SCHEME_PARTIAL_DSP",
+    "SCHEME_FULL_DSP",
+    "SCHEME_RSP_FIFO",
+    "SCHEME_RSP_LRU",
+    "LINE_LEVEL_SCHEMES",
+    "HEADLINE_SCHEMES",
+    "get_scheme",
+    "Cache3T1DArchitecture",
+    "Cache6TArchitecture",
+    "IdealCacheArchitecture",
+    "BenchmarkResult",
+    "ChipEvaluation",
+    "Evaluator",
+    "YieldModel",
+    "YieldReport",
+    "WordLevelComparison",
+    "compare_refresh_granularity",
+    "redundancy",
+    "AnalyticResult",
+    "evaluate_analytically",
+    "VariableLatencyResult",
+    "evaluate_variable_latency",
+]

@@ -1,0 +1,219 @@
+"""Closed-form (simulation-free) scheme evaluation.
+
+The event-driven path (:class:`~repro.core.evaluation.Evaluator`) is the
+authority; this module predicts the same normalized performance from
+first principles, in microseconds instead of seconds per (chip, scheme,
+benchmark) point:
+
+* the benchmark's reuse-distance CDF F(d) (the Figure 1 mixture) says how
+  many references arrive at each age of a line;
+* a line with effective lifetime L turns references of age > L into
+  *expiry misses* -- unless the baseline cache would have evicted the line
+  by then anyway (age > the LRU eviction horizon A);
+* dead ways shrink a set's associativity, scaling the horizon and adding
+  conflict misses; fully-dead sets bypass to the L2;
+* the per-scheme effective lifetime is the refresh policy's
+  (:meth:`~repro.cache.refresh.RefreshPolicy.effective_lifetime`), and the
+  RSP placements see the *longest* ways preferentially.
+
+The closed form deliberately mirrors the analytic CPI model's inputs so
+the output plugs straight into
+:class:`~repro.cpu.perfmodel.AnalyticCPUModel`.  Cross-validation against
+the event simulator lives in
+``tests/integration/test_analytic_vs_event.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.cache.counters import LineCounterConfig, quantize_retention
+from repro.cache.refresh import make_refresh_policy
+from repro.cpu.perfmodel import AnalyticCPUModel, REPLAY_FLUSH_PENALTY_CYCLES
+from repro.workloads.profiles import BenchmarkProfile
+from repro.core.architecture import Cache3T1DArchitecture
+
+
+@dataclass(frozen=True)
+class AnalyticResult:
+    """Closed-form estimate for one (architecture, benchmark) pair."""
+
+    benchmark: str
+    scheme: str
+    normalized_performance: float
+    expiry_miss_fraction: float
+    """Predicted expiry/dead misses per demand reference."""
+    dead_way_fraction: float
+    eviction_horizon_cycles: float
+
+
+def eviction_horizon_cycles(
+    profile: BenchmarkProfile, live_ways: float, n_sets: int
+) -> float:
+    """Expected age at which the baseline LRU evicts an untouched line.
+
+    Fills arrive at each set at roughly miss_rate * traffic / n_sets per
+    cycle; an untouched line falls out after ``live_ways`` further fills.
+    """
+    if live_ways <= 0:
+        return 0.0
+    # Fills come from compulsory misses plus the L2-tier reuses, which
+    # nearly always miss the L1 and refill their lines.
+    base_miss_rate = 1.0 / profile.accesses_per_line + profile.p_l2
+    fills_per_cycle = (
+        base_miss_rate * profile.cache_traffic_per_cycle / n_sets
+    )
+    if fills_per_cycle <= 0:
+        return math.inf
+    return live_ways / fills_per_cycle
+
+
+REUSE_CLUSTERING_DISCOUNT: float = 0.4
+"""Fraction of would-be-expired references that actually miss.
+
+An expiry miss refills the line, so later references clustered behind the
+first one hit again; counting every reference older than the lifetime
+over-charges.  Fitted against the event simulator (see
+``tests/integration/test_analytic_vs_event.py``), which remains the
+authority."""
+
+
+def expiry_fraction_for_lifetime(
+    profile: BenchmarkProfile, lifetime_cycles: float, horizon_cycles: float
+) -> float:
+    """References that expire: older than the lifetime but young enough
+    that the baseline would still have held them, discounted for the
+    post-refill clustering effect."""
+    if lifetime_cycles >= horizon_cycles:
+        return 0.0
+    raw = max(
+        0.0,
+        profile.reuse_cdf(horizon_cycles)
+        - profile.reuse_cdf(lifetime_cycles),
+    )
+    return REUSE_CLUSTERING_DISCOUNT * raw
+
+
+def evaluate_analytically(
+    architecture: Cache3T1DArchitecture,
+    profile: BenchmarkProfile,
+    counter: Optional[LineCounterConfig] = None,
+    window_cycles: float = math.inf,
+) -> AnalyticResult:
+    """Predict normalized performance without running a trace.
+
+    Supports the line-level schemes; the global scheme's closed form
+    already exists as
+    :meth:`~repro.cpu.perfmodel.AnalyticCPUModel.estimate_global_refresh`.
+
+    ``window_cycles`` caps the reuse distances considered -- pass the
+    measurement-window length when comparing against a finite trace
+    (reuses longer than the window cannot occur in it); the default
+    (infinite) models steady-state execution.
+    """
+    if window_cycles <= 0:
+        raise ConfigurationError("window_cycles must be positive")
+    scheme = architecture.scheme
+    if scheme.is_global:
+        raise ConfigurationError(
+            "use AnalyticCPUModel.estimate_global_refresh for the global "
+            "scheme"
+        )
+    config = architecture.config
+    geometry = config.geometry
+    counter = counter or architecture.counter
+    retention = np.asarray(
+        quantize_retention(architecture.retention_cycles_raw, counter),
+        dtype=float,
+    ).reshape(geometry.n_sets, geometry.ways)
+
+    refresh = make_refresh_policy(
+        scheme.refresh,
+        partial_threshold_cycles=config.partial_refresh_threshold_cycles,
+    )
+    lifetimes = np.vectorize(refresh.effective_lifetime)(retention)
+
+    dead = retention <= 0
+    live_per_set = geometry.ways - dead.sum(axis=1)
+    dead_fraction = float(dead.mean())
+    mean_live = float(live_per_set.mean())
+    horizon = min(
+        eviction_horizon_cycles(profile, mean_live, geometry.n_sets),
+        window_cycles,
+    )
+
+    # Which lines actually hold data?  Retention-aware placements use the
+    # live ways; with RSP the *longest-retention* ways carry the traffic
+    # (weight the best ways of each set).
+    if scheme.replacement.upper().startswith("RSP"):
+        sorted_life = np.sort(np.where(dead, 0.0, lifetimes), axis=1)[:, ::-1]
+        # Geometric usage weighting: the head of the retention order sees
+        # most fills (new blocks always enter there).
+        weights = np.array(
+            [0.5 ** k for k in range(geometry.ways)], dtype=float
+        )
+        weights /= weights.sum()
+        per_set = np.array(
+            [
+                sum(
+                    weights[k] * expiry_fraction_for_lifetime(
+                        profile, sorted_life[s, k], horizon
+                    )
+                    for k in range(geometry.ways)
+                    if sorted_life[s, k] > 0
+                )
+                for s in range(geometry.n_sets)
+            ]
+        )
+        usable = live_per_set > 0
+        expiry = float(np.where(usable, per_set, 0.0).mean())
+    elif scheme.replacement.upper() == "DSP":
+        masked = np.where(dead, np.nan, lifetimes)
+        per_line = np.vectorize(
+            lambda L: 0.0
+            if math.isnan(L)
+            else expiry_fraction_for_lifetime(profile, L, horizon)
+        )(masked)
+        counts = np.maximum(live_per_set, 1)
+        expiry = float(
+            (np.nansum(per_line, axis=1) / counts).mean()
+        )
+    else:
+        # Retention-blind LRU: every way (dead ones included) carries
+        # 1/ways of the blocks; dead ways expire every reuse.
+        per_line = np.vectorize(
+            lambda L: expiry_fraction_for_lifetime(profile, L, horizon)
+            if L > 0
+            else profile.reuse_cdf(horizon)
+        )(lifetimes)
+        expiry = float(per_line.mean())
+
+    # Fully-dead sets bypass: every reference to them misses.
+    fully_dead = float((live_per_set == 0).mean())
+    expiry = expiry * (1.0 - fully_dead) + fully_dead * profile.reuse_cdf(
+        horizon
+    )
+
+    model = AnalyticCPUModel(profile, config)
+    effective_latency = model.miss_latency_cycles() * (
+        1.0 - profile.miss_overlap
+    )
+    extra_mpi = expiry * profile.mem_refs_per_instr
+    cpi = (
+        model.baseline_cpi
+        + extra_mpi * effective_latency
+        + extra_mpi * REPLAY_FLUSH_PENALTY_CYCLES
+    )
+    return AnalyticResult(
+        benchmark=profile.name,
+        scheme=scheme.name,
+        normalized_performance=(1.0 / cpi) / profile.base_ipc,
+        expiry_miss_fraction=expiry,
+        dead_way_fraction=dead_fraction,
+        eviction_horizon_cycles=horizon,
+    )

@@ -1,0 +1,194 @@
+"""Cache architecture assembly: a sampled chip + a retention scheme.
+
+An *architecture* binds a fabricated-chip sample to a scheme and knows how
+to construct fresh cache simulator instances for it:
+
+* :class:`Cache3T1DArchitecture` -- the paper's proposal; retention times
+  come from the chip sample (quantised by the line counters) and the
+  scheme picks refresh + placement.
+* :class:`Cache6TArchitecture` -- the 6T baseline under variation: an
+  ideal (never-expiring) cache whose *chip frequency* is degraded by the
+  slowest cell.
+* :class:`IdealCacheArchitecture` -- the golden no-variation 6T design,
+  the normalisation reference for every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ChipDiscardedError, ConfigurationError
+from repro.technology.node import TechnologyNode
+from repro.array.chip import DRAM3T1DChipSample, SRAMChipSample
+from repro.array.power import CachePowerModel
+from repro.cache.config import CacheConfig
+from repro.cache.controller import RetentionAwareCache
+from repro.cache.counters import LineCounterConfig
+from repro.cache.refresh import GlobalRefresh, make_refresh_policy
+from repro.core.schemes import RetentionScheme
+
+
+@dataclass
+class Cache3T1DArchitecture:
+    """A 3T1D cache built on one sampled chip, run under one scheme."""
+
+    chip: DRAM3T1DChipSample
+    scheme: RetentionScheme
+    config: CacheConfig = field(default_factory=CacheConfig)
+    counter: Optional[LineCounterConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.config.geometry.n_lines != self.chip.geometry.n_lines:
+            raise ConfigurationError(
+                "cache config and chip sample disagree on line count"
+            )
+        if self.config.geometry.ways != self.chip.geometry.ways:
+            # Re-interpret the physical chip at the config's associativity
+            # (Figure 11 sweeps pass a modified config).
+            self.chip = self.chip.with_geometry(self.config.geometry)
+        if self.counter is None:
+            self.counter = LineCounterConfig.for_chip(
+                float(np.max(self.retention_cycles_raw)),
+                bits=self.config.counter_bits,
+            )
+
+    @property
+    def node(self) -> TechnologyNode:
+        """Technology node of the chip."""
+        return self.chip.node
+
+    @property
+    def frequency(self) -> float:
+        """3T1D chips always run at the nominal design frequency."""
+        return self.node.frequency
+
+    @property
+    def retention_cycles_raw(self) -> np.ndarray:
+        """Per-line retention in cycles at the chip frequency (unquantised)."""
+        return self.chip.retention_by_line * self.frequency
+
+    @property
+    def chip_retention_cycles(self) -> int:
+        """Worst-line retention in cycles (the global scheme's period)."""
+        return int(self.chip.chip_retention_time * self.frequency)
+
+    @property
+    def dead_line_threshold_cycles(self) -> int:
+        """Retention below one counter step counts as dead (section 4.3.1)."""
+        return self.counter.step_cycles
+
+    def dead_line_fraction(self) -> float:
+        """Fraction of lines the line counters see as dead."""
+        return float(
+            np.mean(self.retention_cycles_raw < self.dead_line_threshold_cycles)
+        )
+
+    def is_operable(self) -> bool:
+        """Can this chip run under its scheme at all?
+
+        The global scheme needs the worst line to survive one refresh pass;
+        line-level schemes always operate (dead lines are just capacity
+        loss).
+        """
+        if not self.scheme.is_global:
+            return True
+        return (
+            self.chip_retention_cycles
+            >= self.config.geometry.refresh_cycles_full_pass
+        )
+
+    def build_cache(self) -> RetentionAwareCache:
+        """Construct a fresh simulator instance for one benchmark run."""
+        if self.scheme.is_global:
+            if not self.is_operable():
+                raise ChipDiscardedError(
+                    f"chip {self.chip.chip_id} retention "
+                    f"({self.chip_retention_cycles} cycles) cannot cover a "
+                    "global refresh pass"
+                )
+            refresh = GlobalRefresh(
+                chip_retention_cycles=self.chip_retention_cycles,
+                pass_cycles=self.config.geometry.refresh_cycles_full_pass,
+            )
+            return RetentionAwareCache(
+                self.config,
+                retention_cycles=None,  # global refresh keeps all data alive
+                replacement=self.scheme.replacement,
+                refresh=refresh,
+            )
+        refresh = make_refresh_policy(
+            self.scheme.refresh,
+            partial_threshold_cycles=self.config.partial_refresh_threshold_cycles,
+        )
+        return RetentionAwareCache(
+            self.config,
+            retention_cycles=self.retention_cycles_raw,
+            replacement=self.scheme.replacement,
+            refresh=refresh,
+            counter=self.counter,
+        )
+
+    def power_model(self) -> CachePowerModel:
+        """Dynamic/leakage power bookkeeping for this architecture."""
+        return CachePowerModel(
+            self.node, cell_kind="3T1D", geometry=self.config.geometry
+        )
+
+
+@dataclass
+class Cache6TArchitecture:
+    """The 6T baseline under variation: full retention, degraded frequency."""
+
+    chip: SRAMChipSample
+    config: CacheConfig = field(default_factory=CacheConfig)
+
+    @property
+    def node(self) -> TechnologyNode:
+        """Technology node of the chip."""
+        return self.chip.node
+
+    @property
+    def frequency(self) -> float:
+        """Chip frequency set by the slowest cell."""
+        return self.chip.frequency
+
+    @property
+    def normalized_frequency(self) -> float:
+        """Frequency relative to the ideal design."""
+        return self.chip.normalized_frequency
+
+    def build_cache(self) -> RetentionAwareCache:
+        """An ideal (never-expiring) cache; only the clock differs."""
+        return RetentionAwareCache(self.config, retention_cycles=None)
+
+    def power_model(self) -> CachePowerModel:
+        """Power bookkeeping for the 6T array."""
+        return CachePowerModel(
+            self.node, cell_kind="6T", geometry=self.config.geometry
+        )
+
+
+@dataclass
+class IdealCacheArchitecture:
+    """The golden no-variation 6T design (normalisation reference)."""
+
+    node: TechnologyNode
+    config: CacheConfig = field(default_factory=CacheConfig)
+
+    @property
+    def frequency(self) -> float:
+        """Nominal Table 1 frequency."""
+        return self.node.frequency
+
+    def build_cache(self) -> RetentionAwareCache:
+        """An ideal cache at the nominal frequency."""
+        return RetentionAwareCache(self.config, retention_cycles=None)
+
+    def power_model(self) -> CachePowerModel:
+        """Power bookkeeping for the golden 6T array."""
+        return CachePowerModel(
+            self.node, cell_kind="6T", geometry=self.config.geometry
+        )

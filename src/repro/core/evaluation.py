@@ -1,0 +1,286 @@
+"""Benchmark evaluation of cache architectures.
+
+:class:`Evaluator` is the workhorse behind every figure: it generates (and
+caches) the synthetic benchmark traces, runs each architecture's cache
+simulator over them, converts the event counts to IPC with the analytic
+CPU model, and reports the paper's metrics:
+
+* **normalized performance** -- IPC x frequency relative to the ideal
+  (golden 6T) design on the same benchmark;
+* **BIPS** -- absolute billions of instructions per second;
+* **normalized dynamic power** -- measured dynamic power relative to the
+  ideal 6T design's dynamic power on the same trace (the Figure 6b /
+  Figure 10 y-axis).
+
+Single-number results are harmonic means over the 8 benchmarks, as in the
+paper (section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.technology import calibration
+from repro.technology.node import TechnologyNode
+from repro.variation.statistics import harmonic_mean
+from repro.cache.config import CacheConfig
+from repro.cache.stats import CacheStats
+from repro.cpu.perfmodel import AnalyticCPUModel, PerformanceEstimate
+from repro.workloads.generator import MemoryTrace, SyntheticWorkload
+from repro.workloads.profiles import benchmark_names, get_profile
+from repro.core.architecture import (
+    Cache3T1DArchitecture,
+    Cache6TArchitecture,
+    IdealCacheArchitecture,
+)
+
+Architecture = Union[
+    Cache3T1DArchitecture, Cache6TArchitecture, IdealCacheArchitecture
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """One (architecture, benchmark) evaluation."""
+
+    benchmark: str
+    scheme: str
+    normalized_performance: float
+    ipc: float
+    bips: float
+    dynamic_power_watts: float
+    dynamic_power_normalized: float
+    stats: Optional[CacheStats] = None
+    estimate: Optional[PerformanceEstimate] = None
+
+
+@dataclass(frozen=True)
+class ChipEvaluation:
+    """Aggregate over the benchmark suite for one architecture."""
+
+    scheme: str
+    results: Dict[str, BenchmarkResult]
+
+    @property
+    def normalized_performance(self) -> float:
+        """Harmonic mean of per-benchmark normalized performance."""
+        return harmonic_mean(
+            [r.normalized_performance for r in self.results.values()]
+        )
+
+    @property
+    def bips(self) -> float:
+        """Harmonic mean BIPS over the suite."""
+        return harmonic_mean([r.bips for r in self.results.values()])
+
+    @property
+    def dynamic_power_normalized(self) -> float:
+        """Mean normalized dynamic power over the suite."""
+        values = [r.dynamic_power_normalized for r in self.results.values()]
+        return sum(values) / len(values)
+
+    @property
+    def worst_benchmark(self) -> Tuple[str, float]:
+        """(name, normalized performance) of the worst-hit benchmark."""
+        name = min(
+            self.results, key=lambda n: self.results[n].normalized_performance
+        )
+        return name, self.results[name].normalized_performance
+
+
+class Evaluator:
+    """Runs benchmark suites against cache architectures.
+
+    Traces and the ideal-cache baseline runs are generated once per
+    evaluator and reused for every architecture, so comparing many chips
+    and schemes stays cheap and consistent (identical reference streams).
+    """
+
+    def __init__(
+        self,
+        node: TechnologyNode,
+        config: Optional[CacheConfig] = None,
+        n_references: int = 20000,
+        seed: int = 0,
+        benchmarks: Optional[Sequence[str]] = None,
+    ):
+        if n_references < 1:
+            raise ConfigurationError("n_references must be >= 1")
+        self.node = node
+        self.config = config or CacheConfig()
+        self.n_references = n_references
+        self.seed = seed
+        self.benchmarks = tuple(benchmarks or benchmark_names())
+        self._traces: Dict[str, MemoryTrace] = {}
+        self._baseline_stats: Dict[Tuple[str, int], CacheStats] = {}
+
+    # ------------------------------------------------------------------
+    # cached inputs
+    # ------------------------------------------------------------------
+
+    def trace(self, benchmark: str) -> MemoryTrace:
+        """The cached reference trace for ``benchmark``.
+
+        Every trace is prefixed with one reference to each physical line's
+        worth of distinct warmup addresses, so measurements start from a
+        full cache (see ``SyntheticWorkload.memory_trace``).
+        """
+        if benchmark not in self._traces:
+            workload = SyntheticWorkload(get_profile(benchmark), seed=self.seed)
+            self._traces[benchmark] = workload.memory_trace(
+                self.n_references,
+                warmup_lines=self.config.geometry.n_lines,
+            )
+        return self._traces[benchmark]
+
+    def baseline_stats(self, benchmark: str, ways: Optional[int] = None) -> CacheStats:
+        """Ideal-cache stats on the benchmark trace (cached per assoc)."""
+        ways = ways or self.config.geometry.ways
+        key = (benchmark, ways)
+        if key not in self._baseline_stats:
+            config = (
+                self.config
+                if ways == self.config.geometry.ways
+                else self.config.with_ways(ways)
+            )
+            ideal = IdealCacheArchitecture(self.node, config)
+            cache = ideal.build_cache()
+            trace = self.trace(benchmark)
+            self._baseline_stats[key] = cache.run_trace(
+                trace.cycles,
+                trace.line_addresses,
+                trace.is_write,
+                warmup_references=trace.warmup_references,
+            )
+        return self._baseline_stats[key]
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate_benchmark(
+        self, architecture: Architecture, benchmark: str
+    ) -> BenchmarkResult:
+        """Run one benchmark against one architecture."""
+        profile = get_profile(benchmark)
+        trace = self.trace(benchmark)
+        window = max(1, trace.measured_window_cycles)
+        ways = architecture.config.geometry.ways
+        baseline = self.baseline_stats(benchmark, ways)
+        power_6t = calibration.port_access_energy(self.node, "6T")
+        ideal_power = (
+            baseline.port_accesses * power_6t / window * self.node.frequency
+        )
+
+        if isinstance(architecture, IdealCacheArchitecture):
+            return BenchmarkResult(
+                benchmark=benchmark,
+                scheme="ideal-6T",
+                normalized_performance=1.0,
+                ipc=profile.base_ipc,
+                bips=profile.base_ipc * self.node.frequency / 1e9,
+                dynamic_power_watts=ideal_power,
+                dynamic_power_normalized=1.0,
+                stats=baseline,
+            )
+
+        if isinstance(architecture, Cache6TArchitecture):
+            # Same cache behaviour as ideal; only the clock differs.
+            norm = architecture.normalized_frequency
+            frequency = architecture.frequency
+            return BenchmarkResult(
+                benchmark=benchmark,
+                scheme=architecture.chip.cell_label,
+                normalized_performance=norm,
+                ipc=profile.base_ipc,
+                bips=profile.base_ipc * frequency / 1e9,
+                dynamic_power_watts=ideal_power * norm,
+                dynamic_power_normalized=norm,
+                stats=baseline,
+            )
+
+        # --- 3T1D architecture ---
+        cache = architecture.build_cache()
+        stats = cache.run_trace(
+            trace.cycles,
+            trace.line_addresses,
+            trace.is_write,
+            warmup_references=trace.warmup_references,
+        )
+        model = AnalyticCPUModel(profile, architecture.config)
+        if architecture.scheme.is_global:
+            duty = min(
+                1.0,
+                architecture.config.geometry.refresh_cycles_full_pass
+                / max(1, architecture.chip_retention_cycles),
+            )
+            estimate = model.estimate_global_refresh(duty)
+        else:
+            measured_l2 = (
+                stats.measured_l2_miss_rate
+                if architecture.config.real_l2
+                and (stats.l2_hits + stats.l2_misses) > 0
+                else None
+            )
+            estimate = model.estimate(
+                stats,
+                instructions=trace.instructions,
+                window_cycles=window,
+                baseline_stats=baseline,
+                port_block_parallelism=float(
+                    architecture.config.geometry.n_pairs
+                ),
+                l2_miss_rate=measured_l2,
+            )
+        normalized = estimate.ipc / profile.base_ipc
+
+        power_model = architecture.power_model()
+        if architecture.scheme.is_global:
+            # The pass energy recurs every retention period regardless of
+            # the window; use the closed-form global-refresh power.
+            dynamic_power = power_model.event_dynamic_power(
+                cycles=window,
+                port_accesses=stats.port_accesses,
+                line_refreshes=0,
+                extra_l2_accesses=max(
+                    0, stats.l2_accesses - baseline.l2_accesses
+                ),
+            ) + power_model.global_refresh_power(
+                architecture.chip_retention_cycles / self.node.frequency
+            )
+        else:
+            dynamic_power = power_model.event_dynamic_power(
+                cycles=window,
+                port_accesses=stats.port_accesses,
+                line_refreshes=stats.line_refreshes + stats.line_moves,
+                extra_l2_accesses=max(
+                    0, stats.l2_accesses - baseline.l2_accesses
+                ),
+                include_line_counters=True,
+            )
+        return BenchmarkResult(
+            benchmark=benchmark,
+            scheme=architecture.scheme.name,
+            normalized_performance=normalized,
+            ipc=estimate.ipc,
+            bips=estimate.ipc * architecture.frequency / 1e9,
+            dynamic_power_watts=dynamic_power,
+            dynamic_power_normalized=dynamic_power / ideal_power,
+            stats=stats,
+            estimate=estimate,
+        )
+
+    def evaluate(
+        self,
+        architecture: Architecture,
+        benchmarks: Optional[Sequence[str]] = None,
+    ) -> ChipEvaluation:
+        """Run the benchmark suite against one architecture."""
+        names = tuple(benchmarks or self.benchmarks)
+        results = {
+            name: self.evaluate_benchmark(architecture, name) for name in names
+        }
+        scheme = next(iter(results.values())).scheme if results else "none"
+        return ChipEvaluation(scheme=scheme, results=results)

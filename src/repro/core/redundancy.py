@@ -1,0 +1,180 @@
+"""Redundancy and ECC analysis for 6T caches (paper section 2.1).
+
+The paper dismisses the classic fixes for 6T instability in two
+sentences: "in a data cache, line-level redundancy is straightforward to
+implement, but is ineffective because 256-bit lines would experience a
+64% probability of line failure (i.e., 1-0.996^256), which is not
+acceptable."  This module makes that argument quantitative and extensible:
+
+* line failure probability under a bit-flip rate (the 64% anchor),
+* yield of a cache protected by R spare lines,
+* yield under per-word SECDED ECC (corrects 1 flip per 72-bit word),
+* the flip-rate each mechanism could actually absorb.
+
+Conclusions match the paper: spares are hopeless at a 0.4% flip rate
+(virtually every line has a flipped bit), and even word-level SECDED
+leaves a large fraction of words with double flips under severe
+variation -- which is why the paper moves to 3T1D cells instead of
+patching 6T.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+SECDED_WORD_DATA_BITS: int = 64
+SECDED_WORD_TOTAL_BITS: int = 72  # 64 data + 8 check bits
+
+
+def line_failure_probability(bit_flip_rate: float, line_bits: int = 256) -> float:
+    """Probability that at least one bit of a line is unstable.
+
+    The paper's 1 - 0.996^256 = 64% example.
+    """
+    _check_rate(bit_flip_rate)
+    if line_bits < 1:
+        raise ConfigurationError("line_bits must be >= 1")
+    return 1.0 - (1.0 - bit_flip_rate) ** line_bits
+
+
+def spare_line_yield(
+    bit_flip_rate: float,
+    n_lines: int = 1024,
+    spare_lines: int = 16,
+    line_bits: int = 256,
+) -> float:
+    """Probability a cache is usable with ``spare_lines`` spares.
+
+    The cache works if the number of failing lines does not exceed the
+    spares (binomial tail).
+    """
+    _check_rate(bit_flip_rate)
+    if n_lines < 1 or spare_lines < 0:
+        raise ConfigurationError("n_lines >= 1 and spare_lines >= 0 required")
+    p_line = line_failure_probability(bit_flip_rate, line_bits)
+    return _binomial_cdf(spare_lines, n_lines, p_line)
+
+
+def secded_word_failure_probability(bit_flip_rate: float) -> float:
+    """Probability a SECDED-protected 72-bit word is uncorrectable.
+
+    SECDED corrects a single flipped bit; two or more flips in the word
+    defeat it.
+    """
+    _check_rate(bit_flip_rate)
+    n = SECDED_WORD_TOTAL_BITS
+    p = bit_flip_rate
+    none = (1.0 - p) ** n
+    one = n * p * (1.0 - p) ** (n - 1)
+    return 1.0 - none - one
+
+
+def secded_line_failure_probability(
+    bit_flip_rate: float, line_bits: int = 512
+) -> float:
+    """Probability an ECC-protected line still fails (any word defeated)."""
+    _check_rate(bit_flip_rate)
+    words = max(1, line_bits // SECDED_WORD_DATA_BITS)
+    p_word = secded_word_failure_probability(bit_flip_rate)
+    return 1.0 - (1.0 - p_word) ** words
+
+
+def secded_cache_yield(
+    bit_flip_rate: float,
+    n_lines: int = 1024,
+    spare_lines: int = 16,
+    line_bits: int = 512,
+) -> float:
+    """Yield of a cache combining per-word SECDED with spare lines."""
+    p_line = secded_line_failure_probability(bit_flip_rate, line_bits)
+    return _binomial_cdf(spare_lines, n_lines, p_line)
+
+
+def max_tolerable_flip_rate(
+    target_yield: float = 0.9,
+    n_lines: int = 1024,
+    spare_lines: int = 16,
+    line_bits: int = 512,
+    use_ecc: bool = True,
+) -> float:
+    """Largest bit-flip rate at which the protection scheme still yields.
+
+    Bisected to ~1% precision; useful for asking "how much variation
+    could patched 6T actually take?"
+    """
+    if not 0.0 < target_yield < 1.0:
+        raise ConfigurationError("target_yield must be in (0, 1)")
+
+    def yield_at(rate: float) -> float:
+        if use_ecc:
+            return secded_cache_yield(rate, n_lines, spare_lines, line_bits)
+        return spare_line_yield(rate, n_lines, spare_lines, line_bits)
+
+    low, high = 0.0, 0.5
+    for _ in range(60):
+        mid = 0.5 * (low + high)
+        if yield_at(mid) >= target_yield:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+@dataclass(frozen=True)
+class ProtectionReport:
+    """Section 2.1 protection summary at one bit-flip rate."""
+
+    bit_flip_rate: float
+    line_failure: float
+    spare_yield: float
+    ecc_line_failure: float
+    ecc_yield: float
+
+    def __str__(self) -> str:
+        return (
+            f"flip rate {self.bit_flip_rate:.2%}: "
+            f"line failure {self.line_failure:.0%}, "
+            f"16-spare yield {self.spare_yield:.1%}, "
+            f"SECDED line failure {self.ecc_line_failure:.1%}, "
+            f"SECDED+spares yield {self.ecc_yield:.1%}"
+        )
+
+
+def protection_report(
+    bit_flip_rate: float, spare_lines: int = 16
+) -> ProtectionReport:
+    """Evaluate every protection option at ``bit_flip_rate``."""
+    return ProtectionReport(
+        bit_flip_rate=bit_flip_rate,
+        line_failure=line_failure_probability(bit_flip_rate, 256),
+        spare_yield=spare_line_yield(
+            bit_flip_rate, spare_lines=spare_lines, line_bits=256
+        ),
+        ecc_line_failure=secded_line_failure_probability(bit_flip_rate),
+        ecc_yield=secded_cache_yield(bit_flip_rate, spare_lines=spare_lines),
+    )
+
+
+def _check_rate(rate: float) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigurationError(f"bit_flip_rate must be in [0, 1], got {rate}")
+
+
+def _binomial_cdf(k: int, n: int, p: float) -> float:
+    """P(X <= k) for X ~ Binomial(n, p), numerically careful for small p."""
+    if p <= 0.0:
+        return 1.0
+    if p >= 1.0:
+        return 0.0 if k < n else 1.0
+    log_q = math.log1p(-p)
+    log_p = math.log(p)
+    total = 0.0
+    log_coeff = 0.0  # log C(n, 0)
+    for i in range(0, k + 1):
+        if i > 0:
+            log_coeff += math.log(n - i + 1) - math.log(i)
+        total += math.exp(log_coeff + i * log_p + (n - i) * log_q)
+    return min(1.0, total)

@@ -1,0 +1,105 @@
+"""The retention-scheme design space (paper section 4.3.3).
+
+A scheme is a (refresh policy, placement policy) pair.  The cross product
+of {no-refresh, partial-refresh, full-refresh} x {LRU, DSP, RSP-FIFO,
+RSP-LRU} gives 12 combinations, but the RSP placements already refresh
+intrinsically (moving a block rewrites it), so the paper evaluates 8
+line-level schemes plus the section 4.1 global scheme.
+
+The paper picks three representatives for the detailed studies
+(``HEADLINE_SCHEMES``): no-refresh/LRU (simplest), partial-refresh/DSP
+(dead-line aware, selective refresh), and RSP-FIFO (best performing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetentionScheme:
+    """One point in the refresh x placement design space."""
+
+    name: str
+    refresh: str
+    replacement: str
+    is_global: bool = False
+
+    @property
+    def has_intrinsic_refresh(self) -> bool:
+        """True for RSP placements, whose block moves rewrite the data."""
+        return self.replacement.upper().startswith("RSP")
+
+    @property
+    def uses_line_counters(self) -> bool:
+        """All line-level schemes track per-line retention."""
+        return not self.is_global
+
+    def __str__(self) -> str:
+        return self.name
+
+
+SCHEME_GLOBAL = RetentionScheme(
+    name="global", refresh="global-refresh", replacement="LRU", is_global=True
+)
+SCHEME_NO_REFRESH_LRU = RetentionScheme(
+    name="no-refresh/LRU", refresh="no-refresh", replacement="LRU"
+)
+SCHEME_PARTIAL_LRU = RetentionScheme(
+    name="partial-refresh/LRU", refresh="partial-refresh", replacement="LRU"
+)
+SCHEME_FULL_LRU = RetentionScheme(
+    name="full-refresh/LRU", refresh="full-refresh", replacement="LRU"
+)
+SCHEME_NO_REFRESH_DSP = RetentionScheme(
+    name="no-refresh/DSP", refresh="no-refresh", replacement="DSP"
+)
+SCHEME_PARTIAL_DSP = RetentionScheme(
+    name="partial-refresh/DSP", refresh="partial-refresh", replacement="DSP"
+)
+SCHEME_FULL_DSP = RetentionScheme(
+    name="full-refresh/DSP", refresh="full-refresh", replacement="DSP"
+)
+SCHEME_RSP_FIFO = RetentionScheme(
+    name="RSP-FIFO", refresh="no-refresh", replacement="RSP-FIFO"
+)
+SCHEME_RSP_LRU = RetentionScheme(
+    name="RSP-LRU", refresh="no-refresh", replacement="RSP-LRU"
+)
+
+LINE_LEVEL_SCHEMES: Tuple[RetentionScheme, ...] = (
+    SCHEME_NO_REFRESH_LRU,
+    SCHEME_PARTIAL_LRU,
+    SCHEME_FULL_LRU,
+    SCHEME_NO_REFRESH_DSP,
+    SCHEME_PARTIAL_DSP,
+    SCHEME_FULL_DSP,
+    SCHEME_RSP_FIFO,
+    SCHEME_RSP_LRU,
+)
+"""The eight line-level schemes of Figure 9, in the paper's order."""
+
+HEADLINE_SCHEMES: Tuple[RetentionScheme, ...] = (
+    SCHEME_NO_REFRESH_LRU,
+    SCHEME_PARTIAL_DSP,
+    SCHEME_RSP_FIFO,
+)
+"""The three representatives used for Figures 10-12."""
+
+_ALL: Dict[str, RetentionScheme] = {
+    scheme.name.lower(): scheme
+    for scheme in (SCHEME_GLOBAL,) + LINE_LEVEL_SCHEMES
+}
+
+
+def get_scheme(name: str) -> RetentionScheme:
+    """Look up a scheme by its paper-style name (case-insensitive)."""
+    try:
+        return _ALL[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheme {name!r}; available: {sorted(_ALL)}"
+        ) from None

@@ -1,0 +1,94 @@
+"""Variable-latency 6T cache: the related-work alternative, quantified.
+
+Section 6 cites variable-latency techniques for caches (Ozdemir et al.,
+"yield-aware cache architectures") as the other road past frequency
+binning: instead of clocking the whole chip at the slowest cell, keep the
+nominal frequency and give slow lines an extra array cycle.  The paper
+argues 3T1D beats this family because 6T still suffers the stability and
+leakage problems; this module makes the performance side of that
+comparison concrete.
+
+Model: the chip keeps the Table 1 frequency.  A line whose access path
+fits the single-cycle array budget behaves normally; a slower line adds
+one cycle to the L1 hit latency of every access that touches it; a line
+slower than even the two-cycle budget is disabled (like a dead 3T1D
+line).  The extra hit latency is partially hidden by the out-of-order
+core (load-use visibility factor), and disabled lines cost like DSP's
+dead ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.array.chip import SRAMChipSample
+from repro.cpu.perfmodel import AnalyticCPUModel
+from repro.cache.config import CacheConfig
+from repro.workloads.profiles import BenchmarkProfile
+
+EXTRA_CYCLE_VISIBILITY: float = 0.4
+"""Fraction of an extra L1 hit cycle the out-of-order core cannot hide
+(load-use chains; consistent with the perf model's overlap factors)."""
+
+
+@dataclass(frozen=True)
+class VariableLatencyResult:
+    """Performance of one 6T chip under variable-latency operation."""
+
+    benchmark: str
+    normalized_performance: float
+    slow_line_fraction: float
+    disabled_line_fraction: float
+
+    @property
+    def keeps_nominal_frequency(self) -> bool:
+        """Variable-latency chips always clock at the Table 1 frequency."""
+        return True
+
+
+def evaluate_variable_latency(
+    chip: SRAMChipSample,
+    profile: BenchmarkProfile,
+    config: CacheConfig = None,
+) -> VariableLatencyResult:
+    """Evaluate a 6T chip run at nominal frequency with per-line latency.
+
+    The single-cycle budget is the node's cycle time (the array gets one
+    of the three pipeline cycles); lines beyond twice that budget are
+    disabled.
+    """
+    if chip.access_time_by_line is None:
+        raise ConfigurationError(
+            "chip sample carries no per-line access times; resample with "
+            "the current ChipSampler"
+        )
+    config = config or CacheConfig()
+    budget = chip.node.cycle_time
+    access = chip.access_time_by_line
+    slow = float(np.mean((access > budget) & (access <= 2 * budget)))
+    disabled = float(np.mean(access > 2 * budget))
+
+    model = AnalyticCPUModel(profile, config)
+    # Slow lines: +1 cycle on the fraction of references that land on them
+    # (uniform line usage), partially hidden by the OoO core.
+    cpi_slow = (
+        profile.mem_refs_per_instr * slow * EXTRA_CYCLE_VISIBILITY
+    )
+    # Disabled lines: capacity loss like dead 3T1D ways under DSP -- the
+    # references they would have served miss to the L2.
+    effective_latency = model.miss_latency_cycles() * (
+        1.0 - profile.miss_overlap
+    )
+    cpi_disabled = (
+        profile.mem_refs_per_instr * disabled * effective_latency
+    )
+    cpi = model.baseline_cpi + cpi_slow + cpi_disabled
+    return VariableLatencyResult(
+        benchmark=profile.name,
+        normalized_performance=(1.0 / cpi) / profile.base_ipc,
+        slow_line_fraction=slow,
+        disabled_line_fraction=disabled,
+    )

@@ -1,0 +1,39 @@
+"""Out-of-order core timing model (the paper's Table 2 machine).
+
+The paper runs sim-alpha, a validated Alpha 21264 simulator, over SPEC2000
+checkpoints.  This package provides the equivalent substrate for the
+reproduction:
+
+* :mod:`repro.cpu.isa` / :mod:`repro.cpu.trace` -- micro-op trace records;
+* :mod:`repro.cpu.branch` -- the 21264-style tournament predictor;
+* :mod:`repro.cpu.resources` -- ROB, issue queues, LSQ, functional units;
+* :mod:`repro.cpu.pipeline` -- the cycle-level out-of-order engine;
+* :mod:`repro.cpu.core` -- the Table 2 configuration and the assembled core;
+* :mod:`repro.cpu.perfmodel` -- the fast analytic IPC model used for the
+  Monte-Carlo sweeps (cross-validated against the pipeline in tests).
+"""
+
+from repro.cpu.isa import OpClass, MicroOp
+from repro.cpu.trace import InstructionTrace
+from repro.cpu.branch import TournamentPredictor
+from repro.cpu.resources import FunctionalUnitPool, ResourceWindow
+from repro.cpu.core import Core, CoreConfig
+from repro.cpu.pipeline import IdealMemory, PipelineResult
+from repro.cpu.memory import CacheMemory
+from repro.cpu.perfmodel import AnalyticCPUModel, PerformanceEstimate
+
+__all__ = [
+    "OpClass",
+    "MicroOp",
+    "InstructionTrace",
+    "TournamentPredictor",
+    "FunctionalUnitPool",
+    "ResourceWindow",
+    "Core",
+    "CoreConfig",
+    "PipelineResult",
+    "IdealMemory",
+    "CacheMemory",
+    "AnalyticCPUModel",
+    "PerformanceEstimate",
+]

@@ -1,0 +1,126 @@
+"""Alpha 21264-style tournament branch predictor (Table 2).
+
+Three structures, as in the 21264:
+
+* a **local** predictor: 1024-entry table of 10-bit local histories
+  indexing 1024 3-bit saturating counters;
+* a **global** predictor: 4096 2-bit counters indexed by the 12-bit
+  global history;
+* a **choice** predictor: 4096 2-bit counters (indexed by global history)
+  that picks which of the two to trust, trained when they disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+LOCAL_HISTORY_ENTRIES = 1024
+LOCAL_HISTORY_BITS = 10
+LOCAL_COUNTER_ENTRIES = 1024
+LOCAL_COUNTER_MAX = 7  # 3-bit
+GLOBAL_ENTRIES = 4096
+GLOBAL_HISTORY_BITS = 12
+TWO_BIT_MAX = 3
+
+
+@dataclass
+class TournamentPredictor:
+    """The 21264 tournament predictor."""
+
+    mispredict_penalty_cycles: int = 7
+    _local_history: List[int] = field(init=False, repr=False)
+    _local_counters: List[int] = field(init=False, repr=False)
+    _global_counters: List[int] = field(init=False, repr=False)
+    _choice_counters: List[int] = field(init=False, repr=False)
+    _global_history: int = field(init=False, default=0, repr=False)
+    predictions: int = field(init=False, default=0)
+    mispredictions: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self._local_history = [0] * LOCAL_HISTORY_ENTRIES
+        # Initialise counters weakly taken / weakly trusting-local.
+        self._local_counters = [LOCAL_COUNTER_MAX // 2 + 1] * LOCAL_COUNTER_ENTRIES
+        self._global_counters = [TWO_BIT_MAX // 2 + 1] * GLOBAL_ENTRIES
+        self._choice_counters = [TWO_BIT_MAX // 2] * GLOBAL_ENTRIES
+
+    # --- index helpers ---------------------------------------------------
+
+    def _local_index(self, pc: int) -> int:
+        return pc % LOCAL_HISTORY_ENTRIES
+
+    def _global_index(self) -> int:
+        return self._global_history % GLOBAL_ENTRIES
+
+    # --- prediction --------------------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        local_hist = self._local_history[self._local_index(pc)]
+        local_pred = self._local_counters[local_hist] > LOCAL_COUNTER_MAX // 2
+        global_pred = (
+            self._global_counters[self._global_index()] > TWO_BIT_MAX // 2
+        )
+        use_global = (
+            self._choice_counters[self._global_index()] > TWO_BIT_MAX // 2
+        )
+        return global_pred if use_global else local_pred
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict, train on the actual outcome, and return *mispredicted*."""
+        local_slot = self._local_index(pc)
+        local_hist = self._local_history[local_slot]
+        global_slot = self._global_index()
+
+        local_pred = self._local_counters[local_hist] > LOCAL_COUNTER_MAX // 2
+        global_pred = self._global_counters[global_slot] > TWO_BIT_MAX // 2
+        use_global = self._choice_counters[global_slot] > TWO_BIT_MAX // 2
+        prediction = global_pred if use_global else local_pred
+
+        # Train the chooser only when the components disagree.
+        if local_pred != global_pred:
+            if global_pred == taken:
+                self._choice_counters[global_slot] = min(
+                    TWO_BIT_MAX, self._choice_counters[global_slot] + 1
+                )
+            else:
+                self._choice_counters[global_slot] = max(
+                    0, self._choice_counters[global_slot] - 1
+                )
+
+        # Train both direction predictors.
+        if taken:
+            self._local_counters[local_hist] = min(
+                LOCAL_COUNTER_MAX, self._local_counters[local_hist] + 1
+            )
+            self._global_counters[global_slot] = min(
+                TWO_BIT_MAX, self._global_counters[global_slot] + 1
+            )
+        else:
+            self._local_counters[local_hist] = max(
+                0, self._local_counters[local_hist] - 1
+            )
+            self._global_counters[global_slot] = max(
+                0, self._global_counters[global_slot] - 1
+            )
+
+        # Update histories.
+        self._local_history[local_slot] = (
+            (local_hist << 1) | int(taken)
+        ) % (1 << LOCAL_HISTORY_BITS)
+        self._global_history = (
+            (self._global_history << 1) | int(taken)
+        ) % (1 << GLOBAL_HISTORY_BITS)
+
+        self.predictions += 1
+        mispredicted = prediction != taken
+        if mispredicted:
+            self.mispredictions += 1
+        return mispredicted
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Fraction of predictions that were wrong so far."""
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions

@@ -1,0 +1,83 @@
+"""The baseline machine (paper Table 2) and its assembled pipeline.
+
+Table 2:
+
+    Issue width        4 instructions     Issue queues  20 INT / 15 FP
+    Load queue         32 entries         Store queue   32 entries
+    Reorder buffer     80 entries         I/D cache     64KB 4-way
+    ITLB / DTLB        128-entry FA       Int FUs       4
+    FP FUs             2                  L2            2MB 4-way
+    Branch predictor   21264 tournament
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.cpu.branch import TournamentPredictor
+from repro.cpu.pipeline import IdealMemory, MemoryInterface, Pipeline, PipelineResult
+from repro.cpu.trace import InstructionTrace
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Table 2 machine parameters."""
+
+    issue_width: int = 4
+    commit_width: int = 4
+    rob_entries: int = 80
+    int_queue_entries: int = 20
+    fp_queue_entries: int = 15
+    load_queue_entries: int = 32
+    store_queue_entries: int = 32
+    int_units: int = 4
+    fp_units: int = 2
+    l1_read_ports: int = 2
+    l1_write_ports: int = 1
+    mispredict_penalty_cycles: int = 7
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "issue_width", "commit_width", "rob_entries",
+            "int_queue_entries", "fp_queue_entries", "load_queue_entries",
+            "store_queue_entries", "int_units", "fp_units",
+            "l1_read_ports", "l1_write_ports", "mispredict_penalty_cycles",
+        ):
+            if getattr(self, attr) < 1:
+                raise ConfigurationError(f"CoreConfig.{attr} must be >= 1")
+
+
+@dataclass
+class Core:
+    """An out-of-order core instance ready to run traces."""
+
+    config: CoreConfig = field(default_factory=CoreConfig)
+
+    def build_pipeline(self) -> Pipeline:
+        """Fresh pipeline state (predictor, windows, units)."""
+        predictor = TournamentPredictor(
+            mispredict_penalty_cycles=self.config.mispredict_penalty_cycles
+        )
+        return Pipeline(
+            dispatch_width=self.config.issue_width,
+            commit_width=self.config.commit_width,
+            rob_entries=self.config.rob_entries,
+            int_queue_entries=self.config.int_queue_entries,
+            fp_queue_entries=self.config.fp_queue_entries,
+            load_queue_entries=self.config.load_queue_entries,
+            store_queue_entries=self.config.store_queue_entries,
+            int_units=self.config.int_units,
+            fp_units=self.config.fp_units,
+            read_ports=self.config.l1_read_ports,
+            write_ports=self.config.l1_write_ports,
+            predictor=predictor,
+        )
+
+    def run(
+        self, trace: InstructionTrace, memory: MemoryInterface = None
+    ) -> PipelineResult:
+        """Run ``trace`` against ``memory`` (default: ideal L1)."""
+        if memory is None:
+            memory = IdealMemory()
+        return self.build_pipeline().run(trace, memory)

@@ -1,0 +1,84 @@
+"""Micro-op record types for the trace-driven core model.
+
+The synthetic workloads (and any external trace converted to this format)
+describe programs as sequences of micro-ops.  Register dependencies are
+encoded positionally: ``dep1``/``dep2`` give the *distance backwards* to
+the producing instruction (0 means no dependency), which is all a timing
+model needs and keeps traces renaming-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import TraceError
+
+
+class OpClass(IntEnum):
+    """Execution class of a micro-op (selects functional unit + latency)."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    FP_ALU = 2
+    FP_MUL = 3
+    LOAD = 4
+    STORE = 5
+    BRANCH = 6
+
+
+#: Execution latency per op class, cycles (21264-like).
+EXECUTION_LATENCY = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 7,
+    OpClass.FP_ALU: 4,
+    OpClass.FP_MUL: 4,
+    OpClass.LOAD: 0,  # memory latency supplied by the cache model
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+}
+
+INT_CLASSES = (OpClass.INT_ALU, OpClass.INT_MUL, OpClass.LOAD,
+               OpClass.STORE, OpClass.BRANCH)
+FP_CLASSES = (OpClass.FP_ALU, OpClass.FP_MUL)
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One instruction of a trace.
+
+    * ``op`` -- execution class;
+    * ``dep1`` / ``dep2`` -- backwards distances to producer instructions
+      (0 = none; 1 = the immediately preceding instruction);
+    * ``line_address`` -- cache-line address for LOAD/STORE (-1 otherwise);
+    * ``pc`` -- branch identity for the predictor (BRANCH only, else 0);
+    * ``taken`` -- actual branch outcome (BRANCH only).
+    """
+
+    op: OpClass
+    dep1: int = 0
+    dep2: int = 0
+    line_address: int = -1
+    pc: int = 0
+    taken: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dep1 < 0 or self.dep2 < 0:
+            raise TraceError("dependency distances must be >= 0")
+        if self.op in (OpClass.LOAD, OpClass.STORE):
+            if self.line_address < 0:
+                raise TraceError(f"{self.op.name} requires a line_address")
+        elif self.line_address >= 0:
+            raise TraceError(
+                f"{self.op.name} must not carry a line_address"
+            )
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.op in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_branch(self) -> bool:
+        """True for branches."""
+        return self.op is OpClass.BRANCH

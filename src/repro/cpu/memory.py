@@ -1,0 +1,60 @@
+"""Memory-hierarchy adapters for the pipeline model.
+
+:class:`CacheMemory` plugs a :class:`~repro.cache.controller.
+RetentionAwareCache` into the out-of-order pipeline: loads and stores go
+through the cache simulator and come back with latencies (hit latency, L2
+round trips on misses, plus a replay penalty when a line turns out to be
+expired or dead after the scheduler treated it as a hit).
+
+The out-of-order core issues memory operations out of program-time order;
+the cache's (in-order) event timeline clamps to the latest cycle seen,
+which preserves event counts while keeping the simulator simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.config import CacheConfig
+from repro.cache.controller import RetentionAwareCache
+from repro.cache.stats import AccessOutcome
+
+REPLAY_LATENCY_CYCLES: float = 6.0
+"""Extra load-to-use latency when a seemingly-valid line turns out to be
+expired or dead (scheduler replay; see section 4.3.2 of the paper)."""
+
+
+@dataclass
+class CacheMemory:
+    """MemoryInterface backed by the retention-aware cache simulator."""
+
+    cache: RetentionAwareCache
+    config: CacheConfig = field(default_factory=CacheConfig)
+    _clock: int = field(init=False, default=0)
+
+    def _advance(self, cycle: int) -> int:
+        self._clock = max(self._clock, int(cycle))
+        return self._clock
+
+    def _latency(self, outcome: AccessOutcome) -> float:
+        if outcome is AccessOutcome.HIT:
+            return float(self.config.hit_latency_cycles)
+        latency = (
+            self.config.hit_latency_cycles + self.config.miss_latency_cycles
+        )
+        if outcome in (
+            AccessOutcome.MISS_EXPIRED,
+            AccessOutcome.MISS_DEAD_BYPASS,
+        ):
+            latency += REPLAY_LATENCY_CYCLES
+        return latency
+
+    def load(self, cycle: int, line_address: int) -> float:
+        """Access the cache for a load; returns the load-to-use latency."""
+        outcome = self.cache.access(self._advance(cycle), line_address, False)
+        return self._latency(outcome)
+
+    def store(self, cycle: int, line_address: int) -> float:
+        """Access the cache for a store; returns the acknowledge latency."""
+        outcome = self.cache.access(self._advance(cycle), line_address, True)
+        return self._latency(outcome)

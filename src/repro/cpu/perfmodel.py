@@ -1,0 +1,208 @@
+"""Fast analytic IPC model for the Monte-Carlo sweeps.
+
+Running the pipeline model for every (chip x benchmark x scheme) point of
+the 100-chip studies would be needlessly slow; what those sweeps need is
+how the cache simulator's event counts move IPC.  The standard first-order
+decomposition does that:
+
+    CPI = CPI_base                                  (ideal-L1 baseline)
+        + extra_mpi * miss_latency * (1 - overlap)  (extra misses)
+        + replay_mpi * replay_penalty               (expired/dead replays)
+        + blocked_fraction * load_conflict_term     (refresh port blocking)
+        + stall_cycles / instructions               (write-buffer stalls)
+
+* ``extra_mpi`` -- misses per instruction beyond the ideal cache's
+  cold/conflict misses on the same trace;
+* ``overlap`` -- the profile's OoO miss-latency hiding factor;
+* replays: an access to an expired or dead line looks like a hit until the
+  data turns out to be unusable, forcing a pipeline replay/flush on top of
+  the L2 round trip (paper section 4.3.2);
+* port blocking: a refresh or RSP line move holds one read and one write
+  port; a load that collides waits a cycle.
+
+The model is cross-validated against the pipeline simulator in the test
+suite (same trace, same cache -> IPC within a coarse band).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.cache.config import CacheConfig
+from repro.cache.stats import CacheStats
+from repro.workloads.profiles import BenchmarkProfile
+
+REPLAY_FLUSH_PENALTY_CYCLES: float = 6.0
+"""Extra pipeline cycles charged per expired/dead-line miss (scheduler
+replay and dependent-instruction flush, on top of the L2 access)."""
+
+LOAD_CONFLICT_WEIGHT: float = 0.5
+"""Probability-weight of a one-cycle delay when a load collides with a
+refresh/move that holds a read port."""
+
+
+@dataclass(frozen=True)
+class PerformanceEstimate:
+    """IPC estimate with its additive CPI breakdown."""
+
+    ipc: float
+    cpi_base: float
+    cpi_extra_miss: float
+    cpi_replay: float
+    cpi_port_block: float
+    cpi_write_stall: float
+
+    @property
+    def cpi(self) -> float:
+        """Total cycles per instruction."""
+        return (
+            self.cpi_base
+            + self.cpi_extra_miss
+            + self.cpi_replay
+            + self.cpi_port_block
+            + self.cpi_write_stall
+        )
+
+    def slowdown_vs(self, baseline_ipc: float) -> float:
+        """Performance relative to ``baseline_ipc`` (1.0 = equal)."""
+        if baseline_ipc <= 0:
+            raise ConfigurationError("baseline_ipc must be positive")
+        return self.ipc / baseline_ipc
+
+
+@dataclass
+class AnalyticCPUModel:
+    """First-order CPI model bound to one benchmark profile."""
+
+    profile: BenchmarkProfile
+    cache_config: CacheConfig = field(default_factory=CacheConfig)
+
+    @property
+    def baseline_cpi(self) -> float:
+        """Ideal-L1 cycles per instruction."""
+        return 1.0 / self.profile.base_ipc
+
+    @property
+    def baseline_ipc(self) -> float:
+        """Ideal-L1 instructions per cycle."""
+        return self.profile.base_ipc
+
+    def miss_latency_cycles(self, l2_miss_rate: Optional[float] = None) -> float:
+        """Average L1-miss service latency for this benchmark, cycles.
+
+        ``l2_miss_rate`` overrides the profile's statistical value -- used
+        when a real L2 was simulated and its miss rate measured.
+        """
+        config = self.cache_config
+        rate = (
+            self.profile.l2_miss_rate if l2_miss_rate is None else l2_miss_rate
+        )
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError("l2_miss_rate must be in [0, 1]")
+        return (
+            (1.0 - rate) * config.l2_latency_cycles
+            + rate * config.memory_latency_cycles
+        )
+
+    def estimate(
+        self,
+        stats: CacheStats,
+        instructions: int,
+        window_cycles: int,
+        baseline_stats: Optional[CacheStats] = None,
+        port_block_parallelism: float = 1.0,
+        l2_miss_rate: Optional[float] = None,
+    ) -> PerformanceEstimate:
+        """IPC for a cache-simulation window.
+
+        ``baseline_stats`` are the ideal cache's stats on the same trace
+        (its cold/conflict misses are already priced into ``base_ipc``);
+        omit them to charge every miss.
+
+        ``port_block_parallelism`` derates refresh/move port blocking for
+        line-level schemes: each line refresh only occupies its own
+        sub-array pair, so with the paper's 4 pairs a demand access
+        collides with only ~1/4 of the blocked cycles.  Global refresh
+        blocks the whole cache (parallelism 1).
+        """
+        if instructions <= 0:
+            raise ConfigurationError("instructions must be positive")
+        if window_cycles <= 0:
+            raise ConfigurationError("window_cycles must be positive")
+        if port_block_parallelism < 1.0:
+            raise ConfigurationError("port_block_parallelism must be >= 1")
+
+        baseline_misses = baseline_stats.misses if baseline_stats else 0
+        extra_misses = max(0, stats.misses - baseline_misses)
+        extra_mpi = extra_misses / instructions
+        replay_mpi = (
+            stats.misses_expired + stats.misses_dead_bypass
+        ) / instructions
+
+        effective_latency = self.miss_latency_cycles(l2_miss_rate) * (
+            1.0 - self.profile.miss_overlap
+        )
+        cpi_miss = extra_mpi * effective_latency
+        cpi_replay = replay_mpi * REPLAY_FLUSH_PENALTY_CYCLES
+
+        blocked_fraction = (
+            min(1.0, stats.blocked_cycles / window_cycles)
+            / port_block_parallelism
+        )
+        loads_per_instr = self.profile.mem_refs_per_instr * (
+            1.0 - self.profile.store_fraction
+        )
+        loads_per_cycle = min(1.0, self.profile.base_ipc * loads_per_instr)
+        cpi_ports = (
+            blocked_fraction
+            * loads_per_instr
+            * loads_per_cycle
+            * LOAD_CONFLICT_WEIGHT
+        )
+
+        cpi_stall = stats.write_buffer_stall_cycles / instructions
+
+        estimate = PerformanceEstimate(
+            ipc=0.0,  # placeholder, replaced below
+            cpi_base=self.baseline_cpi,
+            cpi_extra_miss=cpi_miss,
+            cpi_replay=cpi_replay,
+            cpi_port_block=cpi_ports,
+            cpi_write_stall=cpi_stall,
+        )
+        total_cpi = estimate.cpi
+        return PerformanceEstimate(
+            ipc=1.0 / total_cpi,
+            cpi_base=estimate.cpi_base,
+            cpi_extra_miss=estimate.cpi_extra_miss,
+            cpi_replay=estimate.cpi_replay,
+            cpi_port_block=estimate.cpi_port_block,
+            cpi_write_stall=estimate.cpi_write_stall,
+        )
+
+    def estimate_global_refresh(self, duty: float) -> PerformanceEstimate:
+        """IPC under the global refresh scheme with refresh duty ``duty``.
+
+        The global scheme never loses data, so the only cost is the port
+        blocking while a pass runs (``duty`` = pass time / retention).
+        """
+        if not 0.0 <= duty <= 1.0:
+            raise ConfigurationError("duty must be in [0, 1]")
+        loads_per_instr = self.profile.mem_refs_per_instr * (
+            1.0 - self.profile.store_fraction
+        )
+        loads_per_cycle = min(1.0, self.profile.base_ipc * loads_per_instr)
+        cpi_ports = (
+            duty * loads_per_instr * loads_per_cycle * LOAD_CONFLICT_WEIGHT
+        )
+        total = self.baseline_cpi + cpi_ports
+        return PerformanceEstimate(
+            ipc=1.0 / total,
+            cpi_base=self.baseline_cpi,
+            cpi_extra_miss=0.0,
+            cpi_replay=0.0,
+            cpi_port_block=cpi_ports,
+            cpi_write_stall=0.0,
+        )

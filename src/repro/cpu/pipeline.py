@@ -1,0 +1,255 @@
+"""Cycle-level out-of-order pipeline timing model.
+
+A dependence-graph scheduling model of a superscalar out-of-order core
+(the standard trace-driven formulation): every micro-op receives a
+dispatch, ready, issue, complete, and commit cycle, constrained by
+
+* in-order dispatch at the fetch/dispatch width,
+* reorder-buffer / issue-queue / load-store-queue capacities (an
+  instruction cannot dispatch until the instruction ``capacity`` slots
+  ahead of it has released its entry),
+* register dependencies (positional producer distances from the trace),
+* functional-unit counts and latencies,
+* cache-port availability for memory ops (2 loads + 1 store per cycle),
+* branch mispredictions (front-end redirect after the branch resolves),
+* in-order commit at the commit width.
+
+This is the reproduction's stand-in for sim-alpha: exact enough to show
+how L1 latency, misses, and refresh port blocking move IPC, while staying
+fast enough to run in unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol
+
+from repro.cpu.branch import TournamentPredictor
+from repro.cpu.isa import EXECUTION_LATENCY, FP_CLASSES, OpClass
+from repro.cpu.resources import FunctionalUnitPool
+from repro.cpu.trace import InstructionTrace
+
+
+class MemoryInterface(Protocol):
+    """What the pipeline needs from the data-memory hierarchy."""
+
+    def load(self, cycle: int, line_address: int) -> float:
+        """Return the load-to-use latency in cycles."""
+        ...  # pragma: no cover - protocol
+
+    def store(self, cycle: int, line_address: int) -> float:
+        """Return the store-acknowledge latency in cycles."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class IdealMemory:
+    """An L1 that always hits -- the ideal 6T baseline."""
+
+    hit_latency_cycles: int = 3
+
+    def load(self, cycle: int, line_address: int) -> float:
+        """Every load hits at the L1 latency."""
+        return float(self.hit_latency_cycles)
+
+    def store(self, cycle: int, line_address: int) -> float:
+        """Every store completes at the L1 latency."""
+        return float(self.hit_latency_cycles)
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of one pipeline run."""
+
+    instructions: int
+    cycles: int
+    branch_mispredictions: int
+    branches: int
+    loads: int
+    stores: int
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.cycles / self.instructions
+
+    @property
+    def branch_misprediction_rate(self) -> float:
+        """Mispredictions per branch."""
+        if self.branches == 0:
+            return 0.0
+        return self.branch_mispredictions / self.branches
+
+
+class _Window:
+    """Ring-buffer window constraint: an instruction cannot dispatch until
+    the entry ``capacity`` admissions earlier has released."""
+
+    __slots__ = ("capacity", "releases")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.releases: List[float] = []
+
+    def constraint(self) -> float:
+        """Earliest dispatch cycle permitted by this window right now."""
+        if len(self.releases) < self.capacity:
+            return 0.0
+        return self.releases[-self.capacity]
+
+    def admit(self, release_cycle: float) -> None:
+        """Record the release time of a newly admitted entry."""
+        self.releases.append(release_cycle)
+
+
+class Pipeline:
+    """The scheduling engine; configured and run via
+    :class:`repro.cpu.core.Core`."""
+
+    def __init__(
+        self,
+        dispatch_width: int,
+        commit_width: int,
+        rob_entries: int,
+        int_queue_entries: int,
+        fp_queue_entries: int,
+        load_queue_entries: int,
+        store_queue_entries: int,
+        int_units: int,
+        fp_units: int,
+        read_ports: int,
+        write_ports: int,
+        predictor: Optional[TournamentPredictor] = None,
+    ):
+        self.dispatch_width = dispatch_width
+        self.commit_width = commit_width
+        self.rob_entries = rob_entries
+        self.int_queue = _Window(int_queue_entries)
+        self.fp_queue = _Window(fp_queue_entries)
+        self.load_queue = _Window(load_queue_entries)
+        self.store_queue = _Window(store_queue_entries)
+        self.int_units = FunctionalUnitPool(int_units)
+        self.fp_units = FunctionalUnitPool(fp_units)
+        self.read_ports = FunctionalUnitPool(read_ports)
+        self.write_ports = FunctionalUnitPool(write_ports)
+        self.predictor = predictor or TournamentPredictor()
+
+    def run(self, trace: InstructionTrace, memory: MemoryInterface) -> PipelineResult:
+        """Schedule the whole trace against ``memory``; returns timing."""
+        n = len(trace)
+        complete = [0.0] * n
+        commit_times = [0.0] * n
+        ops = trace.op
+        dep1 = trace.dep1
+        dep2 = trace.dep2
+        lines = trace.line_address
+        pcs = trace.pc
+        takens = trace.taken
+
+        redirect_at = 0.0  # earliest front-end activity after a mispredict
+        dispatched_in_cycle = 0
+        current_dispatch_cycle = -1.0
+        last_commit = 0.0
+        mispredicts = 0
+        branches = 0
+        loads = 0
+        stores = 0
+
+        for i in range(n):
+            op = OpClass(int(ops[i]))
+
+            # --- dispatch: in-order, width-limited, window-limited ---
+            dispatch = redirect_at
+            if i >= self.rob_entries:
+                dispatch = max(dispatch, commit_times[i - self.rob_entries])
+            if op in FP_CLASSES:
+                dispatch = max(dispatch, self.fp_queue.constraint())
+            else:
+                dispatch = max(dispatch, self.int_queue.constraint())
+            if op is OpClass.LOAD:
+                dispatch = max(dispatch, self.load_queue.constraint())
+            elif op is OpClass.STORE:
+                dispatch = max(dispatch, self.store_queue.constraint())
+
+            if dispatch <= current_dispatch_cycle:
+                dispatch = current_dispatch_cycle
+                if dispatched_in_cycle >= self.dispatch_width:
+                    dispatch += 1.0
+                    dispatched_in_cycle = 0
+            else:
+                dispatched_in_cycle = 0
+            current_dispatch_cycle = dispatch
+            dispatched_in_cycle += 1
+
+            # --- operand readiness ---
+            ready = dispatch + 1.0
+            d1, d2 = int(dep1[i]), int(dep2[i])
+            if d1 and i - d1 >= 0:
+                ready = max(ready, complete[i - d1])
+            if d2 and i - d2 >= 0:
+                ready = max(ready, complete[i - d2])
+
+            # --- issue & execute ---
+            units = self.fp_units if op in FP_CLASSES else self.int_units
+            issue = units.earliest_issue(ready)
+            if op is OpClass.LOAD:
+                loads += 1
+                issue = self.read_ports.earliest_issue(issue)
+                self.read_ports.issue(issue, 1)
+                latency = memory.load(int(issue), int(lines[i]))
+                finish = issue + max(1.0, latency)
+            elif op is OpClass.STORE:
+                stores += 1
+                issue = self.write_ports.earliest_issue(issue)
+                self.write_ports.issue(issue, 1)
+                latency = memory.store(int(issue), int(lines[i]))
+                finish = issue + max(1.0, latency)
+            else:
+                finish = issue + EXECUTION_LATENCY[op]
+            units.issue(issue, EXECUTION_LATENCY[op] or 1)
+
+            complete[i] = finish
+
+            # --- commit: in-order, width-limited ---
+            commit = max(finish, last_commit + 1.0 / self.commit_width)
+            commit_times[i] = commit
+            last_commit = commit
+
+            # --- window releases ---
+            if op in FP_CLASSES:
+                self.fp_queue.admit(issue)
+            else:
+                self.int_queue.admit(issue)
+            if op is OpClass.LOAD:
+                self.load_queue.admit(commit)
+            elif op is OpClass.STORE:
+                self.store_queue.admit(commit)
+
+            # --- branch handling ---
+            if op is OpClass.BRANCH:
+                branches += 1
+                if self.predictor.update(int(pcs[i]), bool(takens[i])):
+                    mispredicts += 1
+                    redirect_at = max(
+                        redirect_at,
+                        finish + self.predictor.mispredict_penalty_cycles,
+                    )
+
+        total_cycles = int(last_commit) + 1 if n else 0
+        return PipelineResult(
+            instructions=n,
+            cycles=total_cycles,
+            branch_mispredictions=mispredicts,
+            branches=branches,
+            loads=loads,
+            stores=stores,
+        )

@@ -1,0 +1,95 @@
+"""Core back-end resources: functional units and windowed structures.
+
+The pipeline model books each micro-op into the reorder buffer, the
+appropriate issue queue, and (for memory ops) the load/store queue, and
+schedules its execution onto a functional unit.  These helpers keep the
+resource bookkeeping out of the pipeline loop:
+
+* :class:`FunctionalUnitPool` -- k units; each issue occupies one unit
+  for the op latency (fully pipelined units occupy one cycle).
+* :class:`ResourceWindow` -- a capacity-limited window (ROB, IQ, LSQ)
+  tracked by the release times of its occupants.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class FunctionalUnitPool:
+    """A pool of identical functional units.
+
+    ``pipelined`` units accept a new op every cycle and only the *issue
+    slot* is booked; non-pipelined units are busy for the full latency.
+    """
+
+    count: int
+    pipelined: bool = True
+    _busy_until: List[float] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError("functional unit count must be >= 1")
+        self._busy_until = [0.0] * self.count
+
+    def earliest_issue(self, ready_cycle: float) -> float:
+        """Earliest cycle >= ``ready_cycle`` at which a unit can accept."""
+        best = min(self._busy_until)
+        return max(ready_cycle, best)
+
+    def issue(self, cycle: float, latency: int) -> None:
+        """Book the least-loaded unit starting at ``cycle``."""
+        index = min(range(self.count), key=lambda i: self._busy_until[i])
+        occupancy = 1 if self.pipelined else max(1, latency)
+        self._busy_until[index] = cycle + occupancy
+
+    def reset(self) -> None:
+        """Forget all bookings."""
+        self._busy_until = [0.0] * self.count
+
+
+@dataclass
+class ResourceWindow:
+    """A capacity-limited instruction window (ROB / issue queue / LSQ).
+
+    Entries are tracked by release cycle; ``admit`` returns the earliest
+    cycle at which a new entry fits (stalling dispatch until then).
+    """
+
+    capacity: int
+    name: str = "window"
+    _releases: List[float] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError(
+                f"{self.name} capacity must be >= 1, got {self.capacity}"
+            )
+        self._releases = []
+
+    def admit(self, arrival_cycle: float, release_cycle: float) -> float:
+        """Admit an entry; returns the cycle dispatch can actually proceed.
+
+        If the window is full at ``arrival_cycle`` the entry must wait for
+        the oldest occupant to release.
+        """
+        heapq.heappush(self._releases, release_cycle)
+        if len(self._releases) <= self.capacity:
+            return arrival_cycle
+        # Window over-subscribed: dispatch waits for the earliest release.
+        earliest = heapq.heappop(self._releases)
+        return max(arrival_cycle, earliest)
+
+    @property
+    def occupancy(self) -> int:
+        """Entries currently tracked (pending releases)."""
+        return len(self._releases)
+
+    def reset(self) -> None:
+        """Forget all entries."""
+        self._releases = []

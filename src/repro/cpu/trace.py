@@ -1,0 +1,139 @@
+"""Instruction trace container (structure-of-arrays for speed).
+
+:class:`InstructionTrace` stores a micro-op stream as parallel numpy
+arrays so both the pipeline model and the cache-only fast path can walk it
+cheaply.  Conversions to/from :class:`~repro.cpu.isa.MicroOp` objects are
+provided for tests and small hand-written programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.cpu.isa import MicroOp, OpClass
+
+
+@dataclass
+class InstructionTrace:
+    """A micro-op stream as parallel arrays.
+
+    Arrays (all length ``n``):
+
+    * ``op`` (int8) -- :class:`OpClass` values;
+    * ``dep1`` / ``dep2`` (int32) -- producer distances, 0 = none;
+    * ``line_address`` (int64) -- cache line for memory ops, -1 otherwise;
+    * ``pc`` (int64) -- branch identity, 0 for non-branches;
+    * ``taken`` (bool) -- branch outcome.
+    """
+
+    op: np.ndarray
+    dep1: np.ndarray
+    dep2: np.ndarray
+    line_address: np.ndarray
+    pc: np.ndarray
+    taken: np.ndarray
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        length = len(self.op)
+        for attr in ("dep1", "dep2", "line_address", "pc", "taken"):
+            if len(getattr(self, attr)) != length:
+                raise TraceError(f"trace array {attr!r} length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        for i in range(len(self)):
+            yield self.micro_op(i)
+
+    def micro_op(self, index: int) -> MicroOp:
+        """Materialise entry ``index`` as a :class:`MicroOp`."""
+        return MicroOp(
+            op=OpClass(int(self.op[index])),
+            dep1=int(self.dep1[index]),
+            dep2=int(self.dep2[index]),
+            line_address=int(self.line_address[index]),
+            pc=int(self.pc[index]),
+            taken=bool(self.taken[index]),
+        )
+
+    @classmethod
+    def from_micro_ops(
+        cls, ops: Iterable[MicroOp], name: str = "trace"
+    ) -> "InstructionTrace":
+        """Build a trace from micro-op objects."""
+        ops = list(ops)
+        return cls(
+            op=np.array([int(o.op) for o in ops], dtype=np.int8),
+            dep1=np.array([o.dep1 for o in ops], dtype=np.int32),
+            dep2=np.array([o.dep2 for o in ops], dtype=np.int32),
+            line_address=np.array(
+                [o.line_address for o in ops], dtype=np.int64
+            ),
+            pc=np.array([o.pc for o in ops], dtype=np.int64),
+            taken=np.array([o.taken for o in ops], dtype=bool),
+            name=name,
+        )
+
+    # --- summary statistics -------------------------------------------
+
+    @property
+    def memory_mask(self) -> np.ndarray:
+        """Boolean mask of memory micro-ops."""
+        return (self.op == int(OpClass.LOAD)) | (self.op == int(OpClass.STORE))
+
+    @property
+    def store_mask(self) -> np.ndarray:
+        """Boolean mask of stores."""
+        return self.op == int(OpClass.STORE)
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of micro-ops that touch memory."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.mean(self.memory_mask))
+
+    @property
+    def branch_fraction(self) -> float:
+        """Fraction of micro-ops that are branches."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.mean(self.op == int(OpClass.BRANCH)))
+
+    def memory_references(self) -> "MemoryReferenceStream":
+        """Extract the (index, line, is_store) stream of memory ops."""
+        mask = self.memory_mask
+        return MemoryReferenceStream(
+            instruction_index=np.nonzero(mask)[0].astype(np.int64),
+            line_address=self.line_address[mask],
+            is_store=self.store_mask[mask],
+        )
+
+
+@dataclass
+class MemoryReferenceStream:
+    """The memory-op subsequence of a trace, for cache-only simulation.
+
+    ``cycles_at_ipc`` maps instruction indices to approximate cycle stamps
+    for a target IPC, which is how the open-loop cache simulations assign
+    timestamps to references.
+    """
+
+    instruction_index: np.ndarray
+    line_address: np.ndarray
+    is_store: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.instruction_index)
+
+    def cycles_at_ipc(self, ipc: float) -> np.ndarray:
+        """Reference timestamps assuming the core sustains ``ipc``."""
+        if ipc <= 0:
+            raise TraceError(f"ipc must be positive, got {ipc}")
+        return (self.instruction_index / ipc).astype(np.int64)

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except ReproError`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with inconsistent or out-of-range values."""
+
+
+class CalibrationError(ReproError):
+    """A calibrated model failed to reproduce its anchor point."""
+
+
+class SimulationError(ReproError):
+    """A simulator reached an invalid internal state."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or violates an expected invariant."""
+
+
+class ChipDiscardedError(ReproError):
+    """The selected retention scheme cannot operate the sampled chip.
+
+    Raised, for example, when the global refresh scheme is applied to a chip
+    containing a dead line (retention time of zero): the paper discards such
+    chips because a single dead line forces the global retention period to
+    zero.
+    """

@@ -1,0 +1,29 @@
+"""Per-figure/table reproduction drivers.
+
+One module per table or figure in the paper's evaluation:
+
+========================  ====================================================
+Module                    Paper content
+========================  ====================================================
+``fig01_reuse``           Figure 1: reference distance from line load
+``fig04_retention_curve`` Figure 4: access time vs. time since write
+``fig06_typical``         Figure 6: 6T frequency and 3T1D retention/perf/power
+``fig07_leakage``         Figure 7: leakage power distributions
+``fig08_line_retention``  Figure 8: line retention of good/median/bad chips
+``fig09_schemes``         Figure 9: 8 line-level schemes x 3 chips
+``fig10_hundred_chips``   Figure 10: perf & power of 100 chips, 3 schemes
+``fig11_associativity``   Figure 11: associativity sweep x 3 chips x 3 schemes
+``fig12_sensitivity``     Figure 12: mu-sigma/mu performance surfaces
+``table3``                Table 3: per-node summary (ideal 6T / 1X 6T / 3T1D)
+========================  ====================================================
+
+Every module exposes ``run(...)`` returning a result dataclass and
+``main()`` that prints the paper-style rows; the ``benchmarks/`` suite
+invokes ``run`` with reduced Monte-Carlo scale so a full regeneration
+stays laptop-sized.
+"""
+
+from repro.experiments.runner import ExperimentContext
+from repro.experiments import reporting
+
+__all__ = ["ExperimentContext", "reporting"]

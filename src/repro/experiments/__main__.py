@@ -1,0 +1,6 @@
+"""``python -m repro.experiments`` regenerates every table and figure."""
+
+from repro.experiments.run_all import main
+
+if __name__ == "__main__":
+    main()

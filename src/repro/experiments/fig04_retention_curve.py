@@ -1,0 +1,117 @@
+"""Figure 4: 3T1D access time vs. time elapsed since the write.
+
+Reproduces the four curves: the nominal cell (retention ~5.8 us at 32nm),
+a weak corner (shorter retention, ~4 us), a strong corner (longer
+retention), and the flat 6T access-time line the retention definition
+compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.technology.node import NODE_32NM, TechnologyNode
+from repro.variation.parameters import VariationParams
+from repro.cells.retention import AccessTimeCurve, RetentionModel
+from repro.experiments.reporting import format_table
+
+CORNER_SIGMA: float = 2.5
+"""Device corner (in sigmas of typical variation) used for the weak and
+strong curves, matching the paper's 'weaker/stronger-than-designed'
+illustration."""
+
+
+@dataclass(frozen=True)
+class Fig04Result:
+    """Access-time curves and retention times per corner."""
+
+    node: TechnologyNode
+    elapsed_us: np.ndarray
+    curves: Dict[str, np.ndarray]
+    """Access time normalised to the 6T access time, per corner."""
+    retention_us: Dict[str, float]
+    sram_access_time_ps: float
+
+
+def _corner_curve(
+    model: RetentionModel, sigma: float, direction: float
+) -> AccessTimeCurve:
+    """A corner curve shifted ``direction`` x ``sigma`` from nominal.
+
+    The weak corner (direction=+1) has a leakier T1 (lower threshold,
+    faster decay) and a weaker read stack (higher threshold); the strong
+    corner is the mirror image.
+    """
+    return AccessTimeCurve(
+        model=model,
+        delta_vth_t1=-direction * sigma,
+        delta_vth_t2=+direction * sigma,
+    )
+
+
+def run(
+    node: TechnologyNode = NODE_32NM,
+    max_elapsed_us: float = 8.0,
+    n_points: int = 33,
+) -> Fig04Result:
+    """Evaluate the Figure 4 curves."""
+    model = RetentionModel.for_node(node)
+    sigma = CORNER_SIGMA * VariationParams.typical().sigma_vth(node)
+    elapsed = np.linspace(0.0, max_elapsed_us * 1e-6, n_points)
+    corners = {
+        "nominal": AccessTimeCurve(model=model),
+        "weak": _corner_curve(model, sigma, +1.0),
+        "strong": _corner_curve(model, sigma, -1.0),
+    }
+    sram = corners["nominal"].sram_access_time
+    curves = {}
+    retention = {}
+    for name, curve in corners.items():
+        access = np.asarray(curve.access_time(elapsed))
+        curves[name] = access / sram
+        retention[name] = curve.retention_time * 1e6
+    curves["6T SRAM"] = np.ones_like(elapsed)
+    return Fig04Result(
+        node=node,
+        elapsed_us=elapsed * 1e6,
+        curves=curves,
+        retention_us=retention,
+        sram_access_time_ps=sram * 1e12,
+    )
+
+
+def report(result: Fig04Result) -> str:
+    """Retention times per corner plus curve samples."""
+    headers = ["corner", "retention (us)"]
+    rows = [[name, f"{value:.2f}"] for name, value in result.retention_us.items()]
+    table = format_table(
+        headers, rows,
+        title=(
+            f"Figure 4 ({result.node.name}): retention = time until access "
+            f"exceeds the 6T access time ({result.sram_access_time_ps:.0f} ps)"
+        ),
+    )
+    samples = ["", "access time / 6T access time:"]
+    picks = range(0, len(result.elapsed_us), max(1, len(result.elapsed_us) // 8))
+    for name in ("nominal", "weak", "strong"):
+        curve = result.curves[name]
+        points = ", ".join(
+            f"{result.elapsed_us[i]:.1f}us={curve[i]:.2f}"
+            if np.isfinite(curve[i])
+            else f"{result.elapsed_us[i]:.1f}us=inf"
+            for i in picks
+        )
+        samples.append(f"  {name:8s} {points}")
+    return table + "\n" + "\n".join(samples)
+
+
+def main() -> None:
+    """Regenerate and print Figure 4."""
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Figure 9: the eight line-level schemes on the good/median/bad chips.
+
+Severe variation.  The paper's findings, all checked by this driver:
+
+* LRU-only schemes suffer most on the bad chip (dead-line references);
+* partial-refresh buys 1-2% over no-refresh;
+* full-refresh gives some of it back (port blocking);
+* the RSP placements (intrinsic refresh) perform best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.architecture import Cache3T1DArchitecture
+from repro.core.schemes import LINE_LEVEL_SCHEMES, RetentionScheme
+from repro.core.yieldmodel import YieldModel
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.reporting import format_table
+
+CHIP_LABELS: Tuple[str, str, str] = ("good", "median", "bad")
+
+
+@dataclass(frozen=True)
+class Fig09Result:
+    """Normalized performance of every scheme on the three chips."""
+
+    performance: Dict[str, Dict[str, float]]
+    """scheme name -> chip label -> normalized performance."""
+    power: Dict[str, Dict[str, float]]
+    """scheme name -> chip label -> normalized dynamic power."""
+
+    def best_scheme_for(self, chip_label: str) -> str:
+        """Scheme with the highest performance on a chip."""
+        return max(
+            self.performance,
+            key=lambda scheme: self.performance[scheme][chip_label],
+        )
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    schemes: Tuple[RetentionScheme, ...] = LINE_LEVEL_SCHEMES,
+) -> Fig09Result:
+    """Regenerate Figure 9 at the context's Monte-Carlo scale."""
+    context = context or ExperimentContext()
+    good, median, bad = YieldModel(context.chips_3t1d("severe")).pick_good_median_bad()
+    chips = {"good": good, "median": median, "bad": bad}
+    evaluator = context.evaluator()
+    performance: Dict[str, Dict[str, float]] = {}
+    power: Dict[str, Dict[str, float]] = {}
+    for scheme in schemes:
+        performance[scheme.name] = {}
+        power[scheme.name] = {}
+        for label, chip in chips.items():
+            evaluation = evaluator.evaluate(
+                Cache3T1DArchitecture(chip, scheme)
+            )
+            performance[scheme.name][label] = evaluation.normalized_performance
+            power[scheme.name][label] = evaluation.dynamic_power_normalized
+    return Fig09Result(performance=performance, power=power)
+
+
+def report(result: Fig09Result) -> str:
+    """Scheme x chip performance table."""
+    headers = ["scheme"] + [f"{label} perf" for label in CHIP_LABELS] + [
+        f"{label} pwr" for label in CHIP_LABELS
+    ]
+    rows: List[List[str]] = []
+    for scheme, by_chip in result.performance.items():
+        row = [scheme]
+        row += [f"{by_chip[label]:.3f}" for label in CHIP_LABELS]
+        row += [f"{result.power[scheme][label]:.2f}" for label in CHIP_LABELS]
+        rows.append(row)
+    return format_table(
+        headers, rows,
+        title="Figure 9: normalized performance of retention schemes "
+        "(severe variation)",
+    )
+
+
+def main() -> None:
+    """Regenerate and print Figure 9."""
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

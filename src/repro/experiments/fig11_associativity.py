@@ -1,0 +1,96 @@
+"""Figure 11: scheme performance vs. cache associativity.
+
+Good/median/bad chips under severe variation, re-organised as
+direct-mapped, 2-way, 4-way, and 8-way caches (same 64KB capacity and the
+same physical lines).  Expected shape: for the direct-mapped cache the
+placement policies cannot act (only refresh matters) so the schemes
+converge; at >= 2 ways the retention-sensitive schemes pull ahead, most
+visibly on the bad chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.architecture import Cache3T1DArchitecture
+from repro.core.schemes import HEADLINE_SCHEMES, RetentionScheme
+from repro.core.yieldmodel import YieldModel
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.reporting import format_table
+
+WAYS_SWEEP: Tuple[int, ...] = (1, 2, 4, 8)
+CHIP_LABELS: Tuple[str, str, str] = ("good", "median", "bad")
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    """Normalized performance per (chip, scheme, associativity)."""
+
+    performance: Dict[str, Dict[str, Dict[int, float]]]
+    """chip label -> scheme name -> ways -> normalized performance."""
+
+    def spread_at(self, chip_label: str, ways: int) -> float:
+        """Best-minus-worst scheme performance at one associativity."""
+        values = [
+            by_ways[ways]
+            for by_ways in self.performance[chip_label].values()
+        ]
+        return max(values) - min(values)
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    schemes: Tuple[RetentionScheme, ...] = HEADLINE_SCHEMES,
+    ways_sweep: Tuple[int, ...] = WAYS_SWEEP,
+) -> Fig11Result:
+    """Regenerate Figure 11 at the context's Monte-Carlo scale."""
+    context = context or ExperimentContext()
+    good, median, bad = YieldModel(
+        context.chips_3t1d("severe")
+    ).pick_good_median_bad()
+    chips = {"good": good, "median": median, "bad": bad}
+    performance: Dict[str, Dict[str, Dict[int, float]]] = {
+        label: {scheme.name: {} for scheme in schemes} for label in chips
+    }
+    for ways in ways_sweep:
+        evaluator = context.evaluator(ways=ways)
+        for label, chip in chips.items():
+            for scheme in schemes:
+                architecture = Cache3T1DArchitecture(
+                    chip, scheme, config=evaluator.config
+                )
+                evaluation = evaluator.evaluate(architecture)
+                performance[label][scheme.name][ways] = (
+                    evaluation.normalized_performance
+                )
+    return Fig11Result(performance=performance)
+
+
+def report(result: Fig11Result) -> str:
+    """One table per chip, schemes x associativity."""
+    parts = []
+    for label, by_scheme in result.performance.items():
+        ways = sorted(next(iter(by_scheme.values())))
+        headers = ["scheme"] + [f"{w}-way" for w in ways]
+        rows = [
+            [scheme] + [f"{by_ways[w]:.3f}" for w in ways]
+            for scheme, by_ways in by_scheme.items()
+        ]
+        parts.append(
+            format_table(
+                headers, rows,
+                title=f"Figure 11: {label} chip, performance vs. associativity",
+            )
+        )
+        parts.append("")
+    return "\n".join(parts)
+
+
+def main() -> None:
+    """Regenerate and print Figure 11."""
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Plain-text table and series formatting for the experiment drivers.
+
+The original figures are plots; the reproduction prints the underlying
+rows/series in fixed-width tables so results can be diffed and eyeballed
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width text table."""
+    rows = [[_cell(value) for value in row] for row in rows]
+    headers = [str(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    bin_labels: Sequence[str],
+    probabilities: Sequence[float],
+    title: str = "",
+    bar_width: int = 40,
+) -> str:
+    """Render a probability histogram as text bars."""
+    if len(bin_labels) != len(probabilities):
+        raise ConfigurationError("labels and probabilities must align")
+    peak = max(probabilities) if len(probabilities) else 0.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, prob in zip(bin_labels, probabilities):
+        bar = "#" * (int(round(prob / peak * bar_width)) if peak > 0 else 0)
+        lines.append(f"{label:>12s} {prob:6.1%} {bar}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def write_csv(
+    path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> None:
+    """Write experiment rows as CSV for downstream plotting tools.
+
+    A thin wrapper over :mod:`csv` that validates row widths the same way
+    :func:`format_table` does, so the text report and the CSV can never
+    disagree about shape.
+    """
+    import csv
+
+    rows = [list(row) for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        writer.writerows(rows)

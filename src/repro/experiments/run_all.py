@@ -1,0 +1,144 @@
+"""Regenerate every table and figure in one command.
+
+Usage::
+
+    python -m repro.experiments.run_all [--chips N] [--refs N] [--out DIR]
+
+Writes one text report per experiment (plus a combined ``summary.txt``) to
+the output directory, using a single shared :class:`ExperimentContext` so
+the Monte-Carlo chip batches and benchmark traces are sampled once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import time
+from typing import Callable, List, Tuple
+
+from repro.experiments.runner import ExperimentContext
+from repro.experiments import (
+    fig01_reuse,
+    fig04_retention_curve,
+    fig06_typical,
+    fig07_leakage,
+    fig08_line_retention,
+    fig09_schemes,
+    fig10_hundred_chips,
+    fig11_associativity,
+    fig12_sensitivity,
+    table3,
+)
+
+EXPERIMENTS: List[Tuple[str, object]] = [
+    ("fig01_reuse", fig01_reuse),
+    ("fig04_retention_curve", fig04_retention_curve),
+    ("fig06_typical", fig06_typical),
+    ("fig07_leakage", fig07_leakage),
+    ("fig08_line_retention", fig08_line_retention),
+    ("fig09_schemes", fig09_schemes),
+    ("fig10_hundred_chips", fig10_hundred_chips),
+    ("fig11_associativity", fig11_associativity),
+    ("fig12_sensitivity", fig12_sensitivity),
+    ("table3", table3),
+]
+
+
+def _write_csv_exports(out_dir: pathlib.Path, name: str, result) -> None:
+    """Write machine-readable series for the plot-shaped experiments."""
+    from repro.experiments.reporting import write_csv
+
+    if name == "fig01_reuse":
+        headers = ["benchmark"] + [str(g) for g in result.grid]
+        rows = [
+            [bench] + [float(v) for v in cdf]
+            for bench, cdf in result.measured.items()
+        ]
+        write_csv(out_dir / "fig01_reuse.csv", headers, rows)
+    elif name == "fig10_hundred_chips":
+        names = list(result.performance)
+        headers = ["chip_rank"] + [f"{n} perf" for n in names] + [
+            f"{n} power" for n in names
+        ]
+        rows = [
+            [rank + 1]
+            + [float(result.performance[n][rank]) for n in names]
+            + [float(result.power[n][rank]) for n in names]
+            for rank in range(len(result.chip_ids))
+        ]
+        write_csv(out_dir / "fig10_hundred_chips.csv", headers, rows)
+    elif name == "fig12_sensitivity":
+        headers = ["scheme", "mu_cycles", "sigma_ratio", "performance"]
+        rows = [
+            [scheme, mu, ratio, float(surface[i, j])]
+            for scheme, surface in result.surfaces.items()
+            for i, mu in enumerate(result.mu_cycles)
+            for j, ratio in enumerate(result.sigma_ratios)
+        ]
+        write_csv(out_dir / "fig12_sensitivity.csv", headers, rows)
+
+
+def run_all(
+    context: ExperimentContext,
+    out_dir: pathlib.Path,
+    progress: Callable[[str], None] = print,
+    csv_exports: bool = True,
+) -> pathlib.Path:
+    """Run every experiment; returns the path of the combined summary."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    summary_parts = []
+    for name, module in EXPERIMENTS:
+        start = time.perf_counter()
+        if name == "fig04_retention_curve":
+            result = module.run()  # pure circuit model, no Monte Carlo
+        elif name == "table3":
+            result = module.run(
+                ExperimentContext(
+                    n_chips=max(10, context.n_chips // 2),
+                    n_references=context.n_references,
+                    seed=context.seed,
+                )
+            )
+        else:
+            result = module.run(context)
+        text = module.report(result)
+        elapsed = time.perf_counter() - start
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        if csv_exports:
+            _write_csv_exports(out_dir, name, result)
+        progress(f"{name}: done in {elapsed:.1f}s")
+        summary_parts.append(f"{'=' * 72}\n{name} ({elapsed:.1f}s)\n{'=' * 72}")
+        summary_parts.append(text)
+    summary_path = out_dir / "summary.txt"
+    summary_path.write_text("\n\n".join(summary_parts) + "\n")
+    return summary_path
+
+
+def main(argv=None) -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate all paper tables and figures."
+    )
+    parser.add_argument(
+        "--chips", type=int, default=60,
+        help="Monte-Carlo chips per scenario (paper scale: 100)",
+    )
+    parser.add_argument(
+        "--refs", type=int, default=8000,
+        help="trace references per benchmark",
+    )
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("results"),
+        help="output directory for the text reports",
+    )
+    args = parser.parse_args(argv)
+    context = ExperimentContext(
+        n_chips=args.chips, n_references=args.refs, seed=args.seed
+    )
+    summary = run_all(context, args.out)
+    print(f"combined report: {summary}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Shared experiment plumbing: scale, seeding, and chip/evaluator caches.
+
+Every figure driver takes an :class:`ExperimentContext`, which fixes the
+Monte-Carlo scale (number of chips, trace length) and memoises the
+expensive inputs (chip batches per scenario, evaluators per
+configuration) so multi-figure runs don't repeat work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.technology.node import NODE_32NM, TechnologyNode
+from repro.variation.parameters import VariationParams
+from repro.array.chip import ChipSampler, DRAM3T1DChipSample, SRAMChipSample
+from repro.cache.config import CacheConfig
+from repro.core.evaluation import Evaluator
+
+
+@dataclass
+class ExperimentContext:
+    """Scale and caching for one experiment run.
+
+    ``n_chips`` / ``n_references`` default to paper scale (100 chips) and
+    a laptop-sized trace; benches pass smaller values.
+    """
+
+    node: TechnologyNode = NODE_32NM
+    n_chips: int = 100
+    n_references: int = 8000
+    seed: int = 2007  # the paper's year; any fixed value works
+    benchmarks: Optional[Sequence[str]] = None
+    _chips_3t1d: Dict[str, List[DRAM3T1DChipSample]] = field(
+        init=False, default_factory=dict, repr=False
+    )
+    _chips_sram: Dict[Tuple[str, float], List[SRAMChipSample]] = field(
+        init=False, default_factory=dict, repr=False
+    )
+    _evaluators: Dict[Tuple[str, int], Evaluator] = field(
+        init=False, default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_chips < 1:
+            raise ConfigurationError("n_chips must be >= 1")
+        if self.n_references < 1:
+            raise ConfigurationError("n_references must be >= 1")
+
+    # ------------------------------------------------------------------
+
+    def scenario(self, name: str) -> VariationParams:
+        """Variation scenario by name ('typical' / 'severe' / 'none')."""
+        factories = {
+            "typical": VariationParams.typical,
+            "severe": VariationParams.severe,
+            "none": VariationParams.none,
+        }
+        try:
+            return factories[name]()
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown scenario {name!r}; expected one of {sorted(factories)}"
+            ) from None
+
+    def chips_3t1d(self, scenario: str) -> List[DRAM3T1DChipSample]:
+        """The cached Monte-Carlo 3T1D chip batch for ``scenario``."""
+        if scenario not in self._chips_3t1d:
+            sampler = ChipSampler(
+                self.node, self.scenario(scenario), seed=self.seed
+            )
+            self._chips_3t1d[scenario] = sampler.sample_3t1d_chips(self.n_chips)
+        return self._chips_3t1d[scenario]
+
+    def chips_sram(
+        self, scenario: str, size_factor: float = 1.0
+    ) -> List[SRAMChipSample]:
+        """The cached Monte-Carlo 6T chip batch for ``scenario``."""
+        key = (scenario, size_factor)
+        if key not in self._chips_sram:
+            sampler = ChipSampler(
+                self.node, self.scenario(scenario), seed=self.seed + 17
+            )
+            self._chips_sram[key] = sampler.sample_sram_chips(
+                self.n_chips, size_factor=size_factor
+            )
+        return self._chips_sram[key]
+
+    def evaluator(self, ways: int = 4) -> Evaluator:
+        """The cached evaluator for an associativity (traces shared)."""
+        key = (self.node.name, ways)
+        if key not in self._evaluators:
+            config = CacheConfig()
+            if ways != config.geometry.ways:
+                config = config.with_ways(ways)
+            self._evaluators[key] = Evaluator(
+                self.node,
+                config=config,
+                n_references=self.n_references,
+                seed=self.seed,
+                benchmarks=self.benchmarks,
+            )
+        return self._evaluators[key]

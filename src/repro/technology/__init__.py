@@ -1,0 +1,31 @@
+"""Technology substrate: process nodes, device models, and wire models.
+
+This package replaces the paper's Hspice + Predictive Technology Model (PTM)
+stack with first-order analytic device models calibrated to the anchor
+numbers the paper reports (Table 1 circuit parameters, Table 3 access times
+and power, and the Figure 4 retention curve).  See ``DESIGN.md`` section 2
+for the substitution rationale.
+"""
+
+from repro.technology.node import (
+    TechnologyNode,
+    NODE_65NM,
+    NODE_45NM,
+    NODE_32NM,
+    ALL_NODES,
+)
+from repro.technology.transistor import Transistor, TransistorType
+from repro.technology.wire import WireModel
+from repro.technology import calibration
+
+__all__ = [
+    "TechnologyNode",
+    "NODE_65NM",
+    "NODE_45NM",
+    "NODE_32NM",
+    "ALL_NODES",
+    "Transistor",
+    "TransistorType",
+    "WireModel",
+    "calibration",
+]

@@ -1,0 +1,226 @@
+"""Calibration anchors fitted to the paper's reported numbers.
+
+The paper derives its circuit-level inputs from Hspice simulations of
+extracted cell designs.  We cannot rerun Hspice, so the analytic models in
+this package are *pinned* to the quantities the paper reports and the
+architectural study consumes:
+
+* ideal 6T array access time per node      (Table 3: 285 / 251 / 208 ps)
+* chip frequency per node                  (Table 1: 3.0 / 3.5 / 4.3 GHz)
+* 6T cache leakage power per node          (Table 3: 15.8 / 36.0 / 78.2 mW)
+* 3T1D cache leakage power per node        (Table 3: 3.36 / 5.68 / 24.4 mW)
+* full-rate dynamic power per node         (Table 3)
+* mean dynamic power per node              (Table 3)
+* 3T1D nominal cell retention time         (Figure 4: ~5.8 us at 32nm)
+
+Everything else (variation spreads, distribution shapes, scheme rankings)
+is *predicted* by the models, not pinned -- those are the reproduction
+results reported in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro import units
+from repro.errors import CalibrationError
+from repro.technology.node import TechnologyNode
+
+# ---------------------------------------------------------------------------
+# Table 3 anchors, keyed by node name.
+# ---------------------------------------------------------------------------
+
+ACCESS_TIME_6T: Dict[str, float] = {
+    "65nm": units.ps(285),
+    "45nm": units.ps(251),
+    "32nm": units.ps(208),
+}
+"""Ideal (no-variation) 6T array access time per node, seconds."""
+
+LEAKAGE_POWER_6T: Dict[str, float] = {
+    "65nm": units.mw(15.8),
+    "45nm": units.mw(36.0),
+    "32nm": units.mw(78.2),
+}
+"""Nominal leakage power of the full 64KB 6T cache, watts."""
+
+LEAKAGE_POWER_3T1D: Dict[str, float] = {
+    "65nm": units.mw(3.36),
+    "45nm": units.mw(5.68),
+    "32nm": units.mw(24.4),
+}
+"""Nominal leakage power of the full 64KB 3T1D cache, watts."""
+
+FULL_DYNAMIC_POWER_6T: Dict[str, float] = {
+    "65nm": units.mw(31.97),
+    "45nm": units.mw(25.96),
+    "32nm": units.mw(20.75),
+}
+"""Dynamic power with every cache port busy every cycle (ideal 6T), watts."""
+
+FULL_DYNAMIC_POWER_3T1D: Dict[str, float] = {
+    "65nm": units.mw(29.93),
+    "45nm": units.mw(24.65),
+    "32nm": units.mw(20.30),
+}
+"""Dynamic power with every port busy every cycle (3T1D), watts."""
+
+MEAN_DYNAMIC_POWER_6T: Dict[str, float] = {
+    "65nm": units.mw(4.30),
+    "45nm": units.mw(3.41),
+    "32nm": units.mw(2.78),
+}
+"""Average dynamic power over the 8-benchmark mix (ideal 6T), watts."""
+
+NOMINAL_RETENTION_3T1D: Dict[str, float] = {
+    "65nm": units.us(12.0),
+    "45nm": units.us(8.6),
+    "32nm": units.us(5.8),
+}
+"""No-variation 3T1D cell retention time per node, seconds.
+
+The 32nm value is the Figure 4 anchor (~5.8 us).  The 65nm and 45nm values
+are back-solved so that the median sampled chip under typical variation
+lands near the Table 3 retention column (4000 / 2900 / 1900 ns)."""
+
+# ---------------------------------------------------------------------------
+# Cache geometry used for leakage calibration (matches Table 2 / section 3.2:
+# 64KB, 512-bit lines, 4-way; tags sized for a 44-bit physical address).
+# ---------------------------------------------------------------------------
+
+CACHE_DATA_BITS: int = 64 * 1024 * 8
+CACHE_LINES: int = CACHE_DATA_BITS // 512
+TAG_BITS_PER_LINE: int = 34  # 30-bit tag + valid + dirty + 2 LRU bits
+CACHE_TOTAL_CELLS: int = CACHE_DATA_BITS + CACHE_LINES * TAG_BITS_PER_LINE
+
+STRONG_LEAK_PATHS_6T: int = 3
+"""Strong leakage paths per 6T cell (one 'off' device each; paper Fig 2a)."""
+
+READ_PORTS: int = 2
+WRITE_PORTS: int = 1
+TOTAL_PORTS: int = READ_PORTS + WRITE_PORTS
+
+# Share of the array access path spent discharging the bitline vs. in the
+# decoder/wordline and sense-amp/output stages.  The bitline and wordline
+# shares scale with cell/driver drive current under variation; the sense-amp
+# share is treated as peripheral and (for 3T1D) folds into retention time.
+BITLINE_FRACTION: float = 0.45
+WORDLINE_FRACTION: float = 0.32
+PERIPHERY_FRACTION: float = 0.23
+
+# Global refresh power model (section 4.1 / Figure 6b): a fixed control
+# overhead plus a per-pass energy term proportional to 1 / retention time.
+REFRESH_CONTROL_OVERHEAD: float = 0.13
+"""Counter, token, and clocking overhead as a fraction of ideal dynamic power."""
+
+REFRESH_LINE_ENERGY_PORT_ACCESSES: float = 0.9
+"""Energy to refresh one 512-bit line, in units of one full port access
+(the pipelined read+write reuses the already-open row and sense amps)."""
+
+# ---------------------------------------------------------------------------
+# Device-model constants.
+# ---------------------------------------------------------------------------
+
+_DRIVE_CONSTANTS: Dict[str, float] = {
+    # k_drive in A/V^alpha for a square (W/L = 1) NMOS device; produces
+    # on-currents of tens of microamps for minimum devices, consistent with
+    # PTM-class devices at 1.1 V.
+    "65nm": 6.0e-5,
+    "45nm": 7.0e-5,
+    "32nm": 8.0e-5,
+}
+
+
+def drive_constant_for_node(node: TechnologyNode) -> float:
+    """Alpha-power-law drive constant for ``node`` (A/V^alpha)."""
+    try:
+        return _DRIVE_CONSTANTS[node.name]
+    except KeyError:
+        raise CalibrationError(
+            f"no drive-constant calibration for node {node.name!r}"
+        ) from None
+
+
+def leakage_constant_for_node(node: TechnologyNode) -> float:
+    """Subthreshold leakage constant k_leak (A per meter of width).
+
+    Back-solved so that the nominal 64KB 6T cache hits the Table 3 leakage
+    anchor for the node:
+
+        P_leak = Vdd * N_cells * N_paths * I_off(min device)
+        I_off  = k_leak * W_min * exp(-Vth / (n * vT))
+    """
+    from repro.technology.transistor import SUBTHRESHOLD_IDEALITY
+
+    try:
+        target_power = LEAKAGE_POWER_6T[node.name]
+    except KeyError:
+        raise CalibrationError(
+            f"no leakage calibration for node {node.name!r}"
+        ) from None
+    v_t = units.thermal_voltage()
+    per_device = target_power / (
+        node.vdd * CACHE_TOTAL_CELLS * STRONG_LEAK_PATHS_6T
+    )
+    boltzmann_factor = math.exp(-node.vth / (SUBTHRESHOLD_IDEALITY * v_t))
+    return per_device / (node.feature_size * boltzmann_factor)
+
+
+def nominal_access_time(node: TechnologyNode) -> float:
+    """Ideal 6T array access time for ``node`` in seconds (Table 3 anchor)."""
+    try:
+        return ACCESS_TIME_6T[node.name]
+    except KeyError:
+        raise CalibrationError(
+            f"no access-time calibration for node {node.name!r}"
+        ) from None
+
+
+def nominal_retention_time(node: TechnologyNode) -> float:
+    """No-variation 3T1D cell retention time for ``node`` in seconds.
+
+    Scales with the square of supply-voltage headroom so that the Figure 12
+    low-voltage design points (e.g. 0.9 V at 32nm) see shorter retention:
+    a lower supply both shrinks the stored charge and the voltage margin.
+    """
+    base = ALL_NODE_RETENTION.get(node.name)
+    if base is None:
+        raise CalibrationError(
+            f"no retention calibration for node {node.name!r}"
+        )
+    reference = TechnologyNode.from_name(node.name)
+    headroom = (node.vdd - node.vth) / (reference.vdd - reference.vth)
+    if headroom <= 0:
+        raise CalibrationError(
+            f"supply voltage {node.vdd} leaves no headroom above vth {node.vth}"
+        )
+    return base * headroom ** 2
+
+
+ALL_NODE_RETENTION = NOMINAL_RETENTION_3T1D
+
+
+def port_access_energy(node: TechnologyNode, cell: str = "6T") -> float:
+    """Energy of one full-width port access (512-bit line read or write), joules.
+
+    Back-solved from the Table 3 "Full Dyn. Pwr" anchors: full dynamic power
+    corresponds to all ``TOTAL_PORTS`` ports performing an access every cycle
+    at the nominal chip frequency.
+    """
+    anchors = FULL_DYNAMIC_POWER_6T if cell == "6T" else FULL_DYNAMIC_POWER_3T1D
+    try:
+        full_power = anchors[node.name]
+    except KeyError:
+        raise CalibrationError(
+            f"no dynamic-power calibration for node {node.name!r}"
+        ) from None
+    reference = TechnologyNode.from_name(node.name)
+    energy = full_power / (TOTAL_PORTS * reference.frequency)
+    # Dynamic energy scales as Vdd^2 for supply-voltage what-if studies.
+    return energy * (node.vdd / reference.vdd) ** 2
+
+
+def refresh_line_energy(node: TechnologyNode) -> float:
+    """Energy to refresh one cache line (pipelined read + write), joules."""
+    return REFRESH_LINE_ENERGY_PORT_ACCESSES * port_access_energy(node, "3T1D")

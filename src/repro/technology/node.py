@@ -1,0 +1,172 @@
+"""Technology node definitions (paper Table 1).
+
+Each :class:`TechnologyNode` carries the circuit parameters the paper lists
+for its three simulated nodes (65nm, 45nm, 32nm) plus the electrical
+quantities the first-order device models need (supply voltage, nominal
+threshold voltage, gate oxide capacitance).
+
+The paper's Table 1::
+
+    node   min cell area  wire width  wire thickness  oxide  chip frequency
+    65nm   0.90 um^2      0.10 um     0.20 um         1.2nm  3.0 GHz
+    45nm   0.45 um^2      0.07 um     0.14 um         1.1nm  3.5 GHz
+    32nm   0.23 um^2      0.05 um     0.10 um         1.0nm  4.3 GHz
+
+Supply and threshold voltages are not tabulated in the paper; we use the
+PTM-typical values for these nodes (the paper's sensitivity study mentions a
+1.1 V supply for its 45nm/32nm design points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Parameters of one CMOS process node.
+
+    Attributes mirror Table 1 of the paper, in SI units:
+
+    * ``name`` -- human-readable node name, e.g. ``"32nm"``.
+    * ``feature_size`` -- drawn gate length in meters.
+    * ``cell_area`` -- minimum-size 6T cache cell area in m^2.
+    * ``wire_width`` / ``wire_thickness`` -- interconnect geometry in meters.
+    * ``oxide_thickness`` -- gate oxide thickness in meters.
+    * ``frequency`` -- nominal chip frequency in Hz.
+    * ``vdd`` -- nominal supply voltage in volts.
+    * ``vth`` -- nominal NMOS threshold voltage in volts.
+    """
+
+    name: str
+    feature_size: float
+    cell_area: float
+    wire_width: float
+    wire_thickness: float
+    oxide_thickness: float
+    frequency: float
+    vdd: float = 1.1
+    vth: float = 0.30
+
+    def __post_init__(self) -> None:
+        positive = {
+            "feature_size": self.feature_size,
+            "cell_area": self.cell_area,
+            "wire_width": self.wire_width,
+            "wire_thickness": self.wire_thickness,
+            "oxide_thickness": self.oxide_thickness,
+            "frequency": self.frequency,
+            "vdd": self.vdd,
+        }
+        for attr, value in positive.items():
+            if value <= 0:
+                raise ConfigurationError(
+                    f"TechnologyNode.{attr} must be positive, got {value!r}"
+                )
+        if not 0 < self.vth < self.vdd:
+            raise ConfigurationError(
+                f"vth must lie in (0, vdd); got vth={self.vth}, vdd={self.vdd}"
+            )
+
+    # --- derived electrical quantities ---------------------------------
+
+    @property
+    def cycle_time(self) -> float:
+        """Nominal clock period in seconds."""
+        return 1.0 / self.frequency
+
+    @property
+    def oxide_capacitance_per_area(self) -> float:
+        """Gate oxide capacitance per unit area, F/m^2."""
+        return units.EPSILON_SIO2 / self.oxide_thickness
+
+    @property
+    def gate_overdrive(self) -> float:
+        """Nominal gate overdrive ``vdd - vth`` in volts."""
+        return self.vdd - self.vth
+
+    def scaled(self, **overrides: float) -> "TechnologyNode":
+        """Return a copy of this node with selected fields replaced.
+
+        Useful for what-if studies, e.g. supply-voltage scaling in the
+        sensitivity analysis (paper Figure 12 design points)::
+
+            low_voltage = NODE_32NM.scaled(vdd=0.9)
+        """
+        values = {
+            "name": self.name,
+            "feature_size": self.feature_size,
+            "cell_area": self.cell_area,
+            "wire_width": self.wire_width,
+            "wire_thickness": self.wire_thickness,
+            "oxide_thickness": self.oxide_thickness,
+            "frequency": self.frequency,
+            "vdd": self.vdd,
+            "vth": self.vth,
+        }
+        unknown = set(overrides) - set(values)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown TechnologyNode fields: {sorted(unknown)}"
+            )
+        values.update(overrides)
+        return TechnologyNode(**values)
+
+    @staticmethod
+    def from_name(name: str) -> "TechnologyNode":
+        """Look up one of the paper's three nodes by name ("65nm", "45nm", "32nm")."""
+        try:
+            return ALL_NODES[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown technology node {name!r}; "
+                f"available: {sorted(ALL_NODES)}"
+            ) from None
+
+
+NODE_65NM = TechnologyNode(
+    name="65nm",
+    feature_size=units.nm(65),
+    cell_area=units.um(0.90) * units.um(1.0),  # 0.90 um^2
+    wire_width=units.um(0.10),
+    wire_thickness=units.um(0.20),
+    oxide_thickness=units.nm(1.2),
+    frequency=units.ghz(3.0),
+    vdd=1.1,
+    vth=0.35,
+)
+
+NODE_45NM = TechnologyNode(
+    name="45nm",
+    feature_size=units.nm(45),
+    cell_area=units.um(0.45) * units.um(1.0),  # 0.45 um^2
+    wire_width=units.um(0.07),
+    wire_thickness=units.um(0.14),
+    oxide_thickness=units.nm(1.1),
+    frequency=units.ghz(3.5),
+    vdd=1.1,
+    vth=0.33,
+)
+
+NODE_32NM = TechnologyNode(
+    name="32nm",
+    feature_size=units.nm(32),
+    cell_area=units.um(0.23) * units.um(1.0),  # 0.23 um^2
+    wire_width=units.um(0.05),
+    wire_thickness=units.um(0.10),
+    oxide_thickness=units.nm(1.0),
+    frequency=units.ghz(4.3),
+    vdd=1.1,
+    vth=0.30,
+)
+
+ALL_NODES: Dict[str, TechnologyNode] = {
+    node.name: node for node in (NODE_65NM, NODE_45NM, NODE_32NM)
+}
+
+NODE_ORDER: Tuple[str, ...] = ("65nm", "45nm", "32nm")
+"""Scaling order used when iterating nodes in paper tables."""

@@ -1,0 +1,70 @@
+"""Distributed-pi RC wire model (paper section 3.1).
+
+The paper scales all wires with technology and cell area, assumes copper,
+and uses distributed-pi models for wire delay.  We reproduce that with the
+standard closed forms:
+
+* wire resistance per length:  r = rho / (width * thickness)
+* wire capacitance per length: c = c_areal * width + 2 * c_fringe
+* distributed RC (Elmore) delay of a wire of length L: 0.5 * r * c * L^2
+* delay of a wire driven by resistance R_drv into load C_load:
+  R_drv*(c*L + C_load) + r*L*(0.5*c*L + C_load)
+
+These appear in the sub-array timing model for wordlines and bitlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.technology.node import TechnologyNode
+
+# Areal capacitance to the planes above/below, plus lateral fringe to
+# neighbouring wires, for tightly pitched cache-array metal.
+WIRE_AREAL_CAP: float = 30e-6  # F/m^2 against each adjacent plane
+WIRE_FRINGE_CAP: float = 40e-12  # F/m per edge
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """RC characteristics of the array interconnect at one node."""
+
+    node: TechnologyNode
+
+    @property
+    def resistance_per_meter(self) -> float:
+        """Wire resistance per unit length in Ohm/m."""
+        cross_section = self.node.wire_width * self.node.wire_thickness
+        if cross_section <= 0:
+            raise ConfigurationError("wire cross-section must be positive")
+        return units.COPPER_RESISTIVITY / cross_section
+
+    @property
+    def capacitance_per_meter(self) -> float:
+        """Wire capacitance per unit length in F/m (area + fringe terms)."""
+        area_component = 2.0 * WIRE_AREAL_CAP * self.node.wire_width
+        fringe_component = 2.0 * WIRE_FRINGE_CAP
+        return area_component + fringe_component
+
+    def elmore_delay(self, length: float, load_capacitance: float = 0.0,
+                     driver_resistance: float = 0.0) -> float:
+        """Elmore delay of a distributed-pi wire segment in seconds.
+
+        ``length`` in meters; optional lumped ``load_capacitance`` at the far
+        end and ``driver_resistance`` at the near end.
+        """
+        if length < 0:
+            raise ConfigurationError(f"wire length must be >= 0, got {length}")
+        r_total = self.resistance_per_meter * length
+        c_total = self.capacitance_per_meter * length
+        wire_term = 0.5 * r_total * c_total + r_total * load_capacitance
+        driver_term = driver_resistance * (c_total + load_capacitance)
+        return wire_term + driver_term
+
+    def wire_capacitance(self, length: float) -> float:
+        """Total capacitance of a wire of ``length`` meters, in farads."""
+        if length < 0:
+            raise ConfigurationError(f"wire length must be >= 0, got {length}")
+        return self.capacitance_per_meter * length

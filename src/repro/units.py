@@ -1,0 +1,152 @@
+"""Physical constants and unit helpers.
+
+The library works internally in SI units (seconds, volts, amperes, watts,
+meters, farads) unless a function name explicitly says otherwise (``_ns``,
+``_ps``, ``_mw`` ...).  These helpers keep conversions explicit and
+self-documenting at call sites.
+"""
+
+from __future__ import annotations
+
+# --- fundamental constants -------------------------------------------------
+
+BOLTZMANN: float = 1.380649e-23
+"""Boltzmann constant in J/K."""
+
+ELECTRON_CHARGE: float = 1.602176634e-19
+"""Elementary charge in C."""
+
+EPSILON_0: float = 8.8541878128e-12
+"""Vacuum permittivity in F/m."""
+
+EPSILON_SIO2: float = 3.9 * EPSILON_0
+"""Permittivity of silicon dioxide in F/m."""
+
+COPPER_RESISTIVITY: float = 2.2e-8
+"""Effective resistivity of scaled copper interconnect in Ohm*m.
+
+Slightly above the bulk value (1.7e-8) to account for surface and grain
+boundary scattering in narrow wires, per standard interconnect models.
+"""
+
+CELSIUS_OFFSET: float = 273.15
+
+SIMULATION_TEMPERATURE_C: float = 80.0
+"""All circuit simulations in the paper are run at 80 degrees Celsius."""
+
+
+def thermal_voltage(temperature_c: float = SIMULATION_TEMPERATURE_C) -> float:
+    """Return kT/q in volts at the given temperature in Celsius.
+
+    At the paper's 80C simulation temperature this is about 30.4mV.
+    """
+    kelvin = temperature_c + CELSIUS_OFFSET
+    return BOLTZMANN * kelvin / ELECTRON_CHARGE
+
+
+# --- time ------------------------------------------------------------------
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def ps(value: float) -> float:
+    """Convert picoseconds to seconds."""
+    return value * 1e-12
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds * 1e9
+
+
+def to_ps(seconds: float) -> float:
+    """Convert seconds to picoseconds."""
+    return seconds * 1e12
+
+
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * 1e6
+
+
+# --- length ----------------------------------------------------------------
+
+def nm(value: float) -> float:
+    """Convert nanometers to meters."""
+    return value * 1e-9
+
+
+def um(value: float) -> float:
+    """Convert micrometers to meters."""
+    return value * 1e-6
+
+
+def to_nm(meters: float) -> float:
+    """Convert meters to nanometers."""
+    return meters * 1e9
+
+
+def to_um(meters: float) -> float:
+    """Convert meters to micrometers."""
+    return meters * 1e6
+
+
+# --- power / energy --------------------------------------------------------
+
+def mw(value: float) -> float:
+    """Convert milliwatts to watts."""
+    return value * 1e-3
+
+
+def to_mw(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts * 1e3
+
+
+def fj(value: float) -> float:
+    """Convert femtojoules to joules."""
+    return value * 1e-15
+
+
+def to_fj(joules: float) -> float:
+    """Convert joules to femtojoules."""
+    return joules * 1e15
+
+
+def pj(value: float) -> float:
+    """Convert picojoules to joules."""
+    return value * 1e-12
+
+
+def to_pj(joules: float) -> float:
+    """Convert joules to picojoules."""
+    return joules * 1e12
+
+
+# --- frequency -------------------------------------------------------------
+
+def ghz(value: float) -> float:
+    """Convert gigahertz to hertz."""
+    return value * 1e9
+
+
+def to_ghz(hertz: float) -> float:
+    """Convert hertz to gigahertz."""
+    return hertz / 1e9
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count at ``frequency_hz`` into seconds."""
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Convert a duration in seconds to (fractional) cycles at ``frequency_hz``."""
+    return seconds * frequency_hz

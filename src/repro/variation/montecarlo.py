@@ -1,0 +1,166 @@
+"""Per-chip Monte-Carlo variation sampling.
+
+A :class:`VariationSampler` turns a (node, scenario) pair into a stream of
+:class:`ChipVariation` draws.  Each draw fixes the chip's correlated
+components (die-to-die gate-length offset and the per-sub-array within-die
+gate-length deviations) and carries a dedicated random generator for the
+cell-level random-dopant draws, which the cell/array models sample lazily
+in vectorised form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.technology.node import TechnologyNode
+from repro.variation.parameters import VariationParams
+from repro.variation.quadtree import QuadTreeSampler
+
+DEFAULT_SUBARRAY_ROWS: int = 2
+DEFAULT_SUBARRAY_COLS: int = 4
+"""The 64KB cache's 8 sub-arrays laid out as a 2 x 4 grid on the die."""
+
+
+@dataclass
+class ChipVariation:
+    """The frozen correlated-variation state of one sampled chip.
+
+    Attributes
+    ----------
+    node:
+        Technology node the chip is manufactured in.
+    params:
+        Variation scenario used for the draw.
+    delta_l_d2d:
+        Die-to-die gate-length offset in meters (one value per chip).
+    delta_l_subarray:
+        Within-die correlated gate-length deviation per sub-array, meters;
+        shape ``(n_subarrays,)``.  Devices within a sub-array share this
+        value (strongly correlated gate lengths within a sub-array).
+    rng:
+        Chip-private random generator used for the independent per-device
+        threshold-voltage draws.
+    chip_id:
+        Sequence number of the draw (useful for labeling chips in plots).
+    """
+
+    node: TechnologyNode
+    params: VariationParams
+    delta_l_d2d: float
+    delta_l_subarray: np.ndarray
+    rng: np.random.Generator
+    chip_id: int = 0
+
+    @property
+    def n_subarrays(self) -> int:
+        """Number of sub-arrays with distinct correlated gate length."""
+        return int(self.delta_l_subarray.shape[0])
+
+    def delta_l_total(self, subarray: int) -> float:
+        """Total correlated gate-length deviation for ``subarray``, meters."""
+        if not 0 <= subarray < self.n_subarrays:
+            raise ConfigurationError(
+                f"subarray index {subarray} out of range [0, {self.n_subarrays})"
+            )
+        return self.delta_l_d2d + float(self.delta_l_subarray[subarray])
+
+    def sample_vth(
+        self, size, sigma_scale: float = 1.0
+    ) -> np.ndarray:
+        """Draw independent random-dopant Vth deviations in volts.
+
+        ``sigma_scale`` is the Pelgrom area factor of the device being
+        sampled (1.0 for a minimum-size device, 0.5 for the 2X cell's
+        4x-area devices).
+        """
+        sigma = self.params.sigma_vth(self.node, sigma_scale)
+        if sigma == 0.0:
+            return np.zeros(size)
+        return self.rng.normal(0.0, sigma, size=size)
+
+
+@dataclass
+class VariationSampler:
+    """Generates :class:`ChipVariation` draws for a node and scenario.
+
+    The sampler is deterministic for a given ``seed``: re-creating it
+    reproduces the exact same sequence of chips, which keeps all paper
+    experiments reproducible.
+    """
+
+    node: TechnologyNode
+    params: VariationParams
+    seed: int = 0
+    subarray_rows: int = DEFAULT_SUBARRAY_ROWS
+    subarray_cols: int = DEFAULT_SUBARRAY_COLS
+    quadtree_levels: int = 3
+    _root_rng: np.random.Generator = field(init=False, repr=False)
+    _quadtree: QuadTreeSampler = field(init=False, repr=False)
+    _next_chip_id: int = field(init=False, default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.subarray_rows < 1 or self.subarray_cols < 1:
+            raise ConfigurationError("sub-array grid dimensions must be >= 1")
+        self._root_rng = np.random.default_rng(self.seed)
+        self._quadtree = QuadTreeSampler.grid(
+            self.subarray_rows, self.subarray_cols, levels=self.quadtree_levels
+        )
+
+    @property
+    def n_subarrays(self) -> int:
+        """Sub-arrays per chip."""
+        return self.subarray_rows * self.subarray_cols
+
+    def sample_chip(self) -> ChipVariation:
+        """Draw the next chip in the deterministic sequence."""
+        chip_id = self._next_chip_id
+        self._next_chip_id += 1
+        # A chip-private generator decouples cell-level draw counts from the
+        # chip sequence: chip k is identical no matter how the caller uses
+        # the per-chip generator of earlier chips.
+        chip_seed = self._root_rng.integers(0, 2 ** 63 - 1)
+        chip_rng = np.random.default_rng(chip_seed)
+        delta_l_d2d = (
+            chip_rng.normal(0.0, self.params.sigma_l_d2d(self.node))
+            if self.params.sigma_l_d2d_rel > 0
+            else 0.0
+        )
+        delta_l_subarray = self._quadtree.sample(
+            self.params.sigma_l_wid(self.node), chip_rng
+        )
+        return ChipVariation(
+            node=self.node,
+            params=self.params,
+            delta_l_d2d=float(delta_l_d2d),
+            delta_l_subarray=delta_l_subarray,
+            rng=chip_rng,
+            chip_id=chip_id,
+        )
+
+    def sample_chips(self, count: int) -> Iterator[ChipVariation]:
+        """Yield ``count`` consecutive chip draws."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        for _ in range(count):
+            yield self.sample_chip()
+
+    @staticmethod
+    def golden(node: TechnologyNode) -> ChipVariation:
+        """The no-variation (golden) chip at ``node``.
+
+        Used as the normalisation reference for every distribution plot.
+        """
+        params = VariationParams.none()
+        n_sub = DEFAULT_SUBARRAY_ROWS * DEFAULT_SUBARRAY_COLS
+        return ChipVariation(
+            node=node,
+            params=params,
+            delta_l_d2d=0.0,
+            delta_l_subarray=np.zeros(n_sub),
+            rng=np.random.default_rng(0),
+            chip_id=-1,
+        )

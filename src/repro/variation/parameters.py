@@ -1,0 +1,104 @@
+"""Variation scenario parameters (paper section 3.1).
+
+The paper studies two situations:
+
+* **typical variation**: sigma_L/L_nominal = 5% within die,
+  sigma_Vth/Vth_nominal = 10%;
+* **severe variation**: sigma_L/L_nominal = 7% within die,
+  sigma_Vth/Vth_nominal = 15%.
+
+Both assume sigma_L/L_nominal = 5% for die-to-die gate-length variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.technology.node import TechnologyNode
+
+
+@dataclass(frozen=True)
+class VariationParams:
+    """Relative sigmas of the three variation components.
+
+    * ``sigma_l_wid_rel`` -- within-die gate-length sigma / nominal L,
+      spatially correlated (quad-tree over sub-arrays).
+    * ``sigma_vth_rel`` -- random-dopant threshold sigma / nominal Vth,
+      independent per device (Pelgrom-scaled by device area).
+    * ``sigma_l_d2d_rel`` -- die-to-die gate-length sigma / nominal L,
+      one sample per chip.
+    """
+
+    sigma_l_wid_rel: float
+    sigma_vth_rel: float
+    sigma_l_d2d_rel: float = 0.05
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        for attr in ("sigma_l_wid_rel", "sigma_vth_rel", "sigma_l_d2d_rel"):
+            value = getattr(self, attr)
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(
+                    f"VariationParams.{attr} must be in [0, 1), got {value!r}"
+                )
+
+    @classmethod
+    def typical(cls) -> "VariationParams":
+        """The paper's *typical variation* scenario."""
+        return cls(
+            sigma_l_wid_rel=0.05,
+            sigma_vth_rel=0.10,
+            sigma_l_d2d_rel=0.05,
+            name="typical",
+        )
+
+    @classmethod
+    def severe(cls) -> "VariationParams":
+        """The paper's *severe variation* scenario."""
+        return cls(
+            sigma_l_wid_rel=0.07,
+            sigma_vth_rel=0.15,
+            sigma_l_d2d_rel=0.05,
+            name="severe",
+        )
+
+    @classmethod
+    def none(cls) -> "VariationParams":
+        """No variation at all; produces the golden (ideal) design point."""
+        return cls(
+            sigma_l_wid_rel=0.0,
+            sigma_vth_rel=0.0,
+            sigma_l_d2d_rel=0.0,
+            name="none",
+        )
+
+    # --- absolute sigmas for a given node --------------------------------
+
+    def sigma_l_wid(self, node: TechnologyNode) -> float:
+        """Within-die gate-length sigma in meters."""
+        return self.sigma_l_wid_rel * node.feature_size
+
+    def sigma_l_d2d(self, node: TechnologyNode) -> float:
+        """Die-to-die gate-length sigma in meters."""
+        return self.sigma_l_d2d_rel * node.feature_size
+
+    def sigma_vth(self, node: TechnologyNode, area_scale: float = 1.0) -> float:
+        """Random-dopant threshold sigma in volts for a device whose
+        gate area is ``1 / area_scale**2`` times the minimum device
+        (``area_scale`` is the Pelgrom 1/sqrt(area) factor, 1.0 for a
+        minimum-size device)."""
+        if area_scale <= 0:
+            raise ConfigurationError(
+                f"area_scale must be positive, got {area_scale!r}"
+            )
+        return self.sigma_vth_rel * node.vth * area_scale
+
+    @property
+    def is_zero(self) -> bool:
+        """True if every component sigma is exactly zero."""
+        return (
+            self.sigma_l_wid_rel == 0.0
+            and self.sigma_vth_rel == 0.0
+            and self.sigma_l_d2d_rel == 0.0
+        )

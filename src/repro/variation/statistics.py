@@ -1,0 +1,104 @@
+"""Distribution summaries and small statistics helpers.
+
+These utilities back every histogram/percentile figure in the paper
+reproduction (Figures 6, 7, 8, 10) and the harmonic-mean performance
+aggregation the paper uses when reporting single numbers (section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean, the paper's aggregate over its 8 benchmarks.
+
+    Raises :class:`ConfigurationError` on empty input or non-positive
+    values (for which the harmonic mean is undefined).
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("harmonic_mean of an empty sequence")
+    if np.any(array <= 0):
+        raise ConfigurationError(
+            "harmonic_mean requires strictly positive values"
+        )
+    return float(array.size / np.sum(1.0 / array))
+
+
+def normalized_histogram(
+    values: Sequence[float], bin_edges: Sequence[float]
+) -> np.ndarray:
+    """Histogram of ``values`` over ``bin_edges``, normalised to probability.
+
+    Matches the paper's "chip probability" histograms: each bar is the
+    fraction of samples in that bin.  Values outside the outer edges are
+    clamped into the first/last bin so no chip silently disappears.
+    """
+    edges = np.asarray(list(bin_edges), dtype=float)
+    if edges.ndim != 1 or edges.size < 2:
+        raise ConfigurationError("bin_edges must contain at least two edges")
+    if np.any(np.diff(edges) <= 0):
+        raise ConfigurationError("bin_edges must be strictly increasing")
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return np.zeros(edges.size - 1)
+    clipped = np.clip(array, edges[0], np.nextafter(edges[-1], -np.inf))
+    counts, _ = np.histogram(clipped, bins=edges)
+    return counts / array.size
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-style summary of a Monte-Carlo sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p05: float
+    median: float
+    p95: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} p5={self.p05:.4g} "
+            f"median={self.median:.4g} p95={self.p95:.4g} "
+            f"max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> DistributionSummary:
+    """Compute a :class:`DistributionSummary` for ``values``."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("summarize of an empty sequence")
+    return DistributionSummary(
+        count=int(array.size),
+        mean=float(np.mean(array)),
+        std=float(np.std(array)),
+        minimum=float(np.min(array)),
+        p05=float(np.percentile(array, 5)),
+        median=float(np.median(array)),
+        p95=float(np.percentile(array, 95)),
+        maximum=float(np.max(array)),
+    )
+
+
+def median_chip_index(values: Sequence[float]) -> int:
+    """Index of the sample closest to the median of ``values``.
+
+    Used to pick the paper's "median chip" out of a Monte-Carlo batch.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("median_chip_index of an empty sequence")
+    median = np.median(array)
+    return int(np.argmin(np.abs(array - median)))

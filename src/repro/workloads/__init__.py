@@ -1,0 +1,36 @@
+"""Synthetic SPEC2000-like workloads.
+
+The paper simulates 8 SPEC2000 benchmarks (applu, crafty, fma3d, gcc,
+gzip, mcf, mesa, twolf) chosen by Phansalkar et al. as representative of
+the whole suite.  We cannot ship SPEC binaries, so each benchmark is
+replaced by a synthetic trace generator whose statistics are calibrated to
+what the paper's evaluation actually depends on:
+
+* the distribution of reference distances from line load (Figure 1 --
+  ~90% of references within 6K cycles of the load, per-benchmark spread),
+* memory intensity (cache traffic around 30% of cycles, section 4.1),
+* baseline IPC (Table 3's BIPS at the ideal cache),
+* branch behaviour and instruction mix for the pipeline model.
+
+See ``DESIGN.md`` section 2 for the substitution argument.
+"""
+
+from repro.workloads.profiles import (
+    BenchmarkProfile,
+    SPEC2000_PROFILES,
+    benchmark_names,
+    get_profile,
+)
+from repro.workloads.generator import SyntheticWorkload, MemoryTrace
+from repro.workloads.reuse import reference_distance_cdf, ReuseStatistics
+
+__all__ = [
+    "BenchmarkProfile",
+    "SPEC2000_PROFILES",
+    "benchmark_names",
+    "get_profile",
+    "SyntheticWorkload",
+    "MemoryTrace",
+    "reference_distance_cdf",
+    "ReuseStatistics",
+]

@@ -1,0 +1,228 @@
+"""Per-benchmark workload profiles (the 8 SPEC2000 representatives).
+
+Each profile parameterises the synthetic trace generator and the analytic
+performance model.  The temporal-reuse parameters are calibrated against
+Figure 1 of the paper: the fraction of references within D cycles of the
+line load follows a two-exponential mixture
+
+    F(D) = (1 - p_long) * (1 - exp(-D / tau_burst))
+         +      p_long  * (1 - exp(-D / tau_long))
+
+with per-benchmark ``tau_burst`` (the initial access burst after a load),
+``p_long`` and ``tau_long`` (the far-reuse tail that distinguishes mcf and
+twolf from streaming codes like applu).  The average across benchmarks
+puts ~90% of references within 6K cycles, matching the paper's reading of
+Figure 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Statistical description of one benchmark.
+
+    Attributes
+    ----------
+    name:
+        SPEC2000 benchmark name.
+    base_ipc:
+        IPC with an ideal (never-missing, fixed-latency) L1; used for trace
+        timestamping and as the analytic model's baseline.
+    mem_refs_per_instr:
+        Loads+stores per instruction.
+    store_fraction:
+        Stores as a fraction of memory references.
+    working_set_lines:
+        Descriptive footprint metadata (approximate distinct lines in an
+        L1-sized reuse window).  The generator allocates fresh line
+        addresses per load episode -- locality comes from the reuse
+        mixture, not from address recycling -- so this field documents
+        the benchmark rather than parameterising the trace.
+    accesses_per_line:
+        Mean references to a line per load episode (sets burst length).
+    tau_burst_cycles / p_long / tau_long_cycles:
+        The Figure 1 reuse-distance mixture parameters.
+    fp_fraction:
+        FP micro-ops as a fraction of non-memory compute ops.
+    branch_fraction:
+        Branches per instruction.
+    branch_bias:
+        Probability a synthetic branch follows its dominant direction
+        (higher = more predictable).
+    l2_miss_rate:
+        Fraction of this benchmark's L1 misses that also miss in L2.
+    miss_overlap:
+        Fraction of L1-miss latency the out-of-order core hides (MLP /
+        independent work); used by the analytic performance model.
+    """
+
+    name: str
+    base_ipc: float
+    mem_refs_per_instr: float
+    store_fraction: float
+    working_set_lines: int
+    accesses_per_line: float
+    tau_burst_cycles: float
+    p_long: float
+    tau_long_cycles: float
+    fp_fraction: float
+    branch_fraction: float
+    branch_bias: float
+    l2_miss_rate: float
+    miss_overlap: float
+    dep_distance_mean: float = 3.0
+    p_l2: float = 0.04
+    """Fraction of references that re-touch data far beyond L1 residence
+    (hundreds of thousands of cycles): they miss the L1 in any
+    configuration and exercise the L2's capacity."""
+    tau_l2_cycles: float = 250_000.0
+    """Distance scale of the L2-tier reuse component, cycles."""
+    """Mean backwards distance to an instruction's producer; larger means
+    more instruction-level parallelism (FP/vector codes sit near 8-12,
+    serial pointer-chasing integer codes near 3)."""
+
+    def __post_init__(self) -> None:
+        if self.base_ipc <= 0:
+            raise ConfigurationError("base_ipc must be positive")
+        if not 0 < self.mem_refs_per_instr < 1:
+            raise ConfigurationError("mem_refs_per_instr must be in (0, 1)")
+        if not 0 <= self.store_fraction <= 1:
+            raise ConfigurationError("store_fraction must be in [0, 1]")
+        if self.working_set_lines < 1:
+            raise ConfigurationError("working_set_lines must be >= 1")
+        if self.accesses_per_line < 1:
+            raise ConfigurationError("accesses_per_line must be >= 1")
+        if self.dep_distance_mean < 1.0:
+            raise ConfigurationError("dep_distance_mean must be >= 1")
+        if not 0 <= self.p_l2 < 1 or self.p_long + self.p_l2 >= 1:
+            raise ConfigurationError("p_long + p_l2 must stay below 1")
+        if self.tau_l2_cycles <= 0:
+            raise ConfigurationError("tau_l2_cycles must be positive")
+        for attr in ("tau_burst_cycles", "tau_long_cycles"):
+            if getattr(self, attr) <= 0:
+                raise ConfigurationError(f"{attr} must be positive")
+        for attr in ("p_long", "fp_fraction", "branch_fraction",
+                     "branch_bias", "l2_miss_rate", "miss_overlap"):
+            if not 0 <= getattr(self, attr) <= 1:
+                raise ConfigurationError(f"{attr} must be in [0, 1]")
+
+    def reuse_cdf(self, distance_cycles: float) -> float:
+        """Fraction of references within ``distance_cycles`` of the load.
+
+        The Figure 1 curve for this benchmark (closed form).
+        """
+        if distance_cycles <= 0:
+            return 0.0
+        burst = 1.0 - math.exp(-distance_cycles / self.tau_burst_cycles)
+        tail = 1.0 - math.exp(-distance_cycles / self.tau_long_cycles)
+        far = 1.0 - math.exp(-distance_cycles / self.tau_l2_cycles)
+        p_burst = 1.0 - self.p_long - self.p_l2
+        return p_burst * burst + self.p_long * tail + self.p_l2 * far
+
+    def reuse_survival(self, distance_cycles: float) -> float:
+        """Fraction of references *beyond* ``distance_cycles`` of the load."""
+        return 1.0 - self.reuse_cdf(distance_cycles)
+
+    @property
+    def cache_traffic_per_cycle(self) -> float:
+        """Memory references per cycle at the baseline IPC."""
+        return self.base_ipc * self.mem_refs_per_instr
+
+
+# Calibration notes:
+# * base_ipc values give a harmonic mean of ~0.95, so BIPS at the 32nm
+#   4.3GHz ideal design lands near Table 3's 4.17 BIPS.
+# * fma3d gets the heaviest long-reuse tail: the paper calls it the
+#   worst-case benchmark for retention sensitivity (Figure 6b).
+# * mcf has the largest working set and lowest IPC (memory bound).
+SPEC2000_PROFILES: Dict[str, BenchmarkProfile] = {
+    profile.name: profile
+    for profile in (
+        BenchmarkProfile(
+            name="applu", base_ipc=1.40, mem_refs_per_instr=0.34,
+            store_fraction=0.28, working_set_lines=8192,
+            accesses_per_line=12.0, tau_burst_cycles=900.0,
+            p_long=0.03, tau_long_cycles=12000.0, fp_fraction=0.75,
+            branch_fraction=0.06, branch_bias=0.97, l2_miss_rate=0.12,
+            miss_overlap=0.85, dep_distance_mean=12.0, p_l2=0.02, tau_l2_cycles=200000.0,
+        ),
+        BenchmarkProfile(
+            name="crafty", base_ipc=1.15, mem_refs_per_instr=0.30,
+            store_fraction=0.25, working_set_lines=1024,
+            accesses_per_line=70.0, tau_burst_cycles=1600.0,
+            p_long=0.08, tau_long_cycles=15000.0, fp_fraction=0.02,
+            branch_fraction=0.16, branch_bias=0.91, l2_miss_rate=0.02,
+            miss_overlap=0.78, dep_distance_mean=4.0, p_l2=0.03, tau_l2_cycles=150000.0,
+        ),
+        BenchmarkProfile(
+            name="fma3d", base_ipc=1.05, mem_refs_per_instr=0.36,
+            store_fraction=0.33, working_set_lines=4096,
+            accesses_per_line=25.0, tau_burst_cycles=2200.0,
+            p_long=0.16, tau_long_cycles=20000.0, fp_fraction=0.70,
+            branch_fraction=0.07, branch_bias=0.95, l2_miss_rate=0.10,
+            miss_overlap=0.85, dep_distance_mean=9.0, p_l2=0.04, tau_l2_cycles=250000.0,
+        ),
+        BenchmarkProfile(
+            name="gcc", base_ipc=0.95, mem_refs_per_instr=0.33,
+            store_fraction=0.35, working_set_lines=2048,
+            accesses_per_line=30.0, tau_burst_cycles=1400.0,
+            p_long=0.09, tau_long_cycles=14000.0, fp_fraction=0.01,
+            branch_fraction=0.18, branch_bias=0.90, l2_miss_rate=0.05,
+            miss_overlap=0.78, dep_distance_mean=3.5, p_l2=0.04, tau_l2_cycles=200000.0,
+        ),
+        BenchmarkProfile(
+            name="gzip", base_ipc=1.15, mem_refs_per_instr=0.28,
+            store_fraction=0.22, working_set_lines=1536,
+            accesses_per_line=40.0, tau_burst_cycles=1100.0,
+            p_long=0.05, tau_long_cycles=12000.0, fp_fraction=0.01,
+            branch_fraction=0.15, branch_bias=0.89, l2_miss_rate=0.04,
+            miss_overlap=0.78, dep_distance_mean=4.0, p_l2=0.03, tau_l2_cycles=180000.0,
+        ),
+        BenchmarkProfile(
+            name="mcf", base_ipc=0.50, mem_refs_per_instr=0.40,
+            store_fraction=0.20, working_set_lines=16384,
+            accesses_per_line=4.0, tau_burst_cycles=2600.0,
+            p_long=0.13, tau_long_cycles=18000.0, fp_fraction=0.01,
+            branch_fraction=0.17, branch_bias=0.88, l2_miss_rate=0.30,
+            miss_overlap=0.75, dep_distance_mean=6.0, p_l2=0.08, tau_l2_cycles=400000.0,
+        ),
+        BenchmarkProfile(
+            name="mesa", base_ipc=1.45, mem_refs_per_instr=0.30,
+            store_fraction=0.30, working_set_lines=1024,
+            accesses_per_line=90.0, tau_burst_cycles=800.0,
+            p_long=0.04, tau_long_cycles=10000.0, fp_fraction=0.45,
+            branch_fraction=0.09, branch_bias=0.95, l2_miss_rate=0.03,
+            miss_overlap=0.85, dep_distance_mean=9.0, p_l2=0.02, tau_l2_cycles=120000.0,
+        ),
+        BenchmarkProfile(
+            name="twolf", base_ipc=0.80, mem_refs_per_instr=0.35,
+            store_fraction=0.25, working_set_lines=1200,
+            accesses_per_line=15.0, tau_burst_cycles=2000.0,
+            p_long=0.12, tau_long_cycles=16000.0, fp_fraction=0.05,
+            branch_fraction=0.16, branch_bias=0.88, l2_miss_rate=0.06,
+            miss_overlap=0.75, dep_distance_mean=3.5, p_l2=0.05, tau_l2_cycles=250000.0,
+        ),
+    )
+}
+
+
+def benchmark_names() -> Tuple[str, ...]:
+    """The 8 benchmark names in the paper's canonical order."""
+    return ("applu", "crafty", "fma3d", "gcc", "gzip", "mcf", "mesa", "twolf")
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by name."""
+    try:
+        return SPEC2000_PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown benchmark {name!r}; available: {sorted(SPEC2000_PROFILES)}"
+        ) from None

@@ -1,0 +1,87 @@
+"""Reference-distance measurement (reproduces Figure 1).
+
+Figure 1 plots, per benchmark, the cumulative fraction of cache
+references that occur within D cycles of the referenced line being
+*loaded*.  :func:`reference_distance_cdf` measures exactly that from a
+:class:`~repro.workloads.generator.MemoryTrace`: the first access to a
+line (or the first after an eviction horizon) counts as its load, and
+every subsequent reference contributes its distance from that load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import MemoryTrace
+
+
+@dataclass(frozen=True)
+class ReuseStatistics:
+    """Measured reference-distance distribution of one trace."""
+
+    name: str
+    distances: np.ndarray
+    """Distance from line load for every reuse reference, cycles."""
+    n_references: int
+    n_loads: int
+
+    def cdf_at(self, distance_cycles: float) -> float:
+        """Fraction of reuse references within ``distance_cycles``."""
+        if len(self.distances) == 0:
+            return 0.0
+        return float(np.mean(self.distances <= distance_cycles))
+
+    def cdf_series(self, grid: Sequence[float]) -> np.ndarray:
+        """CDF evaluated on a distance grid (the Figure 1 curve)."""
+        if len(self.distances) == 0:
+            return np.zeros(len(list(grid)))
+        sorted_d = np.sort(self.distances)
+        return np.searchsorted(sorted_d, np.asarray(list(grid)), side="right") / len(
+            sorted_d
+        )
+
+    @property
+    def mean_distance(self) -> float:
+        """Mean reuse distance in cycles."""
+        if len(self.distances) == 0:
+            return 0.0
+        return float(np.mean(self.distances))
+
+
+def reference_distance_cdf(
+    trace: MemoryTrace, reload_horizon_cycles: float = float("inf")
+) -> ReuseStatistics:
+    """Measure the Figure 1 distribution for ``trace``.
+
+    ``reload_horizon_cycles`` re-classifies a reference as a fresh load if
+    the line has been idle longer than the horizon (approximating an
+    eviction + reload in a finite cache); the paper's infinite-horizon
+    reading is the default.
+    """
+    if reload_horizon_cycles <= 0:
+        raise ConfigurationError("reload_horizon_cycles must be positive")
+    load_time: Dict[int, int] = {}
+    last_touch: Dict[int, int] = {}
+    distances = []
+    n_loads = 0
+    for cycle, line in zip(trace.cycles, trace.line_addresses):
+        cycle = int(cycle)
+        line = int(line)
+        if line in load_time and (
+            cycle - last_touch[line] <= reload_horizon_cycles
+        ):
+            distances.append(cycle - load_time[line])
+        else:
+            load_time[line] = cycle
+            n_loads += 1
+        last_touch[line] = cycle
+    return ReuseStatistics(
+        name=trace.name,
+        distances=np.asarray(distances, dtype=np.int64),
+        n_references=len(trace),
+        n_loads=n_loads,
+    )

@@ -1,0 +1,81 @@
+"""Retention BIST (section 4.3.1 self-test)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import NODE_32NM
+from repro.variation import VariationParams
+from repro.array import ChipSampler
+from repro.array.bist import BISTResult, RetentionBIST
+
+
+@pytest.fixture(scope="module")
+def chip():
+    sampler = ChipSampler(NODE_32NM, VariationParams.severe(), seed=500)
+    return sampler.sample_3t1d_chip()
+
+
+@pytest.fixture(scope="module")
+def result(chip):
+    return RetentionBIST().test_chip(chip)
+
+
+class TestConservatism:
+    def test_measured_never_exceeds_true_retention(self, chip, result):
+        true_cycles = chip.retention_by_line * NODE_32NM.frequency
+        assert np.all(result.measured_retention_cycles <= true_cycles)
+
+    def test_counters_never_exceed_measurement(self, result):
+        assert np.all(result.counter_values <= result.measured_retention_cycles)
+
+    def test_guard_band_derates(self, chip):
+        lax = RetentionBIST(guard_band=1.0).test_chip(chip)
+        tight = RetentionBIST(guard_band=0.8).test_chip(chip)
+        assert np.all(
+            tight.measured_retention_cycles <= lax.measured_retention_cycles
+        )
+
+    def test_counter_multiples(self, result):
+        assert np.all(
+            result.counter_values % result.counter.step_cycles == 0
+        )
+
+
+class TestDeadLines:
+    def test_dead_fraction_at_least_physical(self, chip, result):
+        # Guard band + quantisation can only add dead lines.
+        assert result.dead_line_fraction >= chip.dead_line_fraction()
+
+    def test_zero_retention_lines_measured_dead(self, chip, result):
+        physical_dead = chip.retention_by_line <= 0
+        assert np.all(result.dead_lines[physical_dead])
+
+
+class TestTesterBookkeeping:
+    def test_test_time_positive(self, result):
+        assert result.test_cycles > 0
+
+    def test_test_time_scales_with_retention(self, chip):
+        # Probing longer-lived lines takes longer tester time.
+        quick = RetentionBIST(probe_step_cycles=5000).test_chip(chip)
+        assert quick.test_cycles > 0
+
+    def test_finer_probe_not_less_accurate(self, chip):
+        coarse = RetentionBIST(probe_step_cycles=4000).test_chip(chip)
+        fine = RetentionBIST(probe_step_cycles=500).test_chip(chip)
+        assert np.all(
+            fine.measured_retention_cycles >= coarse.measured_retention_cycles
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_guard_band(self):
+        with pytest.raises(ConfigurationError):
+            RetentionBIST(guard_band=0.0)
+        with pytest.raises(ConfigurationError):
+            RetentionBIST(guard_band=1.5)
+
+    def test_rejects_bad_probe_step(self):
+        with pytest.raises(ConfigurationError):
+            RetentionBIST(probe_step_cycles=0)

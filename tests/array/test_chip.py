@@ -1,0 +1,136 @@
+"""Chip-level Monte-Carlo sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import NODE_32NM
+from repro.variation import VariationParams
+from repro.array import CacheGeometry, ChipSampler
+
+
+@pytest.fixture(scope="module")
+def typical_sampler():
+    return ChipSampler(NODE_32NM, VariationParams.typical(), seed=100)
+
+
+@pytest.fixture(scope="module")
+def sram_chip():
+    sampler = ChipSampler(NODE_32NM, VariationParams.typical(), seed=101)
+    return sampler.sample_sram_chip()
+
+
+@pytest.fixture(scope="module")
+def dram_chip():
+    sampler = ChipSampler(NODE_32NM, VariationParams.typical(), seed=102)
+    return sampler.sample_3t1d_chip()
+
+
+class TestSRAMChipSample:
+    def test_worst_access_slower_than_nominal(self, sram_chip):
+        assert sram_chip.worst_access_time > sram_chip.nominal_access_time
+
+    def test_normalized_frequency_below_one(self, sram_chip):
+        assert 0.5 < sram_chip.normalized_frequency < 1.0
+
+    def test_frequency_scales_node(self, sram_chip):
+        assert sram_chip.frequency == pytest.approx(
+            sram_chip.normalized_frequency * NODE_32NM.frequency
+        )
+
+    def test_leakage_positive(self, sram_chip):
+        assert sram_chip.leakage_power > 0
+        assert sram_chip.normalized_leakage > 0
+
+    def test_has_some_unstable_cells_at_typical(self, sram_chip):
+        # 0.4% of ~560k cells: thousands of flips expected.
+        assert sram_chip.flip_count > 1000
+        assert sram_chip.flip_rate == pytest.approx(0.004, rel=0.3)
+
+    def test_golden_chip_is_ideal(self):
+        golden = ChipSampler.golden_sram_chip(NODE_32NM)
+        assert golden.normalized_frequency == pytest.approx(1.0)
+        assert golden.normalized_leakage == pytest.approx(1.0)
+        assert golden.flip_count == 0
+
+    def test_2x_chips_faster_than_1x(self):
+        sampler_a = ChipSampler(NODE_32NM, VariationParams.typical(), seed=7)
+        sampler_b = ChipSampler(NODE_32NM, VariationParams.typical(), seed=7)
+        freq_1x = np.median(
+            [c.normalized_frequency for c in sampler_a.sample_sram_chips(10, 1.0)]
+        )
+        freq_2x = np.median(
+            [c.normalized_frequency for c in sampler_b.sample_sram_chips(10, 2.0)]
+        )
+        assert freq_2x > freq_1x
+
+
+class TestDRAMChipSample:
+    def test_retention_shape(self, dram_chip):
+        assert dram_chip.retention_by_line.shape == (1024,)
+        assert dram_chip.retention_grid.shape == (256, 4)
+
+    def test_grid_matches_flat_layout(self, dram_chip):
+        flat = dram_chip.retention_by_line
+        grid = dram_chip.retention_grid
+        assert grid[10, 2] == flat[10 * 4 + 2]
+
+    def test_chip_retention_is_worst_line(self, dram_chip):
+        assert dram_chip.chip_retention_time == pytest.approx(
+            float(np.min(dram_chip.retention_by_line))
+        )
+
+    def test_retention_spread_below_nominal(self, dram_chip):
+        # Every line's retention is at most the nominal cell retention.
+        assert float(np.max(dram_chip.retention_by_line)) < 5.8e-6
+        assert dram_chip.mean_line_retention < 5.8e-6
+
+    def test_typical_chip_has_no_dead_lines(self, dram_chip):
+        assert dram_chip.dead_line_fraction() == pytest.approx(0.0, abs=0.01)
+
+    def test_dead_lines_threshold_monotone(self, dram_chip):
+        low = dram_chip.dead_line_fraction(100e-9)
+        high = dram_chip.dead_line_fraction(1000e-9)
+        assert high >= low
+
+    def test_threshold_validation(self, dram_chip):
+        with pytest.raises(ConfigurationError):
+            dram_chip.dead_lines(-1.0)
+
+    def test_reinterpret_associativity(self, dram_chip):
+        eight_way = dram_chip.with_geometry(CacheGeometry(ways=8))
+        assert eight_way.retention_grid.shape == (128, 8)
+        assert np.array_equal(
+            eight_way.retention_by_line, dram_chip.retention_by_line
+        )
+
+    def test_golden_chip_uniform(self):
+        golden = ChipSampler.golden_3t1d_chip(NODE_32NM)
+        assert np.all(golden.retention_by_line == golden.retention_by_line[0])
+        assert golden.chip_retention_time == pytest.approx(5.8e-6)
+
+    def test_severe_chips_have_dead_lines(self):
+        sampler = ChipSampler(NODE_32NM, VariationParams.severe(), seed=55)
+        chips = sampler.sample_3t1d_chips(8)
+        dead_500ns = [c.dead_line_fraction(500e-9) for c in chips]
+        assert max(dead_500ns) > 0.01
+
+    def test_deterministic_given_seed(self):
+        a = ChipSampler(NODE_32NM, VariationParams.typical(), seed=200)
+        b = ChipSampler(NODE_32NM, VariationParams.typical(), seed=200)
+        assert np.array_equal(
+            a.sample_3t1d_chip().retention_by_line,
+            b.sample_3t1d_chip().retention_by_line,
+        )
+
+
+class TestSamplerValidation:
+    def test_rejects_wrong_subarray_count(self):
+        with pytest.raises(ConfigurationError):
+            ChipSampler(
+                NODE_32NM,
+                VariationParams.typical(),
+                geometry=CacheGeometry(
+                    n_subarrays=4, subarray_rows=256, subarray_cols=512
+                ),
+            )

@@ -1,0 +1,111 @@
+"""Cache array geometry (section 3.2 organisation)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.array import CacheGeometry
+
+
+@pytest.fixture
+def geometry():
+    return CacheGeometry()
+
+
+class TestPaperOrganisation:
+    def test_64kb_4way_512bit(self, geometry):
+        assert geometry.size_bytes == 64 * 1024
+        assert geometry.ways == 4
+        assert geometry.line_bits == 512
+
+    def test_counts(self, geometry):
+        assert geometry.n_lines == 1024
+        assert geometry.n_sets == 256
+        assert geometry.n_pairs == 4
+        assert geometry.rows_per_pair == 256
+
+    def test_ports(self, geometry):
+        assert geometry.read_ports == 2
+        assert geometry.write_ports == 1
+
+    def test_subarray_bits_consistent(self, geometry):
+        assert (
+            geometry.n_subarrays
+            * geometry.subarray_rows
+            * geometry.subarray_cols
+            == geometry.total_data_bits
+        )
+
+    def test_refresh_timing_counts(self, geometry):
+        # Paper section 4.1: 8 cycles per line, 2K cycles per pass.
+        assert geometry.refresh_cycles_per_line == 8
+        assert geometry.refresh_cycles_full_pass == 2048
+
+    def test_cells_per_line_includes_tag(self, geometry):
+        assert geometry.cells_per_line == 512 + geometry.tag_bits_per_line
+
+    def test_address_bit_counts(self, geometry):
+        assert geometry.line_offset_bits == 6  # 64-byte lines
+        assert geometry.set_index_bits == 8  # 256 sets
+
+
+class TestPlacement:
+    def test_line_id_layout(self, geometry):
+        assert geometry.line_id(0, 0) == 0
+        assert geometry.line_id(0, 3) == 3
+        assert geometry.line_id(1, 0) == 4
+        assert geometry.line_id(255, 3) == 1023
+
+    def test_ways_of_a_set_span_pairs(self, geometry):
+        pairs = {
+            geometry.pair_of_line(geometry.line_id(10, way))
+            for way in range(4)
+        }
+        assert pairs == {0, 1, 2, 3}
+
+    def test_subarrays_of_pair(self, geometry):
+        assert geometry.subarrays_of_pair(0) == (0, 1)
+        assert geometry.subarrays_of_pair(3) == (6, 7)
+
+    def test_index_validation(self, geometry):
+        with pytest.raises(ConfigurationError):
+            geometry.line_id(256, 0)
+        with pytest.raises(ConfigurationError):
+            geometry.line_id(0, 4)
+        with pytest.raises(ConfigurationError):
+            geometry.pair_of_line(9999)
+        with pytest.raises(ConfigurationError):
+            geometry.subarrays_of_pair(4)
+
+
+class TestAssociativityVariants:
+    @pytest.mark.parametrize("ways", [1, 2, 4, 8])
+    def test_with_ways_preserves_capacity(self, geometry, ways):
+        variant = geometry.with_ways(ways)
+        assert variant.n_lines == geometry.n_lines
+        assert variant.n_sets * variant.ways == geometry.n_lines
+        assert variant.refresh_cycles_full_pass == 2048
+
+    def test_direct_mapped_sets(self, geometry):
+        assert geometry.with_ways(1).n_sets == 1024
+
+    def test_rejects_nondividing_ways(self, geometry):
+        with pytest.raises(ConfigurationError):
+            geometry.with_ways(3)
+
+
+class TestValidation:
+    def test_rejects_odd_subarray_count(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(n_subarrays=7)
+
+    def test_rejects_inconsistent_subarray_bits(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(subarray_rows=100)
+
+    def test_rejects_bad_sense_amp_split(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(sense_amps_per_pair=100)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(ways=0)

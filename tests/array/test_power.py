@@ -1,0 +1,123 @@
+"""Cache power model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import NODE_32NM, calibration
+from repro.array import CachePowerModel
+
+
+@pytest.fixture
+def power_6t():
+    return CachePowerModel(NODE_32NM, cell_kind="6T")
+
+
+@pytest.fixture
+def power_3t1d():
+    return CachePowerModel(NODE_32NM, cell_kind="3T1D")
+
+
+class TestReferencePowers:
+    def test_full_dynamic_power_anchor(self, power_6t):
+        assert power_6t.full_dynamic_power == pytest.approx(
+            20.75e-3, rel=1e-6
+        )
+
+    def test_3t1d_full_power_anchor(self, power_3t1d):
+        assert power_3t1d.full_dynamic_power == pytest.approx(
+            20.30e-3, rel=1e-6
+        )
+
+    def test_ideal_mean_power_anchor(self, power_6t):
+        assert power_6t.ideal_mean_dynamic_power == pytest.approx(2.78e-3)
+
+    def test_rejects_unknown_cell(self):
+        with pytest.raises(ConfigurationError):
+            CachePowerModel(NODE_32NM, cell_kind="1T")
+
+
+class TestDynamicPower:
+    def test_zero_activity_zero_power(self, power_6t):
+        assert power_6t.dynamic_power(0.0) == 0.0
+
+    def test_full_activity_matches_full_power(self, power_6t):
+        assert power_6t.dynamic_power(3.0) == pytest.approx(
+            power_6t.full_dynamic_power
+        )
+
+    def test_linear_in_activity(self, power_6t):
+        assert power_6t.dynamic_power(1.0) == pytest.approx(
+            power_6t.full_dynamic_power / 3
+        )
+
+    def test_rejects_over_port_count(self, power_6t):
+        with pytest.raises(ConfigurationError):
+            power_6t.dynamic_power(3.5)
+
+
+class TestGlobalRefreshPower:
+    def test_decreases_with_retention(self, power_3t1d):
+        short = power_3t1d.global_refresh_power(600e-9)
+        long = power_3t1d.global_refresh_power(3000e-9)
+        assert short > long
+
+    def test_saturates_below_pass_time(self, power_3t1d):
+        at_pass = power_3t1d.global_refresh_power(476.3e-9)
+        below = power_3t1d.global_refresh_power(100e-9)
+        assert below == pytest.approx(at_pass, rel=1e-3)
+
+    def test_includes_control_floor(self, power_3t1d):
+        floor = (
+            calibration.REFRESH_CONTROL_OVERHEAD
+            * power_3t1d.ideal_mean_dynamic_power
+        )
+        assert power_3t1d.global_refresh_power(1.0) == pytest.approx(
+            floor, rel=0.01
+        )
+
+    def test_band_matches_figure_6b(self, power_3t1d):
+        # Refresh power relative to ideal dynamic power should span the
+        # paper's 0.3-1.25X band over the 476-3094 ns retention range.
+        ideal = power_3t1d.ideal_mean_dynamic_power
+        at_min = power_3t1d.global_refresh_power(476e-9) / ideal
+        at_max = power_3t1d.global_refresh_power(3094e-9) / ideal
+        assert 0.8 < at_min < 1.6
+        assert 0.2 < at_max < 0.6
+
+    def test_rejects_negative_retention(self, power_3t1d):
+        with pytest.raises(ConfigurationError):
+            power_3t1d.global_refresh_power(-1.0)
+
+
+class TestEventPower:
+    def test_accumulates_components(self, power_3t1d):
+        base = power_3t1d.event_dynamic_power(1000, port_accesses=100)
+        with_refresh = power_3t1d.event_dynamic_power(
+            1000, port_accesses=100, line_refreshes=50
+        )
+        with_l2 = power_3t1d.event_dynamic_power(
+            1000, port_accesses=100, extra_l2_accesses=10
+        )
+        assert with_refresh > base
+        assert with_l2 > base
+
+    def test_l2_access_expensive(self, power_3t1d):
+        assert power_3t1d.l2_access_energy > 4 * power_3t1d.port_access_energy
+
+    def test_line_counter_overhead_small(self, power_3t1d):
+        assert power_3t1d.line_counter_power() < (
+            0.10 * power_3t1d.ideal_mean_dynamic_power
+        )
+
+    def test_counters_flag_adds_power(self, power_3t1d):
+        without = power_3t1d.event_dynamic_power(1000, port_accesses=100)
+        with_counters = power_3t1d.event_dynamic_power(
+            1000, port_accesses=100, include_line_counters=True
+        )
+        assert with_counters == pytest.approx(
+            without + power_3t1d.line_counter_power()
+        )
+
+    def test_rejects_zero_cycles(self, power_3t1d):
+        with pytest.raises(ConfigurationError):
+            power_3t1d.event_dynamic_power(0, port_accesses=1)

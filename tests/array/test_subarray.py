@@ -1,0 +1,79 @@
+"""Sub-array timing and refresh timing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import NODE_32NM, NODE_65NM, calibration
+from repro.array import RefreshTiming, SubArrayTiming
+
+
+@pytest.fixture
+def timing():
+    return SubArrayTiming(NODE_32NM)
+
+
+@pytest.fixture
+def refresh():
+    return RefreshTiming(NODE_32NM)
+
+
+class TestSubArrayTiming:
+    def test_nominal_access_matches_anchor(self, timing):
+        assert timing.nominal_access_time == pytest.approx(208e-12)
+
+    def test_nominal_factors_reproduce_anchor(self, timing):
+        assert timing.access_times(1.0) == pytest.approx(208e-12, rel=1e-9)
+
+    def test_weak_cell_slower(self, timing):
+        assert timing.access_times(0.8) > timing.access_times(1.0)
+
+    def test_dead_cell_inf(self, timing):
+        assert np.isinf(timing.access_times(0.0))
+
+    def test_worst_access_picks_max(self, timing):
+        factors = np.array([1.0, 0.9, 1.1])
+        worst = timing.worst_access_time(factors)
+        assert worst == pytest.approx(float(timing.access_times(0.9)))
+
+    def test_rejects_negative_factors(self, timing):
+        with pytest.raises(ConfigurationError):
+            timing.access_times(np.array([-0.1]))
+
+    def test_bitline_wire_delay_within_budget(self, timing):
+        # The physical RC of the bitline must fit inside the calibrated
+        # bitline share of the access time.
+        budget = calibration.BITLINE_FRACTION * timing.nominal_access_time
+        assert timing.bitline_wire_delay < budget
+
+    def test_geometry_lengths(self, timing):
+        assert timing.bitline_length > 0
+        assert timing.wordline_length > 0
+
+
+class TestRefreshTiming:
+    def test_cycle_counts(self, refresh):
+        assert refresh.cycles_per_line == 8
+        assert refresh.cycles_full_pass == 2048
+
+    def test_full_pass_seconds_matches_paper(self, refresh):
+        # Paper: 2K cycles at 4.3 GHz = 476.3 ns.
+        assert refresh.full_pass_seconds == pytest.approx(476.3e-9, rel=1e-3)
+
+    def test_65nm_pass_slower(self):
+        assert (
+            RefreshTiming(NODE_65NM).full_pass_seconds
+            > RefreshTiming(NODE_32NM).full_pass_seconds
+        )
+
+    def test_bandwidth_fraction_paper_example(self, refresh):
+        # Paper: 476.3ns / 6000ns retention ~ 8% of bandwidth.
+        assert refresh.bandwidth_fraction(6000e-9) == pytest.approx(
+            0.0794, rel=0.01
+        )
+
+    def test_bandwidth_saturates(self, refresh):
+        assert refresh.bandwidth_fraction(100e-9) == 1.0
+
+    def test_zero_retention_saturates(self, refresh):
+        assert refresh.bandwidth_fraction(0.0) == 1.0

@@ -1,0 +1,37 @@
+"""Shared fixtures: a small but fully valid cache for fast unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.array import CacheGeometry
+from repro.cache import CacheConfig
+
+SMALL_SETS = 8
+SMALL_WAYS = 4
+
+
+@pytest.fixture
+def small_geometry():
+    """A 2KB, 8-set, 4-way cache with the paper's structural ratios."""
+    return CacheGeometry(
+        size_bytes=2048,
+        line_bits=512,
+        ways=SMALL_WAYS,
+        n_subarrays=8,
+        subarray_rows=64,
+        subarray_cols=32,
+        sense_amps_per_pair=64,
+    )
+
+
+@pytest.fixture
+def small_config(small_geometry):
+    return CacheConfig(geometry=small_geometry)
+
+
+@pytest.fixture
+def uniform_retention(small_geometry):
+    """Every line retains for 10_000 cycles."""
+    return np.full(
+        (small_geometry.n_sets, small_geometry.ways), 10_000, dtype=np.int64
+    )

@@ -1,0 +1,58 @@
+"""Cache configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cache import CacheConfig
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        config = CacheConfig()
+        assert config.hit_latency_cycles == 3
+        assert config.counter_bits == 3
+        assert config.partial_refresh_threshold_cycles == 6000
+        assert config.geometry.ways == 4
+
+    def test_miss_latency_blend(self):
+        config = CacheConfig(
+            l2_latency_cycles=10, memory_latency_cycles=210, l2_miss_rate=0.1
+        )
+        assert config.miss_latency_cycles == pytest.approx(
+            0.9 * 10 + 0.1 * 210
+        )
+
+
+class TestWithWays:
+    @pytest.mark.parametrize("ways", [1, 2, 8])
+    def test_changes_only_geometry(self, ways):
+        config = CacheConfig().with_ways(ways)
+        assert config.geometry.ways == ways
+        assert config.hit_latency_cycles == 3
+        assert config.partial_refresh_threshold_cycles == 6000
+
+
+class TestValidation:
+    def test_l2_must_exceed_hit_latency(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(hit_latency_cycles=5, l2_latency_cycles=5)
+
+    def test_memory_must_exceed_l2(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(l2_latency_cycles=12, memory_latency_cycles=12)
+
+    def test_miss_rate_range(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(l2_miss_rate=1.2)
+
+    def test_counter_bits_positive(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(counter_bits=0)
+
+    def test_threshold_positive(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(partial_refresh_threshold_cycles=0)
+
+    def test_write_buffer_positive(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(write_buffer_entries=0)

@@ -1,0 +1,282 @@
+"""Retention-aware cache controller semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.cache import (
+    AccessOutcome,
+    FullRefresh,
+    GlobalRefresh,
+    NoRefresh,
+    PartialRefresh,
+    RetentionAwareCache,
+)
+
+
+def make_cache(config, retention=None, replacement="LRU", refresh=None,
+               quantize=False):
+    return RetentionAwareCache(
+        config,
+        retention_cycles=retention,
+        replacement=replacement,
+        refresh=refresh,
+        quantize=quantize,
+    )
+
+
+def addr(set_index, tag, n_sets=8):
+    """Line address landing in ``set_index`` with ``tag``."""
+    return tag * n_sets + set_index
+
+
+class TestBasicHitMiss:
+    def test_first_access_is_cold_miss(self, small_config):
+        cache = make_cache(small_config)
+        assert cache.access(0, addr(0, 1), False) is AccessOutcome.MISS_COLD
+
+    def test_second_access_hits(self, small_config):
+        cache = make_cache(small_config)
+        cache.access(0, addr(0, 1), False)
+        assert cache.access(10, addr(0, 1), False) is AccessOutcome.HIT
+
+    def test_different_sets_do_not_conflict(self, small_config):
+        cache = make_cache(small_config)
+        cache.access(0, addr(0, 1), False)
+        assert cache.access(1, addr(1, 1), False) is AccessOutcome.MISS_COLD
+        assert cache.access(2, addr(0, 1), False) is AccessOutcome.HIT
+
+    def test_fills_all_ways_before_evicting(self, small_config):
+        cache = make_cache(small_config)
+        for tag in range(4):
+            cache.access(tag, addr(0, tag), False)
+        for tag in range(4):
+            assert cache.access(10 + tag, addr(0, tag), False) is AccessOutcome.HIT
+
+    def test_lru_evicts_least_recent(self, small_config):
+        cache = make_cache(small_config)
+        for tag in range(4):
+            cache.access(tag, addr(0, tag), False)
+        cache.access(10, addr(0, 0), False)  # refresh tag 0's recency
+        cache.access(11, addr(0, 4), False)  # evicts tag 1
+        assert cache.access(12, addr(0, 0), False) is AccessOutcome.HIT
+        assert cache.access(13, addr(0, 1), False) is AccessOutcome.MISS_COLD
+
+    def test_stats_accounting(self, small_config):
+        cache = make_cache(small_config)
+        cache.access(0, addr(0, 1), False)
+        cache.access(1, addr(0, 1), True)
+        stats = cache.finalize(100)
+        assert stats.loads == 1
+        assert stats.stores == 1
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.hits + stats.misses == stats.accesses
+
+    def test_monotonic_cycles_enforced(self, small_config):
+        cache = make_cache(small_config)
+        cache.access(100, addr(0, 1), False)
+        with pytest.raises(SimulationError):
+            cache.access(50, addr(0, 2), False)
+
+    def test_access_after_finalize_rejected(self, small_config):
+        cache = make_cache(small_config)
+        cache.finalize(10)
+        with pytest.raises(SimulationError):
+            cache.access(20, addr(0, 1), False)
+
+
+class TestExpiry:
+    def test_line_expires_after_retention(self, small_config, uniform_retention):
+        cache = make_cache(small_config, uniform_retention)
+        cache.access(0, addr(0, 1), False)
+        assert (
+            cache.access(9_999, addr(0, 1), False) is AccessOutcome.HIT
+        )
+        # A new fill restarts the clock; expire it properly this time.
+        cache.access(20_000, addr(1, 1), False)
+        assert (
+            cache.access(31_000, addr(1, 1), False)
+            is AccessOutcome.MISS_EXPIRED
+        )
+
+    def test_expired_line_refills_and_hits_again(
+        self, small_config, uniform_retention
+    ):
+        cache = make_cache(small_config, uniform_retention)
+        cache.access(0, addr(0, 1), False)
+        cache.access(15_000, addr(0, 1), False)  # expired -> refill
+        assert cache.access(16_000, addr(0, 1), False) is AccessOutcome.HIT
+
+    def test_ideal_cache_never_expires(self, small_config):
+        cache = make_cache(small_config)
+        cache.access(0, addr(0, 1), False)
+        assert (
+            cache.access(10_000_000, addr(0, 1), False) is AccessOutcome.HIT
+        )
+
+    def test_store_does_not_extend_retention(
+        self, small_config, uniform_retention
+    ):
+        # Only a full-line fill/refresh rewrites the whole line; a store
+        # hit does not reset the retention clock (conservative model).
+        cache = make_cache(small_config, uniform_retention)
+        cache.access(0, addr(0, 1), False)
+        cache.access(5_000, addr(0, 1), True)
+        assert (
+            cache.access(11_000, addr(0, 1), False)
+            is AccessOutcome.MISS_EXPIRED
+        )
+
+    def test_dirty_expired_line_written_back(
+        self, small_config, uniform_retention
+    ):
+        cache = make_cache(small_config, uniform_retention)
+        cache.access(0, addr(0, 1), True)
+        cache.access(20_000, addr(0, 1), False)
+        stats = cache.finalize(30_000)
+        assert stats.expiry_writebacks == 1
+        assert stats.writebacks == 1
+
+    def test_clean_expired_line_not_written_back(
+        self, small_config, uniform_retention
+    ):
+        cache = make_cache(small_config, uniform_retention)
+        cache.access(0, addr(0, 1), False)
+        cache.access(20_000, addr(0, 1), False)
+        stats = cache.finalize(30_000)
+        assert stats.expiry_writebacks == 0
+
+
+class TestWritebacks:
+    def test_dirty_eviction_writes_back(self, small_config):
+        cache = make_cache(small_config)
+        cache.access(0, addr(0, 0), True)
+        for tag in range(1, 5):
+            cache.access(tag, addr(0, tag), False)
+        stats = cache.finalize(100)
+        assert stats.writebacks == 1
+
+    def test_clean_eviction_silent(self, small_config):
+        cache = make_cache(small_config)
+        for tag in range(5):
+            cache.access(tag, addr(0, tag), False)
+        stats = cache.finalize(100)
+        assert stats.writebacks == 0
+
+    def test_l2_sees_miss_traffic(self, small_config):
+        cache = make_cache(small_config)
+        for tag in range(5):
+            cache.access(tag, addr(0, tag), False)
+        assert cache.l2.accesses == 5
+
+
+class TestRefreshAccounting:
+    def test_no_refresh_counts_nothing(self, small_config, uniform_retention):
+        cache = make_cache(
+            small_config, uniform_retention, refresh=NoRefresh()
+        )
+        cache.access(0, addr(0, 1), False)
+        stats = cache.finalize(50_000)
+        assert stats.line_refreshes == 0
+
+    def test_full_refresh_counts_periods(self, small_config, uniform_retention):
+        cache = make_cache(
+            small_config, uniform_retention, refresh=FullRefresh()
+        )
+        cache.access(0, addr(0, 1), False)
+        stats = cache.finalize(45_000)
+        assert stats.line_refreshes == 4  # ages 10k, 20k, 30k, 40k
+
+    def test_full_refresh_keeps_data_alive(
+        self, small_config, uniform_retention
+    ):
+        cache = make_cache(
+            small_config, uniform_retention, refresh=FullRefresh()
+        )
+        cache.access(0, addr(0, 1), False)
+        assert cache.access(95_000, addr(0, 1), False) is AccessOutcome.HIT
+
+    def test_partial_refresh_guarantees_threshold(
+        self, small_config, small_geometry
+    ):
+        retention = np.full(
+            (small_geometry.n_sets, small_geometry.ways), 2_500
+        )
+        cache = make_cache(
+            small_config,
+            retention,
+            refresh=PartialRefresh(threshold_cycles=6_000),
+        )
+        cache.access(0, addr(0, 1), False)
+        assert cache.access(5_900, addr(0, 1), False) is AccessOutcome.HIT
+        # Effective lifetime is ceil(6000/2500)*2500 = 7500 cycles.
+        assert (
+            cache.access(8_000, addr(0, 1), False)
+            is AccessOutcome.MISS_EXPIRED
+        )
+
+    def test_refresh_blocks_ports(self, small_config, uniform_retention):
+        cache = make_cache(
+            small_config, uniform_retention, refresh=FullRefresh()
+        )
+        cache.access(0, addr(0, 1), False)
+        stats = cache.finalize(45_000)
+        per_line = small_config.geometry.refresh_cycles_per_line
+        assert stats.refresh_blocked_cycles == stats.line_refreshes * per_line
+
+
+class TestGlobalRefreshScheme:
+    def test_counts_passes_over_window(self, small_config):
+        refresh = GlobalRefresh(
+            chip_retention_cycles=10_000,
+            pass_cycles=small_config.geometry.refresh_cycles_full_pass,
+        )
+        cache = make_cache(small_config, refresh=refresh)
+        cache.access(0, addr(0, 1), False)
+        stats = cache.finalize(50_000)
+        lines = small_config.geometry.n_lines
+        assert stats.line_refreshes == 5 * lines
+        assert (
+            stats.refresh_blocked_cycles
+            == 5 * small_config.geometry.refresh_cycles_full_pass
+        )
+
+    def test_data_never_expires(self, small_config):
+        refresh = GlobalRefresh(
+            chip_retention_cycles=10_000,
+            pass_cycles=small_config.geometry.refresh_cycles_full_pass,
+        )
+        cache = make_cache(small_config, refresh=refresh)
+        cache.access(0, addr(0, 1), False)
+        assert cache.access(500_000, addr(0, 1), False) is AccessOutcome.HIT
+
+
+class TestWarmup:
+    def test_warmup_excluded_from_stats(self, small_config):
+        cache = make_cache(small_config)
+        cycles = np.array([0, 1, 2, 3])
+        lines = np.array([addr(0, 1), addr(0, 2), addr(0, 1), addr(0, 3)])
+        writes = np.zeros(4, dtype=bool)
+        stats = cache.run_trace(cycles, lines, writes, warmup_references=2)
+        assert stats.accesses == 2
+        assert stats.hits == 1  # the post-warmup access to tag 1
+        assert stats.misses == 1
+
+    def test_reset_stats_keeps_cache_state(self, small_config):
+        cache = make_cache(small_config)
+        cache.access(0, addr(0, 1), False)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+        assert cache.access(5, addr(0, 1), False) is AccessOutcome.HIT
+
+    def test_quantization_applied_by_default(
+        self, small_config, small_geometry
+    ):
+        retention = np.full(
+            (small_geometry.n_sets, small_geometry.ways), 10_500
+        )
+        cache = RetentionAwareCache(small_config, retention)
+        # Counter step = ceil(10500/7) = 1500; floor(10500/1500)*1500 = 10500.
+        assert cache.counter is not None
+        assert np.all(cache.retention_grid <= 10_500)

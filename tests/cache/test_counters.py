@@ -1,0 +1,69 @@
+"""Line-counter quantisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cache import LineCounterConfig, quantize_retention
+
+
+class TestLineCounterConfig:
+    def test_defaults(self):
+        counter = LineCounterConfig()
+        assert counter.bits == 3
+        assert counter.max_count == 7
+
+    def test_max_cycles(self):
+        counter = LineCounterConfig(bits=3, step_cycles=1000)
+        assert counter.max_cycles == 7000
+
+    def test_for_chip_spans_max_retention(self):
+        counter = LineCounterConfig.for_chip(14000.0)
+        assert counter.max_cycles >= 14000
+        assert counter.step_cycles == 2000
+
+    def test_for_chip_degenerate(self):
+        counter = LineCounterConfig.for_chip(0.0)
+        assert counter.step_cycles == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LineCounterConfig(bits=0)
+        with pytest.raises(ConfigurationError):
+            LineCounterConfig(step_cycles=0)
+
+
+class TestQuantization:
+    @pytest.fixture
+    def counter(self):
+        return LineCounterConfig(bits=3, step_cycles=1000)
+
+    def test_floors_to_step(self, counter):
+        assert quantize_retention(2999, counter) == 2000
+
+    def test_exact_multiple_unchanged(self, counter):
+        assert quantize_retention(3000, counter) == 3000
+
+    def test_below_one_step_is_dead(self, counter):
+        assert quantize_retention(999, counter) == 0
+
+    def test_clamps_to_counter_range(self, counter):
+        assert quantize_retention(1_000_000, counter) == 7000
+
+    def test_never_exceeds_input(self, counter):
+        values = np.linspace(0, 20000, 101)
+        quantized = quantize_retention(values, counter)
+        assert np.all(quantized <= values)
+
+    def test_vectorised_dtype(self, counter):
+        values = np.array([500.0, 1500.0, 9500.0])
+        quantized = quantize_retention(values, counter)
+        assert quantized.dtype == np.int64
+        assert list(quantized) == [0, 1000, 7000]
+
+    def test_scalar_returns_int(self, counter):
+        assert isinstance(quantize_retention(1500, counter), int)
+
+    def test_rejects_negative(self, counter):
+        with pytest.raises(ConfigurationError):
+            quantize_retention(-1.0, counter)

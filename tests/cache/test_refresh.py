@@ -1,0 +1,131 @@
+"""Refresh policies."""
+
+import math
+
+import pytest
+
+from repro.errors import ChipDiscardedError, ConfigurationError
+from repro.cache import (
+    FullRefresh,
+    GlobalRefresh,
+    NoRefresh,
+    PartialRefresh,
+    make_refresh_policy,
+)
+
+
+class TestNoRefresh:
+    def test_lifetime_is_retention(self):
+        assert NoRefresh().effective_lifetime(5000) == 5000.0
+
+    def test_dead_line_zero_lifetime(self):
+        assert NoRefresh().effective_lifetime(0) == 0.0
+
+    def test_never_refreshes(self):
+        assert NoRefresh().refresh_count(1_000_000, 100) == 0
+
+
+class TestPartialRefresh:
+    @pytest.fixture
+    def policy(self):
+        return PartialRefresh(threshold_cycles=6000)
+
+    def test_long_lines_untouched(self, policy):
+        assert policy.effective_lifetime(9000) == 9000.0
+        assert policy.refresh_count(100_000, 9000) == 0
+
+    def test_short_line_guaranteed_threshold(self, policy):
+        # 2500-cycle line: refreshed until ceil(6000/2500)=3 periods.
+        assert policy.effective_lifetime(2500) == 7500.0
+        assert policy.effective_lifetime(2500) >= policy.threshold_cycles
+
+    def test_short_line_refresh_cap(self, policy):
+        assert policy.max_refreshes(2500) == 2
+
+    def test_refresh_count_grows_with_age(self, policy):
+        assert policy.refresh_count(2499, 2500) == 0
+        assert policy.refresh_count(2500, 2500) == 1
+        assert policy.refresh_count(5200, 2500) == 2
+
+    def test_refresh_count_capped(self, policy):
+        assert policy.refresh_count(1_000_000, 2500) == 2
+
+    def test_dead_line_never_refreshed(self, policy):
+        assert policy.effective_lifetime(0) == 0.0
+        assert policy.refresh_count(100, 0) == 0
+
+    def test_exactly_at_threshold_untouched(self, policy):
+        assert policy.effective_lifetime(6000) == 6000.0
+        assert policy.max_refreshes(6000) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartialRefresh(threshold_cycles=0)
+
+
+class TestFullRefresh:
+    def test_lines_never_expire(self):
+        assert math.isinf(FullRefresh().effective_lifetime(100))
+
+    def test_dead_line_still_dead(self):
+        assert FullRefresh().effective_lifetime(0) == 0.0
+
+    def test_refresh_every_period(self):
+        assert FullRefresh().refresh_count(10_000, 2500) == 4
+
+    def test_refresh_count_zero_before_first_period(self):
+        assert FullRefresh().refresh_count(2499, 2500) == 0
+
+
+class TestGlobalRefresh:
+    def test_operable_chip(self):
+        policy = GlobalRefresh(chip_retention_cycles=8000, pass_cycles=2048)
+        assert math.isinf(policy.effective_lifetime(1))
+        assert policy.duty == pytest.approx(2048 / 8000)
+
+    def test_passes_in_window(self):
+        policy = GlobalRefresh(chip_retention_cycles=8000, pass_cycles=2048)
+        assert policy.passes_in_window(25_000) == 3
+
+    def test_discards_chip_below_pass_time(self):
+        with pytest.raises(ChipDiscardedError):
+            GlobalRefresh(chip_retention_cycles=2000, pass_cycles=2048)
+
+    def test_discards_dead_chip(self):
+        with pytest.raises(ChipDiscardedError):
+            GlobalRefresh(chip_retention_cycles=0)
+
+    def test_window_validation(self):
+        policy = GlobalRefresh(chip_retention_cycles=8000)
+        with pytest.raises(ConfigurationError):
+            policy.passes_in_window(-1)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("no-refresh", NoRefresh),
+            ("partial-refresh", PartialRefresh),
+            ("full-refresh", FullRefresh),
+            ("No_Refresh", NoRefresh),
+        ],
+    )
+    def test_names(self, name, cls):
+        assert isinstance(make_refresh_policy(name), cls)
+
+    def test_global_needs_retention(self):
+        policy = make_refresh_policy(
+            "global-refresh", chip_retention_cycles=9000
+        )
+        assert isinstance(policy, GlobalRefresh)
+
+    def test_partial_threshold_forwarded(self):
+        policy = make_refresh_policy(
+            "partial-refresh", partial_threshold_cycles=1234
+        )
+        assert policy.threshold_cycles == 1234
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_refresh_policy("sometimes-refresh")

@@ -1,0 +1,236 @@
+"""Placement policies: LRU, DSP, RSP-FIFO, RSP-LRU."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cache import (
+    AccessOutcome,
+    DSPPolicy,
+    LRUPolicy,
+    RSPFIFOPolicy,
+    RSPLRUPolicy,
+    RetentionAwareCache,
+    make_replacement_policy,
+)
+
+
+def addr(set_index, tag, n_sets=8):
+    return tag * n_sets + set_index
+
+
+def make_cache(config, retention, replacement):
+    return RetentionAwareCache(
+        config, retention_cycles=retention, replacement=replacement,
+        quantize=False,
+    )
+
+
+@pytest.fixture
+def graded_retention(small_geometry):
+    """Way w of every set retains for (w+1) * 4000 cycles; way 3 longest."""
+    grid = np.zeros((small_geometry.n_sets, small_geometry.ways), dtype=np.int64)
+    for way in range(small_geometry.ways):
+        grid[:, way] = (way + 1) * 4000
+    return grid
+
+
+@pytest.fixture
+def one_dead_way(small_geometry):
+    """Way 0 of every set is dead; others retain for 50_000 cycles."""
+    grid = np.full(
+        (small_geometry.n_sets, small_geometry.ways), 50_000, dtype=np.int64
+    )
+    grid[:, 0] = 0
+    return grid
+
+
+@pytest.fixture
+def all_dead(small_geometry):
+    return np.zeros((small_geometry.n_sets, small_geometry.ways), dtype=np.int64)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("LRU", LRUPolicy),
+            ("dsp", DSPPolicy),
+            ("RSP-FIFO", RSPFIFOPolicy),
+            ("rsp_lru", RSPLRUPolicy),
+        ],
+    )
+    def test_lookup(self, name, cls):
+        assert isinstance(make_replacement_policy(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_replacement_policy("MRU")
+
+    def test_retention_awareness_flags(self):
+        assert not LRUPolicy.uses_retention_info
+        assert DSPPolicy.uses_retention_info
+        assert RSPFIFOPolicy.uses_retention_info
+
+
+class TestLRUWithDeadWays:
+    def test_lru_fills_dead_ways(self, small_config, one_dead_way):
+        """Retention-blind LRU keeps using the dead way: every reuse of a
+        block that landed there misses (the paper's failure mode)."""
+        cache = make_cache(small_config, one_dead_way, "LRU")
+        # Fill all 4 ways; one block lands in the dead way 0.
+        for tag in range(4):
+            cache.access(tag, addr(0, tag), False)
+        # The dead-way block has already expired; touching every tag
+        # again produces exactly one expiry miss.
+        outcomes = [
+            cache.access(100 + tag, addr(0, tag), False) for tag in range(4)
+        ]
+        assert outcomes.count(AccessOutcome.MISS_EXPIRED) == 1
+
+    def test_dead_way_is_a_miss_magnet(self, small_config, one_dead_way):
+        cache = make_cache(small_config, one_dead_way, "LRU")
+        for tag in range(4):
+            cache.access(tag, addr(0, tag), False)
+        stats_before = cache.stats.misses_expired
+        # Keep re-touching the same working set: the dead way keeps
+        # looking free (expired lines are invalidated), so LRU keeps
+        # refilling it and reuses keep missing.
+        for round_idx in range(5):
+            for tag in range(4):
+                cache.access(1000 * (round_idx + 1) + tag, addr(0, tag), False)
+        assert cache.stats.misses_expired > stats_before
+
+
+class TestDSP:
+    def test_dsp_never_uses_dead_way(self, small_config, one_dead_way):
+        cache = make_cache(small_config, one_dead_way, "DSP")
+        for tag in range(8):
+            cache.access(tag, addr(0, tag), False)
+        stats = cache.finalize(100)
+        assert stats.misses_expired == 0
+
+    def test_dsp_lru_among_live_ways(self, small_config, one_dead_way):
+        cache = make_cache(small_config, one_dead_way, "DSP")
+        # 3 live ways; fill them with tags 0..2.
+        for tag in range(3):
+            cache.access(tag, addr(0, tag), False)
+        cache.access(10, addr(0, 0), False)  # tag 0 most recent
+        cache.access(11, addr(0, 3), False)  # evicts tag 1 (LRU live)
+        assert cache.access(12, addr(0, 0), False) is AccessOutcome.HIT
+        assert cache.access(13, addr(0, 1), False) is AccessOutcome.MISS_COLD
+
+    def test_all_dead_set_bypasses(self, small_config, all_dead):
+        cache = make_cache(small_config, all_dead, "DSP")
+        outcome = cache.access(0, addr(0, 1), False)
+        assert outcome is AccessOutcome.MISS_DEAD_BYPASS
+        # Nothing was allocated; the next access bypasses again.
+        assert (
+            cache.access(1, addr(0, 1), False)
+            is AccessOutcome.MISS_DEAD_BYPASS
+        )
+
+    def test_bypass_counts_l2_access(self, small_config, all_dead):
+        cache = make_cache(small_config, all_dead, "DSP")
+        cache.access(0, addr(0, 1), False)
+        assert cache.stats.l2_accesses == 1
+
+
+class TestRSPFIFO:
+    def test_new_block_lands_in_longest_way(
+        self, small_config, graded_retention
+    ):
+        cache = make_cache(small_config, graded_retention, "RSP-FIFO")
+        cache.access(0, addr(0, 1), False)
+        set_state = cache.sets[0]
+        longest_way = set_state.retention_order[0]
+        assert set_state.valid[longest_way]
+        assert set_state.tags[longest_way] == 1
+
+    def test_fills_shift_blocks_down_the_order(
+        self, small_config, graded_retention
+    ):
+        cache = make_cache(small_config, graded_retention, "RSP-FIFO")
+        cache.access(0, addr(0, 1), False)
+        cache.access(1, addr(0, 2), False)
+        set_state = cache.sets[0]
+        order = set_state.retention_order
+        assert set_state.tags[order[0]] == 2  # newest in longest way
+        assert set_state.tags[order[1]] == 1  # pushed one step down
+        assert cache.stats.line_moves == 1
+
+    def test_eviction_from_shortest_live_way(
+        self, small_config, graded_retention
+    ):
+        cache = make_cache(small_config, graded_retention, "RSP-FIFO")
+        for tag in range(5):
+            cache.access(tag, addr(0, tag), False)
+        # tag 0 was pushed through the whole chain and fell out.
+        assert cache.access(10, addr(0, 0), False) is AccessOutcome.MISS_COLD
+
+    def test_moves_refresh_the_data(self, small_config, graded_retention):
+        cache = make_cache(small_config, graded_retention, "RSP-FIFO")
+        cache.access(0, addr(0, 1), False)  # into way with 16000 retention
+        cache.access(15_000, addr(0, 2), False)  # pushes tag 1, rewriting it
+        # tag 1 now sits in the 12000-retention way with a fresh clock:
+        # alive until ~27000.
+        assert cache.access(26_000, addr(0, 1), False) is AccessOutcome.HIT
+
+    def test_dead_ways_excluded_from_chain(self, small_config, one_dead_way):
+        cache = make_cache(small_config, one_dead_way, "RSP-FIFO")
+        for tag in range(8):
+            cache.access(tag, addr(0, tag), False)
+        assert cache.stats.misses_expired == 0
+
+    def test_all_dead_bypasses(self, small_config, all_dead):
+        cache = make_cache(small_config, all_dead, "RSP-FIFO")
+        assert (
+            cache.access(0, addr(0, 1), False)
+            is AccessOutcome.MISS_DEAD_BYPASS
+        )
+
+    def test_move_port_cost_counted(self, small_config, graded_retention):
+        cache = make_cache(small_config, graded_retention, "RSP-FIFO")
+        for tag in range(4):
+            cache.access(tag, addr(0, tag), False)
+        per_line = small_config.geometry.refresh_cycles_per_line
+        assert cache.stats.move_blocked_cycles == (
+            cache.stats.line_moves * per_line
+        )
+
+
+class TestRSPLRU:
+    def test_hit_promotes_to_longest_way(self, small_config, graded_retention):
+        cache = make_cache(small_config, graded_retention, "RSP-LRU")
+        cache.access(0, addr(0, 1), False)
+        cache.access(1, addr(0, 2), False)  # tag 2 now in longest way
+        cache.access(2, addr(0, 1), False)  # hit on tag 1 -> promoted
+        set_state = cache.sets[0]
+        order = set_state.retention_order
+        assert set_state.tags[order[0]] == 1
+        assert set_state.tags[order[1]] == 2
+
+    def test_hit_on_longest_way_is_free(self, small_config, graded_retention):
+        cache = make_cache(small_config, graded_retention, "RSP-LRU")
+        cache.access(0, addr(0, 1), False)
+        moves_before = cache.stats.line_moves
+        cache.access(1, addr(0, 1), False)
+        assert cache.stats.line_moves == moves_before
+
+    def test_promotion_refreshes_block(self, small_config, graded_retention):
+        cache = make_cache(small_config, graded_retention, "RSP-LRU")
+        cache.access(0, addr(0, 1), False)
+        cache.access(1, addr(0, 2), False)
+        # Promote tag 1 at cycle 10_000; it gets the 16000-retention way
+        # with a fresh clock.
+        cache.access(10_000, addr(0, 1), False)
+        assert cache.access(25_000, addr(0, 1), False) is AccessOutcome.HIT
+
+    def test_shuffles_more_than_fifo(self, small_config, graded_retention):
+        fifo = make_cache(small_config, graded_retention, "RSP-FIFO")
+        lru = make_cache(small_config, graded_retention, "RSP-LRU")
+        pattern = [(t, addr(0, 1 + (t % 3))) for t in range(30)]
+        for cycle, line in pattern:
+            fifo.access(cycle, line, False)
+            lru.access(cycle, line, False)
+        assert lru.stats.line_moves > fifo.stats.line_moves

@@ -1,0 +1,122 @@
+"""Set-associative L2 simulator and the real-L2 mode."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cache import CacheConfig, RetentionAwareCache
+from repro.cache.setassoc import SetAssociativeCache
+
+
+@pytest.fixture
+def cold_l2():
+    return SetAssociativeCache(
+        capacity_bytes=4096, line_bytes=64, ways=2, assume_warm=False
+    )
+
+
+class TestSetAssociativeCache:
+    def test_geometry(self, cold_l2):
+        assert cold_l2.n_lines == 64
+        assert cold_l2.n_sets == 32
+
+    def test_cold_first_touch_misses(self, cold_l2):
+        assert not cold_l2.access(5)
+        assert cold_l2.miss_rate == 1.0
+
+    def test_second_touch_hits(self, cold_l2):
+        cold_l2.access(5)
+        assert cold_l2.access(5)
+        assert cold_l2.hits == 1
+
+    def test_lru_eviction(self, cold_l2):
+        # Three lines mapping to the same set of a 2-way cache.
+        for line in (0, 32, 64):
+            cold_l2.access(line)
+        assert not cold_l2.access(0)  # evicted by 64
+        assert cold_l2.access(64)
+
+    def test_dirty_eviction_counts_writeback(self, cold_l2):
+        cold_l2.access(0, is_write=True)
+        cold_l2.access(32)
+        cold_l2.access(64)  # evicts dirty line 0
+        assert cold_l2.writebacks == 1
+
+    def test_clean_eviction_silent(self, cold_l2):
+        cold_l2.access(0)
+        cold_l2.access(32)
+        cold_l2.access(64)
+        assert cold_l2.writebacks == 0
+
+    def test_fill_dirty_not_a_demand_access(self, cold_l2):
+        cold_l2.fill_dirty(7)
+        assert cold_l2.accesses == 0
+        # But the line is resident and dirty.
+        assert cold_l2.access(7)
+
+    def test_warm_start_first_touch_hits(self):
+        warm = SetAssociativeCache(
+            capacity_bytes=4096, line_bytes=64, ways=2, assume_warm=True
+        )
+        assert warm.access(5)
+        assert warm.miss_rate == 0.0
+
+    def test_warm_start_still_misses_after_window_eviction(self):
+        warm = SetAssociativeCache(
+            capacity_bytes=4096, line_bytes=64, ways=2, assume_warm=True
+        )
+        for line in (0, 32, 64):  # same set; 0 evicted within the window
+            warm.access(line)
+        assert not warm.access(0)
+
+    def test_reset_stats_keeps_contents(self, cold_l2):
+        cold_l2.access(5)
+        cold_l2.reset_stats()
+        assert cold_l2.accesses == 0
+        assert cold_l2.access(5)  # still resident
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(capacity_bytes=0)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(ways=0)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(capacity_bytes=100, line_bytes=64, ways=3)
+
+
+class TestRealL2Mode:
+    def test_flag_builds_l2(self, small_geometry):
+        config = CacheConfig(geometry=small_geometry, real_l2=True)
+        cache = RetentionAwareCache(config)
+        assert cache.l2_cache is not None
+        assert cache.l2_cache.capacity_bytes == 2 * 1024 * 1024
+
+    def test_default_has_no_l2_simulator(self, small_config):
+        assert RetentionAwareCache(small_config).l2_cache is None
+
+    def test_l2_counters_track_misses(self, small_geometry):
+        config = CacheConfig(geometry=small_geometry, real_l2=True)
+        cache = RetentionAwareCache(config)
+        for tag in range(6):
+            cache.access(tag, tag * 8, False)
+        stats = cache.finalize(100)
+        assert stats.l2_hits + stats.l2_misses == stats.misses
+        # Warm-start L2: first touches hit.
+        assert stats.l2_misses == 0
+
+    def test_measured_rate_property(self, small_geometry):
+        config = CacheConfig(geometry=small_geometry, real_l2=True)
+        cache = RetentionAwareCache(config)
+        cache.access(0, 8, False)
+        assert cache.stats.measured_l2_miss_rate == 0.0
+
+    def test_writebacks_reach_l2(self, small_geometry):
+        config = CacheConfig(geometry=small_geometry, real_l2=True)
+        cache = RetentionAwareCache(config)
+        cache.access(0, 8, True)  # dirty fill (set 0, tag 1)
+        for tag in range(2, 6):
+            cache.access(tag, tag * 8, False)  # evicts the dirty line
+        assert cache.stats.writebacks == 1
+        # The written-back line is L2-resident: reloading hits the L2.
+        cache.access(10, 8, False)
+        assert cache.stats.l2_misses == 0

@@ -1,0 +1,180 @@
+"""Token-arbitrated scheduled refresh (section 4.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.array import CacheGeometry
+from repro.cache import (
+    AccessOutcome,
+    FullRefresh,
+    PartialRefresh,
+    RetentionAwareCache,
+)
+from repro.cache.token import TokenRefreshEngine
+
+
+def addr(set_index, tag, n_sets=8):
+    return tag * n_sets + set_index
+
+
+@pytest.fixture
+def engine(small_geometry):
+    return TokenRefreshEngine(small_geometry, margin_cycles=100)
+
+
+class TestEngine:
+    def test_default_margin_is_pass_sized(self, small_geometry):
+        engine = TokenRefreshEngine(small_geometry)
+        assert engine.margin_cycles == (
+            small_geometry.rows_per_pair
+            * small_geometry.refresh_cycles_per_line
+        )
+
+    def test_can_sustain_threshold(self, engine, small_geometry):
+        per_line = small_geometry.refresh_cycles_per_line
+        assert not engine.can_sustain(100 + per_line)
+        assert engine.can_sustain(101 + per_line)
+
+    def test_schedule_and_service(self, engine):
+        assert engine.schedule(0, 1, 4, fill_cycle=0, retention_cycles=1000)
+        assert engine.pending() == 1
+        assert engine.due_refreshes(500) == []  # due at 900
+        serviced = engine.due_refreshes(950)
+        assert serviced == [(900, 0, 1)]
+        assert engine.refreshes_done == 1
+
+    def test_unsustainable_line_rejected(self, engine):
+        assert not engine.schedule(0, 1, 4, fill_cycle=0, retention_cycles=50)
+        assert engine.pending() == 0
+
+    def test_cancel_makes_entry_stale(self, engine):
+        engine.schedule(0, 1, 4, fill_cycle=0, retention_cycles=1000)
+        engine.cancel(0, 1)
+        assert engine.due_refreshes(10_000) == []
+
+    def test_token_serializes_same_pair(self, small_geometry):
+        engine = TokenRefreshEngine(small_geometry, margin_cycles=100)
+        # Two lines of the same set in DIFFERENT pairs: parallel service.
+        engine.schedule(0, 0, 4, fill_cycle=0, retention_cycles=1000)
+        engine.schedule(0, 1, 4, fill_cycle=0, retention_cycles=1000)
+        serviced = dict(
+            ((s, w), t) for t, s, w in engine.due_refreshes(2000)
+        )
+        assert serviced[(0, 0)] == serviced[(0, 1)] == 900
+
+        # Two lines in the SAME pair (same way, different sets with the
+        # same pair id): serialized by the token.
+        engine2 = TokenRefreshEngine(small_geometry, margin_cycles=100)
+        engine2.schedule(0, 0, 4, fill_cycle=0, retention_cycles=1000)
+        engine2.schedule(1, 0, 4, fill_cycle=0, retention_cycles=1000)
+        times = sorted(t for t, _, _ in engine2.due_refreshes(5000))
+        per_line = small_geometry.refresh_cycles_per_line
+        assert times[1] == times[0] + per_line
+        assert engine2.max_token_wait == per_line
+
+    def test_busy_fraction(self, engine, small_geometry):
+        engine.schedule(0, 1, 4, fill_cycle=0, retention_cycles=1000)
+        engine.due_refreshes(2000)
+        fraction = engine.pair_busy_fraction(2000)
+        expected = small_geometry.refresh_cycles_per_line / (
+            2000 * small_geometry.n_pairs
+        )
+        assert fraction == pytest.approx(expected)
+
+    def test_validation(self, small_geometry):
+        with pytest.raises(ConfigurationError):
+            TokenRefreshEngine(small_geometry, margin_cycles=-1)
+        engine = TokenRefreshEngine(small_geometry)
+        with pytest.raises(ConfigurationError):
+            engine.pair_busy_fraction(0)
+        with pytest.raises(ConfigurationError):
+            engine.pending(pair=99)
+
+
+class TestOnlineRefreshInController:
+    def make_online(self, config, retention, refresh):
+        return RetentionAwareCache(
+            config, retention, replacement="DSP", refresh=refresh,
+            quantize=False, online_refresh=True,
+        )
+
+    def test_full_refresh_keeps_data_alive_online(
+        self, small_config, uniform_retention
+    ):
+        cache = self.make_online(
+            small_config, uniform_retention, FullRefresh()
+        )
+        cache.access(0, addr(0, 1), False)
+        # 10_000-cycle retention, margin 512: refreshed repeatedly.
+        assert cache.access(60_000, addr(0, 1), False) is AccessOutcome.HIT
+        assert cache.stats.line_refreshes >= 5
+
+    def test_online_counts_match_lazy_counts(
+        self, small_config, uniform_retention
+    ):
+        lazy = RetentionAwareCache(
+            small_config, uniform_retention, replacement="DSP",
+            refresh=FullRefresh(), quantize=False,
+        )
+        online = self.make_online(
+            small_config, uniform_retention, FullRefresh()
+        )
+        pattern = [(t * 1500, addr(0, 1 + (t % 3))) for t in range(40)]
+        for cycle, line in pattern:
+            lazy.access(cycle, line, False)
+            online.access(cycle, line, False)
+        lazy_stats = lazy.finalize(70_000)
+        online_stats = online.finalize(70_000)
+        assert lazy_stats.hits == online_stats.hits
+        # Refresh counts agree within the scheduling margin (the online
+        # engine refreshes slightly early by design).
+        assert online_stats.line_refreshes == pytest.approx(
+            lazy_stats.line_refreshes, abs=max(3, lazy_stats.line_refreshes)
+            * 0.35,
+        )
+
+    def test_partial_refresh_respects_threshold_online(
+        self, small_config, small_geometry
+    ):
+        retention = np.full((small_geometry.n_sets, small_geometry.ways), 2500)
+        cache = self.make_online(
+            small_config, retention, PartialRefresh(threshold_cycles=6000)
+        )
+        cache.access(0, addr(0, 1), False)
+        # Early refreshes keep it alive through the threshold...
+        assert cache.access(4_500, addr(0, 1), False) is AccessOutcome.HIT
+        # ...but refreshing stops once the guarantee is met; far later the
+        # data is gone.
+        assert (
+            cache.access(60_000, addr(0, 1), False)
+            is AccessOutcome.MISS_EXPIRED
+        )
+
+    def test_unsustainable_lines_behave_like_no_refresh(
+        self, small_config, small_geometry
+    ):
+        # Retention below the token margin: the hardware cannot promise a
+        # refresh, so the line simply expires.
+        margin = (
+            small_geometry.rows_per_pair
+            * small_geometry.refresh_cycles_per_line
+        )
+        retention = np.full(
+            (small_geometry.n_sets, small_geometry.ways), margin // 2
+        )
+        cache = self.make_online(
+            small_config, retention, FullRefresh()
+        )
+        cache.access(0, addr(0, 1), False)
+        assert (
+            cache.access(margin, addr(0, 1), False)
+            is AccessOutcome.MISS_EXPIRED
+        )
+        assert cache.stats.line_refreshes == 0
+
+    def test_online_flag_ignored_for_no_refresh(self, small_config):
+        cache = RetentionAwareCache(
+            small_config, online_refresh=True
+        )
+        assert cache.refresh_engine is None

@@ -1,0 +1,87 @@
+"""Write-through (no-write-allocate) cache mode."""
+
+import numpy as np
+import pytest
+
+from repro.cache import AccessOutcome, CacheConfig, RetentionAwareCache
+
+
+def addr(set_index, tag, n_sets=8):
+    return tag * n_sets + set_index
+
+
+@pytest.fixture
+def wt_config(small_geometry):
+    return CacheConfig(geometry=small_geometry, write_back=False)
+
+
+class TestWriteThrough:
+    def test_store_goes_to_l2_immediately(self, wt_config):
+        cache = RetentionAwareCache(wt_config)
+        cache.access(0, addr(0, 1), True)
+        assert cache.l2.writes == 1
+        assert cache.stats.write_throughs == 1
+
+    def test_store_miss_does_not_allocate(self, wt_config):
+        cache = RetentionAwareCache(wt_config)
+        assert cache.access(0, addr(0, 1), True) is AccessOutcome.MISS_COLD
+        # The line was not filled: a load misses too.
+        assert cache.access(1, addr(0, 1), False) is AccessOutcome.MISS_COLD
+
+    def test_store_hit_updates_without_dirtying(self, wt_config):
+        cache = RetentionAwareCache(wt_config)
+        cache.access(0, addr(0, 1), False)  # load allocates
+        assert cache.access(1, addr(0, 1), True) is AccessOutcome.HIT
+        set_state = cache.sets[0]
+        assert not any(set_state.dirty)
+
+    def test_no_writebacks_ever(self, wt_config, uniform_retention):
+        cache = RetentionAwareCache(
+            wt_config, uniform_retention, replacement="DSP", quantize=False
+        )
+        cache.access(0, addr(0, 1), False)
+        cache.access(1, addr(0, 1), True)
+        # Let the line expire and get replaced.
+        for tag in range(2, 8):
+            cache.access(20_000 + tag, addr(0, tag), False)
+        stats = cache.finalize(50_000)
+        assert stats.writebacks == 0
+        assert stats.expiry_writebacks == 0
+
+    def test_expiring_data_needs_no_action(self, wt_config, uniform_retention):
+        """Section 4.3.1: write-through caches need no expiry write-back."""
+        cache = RetentionAwareCache(
+            wt_config, uniform_retention, replacement="DSP", quantize=False
+        )
+        cache.access(0, addr(0, 1), False)
+        cache.access(1, addr(0, 1), True)
+        outcome = cache.access(20_000, addr(0, 1), False)
+        assert outcome is AccessOutcome.MISS_EXPIRED
+        assert cache.stats.expiry_writebacks == 0
+
+    def test_write_buffer_pressure_from_stores(self, wt_config):
+        config = CacheConfig(
+            geometry=wt_config.geometry,
+            write_back=False,
+            write_buffer_entries=2,
+            l2_write_interval_cycles=100,
+        )
+        cache = RetentionAwareCache(config)
+        for i in range(6):
+            cache.access(i, addr(0, 1), True)
+        assert cache.stats.write_buffer_stall_cycles > 0
+
+    def test_port_accounting_includes_write_throughs(self, wt_config):
+        cache = RetentionAwareCache(wt_config)
+        cache.access(0, addr(0, 1), False)
+        cache.access(1, addr(0, 1), True)
+        stats = cache.finalize(10)
+        assert stats.port_accesses >= stats.accesses + stats.write_throughs
+
+
+class TestWriteBackDefault:
+    def test_default_is_write_back(self, small_geometry):
+        assert CacheConfig(geometry=small_geometry).write_back
+
+    def test_with_ways_preserves_flag(self, wt_config):
+        assert not wt_config.with_ways(2).write_back

@@ -1,0 +1,78 @@
+"""Shared leakage-variation factor."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.cells.leakage import (
+    LEAKAGE_ROLLOFF_PER_REL_L,
+    LEAKAGE_VARIATION_IDEALITY,
+    leakage_variation_factor,
+)
+
+
+class TestNominal:
+    def test_nominal_factor_is_one(self):
+        assert leakage_variation_factor(0.0) == pytest.approx(1.0)
+
+    def test_nominal_with_floor_is_one(self):
+        assert leakage_variation_factor(
+            0.0, sensitive_share=0.3
+        ) == pytest.approx(1.0)
+
+
+class TestSensitivity:
+    def test_exponential_slope(self):
+        slope = LEAKAGE_VARIATION_IDEALITY * units.thermal_voltage()
+        assert leakage_variation_factor(-slope) == pytest.approx(
+            math.e, rel=1e-9
+        )
+
+    def test_floor_limits_reduction(self):
+        # With 30% sensitive share, a huge Vth increase leaves 70%.
+        assert leakage_variation_factor(
+            1.0, sensitive_share=0.3
+        ) == pytest.approx(0.7, abs=1e-3)
+
+    def test_floor_dampens_increase(self):
+        full = leakage_variation_factor(-0.05)
+        damped = leakage_variation_factor(-0.05, sensitive_share=0.3)
+        assert damped < full
+
+    def test_longer_channel_leaks_less(self):
+        assert leakage_variation_factor(0.0, 0.05) < 1.0
+
+    def test_rolloff_magnitude(self):
+        slope = LEAKAGE_VARIATION_IDEALITY * units.thermal_voltage()
+        rel_l = -slope / LEAKAGE_ROLLOFF_PER_REL_L
+        assert leakage_variation_factor(0.0, rel_l) == pytest.approx(
+            math.e, rel=1e-9
+        )
+
+    def test_custom_ideality_changes_slope(self):
+        sharp = leakage_variation_factor(-0.05, ideality=1.0)
+        shallow = leakage_variation_factor(-0.05, ideality=2.0)
+        assert sharp > shallow
+
+    def test_vectorised(self):
+        deltas = np.array([-0.05, 0.0, 0.05])
+        factors = leakage_variation_factor(deltas)
+        assert factors.shape == (3,)
+        assert np.all(np.diff(factors) < 0)
+
+
+class TestValidation:
+    def test_rejects_zero_share(self):
+        with pytest.raises(ConfigurationError):
+            leakage_variation_factor(0.0, sensitive_share=0.0)
+
+    def test_rejects_share_above_one(self):
+        with pytest.raises(ConfigurationError):
+            leakage_variation_factor(0.0, sensitive_share=1.5)
+
+    def test_rejects_nonpositive_ideality(self):
+        with pytest.raises(ConfigurationError):
+            leakage_variation_factor(0.0, ideality=0.0)

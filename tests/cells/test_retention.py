@@ -1,0 +1,122 @@
+"""Retention-time solver and the Figure 4 curve."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import NODE_32NM, NODE_45NM, NODE_65NM, calibration
+from repro.cells import AccessTimeCurve, DRAM3T1DCell, RetentionModel
+
+
+@pytest.fixture
+def model():
+    return RetentionModel.for_node(NODE_32NM)
+
+
+class TestRetentionModel:
+    def test_nominal_is_figure4_anchor(self, model):
+        assert float(model.retention_time()) == pytest.approx(5.8e-6, rel=1e-6)
+
+    @pytest.mark.parametrize(
+        "node, us", [(NODE_65NM, 12.0), (NODE_45NM, 8.6), (NODE_32NM, 5.8)]
+    )
+    def test_per_node_nominal(self, node, us):
+        assert float(
+            RetentionModel.for_node(node).retention_time()
+        ) == pytest.approx(us * 1e-6, rel=1e-6)
+
+    def test_leaky_t1_shortens_retention(self, model):
+        assert float(model.retention_time(delta_vth_t1=-0.05)) < float(
+            model.retention_time()
+        )
+
+    def test_weak_read_stack_shortens_retention(self, model):
+        assert float(model.retention_time(delta_vth_t2=0.05)) < float(
+            model.retention_time()
+        )
+
+    def test_weak_boost_shortens_retention(self, model):
+        assert float(model.retention_time(boost_eps=-0.1)) < float(
+            model.retention_time()
+        )
+
+    def test_dead_cell_retention_zero(self, model):
+        assert float(model.retention_time(delta_vth_t2=1.0)) == 0.0
+
+    def test_is_dead_flags_match_zero_retention(self, model):
+        deltas = np.array([0.0, 0.3, 1.0])
+        times = model.retention_time(delta_vth_t2=deltas)
+        dead = model.is_dead(delta_vth_t2=deltas)
+        assert np.array_equal(dead, times <= 0.0)
+
+    def test_vectorised_shapes(self, model):
+        shape = (16, 8)
+        t1 = np.zeros(shape)
+        assert model.retention_time(delta_vth_t1=t1).shape == shape
+
+    def test_retention_never_negative(self, model):
+        rng = np.random.default_rng(0)
+        times = model.retention_time(
+            delta_vth_t1=rng.normal(0, 0.1, 10000),
+            delta_vth_t2=rng.normal(0, 0.1, 10000),
+        )
+        assert np.all(times >= 0.0)
+
+
+class TestAccessTimeCurve:
+    def test_starts_below_6t_speed(self, model):
+        curve = AccessTimeCurve(model=model)
+        assert curve.access_time(0.0) < curve.sram_access_time
+
+    def test_initial_speedup_matches_paper_shape(self, model):
+        # Figure 4: fresh 3T1D access ~0.55-0.65x of the 6T access time.
+        curve = AccessTimeCurve(model=model)
+        ratio = curve.access_time(0.0) / curve.sram_access_time
+        assert 0.45 < ratio < 0.7
+
+    def test_monotonically_rising(self, model):
+        curve = AccessTimeCurve(model=model)
+        grid = np.linspace(0, 6e-6, 30)
+        access = np.asarray(curve.access_time(grid))
+        assert np.all(np.diff(access) > 0)
+
+    def test_crosses_6t_line_at_retention_time(self, model):
+        curve = AccessTimeCurve(model=model)
+        retention = curve.retention_time
+        assert curve.access_time(retention) == pytest.approx(
+            curve.sram_access_time, rel=1e-6
+        )
+
+    def test_matches_sram_speed_within_retention(self, model):
+        curve = AccessTimeCurve(model=model)
+        retention = curve.retention_time
+        assert curve.matches_sram_speed(0.5 * retention)
+        assert curve.matches_sram_speed(retention)
+        assert not curve.matches_sram_speed(1.01 * retention)
+
+    def test_weak_corner_shifts_curve_left(self, model):
+        nominal = AccessTimeCurve(model=model)
+        weak = AccessTimeCurve(
+            model=model, delta_vth_t1=-0.05, delta_vth_t2=0.05
+        )
+        assert weak.retention_time < nominal.retention_time
+        # Paper Figure 4: weak corner around 4 us vs 5.8 us nominal.
+        assert 2e-6 < weak.retention_time < 5.5e-6
+
+    def test_strong_corner_extends_retention(self, model):
+        strong = AccessTimeCurve(
+            model=model, delta_vth_t1=0.05, delta_vth_t2=-0.05
+        )
+        assert strong.retention_time > AccessTimeCurve(model=model).retention_time
+
+    def test_fully_decayed_cell_unreadable(self, model):
+        curve = AccessTimeCurve(model=model)
+        assert np.isinf(curve.access_time(50e-6))
+
+    def test_rejects_negative_elapsed(self, model):
+        with pytest.raises(ConfigurationError):
+            AccessTimeCurve(model=model).access_time(-1.0)
+
+    def test_scalar_in_scalar_out(self, model):
+        result = AccessTimeCurve(model=model).access_time(1e-6)
+        assert isinstance(result, float)

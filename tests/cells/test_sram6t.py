@@ -1,0 +1,130 @@
+"""6T SRAM cell model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import NODE_32NM, NODE_65NM, calibration
+from repro.variation import VariationParams
+from repro.cells import SRAM6TCell
+
+
+@pytest.fixture
+def cell():
+    return SRAM6TCell(NODE_32NM)
+
+
+@pytest.fixture
+def cell_2x():
+    return SRAM6TCell(NODE_32NM, size_factor=2.0)
+
+
+class TestBasics:
+    def test_labels(self, cell, cell_2x):
+        assert cell.label == "1X 6T"
+        assert cell_2x.label == "2X 6T"
+
+    def test_area_scales_quadratically(self, cell, cell_2x):
+        assert cell_2x.area == pytest.approx(4 * cell.area)
+
+    def test_mismatch_scale(self, cell, cell_2x):
+        assert cell.mismatch_scale == pytest.approx(1.0)
+        assert cell_2x.mismatch_scale == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            SRAM6TCell(NODE_32NM, size_factor=0.0)
+
+
+class TestAccessTime:
+    def test_nominal_matches_anchor(self, cell):
+        assert cell.access_time() == pytest.approx(
+            calibration.nominal_access_time(NODE_32NM), rel=1e-9
+        )
+
+    def test_higher_vth_slows_access(self, cell):
+        assert cell.access_time(delta_vth=0.05) > cell.access_time()
+
+    def test_lower_vth_speeds_access(self, cell):
+        assert cell.access_time(delta_vth=-0.05) < cell.access_time()
+
+    def test_dead_read_path_gives_inf(self, cell):
+        assert np.isinf(cell.access_time(delta_vth=2.0))
+
+    def test_slow_periphery_slows_access(self, cell):
+        assert cell.access_time(periphery_factor=1.2) > cell.access_time()
+
+    def test_vectorised(self, cell):
+        deltas = np.array([-0.03, 0.0, 0.03])
+        times = cell.access_time(delta_vth=deltas)
+        assert times.shape == (3,)
+        assert np.all(np.diff(times) > 0)
+
+    def test_current_factor_nominal_is_one(self, cell):
+        assert cell.read_current_factor() == pytest.approx(1.0)
+
+    def test_periphery_factor_nominal_is_one(self, cell):
+        assert float(cell.periphery_delay_factor(0.0)) == pytest.approx(1.0)
+
+    def test_periphery_factor_longer_channel_slower(self, cell):
+        assert float(cell.periphery_delay_factor(2e-9)) > 1.0
+
+
+class TestStability:
+    def test_flip_rate_anchor(self, cell):
+        # Paper: ~0.4% bit flips at 32nm under typical variation.
+        sigma = VariationParams.typical().sigma_vth(NODE_32NM)
+        assert cell.flip_probability(sigma) == pytest.approx(0.004, rel=0.15)
+
+    def test_line_failure_anchor(self, cell):
+        # Paper: 256-bit lines fail with ~64% probability.
+        sigma = VariationParams.typical().sigma_vth(NODE_32NM)
+        assert cell.line_failure_probability(sigma, 256) == pytest.approx(
+            0.64, abs=0.05
+        )
+
+    def test_2x_cell_is_stable(self, cell_2x):
+        sigma = VariationParams.typical().sigma_vth(NODE_32NM)
+        assert cell_2x.flip_probability(sigma) < 1e-6
+
+    def test_severe_variation_catastrophic(self, cell):
+        # Paper: under severe variation almost every line has unstable cells.
+        sigma = VariationParams.severe().sigma_vth(NODE_32NM)
+        assert cell.line_failure_probability(sigma, 256) > 0.99
+
+    def test_zero_sigma_never_flips(self, cell):
+        assert cell.flip_probability(0.0) == 0.0
+
+    def test_negative_sigma_rejected(self, cell):
+        with pytest.raises(ConfigurationError):
+            cell.flip_probability(-0.1)
+
+    def test_line_bits_validation(self, cell):
+        with pytest.raises(ConfigurationError):
+            cell.line_failure_probability(0.03, 0)
+
+
+class TestLeakage:
+    def test_nominal_positive(self, cell):
+        assert cell.nominal_cell_leakage_power() > 0
+
+    def test_cache_total_matches_anchor(self, cell):
+        total = cell.nominal_cell_leakage_power() * calibration.CACHE_TOTAL_CELLS
+        assert total == pytest.approx(78.2e-3, rel=1e-6)
+
+    def test_lower_vth_leaks_more(self, cell):
+        assert cell.leakage_power(delta_vth=-0.05) > cell.leakage_power()
+
+    def test_leakage_distribution_is_skewed(self, cell):
+        rng = np.random.default_rng(0)
+        draws = cell.leakage_power(delta_vth=rng.normal(0, 0.03, 50000))
+        mean = np.mean(draws)
+        median = np.median(draws)
+        assert mean > median  # lognormal-like right skew
+
+    def test_65nm_cell_leaks_less_total(self):
+        total_65 = (
+            SRAM6TCell(NODE_65NM).nominal_cell_leakage_power()
+            * calibration.CACHE_TOTAL_CELLS
+        )
+        assert total_65 == pytest.approx(15.8e-3, rel=1e-6)

@@ -1,0 +1,54 @@
+"""Temperature scaling of retention."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cells import thermal
+
+
+class TestScaling:
+    def test_reference_factor_is_one(self):
+        assert thermal.leakage_temperature_factor(80.0) == pytest.approx(1.0)
+        assert thermal.retention_temperature_factor(80.0) == pytest.approx(1.0)
+
+    def test_leakage_doubles_per_interval(self):
+        hot = 80.0 + thermal.DOUBLING_INTERVAL_C
+        assert thermal.leakage_temperature_factor(hot) == pytest.approx(2.0)
+
+    def test_retention_halves_per_interval(self):
+        hot = 80.0 + thermal.DOUBLING_INTERVAL_C
+        assert thermal.retention_temperature_factor(hot) == pytest.approx(0.5)
+
+    def test_cooler_retains_longer(self):
+        assert thermal.retention_temperature_factor(50.0) > 1.0
+
+    def test_reciprocity(self):
+        for temp in (60.0, 95.0, 110.0):
+            product = thermal.leakage_temperature_factor(
+                temp
+            ) * thermal.retention_temperature_factor(temp)
+            assert product == pytest.approx(1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            thermal.leakage_temperature_factor(200.0)
+
+
+class TestGuardBand:
+    def test_default_bist_guard_band_is_consistent(self):
+        # The BIST default (~0.9) corresponds to guaranteeing operation a
+        # couple of degrees above the 80C test point.
+        from repro.array.bist import TEMPERATURE_GUARD_BAND
+
+        implied = thermal.guard_band_for(max_operating_c=82.3)
+        assert implied == pytest.approx(TEMPERATURE_GUARD_BAND, abs=0.02)
+
+    def test_hotter_spec_needs_bigger_derating(self):
+        assert thermal.guard_band_for(100.0) < thermal.guard_band_for(90.0)
+
+    def test_equal_temperatures_no_derating(self):
+        assert thermal.guard_band_for(80.0) == pytest.approx(1.0)
+
+    def test_rejects_inverted_temperatures(self):
+        with pytest.raises(ConfigurationError):
+            thermal.guard_band_for(70.0, test_c=80.0)

@@ -1,0 +1,131 @@
+"""Cache architecture assembly."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ChipDiscardedError
+from repro.technology import NODE_32NM
+from repro.variation import VariationParams
+from repro.array import CacheGeometry, ChipSampler
+from repro.cache import GlobalRefresh, RetentionAwareCache
+from repro.cache.config import CacheConfig
+from repro.core import (
+    Cache3T1DArchitecture,
+    Cache6TArchitecture,
+    IdealCacheArchitecture,
+    SCHEME_GLOBAL,
+    SCHEME_NO_REFRESH_LRU,
+    SCHEME_RSP_FIFO,
+)
+
+
+@pytest.fixture(scope="module")
+def typical_chip():
+    sampler = ChipSampler(NODE_32NM, VariationParams.typical(), seed=300)
+    return sampler.sample_3t1d_chip()
+
+
+@pytest.fixture(scope="module")
+def sram_chip():
+    sampler = ChipSampler(NODE_32NM, VariationParams.typical(), seed=301)
+    return sampler.sample_sram_chip()
+
+
+class TestCache3T1DArchitecture:
+    def test_runs_at_nominal_frequency(self, typical_chip):
+        arch = Cache3T1DArchitecture(typical_chip, SCHEME_NO_REFRESH_LRU)
+        assert arch.frequency == NODE_32NM.frequency
+
+    def test_retention_converted_to_cycles(self, typical_chip):
+        arch = Cache3T1DArchitecture(typical_chip, SCHEME_NO_REFRESH_LRU)
+        expected = typical_chip.retention_by_line * NODE_32NM.frequency
+        assert np.allclose(arch.retention_cycles_raw, expected)
+
+    def test_counter_spans_chip(self, typical_chip):
+        arch = Cache3T1DArchitecture(typical_chip, SCHEME_NO_REFRESH_LRU)
+        assert arch.counter.max_cycles >= np.max(arch.retention_cycles_raw)
+
+    def test_build_cache_line_level(self, typical_chip):
+        arch = Cache3T1DArchitecture(typical_chip, SCHEME_RSP_FIFO)
+        cache = arch.build_cache()
+        assert isinstance(cache, RetentionAwareCache)
+        assert cache.replacement.name == "RSP-FIFO"
+
+    def test_build_cache_fresh_each_time(self, typical_chip):
+        arch = Cache3T1DArchitecture(typical_chip, SCHEME_NO_REFRESH_LRU)
+        a = arch.build_cache()
+        a.access(0, 1, False)
+        b = arch.build_cache()
+        assert b.stats.accesses == 0
+
+    def test_global_scheme_on_operable_chip(self, typical_chip):
+        arch = Cache3T1DArchitecture(typical_chip, SCHEME_GLOBAL)
+        if arch.is_operable():
+            cache = arch.build_cache()
+            assert isinstance(cache.refresh, GlobalRefresh)
+
+    def test_global_scheme_discards_short_retention_chip(self, typical_chip):
+        # Forge a chip whose worst line cannot cover a refresh pass.
+        short = typical_chip.retention_by_line.copy()
+        short[5] = 100 / NODE_32NM.frequency  # 100 cycles
+        chip = typical_chip.__class__(
+            node=typical_chip.node,
+            geometry=typical_chip.geometry,
+            chip_id=999,
+            retention_by_line=short,
+            leakage_power=typical_chip.leakage_power,
+            golden_leakage_power=typical_chip.golden_leakage_power,
+        )
+        arch = Cache3T1DArchitecture(chip, SCHEME_GLOBAL)
+        assert not arch.is_operable()
+        with pytest.raises(ChipDiscardedError):
+            arch.build_cache()
+
+    def test_line_level_always_operable(self, typical_chip):
+        arch = Cache3T1DArchitecture(typical_chip, SCHEME_NO_REFRESH_LRU)
+        assert arch.is_operable()
+
+    def test_dead_line_threshold_is_counter_step(self, typical_chip):
+        arch = Cache3T1DArchitecture(typical_chip, SCHEME_NO_REFRESH_LRU)
+        assert arch.dead_line_threshold_cycles == arch.counter.step_cycles
+
+    def test_associativity_reinterpretation(self, typical_chip):
+        config = CacheConfig(geometry=CacheGeometry(ways=8))
+        arch = Cache3T1DArchitecture(
+            typical_chip, SCHEME_NO_REFRESH_LRU, config=config
+        )
+        cache = arch.build_cache()
+        assert cache.retention_grid.shape == (128, 8)
+
+    def test_power_model_kind(self, typical_chip):
+        arch = Cache3T1DArchitecture(typical_chip, SCHEME_NO_REFRESH_LRU)
+        assert arch.power_model().cell_kind == "3T1D"
+
+
+class TestCache6TArchitecture:
+    def test_frequency_degraded(self, sram_chip):
+        arch = Cache6TArchitecture(sram_chip)
+        assert arch.frequency < NODE_32NM.frequency
+        assert arch.normalized_frequency < 1.0
+
+    def test_cache_never_expires(self, sram_chip):
+        cache = Cache6TArchitecture(sram_chip).build_cache()
+        cache.access(0, 42, False)
+        assert cache.access(10_000_000, 42, False).name == "HIT"
+
+    def test_power_model_kind(self, sram_chip):
+        assert Cache6TArchitecture(sram_chip).power_model().cell_kind == "6T"
+
+
+class TestIdealCacheArchitecture:
+    def test_nominal_frequency(self):
+        arch = IdealCacheArchitecture(NODE_32NM)
+        assert arch.frequency == NODE_32NM.frequency
+
+    def test_ideal_cache_no_retention(self):
+        cache = IdealCacheArchitecture(NODE_32NM).build_cache()
+        assert math.isinf(
+            cache.refresh.effective_lifetime(1)
+        ) or cache.retention_grid.max() > 10 ** 15

@@ -1,0 +1,91 @@
+"""Redundancy / ECC analysis (section 2.1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core import redundancy
+
+
+class TestLineFailure:
+    def test_paper_anchor(self):
+        # 1 - 0.996^256 = 64%.
+        assert redundancy.line_failure_probability(0.004, 256) == pytest.approx(
+            0.64, abs=0.01
+        )
+
+    def test_zero_rate(self):
+        assert redundancy.line_failure_probability(0.0) == 0.0
+
+    def test_monotone_in_length(self):
+        assert redundancy.line_failure_probability(
+            0.004, 512
+        ) > redundancy.line_failure_probability(0.004, 256)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            redundancy.line_failure_probability(1.5)
+        with pytest.raises(ConfigurationError):
+            redundancy.line_failure_probability(0.01, 0)
+
+
+class TestSpareLines:
+    def test_spares_hopeless_at_paper_rate(self):
+        # With 64% of lines failing, 16 spares are useless.
+        assert redundancy.spare_line_yield(0.004) < 1e-6
+
+    def test_spares_fine_at_tiny_rates(self):
+        assert redundancy.spare_line_yield(1e-6) > 0.99
+
+    def test_more_spares_help(self):
+        rate = 3e-5
+        assert redundancy.spare_line_yield(
+            rate, spare_lines=32
+        ) >= redundancy.spare_line_yield(rate, spare_lines=4)
+
+    def test_perfect_yield_at_zero(self):
+        assert redundancy.spare_line_yield(0.0) == 1.0
+
+
+class TestSECDED:
+    def test_word_failure_small_at_paper_rate(self):
+        # Two flips in one 72-bit word at 0.4%: a few percent.
+        p = redundancy.secded_word_failure_probability(0.004)
+        assert 0.01 < p < 0.1
+
+    def test_corrects_single_flips(self):
+        # At very low rates ECC makes failure quadratically rare.
+        p_raw = redundancy.line_failure_probability(1e-4, 512)
+        p_ecc = redundancy.secded_line_failure_probability(1e-4, 512)
+        assert p_ecc < p_raw / 100
+
+    def test_ecc_still_fails_at_typical_32nm_rate(self):
+        # Even SECDED + 16 spares cannot absorb the 0.4% flip rate --
+        # the paper's reason for abandoning patched 6T.
+        assert redundancy.secded_cache_yield(0.004) < 0.01
+
+    def test_ecc_plus_spares_work_at_low_rates(self):
+        assert redundancy.secded_cache_yield(2e-4) > 0.9
+
+
+class TestMaxTolerableRate:
+    def test_ecc_raises_the_ceiling(self):
+        without = redundancy.max_tolerable_flip_rate(use_ecc=False)
+        with_ecc = redundancy.max_tolerable_flip_rate(use_ecc=True)
+        assert with_ecc > 10 * without
+
+    def test_ceiling_below_paper_rate(self):
+        # The achievable ceiling sits below the 0.4% the paper measures.
+        assert redundancy.max_tolerable_flip_rate(use_ecc=True) < 0.004
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            redundancy.max_tolerable_flip_rate(target_yield=1.5)
+
+
+class TestReport:
+    def test_report_fields(self):
+        report = redundancy.protection_report(0.004)
+        assert report.line_failure == pytest.approx(0.64, abs=0.01)
+        assert report.spare_yield < 1e-6
+        assert 0 < report.ecc_line_failure < 1
+        assert "flip rate" in str(report)

@@ -1,0 +1,65 @@
+"""Retention-scheme registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core import (
+    HEADLINE_SCHEMES,
+    LINE_LEVEL_SCHEMES,
+    SCHEME_GLOBAL,
+    SCHEME_NO_REFRESH_LRU,
+    SCHEME_PARTIAL_DSP,
+    SCHEME_RSP_FIFO,
+    SCHEME_RSP_LRU,
+    get_scheme,
+)
+
+
+class TestRegistry:
+    def test_eight_line_level_schemes(self):
+        assert len(LINE_LEVEL_SCHEMES) == 8
+
+    def test_scheme_names_unique(self):
+        names = [s.name for s in LINE_LEVEL_SCHEMES] + [SCHEME_GLOBAL.name]
+        assert len(names) == len(set(names))
+
+    def test_headline_schemes_are_the_papers_three(self):
+        assert [s.name for s in HEADLINE_SCHEMES] == [
+            "no-refresh/LRU", "partial-refresh/DSP", "RSP-FIFO",
+        ]
+
+    def test_cross_product_minus_rsp_refresh_combos(self):
+        # 3 refresh x 2 (LRU, DSP) + 2 RSP = 8.
+        lru_dsp = [
+            s for s in LINE_LEVEL_SCHEMES if s.replacement in ("LRU", "DSP")
+        ]
+        rsp = [s for s in LINE_LEVEL_SCHEMES if s.has_intrinsic_refresh]
+        assert len(lru_dsp) == 6
+        assert len(rsp) == 2
+
+    def test_rsp_schemes_use_no_refresh_policy(self):
+        assert SCHEME_RSP_FIFO.refresh == "no-refresh"
+        assert SCHEME_RSP_LRU.refresh == "no-refresh"
+        assert SCHEME_RSP_FIFO.has_intrinsic_refresh
+
+    def test_global_flags(self):
+        assert SCHEME_GLOBAL.is_global
+        assert not SCHEME_GLOBAL.uses_line_counters
+
+    def test_line_level_use_counters(self):
+        for scheme in LINE_LEVEL_SCHEMES:
+            assert scheme.uses_line_counters
+
+    def test_str(self):
+        assert str(SCHEME_PARTIAL_DSP) == "partial-refresh/DSP"
+
+
+class TestLookup:
+    def test_by_name_case_insensitive(self):
+        assert get_scheme("rsp-fifo") is SCHEME_RSP_FIFO
+        assert get_scheme("GLOBAL") is SCHEME_GLOBAL
+        assert get_scheme("no-refresh/LRU") is SCHEME_NO_REFRESH_LRU
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_scheme("refresh-sometimes")

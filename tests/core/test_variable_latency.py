@@ -1,0 +1,100 @@
+"""Variable-latency 6T baseline (related-work comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import NODE_32NM
+from repro.variation import VariationParams
+from repro.array import ChipSampler
+from repro.core.variable_latency import evaluate_variable_latency
+from repro.workloads import get_profile
+
+
+@pytest.fixture(scope="module")
+def typical_chip():
+    sampler = ChipSampler(NODE_32NM, VariationParams.typical(), seed=700)
+    return sampler.sample_sram_chip()
+
+
+@pytest.fixture(scope="module")
+def severe_chip():
+    sampler = ChipSampler(NODE_32NM, VariationParams.severe(), seed=701)
+    return sampler.sample_sram_chip()
+
+
+class TestEvaluation:
+    def test_runs_at_nominal_frequency(self, typical_chip):
+        result = evaluate_variable_latency(typical_chip, get_profile("gcc"))
+        assert result.keeps_nominal_frequency
+
+    def test_fractions_partition(self, typical_chip):
+        result = evaluate_variable_latency(typical_chip, get_profile("gcc"))
+        assert 0.0 <= result.slow_line_fraction <= 1.0
+        assert 0.0 <= result.disabled_line_fraction <= 1.0
+        assert (
+            result.slow_line_fraction + result.disabled_line_fraction <= 1.0
+        )
+
+    def test_beats_frequency_binning_on_typical_chips(self, typical_chip):
+        """The variable-latency idea's selling point: a 15% frequency loss
+        becomes a sub-5% latency cost."""
+        result = evaluate_variable_latency(typical_chip, get_profile("gcc"))
+        assert result.normalized_performance > typical_chip.normalized_frequency
+
+    def test_severe_worse_than_typical_on_average(self):
+        profile = get_profile("gcc")
+        means = {}
+        for name, params in (
+            ("typical", VariationParams.typical()),
+            ("severe", VariationParams.severe()),
+        ):
+            sampler = ChipSampler(NODE_32NM, params, seed=702)
+            perfs = [
+                evaluate_variable_latency(chip, profile).normalized_performance
+                for chip in sampler.sample_sram_chips(8)
+            ]
+            means[name] = float(np.mean(perfs))
+        assert means["severe"] <= means["typical"] + 0.005
+
+    def test_slow_fraction_matches_chip_accessor(self, typical_chip):
+        result = evaluate_variable_latency(typical_chip, get_profile("gcc"))
+        budget = NODE_32NM.cycle_time
+        expected_beyond_budget = typical_chip.slow_line_fraction(budget)
+        assert (
+            result.slow_line_fraction + result.disabled_line_fraction
+            == pytest.approx(expected_beyond_budget)
+        )
+
+    def test_requires_per_line_data(self, typical_chip):
+        from repro.array.chip import SRAMChipSample
+
+        stripped = SRAMChipSample(
+            node=typical_chip.node,
+            cell_label=typical_chip.cell_label,
+            chip_id=0,
+            worst_access_time=typical_chip.worst_access_time,
+            nominal_access_time=typical_chip.nominal_access_time,
+            leakage_power=typical_chip.leakage_power,
+            golden_leakage_power=typical_chip.golden_leakage_power,
+            flip_count=0,
+            total_cells=typical_chip.total_cells,
+        )
+        with pytest.raises(ConfigurationError):
+            evaluate_variable_latency(stripped, get_profile("gcc"))
+
+
+class TestChipAccessor:
+    def test_slow_line_fraction_monotone_in_budget(self, typical_chip):
+        tight = typical_chip.slow_line_fraction(150e-12)
+        loose = typical_chip.slow_line_fraction(300e-12)
+        assert tight >= loose
+
+    def test_worst_access_consistent(self, typical_chip):
+        assert float(
+            np.max(typical_chip.access_time_by_line)
+        ) == pytest.approx(typical_chip.worst_access_time)
+
+    def test_budget_validation(self, typical_chip):
+        with pytest.raises(ConfigurationError):
+            typical_chip.slow_line_fraction(0.0)

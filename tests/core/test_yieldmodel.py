@@ -1,0 +1,85 @@
+"""Yield model and chip binning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import NODE_32NM
+from repro.variation import VariationParams
+from repro.array import ChipSampler
+from repro.core import YieldModel
+
+
+@pytest.fixture(scope="module")
+def severe_chips():
+    sampler = ChipSampler(NODE_32NM, VariationParams.severe(), seed=400)
+    return sampler.sample_3t1d_chips(24)
+
+
+@pytest.fixture(scope="module")
+def model(severe_chips):
+    return YieldModel(severe_chips)
+
+
+class TestReport:
+    def test_fields_consistent(self, model, severe_chips):
+        report = model.report()
+        assert report.n_chips == len(severe_chips)
+        assert 0.0 <= report.discard_rate_global <= 1.0
+        assert (
+            report.median_dead_line_fraction
+            <= report.p90_dead_line_fraction
+            <= report.max_dead_line_fraction
+        )
+
+    def test_severe_has_high_discard(self, model):
+        # Paper: ~80% of chips discarded under the global scheme.
+        assert model.report().discard_rate_global > 0.5
+
+    def test_str_renders(self, model):
+        assert "discard" in str(model.report())
+
+
+class TestPicks:
+    def test_ordering(self, model):
+        good, median, bad = model.pick_good_median_bad()
+        assert model.chip_quality(good) >= model.chip_quality(median)
+        assert model.chip_quality(median) >= model.chip_quality(bad)
+
+    def test_bad_chip_has_more_dead_lines(self, model):
+        good, _, bad = model.pick_good_median_bad()
+        assert model.dead_line_fraction(bad) >= model.dead_line_fraction(good)
+
+    def test_quality_caps_at_reuse_horizon(self, model, severe_chips):
+        chip = severe_chips[0]
+        horizon = 6000.0 / chip.node.frequency
+        assert model.chip_quality(chip) <= horizon
+
+    def test_percentile_picks_avoid_extremes(self, model, severe_chips):
+        _, _, bad = model.pick_good_median_bad()
+        worst = min(severe_chips, key=model.chip_quality)
+        assert model.chip_quality(bad) >= model.chip_quality(worst)
+
+
+class TestDeadAndDiscard:
+    def test_dead_uses_counter_step(self, model, severe_chips):
+        chip = severe_chips[0]
+        # Fraction must lie between strictly-zero-retention and a generous
+        # 1us threshold.
+        strict = chip.dead_line_fraction(0.0)
+        generous = chip.dead_line_fraction(1e-6)
+        measured = model.dead_line_fraction(chip)
+        assert strict <= measured <= generous
+
+    def test_discard_matches_pass_time(self, model, severe_chips):
+        for chip in severe_chips[:5]:
+            pass_seconds = (
+                chip.geometry.refresh_cycles_full_pass / chip.node.frequency
+            )
+            assert model.is_discarded_global(chip) == (
+                chip.chip_retention_time < pass_seconds
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            YieldModel([])

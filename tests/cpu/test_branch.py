@@ -1,0 +1,79 @@
+"""Tournament branch predictor."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.branch import TournamentPredictor
+
+
+class TestLearning:
+    def test_learns_always_taken(self):
+        predictor = TournamentPredictor()
+        for _ in range(200):
+            predictor.update(pc=1, taken=True)
+        assert predictor.predict(1) is True
+
+    def test_learns_never_taken(self):
+        predictor = TournamentPredictor()
+        for _ in range(200):
+            predictor.update(pc=2, taken=False)
+        assert predictor.predict(2) is False
+
+    def test_learns_alternating_pattern_via_local_history(self):
+        # T,N,T,N ... is perfectly predictable from 10-bit local history.
+        predictor = TournamentPredictor()
+        outcome = True
+        mispredicts_late = 0
+        for i in range(2000):
+            mispredicted = predictor.update(pc=3, taken=outcome)
+            if i >= 1500 and mispredicted:
+                mispredicts_late += 1
+            outcome = not outcome
+        assert mispredicts_late == 0
+
+    def test_random_branches_mispredict_often(self):
+        predictor = TournamentPredictor()
+        rng = np.random.default_rng(0)
+        outcomes = rng.random(4000) < 0.5
+        for taken in outcomes:
+            predictor.update(pc=4, taken=bool(taken))
+        assert predictor.misprediction_rate > 0.3
+
+    def test_biased_branches_mostly_predicted(self):
+        predictor = TournamentPredictor()
+        rng = np.random.default_rng(1)
+        outcomes = rng.random(4000) < 0.9
+        for taken in outcomes:
+            predictor.update(pc=5, taken=bool(taken))
+        assert predictor.misprediction_rate < 0.2
+
+
+class TestBookkeeping:
+    def test_counts(self):
+        predictor = TournamentPredictor()
+        for _ in range(10):
+            predictor.update(pc=1, taken=True)
+        assert predictor.predictions == 10
+        assert 0 <= predictor.mispredictions <= 10
+
+    def test_rate_with_no_predictions(self):
+        assert TournamentPredictor().misprediction_rate == 0.0
+
+    def test_update_reports_mispredict_consistently(self):
+        predictor = TournamentPredictor()
+        mispredicted = []
+        for _ in range(50):
+            mispredicted.append(predictor.update(pc=9, taken=True))
+        assert sum(mispredicted) == predictor.mispredictions
+
+    def test_penalty_configurable(self):
+        predictor = TournamentPredictor(mispredict_penalty_cycles=11)
+        assert predictor.mispredict_penalty_cycles == 11
+
+    def test_distinct_pcs_tracked_separately(self):
+        predictor = TournamentPredictor()
+        for _ in range(300):
+            predictor.update(pc=10, taken=True)
+            predictor.update(pc=11, taken=False)
+        assert predictor.predict(10) is True
+        assert predictor.predict(11) is False

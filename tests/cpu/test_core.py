@@ -1,0 +1,62 @@
+"""Core configuration (Table 2) and assembly."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cpu import Core, CoreConfig
+from repro.cpu.isa import MicroOp, OpClass
+from repro.cpu.trace import InstructionTrace
+
+
+class TestTable2Defaults:
+    def test_paper_values(self):
+        config = CoreConfig()
+        assert config.issue_width == 4
+        assert config.rob_entries == 80
+        assert config.int_queue_entries == 20
+        assert config.fp_queue_entries == 15
+        assert config.load_queue_entries == 32
+        assert config.store_queue_entries == 32
+        assert config.int_units == 4
+        assert config.fp_units == 2
+        assert config.l1_read_ports == 2
+        assert config.l1_write_ports == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(issue_width=0)
+        with pytest.raises(ConfigurationError):
+            CoreConfig(rob_entries=0)
+
+
+class TestCore:
+    def test_build_pipeline_fresh_state(self):
+        core = Core()
+        a = core.build_pipeline()
+        b = core.build_pipeline()
+        assert a is not b
+        assert a.predictor is not b.predictor
+
+    def test_predictor_penalty_forwarded(self):
+        core = Core(CoreConfig(mispredict_penalty_cycles=11))
+        pipeline = core.build_pipeline()
+        assert pipeline.predictor.mispredict_penalty_cycles == 11
+
+    def test_run_defaults_to_ideal_memory(self):
+        trace = InstructionTrace.from_micro_ops(
+            [MicroOp(op=OpClass.INT_ALU) for _ in range(100)]
+        )
+        result = Core().run(trace)
+        assert result.instructions == 100
+        assert result.ipc > 0
+
+    def test_runs_are_independent(self):
+        trace = InstructionTrace.from_micro_ops(
+            [MicroOp(op=OpClass.BRANCH, pc=1, taken=True) for _ in range(200)]
+        )
+        core = Core()
+        first = core.run(trace)
+        second = core.run(trace)
+        # A fresh predictor each run: identical results.
+        assert first.branch_mispredictions == second.branch_mispredictions
+        assert first.cycles == second.cycles

@@ -1,0 +1,55 @@
+"""Micro-op records."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.cpu.isa import EXECUTION_LATENCY, MicroOp, OpClass
+
+
+class TestMicroOp:
+    def test_alu_defaults(self):
+        op = MicroOp(op=OpClass.INT_ALU)
+        assert op.dep1 == 0
+        assert op.line_address == -1
+        assert not op.is_memory
+        assert not op.is_branch
+
+    def test_load_requires_address(self):
+        with pytest.raises(TraceError):
+            MicroOp(op=OpClass.LOAD)
+
+    def test_store_requires_address(self):
+        with pytest.raises(TraceError):
+            MicroOp(op=OpClass.STORE)
+
+    def test_alu_must_not_have_address(self):
+        with pytest.raises(TraceError):
+            MicroOp(op=OpClass.INT_ALU, line_address=5)
+
+    def test_memory_flags(self):
+        load = MicroOp(op=OpClass.LOAD, line_address=7)
+        store = MicroOp(op=OpClass.STORE, line_address=7)
+        assert load.is_memory and store.is_memory
+
+    def test_branch_flag(self):
+        branch = MicroOp(op=OpClass.BRANCH, pc=3, taken=True)
+        assert branch.is_branch
+
+    def test_negative_dep_rejected(self):
+        with pytest.raises(TraceError):
+            MicroOp(op=OpClass.INT_ALU, dep1=-1)
+
+
+class TestLatencies:
+    def test_every_class_has_latency(self):
+        for op_class in OpClass:
+            assert op_class in EXECUTION_LATENCY
+
+    def test_single_cycle_alu(self):
+        assert EXECUTION_LATENCY[OpClass.INT_ALU] == 1
+
+    def test_multiply_slower_than_alu(self):
+        assert EXECUTION_LATENCY[OpClass.INT_MUL] > EXECUTION_LATENCY[OpClass.INT_ALU]
+
+    def test_load_latency_comes_from_memory_model(self):
+        assert EXECUTION_LATENCY[OpClass.LOAD] == 0

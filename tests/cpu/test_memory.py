@@ -1,0 +1,62 @@
+"""CacheMemory adapter between the pipeline and the cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.controller import RetentionAwareCache
+from repro.cpu import CacheMemory
+from repro.cpu.memory import REPLAY_LATENCY_CYCLES
+
+
+@pytest.fixture
+def config():
+    return CacheConfig()
+
+
+class TestLatencies:
+    def test_hit_latency(self, config):
+        memory = CacheMemory(RetentionAwareCache(config), config)
+        memory.load(0, 42)  # miss, fills
+        assert memory.load(10, 42) == pytest.approx(
+            config.hit_latency_cycles
+        )
+
+    def test_miss_latency(self, config):
+        memory = CacheMemory(RetentionAwareCache(config), config)
+        latency = memory.load(0, 42)
+        assert latency == pytest.approx(
+            config.hit_latency_cycles + config.miss_latency_cycles
+        )
+
+    def test_expired_access_adds_replay(self, config):
+        grid = np.full((config.geometry.n_sets, config.geometry.ways), 1000)
+        cache = RetentionAwareCache(config, grid, quantize=False)
+        memory = CacheMemory(cache, config)
+        memory.load(0, 42)
+        latency = memory.load(5000, 42)  # expired
+        assert latency == pytest.approx(
+            config.hit_latency_cycles
+            + config.miss_latency_cycles
+            + REPLAY_LATENCY_CYCLES
+        )
+
+    def test_store_latency(self, config):
+        memory = CacheMemory(RetentionAwareCache(config), config)
+        assert memory.store(0, 7) > 0
+
+
+class TestClockClamping:
+    def test_out_of_order_cycles_tolerated(self, config):
+        memory = CacheMemory(RetentionAwareCache(config), config)
+        memory.load(100, 1)
+        # The OoO core may issue an older op later; must not raise.
+        memory.load(50, 2)
+        assert memory.cache.stats.accesses == 2
+
+    def test_clock_monotone(self, config):
+        memory = CacheMemory(RetentionAwareCache(config), config)
+        memory.load(100, 1)
+        memory.load(50, 2)
+        memory.load(60, 3)
+        assert memory.cache.window_cycles >= 100

@@ -1,0 +1,146 @@
+"""Analytic CPU performance model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cache import CacheStats
+from repro.cache.config import CacheConfig
+from repro.cpu.perfmodel import AnalyticCPUModel, PerformanceEstimate
+from repro.workloads import get_profile
+
+
+@pytest.fixture
+def model():
+    return AnalyticCPUModel(get_profile("gcc"), CacheConfig())
+
+
+def stats_with(**kwargs):
+    stats = CacheStats()
+    for key, value in kwargs.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestBaseline:
+    def test_clean_stats_give_base_ipc(self, model):
+        estimate = model.estimate(
+            stats_with(loads=100), instructions=1000, window_cycles=1000
+        )
+        assert estimate.ipc == pytest.approx(model.baseline_ipc, rel=1e-6)
+
+    def test_baseline_consistency(self, model):
+        assert model.baseline_cpi == pytest.approx(1.0 / model.baseline_ipc)
+
+    def test_miss_latency_blends_l2_and_memory(self, model):
+        latency = model.miss_latency_cycles()
+        config = CacheConfig()
+        assert config.l2_latency_cycles < latency < config.memory_latency_cycles
+
+
+class TestPenalties:
+    def test_extra_misses_lower_ipc(self, model):
+        estimate = model.estimate(
+            stats_with(loads=1000, misses_cold=100),
+            instructions=3000,
+            window_cycles=3000,
+        )
+        assert estimate.ipc < model.baseline_ipc
+        assert estimate.cpi_extra_miss > 0
+
+    def test_baseline_misses_not_charged(self, model):
+        baseline = stats_with(loads=1000, misses_cold=50)
+        same = model.estimate(
+            baseline, instructions=3000, window_cycles=3000,
+            baseline_stats=baseline,
+        )
+        assert same.ipc == pytest.approx(model.baseline_ipc)
+
+    def test_expired_misses_add_replay(self, model):
+        cold = model.estimate(
+            stats_with(loads=1000, misses_cold=50),
+            instructions=3000, window_cycles=3000,
+        )
+        expired = model.estimate(
+            stats_with(loads=1000, misses_expired=50),
+            instructions=3000, window_cycles=3000,
+        )
+        assert expired.ipc < cold.ipc
+        assert expired.cpi_replay > 0
+
+    def test_port_blocking_lowers_ipc(self, model):
+        blocked = model.estimate(
+            stats_with(loads=1000, refresh_blocked_cycles=2000),
+            instructions=3000, window_cycles=4000,
+        )
+        assert blocked.cpi_port_block > 0
+        assert blocked.ipc < model.baseline_ipc
+
+    def test_pair_parallelism_derates_blocking(self, model):
+        stats = stats_with(loads=1000, refresh_blocked_cycles=2000)
+        global_block = model.estimate(
+            stats, instructions=3000, window_cycles=4000,
+            port_block_parallelism=1.0,
+        )
+        pair_block = model.estimate(
+            stats, instructions=3000, window_cycles=4000,
+            port_block_parallelism=4.0,
+        )
+        assert pair_block.cpi_port_block == pytest.approx(
+            global_block.cpi_port_block / 4
+        )
+
+    def test_write_stalls_charged_directly(self, model):
+        estimate = model.estimate(
+            stats_with(loads=10, write_buffer_stall_cycles=300),
+            instructions=3000, window_cycles=3000,
+        )
+        assert estimate.cpi_write_stall == pytest.approx(0.1)
+
+
+class TestGlobalRefreshEstimate:
+    def test_zero_duty_is_baseline(self, model):
+        estimate = model.estimate_global_refresh(0.0)
+        assert estimate.ipc == pytest.approx(model.baseline_ipc)
+
+    def test_duty_monotone(self, model):
+        perfs = [
+            model.estimate_global_refresh(duty).ipc
+            for duty in (0.0, 0.25, 0.5, 1.0)
+        ]
+        assert perfs == sorted(perfs, reverse=True)
+
+    def test_saturated_duty_small_loss(self, model):
+        # Paper Figure 6b: even retention at the pass time costs only a
+        # few percent.
+        worst = model.estimate_global_refresh(1.0)
+        assert worst.ipc / model.baseline_ipc > 0.9
+
+    def test_duty_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.estimate_global_refresh(1.5)
+
+
+class TestEstimateValidation:
+    def test_rejects_zero_instructions(self, model):
+        with pytest.raises(ConfigurationError):
+            model.estimate(CacheStats(), instructions=0, window_cycles=10)
+
+    def test_rejects_zero_window(self, model):
+        with pytest.raises(ConfigurationError):
+            model.estimate(CacheStats(), instructions=10, window_cycles=0)
+
+    def test_rejects_parallelism_below_one(self, model):
+        with pytest.raises(ConfigurationError):
+            model.estimate(
+                CacheStats(), instructions=10, window_cycles=10,
+                port_block_parallelism=0.5,
+            )
+
+    def test_slowdown_vs_validation(self):
+        estimate = PerformanceEstimate(
+            ipc=1.0, cpi_base=1.0, cpi_extra_miss=0.0, cpi_replay=0.0,
+            cpi_port_block=0.0, cpi_write_stall=0.0,
+        )
+        with pytest.raises(ConfigurationError):
+            estimate.slowdown_vs(0.0)
+        assert estimate.slowdown_vs(2.0) == pytest.approx(0.5)

@@ -1,0 +1,134 @@
+"""Out-of-order pipeline timing model."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import Core, CoreConfig
+from repro.cpu.isa import MicroOp, OpClass
+from repro.cpu.pipeline import IdealMemory
+from repro.cpu.trace import InstructionTrace
+
+
+def alu(dep1=0, dep2=0):
+    return MicroOp(op=OpClass.INT_ALU, dep1=dep1, dep2=dep2)
+
+
+def trace_of(ops):
+    return InstructionTrace.from_micro_ops(ops)
+
+
+@pytest.fixture
+def core():
+    return Core()
+
+
+class TestBasicThroughput:
+    def test_independent_alu_ipc_near_width(self, core):
+        # Plenty of independent single-cycle work: IPC approaches the
+        # 4-wide dispatch limit (bounded by 4 INT units).
+        result = core.run(trace_of([alu() for _ in range(4000)]))
+        assert result.ipc > 3.0
+
+    def test_serial_chain_ipc_near_one(self, core):
+        result = core.run(trace_of([alu(dep1=1) for _ in range(2000)]))
+        assert result.ipc == pytest.approx(1.0, abs=0.15)
+
+    def test_multiply_chain_slower(self, core):
+        muls = [MicroOp(op=OpClass.INT_MUL, dep1=1) for _ in range(500)]
+        result = core.run(trace_of(muls))
+        assert result.ipc < 0.2  # 7-cycle latency chain
+
+    def test_empty_trace(self, core):
+        result = core.run(trace_of([]))
+        assert result.instructions == 0
+        assert result.cycles == 0
+        assert result.ipc == 0.0
+
+    def test_counts(self, core):
+        ops = [
+            MicroOp(op=OpClass.LOAD, line_address=1),
+            MicroOp(op=OpClass.STORE, line_address=2),
+            MicroOp(op=OpClass.BRANCH, pc=1, taken=True),
+            alu(),
+        ]
+        result = core.run(trace_of(ops))
+        assert result.loads == 1
+        assert result.stores == 1
+        assert result.branches == 1
+        assert result.instructions == 4
+
+
+class TestResourceLimits:
+    def test_fp_units_limit_fp_throughput(self, core):
+        fp_ops = [MicroOp(op=OpClass.FP_ALU) for _ in range(2000)]
+        result = core.run(trace_of(fp_ops))
+        # Only 2 FP units: IPC capped at ~2 even though dispatch is 4-wide.
+        assert result.ipc < 2.3
+
+    def test_load_ports_limit_load_throughput(self, core):
+        loads = [
+            MicroOp(op=OpClass.LOAD, line_address=i) for i in range(2000)
+        ]
+        result = core.run(trace_of(loads))
+        # 2 read ports: at most 2 loads per cycle.
+        assert result.ipc < 2.3
+
+    def test_narrow_dispatch_caps_ipc(self):
+        narrow = Core(CoreConfig(issue_width=1, commit_width=1))
+        result = narrow.run(trace_of([alu() for _ in range(1000)]))
+        assert result.ipc <= 1.05
+
+    def test_tiny_rob_hurts_latency_tolerance(self):
+        ops = []
+        for i in range(400):
+            ops.append(MicroOp(op=OpClass.INT_MUL, dep1=0))
+            ops.extend(alu() for _ in range(9))
+        big = Core(CoreConfig(rob_entries=80)).run(trace_of(ops))
+        small = Core(CoreConfig(rob_entries=8)).run(trace_of(ops))
+        assert small.ipc < big.ipc
+
+
+class TestMemoryLatency:
+    def test_slower_memory_lowers_ipc(self, core):
+        ops = []
+        for i in range(300):
+            ops.append(MicroOp(op=OpClass.LOAD, line_address=i))
+            ops.append(alu(dep1=1))  # consumer of the load
+        fast = Core().run(trace_of(ops), IdealMemory(hit_latency_cycles=3))
+        slow = Core().run(trace_of(ops), IdealMemory(hit_latency_cycles=30))
+        assert slow.ipc < fast.ipc
+
+    def test_unconsumed_load_latency_mostly_hidden(self, core):
+        ops = []
+        for i in range(300):
+            ops.append(MicroOp(op=OpClass.LOAD, line_address=i))
+            ops.extend(alu() for _ in range(3))
+        fast = Core().run(trace_of(ops), IdealMemory(hit_latency_cycles=3))
+        slow = Core().run(trace_of(ops), IdealMemory(hit_latency_cycles=12))
+        # Independent work hides much of the extra latency.
+        assert slow.ipc > 0.6 * fast.ipc
+
+
+class TestBranches:
+    def test_predictable_branches_cheap(self, core):
+        ops = []
+        for i in range(2000):
+            ops.append(MicroOp(op=OpClass.BRANCH, pc=1, taken=True))
+            ops.append(alu())
+        result = core.run(trace_of(ops))
+        assert result.branch_misprediction_rate < 0.05
+
+    def test_random_branches_cost_throughput(self):
+        rng = np.random.default_rng(3)
+        predictable, random_ops = [], []
+        for i in range(1500):
+            predictable.append(MicroOp(op=OpClass.BRANCH, pc=1, taken=True))
+            predictable.append(alu())
+            random_ops.append(
+                MicroOp(op=OpClass.BRANCH, pc=1, taken=bool(rng.random() < 0.5))
+            )
+            random_ops.append(alu())
+        good = Core().run(trace_of(predictable))
+        bad = Core().run(trace_of(random_ops))
+        assert bad.ipc < 0.7 * good.ipc
+        assert bad.branch_misprediction_rate > 0.3

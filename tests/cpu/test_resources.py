@@ -1,0 +1,70 @@
+"""Functional units and windows."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cpu.resources import FunctionalUnitPool, ResourceWindow
+
+
+class TestFunctionalUnitPool:
+    def test_free_pool_issues_immediately(self):
+        pool = FunctionalUnitPool(2)
+        assert pool.earliest_issue(5.0) == 5.0
+
+    def test_pipelined_units_accept_every_cycle(self):
+        pool = FunctionalUnitPool(1, pipelined=True)
+        pool.issue(0.0, latency=7)
+        assert pool.earliest_issue(0.0) == 1.0
+
+    def test_nonpipelined_units_block_for_latency(self):
+        pool = FunctionalUnitPool(1, pipelined=False)
+        pool.issue(0.0, latency=7)
+        assert pool.earliest_issue(0.0) == 7.0
+
+    def test_multiple_units_round_robin(self):
+        pool = FunctionalUnitPool(2, pipelined=False)
+        pool.issue(0.0, latency=4)
+        assert pool.earliest_issue(0.0) == 0.0  # second unit free
+        pool.issue(0.0, latency=4)
+        assert pool.earliest_issue(0.0) == 4.0
+
+    def test_reset(self):
+        pool = FunctionalUnitPool(1, pipelined=False)
+        pool.issue(0.0, latency=9)
+        pool.reset()
+        assert pool.earliest_issue(0.0) == 0.0
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ConfigurationError):
+            FunctionalUnitPool(0)
+
+
+class TestResourceWindow:
+    def test_under_capacity_no_stall(self):
+        window = ResourceWindow(4)
+        for i in range(4):
+            assert window.admit(float(i), float(i) + 10) == float(i)
+
+    def test_full_window_stalls_until_release(self):
+        window = ResourceWindow(2)
+        window.admit(0.0, 100.0)
+        window.admit(0.0, 50.0)
+        # Third entry must wait for the earliest release (50).
+        assert window.admit(1.0, 200.0) == 50.0
+
+    def test_occupancy(self):
+        window = ResourceWindow(3)
+        window.admit(0.0, 10.0)
+        window.admit(0.0, 20.0)
+        assert window.occupancy == 2
+
+    def test_reset(self):
+        window = ResourceWindow(1)
+        window.admit(0.0, 100.0)
+        window.reset()
+        assert window.occupancy == 0
+        assert window.admit(0.0, 10.0) == 0.0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ResourceWindow(0)

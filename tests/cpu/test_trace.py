@@ -1,0 +1,89 @@
+"""Instruction trace container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.cpu.isa import MicroOp, OpClass
+from repro.cpu.trace import InstructionTrace
+
+
+@pytest.fixture
+def small_trace():
+    ops = [
+        MicroOp(op=OpClass.INT_ALU),
+        MicroOp(op=OpClass.LOAD, dep1=1, line_address=10),
+        MicroOp(op=OpClass.STORE, line_address=11),
+        MicroOp(op=OpClass.BRANCH, pc=5, taken=True),
+        MicroOp(op=OpClass.FP_ALU, dep1=2, dep2=3),
+    ]
+    return InstructionTrace.from_micro_ops(ops, name="unit")
+
+
+class TestRoundTrip:
+    def test_length(self, small_trace):
+        assert len(small_trace) == 5
+
+    def test_micro_op_reconstruction(self, small_trace):
+        load = small_trace.micro_op(1)
+        assert load.op is OpClass.LOAD
+        assert load.dep1 == 1
+        assert load.line_address == 10
+
+    def test_iteration(self, small_trace):
+        ops = list(small_trace)
+        assert [o.op for o in ops] == [
+            OpClass.INT_ALU, OpClass.LOAD, OpClass.STORE,
+            OpClass.BRANCH, OpClass.FP_ALU,
+        ]
+
+    def test_name(self, small_trace):
+        assert small_trace.name == "unit"
+
+
+class TestStatistics:
+    def test_memory_fraction(self, small_trace):
+        assert small_trace.memory_fraction == pytest.approx(2 / 5)
+
+    def test_branch_fraction(self, small_trace):
+        assert small_trace.branch_fraction == pytest.approx(1 / 5)
+
+    def test_masks(self, small_trace):
+        assert list(small_trace.memory_mask) == [False, True, True, False, False]
+        assert list(small_trace.store_mask) == [False, False, True, False, False]
+
+    def test_empty_trace_fractions(self):
+        trace = InstructionTrace.from_micro_ops([])
+        assert trace.memory_fraction == 0.0
+        assert trace.branch_fraction == 0.0
+
+
+class TestMemoryReferenceStream:
+    def test_extraction(self, small_trace):
+        stream = small_trace.memory_references()
+        assert len(stream) == 2
+        assert list(stream.line_address) == [10, 11]
+        assert list(stream.is_store) == [False, True]
+        assert list(stream.instruction_index) == [1, 2]
+
+    def test_cycles_at_ipc(self, small_trace):
+        stream = small_trace.memory_references()
+        cycles = stream.cycles_at_ipc(0.5)
+        assert list(cycles) == [2, 4]
+
+    def test_cycles_rejects_bad_ipc(self, small_trace):
+        with pytest.raises(TraceError):
+            small_trace.memory_references().cycles_at_ipc(0.0)
+
+
+class TestValidation:
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(TraceError):
+            InstructionTrace(
+                op=np.zeros(3, dtype=np.int8),
+                dep1=np.zeros(2, dtype=np.int32),
+                dep2=np.zeros(3, dtype=np.int32),
+                line_address=np.full(3, -1, dtype=np.int64),
+                pc=np.zeros(3, dtype=np.int64),
+                taken=np.zeros(3, dtype=bool),
+            )

@@ -1,0 +1,64 @@
+"""The shipped examples stay runnable.
+
+The two fastest examples run end-to-end as subprocesses; the heavier
+studies are compile-checked and their entry points imported, so a broken
+API surface fails the suite without minutes of simulation.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_expected_scripts():
+    names = {path.name for path in ALL_EXAMPLES}
+    assert {
+        "quickstart.py",
+        "chip_yield_analysis.py",
+        "scheme_design_space.py",
+        "voltage_technology_scaling.py",
+        "pipeline_simulation.py",
+        "fab_test_flow.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def _run(script, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        check=False,
+    )
+
+
+def test_quickstart_runs():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "3T1D chip" in result.stdout
+    assert "RSP-FIFO" in result.stdout
+
+
+def test_pipeline_simulation_runs_small():
+    result = _run("pipeline_simulation.py", "gzip", "6000")
+    assert result.returncode == 0, result.stderr
+    assert "ideal 6T cache" in result.stdout
+    assert "IPC" in result.stdout
+
+
+def test_chip_yield_analysis_runs_small():
+    result = _run("chip_yield_analysis.py", "6")
+    assert result.returncode == 0, result.stderr
+    assert "severe variation" in result.stdout
+    assert "100.0% ship" in result.stdout

@@ -1,0 +1,40 @@
+"""The run-everything driver."""
+
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.run_all import EXPERIMENTS, run_all
+
+
+def test_run_all_writes_reports(tmp_path):
+    context = ExperimentContext(n_chips=4, n_references=1500, seed=3)
+    messages = []
+    summary = run_all(context, tmp_path, progress=messages.append)
+
+    assert summary.exists()
+    combined = summary.read_text()
+    for name, _ in EXPERIMENTS:
+        assert (tmp_path / f"{name}.txt").exists()
+        assert name in combined or name == "table3"
+    assert len(messages) == len(EXPERIMENTS)
+    assert "Figure 9" in combined
+    assert "Table 3" in combined
+    # Machine-readable exports for the plot-shaped experiments.
+    for csv_name in (
+        "fig01_reuse.csv",
+        "fig10_hundred_chips.csv",
+        "fig12_sensitivity.csv",
+    ):
+        assert (tmp_path / csv_name).exists()
+
+
+def test_cli_main_small_scale(tmp_path):
+    from repro.experiments import run_all as run_all_module
+
+    run_all_module.main(
+        [
+            "--chips", "3",
+            "--refs", "1000",
+            "--seed", "5",
+            "--out", str(tmp_path / "reports"),
+        ]
+    )
+    assert (tmp_path / "reports" / "summary.txt").exists()

@@ -1,0 +1,114 @@
+"""Closed-form analytic evaluation vs the event-driven simulator."""
+
+import pytest
+
+from repro import (
+    Cache3T1DArchitecture,
+    ChipSampler,
+    Evaluator,
+    NODE_32NM,
+    VariationParams,
+    YieldModel,
+    get_profile,
+    get_scheme,
+)
+from repro.core.analytic import evaluate_analytically
+from repro.errors import ConfigurationError
+
+BENCHMARKS = ("gcc", "mesa")
+SCHEMES = ("no-refresh/LRU", "no-refresh/DSP", "RSP-FIFO")
+
+
+@pytest.fixture(scope="module")
+def chips():
+    sampler = ChipSampler(NODE_32NM, VariationParams.severe(), seed=909)
+    batch = sampler.sample_3t1d_chips(12)
+    return YieldModel(batch).pick_good_median_bad()
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return Evaluator(NODE_32NM, n_references=6000, seed=17)
+
+
+class TestAgreementWithEventMode:
+    @pytest.mark.parametrize("scheme_name", SCHEMES)
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    def test_normalized_performance_close(
+        self, chips, evaluator, scheme_name, bench
+    ):
+        good, median, _ = chips
+        for chip in (good, median):
+            architecture = Cache3T1DArchitecture(chip, get_scheme(scheme_name))
+            event = evaluator.evaluate_benchmark(architecture, bench)
+            window = evaluator.trace(bench).measured_window_cycles
+            closed = evaluate_analytically(
+                architecture, get_profile(bench), window_cycles=window
+            )
+            assert closed.normalized_performance == pytest.approx(
+                event.normalized_performance, abs=0.08
+            )
+
+    def test_scheme_ordering_preserved_on_median_chip(self, chips, evaluator):
+        _, median, _ = chips
+        profile = get_profile("gcc")
+        window = evaluator.trace("gcc").measured_window_cycles
+        closed = {
+            name: evaluate_analytically(
+                Cache3T1DArchitecture(median, get_scheme(name)), profile,
+                window_cycles=window,
+            ).normalized_performance
+            for name in SCHEMES
+        }
+        event = {
+            name: evaluator.evaluate_benchmark(
+                Cache3T1DArchitecture(median, get_scheme(name)), "gcc"
+            ).normalized_performance
+            for name in SCHEMES
+        }
+        assert (closed["RSP-FIFO"] >= closed["no-refresh/LRU"]) == (
+            event["RSP-FIFO"] >= event["no-refresh/LRU"]
+        )
+
+    def test_dead_ways_reported(self, chips):
+        _, _, bad = chips
+        result = evaluate_analytically(
+            Cache3T1DArchitecture(bad, get_scheme("no-refresh/LRU")),
+            get_profile("gcc"),
+        )
+        assert result.dead_way_fraction > 0.0
+        assert result.expiry_miss_fraction > 0.0
+
+    def test_ideal_retention_chip_predicts_no_loss(self):
+        from repro.array import ChipSampler as CS
+
+        golden = CS.golden_3t1d_chip(NODE_32NM)
+        result = evaluate_analytically(
+            Cache3T1DArchitecture(golden, get_scheme("no-refresh/LRU")),
+            get_profile("gcc"),
+        )
+        assert result.normalized_performance > 0.97
+        assert result.expiry_miss_fraction < 0.01
+
+    def test_global_scheme_rejected(self, chips):
+        good, _, _ = chips
+        with pytest.raises(ConfigurationError):
+            evaluate_analytically(
+                Cache3T1DArchitecture(good, get_scheme("global")),
+                get_profile("gcc"),
+            )
+
+    def test_speed_advantage(self, chips, evaluator):
+        import time
+
+        good, _, _ = chips
+        architecture = Cache3T1DArchitecture(good, get_scheme("RSP-FIFO"))
+        profile = get_profile("gcc")
+        start = time.perf_counter()
+        for _ in range(20):
+            evaluate_analytically(architecture, profile)
+        closed_time = (time.perf_counter() - start) / 20
+        start = time.perf_counter()
+        evaluator.evaluate_benchmark(architecture, "gcc")
+        event_time = time.perf_counter() - start
+        assert closed_time < event_time

@@ -1,0 +1,105 @@
+"""Cross-validation: the cycle-level pipeline vs. the analytic CPU model.
+
+The Monte-Carlo sweeps use the analytic model; this test drives the full
+out-of-order pipeline over the same synthetic workloads and checks that
+the two agree on (a) the baseline IPC within a coarse band and (b) the
+*direction and rough size* of the slowdown caused by a degraded cache.
+"""
+
+import pytest
+
+from repro.cpu import CacheMemory, Core
+from repro.cpu.pipeline import IdealMemory
+from repro.cpu.perfmodel import AnalyticCPUModel
+from repro.cache.config import CacheConfig
+from repro.cache.controller import RetentionAwareCache
+from repro.workloads import SyntheticWorkload, get_profile
+
+N_INSTRUCTIONS = 30_000
+
+
+@pytest.mark.parametrize(
+    "bench_name, band",
+    [("gcc", 0.25), ("mesa", 0.3), ("crafty", 0.3), ("twolf", 0.25),
+     ("fma3d", 0.3), ("gzip", 0.3), ("applu", 0.45),
+     # mcf's IPC is dominated by its L2-miss stalls; the profile's 0.5
+     # matches the paper's BIPS bookkeeping while the cycle-level model
+     # lands nearer the historically measured ~0.2-0.3.
+     ("mcf", 0.65)],
+)
+def test_baseline_ipc_within_band(bench_name, band):
+    """Pipeline IPC over the baseline (ideal 6T) cache lands near the
+    profile's base_ipc, which bakes in that cache's own miss costs."""
+    profile = get_profile(bench_name)
+    config = CacheConfig(l2_miss_rate=profile.l2_miss_rate)
+    workload = SyntheticWorkload(profile, seed=11)
+    memory_trace = workload.memory_trace(
+        int(N_INSTRUCTIONS * profile.mem_refs_per_instr)
+    )
+    trace = workload.instruction_trace(N_INSTRUCTIONS, memory=memory_trace)
+    memory = CacheMemory(RetentionAwareCache(config), config)
+    result = Core().run(trace, memory)
+    assert result.ipc == pytest.approx(profile.base_ipc, rel=band)
+
+
+def test_degraded_cache_slows_pipeline_and_model_agrees():
+    profile = get_profile("gcc")
+    workload = SyntheticWorkload(profile, seed=12)
+    memory_trace = workload.memory_trace(
+        int(N_INSTRUCTIONS * profile.mem_refs_per_instr)
+    )
+    trace = workload.instruction_trace(N_INSTRUCTIONS, memory=memory_trace)
+    config = CacheConfig()
+
+    ideal = Core().run(
+        trace, CacheMemory(RetentionAwareCache(config), config)
+    )
+
+    # A uniformly short-retention cache: plenty of expiry misses.
+    import numpy as np
+
+    short = np.full((config.geometry.n_sets, config.geometry.ways), 4000)
+    cache = RetentionAwareCache(config, short, quantize=False)
+    degraded = Core().run(trace, CacheMemory(cache, config))
+
+    pipeline_slowdown = degraded.ipc / ideal.ipc
+    assert pipeline_slowdown < 0.995  # the pipeline feels the misses
+
+    # Analytic model on the same reference stream (open-loop timing).
+    open_cache = RetentionAwareCache(config, short, quantize=False)
+    baseline_cache = RetentionAwareCache(config)
+    cycles = memory_trace.cycles
+    stats = open_cache.run_trace(
+        cycles, memory_trace.line_addresses, memory_trace.is_write
+    )
+    base_stats = baseline_cache.run_trace(
+        cycles, memory_trace.line_addresses, memory_trace.is_write
+    )
+    model = AnalyticCPUModel(profile, config)
+    estimate = model.estimate(
+        stats,
+        instructions=memory_trace.instructions,
+        window_cycles=memory_trace.duration_cycles,
+        baseline_stats=base_stats,
+    )
+    analytic_slowdown = estimate.ipc / profile.base_ipc
+    assert analytic_slowdown < 1.0
+    # Coarse agreement: both see a single-digit-to-low-teens percent hit.
+    assert analytic_slowdown == pytest.approx(pipeline_slowdown, abs=0.12)
+
+
+def test_port_blocking_direction_matches():
+    """Refresh-style port stealing slows the pipeline, as the model says."""
+    profile = get_profile("mesa")
+    trace = SyntheticWorkload(profile, seed=13).instruction_trace(20_000)
+
+    class BusyPortMemory(IdealMemory):
+        """One read port stolen every other cycle (a crude 50% duty)."""
+
+        def load(self, cycle, line_address):
+            penalty = 1.0 if cycle % 2 == 0 else 0.0
+            return self.hit_latency_cycles + penalty
+
+    free = Core().run(trace, IdealMemory())
+    blocked = Core().run(trace, BusyPortMemory())
+    assert blocked.ipc < free.ipc

@@ -1,0 +1,130 @@
+"""Scheme-ordering claims from Figures 9-11 (severe variation)."""
+
+import pytest
+
+from repro import (
+    Cache3T1DArchitecture,
+    ChipSampler,
+    Evaluator,
+    NODE_32NM,
+    SCHEME_NO_REFRESH_LRU,
+    SCHEME_PARTIAL_DSP,
+    SCHEME_RSP_FIFO,
+    VariationParams,
+    YieldModel,
+    get_scheme,
+)
+
+BENCHMARKS = ["gcc", "mcf", "mesa"]
+
+
+@pytest.fixture(scope="module")
+def chips():
+    sampler = ChipSampler(NODE_32NM, VariationParams.severe(), seed=88)
+    batch = sampler.sample_3t1d_chips(16)
+    return YieldModel(batch).pick_good_median_bad()
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return Evaluator(NODE_32NM, n_references=5000, seed=8)
+
+
+def perf(evaluator, chip, scheme_name):
+    arch = Cache3T1DArchitecture(chip, get_scheme(scheme_name))
+    return evaluator.evaluate(arch, benchmarks=BENCHMARKS).normalized_performance
+
+
+class TestFigure9Ordering:
+    def test_dsp_beats_plain_lru_on_bad_chip(self, chips, evaluator):
+        _, _, bad = chips
+        assert perf(evaluator, bad, "no-refresh/DSP") > perf(
+            evaluator, bad, "no-refresh/LRU"
+        )
+
+    def test_partial_refresh_beats_no_refresh(self, chips, evaluator):
+        _, _, bad = chips
+        assert perf(evaluator, bad, "partial-refresh/LRU") > perf(
+            evaluator, bad, "no-refresh/LRU"
+        )
+        assert perf(evaluator, bad, "partial-refresh/DSP") >= perf(
+            evaluator, bad, "no-refresh/DSP"
+        )
+
+    def test_rsp_schemes_among_best_on_bad_chip(self, chips, evaluator):
+        _, _, bad = chips
+        rsp = perf(evaluator, bad, "RSP-FIFO")
+        assert rsp > perf(evaluator, bad, "no-refresh/LRU")
+        assert rsp > perf(evaluator, bad, "partial-refresh/LRU")
+
+    def test_bad_chip_worst_for_every_scheme(self, chips, evaluator):
+        good, _, bad = chips
+        for name in ("no-refresh/LRU", "partial-refresh/DSP", "RSP-FIFO"):
+            assert perf(evaluator, bad, name) <= perf(evaluator, good, name) + 0.01
+
+    def test_all_schemes_keep_bad_chip_functional(self, chips, evaluator):
+        """Figure 10: even the worst chips stay usable (vs discarded).
+
+        Our severe-variation tail is heavier than the paper's, so a bad
+        chip under the retention-blind no-refresh/LRU scheme can lose more
+        than their ~12%; the retention-aware schemes must still hold it
+        close to ideal.
+        """
+        _, _, bad = chips
+        assert perf(evaluator, bad, "no-refresh/LRU") > 0.5
+        assert perf(evaluator, bad, "partial-refresh/DSP") > 0.8
+        assert perf(evaluator, bad, "RSP-FIFO") > 0.8
+
+    def test_headline_schemes_within_a_few_percent_on_good_chip(
+        self, chips, evaluator
+    ):
+        good, _, _ = chips
+        for scheme in (SCHEME_PARTIAL_DSP, SCHEME_RSP_FIFO):
+            arch = Cache3T1DArchitecture(good, scheme)
+            result = evaluator.evaluate(arch, benchmarks=BENCHMARKS)
+            assert result.normalized_performance > 0.93
+
+
+class TestFigure11Associativity:
+    def test_direct_mapped_schemes_converge(self, chips):
+        _, _, bad = chips
+        evaluator = Evaluator(
+            NODE_32NM,
+            config=None,
+            n_references=5000,
+            seed=8,
+        )
+        from repro.cache.config import CacheConfig
+
+        dm_config = CacheConfig().with_ways(1)
+        dm_eval = Evaluator(NODE_32NM, config=dm_config, n_references=5000, seed=8)
+        perfs = []
+        for scheme in (SCHEME_NO_REFRESH_LRU, SCHEME_PARTIAL_DSP, SCHEME_RSP_FIFO):
+            arch = Cache3T1DArchitecture(bad, scheme, config=dm_config)
+            perfs.append(
+                dm_eval.evaluate(arch, benchmarks=BENCHMARKS).normalized_performance
+            )
+        # Placement cannot act in a direct-mapped cache: only refresh
+        # differentiates, so the spread stays small.
+        assert max(perfs) - min(perfs) < 0.08
+
+    def test_associativity_helps_retention_schemes(self, chips):
+        _, _, bad = chips
+        from repro.cache.config import CacheConfig
+
+        spreads = {}
+        for ways in (1, 4):
+            config = CacheConfig().with_ways(ways)
+            evaluator = Evaluator(
+                NODE_32NM, config=config, n_references=5000, seed=8
+            )
+            perfs = [
+                evaluator.evaluate(
+                    Cache3T1DArchitecture(bad, scheme, config=config),
+                    benchmarks=BENCHMARKS,
+                ).normalized_performance
+                for scheme in (SCHEME_NO_REFRESH_LRU, SCHEME_RSP_FIFO)
+            ]
+            spreads[ways] = perfs[1] - perfs[0]
+        # RSP's advantage over plain LRU appears with associativity.
+        assert spreads[4] > spreads[1]

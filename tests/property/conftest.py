@@ -1,0 +1,26 @@
+"""Shared fixtures for property-based tests."""
+
+import pytest
+
+from repro.array import CacheGeometry
+from repro.cache import CacheConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_geometry():
+    """A 2KB, 8-set, 4-way cache: small enough for hypothesis, structured
+    like the paper's."""
+    return CacheGeometry(
+        size_bytes=2048,
+        line_bits=512,
+        ways=4,
+        n_subarrays=8,
+        subarray_rows=64,
+        subarray_cols=32,
+        sense_amps_per_pair=64,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_config(tiny_geometry):
+    return CacheConfig(geometry=tiny_geometry)

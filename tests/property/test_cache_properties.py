@@ -1,0 +1,251 @@
+"""Property-based tests of the cache simulator.
+
+The ideal cache is checked access-by-access against an executable
+reference model (a dict-based LRU cache); retention caches are checked
+against global invariants that must hold for *any* trace and *any*
+retention map.
+"""
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache import AccessOutcome, RetentionAwareCache
+from repro.cache.refresh import FullRefresh, NoRefresh, PartialRefresh
+
+N_SETS = 8
+N_WAYS = 4
+
+# One access: (gap cycles, line in a small footprint, is_write).
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3000),
+        st.integers(min_value=0, max_value=47),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+retention_grids = st.lists(
+    st.sampled_from([0, 500, 2_000, 10_000, 50_000]),
+    min_size=N_SETS * N_WAYS,
+    max_size=N_SETS * N_WAYS,
+)
+
+
+class ReferenceLRUCache:
+    """Executable specification of an ideal set-associative LRU cache."""
+
+    def __init__(self, n_sets, n_ways):
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+        self.sets = [OrderedDict() for _ in range(n_sets)]
+
+    def access(self, line):
+        index = line % self.n_sets
+        tag = line // self.n_sets
+        entries = self.sets[index]
+        if tag in entries:
+            entries.move_to_end(tag)
+            return True
+        if len(entries) >= self.n_ways:
+            entries.popitem(last=False)
+        entries[tag] = True
+        return False
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(accesses=accesses)
+def test_ideal_cache_matches_reference_lru(tiny_config, accesses):
+    cache = RetentionAwareCache(tiny_config)
+    reference = ReferenceLRUCache(N_SETS, N_WAYS)
+    cycle = 0
+    for gap, line, is_write in accesses:
+        cycle += gap
+        outcome = cache.access(cycle, line, is_write)
+        expected_hit = reference.access(line)
+        assert (outcome is AccessOutcome.HIT) == expected_hit
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(accesses=accesses, retention=retention_grids,
+       replacement=st.sampled_from(["LRU", "DSP", "RSP-FIFO", "RSP-LRU"]))
+def test_stats_conservation(tiny_config, accesses, retention, replacement):
+    grid = np.array(retention).reshape(N_SETS, N_WAYS)
+    cache = RetentionAwareCache(
+        tiny_config, grid, replacement=replacement, quantize=False
+    )
+    cycle = 0
+    for gap, line, is_write in accesses:
+        cycle += gap
+        cache.access(cycle, line, is_write)
+    stats = cache.finalize(cycle)
+    assert stats.accesses == len(accesses)
+    assert stats.hits + stats.misses == stats.accesses
+    assert stats.loads + stats.stores == stats.accesses
+    assert stats.l2_accesses >= stats.misses  # every miss goes to L2
+    assert stats.expiry_writebacks <= stats.writebacks
+    assert stats.refresh_blocked_cycles == (
+        stats.line_refreshes * tiny_config.geometry.refresh_cycles_per_line
+    )
+    assert stats.move_blocked_cycles == (
+        stats.line_moves * tiny_config.geometry.refresh_cycles_per_line
+    )
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(accesses=accesses, retention=retention_grids,
+       replacement=st.sampled_from(["LRU", "DSP", "RSP-FIFO", "RSP-LRU"]))
+def test_set_state_structural_invariants(
+    tiny_config, accesses, retention, replacement
+):
+    grid = np.array(retention).reshape(N_SETS, N_WAYS)
+    cache = RetentionAwareCache(
+        tiny_config, grid, replacement=replacement, quantize=False
+    )
+    cycle = 0
+    for gap, line, is_write in accesses:
+        cycle += gap
+        cache.access(cycle, line, is_write)
+        for set_state in cache.sets:
+            valid_tags = [
+                set_state.tags[w]
+                for w in range(set_state.n_ways)
+                if set_state.valid[w]
+            ]
+            # No duplicate tags within a set, ever.
+            assert len(valid_tags) == len(set(valid_tags))
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(accesses=accesses, retention=retention_grids)
+def test_dsp_never_stores_in_dead_ways(tiny_config, accesses, retention):
+    grid = np.array(retention).reshape(N_SETS, N_WAYS)
+    cache = RetentionAwareCache(
+        tiny_config, grid, replacement="DSP", quantize=False
+    )
+    cycle = 0
+    for gap, line, is_write in accesses:
+        cycle += gap
+        cache.access(cycle, line, is_write)
+        for s, set_state in enumerate(cache.sets):
+            for way in range(set_state.n_ways):
+                if grid[s, way] == 0:
+                    assert not set_state.valid[way]
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(accesses=accesses, retention=retention_grids)
+def test_bypass_only_when_all_ways_dead(tiny_config, accesses, retention):
+    grid = np.array(retention).reshape(N_SETS, N_WAYS)
+    cache = RetentionAwareCache(
+        tiny_config, grid, replacement="DSP", quantize=False
+    )
+    cycle = 0
+    for gap, line, is_write in accesses:
+        cycle += gap
+        outcome = cache.access(cycle, line, is_write)
+        if outcome is AccessOutcome.MISS_DEAD_BYPASS:
+            assert np.all(grid[line % N_SETS] == 0)
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(accesses=accesses, retention=retention_grids)
+def test_full_refresh_eliminates_expiry_misses(
+    tiny_config, accesses, retention
+):
+    # With every live line refreshed forever and a retention-aware
+    # placement, retention can only cause dead-way capacity loss -- never
+    # an expired access.
+    grid = np.array(retention).reshape(N_SETS, N_WAYS)
+    cache = RetentionAwareCache(
+        tiny_config, grid, replacement="DSP", refresh=FullRefresh(),
+        quantize=False,
+    )
+    cycle = 0
+    for gap, line, is_write in accesses:
+        cycle += gap
+        cache.access(cycle, line, is_write)
+    assert cache.stats.misses_expired == 0
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(accesses=accesses, retention=retention_grids)
+def test_partial_refresh_never_loses_data_before_threshold(
+    tiny_config, accesses, retention
+):
+    """The paper's guarantee: every live line's data survives at least the
+    threshold after its fill."""
+    threshold = tiny_config.partial_refresh_threshold_cycles
+    grid = np.array(retention).reshape(N_SETS, N_WAYS)
+    cache = RetentionAwareCache(
+        tiny_config, grid, replacement="DSP",
+        refresh=PartialRefresh(threshold_cycles=threshold), quantize=False,
+    )
+    fill_times = {}
+    cycle = 0
+    for gap, line, is_write in accesses:
+        cycle += gap
+        outcome = cache.access(cycle, line, is_write)
+        if outcome is AccessOutcome.MISS_EXPIRED:
+            # The expired block must have been older than the threshold.
+            assert cycle - fill_times.get(line, cycle) >= threshold
+        if outcome is not AccessOutcome.HIT:
+            fill_times[line] = cycle
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(accesses=accesses)
+def test_no_refresh_hits_only_within_retention(tiny_config, accesses):
+    grid = np.full((N_SETS, N_WAYS), 5_000)
+    cache = RetentionAwareCache(
+        tiny_config, grid, replacement="DSP", refresh=NoRefresh(),
+        quantize=False,
+    )
+    last_fill = {}
+    cycle = 0
+    for gap, line, is_write in accesses:
+        cycle += gap
+        outcome = cache.access(cycle, line, is_write)
+        if outcome is AccessOutcome.HIT:
+            assert cycle - last_fill[line] < 5_000
+        else:
+            last_fill[line] = cycle
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(accesses=accesses,
+       retention=st.sampled_from([2_000, 10_000, 50_000]))
+def test_online_refresh_with_zero_margin_matches_lazy(
+    tiny_config, accesses, retention
+):
+    """With a zero token margin the scheduled engine degenerates to the
+    lazy idealisation: same hits, same misses, same refresh counts."""
+    from repro.cache.refresh import FullRefresh
+    from repro.cache.token import TokenRefreshEngine
+
+    grid = np.full((N_SETS, N_WAYS), retention)
+    lazy = RetentionAwareCache(
+        tiny_config, grid, replacement="DSP", refresh=FullRefresh(),
+        quantize=False,
+    )
+    online = RetentionAwareCache(
+        tiny_config, grid, replacement="DSP", refresh=FullRefresh(),
+        quantize=False, online_refresh=True,
+    )
+    online.refresh_engine = TokenRefreshEngine(
+        tiny_config.geometry, margin_cycles=0
+    )
+    cycle = 0
+    for gap, line, is_write in accesses:
+        cycle += gap
+        lazy_outcome = lazy.access(cycle, line, is_write)
+        online_outcome = online.access(cycle, line, is_write)
+        assert lazy_outcome == online_outcome
+    lazy_stats = lazy.finalize(cycle)
+    online_stats = online.finalize(cycle)
+    assert online_stats.hits == lazy_stats.hits
+    assert online_stats.misses == lazy_stats.misses

@@ -1,0 +1,128 @@
+"""Property-based tests of the device/retention/counter models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.technology import NODE_32NM
+from repro.cells import DRAM3T1DCell, RetentionModel, SRAM6TCell
+from repro.cache import LineCounterConfig, quantize_retention
+from repro.variation import harmonic_mean
+
+small_voltages = st.floats(
+    min_value=-0.15, max_value=0.15, allow_nan=False, allow_infinity=False
+)
+retention_values = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=64,
+)
+
+
+class TestRetentionModelProperties:
+    @settings(deadline=None)
+    @given(t1=small_voltages, t2=small_voltages, eps=st.floats(-0.3, 0.3))
+    def test_retention_never_negative(self, t1, t2, eps):
+        model = RetentionModel.for_node(NODE_32NM)
+        assert float(model.retention_time(t1, t2, 0.0, eps)) >= 0.0
+
+    @settings(deadline=None)
+    @given(t2_a=small_voltages, t2_b=small_voltages)
+    def test_monotone_in_read_threshold(self, t2_a, t2_b):
+        model = RetentionModel.for_node(NODE_32NM)
+        low, high = sorted([t2_a, t2_b])
+        assert float(model.retention_time(delta_vth_t2=high)) <= float(
+            model.retention_time(delta_vth_t2=low)
+        )
+
+    @settings(deadline=None)
+    @given(eps_a=st.floats(-0.3, 0.3), eps_b=st.floats(-0.3, 0.3))
+    def test_monotone_in_boost(self, eps_a, eps_b):
+        model = RetentionModel.for_node(NODE_32NM)
+        low, high = sorted([eps_a, eps_b])
+        assert float(model.retention_time(boost_eps=high)) >= float(
+            model.retention_time(boost_eps=low)
+        )
+
+    @settings(deadline=None)
+    @given(t1=small_voltages, t2=small_voltages)
+    def test_dead_flag_consistent(self, t1, t2):
+        model = RetentionModel.for_node(NODE_32NM)
+        dead = bool(model.is_dead(t1, t2))
+        retention = float(model.retention_time(t1, t2))
+        assert dead == (retention <= 0.0)
+
+
+class TestCellProperties:
+    @settings(deadline=None)
+    @given(delta=small_voltages)
+    def test_6t_access_slower_with_higher_vth(self, delta):
+        cell = SRAM6TCell(NODE_32NM)
+        if delta > 0:
+            assert cell.access_time(delta_vth=delta) >= cell.access_time()
+        else:
+            assert cell.access_time(delta_vth=delta) <= cell.access_time()
+
+    @settings(deadline=None)
+    @given(delta=small_voltages)
+    def test_leakage_positive(self, delta):
+        cell = DRAM3T1DCell(NODE_32NM)
+        assert float(cell.leakage_power(delta)) > 0.0
+
+    @settings(deadline=None)
+    @given(sigma=st.floats(min_value=0.0, max_value=0.2))
+    def test_flip_probability_in_unit_interval(self, sigma):
+        probability = SRAM6TCell(NODE_32NM).flip_probability(sigma)
+        assert 0.0 <= probability <= 0.5
+
+    @settings(deadline=None)
+    @given(
+        sigma=st.floats(min_value=1e-4, max_value=0.2),
+        bits_a=st.integers(min_value=1, max_value=512),
+        bits_b=st.integers(min_value=1, max_value=512),
+    )
+    def test_line_failure_monotone_in_length(self, sigma, bits_a, bits_b):
+        cell = SRAM6TCell(NODE_32NM)
+        short, long_ = sorted([bits_a, bits_b])
+        assert cell.line_failure_probability(
+            sigma, long_
+        ) >= cell.line_failure_probability(sigma, short)
+
+
+class TestCounterProperties:
+    @settings(deadline=None)
+    @given(
+        values=retention_values,
+        bits=st.integers(min_value=1, max_value=6),
+        step=st.integers(min_value=1, max_value=5000),
+    )
+    def test_quantization_invariants(self, values, bits, step):
+        counter = LineCounterConfig(bits=bits, step_cycles=step)
+        quantized = quantize_retention(np.array(values), counter)
+        # Never longer than reality, always a counter multiple, in range.
+        assert np.all(quantized <= np.array(values))
+        assert np.all(quantized % step == 0)
+        assert np.all(quantized <= counter.max_cycles)
+
+    @settings(deadline=None)
+    @given(maximum=st.floats(min_value=1.0, max_value=1e7),
+           bits=st.integers(min_value=1, max_value=6))
+    def test_for_chip_always_spans_maximum(self, maximum, bits):
+        counter = LineCounterConfig.for_chip(maximum, bits=bits)
+        assert counter.max_cycles >= maximum
+
+
+class TestStatisticsProperties:
+    @settings(deadline=None)
+    @given(values=st.lists(
+        st.floats(min_value=1e-3, max_value=1e3), min_size=1, max_size=32
+    ))
+    def test_harmonic_le_arithmetic(self, values):
+        assert harmonic_mean(values) <= np.mean(values) + 1e-9
+
+    @settings(deadline=None)
+    @given(value=st.floats(min_value=1e-3, max_value=1e3),
+           n=st.integers(min_value=1, max_value=16))
+    def test_harmonic_of_constant(self, value, n):
+        assert harmonic_mean([value] * n) == np.float64(value).item() or (
+            abs(harmonic_mean([value] * n) - value) < 1e-9 * value
+        )

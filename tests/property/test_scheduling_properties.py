@@ -1,0 +1,123 @@
+"""Property-based tests of the token engine and the closed-form model."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.technology import NODE_32NM
+from repro.array import CacheGeometry
+from repro.cache.token import TokenRefreshEngine
+from repro.core import Cache3T1DArchitecture, get_scheme
+from repro.core.analytic import evaluate_analytically
+from repro.experiments.fig12_sensitivity import synthetic_chip
+from repro.workloads import get_profile
+
+schedule_entries = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=255),   # set index
+        st.integers(min_value=0, max_value=3),     # way
+        st.integers(min_value=0, max_value=5000),  # fill cycle
+        st.integers(min_value=1, max_value=50000), # retention
+    ),
+    min_size=1,
+    max_size=40,
+    unique_by=lambda e: (e[0], e[1]),
+)
+
+
+class TestTokenEngineProperties:
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(entries=schedule_entries,
+           margin=st.integers(min_value=0, max_value=4000))
+    def test_service_invariants(self, entries, margin):
+        geometry = CacheGeometry()
+        engine = TokenRefreshEngine(geometry, margin_cycles=margin)
+        due_times = {}
+        for set_index, way, fill, retention in entries:
+            if engine.schedule(set_index, way, 4, fill, retention):
+                due_times[(set_index, way)] = fill + retention - margin
+        serviced = engine.due_refreshes(10 ** 9)
+        per_line = geometry.refresh_cycles_per_line
+        # Every armed request is serviced exactly once.
+        assert len(serviced) == len(due_times)
+        by_pair = {}
+        for service, set_index, way in serviced:
+            # Never serviced before its due time.
+            assert service >= due_times[(set_index, way)]
+            pair = engine.line_pair(set_index, way, 4)
+            by_pair.setdefault(pair, []).append(service)
+        # Per-pair services never overlap (the token is exclusive).
+        for services in by_pair.values():
+            services.sort()
+            for earlier, later in zip(services, services[1:]):
+                assert later >= earlier + per_line
+        # Bookkeeping matches.
+        assert engine.refreshes_done == len(serviced)
+        assert engine.busy_cycles == per_line * len(serviced)
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(entries=schedule_entries)
+    def test_cancel_prevents_service(self, entries):
+        geometry = CacheGeometry()
+        engine = TokenRefreshEngine(geometry, margin_cycles=0)
+        armed = []
+        for set_index, way, fill, retention in entries:
+            if engine.schedule(set_index, way, 4, fill, retention):
+                armed.append((set_index, way))
+        for set_index, way in armed:
+            engine.cancel(set_index, way)
+        assert engine.due_refreshes(10 ** 9) == []
+
+
+class TestAnalyticProperties:
+    @settings(deadline=None, max_examples=15,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(mu=st.integers(min_value=2000, max_value=30000),
+           ratio=st.floats(min_value=0.05, max_value=0.35),
+           seed=st.integers(0, 500))
+    def test_performance_in_unit_interval(self, mu, ratio, seed):
+        chip = synthetic_chip(NODE_32NM, mu, ratio, seed=seed)
+        result = evaluate_analytically(
+            Cache3T1DArchitecture(chip, get_scheme("no-refresh/LRU")),
+            get_profile("gcc"),
+        )
+        assert 0.0 < result.normalized_performance <= 1.0
+        assert 0.0 <= result.expiry_miss_fraction <= 1.0
+        assert 0.0 <= result.dead_way_fraction <= 1.0
+
+    @settings(deadline=None, max_examples=10,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ratio=st.floats(min_value=0.05, max_value=0.35),
+           seed=st.integers(0, 200))
+    def test_longer_mean_retention_never_hurts(self, ratio, seed):
+        profile = get_profile("gcc")
+        perf = []
+        for mu in (3000, 12000, 30000):
+            chip = synthetic_chip(NODE_32NM, mu, ratio, seed=seed)
+            perf.append(
+                evaluate_analytically(
+                    Cache3T1DArchitecture(chip, get_scheme("no-refresh/LRU")),
+                    profile,
+                ).normalized_performance
+            )
+        assert perf[0] <= perf[1] + 1e-6
+        assert perf[1] <= perf[2] + 1e-6
+
+    @settings(deadline=None, max_examples=10,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(mu=st.integers(min_value=2000, max_value=30000),
+           ratio=st.floats(min_value=0.05, max_value=0.35),
+           seed=st.integers(0, 200))
+    def test_full_refresh_dominates_no_refresh(self, mu, ratio, seed):
+        profile = get_profile("gcc")
+        chip = synthetic_chip(NODE_32NM, mu, ratio, seed=seed)
+        none = evaluate_analytically(
+            Cache3T1DArchitecture(chip, get_scheme("no-refresh/DSP")), profile
+        )
+        full = evaluate_analytically(
+            Cache3T1DArchitecture(chip, get_scheme("full-refresh/DSP")),
+            profile,
+        )
+        # The closed form charges no port cost, so keeping everything
+        # alive can only help.
+        assert full.normalized_performance >= none.normalized_performance - 1e-9

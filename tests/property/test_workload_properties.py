@@ -1,0 +1,92 @@
+"""Property-based tests of the workload generator and BIST."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.technology import NODE_32NM
+from repro.array import CacheGeometry, RetentionBIST
+from repro.array.chip import DRAM3T1DChipSample
+from repro.workloads import SyntheticWorkload, get_profile, benchmark_names
+from repro.workloads.reuse import reference_distance_cdf
+
+profiles = st.sampled_from(benchmark_names())
+
+
+class TestGeneratorProperties:
+    @settings(deadline=None, max_examples=20,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(name=profiles, seed=st.integers(0, 2 ** 16),
+           n=st.integers(1, 400))
+    def test_trace_invariants(self, name, seed, n):
+        trace = SyntheticWorkload(get_profile(name), seed=seed).memory_trace(n)
+        assert len(trace) == n
+        assert np.all(np.diff(trace.cycles) >= 0)
+        assert np.all(trace.line_addresses >= 0)
+
+    @settings(deadline=None, max_examples=10,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(name=profiles, seed=st.integers(0, 2 ** 16))
+    def test_determinism(self, name, seed):
+        a = SyntheticWorkload(get_profile(name), seed=seed).memory_trace(200)
+        b = SyntheticWorkload(get_profile(name), seed=seed).memory_trace(200)
+        assert np.array_equal(a.cycles, b.cycles)
+        assert np.array_equal(a.line_addresses, b.line_addresses)
+        assert np.array_equal(a.is_write, b.is_write)
+
+    @settings(deadline=None, max_examples=10,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(name=profiles, seed=st.integers(0, 2 ** 10),
+           warmup=st.integers(0, 128))
+    def test_warmup_isolation(self, name, seed, warmup):
+        """Warmup lines never collide with the measured stream's lines."""
+        trace = SyntheticWorkload(get_profile(name), seed=seed).memory_trace(
+            150, warmup_lines=warmup
+        )
+        warm = set(trace.line_addresses[:warmup].tolist())
+        main = set(trace.line_addresses[warmup:].tolist())
+        assert not warm & main
+
+    @settings(deadline=None, max_examples=10,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(name=profiles, seed=st.integers(0, 2 ** 10))
+    def test_measured_cdf_is_monotone(self, name, seed):
+        trace = SyntheticWorkload(get_profile(name), seed=seed).memory_trace(
+            500
+        )
+        stats = reference_distance_cdf(trace)
+        grid = [500, 2000, 8000, 32000]
+        series = stats.cdf_series(grid)
+        assert np.all(np.diff(series) >= 0)
+
+
+class TestBISTProperties:
+    @settings(deadline=None, max_examples=20,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(0, 2 ** 16),
+        scale_us=st.floats(min_value=0.01, max_value=10.0),
+        guard=st.floats(min_value=0.5, max_value=1.0),
+        bits=st.integers(min_value=1, max_value=5),
+    )
+    def test_bist_conservative_for_any_chip(self, seed, scale_us, guard, bits):
+        geometry = CacheGeometry()
+        rng = np.random.default_rng(seed)
+        retention_us = rng.exponential(scale_us, size=geometry.n_lines)
+        chip = DRAM3T1DChipSample(
+            node=NODE_32NM,
+            geometry=geometry,
+            chip_id=0,
+            retention_by_line=retention_us * 1e-6,
+            leakage_power=1.0,
+            golden_leakage_power=1.0,
+        )
+        result = RetentionBIST(counter_bits=bits, guard_band=guard).test_chip(
+            chip
+        )
+        true_cycles = chip.retention_by_line * NODE_32NM.frequency
+        assert np.all(result.measured_retention_cycles <= true_cycles + 1e-6)
+        assert np.all(result.counter_values >= 0)
+        assert np.all(
+            result.counter_values % result.counter.step_cycles == 0
+        )

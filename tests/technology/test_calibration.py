@@ -1,0 +1,115 @@
+"""Calibration anchors (Table 3 / Figure 4 pins)."""
+
+import pytest
+
+from repro import units
+from repro.errors import CalibrationError
+from repro.technology import NODE_32NM, NODE_45NM, NODE_65NM, calibration
+from repro.technology.transistor import Transistor
+
+
+class TestAccessTimeAnchors:
+    @pytest.mark.parametrize(
+        "node, ps", [(NODE_65NM, 285), (NODE_45NM, 251), (NODE_32NM, 208)]
+    )
+    def test_table3_values(self, node, ps):
+        assert calibration.nominal_access_time(node) == pytest.approx(
+            ps * 1e-12
+        )
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(CalibrationError):
+            calibration.nominal_access_time(NODE_32NM.scaled(name="22nm"))
+
+
+class TestLeakageCalibration:
+    @pytest.mark.parametrize(
+        "node, mw", [(NODE_65NM, 15.8), (NODE_45NM, 36.0), (NODE_32NM, 78.2)]
+    )
+    def test_cache_leakage_reconstructs_anchor(self, node, mw):
+        # Summing the calibrated per-device off-current over the cache
+        # must return the Table 3 leakage anchor.
+        device = Transistor(node=node)
+        total = (
+            device.off_current()
+            * node.vdd
+            * calibration.CACHE_TOTAL_CELLS
+            * calibration.STRONG_LEAK_PATHS_6T
+        )
+        assert total == pytest.approx(mw * 1e-3, rel=1e-6)
+
+    def test_leakage_constant_positive(self):
+        assert calibration.leakage_constant_for_node(NODE_32NM) > 0
+
+
+class TestGeometryConstants:
+    def test_cache_data_bits(self):
+        assert calibration.CACHE_DATA_BITS == 64 * 1024 * 8
+
+    def test_cache_lines(self):
+        assert calibration.CACHE_LINES == 1024
+
+    def test_total_cells_includes_tags(self):
+        expected = 64 * 1024 * 8 + 1024 * calibration.TAG_BITS_PER_LINE
+        assert calibration.CACHE_TOTAL_CELLS == expected
+
+    def test_access_fractions_sum_to_one(self):
+        total = (
+            calibration.BITLINE_FRACTION
+            + calibration.WORDLINE_FRACTION
+            + calibration.PERIPHERY_FRACTION
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestRetentionAnchors:
+    def test_32nm_figure4_anchor(self):
+        assert calibration.nominal_retention_time(NODE_32NM) == pytest.approx(
+            5.8e-6
+        )
+
+    def test_retention_decreases_with_scaling(self):
+        assert (
+            calibration.nominal_retention_time(NODE_65NM)
+            > calibration.nominal_retention_time(NODE_45NM)
+            > calibration.nominal_retention_time(NODE_32NM)
+        )
+
+    def test_lower_vdd_shortens_retention(self):
+        low = NODE_32NM.scaled(vdd=0.9)
+        assert calibration.nominal_retention_time(
+            low
+        ) < calibration.nominal_retention_time(NODE_32NM)
+
+    def test_tiny_headroom_crushes_retention(self):
+        hopeless = NODE_32NM.scaled(vdd=0.301, vth=0.30)
+        # 1 mV of headroom quadratically crushes retention (vs 5.8 us).
+        assert calibration.nominal_retention_time(hopeless) < 1e-9
+
+
+class TestDynamicEnergyAnchors:
+    @pytest.mark.parametrize(
+        "node, full_mw",
+        [(NODE_65NM, 31.97), (NODE_45NM, 25.96), (NODE_32NM, 20.75)],
+    )
+    def test_port_energy_reconstructs_full_power(self, node, full_mw):
+        energy = calibration.port_access_energy(node, "6T")
+        full = energy * calibration.TOTAL_PORTS * node.frequency
+        assert full == pytest.approx(full_mw * 1e-3, rel=1e-6)
+
+    def test_3t1d_energy_slightly_below_6t(self):
+        assert calibration.port_access_energy(
+            NODE_32NM, "3T1D"
+        ) < calibration.port_access_energy(NODE_32NM, "6T")
+
+    def test_energy_scales_with_vdd_squared(self):
+        low = NODE_32NM.scaled(vdd=0.55)
+        ratio = calibration.port_access_energy(
+            low, "6T"
+        ) / calibration.port_access_energy(NODE_32NM, "6T")
+        assert ratio == pytest.approx(0.25, rel=1e-6)
+
+    def test_refresh_line_energy_below_port_access(self):
+        assert calibration.refresh_line_energy(
+            NODE_32NM
+        ) < calibration.port_access_energy(NODE_32NM, "3T1D")

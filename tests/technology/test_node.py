@@ -1,0 +1,95 @@
+"""Technology node definitions (Table 1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import ALL_NODES, NODE_32NM, NODE_45NM, NODE_65NM
+from repro.technology.node import NODE_ORDER, TechnologyNode
+
+
+class TestTable1Parameters:
+    @pytest.mark.parametrize(
+        "node, area_um2, wire_w_um, wire_t_um, tox_nm, freq_ghz",
+        [
+            (NODE_65NM, 0.90, 0.10, 0.20, 1.2, 3.0),
+            (NODE_45NM, 0.45, 0.07, 0.14, 1.1, 3.5),
+            (NODE_32NM, 0.23, 0.05, 0.10, 1.0, 4.3),
+        ],
+    )
+    def test_matches_paper_table1(
+        self, node, area_um2, wire_w_um, wire_t_um, tox_nm, freq_ghz
+    ):
+        assert node.cell_area == pytest.approx(area_um2 * 1e-12)
+        assert node.wire_width == pytest.approx(wire_w_um * 1e-6)
+        assert node.wire_thickness == pytest.approx(wire_t_um * 1e-6)
+        assert node.oxide_thickness == pytest.approx(tox_nm * 1e-9)
+        assert node.frequency == pytest.approx(freq_ghz * 1e9)
+
+    def test_all_nodes_registry(self):
+        assert set(ALL_NODES) == {"65nm", "45nm", "32nm"}
+
+    def test_node_order_is_scaling_order(self):
+        assert NODE_ORDER == ("65nm", "45nm", "32nm")
+
+    def test_feature_sizes_scale_down(self):
+        assert NODE_65NM.feature_size > NODE_45NM.feature_size > NODE_32NM.feature_size
+
+    def test_frequencies_scale_up(self):
+        assert NODE_65NM.frequency < NODE_45NM.frequency < NODE_32NM.frequency
+
+
+class TestDerivedQuantities:
+    def test_cycle_time(self):
+        assert NODE_32NM.cycle_time == pytest.approx(1 / 4.3e9)
+
+    def test_oxide_capacitance_positive_and_ordered(self):
+        # Thinner oxide -> larger capacitance per area.
+        assert (
+            NODE_32NM.oxide_capacitance_per_area
+            > NODE_65NM.oxide_capacitance_per_area
+            > 0
+        )
+
+    def test_gate_overdrive(self):
+        assert NODE_32NM.gate_overdrive == pytest.approx(1.1 - 0.30)
+
+
+class TestLookupAndScaling:
+    def test_from_name(self):
+        assert TechnologyNode.from_name("32nm") is NODE_32NM
+
+    def test_from_name_unknown(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyNode.from_name("22nm")
+
+    def test_scaled_overrides_vdd(self):
+        low = NODE_32NM.scaled(vdd=0.9)
+        assert low.vdd == pytest.approx(0.9)
+        assert low.frequency == NODE_32NM.frequency
+        assert low.name == NODE_32NM.name
+
+    def test_scaled_rejects_unknown_field(self):
+        with pytest.raises(ConfigurationError):
+            NODE_32NM.scaled(bogus=1.0)
+
+    def test_scaled_does_not_mutate_original(self):
+        NODE_32NM.scaled(vdd=0.9)
+        assert NODE_32NM.vdd == pytest.approx(1.1)
+
+
+class TestValidation:
+    def test_rejects_negative_feature_size(self):
+        with pytest.raises(ConfigurationError):
+            NODE_32NM.scaled(feature_size=-1e-9)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ConfigurationError):
+            NODE_32NM.scaled(frequency=0.0)
+
+    def test_rejects_vth_above_vdd(self):
+        with pytest.raises(ConfigurationError):
+            NODE_32NM.scaled(vth=1.2)
+
+    def test_rejects_negative_vth(self):
+        with pytest.raises(ConfigurationError):
+            NODE_32NM.scaled(vth=-0.1)

@@ -1,0 +1,133 @@
+"""First-order MOSFET model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import NODE_32NM, NODE_65NM
+from repro.technology.transistor import (
+    ALPHA_POWER_EXPONENT,
+    PMOS_DRIVE_DERATING,
+    SUBTHRESHOLD_IDEALITY,
+    Transistor,
+    TransistorType,
+)
+
+
+@pytest.fixture
+def nmos():
+    return Transistor(node=NODE_32NM)
+
+
+class TestGeometry:
+    def test_minimum_device_dimensions(self, nmos):
+        assert nmos.width == pytest.approx(32e-9)
+        assert nmos.length == pytest.approx(32e-9)
+
+    def test_gate_area(self, nmos):
+        assert nmos.gate_area == pytest.approx(32e-9 * 32e-9)
+
+    def test_capacitances_positive(self, nmos):
+        assert nmos.gate_capacitance > 0
+        assert nmos.drain_capacitance == pytest.approx(
+            0.5 * nmos.gate_capacitance
+        )
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ConfigurationError):
+            Transistor(node=NODE_32NM, width_f=0.0)
+        with pytest.raises(ConfigurationError):
+            Transistor(node=NODE_32NM, length_f=-1.0)
+
+
+class TestMismatchScaling:
+    def test_minimum_device_scale_is_one(self, nmos):
+        assert nmos.mismatch_sigma_scale() == pytest.approx(1.0)
+
+    def test_2x_cell_halves_sigma(self):
+        big = Transistor(node=NODE_32NM, width_f=2.0, length_f=2.0)
+        assert big.mismatch_sigma_scale() == pytest.approx(0.5)
+
+    def test_wider_device_reduces_sigma(self):
+        wide = Transistor(node=NODE_32NM, width_f=4.0)
+        assert wide.mismatch_sigma_scale() == pytest.approx(0.5)
+
+
+class TestEffectiveVth:
+    def test_nominal(self, nmos):
+        assert nmos.effective_vth() == pytest.approx(NODE_32NM.vth)
+
+    def test_dopant_shift_adds(self, nmos):
+        assert nmos.effective_vth(delta_vth=0.03) == pytest.approx(
+            NODE_32NM.vth + 0.03
+        )
+
+    def test_longer_channel_raises_vth(self, nmos):
+        assert nmos.effective_vth(delta_l=1e-9) > NODE_32NM.vth
+
+    def test_rolloff_scales_with_relative_length(self):
+        # Same relative delta_l gives the same Vth shift at both nodes.
+        small = Transistor(node=NODE_32NM)
+        large = Transistor(node=NODE_65NM)
+        shift_small = small.effective_vth(delta_l=0.05 * small.length) - NODE_32NM.vth
+        shift_large = large.effective_vth(delta_l=0.05 * large.length) - NODE_65NM.vth
+        assert shift_small == pytest.approx(shift_large, rel=1e-9)
+
+    def test_vectorised(self, nmos):
+        deltas = np.array([-0.03, 0.0, 0.03])
+        result = nmos.effective_vth(delta_vth=deltas)
+        assert result.shape == (3,)
+        assert np.all(np.diff(result) > 0)
+
+
+class TestOnCurrent:
+    def test_positive_at_nominal(self, nmos):
+        assert nmos.on_current() > 0
+
+    def test_alpha_power_law(self, nmos):
+        # I ~ (Vdd - Vth)^alpha: check the exponent numerically.
+        i1 = nmos.on_current(vgs=NODE_32NM.vth + 0.4)
+        i2 = nmos.on_current(vgs=NODE_32NM.vth + 0.8)
+        assert i2 / i1 == pytest.approx(2 ** ALPHA_POWER_EXPONENT, rel=1e-6)
+
+    def test_higher_vth_lowers_current(self, nmos):
+        assert nmos.on_current(delta_vth=0.05) < nmos.on_current()
+
+    def test_dead_device_clamps_to_zero(self, nmos):
+        assert nmos.on_current(delta_vth=2.0) == 0.0
+
+    def test_pmos_derated(self):
+        nmos = Transistor(node=NODE_32NM, kind=TransistorType.NMOS)
+        pmos = Transistor(node=NODE_32NM, kind=TransistorType.PMOS)
+        assert pmos.on_current() == pytest.approx(
+            PMOS_DRIVE_DERATING * nmos.on_current()
+        )
+
+    def test_wider_device_drives_more(self):
+        wide = Transistor(node=NODE_32NM, width_f=2.0)
+        narrow = Transistor(node=NODE_32NM, width_f=1.0)
+        assert wide.on_current() == pytest.approx(2 * narrow.on_current())
+
+
+class TestOffCurrent:
+    def test_positive(self, nmos):
+        assert nmos.off_current() > 0
+
+    def test_exponential_in_vth(self, nmos):
+        import math
+
+        from repro import units
+
+        slope = SUBTHRESHOLD_IDEALITY * units.thermal_voltage()
+        ratio = nmos.off_current(delta_vth=-slope) / nmos.off_current()
+        assert ratio == pytest.approx(math.e, rel=1e-6)
+
+    def test_hotter_leaks_more(self, nmos):
+        # Thermal voltage rises with T, flattening the exponential and
+        # raising leakage for a fixed Vth.
+        assert nmos.off_current(temperature_c=110.0) > nmos.off_current(
+            temperature_c=80.0
+        )
+
+    def test_subthreshold_swing_near_105mv_per_decade(self, nmos):
+        assert nmos.subthreshold_swing() == pytest.approx(0.105, abs=0.01)

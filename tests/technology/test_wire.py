@@ -1,0 +1,74 @@
+"""Distributed-pi wire model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import NODE_32NM, NODE_65NM
+from repro.technology.wire import WireModel
+
+
+@pytest.fixture
+def wire():
+    return WireModel(NODE_32NM)
+
+
+class TestPerLengthValues:
+    def test_resistance_positive(self, wire):
+        assert wire.resistance_per_meter > 0
+
+    def test_narrower_wire_more_resistive(self):
+        assert (
+            WireModel(NODE_32NM).resistance_per_meter
+            > WireModel(NODE_65NM).resistance_per_meter
+        )
+
+    def test_capacitance_positive(self, wire):
+        assert wire.capacitance_per_meter > 0
+
+    def test_capacitance_order_of_magnitude(self, wire):
+        # Scaled cache wires are ~0.1-0.3 fF/um.
+        per_um = wire.capacitance_per_meter * 1e-6
+        assert 0.02e-15 < per_um < 1e-15
+
+
+class TestElmoreDelay:
+    def test_zero_length_zero_delay(self, wire):
+        assert wire.elmore_delay(0.0) == 0.0
+
+    def test_quadratic_in_length(self, wire):
+        d1 = wire.elmore_delay(100e-6)
+        d2 = wire.elmore_delay(200e-6)
+        assert d2 / d1 == pytest.approx(4.0, rel=1e-9)
+
+    def test_load_adds_delay(self, wire):
+        bare = wire.elmore_delay(100e-6)
+        loaded = wire.elmore_delay(100e-6, load_capacitance=10e-15)
+        assert loaded > bare
+
+    def test_driver_resistance_adds_delay(self, wire):
+        bare = wire.elmore_delay(100e-6)
+        driven = wire.elmore_delay(100e-6, driver_resistance=1e3)
+        assert driven > bare
+
+    def test_bitline_scale_delay_fits_access_budget(self, wire):
+        # A 256-row bitline (~123 um at 32nm) must be well inside the
+        # 208 ps array access time.
+        import math
+
+        length = 256 * math.sqrt(NODE_32NM.cell_area)
+        assert wire.elmore_delay(length) < 208e-12
+
+    def test_rejects_negative_length(self, wire):
+        with pytest.raises(ConfigurationError):
+            wire.elmore_delay(-1.0)
+
+
+class TestWireCapacitance:
+    def test_linear_in_length(self, wire):
+        assert wire.wire_capacitance(2e-6) == pytest.approx(
+            2 * wire.wire_capacitance(1e-6)
+        )
+
+    def test_rejects_negative_length(self, wire):
+        with pytest.raises(ConfigurationError):
+            wire.wire_capacitance(-1e-6)

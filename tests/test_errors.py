@@ -1,0 +1,33 @@
+"""Exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.CalibrationError,
+            errors.SimulationError,
+            errors.TraceError,
+            errors.ChipDiscardedError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(errors.ReproError, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ChipDiscardedError("chip 12 cannot refresh")
+
+    def test_library_raises_catchable_errors(self):
+        from repro import TechnologyNode
+
+        with pytest.raises(errors.ReproError):
+            TechnologyNode.from_name("7nm")

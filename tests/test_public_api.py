@@ -1,0 +1,88 @@
+"""Public API surface checks."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.technology",
+            "repro.variation",
+            "repro.cells",
+            "repro.array",
+            "repro.cache",
+            "repro.cpu",
+            "repro.workloads",
+            "repro.core",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackage_alls_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_quickstart_docstring_flow(self):
+        """The flow shown in the package docstring works verbatim."""
+        from repro import (
+            Cache3T1DArchitecture,
+            ChipSampler,
+            Evaluator,
+            NODE_32NM,
+            SCHEME_RSP_FIFO,
+            VariationParams,
+        )
+
+        sampler = ChipSampler(NODE_32NM, VariationParams.severe(), seed=1)
+        chip = sampler.sample_3t1d_chip()
+        arch = Cache3T1DArchitecture(chip, SCHEME_RSP_FIFO)
+        result = Evaluator(NODE_32NM, n_references=1500).evaluate(
+            arch, benchmarks=["gcc"]
+        )
+        assert 0.0 < result.normalized_performance <= 1.05
+
+
+class TestDeterminism:
+    def test_full_evaluation_reproducible(self):
+        from repro import (
+            Cache3T1DArchitecture,
+            ChipSampler,
+            Evaluator,
+            NODE_32NM,
+            SCHEME_PARTIAL_DSP,
+            VariationParams,
+        )
+
+        def run():
+            chip = ChipSampler(
+                NODE_32NM, VariationParams.severe(), seed=42
+            ).sample_3t1d_chip()
+            evaluator = Evaluator(NODE_32NM, n_references=1500, seed=7)
+            return evaluator.evaluate(
+                Cache3T1DArchitecture(chip, SCHEME_PARTIAL_DSP),
+                benchmarks=["gcc", "mcf"],
+            )
+
+        first = run()
+        second = run()
+        assert first.normalized_performance == second.normalized_performance
+        assert (
+            first.dynamic_power_normalized == second.dynamic_power_normalized
+        )
+        for name in first.results:
+            assert (
+                first.results[name].stats.misses
+                == second.results[name].stats.misses
+            )

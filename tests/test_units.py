@@ -1,0 +1,62 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_thermal_voltage_at_80c():
+    # kT/q at 353.15 K is about 30.4 mV.
+    assert units.thermal_voltage(80.0) == pytest.approx(30.4e-3, rel=0.01)
+
+
+def test_thermal_voltage_increases_with_temperature():
+    assert units.thermal_voltage(100.0) > units.thermal_voltage(25.0)
+
+
+@pytest.mark.parametrize(
+    "forward, backward, value",
+    [
+        (units.ns, units.to_ns, 476.3),
+        (units.ps, units.to_ps, 208.0),
+        (units.us, units.to_us, 5.8),
+        (units.nm, units.to_nm, 32.0),
+        (units.um, units.to_um, 0.23),
+        (units.mw, units.to_mw, 78.2),
+        (units.fj, units.to_fj, 1.5),
+        (units.pj, units.to_pj, 2.4),
+    ],
+)
+def test_roundtrip_conversions(forward, backward, value):
+    assert backward(forward(value)) == pytest.approx(value, rel=1e-12)
+
+
+def test_ns_magnitude():
+    assert units.ns(1.0) == pytest.approx(1e-9)
+
+
+def test_ghz_magnitude():
+    assert units.ghz(4.3) == pytest.approx(4.3e9)
+
+
+def test_to_ghz_inverts_ghz():
+    assert units.to_ghz(units.ghz(3.5)) == pytest.approx(3.5)
+
+
+def test_cycles_to_seconds():
+    # 2048 cycles at 4.3 GHz is the paper's 476.3ns refresh pass.
+    seconds = units.cycles_to_seconds(2048, units.ghz(4.3))
+    assert seconds == pytest.approx(476.3e-9, rel=1e-3)
+
+
+def test_seconds_to_cycles_inverts():
+    frequency = units.ghz(3.0)
+    assert units.seconds_to_cycles(
+        units.cycles_to_seconds(1000, frequency), frequency
+    ) == pytest.approx(1000)
+
+
+def test_simulation_temperature_is_80c():
+    assert units.SIMULATION_TEMPERATURE_C == 80.0

@@ -1,0 +1,95 @@
+"""Per-chip Monte-Carlo sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import NODE_32NM
+from repro.variation import ChipVariation, VariationParams, VariationSampler
+
+
+@pytest.fixture
+def sampler():
+    return VariationSampler(NODE_32NM, VariationParams.typical(), seed=1)
+
+
+class TestSampler:
+    def test_default_subarray_grid(self, sampler):
+        assert sampler.n_subarrays == 8
+
+    def test_chip_ids_sequential(self, sampler):
+        chips = [sampler.sample_chip() for _ in range(3)]
+        assert [c.chip_id for c in chips] == [0, 1, 2]
+
+    def test_deterministic_sequence(self):
+        a = VariationSampler(NODE_32NM, VariationParams.typical(), seed=9)
+        b = VariationSampler(NODE_32NM, VariationParams.typical(), seed=9)
+        chip_a = a.sample_chip()
+        chip_b = b.sample_chip()
+        assert chip_a.delta_l_d2d == chip_b.delta_l_d2d
+        assert np.array_equal(chip_a.delta_l_subarray, chip_b.delta_l_subarray)
+
+    def test_chip_sequence_independent_of_rng_usage(self):
+        # Using chip 0's private rng must not change chip 1's draw.
+        a = VariationSampler(NODE_32NM, VariationParams.typical(), seed=5)
+        first = a.sample_chip()
+        first.rng.normal(size=1000)  # burn some draws
+        second_after_use = a.sample_chip()
+
+        b = VariationSampler(NODE_32NM, VariationParams.typical(), seed=5)
+        b.sample_chip()
+        second_clean = b.sample_chip()
+        assert second_after_use.delta_l_d2d == second_clean.delta_l_d2d
+
+    def test_sample_chips_count(self, sampler):
+        assert len(list(sampler.sample_chips(5))) == 5
+
+    def test_sample_chips_rejects_negative(self, sampler):
+        with pytest.raises(ConfigurationError):
+            list(sampler.sample_chips(-1))
+
+    def test_d2d_spread_matches_sigma(self):
+        sampler = VariationSampler(NODE_32NM, VariationParams.typical(), seed=3)
+        d2d = [sampler.sample_chip().delta_l_d2d for _ in range(800)]
+        assert np.std(d2d) == pytest.approx(0.05 * 32e-9, rel=0.1)
+
+    def test_subarray_spread_matches_sigma(self):
+        sampler = VariationSampler(NODE_32NM, VariationParams.severe(), seed=3)
+        values = np.concatenate(
+            [sampler.sample_chip().delta_l_subarray for _ in range(400)]
+        )
+        assert np.std(values) == pytest.approx(0.07 * 32e-9, rel=0.1)
+
+
+class TestChipVariation:
+    def test_delta_l_total_combines_components(self, sampler):
+        chip = sampler.sample_chip()
+        total = chip.delta_l_total(3)
+        assert total == pytest.approx(
+            chip.delta_l_d2d + chip.delta_l_subarray[3]
+        )
+
+    def test_delta_l_total_index_validation(self, sampler):
+        chip = sampler.sample_chip()
+        with pytest.raises(ConfigurationError):
+            chip.delta_l_total(99)
+
+    def test_sample_vth_shape_and_sigma(self, sampler):
+        chip = sampler.sample_chip()
+        draws = chip.sample_vth(20000)
+        assert draws.shape == (20000,)
+        assert np.std(draws) == pytest.approx(0.03, rel=0.05)
+
+    def test_sample_vth_pelgrom_scale(self, sampler):
+        chip = sampler.sample_chip()
+        draws = chip.sample_vth(20000, sigma_scale=0.5)
+        assert np.std(draws) == pytest.approx(0.015, rel=0.05)
+
+    def test_zero_variation_chip_is_all_zeros(self):
+        golden = VariationSampler.golden(NODE_32NM)
+        assert golden.delta_l_d2d == 0.0
+        assert np.all(golden.delta_l_subarray == 0.0)
+        assert np.all(golden.sample_vth(100) == 0.0)
+
+    def test_golden_chip_id_is_sentinel(self):
+        assert VariationSampler.golden(NODE_32NM).chip_id == -1

@@ -1,0 +1,71 @@
+"""Variation scenario parameters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import NODE_32NM, NODE_65NM
+from repro.variation import VariationParams
+
+
+class TestScenarios:
+    def test_typical_matches_paper(self):
+        params = VariationParams.typical()
+        assert params.sigma_l_wid_rel == pytest.approx(0.05)
+        assert params.sigma_vth_rel == pytest.approx(0.10)
+        assert params.sigma_l_d2d_rel == pytest.approx(0.05)
+
+    def test_severe_matches_paper(self):
+        params = VariationParams.severe()
+        assert params.sigma_l_wid_rel == pytest.approx(0.07)
+        assert params.sigma_vth_rel == pytest.approx(0.15)
+        assert params.sigma_l_d2d_rel == pytest.approx(0.05)
+
+    def test_none_is_zero(self):
+        params = VariationParams.none()
+        assert params.is_zero
+
+    def test_typical_is_not_zero(self):
+        assert not VariationParams.typical().is_zero
+
+    def test_names(self):
+        assert VariationParams.typical().name == "typical"
+        assert VariationParams.severe().name == "severe"
+
+
+class TestAbsoluteSigmas:
+    def test_sigma_l_wid_scales_with_feature(self):
+        params = VariationParams.typical()
+        assert params.sigma_l_wid(NODE_32NM) == pytest.approx(0.05 * 32e-9)
+        assert params.sigma_l_wid(NODE_65NM) == pytest.approx(0.05 * 65e-9)
+
+    def test_sigma_d2d(self):
+        params = VariationParams.severe()
+        assert params.sigma_l_d2d(NODE_32NM) == pytest.approx(0.05 * 32e-9)
+
+    def test_sigma_vth_scales_with_vth(self):
+        params = VariationParams.typical()
+        assert params.sigma_vth(NODE_32NM) == pytest.approx(0.10 * 0.30)
+
+    def test_sigma_vth_pelgrom_scaling(self):
+        params = VariationParams.typical()
+        assert params.sigma_vth(NODE_32NM, area_scale=0.5) == pytest.approx(
+            0.5 * params.sigma_vth(NODE_32NM)
+        )
+
+    def test_sigma_vth_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            VariationParams.typical().sigma_vth(NODE_32NM, area_scale=0.0)
+
+
+class TestValidation:
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            VariationParams(sigma_l_wid_rel=-0.01, sigma_vth_rel=0.1)
+
+    def test_rejects_sigma_of_one(self):
+        with pytest.raises(ConfigurationError):
+            VariationParams(sigma_l_wid_rel=0.05, sigma_vth_rel=1.0)
+
+    def test_custom_in_range_accepted(self):
+        params = VariationParams(sigma_l_wid_rel=0.06, sigma_vth_rel=0.12)
+        assert params.name == "custom"

@@ -1,0 +1,96 @@
+"""3-level quad-tree correlated variation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.variation import QuadTreeSampler
+
+
+@pytest.fixture
+def grid_sampler():
+    return QuadTreeSampler.grid(2, 4)
+
+
+class TestConstruction:
+    def test_grid_positions_count(self, grid_sampler):
+        assert grid_sampler.n_sites == 8
+
+    def test_grid_positions_in_unit_square(self, grid_sampler):
+        for x, y in grid_sampler.positions:
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_rejects_empty_positions(self):
+        with pytest.raises(ConfigurationError):
+            QuadTreeSampler(positions=())
+
+    def test_rejects_positions_outside_square(self):
+        with pytest.raises(ConfigurationError):
+            QuadTreeSampler(positions=((1.5, 0.5),))
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ConfigurationError):
+            QuadTreeSampler(positions=((0.5, 0.5),), levels=0)
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ConfigurationError):
+            QuadTreeSampler.grid(0, 4)
+
+
+class TestSampling:
+    def test_zero_sigma_gives_zeros(self, grid_sampler):
+        rng = np.random.default_rng(0)
+        assert np.all(grid_sampler.sample(0.0, rng) == 0.0)
+
+    def test_negative_sigma_rejected(self, grid_sampler):
+        with pytest.raises(ConfigurationError):
+            grid_sampler.sample(-1.0, np.random.default_rng(0))
+
+    def test_output_shape(self, grid_sampler):
+        sample = grid_sampler.sample(1.0, np.random.default_rng(1))
+        assert sample.shape == (8,)
+
+    def test_total_variance_matches_sigma(self, grid_sampler):
+        rng = np.random.default_rng(2)
+        draws = np.array([grid_sampler.sample(2.0, rng) for _ in range(4000)])
+        std = draws.std()
+        assert std == pytest.approx(2.0, rel=0.05)
+
+    def test_deterministic_given_rng_state(self, grid_sampler):
+        a = grid_sampler.sample(1.0, np.random.default_rng(42))
+        b = grid_sampler.sample(1.0, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_same_quadrant_sites_correlated(self):
+        # Two sites in the same deepest region share all components.
+        sampler = QuadTreeSampler(positions=((0.1, 0.1), (0.12, 0.12)))
+        rng = np.random.default_rng(3)
+        draws = np.array([sampler.sample(1.0, rng) for _ in range(2000)])
+        corr = np.corrcoef(draws[:, 0], draws[:, 1])[0, 1]
+        assert corr > 0.95
+
+    def test_far_sites_weakly_correlated(self):
+        sampler = QuadTreeSampler(positions=((0.05, 0.05), (0.95, 0.95)))
+        rng = np.random.default_rng(4)
+        draws = np.array([sampler.sample(1.0, rng) for _ in range(4000)])
+        corr = np.corrcoef(draws[:, 0], draws[:, 1])[0, 1]
+        # Only the top-level (whole-die) component is shared: 1/3.
+        assert corr == pytest.approx(1 / 3, abs=0.08)
+
+
+class TestModelCorrelation:
+    def test_identical_site_full_correlation(self, grid_sampler):
+        assert grid_sampler.correlation(0, 0) == pytest.approx(1.0)
+
+    def test_correlation_matches_empirical(self):
+        sampler = QuadTreeSampler(positions=((0.05, 0.05), (0.95, 0.95)))
+        assert sampler.correlation(0, 1) == pytest.approx(1 / 3)
+
+    def test_correlation_index_validation(self, grid_sampler):
+        with pytest.raises(ConfigurationError):
+            grid_sampler.correlation(0, 99)
+
+    def test_neighbours_more_correlated_than_diagonal(self, grid_sampler):
+        # Sites 0 and 1 are adjacent; sites 0 and 7 are opposite corners.
+        assert grid_sampler.correlation(0, 1) >= grid_sampler.correlation(0, 7)

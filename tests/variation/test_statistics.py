@@ -1,0 +1,91 @@
+"""Distribution summaries and statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.variation import harmonic_mean, normalized_histogram, summarize
+from repro.variation.statistics import median_chip_index
+
+
+class TestHarmonicMean:
+    def test_single_value(self):
+        assert harmonic_mean([2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4 / 3)
+
+    def test_below_arithmetic_mean(self):
+        values = [0.5, 1.5, 2.5]
+        assert harmonic_mean(values) < np.mean(values)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            harmonic_mean([])
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            harmonic_mean([1.0, -2.0])
+
+
+class TestNormalizedHistogram:
+    def test_sums_to_one(self):
+        hist = normalized_histogram([0.1, 0.5, 0.9], [0.0, 0.5, 1.0])
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_counts_in_correct_bins(self):
+        hist = normalized_histogram([0.1, 0.2, 0.9], [0.0, 0.5, 1.0])
+        assert hist[0] == pytest.approx(2 / 3)
+        assert hist[1] == pytest.approx(1 / 3)
+
+    def test_clamps_outliers_into_edge_bins(self):
+        hist = normalized_histogram([-5.0, 5.0], [0.0, 0.5, 1.0])
+        assert hist[0] == pytest.approx(0.5)
+        assert hist[1] == pytest.approx(0.5)
+
+    def test_empty_values_gives_zeros(self):
+        hist = normalized_histogram([], [0.0, 1.0, 2.0])
+        assert np.all(hist == 0.0)
+
+    def test_rejects_single_edge(self):
+        with pytest.raises(ConfigurationError):
+            normalized_histogram([1.0], [0.0])
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ConfigurationError):
+            normalized_histogram([1.0], [1.0, 0.0, 2.0])
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize(np.arange(101, dtype=float))
+        assert summary.count == 101
+        assert summary.mean == pytest.approx(50.0)
+        assert summary.minimum == 0.0
+        assert summary.maximum == 100.0
+        assert summary.median == pytest.approx(50.0)
+        assert summary.p05 == pytest.approx(5.0)
+        assert summary.p95 == pytest.approx(95.0)
+
+    def test_str_renders(self):
+        assert "median" in str(summarize([1.0, 2.0, 3.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+
+class TestMedianChipIndex:
+    def test_odd_length(self):
+        assert median_chip_index([10.0, 30.0, 20.0]) == 2
+
+    def test_single(self):
+        assert median_chip_index([7.0]) == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            median_chip_index([])

@@ -1,0 +1,142 @@
+"""Synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cpu.isa import OpClass
+from repro.workloads import SyntheticWorkload, get_profile
+from repro.workloads.reuse import reference_distance_cdf
+
+
+@pytest.fixture(scope="module")
+def gcc_trace():
+    return SyntheticWorkload(get_profile("gcc"), seed=1).memory_trace(8000)
+
+
+class TestMemoryTrace:
+    def test_length(self, gcc_trace):
+        assert len(gcc_trace) == 8000
+
+    def test_cycles_non_decreasing(self, gcc_trace):
+        assert np.all(np.diff(gcc_trace.cycles) >= 0)
+
+    def test_store_fraction_matches_profile(self, gcc_trace):
+        assert np.mean(gcc_trace.is_write) == pytest.approx(0.35, abs=0.03)
+
+    def test_traffic_rate_matches_profile(self, gcc_trace):
+        profile = get_profile("gcc")
+        rate = len(gcc_trace) / gcc_trace.duration_cycles
+        assert rate == pytest.approx(profile.cache_traffic_per_cycle, rel=0.1)
+
+    def test_instruction_count(self, gcc_trace):
+        profile = get_profile("gcc")
+        assert gcc_trace.instructions == pytest.approx(
+            8000 / profile.mem_refs_per_instr, rel=0.01
+        )
+
+    def test_deterministic(self):
+        a = SyntheticWorkload(get_profile("mcf"), seed=5).memory_trace(1000)
+        b = SyntheticWorkload(get_profile("mcf"), seed=5).memory_trace(1000)
+        assert np.array_equal(a.line_addresses, b.line_addresses)
+        assert np.array_equal(a.cycles, b.cycles)
+
+    def test_seed_changes_trace(self):
+        a = SyntheticWorkload(get_profile("mcf"), seed=5).memory_trace(1000)
+        b = SyntheticWorkload(get_profile("mcf"), seed=6).memory_trace(1000)
+        assert not np.array_equal(a.line_addresses, b.line_addresses)
+
+    def test_reuse_rate_matches_profile(self, gcc_trace):
+        stats = reference_distance_cdf(gcc_trace)
+        expected_new = 1 / get_profile("gcc").accesses_per_line
+        assert stats.n_loads / len(gcc_trace) == pytest.approx(
+            expected_new, rel=0.15
+        )
+
+    def test_measured_reuse_cdf_matches_model(self, gcc_trace):
+        profile = get_profile("gcc")
+        stats = reference_distance_cdf(gcc_trace)
+        for distance in (2000, 6000, 15000):
+            assert stats.cdf_at(distance) == pytest.approx(
+                profile.reuse_cdf(distance), abs=0.05
+            )
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkload(get_profile("gcc")).memory_trace(-1)
+
+
+class TestWarmup:
+    def test_warmup_prepended(self):
+        trace = SyntheticWorkload(get_profile("gcc"), seed=2).memory_trace(
+            500, warmup_lines=64
+        )
+        assert trace.warmup_references == 64
+        assert len(trace) == 564
+
+    def test_warmup_lines_distinct_and_high(self):
+        trace = SyntheticWorkload(get_profile("gcc"), seed=2).memory_trace(
+            500, warmup_lines=64
+        )
+        warm = trace.line_addresses[:64]
+        assert len(set(warm.tolist())) == 64
+        assert warm.min() >= 10 ** 9
+
+    def test_measured_window_excludes_warmup(self):
+        trace = SyntheticWorkload(get_profile("gcc"), seed=2).memory_trace(
+            500, warmup_lines=64
+        )
+        assert trace.measured_window_cycles < trace.duration_cycles
+
+    def test_no_warmup_window_is_duration(self):
+        trace = SyntheticWorkload(get_profile("gcc"), seed=2).memory_trace(100)
+        assert trace.measured_window_cycles == trace.duration_cycles
+
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkload(get_profile("gcc")).memory_trace(
+                10, warmup_lines=-1
+            )
+
+
+class TestInstructionTrace:
+    @pytest.fixture(scope="class")
+    def instr_trace(self):
+        return SyntheticWorkload(get_profile("gcc"), seed=3).instruction_trace(
+            6000
+        )
+
+    def test_length(self, instr_trace):
+        assert len(instr_trace) == 6000
+
+    def test_memory_fraction_matches_profile(self, instr_trace):
+        assert instr_trace.memory_fraction == pytest.approx(0.33, abs=0.03)
+
+    def test_branch_fraction_matches_profile(self, instr_trace):
+        assert instr_trace.branch_fraction == pytest.approx(0.18, abs=0.03)
+
+    def test_memory_ops_have_addresses(self, instr_trace):
+        mask = instr_trace.memory_mask
+        assert np.all(instr_trace.line_address[mask] >= 0)
+        assert np.all(instr_trace.line_address[~mask] == -1)
+
+    def test_dependencies_stay_in_range(self, instr_trace):
+        indices = np.arange(len(instr_trace))
+        assert np.all(instr_trace.dep1 <= indices)
+        assert np.all(instr_trace.dep2 <= indices)
+
+    def test_fp_codes_carry_fp_ops(self):
+        fp_trace = SyntheticWorkload(
+            get_profile("applu"), seed=3
+        ).instruction_trace(4000)
+        fp_count = np.sum(fp_trace.op == int(OpClass.FP_ALU))
+        assert fp_count > 0.3 * len(fp_trace)
+
+    def test_shares_memory_stream_when_given(self):
+        workload = SyntheticWorkload(get_profile("gcc"), seed=4)
+        memory = workload.memory_trace(4000)
+        trace = workload.instruction_trace(6000, memory=memory)
+        mem_lines = trace.line_address[trace.memory_mask]
+        assert np.array_equal(
+            mem_lines, memory.line_addresses[: len(mem_lines)]
+        )

@@ -1,0 +1,121 @@
+"""Benchmark profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.variation import harmonic_mean
+from repro.workloads import (
+    SPEC2000_PROFILES,
+    BenchmarkProfile,
+    benchmark_names,
+    get_profile,
+)
+
+
+class TestRegistry:
+    def test_eight_benchmarks(self):
+        assert len(SPEC2000_PROFILES) == 8
+
+    def test_paper_benchmark_set(self):
+        assert set(benchmark_names()) == {
+            "applu", "crafty", "fma3d", "gcc", "gzip", "mcf", "mesa", "twolf",
+        }
+
+    def test_lookup(self):
+        assert get_profile("mcf").name == "mcf"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ConfigurationError):
+            get_profile("bzip2")
+
+
+class TestCalibration:
+    def test_harmonic_mean_ipc_near_paper(self):
+        # Table 3: ~0.97 IPC at the ideal cache (4.17 BIPS / 4.3 GHz).
+        ipc = harmonic_mean(
+            [get_profile(n).base_ipc for n in benchmark_names()]
+        )
+        assert ipc == pytest.approx(0.97, abs=0.08)
+
+    def test_average_reuse_at_6k_near_90pct(self):
+        # Figure 1: ~90% of references within 6K cycles on average.
+        average = sum(
+            get_profile(n).reuse_cdf(6000) for n in benchmark_names()
+        ) / 8
+        assert average == pytest.approx(0.90, abs=0.03)
+
+    def test_mcf_is_memory_bound(self):
+        mcf = get_profile("mcf")
+        others = [get_profile(n) for n in benchmark_names() if n != "mcf"]
+        assert mcf.base_ipc < min(p.base_ipc for p in others)
+        assert mcf.l2_miss_rate > max(p.l2_miss_rate for p in others)
+
+    def test_fma3d_has_one_of_the_heaviest_reuse_tails(self):
+        # The paper's worst-case benchmark for retention sensitivity; in
+        # our profiles only the pathologically memory-bound mcf exceeds it.
+        survivals = {
+            n: get_profile(n).reuse_survival(10000) for n in benchmark_names()
+        }
+        ranked = sorted(survivals, key=survivals.get, reverse=True)
+        assert "fma3d" in ranked[:2]
+
+    def test_cache_traffic_reasonable(self):
+        # Section 4.1: cache traffic usually no more than ~30% of cycles.
+        for name in benchmark_names():
+            assert 0.1 < get_profile(name).cache_traffic_per_cycle < 0.55
+
+
+class TestReuseCdf:
+    def test_zero_distance(self):
+        assert get_profile("gcc").reuse_cdf(0) == 0.0
+
+    def test_monotone(self):
+        profile = get_profile("twolf")
+        values = [profile.reuse_cdf(d) for d in (100, 1000, 5000, 20000)]
+        assert values == sorted(values)
+
+    def test_survival_complements_cdf(self):
+        profile = get_profile("gzip")
+        assert profile.reuse_cdf(4000) + profile.reuse_survival(
+            4000
+        ) == pytest.approx(1.0)
+
+    def test_long_distance_approaches_one(self):
+        # The L2-tier component has a ~1M-cycle scale; by 10M everything
+        # has been reused.
+        assert get_profile("applu").reuse_cdf(1e7) == pytest.approx(
+            1.0, abs=1e-3
+        )
+
+
+class TestValidation:
+    def _valid_kwargs(self):
+        return dict(
+            name="x", base_ipc=1.0, mem_refs_per_instr=0.3,
+            store_fraction=0.3, working_set_lines=100, accesses_per_line=5.0,
+            tau_burst_cycles=1000.0, p_long=0.1, tau_long_cycles=10000.0,
+            fp_fraction=0.1, branch_fraction=0.1, branch_bias=0.9,
+            l2_miss_rate=0.05, miss_overlap=0.5,
+        )
+
+    def test_valid_accepted(self):
+        BenchmarkProfile(**self._valid_kwargs())
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("base_ipc", 0.0),
+            ("mem_refs_per_instr", 1.5),
+            ("store_fraction", -0.1),
+            ("working_set_lines", 0),
+            ("accesses_per_line", 0.5),
+            ("tau_burst_cycles", 0.0),
+            ("p_long", 1.5),
+            ("miss_overlap", -0.2),
+        ],
+    )
+    def test_rejects_bad_field(self, field, value):
+        kwargs = self._valid_kwargs()
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            BenchmarkProfile(**kwargs)

@@ -1,0 +1,84 @@
+"""Reference-distance measurement (Figure 1 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import MemoryTrace
+from repro.workloads.reuse import reference_distance_cdf
+
+
+def make_trace(cycles, lines):
+    n = len(cycles)
+    return MemoryTrace(
+        cycles=np.asarray(cycles, dtype=np.int64),
+        line_addresses=np.asarray(lines, dtype=np.int64),
+        is_write=np.zeros(n, dtype=bool),
+        name="unit",
+        instructions=n * 3,
+    )
+
+
+class TestMeasurement:
+    def test_first_touch_is_load(self):
+        stats = reference_distance_cdf(make_trace([0, 10, 20], [1, 2, 3]))
+        assert stats.n_loads == 3
+        assert len(stats.distances) == 0
+
+    def test_reuse_distance_from_load_not_last_touch(self):
+        # Line 1 loaded at 0, touched at 100 and 300: distances 100, 300.
+        stats = reference_distance_cdf(
+            make_trace([0, 100, 300], [1, 1, 1])
+        )
+        assert list(stats.distances) == [100, 300]
+
+    def test_cdf_at(self):
+        stats = reference_distance_cdf(
+            make_trace([0, 100, 300], [1, 1, 1])
+        )
+        assert stats.cdf_at(100) == pytest.approx(0.5)
+        assert stats.cdf_at(300) == pytest.approx(1.0)
+
+    def test_cdf_series(self):
+        stats = reference_distance_cdf(
+            make_trace([0, 100, 300], [1, 1, 1])
+        )
+        series = stats.cdf_series([50, 150, 500])
+        assert list(series) == [0.0, 0.5, 1.0]
+
+    def test_mean_distance(self):
+        stats = reference_distance_cdf(
+            make_trace([0, 100, 300], [1, 1, 1])
+        )
+        assert stats.mean_distance == pytest.approx(200.0)
+
+    def test_empty_trace(self):
+        stats = reference_distance_cdf(make_trace([], []))
+        assert stats.n_loads == 0
+        assert stats.cdf_at(1000) == 0.0
+        assert stats.mean_distance == 0.0
+
+
+class TestReloadHorizon:
+    def test_idle_line_reanchors(self):
+        # Line 1 idle for 10_000 cycles: the second touch counts as a
+        # fresh load under a 5_000-cycle horizon.
+        stats = reference_distance_cdf(
+            make_trace([0, 20_000, 20_100], [1, 1, 1]),
+            reload_horizon_cycles=5_000,
+        )
+        assert stats.n_loads == 2
+        assert list(stats.distances) == [100]
+
+    def test_infinite_horizon_keeps_anchor(self):
+        stats = reference_distance_cdf(
+            make_trace([0, 20_000, 20_100], [1, 1, 1])
+        )
+        assert stats.n_loads == 1
+        assert list(stats.distances) == [20_000, 20_100]
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(ConfigurationError):
+            reference_distance_cdf(
+                make_trace([0], [1]), reload_horizon_cycles=0
+            )
