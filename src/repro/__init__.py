@@ -87,8 +87,35 @@ from repro.core import (
     YieldModel,
     get_scheme,
 )
+from repro.engine import (
+    CLIProgressReporter,
+    CompositeObserver,
+    CsvExport,
+    EvaluatorSpec,
+    EvalTask,
+    Experiment,
+    JSONMetricsObserver,
+    NULL_OBSERVER,
+    ParallelChipRunner,
+    ResultCache,
+    RunObserver,
+    all_experiments,
+    get_experiment,
+    register_experiment,
+)
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name):
+    # ExperimentContext lives with the experiment drivers; importing it
+    # eagerly here would pull every driver in on ``import repro``, so it
+    # resolves lazily instead.
+    if name == "ExperimentContext":
+        from repro.experiments.runner import ExperimentContext
+
+        return ExperimentContext
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ReproError",
@@ -141,4 +168,19 @@ __all__ = [
     "Evaluator",
     "ChipEvaluation",
     "YieldModel",
+    "CLIProgressReporter",
+    "CompositeObserver",
+    "CsvExport",
+    "EvalTask",
+    "EvaluatorSpec",
+    "Experiment",
+    "ExperimentContext",
+    "JSONMetricsObserver",
+    "NULL_OBSERVER",
+    "ParallelChipRunner",
+    "ResultCache",
+    "RunObserver",
+    "all_experiments",
+    "get_experiment",
+    "register_experiment",
 ]

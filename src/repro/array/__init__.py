@@ -11,12 +11,14 @@ from repro.array.subarray import SubArrayTiming, RefreshTiming
 from repro.array.power import CachePowerModel
 from repro.array.bist import BISTResult, RetentionBIST
 from repro.array.chip import (
+    ChipBuildTask,
     ChipSampler,
     DRAM3T1DChipSample,
     SRAMChipSample,
 )
 
 __all__ = [
+    "ChipBuildTask",
     "CacheGeometry",
     "SubArrayTiming",
     "RefreshTiming",

@@ -16,7 +16,7 @@ architecture study consumes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -191,6 +191,42 @@ class DRAM3T1DChipSample:
         )
 
 
+@dataclass(frozen=True)
+class ChipBuildTask:
+    """A reserved chip draw that can be realized in any process.
+
+    The ``(chip_id, chip_seed)`` pair was reserved serially from a
+    :class:`~repro.variation.montecarlo.VariationSampler` root generator
+    (see :meth:`ChipSampler.reserve_build_tasks`), so realizing tasks in
+    parallel -- in any order, on any process -- reproduces the exact chip
+    sequence a serial ``sample_*_chips`` loop would have drawn.
+    """
+
+    node: TechnologyNode
+    params: VariationParams
+    geometry: CacheGeometry
+    kind: str
+    """``"3t1d"`` or ``"sram"``."""
+    chip_id: int
+    chip_seed: int
+    size_factor: float = 1.0
+    """6T cell size factor; ignored for 3T1D builds."""
+
+    def build(self) -> Union["DRAM3T1DChipSample", "SRAMChipSample"]:
+        """Realize the reserved chip sample."""
+        sampler = ChipSampler(
+            self.node, self.params, seed=0, geometry=self.geometry
+        )
+        chip = sampler._sampler.chip_from_seed(self.chip_id, self.chip_seed)
+        if self.kind == "3t1d":
+            return sampler._build_3t1d_sample(chip)
+        if self.kind == "sram":
+            return sampler._build_sram_sample(chip, self.size_factor)
+        raise ConfigurationError(
+            f"unknown chip kind {self.kind!r}; expected '3t1d' or 'sram'"
+        )
+
+
 @dataclass
 class ChipSampler:
     """Draws fabricated-chip samples for one node and variation scenario.
@@ -215,6 +251,37 @@ class ChipSampler:
         self._sampler = VariationSampler(
             node=self.node, params=self.params, seed=self.seed
         )
+
+    # ------------------------------------------------------------------
+    # batch reservation (parallel sampling)
+    # ------------------------------------------------------------------
+
+    def reserve_build_tasks(
+        self, count: int, kind: str = "3t1d", size_factor: float = 1.0
+    ) -> List[ChipBuildTask]:
+        """Reserve ``count`` upcoming draws as self-contained build tasks.
+
+        Reservation consumes the root generator exactly like serial
+        sampling, so ``[t.build() for t in tasks]`` -- or realizing the
+        tasks across worker processes -- equals ``sample_3t1d_chips`` /
+        ``sample_sram_chips`` bit for bit.
+        """
+        if kind not in ("3t1d", "sram"):
+            raise ConfigurationError(
+                f"unknown chip kind {kind!r}; expected '3t1d' or 'sram'"
+            )
+        return [
+            ChipBuildTask(
+                node=self.node,
+                params=self.params,
+                geometry=self.geometry,
+                kind=kind,
+                chip_id=chip_id,
+                chip_seed=chip_seed,
+                size_factor=size_factor,
+            )
+            for chip_id, chip_seed in self._sampler.reserve_chip_seeds(count)
+        ]
 
     # ------------------------------------------------------------------
     # 6T sampling

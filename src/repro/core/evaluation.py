@@ -63,9 +63,17 @@ class ChipEvaluation:
     scheme: str
     results: Dict[str, BenchmarkResult]
 
+    def _require_results(self) -> None:
+        if not self.results:
+            raise ConfigurationError(
+                "ChipEvaluation holds no benchmark results; aggregate "
+                "metrics are undefined over an empty suite"
+            )
+
     @property
     def normalized_performance(self) -> float:
         """Harmonic mean of per-benchmark normalized performance."""
+        self._require_results()
         return harmonic_mean(
             [r.normalized_performance for r in self.results.values()]
         )
@@ -73,17 +81,20 @@ class ChipEvaluation:
     @property
     def bips(self) -> float:
         """Harmonic mean BIPS over the suite."""
+        self._require_results()
         return harmonic_mean([r.bips for r in self.results.values()])
 
     @property
     def dynamic_power_normalized(self) -> float:
         """Mean normalized dynamic power over the suite."""
+        self._require_results()
         values = [r.dynamic_power_normalized for r in self.results.values()]
         return sum(values) / len(values)
 
     @property
     def worst_benchmark(self) -> Tuple[str, float]:
         """(name, normalized performance) of the worst-hit benchmark."""
+        self._require_results()
         name = min(
             self.results, key=lambda n: self.results[n].normalized_performance
         )
@@ -112,7 +123,14 @@ class Evaluator:
         self.config = config or CacheConfig()
         self.n_references = n_references
         self.seed = seed
-        self.benchmarks = tuple(benchmarks or benchmark_names())
+        self.benchmarks = tuple(
+            benchmark_names() if benchmarks is None else benchmarks
+        )
+        if not self.benchmarks:
+            raise ConfigurationError(
+                "benchmarks must be a non-empty sequence (or None for the "
+                "full suite)"
+            )
         self._traces: Dict[str, MemoryTrace] = {}
         self._baseline_stats: Dict[Tuple[str, int], CacheStats] = {}
 
@@ -278,9 +296,14 @@ class Evaluator:
         benchmarks: Optional[Sequence[str]] = None,
     ) -> ChipEvaluation:
         """Run the benchmark suite against one architecture."""
-        names = tuple(benchmarks or self.benchmarks)
+        names = tuple(self.benchmarks if benchmarks is None else benchmarks)
+        if not names:
+            raise ConfigurationError(
+                "benchmarks must be a non-empty sequence (or None for the "
+                "evaluator's suite)"
+            )
         results = {
             name: self.evaluate_benchmark(architecture, name) for name in names
         }
-        scheme = next(iter(results.values())).scheme if results else "none"
+        scheme = next(iter(results.values())).scheme
         return ChipEvaluation(scheme=scheme, results=results)

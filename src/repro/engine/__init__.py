@@ -1,0 +1,70 @@
+"""repro.engine -- parallel Monte-Carlo execution behind a unified API.
+
+The engine has four pieces:
+
+* :mod:`repro.engine.parallel` -- :class:`ParallelChipRunner`, the
+  process-pool chip-batch scheduler.  Chip draws are reserved serially
+  (per-chip seeds) and realized in parallel; evaluations ship an
+  :class:`EvaluatorSpec` so each worker rebuilds identical seeded traces.
+  Serial and parallel runs are bit-identical.
+* :mod:`repro.engine.cache` -- :class:`ResultCache`, an on-disk
+  content-keyed result store (package version + experiment source digest
+  + context fingerprint), so re-running ``run_all`` after editing one
+  experiment skips the untouched sweeps.
+* :mod:`repro.engine.observer` -- the :class:`RunObserver` event protocol
+  (per-run / per-experiment / per-chip) with CLI-progress and
+  JSON-metrics consumers.
+* :mod:`repro.engine.registry` -- the uniform :class:`Experiment`
+  protocol (``run`` / ``report`` / optional ``csv_rows`` and
+  ``default_context_overrides``) plus the ordered registry that drives
+  ``run_all`` without experiment-name special cases.
+"""
+
+from repro.engine.cache import ResultCache, source_digest
+from repro.engine.observer import (
+    CLIProgressReporter,
+    CompositeObserver,
+    JSONMetricsObserver,
+    NULL_OBSERVER,
+    RunObserver,
+)
+from repro.engine.parallel import (
+    EvalTask,
+    EvaluatorSpec,
+    ParallelChipRunner,
+    SchemeOutcome,
+    evaluator_for,
+    run_build_task,
+    run_eval_task,
+)
+from repro.engine.registry import (
+    CsvExport,
+    Experiment,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+)
+
+__all__ = [
+    "ResultCache",
+    "source_digest",
+    "RunObserver",
+    "NULL_OBSERVER",
+    "CompositeObserver",
+    "CLIProgressReporter",
+    "JSONMetricsObserver",
+    "ParallelChipRunner",
+    "EvaluatorSpec",
+    "EvalTask",
+    "SchemeOutcome",
+    "evaluator_for",
+    "run_build_task",
+    "run_eval_task",
+    "CsvExport",
+    "Experiment",
+    "register_experiment",
+    "get_experiment",
+    "all_experiments",
+    "experiment_names",
+]

@@ -1,0 +1,117 @@
+"""On-disk, content-keyed result cache for experiment runs.
+
+A cache entry is keyed by everything that determines an experiment's
+result:
+
+* the package version;
+* the experiment's *source content* (a digest of its defining module, so
+  editing one experiment invalidates only that experiment's entries);
+* the :class:`~repro.experiments.runner.ExperimentContext` fingerprint --
+  technology node, chip count, trace length, seed, and benchmark suite.
+
+Variation scenarios and scheme sets are constants of each experiment
+module and are therefore covered by the source digest.  Worker count and
+observers are deliberately *not* part of the key: serial and parallel
+runs produce bit-identical results, so they share entries.
+
+Values are stored as pickle files, written atomically; any unreadable or
+stale entry behaves as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import os
+import pathlib
+import pickle
+import tempfile
+from typing import Any, Optional
+
+
+def source_digest(module_name: str) -> str:
+    """SHA-256 of a module's source file ('' if it cannot be read)."""
+    try:
+        module = importlib.import_module(module_name)
+        source_file = module.__file__
+        if source_file is None:
+            return ""
+        return hashlib.sha256(
+            pathlib.Path(source_file).read_bytes()
+        ).hexdigest()
+    except Exception:
+        return ""
+
+
+class ResultCache:
+    """Content-keyed pickle store under one directory."""
+
+    def __init__(self, directory: pathlib.Path):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def key_for(self, experiment: Any, context: Any) -> str:
+        """The cache key of ``experiment`` run under ``context``.
+
+        ``experiment`` is an :class:`~repro.engine.registry.Experiment`
+        (anything with ``name`` and ``module`` attributes works);
+        ``context`` must provide ``cache_fingerprint()``.
+        """
+        from repro import __version__
+
+        parts = [
+            __version__,
+            experiment.name,
+            source_digest(experiment.module) if experiment.module else "",
+            context.cache_fingerprint(),
+        ]
+        return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """File backing one cache key."""
+        return self.directory / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, or ``None`` on a miss or unreadable entry."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # A truncated or version-incompatible entry is just a miss.
+            return None
+
+    def put(self, key: str, value: Any) -> pathlib.Path:
+        """Store ``value`` under ``key`` (atomic replace)."""
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.pkl"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+__all__ = ["ResultCache", "source_digest"]

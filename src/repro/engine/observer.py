@@ -1,0 +1,198 @@
+"""Progress and timing hooks for the execution engine.
+
+:class:`RunObserver` is the event surface the engine reports through:
+per-run, per-experiment, and per-chip (batch item) events.  Observers are
+strictly passive -- they never influence results, so serial, parallel and
+cached runs stay bit-identical regardless of which observers are
+attached.
+
+Two concrete observers cover the common cases:
+
+* :class:`CLIProgressReporter` prints human-readable progress lines;
+* :class:`JSONMetricsObserver` accumulates a machine-readable timing
+  record and dumps it as JSON at the end of the run.
+
+Several observers can be fanned out with :class:`CompositeObserver`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence, TextIO
+
+
+class RunObserver:
+    """Engine event hooks; the base class ignores every event.
+
+    Subclass and override the events you care about.  All callbacks must
+    be cheap and side-effect-free with respect to the computation --
+    they run on the coordinating process, between result arrivals.
+    """
+
+    def on_run_start(self, n_experiments: int) -> None:
+        """A multi-experiment run is starting."""
+
+    def on_experiment_start(self, name: str) -> None:
+        """One experiment is about to run."""
+
+    def on_experiment_end(self, name: str, elapsed: float, cached: bool) -> None:
+        """One experiment finished (``cached`` if served from the cache)."""
+
+    def on_batch_start(self, label: str, total: int) -> None:
+        """A chip batch of ``total`` work items is being scheduled."""
+
+    def on_chip_done(self, label: str, completed: int, total: int) -> None:
+        """One work item of a batch completed (``completed`` so far)."""
+
+    def on_batch_end(self, label: str, total: int, elapsed: float) -> None:
+        """A chip batch fully completed."""
+
+    def on_run_end(self, elapsed: float) -> None:
+        """The multi-experiment run finished."""
+
+
+NULL_OBSERVER = RunObserver()
+"""Shared do-nothing observer (the default everywhere)."""
+
+
+class CompositeObserver(RunObserver):
+    """Forwards every event to a sequence of observers, in order."""
+
+    def __init__(self, observers: Sequence[RunObserver]):
+        self.observers = tuple(observers)
+
+    def on_run_start(self, n_experiments: int) -> None:
+        for obs in self.observers:
+            obs.on_run_start(n_experiments)
+
+    def on_experiment_start(self, name: str) -> None:
+        for obs in self.observers:
+            obs.on_experiment_start(name)
+
+    def on_experiment_end(self, name: str, elapsed: float, cached: bool) -> None:
+        for obs in self.observers:
+            obs.on_experiment_end(name, elapsed, cached)
+
+    def on_batch_start(self, label: str, total: int) -> None:
+        for obs in self.observers:
+            obs.on_batch_start(label, total)
+
+    def on_chip_done(self, label: str, completed: int, total: int) -> None:
+        for obs in self.observers:
+            obs.on_chip_done(label, completed, total)
+
+    def on_batch_end(self, label: str, total: int, elapsed: float) -> None:
+        for obs in self.observers:
+            obs.on_batch_end(label, total, elapsed)
+
+    def on_run_end(self, elapsed: float) -> None:
+        for obs in self.observers:
+            obs.on_run_end(elapsed)
+
+
+class CLIProgressReporter(RunObserver):
+    """Prints progress lines suitable for a terminal.
+
+    Per-chip events are throttled to roughly ``updates_per_batch`` lines
+    per batch so large Monte-Carlo sweeps don't flood the console.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        updates_per_batch: int = 4,
+    ):
+        self.stream = stream if stream is not None else sys.stdout
+        self.updates_per_batch = max(1, updates_per_batch)
+
+    def _emit(self, message: str) -> None:
+        print(message, file=self.stream, flush=True)
+
+    def on_run_start(self, n_experiments: int) -> None:
+        self._emit(f"running {n_experiments} experiments")
+
+    def on_experiment_start(self, name: str) -> None:
+        self._emit(f"{name}: running...")
+
+    def on_experiment_end(self, name: str, elapsed: float, cached: bool) -> None:
+        suffix = " (cached)" if cached else ""
+        self._emit(f"{name}: done in {elapsed:.1f}s{suffix}")
+
+    def on_chip_done(self, label: str, completed: int, total: int) -> None:
+        step = max(1, total // self.updates_per_batch)
+        if completed == total or completed % step == 0:
+            self._emit(f"  [{label}] {completed}/{total}")
+
+    def on_run_end(self, elapsed: float) -> None:
+        self._emit(f"all experiments done in {elapsed:.1f}s")
+
+
+class JSONMetricsObserver(RunObserver):
+    """Collects per-experiment/per-batch timings and dumps them as JSON.
+
+    The record is available in-memory as :attr:`metrics` and, if a
+    ``path`` was given, written to disk when the run ends.
+    """
+
+    def __init__(self, path: Optional[pathlib.Path] = None):
+        self.path = pathlib.Path(path) if path is not None else None
+        self.metrics: Dict[str, Any] = {"experiments": [], "total_elapsed_s": None}
+        self._batch_starts: Dict[str, float] = {}
+        self._current: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+
+    def on_run_start(self, n_experiments: int) -> None:
+        self.metrics = {"experiments": [], "total_elapsed_s": None}
+        self._current = None
+
+    def on_experiment_start(self, name: str) -> None:
+        self._current = {
+            "name": name,
+            "elapsed_s": None,
+            "cached": False,
+            "batches": [],
+        }
+        self.metrics["experiments"].append(self._current)
+
+    def on_experiment_end(self, name: str, elapsed: float, cached: bool) -> None:
+        if self._current is None or self._current["name"] != name:
+            self.on_experiment_start(name)
+        self._current["elapsed_s"] = round(elapsed, 4)
+        self._current["cached"] = cached
+        self._current = None
+
+    def on_batch_start(self, label: str, total: int) -> None:
+        self._batch_starts[label] = time.perf_counter()
+        if self._current is not None:
+            self._current["batches"].append({
+                "label": label,
+                "items": total,
+                "elapsed_s": None,
+            })
+
+    def on_batch_end(self, label: str, total: int, elapsed: float) -> None:
+        self._batch_starts.pop(label, None)
+        if self._current is not None:
+            for batch in reversed(self._current["batches"]):
+                if batch["label"] == label and batch["elapsed_s"] is None:
+                    batch["elapsed_s"] = round(elapsed, 4)
+                    break
+
+    def on_run_end(self, elapsed: float) -> None:
+        self.metrics["total_elapsed_s"] = round(elapsed, 4)
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(json.dumps(self.metrics, indent=2) + "\n")
+
+
+__all__ = [
+    "RunObserver",
+    "NULL_OBSERVER",
+    "CompositeObserver",
+    "CLIProgressReporter",
+    "JSONMetricsObserver",
+]

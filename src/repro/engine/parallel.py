@@ -1,0 +1,317 @@
+"""Process-pool chip-batch scheduler for Monte-Carlo experiments.
+
+:class:`ParallelChipRunner` fans two kinds of work across worker
+processes:
+
+* **chip builds** -- :class:`~repro.array.chip.ChipBuildTask` items whose
+  per-chip seeds were reserved *serially* from the sampler's root
+  generator, so a parallel batch reproduces the serial chip sequence
+  bit for bit;
+* **chip evaluations** -- :class:`EvalTask` items that rebuild a worker-
+  local :class:`~repro.core.evaluation.Evaluator` from an
+  :class:`EvaluatorSpec` (traces are seeded, hence identical in every
+  process) and reduce each (chip, scheme) evaluation to a small
+  :class:`SchemeOutcome` payload.
+
+With ``workers <= 1`` the runner executes the very same task functions
+inline, in submission order; because every task is self-contained and
+deterministically seeded, serial and parallel runs return identical
+results -- only wall-clock differs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ChipDiscardedError, ConfigurationError
+from repro.technology.node import TechnologyNode
+from repro.array.chip import ChipBuildTask, DRAM3T1DChipSample
+from repro.cache.config import CacheConfig
+from repro.core.architecture import Cache3T1DArchitecture, IdealCacheArchitecture
+from repro.core.evaluation import Evaluator
+from repro.core.schemes import get_scheme
+from repro.engine.observer import NULL_OBSERVER, RunObserver
+
+
+@dataclass(frozen=True)
+class EvaluatorSpec:
+    """Everything needed to rebuild an :class:`Evaluator` in any process.
+
+    Two processes holding equal specs build evaluators with identical
+    (seeded) traces, which is what makes parallel evaluation bit-identical
+    to serial evaluation.
+    """
+
+    node: TechnologyNode
+    ways: int = 4
+    n_references: int = 8000
+    seed: int = 2007
+    benchmarks: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.benchmarks is not None:
+            object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+        if self.ways < 1:
+            raise ConfigurationError(f"ways must be >= 1, got {self.ways}")
+
+    def build(self) -> Evaluator:
+        """Construct the evaluator this spec describes."""
+        config = CacheConfig()
+        if self.ways != config.geometry.ways:
+            config = config.with_ways(self.ways)
+        return Evaluator(
+            self.node,
+            config=config,
+            n_references=self.n_references,
+            seed=self.seed,
+            benchmarks=self.benchmarks,
+        )
+
+
+# Per-process evaluator cache: workers (and the serial path) reuse the
+# expensive benchmark traces across tasks that share a spec.  Bounded so
+# long-lived processes running many differently-scaled contexts don't
+# accumulate traces without limit.
+_EVALUATOR_CACHE: "OrderedDict[EvaluatorSpec, Evaluator]" = OrderedDict()
+_EVALUATOR_CACHE_MAX = 6
+
+
+def evaluator_for(spec: EvaluatorSpec) -> Evaluator:
+    """The process-local cached evaluator for ``spec``."""
+    evaluator = _EVALUATOR_CACHE.get(spec)
+    if evaluator is None:
+        evaluator = spec.build()
+        _EVALUATOR_CACHE[spec] = evaluator
+        while len(_EVALUATOR_CACHE) > _EVALUATOR_CACHE_MAX:
+            _EVALUATOR_CACHE.popitem(last=False)
+    else:
+        _EVALUATOR_CACHE.move_to_end(spec)
+    return evaluator
+
+
+@dataclass(frozen=True)
+class SchemeOutcome:
+    """The scalar reduction of one (chip, scheme) evaluation.
+
+    Carries everything any experiment driver consumes, so the full
+    :class:`~repro.core.evaluation.ChipEvaluation` (with its per-benchmark
+    cache statistics) never crosses a process boundary.
+    """
+
+    scheme: str
+    discarded: bool = False
+    normalized_performance: float = 0.0
+    dynamic_power_normalized: float = 0.0
+    bips: float = 0.0
+    worst_benchmark: str = ""
+    worst_performance: float = 0.0
+    mean_dynamic_power_watts: float = 0.0
+    ideal_power_watts: float = 0.0
+    refresh_power_normalized: float = 0.0
+    """Closed-form global-refresh share of ``dynamic_power_normalized``;
+    zero for line-level schemes."""
+
+
+@dataclass(frozen=True, eq=False)
+class EvalTask:
+    """One unit of evaluation work shipped to a worker.
+
+    ``kind`` selects the payload:
+
+    * ``"schemes"`` -- evaluate ``chip`` under each named scheme; returns
+      a tuple of :class:`SchemeOutcome` (one per scheme, in order).
+    * ``"ideal_ipc"`` -- per-benchmark IPC of the golden design on the
+      spec's suite; returns a tuple of floats.
+    """
+
+    evaluator: EvaluatorSpec
+    kind: str = "schemes"
+    chip: Optional[DRAM3T1DChipSample] = None
+    schemes: Tuple[str, ...] = ()
+    benchmarks: Optional[Tuple[str, ...]] = None
+    """Optional benchmark subset passed to ``Evaluator.evaluate`` (the
+    evaluator still hosts the full suite's traces)."""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("schemes", "ideal_ipc"):
+            raise ConfigurationError(f"unknown EvalTask kind {self.kind!r}")
+        if self.kind == "schemes":
+            if self.chip is None:
+                raise ConfigurationError("a 'schemes' task needs a chip")
+            if not self.schemes:
+                raise ConfigurationError(
+                    "a 'schemes' task needs at least one scheme"
+                )
+
+
+def _evaluate_schemes(
+    evaluator: Evaluator, task: EvalTask
+) -> Tuple[SchemeOutcome, ...]:
+    outcomes: List[SchemeOutcome] = []
+    for name in task.schemes:
+        scheme = get_scheme(name)
+        try:
+            architecture = Cache3T1DArchitecture(
+                task.chip, scheme, config=evaluator.config
+            )
+            evaluation = evaluator.evaluate(
+                architecture, benchmarks=task.benchmarks
+            )
+        except ChipDiscardedError:
+            outcomes.append(SchemeOutcome(scheme=name, discarded=True))
+            continue
+        results = evaluation.results
+        worst_name, worst_perf = evaluation.worst_benchmark
+        ideal_watts = float(np.mean([
+            r.dynamic_power_watts / max(r.dynamic_power_normalized, 1e-12)
+            for r in results.values()
+        ]))
+        refresh_norm = 0.0
+        if scheme.is_global:
+            refresh_watts = architecture.power_model().global_refresh_power(
+                task.chip.chip_retention_time
+            )
+            refresh_norm = refresh_watts / ideal_watts
+        outcomes.append(
+            SchemeOutcome(
+                scheme=name,
+                normalized_performance=evaluation.normalized_performance,
+                dynamic_power_normalized=evaluation.dynamic_power_normalized,
+                bips=evaluation.bips,
+                worst_benchmark=worst_name,
+                worst_performance=worst_perf,
+                mean_dynamic_power_watts=float(np.mean(
+                    [r.dynamic_power_watts for r in results.values()]
+                )),
+                ideal_power_watts=ideal_watts,
+                refresh_power_normalized=refresh_norm,
+            )
+        )
+    return tuple(outcomes)
+
+
+def run_eval_task(task: EvalTask):
+    """Execute one evaluation task (in a worker or inline)."""
+    evaluator = evaluator_for(task.evaluator)
+    if task.kind == "ideal_ipc":
+        ideal = IdealCacheArchitecture(evaluator.node, config=evaluator.config)
+        return tuple(
+            evaluator.evaluate_benchmark(ideal, name).ipc
+            for name in evaluator.benchmarks
+        )
+    return _evaluate_schemes(evaluator, task)
+
+
+def run_build_task(task: ChipBuildTask):
+    """Execute one chip-build task (in a worker or inline)."""
+    return task.build()
+
+
+class ParallelChipRunner:
+    """Schedules chip batches over a (lazily created) process pool.
+
+    ``workers=1`` (or a single-item batch) runs inline in the calling
+    process; results are always returned in task order, and are
+    bit-identical across worker counts because every task is
+    deterministically seeded and self-contained.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        observer: RunObserver = NULL_OBSERVER,
+        label: str = "batch",
+    ) -> List[Any]:
+        """Run ``fn`` over ``tasks``; results come back in task order.
+
+        ``fn`` must be a module-level callable (it crosses the process
+        boundary by reference).  The observer sees one ``on_chip_done``
+        event per completed item, in completion order.
+        """
+        tasks = list(tasks)
+        total = len(tasks)
+        observer.on_batch_start(label, total)
+        start = time.perf_counter()
+        if self.workers <= 1 or total <= 1:
+            results = []
+            for index, task in enumerate(tasks):
+                results.append(fn(task))
+                observer.on_chip_done(label, index + 1, total)
+        else:
+            executor = self._ensure_executor()
+            futures = {
+                executor.submit(fn, task): index
+                for index, task in enumerate(tasks)
+            }
+            results = [None] * total
+            completed = 0
+            for future in as_completed(futures):
+                results[futures[future]] = future.result()
+                completed += 1
+                observer.on_chip_done(label, completed, total)
+        observer.on_batch_end(label, total, time.perf_counter() - start)
+        return results
+
+    def build_chips(
+        self,
+        tasks: Sequence[ChipBuildTask],
+        observer: RunObserver = NULL_OBSERVER,
+        label: str = "sample chips",
+    ) -> List[Any]:
+        """Realize reserved chip-build tasks (order = reservation order)."""
+        return self.map(run_build_task, tasks, observer=observer, label=label)
+
+    def evaluate(
+        self,
+        tasks: Sequence[EvalTask],
+        observer: RunObserver = NULL_OBSERVER,
+        label: str = "evaluate chips",
+    ) -> List[Any]:
+        """Run evaluation tasks; one result per task, in task order."""
+        return self.map(run_eval_task, tasks, observer=observer, label=label)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (a later batch re-creates it)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "ParallelChipRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "EvaluatorSpec",
+    "EvalTask",
+    "SchemeOutcome",
+    "ParallelChipRunner",
+    "evaluator_for",
+    "run_eval_task",
+    "run_build_task",
+]

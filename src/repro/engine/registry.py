@@ -1,0 +1,126 @@
+"""The unified Experiment protocol and registry.
+
+Every paper experiment registers one :class:`Experiment`: a uniform
+``run(context) -> result`` / ``report(result) -> str`` pair plus two
+optional hooks that remove the special cases ``run_all`` used to carry:
+
+* ``csv_rows(result)`` yields :class:`CsvExport` rows for plot-shaped
+  experiments (previously an if/elif chain keyed on experiment name);
+* ``default_context_overrides(context)`` returns context-field overrides
+  the experiment wants by default (previously ``table3`` silently halved
+  the chip count inside ``run_all``).
+
+The registry preserves registration order, which is the canonical
+paper order (``repro.experiments.__init__`` imports the modules in that
+order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ConfigurationError
+
+
+class CsvExport(NamedTuple):
+    """One machine-readable series emitted by an experiment."""
+
+    filename: str
+    headers: Sequence[str]
+    rows: Iterable[Sequence[object]]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment behind the uniform engine API."""
+
+    name: str
+    run: Callable[[Any], Any]
+    """``run(context) -> result``; the context is an
+    :class:`~repro.experiments.runner.ExperimentContext`."""
+    report: Callable[[Any], str]
+    """``report(result) -> str``: the paper-style text rendering."""
+    csv_rows: Optional[Callable[[Any], Iterable[CsvExport]]] = None
+    """Optional hook yielding machine-readable exports of the result."""
+    default_context_overrides: Optional[
+        Callable[[Any], Mapping[str, Any]]
+    ] = None
+    """Optional hook mapping the base context to field overrides this
+    experiment applies by default (e.g. table3 halves the chip count)."""
+    module: Optional[str] = None
+    """Defining module (dotted name), used for content-keyed caching."""
+
+    def context_for(self, context: Any) -> Any:
+        """The context this experiment actually runs under."""
+        if self.default_context_overrides is None:
+            return context
+        overrides = dict(self.default_context_overrides(context))
+        if not overrides:
+            return context
+        return context.with_overrides(**overrides)
+
+    def csv_exports(self, result: Any) -> Tuple[CsvExport, ...]:
+        """All machine-readable exports for ``result`` (may be empty)."""
+        if self.csv_rows is None:
+            return ()
+        return tuple(self.csv_rows(result))
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register_experiment(experiment: Experiment) -> Experiment:
+    """Add (or re-register) an experiment; returns it for assignment."""
+    if not experiment.name:
+        raise ConfigurationError("experiment name must be non-empty")
+    _REGISTRY[experiment.name] = experiment
+    return experiment
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up one registered experiment by name."""
+    _populate()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_experiments() -> Tuple[Experiment, ...]:
+    """Every registered experiment, in registration (paper) order."""
+    _populate()
+    return tuple(_REGISTRY.values())
+
+
+def experiment_names() -> Tuple[str, ...]:
+    """Names of all registered experiments, in registration order."""
+    return tuple(e.name for e in all_experiments())
+
+
+def _populate() -> None:
+    # Importing the experiments package registers every driver module;
+    # lazy so the engine itself never depends on the drivers at import.
+    import repro.experiments  # noqa: F401
+
+
+__all__ = [
+    "CsvExport",
+    "Experiment",
+    "register_experiment",
+    "get_experiment",
+    "all_experiments",
+    "experiment_names",
+]

@@ -10,13 +10,14 @@ generator is calibrated to it).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.workloads.generator import SyntheticWorkload
 from repro.workloads.profiles import benchmark_names, get_profile
 from repro.workloads.reuse import reference_distance_cdf
+from repro.engine.registry import CsvExport, Experiment, register_experiment
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.reporting import format_table
 
@@ -74,6 +75,25 @@ def report(result: Fig01Result) -> str:
         headers, rows,
         title="Figure 1: cache references within D cycles of line load",
     )
+
+
+def csv_rows(result: Fig01Result) -> List[CsvExport]:
+    """Machine-readable measured CDF per benchmark."""
+    headers = ["benchmark"] + [str(g) for g in result.grid]
+    rows = [
+        [bench] + [float(v) for v in cdf]
+        for bench, cdf in result.measured.items()
+    ]
+    return [CsvExport("fig01_reuse.csv", headers, rows)]
+
+
+EXPERIMENT = register_experiment(Experiment(
+    name="fig01_reuse",
+    run=run,
+    report=report,
+    csv_rows=csv_rows,
+    module=__name__,
+))
 
 
 def main() -> None:

@@ -16,6 +16,7 @@ import numpy as np
 from repro.technology.node import NODE_32NM, TechnologyNode
 from repro.variation.parameters import VariationParams
 from repro.cells.retention import AccessTimeCurve, RetentionModel
+from repro.engine.registry import Experiment, register_experiment
 from repro.experiments.reporting import format_table
 
 CORNER_SIGMA: float = 2.5
@@ -106,6 +107,16 @@ def report(result: Fig04Result) -> str:
         )
         samples.append(f"  {name:8s} {points}")
     return table + "\n" + "\n".join(samples)
+
+
+EXPERIMENT = register_experiment(Experiment(
+    name="fig04_retention_curve",
+    # Pure circuit model -- only the node matters, not the Monte-Carlo
+    # scale, so the context collapses to its technology node.
+    run=lambda context: run(node=context.node),
+    report=report,
+    module=__name__,
+))
 
 
 def main() -> None:

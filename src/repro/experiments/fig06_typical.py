@@ -17,9 +17,9 @@ from typing import List, Optional
 import numpy as np
 
 from repro.variation.statistics import normalized_histogram
-from repro.core.architecture import Cache3T1DArchitecture
 from repro.core.schemes import SCHEME_GLOBAL
-from repro.errors import ChipDiscardedError
+from repro.engine.parallel import EvalTask
+from repro.engine.registry import Experiment, register_experiment
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.reporting import format_histogram, format_table
 
@@ -77,40 +77,33 @@ def run(context: Optional[ExperimentContext] = None) -> Fig06Result:
     hist_2x = normalized_histogram(freq_2x, FREQUENCY_BIN_EDGES)
 
     chips = context.chips_3t1d("typical")
-    evaluator = context.evaluator()
+    spec = context.evaluator_spec()
+    tasks = [
+        EvalTask(evaluator=spec, chip=chip, schemes=(SCHEME_GLOBAL.name,))
+        for chip in chips
+    ]
+    outcomes = context.runner.evaluate(
+        tasks, observer=context.observer, label="fig06: global scheme"
+    )
     points: List[GlobalSchemePoint] = []
     discarded = 0
-    for chip in chips:
-        architecture = Cache3T1DArchitecture(chip, SCHEME_GLOBAL)
-        try:
-            evaluation = evaluator.evaluate(architecture)
-        except ChipDiscardedError:
+    for chip, (outcome,) in zip(chips, outcomes):
+        if outcome.discarded:
             discarded += 1
             continue
-        worst_name, worst_perf = evaluation.worst_benchmark
-        power_model = architecture.power_model()
-        refresh_power = power_model.global_refresh_power(
-            chip.chip_retention_time
-        )
         # Normal-operation power: subtract the closed-form refresh part
         # that evaluate() added, keeping both normalized the same way.
-        results = evaluation.results
-        ideal_watts = np.mean(
-            [
-                r.dynamic_power_watts / max(r.dynamic_power_normalized, 1e-12)
-                for r in results.values()
-            ]
-        )
-        total_norm = evaluation.dynamic_power_normalized
-        refresh_norm = refresh_power / ideal_watts
+        refresh_norm = outcome.refresh_power_normalized
         points.append(
             GlobalSchemePoint(
                 chip_id=chip.chip_id,
                 retention_ns=chip.chip_retention_time * 1e9,
-                mean_performance=evaluation.normalized_performance,
-                worst_benchmark=worst_name,
-                worst_performance=worst_perf,
-                normal_dynamic_power=total_norm - refresh_norm,
+                mean_performance=outcome.normalized_performance,
+                worst_benchmark=outcome.worst_benchmark,
+                worst_performance=outcome.worst_performance,
+                normal_dynamic_power=(
+                    outcome.dynamic_power_normalized - refresh_norm
+                ),
                 refresh_dynamic_power=refresh_norm,
             )
         )
@@ -174,6 +167,14 @@ def report(result: Fig06Result) -> str:
         f"{result.discard_rate:.0%}"
     )
     return "\n".join(parts)
+
+
+EXPERIMENT = register_experiment(Experiment(
+    name="fig06_typical",
+    run=run,
+    report=report,
+    module=__name__,
+))
 
 
 def main() -> None:

@@ -15,6 +15,7 @@ from typing import Optional
 import numpy as np
 
 from repro.variation.statistics import normalized_histogram
+from repro.engine.registry import Experiment, register_experiment
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.reporting import format_histogram
 
@@ -90,6 +91,14 @@ def report(result: Fig07Result) -> str:
         f"worst 3T1D chip: {result.max_3t1d:.2f}X (paper: < 4X)",
     ]
     return "\n".join(parts)
+
+
+EXPERIMENT = register_experiment(Experiment(
+    name="fig07_leakage",
+    run=run,
+    report=report,
+    module=__name__,
+))
 
 
 def main() -> None:

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.variation.statistics import normalized_histogram
 from repro.core.yieldmodel import YieldModel
+from repro.engine.registry import Experiment, register_experiment
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.reporting import format_histogram, format_table
 
@@ -85,6 +86,14 @@ def report(result: Fig08Result) -> str:
         "(paper: ~80%)"
     )
     return "\n".join(parts)
+
+
+EXPERIMENT = register_experiment(Experiment(
+    name="fig08_line_retention",
+    run=run,
+    report=report,
+    module=__name__,
+))
 
 
 def main() -> None:

@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.architecture import Cache3T1DArchitecture
 from repro.core.schemes import LINE_LEVEL_SCHEMES, RetentionScheme
 from repro.core.yieldmodel import YieldModel
+from repro.engine.parallel import EvalTask
+from repro.engine.registry import Experiment, register_experiment
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.reporting import format_table
 
@@ -47,18 +48,22 @@ def run(
     context = context or ExperimentContext()
     good, median, bad = YieldModel(context.chips_3t1d("severe")).pick_good_median_bad()
     chips = {"good": good, "median": median, "bad": bad}
-    evaluator = context.evaluator()
-    performance: Dict[str, Dict[str, float]] = {}
-    power: Dict[str, Dict[str, float]] = {}
-    for scheme in schemes:
-        performance[scheme.name] = {}
-        power[scheme.name] = {}
-        for label, chip in chips.items():
-            evaluation = evaluator.evaluate(
-                Cache3T1DArchitecture(chip, scheme)
-            )
-            performance[scheme.name][label] = evaluation.normalized_performance
-            power[scheme.name][label] = evaluation.dynamic_power_normalized
+    spec = context.evaluator_spec()
+    pairs = [
+        (scheme, label) for scheme in schemes for label in chips
+    ]
+    tasks = [
+        EvalTask(evaluator=spec, chip=chips[label], schemes=(scheme.name,))
+        for scheme, label in pairs
+    ]
+    outcomes = context.runner.evaluate(
+        tasks, observer=context.observer, label="fig09: schemes x chips"
+    )
+    performance: Dict[str, Dict[str, float]] = {s.name: {} for s in schemes}
+    power: Dict[str, Dict[str, float]] = {s.name: {} for s in schemes}
+    for (scheme, label), (outcome,) in zip(pairs, outcomes):
+        performance[scheme.name][label] = outcome.normalized_performance
+        power[scheme.name][label] = outcome.dynamic_power_normalized
     return Fig09Result(performance=performance, power=power)
 
 
@@ -78,6 +83,14 @@ def report(result: Fig09Result) -> str:
         title="Figure 9: normalized performance of retention schemes "
         "(severe variation)",
     )
+
+
+EXPERIMENT = register_experiment(Experiment(
+    name="fig09_schemes",
+    run=run,
+    report=report,
+    module=__name__,
+))
 
 
 def main() -> None:

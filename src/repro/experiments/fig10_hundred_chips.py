@@ -15,8 +15,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.architecture import Cache3T1DArchitecture
 from repro.core.schemes import HEADLINE_SCHEMES, RetentionScheme
+from repro.engine.parallel import EvalTask
+from repro.engine.registry import CsvExport, Experiment, register_experiment
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.reporting import format_table
 
@@ -46,16 +47,20 @@ def run(
     """Regenerate Figure 10 at the context's Monte-Carlo scale."""
     context = context or ExperimentContext()
     chips = context.chips_3t1d("severe")
-    evaluator = context.evaluator()
+    spec = context.evaluator_spec()
+    pairs = [(chip, scheme) for chip in chips for scheme in schemes]
+    tasks = [
+        EvalTask(evaluator=spec, chip=chip, schemes=(scheme.name,))
+        for chip, scheme in pairs
+    ]
+    outcomes = context.runner.evaluate(
+        tasks, observer=context.observer, label="fig10: chips x schemes"
+    )
     perf: Dict[str, List[float]] = {s.name: [] for s in schemes}
     power: Dict[str, List[float]] = {s.name: [] for s in schemes}
-    for chip in chips:
-        for scheme in schemes:
-            evaluation = evaluator.evaluate(
-                Cache3T1DArchitecture(chip, scheme)
-            )
-            perf[scheme.name].append(evaluation.normalized_performance)
-            power[scheme.name].append(evaluation.dynamic_power_normalized)
+    for (chip, scheme), (outcome,) in zip(pairs, outcomes):
+        perf[scheme.name].append(outcome.normalized_performance)
+        power[scheme.name].append(outcome.dynamic_power_normalized)
     sort_key = schemes[0].name
     order = np.argsort(-np.asarray(perf[sort_key]))
     return Fig10Result(
@@ -98,6 +103,30 @@ def report(result: Fig10Result, stride: int = 5) -> str:
         + "\n\n"
         + summary
     )
+
+
+def csv_rows(result: Fig10Result) -> List[CsvExport]:
+    """Machine-readable per-chip series (both panels)."""
+    names = list(result.performance)
+    headers = ["chip_rank"] + [f"{n} perf" for n in names] + [
+        f"{n} power" for n in names
+    ]
+    rows = [
+        [rank + 1]
+        + [float(result.performance[n][rank]) for n in names]
+        + [float(result.power[n][rank]) for n in names]
+        for rank in range(len(result.chip_ids))
+    ]
+    return [CsvExport("fig10_hundred_chips.csv", headers, rows)]
+
+
+EXPERIMENT = register_experiment(Experiment(
+    name="fig10_hundred_chips",
+    run=run,
+    report=report,
+    csv_rows=csv_rows,
+    module=__name__,
+))
 
 
 def main() -> None:

@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.core.architecture import Cache3T1DArchitecture
 from repro.core.schemes import HEADLINE_SCHEMES, RetentionScheme
 from repro.core.yieldmodel import YieldModel
+from repro.engine.parallel import EvalTask
+from repro.engine.registry import Experiment, register_experiment
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.reporting import format_table
 
@@ -53,17 +54,27 @@ def run(
     performance: Dict[str, Dict[str, Dict[int, float]]] = {
         label: {scheme.name: {} for scheme in schemes} for label in chips
     }
-    for ways in ways_sweep:
-        evaluator = context.evaluator(ways=ways)
-        for label, chip in chips.items():
-            for scheme in schemes:
-                architecture = Cache3T1DArchitecture(
-                    chip, scheme, config=evaluator.config
-                )
-                evaluation = evaluator.evaluate(architecture)
-                performance[label][scheme.name][ways] = (
-                    evaluation.normalized_performance
-                )
+    triples = [
+        (ways, label, scheme)
+        for ways in ways_sweep
+        for label in chips
+        for scheme in schemes
+    ]
+    tasks = [
+        EvalTask(
+            evaluator=context.evaluator_spec(ways=ways),
+            chip=chips[label],
+            schemes=(scheme.name,),
+        )
+        for ways, label, scheme in triples
+    ]
+    outcomes = context.runner.evaluate(
+        tasks, observer=context.observer, label="fig11: associativity sweep"
+    )
+    for (ways, label, scheme), (outcome,) in zip(triples, outcomes):
+        performance[label][scheme.name][ways] = (
+            outcome.normalized_performance
+        )
     return Fig11Result(performance=performance)
 
 
@@ -85,6 +96,14 @@ def report(result: Fig11Result) -> str:
         )
         parts.append("")
     return "\n".join(parts)
+
+
+EXPERIMENT = register_experiment(Experiment(
+    name="fig11_associativity",
+    run=run,
+    report=report,
+    module=__name__,
+))
 
 
 def main() -> None:

@@ -33,8 +33,9 @@ from repro.variation.parameters import VariationParams
 from repro.array.chip import ChipSampler, DRAM3T1DChipSample
 from repro.array.geometry import CacheGeometry
 from repro.cells.sram6t import SRAM6TCell
-from repro.core.architecture import Cache3T1DArchitecture
 from repro.core.schemes import HEADLINE_SCHEMES, RetentionScheme
+from repro.engine.parallel import EvalTask
+from repro.engine.registry import CsvExport, Experiment, register_experiment
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.reporting import format_table
 
@@ -167,24 +168,37 @@ def run(
     context = context or ExperimentContext()
     mu_cycles = tuple(int(m) for m in mu_cycles)
     sigma_ratios = tuple(float(s) for s in sigma_ratios)
-    evaluator = context.evaluator()
+    spec = context.evaluator_spec()
     names = tuple(benchmarks) if benchmarks else None
     surfaces = {
         scheme.name: np.zeros((len(mu_cycles), len(sigma_ratios)))
         for scheme in schemes
     }
-    for i, mu in enumerate(mu_cycles):
-        for j, ratio in enumerate(sigma_ratios):
-            chip = synthetic_chip(
-                context.node, mu, ratio, seed=context.seed + 31 * i + j
-            )
-            for scheme in schemes:
-                evaluation = evaluator.evaluate(
-                    Cache3T1DArchitecture(chip, scheme), benchmarks=names
-                )
-                surfaces[scheme.name][i, j] = (
-                    evaluation.normalized_performance
-                )
+    grid = [
+        (i, j, scheme)
+        for i in range(len(mu_cycles))
+        for j in range(len(sigma_ratios))
+        for scheme in schemes
+    ]
+    tasks = [
+        EvalTask(
+            evaluator=spec,
+            chip=synthetic_chip(
+                context.node,
+                mu_cycles[i],
+                sigma_ratios[j],
+                seed=context.seed + 31 * i + j,
+            ),
+            schemes=(scheme.name,),
+            benchmarks=names,
+        )
+        for i, j, scheme in grid
+    ]
+    outcomes = context.runner.evaluate(
+        tasks, observer=context.observer, label="fig12: mu-sigma grid"
+    )
+    for (i, j, scheme), (outcome,) in zip(grid, outcomes):
+        surfaces[scheme.name][i, j] = outcome.normalized_performance
     points = locate_design_points() if include_design_points else []
     return Fig12Result(
         mu_cycles=mu_cycles,
@@ -225,6 +239,27 @@ def report(result: Fig12Result) -> str:
             )
         )
     return "\n".join(parts)
+
+
+def csv_rows(result: Fig12Result) -> List[CsvExport]:
+    """Machine-readable surface samples (one row per grid point)."""
+    headers = ["scheme", "mu_cycles", "sigma_ratio", "performance"]
+    rows = [
+        [scheme, mu, ratio, float(surface[i, j])]
+        for scheme, surface in result.surfaces.items()
+        for i, mu in enumerate(result.mu_cycles)
+        for j, ratio in enumerate(result.sigma_ratios)
+    ]
+    return [CsvExport("fig12_sensitivity.csv", headers, rows)]
+
+
+EXPERIMENT = register_experiment(Experiment(
+    name="fig12_sensitivity",
+    run=run,
+    report=report,
+    csv_rows=csv_rows,
+    module=__name__,
+))
 
 
 def main() -> None:

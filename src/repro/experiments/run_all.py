@@ -3,10 +3,25 @@
 Usage::
 
     python -m repro.experiments.run_all [--chips N] [--refs N] [--out DIR]
+                                        [--workers N] [--no-cache]
 
-Writes one text report per experiment (plus a combined ``summary.txt``) to
-the output directory, using a single shared :class:`ExperimentContext` so
-the Monte-Carlo chip batches and benchmark traces are sampled once.
+Writes one text report per experiment (plus a combined ``summary.txt``)
+to the output directory.  The run is driven entirely by the experiment
+registry (:func:`repro.engine.registry.all_experiments`): each registered
+:class:`~repro.engine.registry.Experiment` supplies its own ``run`` /
+``report`` pair, optional CSV exports, and optional default context
+overrides, so this module carries no per-experiment special cases.
+
+All experiments share a single :class:`ExperimentContext`, so the
+Monte-Carlo chip batches and benchmark traces are sampled once and the
+engine's worker pool (``--workers``) is reused across experiments.
+Results are memoised in an on-disk content-keyed
+:class:`~repro.engine.cache.ResultCache` (``--cache-dir``; keyed by the
+package version, the experiment's source digest, and the context
+fingerprint), so a re-run after editing one experiment recomputes only
+that experiment.  ``summary.txt`` depends only on results -- never on
+timing, worker count, or cache state -- so serial, parallel, and cached
+runs emit byte-identical summaries.
 """
 
 from __future__ import annotations
@@ -14,68 +29,18 @@ from __future__ import annotations
 import argparse
 import pathlib
 import time
-from typing import Callable, List, Tuple
+import warnings
+from typing import Callable, List, Optional, Tuple
 
-from repro.experiments.runner import ExperimentContext
-from repro.experiments import (
-    fig01_reuse,
-    fig04_retention_curve,
-    fig06_typical,
-    fig07_leakage,
-    fig08_line_retention,
-    fig09_schemes,
-    fig10_hundred_chips,
-    fig11_associativity,
-    fig12_sensitivity,
-    table3,
+from repro.engine.cache import ResultCache
+from repro.engine.observer import (
+    CLIProgressReporter,
+    CompositeObserver,
+    JSONMetricsObserver,
 )
-
-EXPERIMENTS: List[Tuple[str, object]] = [
-    ("fig01_reuse", fig01_reuse),
-    ("fig04_retention_curve", fig04_retention_curve),
-    ("fig06_typical", fig06_typical),
-    ("fig07_leakage", fig07_leakage),
-    ("fig08_line_retention", fig08_line_retention),
-    ("fig09_schemes", fig09_schemes),
-    ("fig10_hundred_chips", fig10_hundred_chips),
-    ("fig11_associativity", fig11_associativity),
-    ("fig12_sensitivity", fig12_sensitivity),
-    ("table3", table3),
-]
-
-
-def _write_csv_exports(out_dir: pathlib.Path, name: str, result) -> None:
-    """Write machine-readable series for the plot-shaped experiments."""
-    from repro.experiments.reporting import write_csv
-
-    if name == "fig01_reuse":
-        headers = ["benchmark"] + [str(g) for g in result.grid]
-        rows = [
-            [bench] + [float(v) for v in cdf]
-            for bench, cdf in result.measured.items()
-        ]
-        write_csv(out_dir / "fig01_reuse.csv", headers, rows)
-    elif name == "fig10_hundred_chips":
-        names = list(result.performance)
-        headers = ["chip_rank"] + [f"{n} perf" for n in names] + [
-            f"{n} power" for n in names
-        ]
-        rows = [
-            [rank + 1]
-            + [float(result.performance[n][rank]) for n in names]
-            + [float(result.power[n][rank]) for n in names]
-            for rank in range(len(result.chip_ids))
-        ]
-        write_csv(out_dir / "fig10_hundred_chips.csv", headers, rows)
-    elif name == "fig12_sensitivity":
-        headers = ["scheme", "mu_cycles", "sigma_ratio", "performance"]
-        rows = [
-            [scheme, mu, ratio, float(surface[i, j])]
-            for scheme, surface in result.surfaces.items()
-            for i, mu in enumerate(result.mu_cycles)
-            for j, ratio in enumerate(result.sigma_ratios)
-        ]
-        write_csv(out_dir / "fig12_sensitivity.csv", headers, rows)
+from repro.engine.registry import all_experiments
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.reporting import write_csv
 
 
 def run_all(
@@ -83,34 +48,49 @@ def run_all(
     out_dir: pathlib.Path,
     progress: Callable[[str], None] = print,
     csv_exports: bool = True,
+    cache: Optional[ResultCache] = None,
 ) -> pathlib.Path:
-    """Run every experiment; returns the path of the combined summary."""
+    """Run every registered experiment; returns the combined summary path.
+
+    ``progress`` receives one human-readable line per experiment (pass a
+    no-op when an attached :class:`CLIProgressReporter` already prints).
+    ``cache`` enables result reuse across invocations.
+    """
     out_dir.mkdir(parents=True, exist_ok=True)
+    experiments = all_experiments()
+    observer = context.observer
+    observer.on_run_start(len(experiments))
+    run_start = time.perf_counter()
     summary_parts = []
-    for name, module in EXPERIMENTS:
+    for experiment in experiments:
+        observer.on_experiment_start(experiment.name)
         start = time.perf_counter()
-        if name == "fig04_retention_curve":
-            result = module.run()  # pure circuit model, no Monte Carlo
-        elif name == "table3":
-            result = module.run(
-                ExperimentContext(
-                    n_chips=max(10, context.n_chips // 2),
-                    n_references=context.n_references,
-                    seed=context.seed,
-                )
-            )
-        else:
-            result = module.run(context)
-        text = module.report(result)
+        experiment_context = experiment.context_for(context)
+        cached = False
+        result = None
+        key = None
+        if cache is not None:
+            key = cache.key_for(experiment, experiment_context)
+            result = cache.get(key)
+            cached = result is not None
+        if result is None:
+            result = experiment.run(experiment_context)
+            if cache is not None and key is not None:
+                cache.put(key, result)
+        text = experiment.report(result)
         elapsed = time.perf_counter() - start
-        (out_dir / f"{name}.txt").write_text(text + "\n")
+        (out_dir / f"{experiment.name}.txt").write_text(text + "\n")
         if csv_exports:
-            _write_csv_exports(out_dir, name, result)
-        progress(f"{name}: done in {elapsed:.1f}s")
-        summary_parts.append(f"{'=' * 72}\n{name} ({elapsed:.1f}s)\n{'=' * 72}")
+            for export in experiment.csv_exports(result):
+                write_csv(out_dir / export.filename, export.headers, export.rows)
+        suffix = " (cached)" if cached else ""
+        progress(f"{experiment.name}: done in {elapsed:.1f}s{suffix}")
+        observer.on_experiment_end(experiment.name, elapsed, cached)
+        summary_parts.append(f"{'=' * 72}\n{experiment.name}\n{'=' * 72}")
         summary_parts.append(text)
     summary_path = out_dir / "summary.txt"
     summary_path.write_text("\n\n".join(summary_parts) + "\n")
+    observer.on_run_end(time.perf_counter() - run_start)
     return summary_path
 
 
@@ -132,12 +112,86 @@ def main(argv=None) -> None:
         "--out", type=pathlib.Path, default=pathlib.Path("results"),
         help="output directory for the text reports",
     )
-    args = parser.parse_args(argv)
-    context = ExperimentContext(
-        n_chips=args.chips, n_references=args.refs, seed=args.seed
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for chip batches (1 = serial; results "
+        "are bit-identical at any width)",
     )
-    summary = run_all(context, args.out)
+    parser.add_argument(
+        "--cache-dir", type=pathlib.Path, default=None,
+        help="result-cache directory (default: OUT/.cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute everything, ignoring the result cache",
+    )
+    parser.add_argument(
+        "--metrics", type=pathlib.Path, default=None,
+        help="timing metrics JSON path (default: OUT/metrics.json)",
+    )
+    args = parser.parse_args(argv)
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or args.out / ".cache"
+        cache = ResultCache(cache_dir)
+    metrics_path = args.metrics or args.out / "metrics.json"
+    observer = CompositeObserver([
+        CLIProgressReporter(),
+        JSONMetricsObserver(metrics_path),
+    ])
+    context = ExperimentContext(
+        n_chips=args.chips,
+        n_references=args.refs,
+        seed=args.seed,
+        workers=args.workers,
+        observer=observer,
+    )
+    try:
+        # The reporter already announces each experiment; silence the
+        # legacy progress callback to avoid double printing.
+        summary = run_all(
+            context, args.out, progress=lambda line: None, cache=cache
+        )
+    finally:
+        context.close()
     print(f"combined report: {summary}")
+
+
+def _deprecated_experiments_list() -> List[Tuple[str, object]]:
+    import importlib
+
+    return [
+        (experiment.name, importlib.import_module(experiment.module))
+        for experiment in all_experiments()
+        if experiment.module
+    ]
+
+
+def _write_csv_exports(out_dir: pathlib.Path, name: str, result) -> None:
+    """Deprecated: experiments now export CSV via their ``csv_rows`` hook."""
+    warnings.warn(
+        "_write_csv_exports is deprecated; csv exports are driven by "
+        "Experiment.csv_rows hooks",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.engine.registry import get_experiment
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for export in get_experiment(name).csv_exports(result):
+        write_csv(out_dir / export.filename, export.headers, export.rows)
+
+
+def __getattr__(name: str):
+    if name == "EXPERIMENTS":
+        warnings.warn(
+            "run_all.EXPERIMENTS is deprecated; use "
+            "repro.engine.registry.all_experiments()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _deprecated_experiments_list()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 if __name__ == "__main__":

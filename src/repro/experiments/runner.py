@@ -1,30 +1,38 @@
 """Shared experiment plumbing: scale, seeding, and chip/evaluator caches.
 
 Every figure driver takes an :class:`ExperimentContext`, which fixes the
-Monte-Carlo scale (number of chips, trace length) and memoises the
-expensive inputs (chip batches per scenario, evaluators per
-configuration) so multi-figure runs don't repeat work.
+Monte-Carlo scale (number of chips, trace length), memoises the expensive
+inputs (chip batches per scenario, evaluators per configuration), and
+owns the execution engine: a
+:class:`~repro.engine.parallel.ParallelChipRunner` that fans chip builds
+and evaluations across worker processes when ``workers > 1``, plus the
+:class:`~repro.engine.observer.RunObserver` progress hooks.  Per-chip
+seeds are reserved serially before any fan-out, so serial and parallel
+runs are bit-identical.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.technology.node import NODE_32NM, TechnologyNode
 from repro.variation.parameters import VariationParams
 from repro.array.chip import ChipSampler, DRAM3T1DChipSample, SRAMChipSample
-from repro.cache.config import CacheConfig
 from repro.core.evaluation import Evaluator
+from repro.engine.observer import NULL_OBSERVER, RunObserver
+from repro.engine.parallel import EvaluatorSpec, ParallelChipRunner
 
 
 @dataclass
 class ExperimentContext:
-    """Scale and caching for one experiment run.
+    """Scale, caching, and execution engine for one experiment run.
 
     ``n_chips`` / ``n_references`` default to paper scale (100 chips) and
-    a laptop-sized trace; benches pass smaller values.
+    a laptop-sized trace; benches pass smaller values.  ``workers``
+    selects the engine's process-pool width (1 = serial; results are
+    identical either way).
     """
 
     node: TechnologyNode = NODE_32NM
@@ -32,6 +40,10 @@ class ExperimentContext:
     n_references: int = 8000
     seed: int = 2007  # the paper's year; any fixed value works
     benchmarks: Optional[Sequence[str]] = None
+    workers: int = 1
+    observer: RunObserver = field(
+        default=NULL_OBSERVER, repr=False, compare=False
+    )
     _chips_3t1d: Dict[str, List[DRAM3T1DChipSample]] = field(
         init=False, default_factory=dict, repr=False
     )
@@ -41,13 +53,88 @@ class ExperimentContext:
     _evaluators: Dict[Tuple[str, int], Evaluator] = field(
         init=False, default_factory=dict, repr=False
     )
+    _runner: Optional[ParallelChipRunner] = field(
+        init=False, default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.n_chips < 1:
             raise ConfigurationError("n_chips must be >= 1")
         if self.n_references < 1:
             raise ConfigurationError("n_references must be >= 1")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
 
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+
+    def with_overrides(self, **overrides) -> "ExperimentContext":
+        """A derived context with the given fields replaced.
+
+        Caches start fresh (the scale may have changed) but the engine's
+        worker pool is shared with the parent, so a derived context does
+        not spawn new processes.
+        """
+        for name in overrides:
+            if name.startswith("_") or name not in self.__dataclass_fields__:
+                raise ConfigurationError(
+                    f"unknown ExperimentContext field {name!r}"
+                )
+        derived = replace(self, **overrides)
+        derived._runner = self._runner
+        return derived
+
+    def with_chips(self, n_chips: int) -> "ExperimentContext":
+        """A derived context at a different Monte-Carlo chip count."""
+        return self.with_overrides(n_chips=n_chips)
+
+    def with_refs(self, n_references: int) -> "ExperimentContext":
+        """A derived context at a different trace length."""
+        return self.with_overrides(n_references=n_references)
+
+    # ------------------------------------------------------------------
+    # engine
+    # ------------------------------------------------------------------
+
+    @property
+    def runner(self) -> ParallelChipRunner:
+        """The (lazily created) chip-batch scheduler for this context."""
+        if self._runner is None:
+            self._runner = ParallelChipRunner(self.workers)
+        return self._runner
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None
+
+    def __enter__(self) -> "ExperimentContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def cache_fingerprint(self) -> str:
+        """The part of the result-cache key this context contributes.
+
+        Workers and observers are excluded: they never change results.
+        """
+        benchmarks = (
+            ",".join(self.benchmarks) if self.benchmarks is not None else "*"
+        )
+        node = (
+            f"{self.node.name}@{self.node.frequency:g}Hz"
+            f"/{self.node.vdd:g}V/{self.node.vth:g}V"
+        )
+        return (
+            f"node={node}|chips={self.n_chips}|refs={self.n_references}"
+            f"|seed={self.seed}|benchmarks={benchmarks}"
+        )
+
+    # ------------------------------------------------------------------
+    # cached inputs
     # ------------------------------------------------------------------
 
     def scenario(self, name: str) -> VariationParams:
@@ -70,7 +157,12 @@ class ExperimentContext:
             sampler = ChipSampler(
                 self.node, self.scenario(scenario), seed=self.seed
             )
-            self._chips_3t1d[scenario] = sampler.sample_3t1d_chips(self.n_chips)
+            tasks = sampler.reserve_build_tasks(self.n_chips, kind="3t1d")
+            self._chips_3t1d[scenario] = self.runner.build_chips(
+                tasks,
+                observer=self.observer,
+                label=f"sample 3T1D chips ({scenario})",
+            )
         return self._chips_3t1d[scenario]
 
     def chips_sram(
@@ -82,23 +174,29 @@ class ExperimentContext:
             sampler = ChipSampler(
                 self.node, self.scenario(scenario), seed=self.seed + 17
             )
-            self._chips_sram[key] = sampler.sample_sram_chips(
-                self.n_chips, size_factor=size_factor
+            tasks = sampler.reserve_build_tasks(
+                self.n_chips, kind="sram", size_factor=size_factor
+            )
+            self._chips_sram[key] = self.runner.build_chips(
+                tasks,
+                observer=self.observer,
+                label=f"sample 6T chips ({scenario}, {size_factor:g}X)",
             )
         return self._chips_sram[key]
+
+    def evaluator_spec(self, ways: int = 4) -> EvaluatorSpec:
+        """The spec workers use to rebuild this context's evaluator."""
+        return EvaluatorSpec(
+            node=self.node,
+            ways=ways,
+            n_references=self.n_references,
+            seed=self.seed,
+            benchmarks=tuple(self.benchmarks) if self.benchmarks else None,
+        )
 
     def evaluator(self, ways: int = 4) -> Evaluator:
         """The cached evaluator for an associativity (traces shared)."""
         key = (self.node.name, ways)
         if key not in self._evaluators:
-            config = CacheConfig()
-            if ways != config.geometry.ways:
-                config = config.with_ways(ways)
-            self._evaluators[key] = Evaluator(
-                self.node,
-                config=config,
-                n_references=self.n_references,
-                seed=self.seed,
-                benchmarks=self.benchmarks,
-            )
+            self._evaluators[key] = self.evaluator_spec(ways).build()
         return self._evaluators[key]

@@ -19,12 +19,11 @@ from repro.technology import calibration
 from repro.technology.node import ALL_NODES, TechnologyNode
 from repro.variation.parameters import VariationParams
 from repro.variation.statistics import harmonic_mean, median_chip_index
-from repro.array.chip import ChipSampler
+from repro.array.chip import ChipSampler, DRAM3T1DChipSample, SRAMChipSample
 from repro.array.power import CachePowerModel
-from repro.core.architecture import Cache3T1DArchitecture, IdealCacheArchitecture
 from repro.core.schemes import SCHEME_GLOBAL
-from repro.core.evaluation import Evaluator
-from repro.errors import ChipDiscardedError
+from repro.engine.parallel import EvalTask, EvaluatorSpec, SchemeOutcome
+from repro.engine.registry import Experiment, register_experiment
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.reporting import format_table
 
@@ -59,20 +58,15 @@ class Table3Result:
         raise KeyError((node, design))
 
 
-def _evaluate_node(
-    node: TechnologyNode, context: ExperimentContext
+def _node_rows(
+    node: TechnologyNode,
+    sram_chips: List[SRAMChipSample],
+    dram_chips: List[DRAM3T1DChipSample],
+    ideal_ipcs: List[float],
+    median_outcome: SchemeOutcome,
 ) -> List[DesignRow]:
-    evaluator = Evaluator(
-        node, n_references=context.n_references, seed=context.seed
-    )
-    profiles_ipc = [
-        evaluator.evaluate_benchmark(
-            IdealCacheArchitecture(node), name
-        ).ipc
-        for name in evaluator.benchmarks
-    ]
-    ideal_bips = harmonic_mean(profiles_ipc) * node.frequency / 1e9
-
+    """Assemble the three Table 3 rows for one node from batch results."""
+    ideal_bips = harmonic_mean(ideal_ipcs) * node.frequency / 1e9
     power_6t = CachePowerModel(node, "6T")
     power_3t1d = CachePowerModel(node, "3T1D")
     rows = [
@@ -93,8 +87,6 @@ def _evaluate_node(
     ]
 
     # --- median 1X 6T chip under typical variation ---
-    sampler = ChipSampler(node, VariationParams.typical(), seed=context.seed)
-    sram_chips = sampler.sample_sram_chips(context.n_chips, size_factor=1.0)
     frequencies = [c.normalized_frequency for c in sram_chips]
     median_sram = sram_chips[median_chip_index(frequencies)]
     norm = median_sram.normalized_frequency
@@ -121,24 +113,17 @@ def _evaluate_node(
     )
 
     # --- median 3T1D chip under typical variation (global scheme) ---
-    sampler = ChipSampler(node, VariationParams.typical(), seed=context.seed + 5)
-    chips = sampler.sample_3t1d_chips(context.n_chips)
-    retentions = [c.chip_retention_time for c in chips]
-    median_chip = chips[median_chip_index(retentions)]
+    retentions = [c.chip_retention_time for c in dram_chips]
+    median_chip = dram_chips[median_chip_index(retentions)]
     dram_leakage_mw = float(
-        np.median([c.leakage_power for c in chips])
+        np.median([c.leakage_power for c in dram_chips])
     ) * 1e3
-    try:
-        evaluation = evaluator.evaluate(
-            Cache3T1DArchitecture(median_chip, SCHEME_GLOBAL)
-        )
-        perf = evaluation.normalized_performance
-        mean_power_mw = np.mean(
-            [r.dynamic_power_watts for r in evaluation.results.values()]
-        ) * 1e3
-    except ChipDiscardedError:
+    if median_outcome.discarded:
         perf = 0.0
         mean_power_mw = 0.0
+    else:
+        perf = median_outcome.normalized_performance
+        mean_power_mw = median_outcome.mean_dynamic_power_watts * 1e3
     rows.append(
         DesignRow(
             node=node.name,
@@ -155,11 +140,83 @@ def _evaluate_node(
 
 
 def run(context: Optional[ExperimentContext] = None) -> Table3Result:
-    """Regenerate Table 3 for all three nodes."""
+    """Regenerate Table 3 for all three nodes.
+
+    Chip batches for every node are reserved up front and realized in one
+    parallel batch; the per-node evaluations (ideal IPC plus the median
+    3T1D chip under the global scheme) form a second batch.
+    """
     context = context or ExperimentContext(n_chips=30)
+    nodes = [ALL_NODES[name] for name in NODE_ORDER]
+
+    # Phase 1: every node's 6T and 3T1D chip batch, one parallel batch.
+    build_tasks: List = []
+    slices = {}
+    for node in nodes:
+        sram_sampler = ChipSampler(
+            node, VariationParams.typical(), seed=context.seed
+        )
+        dram_sampler = ChipSampler(
+            node, VariationParams.typical(), seed=context.seed + 5
+        )
+        start = len(build_tasks)
+        build_tasks.extend(
+            sram_sampler.reserve_build_tasks(
+                context.n_chips, kind="sram", size_factor=1.0
+            )
+        )
+        mid = len(build_tasks)
+        build_tasks.extend(
+            dram_sampler.reserve_build_tasks(context.n_chips, kind="3t1d")
+        )
+        slices[node.name] = (slice(start, mid), slice(mid, len(build_tasks)))
+    chips = context.runner.build_chips(
+        build_tasks, observer=context.observer, label="table3: chip batches"
+    )
+
+    # Phase 2: per-node ideal IPC + median-3T1D evaluation, one batch.
+    specs = {
+        node.name: EvaluatorSpec(
+            node=node, n_references=context.n_references, seed=context.seed
+        )
+        for node in nodes
+    }
+    eval_tasks = []
+    for node in nodes:
+        _, dram_slice = slices[node.name]
+        dram_chips = chips[dram_slice]
+        retentions = [c.chip_retention_time for c in dram_chips]
+        median_chip = dram_chips[median_chip_index(retentions)]
+        eval_tasks.append(
+            EvalTask(evaluator=specs[node.name], kind="ideal_ipc")
+        )
+        eval_tasks.append(
+            EvalTask(
+                evaluator=specs[node.name],
+                chip=median_chip,
+                schemes=(SCHEME_GLOBAL.name,),
+            )
+        )
+    evaluations = context.runner.evaluate(
+        eval_tasks,
+        observer=context.observer,
+        label="table3: per-node evaluation",
+    )
+
     rows: List[DesignRow] = []
-    for name in NODE_ORDER:
-        rows.extend(_evaluate_node(ALL_NODES[name], context))
+    for i, node in enumerate(nodes):
+        ideal_ipcs = list(evaluations[2 * i])
+        (median_outcome,) = evaluations[2 * i + 1]
+        sram_slice, dram_slice = slices[node.name]
+        rows.extend(
+            _node_rows(
+                node,
+                chips[sram_slice],
+                chips[dram_slice],
+                ideal_ipcs,
+                median_outcome,
+            )
+        )
     return Table3Result(rows=rows)
 
 
@@ -186,6 +243,19 @@ def report(result: Table3Result) -> str:
     return format_table(
         headers, rows, title="Table 3: cache designs across technology nodes"
     )
+
+
+EXPERIMENT = register_experiment(Experiment(
+    name="table3",
+    run=run,
+    report=report,
+    module=__name__,
+    # Three nodes x two designs makes this the most expensive experiment;
+    # half the chip batch still gives stable medians (never below 10).
+    default_context_overrides=lambda context: {
+        "n_chips": max(10, context.n_chips // 2)
+    },
+))
 
 
 def main() -> None:

@@ -11,7 +11,7 @@ in vectorised form.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
@@ -115,14 +115,31 @@ class VariationSampler:
         """Sub-arrays per chip."""
         return self.subarray_rows * self.subarray_cols
 
-    def sample_chip(self) -> ChipVariation:
-        """Draw the next chip in the deterministic sequence."""
-        chip_id = self._next_chip_id
-        self._next_chip_id += 1
-        # A chip-private generator decouples cell-level draw counts from the
-        # chip sequence: chip k is identical no matter how the caller uses
-        # the per-chip generator of earlier chips.
-        chip_seed = self._root_rng.integers(0, 2 ** 63 - 1)
+    def reserve_chip_seeds(self, count: int) -> List[Tuple[int, int]]:
+        """Reserve ``count`` upcoming ``(chip_id, chip_seed)`` draws.
+
+        Seeds come off the root generator in sequence order, so reserving
+        a batch and building the chips elsewhere (e.g. in worker
+        processes, via :meth:`chip_from_seed`) yields exactly the chips
+        :meth:`sample_chip` would have produced serially.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        reserved = []
+        for _ in range(count):
+            chip_id = self._next_chip_id
+            self._next_chip_id += 1
+            reserved.append(
+                (chip_id, int(self._root_rng.integers(0, 2 ** 63 - 1)))
+            )
+        return reserved
+
+    def chip_from_seed(self, chip_id: int, chip_seed: int) -> ChipVariation:
+        """Build the chip a reserved ``(chip_id, chip_seed)`` describes.
+
+        Stateless with respect to the sampler sequence: any process can
+        rebuild any reserved chip, bit-identically.
+        """
         chip_rng = np.random.default_rng(chip_seed)
         delta_l_d2d = (
             chip_rng.normal(0.0, self.params.sigma_l_d2d(self.node))
@@ -140,6 +157,16 @@ class VariationSampler:
             rng=chip_rng,
             chip_id=chip_id,
         )
+
+    def sample_chip(self) -> ChipVariation:
+        """Draw the next chip in the deterministic sequence.
+
+        A chip-private generator decouples cell-level draw counts from
+        the chip sequence: chip k is identical no matter how the caller
+        uses the per-chip generator of earlier chips.
+        """
+        ((chip_id, chip_seed),) = self.reserve_chip_seeds(1)
+        return self.chip_from_seed(chip_id, chip_seed)
 
     def sample_chips(self, count: int) -> Iterator[ChipVariation]:
         """Yield ``count`` consecutive chip draws."""

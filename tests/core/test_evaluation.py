@@ -166,3 +166,27 @@ class TestOptionalFidelityModes:
         stats = result.results["gcc"].stats
         assert stats.write_throughs > 0
         assert stats.expiry_writebacks == 0
+
+
+class TestEmptyResultsValidation:
+    def test_empty_evaluation_properties_raise(self):
+        from repro.core import ChipEvaluation
+
+        empty = ChipEvaluation(scheme="Global", results={})
+        for attribute in (
+            "normalized_performance",
+            "bips",
+            "dynamic_power_normalized",
+            "worst_benchmark",
+        ):
+            with pytest.raises(ConfigurationError):
+                getattr(empty, attribute)
+
+    def test_evaluate_rejects_empty_benchmark_list(self, evaluator, typical_chip):
+        arch = Cache3T1DArchitecture(typical_chip, SCHEME_RSP_FIFO)
+        with pytest.raises(ConfigurationError):
+            evaluator.evaluate(arch, benchmarks=[])
+
+    def test_evaluator_rejects_empty_suite(self):
+        with pytest.raises(ConfigurationError):
+            Evaluator(NODE_32NM, n_references=1000, benchmarks=[])

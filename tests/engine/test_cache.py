@@ -1,0 +1,63 @@
+"""The on-disk content-keyed result cache."""
+
+from repro.engine.cache import ResultCache, source_digest
+from repro.engine.registry import get_experiment
+from repro.experiments.runner import ExperimentContext
+
+
+def test_put_get_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("k1", {"value": [1, 2, 3]})
+    assert cache.get("k1") == {"value": [1, 2, 3]}
+    assert cache.get("missing") is None
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("k1", 42)
+    cache.path_for("k1").write_bytes(b"not a pickle")
+    assert cache.get("k1") is None
+
+
+def test_clear_removes_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.clear() == 2
+    assert cache.get("a") is None
+
+
+def test_key_tracks_context_fingerprint(tmp_path):
+    cache = ResultCache(tmp_path)
+    experiment = get_experiment("fig10_hundred_chips")
+    base = ExperimentContext(n_chips=4, n_references=900, seed=3)
+    assert cache.key_for(experiment, base) == cache.key_for(experiment, base)
+    for other in (
+        base.with_chips(5),
+        base.with_refs(1000),
+        base.with_overrides(seed=4),
+    ):
+        assert cache.key_for(experiment, other) != cache.key_for(experiment, base)
+    # Worker count never changes results, so it never changes the key.
+    same_results = base.with_overrides(workers=4)
+    assert cache.key_for(experiment, same_results) == cache.key_for(
+        experiment, base
+    )
+
+
+def test_key_differs_across_experiments(tmp_path):
+    cache = ResultCache(tmp_path)
+    context = ExperimentContext(n_chips=4, n_references=900, seed=3)
+    keys = {
+        cache.key_for(get_experiment(name), context)
+        for name in ("fig09_schemes", "fig10_hundred_chips", "table3")
+    }
+    assert len(keys) == 3
+
+
+def test_source_digest_stable_and_missing_module_safe():
+    digest = source_digest("repro.experiments.fig10_hundred_chips")
+    assert digest and digest == source_digest(
+        "repro.experiments.fig10_hundred_chips"
+    )
+    assert source_digest("repro.no_such_module") == ""

@@ -1,0 +1,77 @@
+"""Progress/timing observers."""
+
+import io
+import json
+
+from repro.engine.observer import (
+    CLIProgressReporter,
+    CompositeObserver,
+    JSONMetricsObserver,
+    NULL_OBSERVER,
+    RunObserver,
+)
+
+
+def drive(observer: RunObserver) -> None:
+    """Send one complete run's worth of events."""
+    observer.on_run_start(1)
+    observer.on_experiment_start("fig10")
+    observer.on_batch_start("eval", 8)
+    for i in range(1, 9):
+        observer.on_chip_done("eval", i, 8)
+    observer.on_batch_end("eval", 8, 0.5)
+    observer.on_experiment_end("fig10", 0.6, False)
+    observer.on_run_end(0.7)
+
+
+def test_null_observer_ignores_everything():
+    drive(NULL_OBSERVER)  # must not raise
+
+
+def test_cli_reporter_throttles_chip_lines():
+    stream = io.StringIO()
+    drive(CLIProgressReporter(stream=stream, updates_per_batch=4))
+    lines = stream.getvalue().splitlines()
+    chip_lines = [line for line in lines if "[eval]" in line]
+    assert len(chip_lines) == 4
+    assert "fig10: done in 0.6s" in stream.getvalue()
+
+
+def test_cli_reporter_marks_cached_experiments():
+    stream = io.StringIO()
+    reporter = CLIProgressReporter(stream=stream)
+    reporter.on_experiment_end("fig09", 0.0, True)
+    assert "(cached)" in stream.getvalue()
+
+
+def test_json_metrics_written_at_run_end(tmp_path):
+    path = tmp_path / "metrics.json"
+    observer = JSONMetricsObserver(path)
+    drive(observer)
+    record = json.loads(path.read_text())
+    assert record["total_elapsed_s"] == 0.7
+    (experiment,) = record["experiments"]
+    assert experiment["name"] == "fig10"
+    assert experiment["cached"] is False
+    (batch,) = experiment["batches"]
+    assert batch == {"label": "eval", "items": 8, "elapsed_s": 0.5}
+
+
+def test_composite_fans_out_in_order():
+    class Recorder(RunObserver):
+        def __init__(self):
+            self.events = []
+
+        def on_experiment_start(self, name):
+            self.events.append(("start", name))
+
+        def on_experiment_end(self, name, elapsed, cached):
+            self.events.append(("end", name, cached))
+
+    first, second = Recorder(), Recorder()
+    composite = CompositeObserver([first, second])
+    composite.on_experiment_start("fig06")
+    composite.on_experiment_end("fig06", 1.0, True)
+    expected = [("start", "fig06"), ("end", "fig06", True)]
+    assert first.events == expected
+    assert second.events == expected

@@ -1,7 +1,12 @@
-"""The run-everything driver."""
+"""The run-everything driver (registry-driven, cached, observable)."""
 
+import pytest
+
+from repro.engine.cache import ResultCache
+from repro.engine.observer import JSONMetricsObserver
+from repro.engine.registry import all_experiments, experiment_names
 from repro.experiments.runner import ExperimentContext
-from repro.experiments.run_all import EXPERIMENTS, run_all
+from repro.experiments.run_all import run_all
 
 
 def test_run_all_writes_reports(tmp_path):
@@ -11,19 +16,61 @@ def test_run_all_writes_reports(tmp_path):
 
     assert summary.exists()
     combined = summary.read_text()
-    for name, _ in EXPERIMENTS:
-        assert (tmp_path / f"{name}.txt").exists()
-        assert name in combined or name == "table3"
-    assert len(messages) == len(EXPERIMENTS)
+    for experiment in all_experiments():
+        assert (tmp_path / f"{experiment.name}.txt").exists()
+        assert experiment.name in combined or experiment.name == "table3"
+    assert len(messages) == len(all_experiments())
     assert "Figure 9" in combined
     assert "Table 3" in combined
-    # Machine-readable exports for the plot-shaped experiments.
+    # Machine-readable exports come from the experiments' csv_rows hooks.
     for csv_name in (
         "fig01_reuse.csv",
         "fig10_hundred_chips.csv",
         "fig12_sensitivity.csv",
     ):
         assert (tmp_path / csv_name).exists()
+
+
+def test_run_all_summary_contains_no_timings(tmp_path):
+    import re
+
+    context = ExperimentContext(n_chips=2, n_references=800, seed=9)
+    summary = run_all(context, tmp_path, progress=lambda line: None)
+    # Timing lives in progress lines and metrics, never in the summary --
+    # that is what keeps serial/parallel/cached summaries byte-identical.
+    text = summary.read_text()
+    assert not re.search(r"\(\d+\.\d+s\)", text)
+    for name in experiment_names():
+        assert f"\n{name}\n" in text
+
+
+def test_run_all_reuses_result_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    context = ExperimentContext(n_chips=2, n_references=800, seed=11)
+    first_messages = []
+    first = run_all(
+        context, tmp_path / "a", progress=first_messages.append, cache=cache
+    )
+    assert not any("(cached)" in line for line in first_messages)
+
+    second_messages = []
+    second = run_all(
+        context, tmp_path / "b", progress=second_messages.append, cache=cache
+    )
+    assert all("(cached)" in line for line in second_messages)
+    assert first.read_text() == second.read_text()
+
+
+def test_run_all_emits_observer_events(tmp_path):
+    observer = JSONMetricsObserver(tmp_path / "metrics.json")
+    context = ExperimentContext(
+        n_chips=2, n_references=800, seed=13, observer=observer
+    )
+    run_all(context, tmp_path, progress=lambda line: None)
+    assert (tmp_path / "metrics.json").exists()
+    recorded = [e["name"] for e in observer.metrics["experiments"]]
+    assert recorded == list(experiment_names())
+    assert observer.metrics["total_elapsed_s"] is not None
 
 
 def test_cli_main_small_scale(tmp_path):
@@ -38,3 +85,28 @@ def test_cli_main_small_scale(tmp_path):
         ]
     )
     assert (tmp_path / "reports" / "summary.txt").exists()
+    assert (tmp_path / "reports" / "metrics.json").exists()
+    assert (tmp_path / "reports" / ".cache").is_dir()
+
+
+def test_deprecated_experiments_alias_warns():
+    from repro.experiments import run_all as run_all_module
+
+    with pytest.warns(DeprecationWarning):
+        pairs = run_all_module.EXPERIMENTS
+    assert [name for name, _ in pairs] == list(experiment_names())
+    # Each module still exposes the historical run/report surface.
+    for _, module in pairs:
+        assert callable(module.run) and callable(module.report)
+
+
+def test_deprecated_write_csv_exports_delegates(tmp_path):
+    from repro.experiments import fig01_reuse
+    from repro.experiments import run_all as run_all_module
+
+    result = fig01_reuse.run(
+        ExperimentContext(n_chips=1, n_references=500, seed=2)
+    )
+    with pytest.warns(DeprecationWarning):
+        run_all_module._write_csv_exports(tmp_path, "fig01_reuse", result)
+    assert (tmp_path / "fig01_reuse.csv").exists()
