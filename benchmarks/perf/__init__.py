@@ -1,0 +1,9 @@
+"""Performance harness for the batched evaluation kernel.
+
+Run ``python -m benchmarks.perf.batcheval_bench`` (with ``src`` on the
+path) to time :func:`repro.core.batcheval.simulate_trace` against the
+event controller and write machine-readable ``BENCH_batcheval.json``.
+Unlike the figure-level benchmarks in ``benchmarks/``, this harness is a
+CLI, not a pytest module, so CI can upload its JSON artifact and gate on
+the kernel/controller bit-identity check.
+"""

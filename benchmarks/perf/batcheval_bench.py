@@ -1,0 +1,240 @@
+"""Time the batched evaluation kernel against the event controller.
+
+Two stages, mirroring the guarantees the kernel makes:
+
+1. **Bit-identity check** -- every scheme x benchmark on a small chip
+   batch, comparing the kernel-routed evaluation against
+   ``use_batch_kernel=False``.  Any mismatch fails the run (exit 1).
+2. **Timing** -- the Figure 10 workload shape (severe-variation chips x
+   the headline schemes) evaluated end to end through both paths, plus
+   raw per-scheme ``simulate_trace`` vs ``run_trace`` timings.
+
+Results land in ``BENCH_batcheval.json`` (see ``--out``), the repo's
+perf-trajectory record.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.batcheval_bench \
+        --chips 4 --refs 20000 --out BENCH_batcheval.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.array.chip import ChipSampler
+from repro.core.architecture import Cache3T1DArchitecture
+from repro.core.batcheval import kernel_supports, simulate_trace
+from repro.core.evaluation import Evaluator
+from repro.core.schemes import (
+    HEADLINE_SCHEMES,
+    LINE_LEVEL_SCHEMES,
+    SCHEME_GLOBAL,
+)
+from repro.errors import ChipDiscardedError
+from repro.technology.node import NODE_32NM
+from repro.variation.parameters import VariationParams
+
+ALL_SCHEMES = (SCHEME_GLOBAL,) + LINE_LEVEL_SCHEMES
+
+
+def _evaluate(evaluator, chip, scheme):
+    try:
+        return evaluator.evaluate(
+            Cache3T1DArchitecture(chip, scheme, config=evaluator.config)
+        )
+    except ChipDiscardedError:
+        return None
+
+
+def check_identity(n_chips: int, n_references: int, seed: int) -> Dict:
+    """Cross-validate kernel vs controller on every scheme x benchmark."""
+    sampler = ChipSampler(NODE_32NM, VariationParams.severe(), seed=seed)
+    chips = sampler.sample_3t1d_chips(n_chips)
+    fast = Evaluator(NODE_32NM, n_references=n_references, seed=seed)
+    slow = Evaluator(
+        NODE_32NM, n_references=n_references, seed=seed,
+        use_batch_kernel=False,
+    )
+    mismatches: List[str] = []
+    checked = 0
+    for chip in chips:
+        for scheme in ALL_SCHEMES:
+            a = _evaluate(fast, chip, scheme)
+            b = _evaluate(slow, chip, scheme)
+            if (a is None) != (b is None):
+                mismatches.append(
+                    f"chip {chip.chip_id} {scheme.name}: discard disagreement"
+                )
+                continue
+            if a is None:
+                checked += 1
+                continue
+            for bench in a.results:
+                checked += 1
+                ra, rb = a.results[bench], b.results[bench]
+                if (
+                    ra.stats != rb.stats
+                    or ra.normalized_performance != rb.normalized_performance
+                    or ra.dynamic_power_watts != rb.dynamic_power_watts
+                ):
+                    mismatches.append(
+                        f"chip {chip.chip_id} {scheme.name} {bench}"
+                    )
+    return {
+        "chips": n_chips,
+        "references": n_references,
+        "checked": checked,
+        "mismatches": mismatches,
+        "ok": not mismatches,
+    }
+
+
+def time_kernel(n_chips: int, n_references: int, seed: int) -> Dict:
+    """Time both paths on the Figure 10 shape; returns the JSON payload."""
+    sampler = ChipSampler(NODE_32NM, VariationParams.severe(), seed=seed)
+    chips = sampler.sample_3t1d_chips(n_chips)
+    fast = Evaluator(NODE_32NM, n_references=n_references, seed=seed)
+    slow = Evaluator(
+        NODE_32NM, n_references=n_references, seed=seed,
+        use_batch_kernel=False,
+    )
+    # Warm traces, artifacts, and baselines outside the timed region.
+    for evaluator in (fast, slow):
+        for bench in evaluator.benchmarks:
+            evaluator.baseline_stats(bench)
+    for bench in fast.benchmarks:
+        fast.trace_artifacts(bench, fast.config.geometry.n_sets)
+
+    schemes: Dict[str, Dict] = {}
+    for scheme in HEADLINE_SCHEMES:
+        arch = Cache3T1DArchitecture(chips[0], scheme, config=fast.config)
+        fast_path = kernel_supports(arch.build_cache())
+        bench = fast.benchmarks[0]
+        trace = fast.trace(bench)
+        artifacts = fast.trace_artifacts(bench, fast.config.geometry.n_sets)
+        start = time.perf_counter()
+        arch.build_cache().run_trace(
+            trace.cycles, trace.line_addresses, trace.is_write,
+            warmup_references=trace.warmup_references,
+        )
+        controller_s = time.perf_counter() - start
+        if fast_path:
+            start = time.perf_counter()
+            simulate_trace(arch.build_cache(), artifacts)
+            kernel_s = time.perf_counter() - start
+        else:
+            kernel_s = controller_s
+        schemes[scheme.name] = {
+            "fast_path": fast_path,
+            "trace_controller_s": controller_s,
+            "trace_kernel_s": kernel_s,
+            "trace_speedup": controller_s / kernel_s if kernel_s else 0.0,
+        }
+
+    start = time.perf_counter()
+    for chip in chips:
+        for scheme in HEADLINE_SCHEMES:
+            _evaluate(slow, chip, scheme)
+    controller_total = time.perf_counter() - start
+    start = time.perf_counter()
+    for chip in chips:
+        for scheme in HEADLINE_SCHEMES:
+            _evaluate(fast, chip, scheme)
+    kernel_total = time.perf_counter() - start
+
+    fastpath_speedups = [
+        entry["trace_speedup"]
+        for entry in schemes.values()
+        if entry["fast_path"]
+    ]
+    return {
+        "workload": "fig10 shape: severe chips x headline schemes",
+        "chips": n_chips,
+        "references": n_references,
+        "schemes": schemes,
+        "suite_controller_s": controller_total,
+        "suite_kernel_s": kernel_total,
+        "suite_speedup": (
+            controller_total / kernel_total if kernel_total else 0.0
+        ),
+        "min_fastpath_speedup": (
+            min(fastpath_speedups) if fastpath_speedups else 0.0
+        ),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chips", type=int, default=4,
+                        help="chips in the timing batch (default 4)")
+    parser.add_argument("--refs", type=int, default=20000,
+                        help="trace length for the timing batch")
+    parser.add_argument("--identity-chips", type=int, default=2,
+                        help="chips in the bit-identity check")
+    parser.add_argument("--identity-refs", type=int, default=1500,
+                        help="trace length for the bit-identity check")
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument("--out", default="BENCH_batcheval.json")
+    args = parser.parse_args(argv)
+
+    print(
+        f"identity check: {args.identity_chips} chips x "
+        f"{len(ALL_SCHEMES)} schemes x 8 benchmarks "
+        f"({args.identity_refs} refs) ..."
+    )
+    identity = check_identity(
+        args.identity_chips, args.identity_refs, args.seed
+    )
+    print(
+        f"  {identity['checked']} evaluations, "
+        f"{len(identity['mismatches'])} mismatches"
+    )
+
+    print(
+        f"timing: {args.chips} chips x headline schemes "
+        f"({args.refs} refs) ..."
+    )
+    timing = time_kernel(args.chips, args.refs, args.seed)
+    for name, entry in timing["schemes"].items():
+        tag = "kernel" if entry["fast_path"] else "fallback"
+        print(
+            f"  {name:24s} [{tag}] controller "
+            f"{entry['trace_controller_s'] * 1e3:7.1f}ms  kernel "
+            f"{entry['trace_kernel_s'] * 1e3:7.1f}ms  "
+            f"{entry['trace_speedup']:.2f}x"
+        )
+    print(
+        f"  suite: controller {timing['suite_controller_s']:.2f}s  "
+        f"kernel {timing['suite_kernel_s']:.2f}s  "
+        f"{timing['suite_speedup']:.2f}x"
+    )
+
+    payload = {
+        "benchmark": "batcheval",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "seed": args.seed,
+        "identity": identity,
+        "timing": timing,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if not identity["ok"]:
+        print("bit-identity check FAILED", file=sys.stderr)
+        for mismatch in identity["mismatches"]:
+            print(f"  {mismatch}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,16 +7,22 @@ and placement schemes.
 
 Quickstart::
 
-    from repro import (
-        NODE_32NM, VariationParams, ChipSampler, Evaluator,
-        Cache3T1DArchitecture, SCHEME_RSP_FIFO,
-    )
+    from repro import NODE_32NM, VariationParams, ChipSampler, evaluate
 
     sampler = ChipSampler(NODE_32NM, VariationParams.severe(), seed=1)
     chip = sampler.sample_3t1d_chip()
-    arch = Cache3T1DArchitecture(chip, SCHEME_RSP_FIFO)
-    result = Evaluator(NODE_32NM).evaluate(arch)
+    result = evaluate(chip, "partial-refresh/DSP")
     print(result.normalized_performance)
+
+Batches go through :func:`repro.evaluate_many`, which shares one suite's
+traces (and the batched kernel's per-trace artifacts) across every
+(chip, scheme) pair::
+
+    from repro import Evaluator, evaluate_many, HEADLINE_SCHEMES
+
+    suite = Evaluator(NODE_32NM)
+    rows = evaluate_many(sampler.sample_3t1d_chips(10),
+                         HEADLINE_SCHEMES, suite)
 
 See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-vs-measured record of every table and figure.
@@ -84,13 +90,19 @@ from repro.core import (
     SCHEME_PARTIAL_DSP,
     SCHEME_RSP_FIFO,
     SCHEME_RSP_LRU,
+    TraceArtifacts,
     YieldModel,
+    evaluate,
+    evaluate_many,
     get_scheme,
+    kernel_supports,
+    simulate_trace,
 )
 from repro.engine import (
     CLIProgressReporter,
     CompositeObserver,
     CsvExport,
+    DEFAULT_EVALUATOR_CACHE_SIZE,
     EvaluatorSpec,
     EvalTask,
     Experiment,
@@ -100,8 +112,10 @@ from repro.engine import (
     ResultCache,
     RunObserver,
     all_experiments,
+    evaluator_cache_size,
     get_experiment,
     register_experiment,
+    set_evaluator_cache_size,
 )
 
 __version__ = "1.0.0"
@@ -167,7 +181,15 @@ __all__ = [
     "IdealCacheArchitecture",
     "Evaluator",
     "ChipEvaluation",
+    "TraceArtifacts",
+    "evaluate",
+    "evaluate_many",
+    "kernel_supports",
+    "simulate_trace",
     "YieldModel",
+    "DEFAULT_EVALUATOR_CACHE_SIZE",
+    "evaluator_cache_size",
+    "set_evaluator_cache_size",
     "CLIProgressReporter",
     "CompositeObserver",
     "CsvExport",

@@ -11,6 +11,9 @@ evaluates:
 * :mod:`repro.core.evaluation` -- runs benchmarks against an architecture
   and reports the paper's metrics (normalized performance, BIPS, dynamic
   and leakage power);
+* :mod:`repro.core.batcheval` -- the batched scheme-evaluation kernel
+  behind ``evaluate``/``evaluate_many`` (bit-identical fast path for the
+  non-RSP schemes, with per-suite trace artifacts);
 * :mod:`repro.core.yieldmodel` -- chip binning and discard statistics.
 """
 
@@ -38,6 +41,14 @@ from repro.core.evaluation import (
     BenchmarkResult,
     ChipEvaluation,
     Evaluator,
+)
+from repro.core.batcheval import (
+    TraceArtifacts,
+    evaluate,
+    evaluate_many,
+    kernel_fallback_reason,
+    kernel_supports,
+    simulate_trace,
 )
 from repro.core.yieldmodel import YieldModel, YieldReport
 from repro.core.wordlevel import WordLevelComparison, compare_refresh_granularity
@@ -68,6 +79,12 @@ __all__ = [
     "BenchmarkResult",
     "ChipEvaluation",
     "Evaluator",
+    "TraceArtifacts",
+    "evaluate",
+    "evaluate_many",
+    "kernel_fallback_reason",
+    "kernel_supports",
+    "simulate_trace",
     "YieldModel",
     "YieldReport",
     "WordLevelComparison",

@@ -1,0 +1,602 @@
+"""Batched scheme-evaluation kernel (the fast path behind every figure).
+
+Every figure driver ultimately replays benchmark reference traces through
+:class:`~repro.cache.controller.RetentionAwareCache`, once per
+(chip x scheme x benchmark).  That event controller is the semantic
+reference, but it pays interpreter overhead per memory reference.  This
+module provides the production path:
+
+* :class:`TraceArtifacts` -- per-trace numpy-derived artifacts (set
+  indices, tags, integer cycles, write masks) precomputed **once per
+  suite** and shared by every evaluation instead of being re-derived per
+  access;
+* :func:`simulate_trace` -- a flattened, policy-specialized simulation
+  kernel that is **bit-identical** to ``RetentionAwareCache.run_trace``
+  for the schemes whose semantics allow it (LRU/DSP placement with
+  no-refresh, partial-refresh, full-refresh, or global refresh); the
+  RSP block-move schemes, the online token-refresh engine, and the real
+  L2 simulator fall back to the event controller (see
+  :func:`kernel_fallback_reason`);
+* :func:`evaluate_many` / :func:`evaluate` -- the stable batched API the
+  engine (:mod:`repro.engine.parallel`) and the fig09/fig10/fig11
+  drivers route through.
+
+Bit-identity is enforced by tests that cross-validate the kernel against
+the event controller on every scheme x benchmark; the perf harness in
+``benchmarks/perf/`` times both paths and records the speedup in
+``BENCH_batcheval.json``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ChipDiscardedError, ConfigurationError, SimulationError
+from repro.cache.controller import RetentionAwareCache
+from repro.cache.refresh import (
+    FullRefresh,
+    GlobalRefresh,
+    NoRefresh,
+    PartialRefresh,
+)
+from repro.cache.replacement import DSPPolicy, LRUPolicy
+from repro.cache.stats import CacheStats
+from repro.workloads.generator import MemoryTrace
+
+
+@dataclass(frozen=True)
+class TraceArtifacts:
+    """Per-trace arrays precomputed once and shared by every evaluation.
+
+    The event controller re-derives ``line_address % n_sets`` and
+    ``line_address // n_sets`` (plus numpy-scalar conversions) on every
+    access of every (chip, scheme) evaluation.  The kernel instead runs
+    over these plain-``int`` lists, derived once per (trace, n_sets).
+    """
+
+    name: str
+    n_sets: int
+    cycles: List[int]
+    set_indices: List[int]
+    tags: List[int]
+    is_write: List[bool]
+    warmup_references: int
+    end_cycle: int
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    @classmethod
+    def from_trace(cls, trace: MemoryTrace, n_sets: int) -> "TraceArtifacts":
+        """Precompute the kernel's per-reference arrays for one trace."""
+        if n_sets < 1:
+            raise ConfigurationError("n_sets must be >= 1")
+        addresses = np.asarray(trace.line_addresses, dtype=np.int64)
+        return cls(
+            name=trace.name,
+            n_sets=n_sets,
+            cycles=np.asarray(trace.cycles, dtype=np.int64).tolist(),
+            set_indices=(addresses % n_sets).tolist(),
+            tags=(addresses // n_sets).tolist(),
+            is_write=np.asarray(trace.is_write, dtype=bool).tolist(),
+            warmup_references=trace.warmup_references,
+            end_cycle=int(trace.cycles[-1]) if len(trace) else 0,
+        )
+
+
+def kernel_fallback_reason(cache: RetentionAwareCache) -> Optional[str]:
+    """Why ``cache`` cannot take the batched kernel (None = it can).
+
+    The kernel is specialized for placement policies that never move
+    blocks between ways and refresh policies whose accounting is a pure
+    function of (line age, line retention).
+    """
+    if type(cache.replacement) not in (LRUPolicy, DSPPolicy):
+        return (
+            f"replacement {cache.replacement.name!r} physically moves "
+            "blocks between ways (RSP intrinsic refresh); block moves are "
+            "inherently sequential, so the event controller runs them"
+        )
+    if type(cache.refresh) not in (
+        NoRefresh,
+        PartialRefresh,
+        FullRefresh,
+        GlobalRefresh,
+    ):
+        return (
+            f"refresh policy {cache.refresh.name!r} is not one of the "
+            "paper's four closed-form policies"
+        )
+    if cache.refresh_engine is not None:
+        return (
+            "online token refresh serializes scheduled per-line services; "
+            "only the event controller models the token engine"
+        )
+    if cache.l2_cache is not None:
+        return (
+            "the real L2 simulator keeps its own sequential tag state; "
+            "only the event controller drives it"
+        )
+    return None
+
+
+def kernel_supports(cache: RetentionAwareCache) -> bool:
+    """True when :func:`simulate_trace` is exact for this cache."""
+    return kernel_fallback_reason(cache) is None
+
+
+def simulate_trace(
+    cache: RetentionAwareCache, artifacts: TraceArtifacts
+) -> CacheStats:
+    """Run a whole trace through the batched kernel; returns the stats.
+
+    ``cache`` must be a *fresh* (never accessed) simulator instance; it is
+    used as the source of configuration, quantised retention, and policy
+    objects, and is not mutated.  The returned :class:`CacheStats` is
+    bit-identical to ``cache.run_trace`` on the same trace for every
+    supported configuration (see :func:`kernel_fallback_reason`).
+    """
+    reason = kernel_fallback_reason(cache)
+    if reason is not None:
+        raise ConfigurationError(f"kernel cannot run this cache: {reason}")
+    if cache._tick:
+        raise SimulationError(
+            "simulate_trace needs a fresh (never accessed) cache instance"
+        )
+    config = cache.config
+    geometry = config.geometry
+    n_sets = geometry.n_sets
+    n_ways = geometry.ways
+    if artifacts.n_sets != n_sets:
+        raise ConfigurationError(
+            f"artifacts were built for {artifacts.n_sets} sets but the "
+            f"cache has {n_sets}"
+        )
+
+    refresh = cache.refresh
+    aware = cache.replacement.uses_retention_info
+    dsp = type(cache.replacement) is DSPPolicy
+    write_back = config.write_back
+    refresh_cpl = geometry.refresh_cycles_per_line
+
+    # Per-line constants.  Retention is already quantised by the
+    # controller's constructor; effective lifetimes and partial-refresh
+    # caps are pure functions of retention, so compute them once per
+    # distinct value (a b-bit counter admits at most 2**b of them).
+    retention: List[int] = [int(r) for r in cache.retention_grid.reshape(-1)]
+    distinct = set(retention)
+    life_by_r = {r: refresh.effective_lifetime(r) for r in distinct}
+    lifetime: List[float] = [life_by_r[r] for r in retention]
+    if type(refresh) is FullRefresh:
+        acc_mode = 1
+        maxref_by_r: Dict[int, int] = {}
+    elif type(refresh) is PartialRefresh:
+        acc_mode = 2
+        maxref_by_r = {r: refresh.max_refreshes(r) for r in distinct}
+    else:  # NoRefresh / GlobalRefresh: zero per-line refreshes
+        acc_mode = 0
+        maxref_by_r = {}
+
+    n_lines = n_sets * n_ways
+    # Tags live in one row per set with -1 marking invalid ways, so the
+    # hot-path lookup is a C-speed ``tag in row`` / ``row.index(tag)``
+    # over n_ways elements instead of a Python loop; first-match order
+    # equals the controller's way-order scan.
+    set_tags: List[List[int]] = [[-1] * n_ways for _ in range(n_sets)]
+    valid = [False] * n_lines
+    dirty = [False] * n_lines
+    stale = [False] * n_lines
+    fill_c = [0] * n_lines
+    expiry = [0.0] * n_lines
+    recency = [0] * n_lines
+    INF = math.inf
+    # Earliest expiry of any live resident line per set: the kernel only
+    # scans a set for expiries when the clock actually reaches it.
+    next_expiry = [INF] * n_sets
+    live_by_set: List[List[int]] = []
+    if dsp:
+        for s in range(n_sets):
+            base = s * n_ways
+            live_by_set.append(sorted(
+                (base + w for w in range(n_ways) if retention[base + w] > 0),
+                key=lambda j: (-retention[j], j),
+            ))
+
+    # Stat counters as locals (assembled into CacheStats at the end).
+    loads = stores = hits = misses_cold = misses_expired = 0
+    misses_dead = writebacks = expiry_wb = write_throughs = 0
+    l2_acc = line_refreshes = refresh_blocked = wb_stall = fills = 0
+
+    # Write-buffer state (same update rules as cache.l2.WriteBuffer).
+    wb_queued = 0
+    wb_last = 0.0
+    wb_cap = config.write_buffer_entries
+    wb_drain = config.l2_write_interval_cycles
+
+    def _push(cycle):
+        """WriteBuffer.push: drain lazily, stall when full; returns stall."""
+        nonlocal wb_queued, wb_last
+        if cycle < wb_last:
+            cycle = wb_last
+        drained = int((cycle - wb_last) // wb_drain)
+        if drained:
+            wb_queued -= drained
+            if wb_queued < 0:
+                wb_queued = 0
+        wb_last = cycle
+        if wb_queued >= wb_cap:
+            wb_queued = wb_cap
+            return wb_drain
+        wb_queued += 1
+        return 0
+
+    def _account(age, r):
+        """Lazy refresh accounting (RefreshPolicy.refresh_count)."""
+        nonlocal line_refreshes, refresh_blocked
+        if r <= 0:
+            return
+        count = age // r
+        if acc_mode == 2:
+            cap = maxref_by_r[r]
+            if count > cap:
+                count = cap
+        if count:
+            line_refreshes += count
+            refresh_blocked += count * refresh_cpl
+
+    def _evict(j, cyc):
+        """Controller.evict_line on a valid way."""
+        nonlocal writebacks, wb_stall
+        if stale[j]:
+            # Expiry already accounted refreshes and any write-back.
+            valid[j] = False
+            stale[j] = False
+            dirty[j] = False
+            return
+        age = cyc - fill_c[j]
+        if age < 0:
+            age = 0
+        if acc_mode:
+            _account(age, retention[j])
+        if dirty[j]:
+            writebacks += 1
+            wb_stall += _push(cyc)
+            dirty[j] = False
+        valid[j] = False
+
+    cycles = artifacts.cycles
+    sets_in = artifacts.set_indices
+    tags_in = artifacts.tags
+    writes_in = artifacts.is_write
+    n = len(cycles)
+    warm = artifacts.warmup_references
+    tick = 0
+
+    # Two zip segments split at the warmup boundary: the per-access loop
+    # then carries no index arithmetic and no warmup branch.
+    if 0 < warm < n:
+        segments = ((0, warm), (warm, n))
+    else:
+        segments = ((0, n),)
+    for start, stop in segments:
+        if start:
+            # Measurement begins: drop the warmup counts (state persists).
+            loads = stores = hits = misses_cold = misses_expired = 0
+            misses_dead = writebacks = expiry_wb = write_throughs = 0
+            l2_acc = line_refreshes = refresh_blocked = wb_stall = fills = 0
+        for cyc, s, tag, wr in zip(
+            cycles[start:stop],
+            sets_in[start:stop],
+            tags_in[start:stop],
+            writes_in[start:stop],
+        ):
+            tick += 1
+            if wr:
+                stores += 1
+            else:
+                loads += 1
+            base = s * n_ways
+            row = set_tags[s]
+
+            # Lazy per-set expiry sweep, skipped while nothing can expire.
+            recent = None
+            if cyc >= next_expiry[s]:
+                nxt = INF
+                for w in range(n_ways):
+                    j = base + w
+                    if valid[j] and not stale[j]:
+                        e = expiry[j]
+                        if cyc >= e:
+                            t = row[w]
+                            if recent is None:
+                                recent = {t}
+                            else:
+                                recent.add(t)
+                            ecyc = int(e)
+                            age = ecyc - fill_c[j]
+                            if age < 0:
+                                age = 0
+                            if acc_mode:
+                                _account(age, retention[j])
+                            if dirty[j]:
+                                writebacks += 1
+                                expiry_wb += 1
+                                wb_stall += _push(ecyc)
+                                dirty[j] = False
+                            if aware:
+                                valid[j] = False
+                                row[w] = -1
+                            else:
+                                stale[j] = True
+                        elif e < nxt:
+                            nxt = e
+                next_expiry[s] = nxt
+
+            if tag in row:
+                way = base + row.index(tag)
+            else:
+                way = -1
+
+            if wr and not write_back:
+                # Write-through, no-write-allocate store path.
+                write_throughs += 1
+                wb_stall += _push(cyc)
+                if way >= 0 and not stale[way]:
+                    recency[way] = tick
+                    hits += 1
+                else:
+                    misses_cold += 1
+                continue
+
+            if way >= 0:
+                if stale[way]:
+                    # Expired miss: the line refills in place from the L2.
+                    misses_expired += 1
+                    l2_acc += 1
+                    stale[way] = False
+                    dirty[way] = wr
+                    fill_c[way] = cyc
+                    e = cyc + lifetime[way]
+                    expiry[way] = e
+                    if e < next_expiry[s]:
+                        next_expiry[s] = e
+                    recency[way] = tick
+                    fills += 1
+                    continue
+                hits += 1
+                recency[way] = tick
+                if wr:
+                    dirty[way] = True
+                continue
+
+            # Miss: classify by whether the tag was resident-but-expired.
+            expired = recent is not None and tag in recent
+            l2_acc += 1
+            if dsp:
+                live = live_by_set[s]
+                if not live:
+                    misses_dead += 1
+                    continue
+                victim = -1
+                for j in live:
+                    if not valid[j]:
+                        victim = j
+                        break
+                if victim < 0:
+                    best = -1
+                    best_r = 0
+                    for j in live:
+                        r_ = recency[j]
+                        if best < 0 or r_ < best_r:
+                            best = j
+                            best_r = r_
+                    victim = best
+                    _evict(victim, cyc)
+            else:
+                victim = -1
+                for w in range(n_ways):
+                    j = base + w
+                    if not valid[j]:
+                        victim = j
+                        break
+                if victim < 0:
+                    best = base
+                    best_r = recency[base]
+                    for w in range(1, n_ways):
+                        j = base + w
+                        r_ = recency[j]
+                        if r_ < best_r:
+                            best = j
+                            best_r = r_
+                    victim = best
+                    _evict(victim, cyc)
+            if expired:
+                misses_expired += 1
+            else:
+                misses_cold += 1
+            row[victim - base] = tag
+            valid[victim] = True
+            stale[victim] = False
+            dirty[victim] = wr
+            fill_c[victim] = cyc
+            e = cyc + lifetime[victim]
+            expiry[victim] = e
+            if e < next_expiry[s]:
+                next_expiry[s] = e
+            recency[victim] = tick
+            fills += 1
+
+    if warm and n <= warm:
+        loads = stores = hits = misses_cold = misses_expired = 0
+        misses_dead = writebacks = expiry_wb = write_throughs = 0
+        l2_acc = line_refreshes = refresh_blocked = wb_stall = fills = 0
+
+    # Finalize: refreshes still owed by resident lines, then the global
+    # scheme's whole-cache passes.
+    end_cycle = artifacts.end_cycle
+    for j in range(n_lines):
+        if valid[j] and not stale[j]:
+            e = expiry[j]
+            cutoff = end_cycle if e > end_cycle else e
+            age = int(cutoff) - fill_c[j]
+            if age < 0:
+                age = 0
+            if acc_mode:
+                _account(age, retention[j])
+    if type(refresh) is GlobalRefresh:
+        passes = end_cycle // refresh.chip_retention_cycles
+        line_refreshes += passes * n_lines
+        refresh_blocked += passes * refresh.pass_cycles
+
+    return CacheStats(
+        loads=loads,
+        stores=stores,
+        hits=hits,
+        misses_cold=misses_cold,
+        misses_expired=misses_expired,
+        misses_dead_bypass=misses_dead,
+        writebacks=writebacks,
+        expiry_writebacks=expiry_wb,
+        write_throughs=write_throughs,
+        l2_accesses=l2_acc,
+        l2_hits=0,
+        l2_misses=0,
+        line_refreshes=line_refreshes,
+        refresh_blocked_cycles=refresh_blocked,
+        line_moves=0,
+        move_blocked_cycles=0,
+        write_buffer_stall_cycles=wb_stall,
+        fills=fills,
+    )
+
+
+# ----------------------------------------------------------------------
+# batched evaluation API
+# ----------------------------------------------------------------------
+
+
+def _resolve_suite(suite):
+    """Turn ``suite`` into an Evaluator (the object hosting the traces).
+
+    Accepts an :class:`~repro.core.evaluation.Evaluator`, anything with a
+    ``build()`` method returning one (e.g.
+    :class:`~repro.engine.parallel.EvaluatorSpec`), or ``None`` for the
+    default 32nm suite.
+    """
+    from repro.core.evaluation import Evaluator
+
+    if suite is None:
+        from repro.technology.node import NODE_32NM
+
+        return Evaluator(NODE_32NM)
+    if isinstance(suite, Evaluator):
+        return suite
+    build = getattr(suite, "build", None)
+    if callable(build):
+        evaluator = build()
+        if isinstance(evaluator, Evaluator):
+            return evaluator
+    raise ConfigurationError(
+        "suite must be an Evaluator, an object whose .build() returns "
+        f"one, or None; got {type(suite).__name__}"
+    )
+
+
+def evaluate_many(
+    chips: Sequence,
+    schemes: Sequence,
+    suite=None,
+    *,
+    benchmarks: Optional[Sequence[str]] = None,
+):
+    """Evaluate every (chip, scheme) pair against the benchmark suite.
+
+    Parameters
+    ----------
+    chips:
+        :class:`~repro.array.chip.DRAM3T1DChipSample` instances.
+    schemes:
+        :class:`~repro.core.schemes.RetentionScheme` objects or
+        paper-style names.
+    suite:
+        The benchmark suite: an
+        :class:`~repro.core.evaluation.Evaluator` (traces and per-trace
+        artifacts are precomputed once on it and shared by every pair),
+        an ``EvaluatorSpec``-like object with ``build()``, or ``None``
+        for the default suite.
+    benchmarks:
+        Optional benchmark subset (default: the suite's full set).
+
+    Returns
+    -------
+    A list with one row per chip; each row holds one
+    :class:`~repro.core.evaluation.ChipEvaluation` per scheme, in order,
+    or ``None`` where the chip is discarded under that scheme (the
+    global scheme's retention rule).
+    """
+    from repro.core.architecture import Cache3T1DArchitecture
+    from repro.core.schemes import RetentionScheme, get_scheme
+
+    evaluator = _resolve_suite(suite)
+    scheme_objs = [
+        scheme if isinstance(scheme, RetentionScheme) else get_scheme(scheme)
+        for scheme in schemes
+    ]
+    results = []
+    for chip in chips:
+        row = []
+        for scheme in scheme_objs:
+            try:
+                architecture = Cache3T1DArchitecture(
+                    chip, scheme, config=evaluator.config
+                )
+                row.append(
+                    evaluator.evaluate(architecture, benchmarks=benchmarks)
+                )
+            except ChipDiscardedError:
+                row.append(None)
+        results.append(row)
+    return results
+
+
+def evaluate(
+    chip,
+    scheme,
+    suite=None,
+    *,
+    benchmarks: Optional[Sequence[str]] = None,
+):
+    """Evaluate one (chip, scheme) pair; the single-pair facade entry.
+
+    Raises :class:`~repro.errors.ChipDiscardedError` when the chip
+    cannot operate under the scheme (use :func:`evaluate_many` to get
+    ``None`` markers instead of exceptions over a batch).
+    """
+    result = evaluate_many([chip], [scheme], suite, benchmarks=benchmarks)
+    evaluation = result[0][0]
+    if evaluation is None:
+        from repro.core.schemes import RetentionScheme, get_scheme
+
+        name = (
+            scheme.name if isinstance(scheme, RetentionScheme)
+            else get_scheme(scheme).name
+        )
+        raise ChipDiscardedError(
+            f"chip {getattr(chip, 'chip_id', '?')} is discarded under "
+            f"scheme {name!r}"
+        )
+    return evaluation
+
+
+__all__ = [
+    "TraceArtifacts",
+    "simulate_trace",
+    "kernel_supports",
+    "kernel_fallback_reason",
+    "evaluate_many",
+    "evaluate",
+]

@@ -35,6 +35,7 @@ from repro.core.architecture import (
     Cache6TArchitecture,
     IdealCacheArchitecture,
 )
+from repro.core.batcheval import TraceArtifacts, kernel_supports, simulate_trace
 
 Architecture = Union[
     Cache3T1DArchitecture, Cache6TArchitecture, IdealCacheArchitecture
@@ -116,6 +117,7 @@ class Evaluator:
         n_references: int = 20000,
         seed: int = 0,
         benchmarks: Optional[Sequence[str]] = None,
+        use_batch_kernel: bool = True,
     ):
         if n_references < 1:
             raise ConfigurationError("n_references must be >= 1")
@@ -123,6 +125,7 @@ class Evaluator:
         self.config = config or CacheConfig()
         self.n_references = n_references
         self.seed = seed
+        self.use_batch_kernel = use_batch_kernel
         self.benchmarks = tuple(
             benchmark_names() if benchmarks is None else benchmarks
         )
@@ -133,6 +136,7 @@ class Evaluator:
             )
         self._traces: Dict[str, MemoryTrace] = {}
         self._baseline_stats: Dict[Tuple[str, int], CacheStats] = {}
+        self._artifacts: Dict[Tuple[str, int], TraceArtifacts] = {}
 
     # ------------------------------------------------------------------
     # cached inputs
@@ -153,6 +157,41 @@ class Evaluator:
             )
         return self._traces[benchmark]
 
+    def trace_artifacts(self, benchmark: str, n_sets: int) -> TraceArtifacts:
+        """The cached kernel artifacts for ``benchmark`` at ``n_sets``.
+
+        Set indices, tags, and plain-int cycle/write arrays are derived
+        once per (trace, set count) and shared by every (chip, scheme)
+        evaluation that runs through the batched kernel.
+        """
+        key = (benchmark, n_sets)
+        artifacts = self._artifacts.get(key)
+        if artifacts is None:
+            artifacts = TraceArtifacts.from_trace(self.trace(benchmark), n_sets)
+            self._artifacts[key] = artifacts
+        return artifacts
+
+    def _run_trace(self, cache, benchmark: str) -> CacheStats:
+        """Run the benchmark trace through ``cache``.
+
+        Routes through the batched kernel (:mod:`repro.core.batcheval`)
+        whenever the cache's policies allow -- bit-identical to the event
+        controller -- and falls back to ``RetentionAwareCache.run_trace``
+        for the RSP block-move schemes, the token engine, and the real L2.
+        """
+        if self.use_batch_kernel and kernel_supports(cache):
+            return simulate_trace(
+                cache,
+                self.trace_artifacts(benchmark, cache.config.geometry.n_sets),
+            )
+        trace = self.trace(benchmark)
+        return cache.run_trace(
+            trace.cycles,
+            trace.line_addresses,
+            trace.is_write,
+            warmup_references=trace.warmup_references,
+        )
+
     def baseline_stats(self, benchmark: str, ways: Optional[int] = None) -> CacheStats:
         """Ideal-cache stats on the benchmark trace (cached per assoc)."""
         ways = ways or self.config.geometry.ways
@@ -164,13 +203,8 @@ class Evaluator:
                 else self.config.with_ways(ways)
             )
             ideal = IdealCacheArchitecture(self.node, config)
-            cache = ideal.build_cache()
-            trace = self.trace(benchmark)
-            self._baseline_stats[key] = cache.run_trace(
-                trace.cycles,
-                trace.line_addresses,
-                trace.is_write,
-                warmup_references=trace.warmup_references,
+            self._baseline_stats[key] = self._run_trace(
+                ideal.build_cache(), benchmark
             )
         return self._baseline_stats[key]
 
@@ -221,12 +255,7 @@ class Evaluator:
 
         # --- 3T1D architecture ---
         cache = architecture.build_cache()
-        stats = cache.run_trace(
-            trace.cycles,
-            trace.line_addresses,
-            trace.is_write,
-            warmup_references=trace.warmup_references,
-        )
+        stats = self._run_trace(cache, benchmark)
         model = AnalyticCPUModel(profile, architecture.config)
         if architecture.scheme.is_global:
             duty = min(

@@ -29,13 +29,16 @@ from repro.engine.observer import (
     RunObserver,
 )
 from repro.engine.parallel import (
+    DEFAULT_EVALUATOR_CACHE_SIZE,
     EvalTask,
     EvaluatorSpec,
     ParallelChipRunner,
     SchemeOutcome,
+    evaluator_cache_size,
     evaluator_for,
     run_build_task,
     run_eval_task,
+    set_evaluator_cache_size,
 )
 from repro.engine.registry import (
     CsvExport,
@@ -55,12 +58,15 @@ __all__ = [
     "CLIProgressReporter",
     "JSONMetricsObserver",
     "ParallelChipRunner",
+    "DEFAULT_EVALUATOR_CACHE_SIZE",
     "EvaluatorSpec",
     "EvalTask",
     "SchemeOutcome",
+    "evaluator_cache_size",
     "evaluator_for",
     "run_build_task",
     "run_eval_task",
+    "set_evaluator_cache_size",
     "CsvExport",
     "Experiment",
     "register_experiment",

@@ -30,11 +30,13 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ChipDiscardedError, ConfigurationError
+from repro.errors import ConfigurationError
 from repro.technology.node import TechnologyNode
 from repro.array.chip import ChipBuildTask, DRAM3T1DChipSample
+from repro.array.power import CachePowerModel
 from repro.cache.config import CacheConfig
-from repro.core.architecture import Cache3T1DArchitecture, IdealCacheArchitecture
+from repro.core.architecture import IdealCacheArchitecture
+from repro.core.batcheval import evaluate_many
 from repro.core.evaluation import Evaluator
 from repro.core.schemes import get_scheme
 from repro.engine.observer import NULL_OBSERVER, RunObserver
@@ -79,8 +81,34 @@ class EvaluatorSpec:
 # expensive benchmark traces across tasks that share a spec.  Bounded so
 # long-lived processes running many differently-scaled contexts don't
 # accumulate traces without limit.
+DEFAULT_EVALUATOR_CACHE_SIZE = 6
+
 _EVALUATOR_CACHE: "OrderedDict[EvaluatorSpec, Evaluator]" = OrderedDict()
-_EVALUATOR_CACHE_MAX = 6
+_EVALUATOR_CACHE_MAX = DEFAULT_EVALUATOR_CACHE_SIZE
+
+
+def evaluator_cache_size() -> int:
+    """The current process-local evaluator LRU capacity."""
+    return _EVALUATOR_CACHE_MAX
+
+
+def set_evaluator_cache_size(size: int) -> None:
+    """Resize the process-local evaluator LRU (evicting if shrinking).
+
+    Worker processes inherit the size from the
+    :class:`ParallelChipRunner` that spawned them; raise it when one run
+    interleaves more than ``DEFAULT_EVALUATOR_CACHE_SIZE`` distinct
+    :class:`EvaluatorSpec` shapes and trace regeneration shows up in
+    profiles.
+    """
+    global _EVALUATOR_CACHE_MAX
+    if size < 1:
+        raise ConfigurationError(
+            f"evaluator cache size must be >= 1, got {size}"
+        )
+    _EVALUATOR_CACHE_MAX = size
+    while len(_EVALUATOR_CACHE) > _EVALUATOR_CACHE_MAX:
+        _EVALUATOR_CACHE.popitem(last=False)
 
 
 def evaluator_for(spec: EvaluatorSpec) -> Evaluator:
@@ -94,6 +122,11 @@ def evaluator_for(spec: EvaluatorSpec) -> Evaluator:
     else:
         _EVALUATOR_CACHE.move_to_end(spec)
     return evaluator
+
+
+def _init_worker(cache_size: int) -> None:
+    """Process-pool initializer: propagate the evaluator LRU capacity."""
+    set_evaluator_cache_size(cache_size)
 
 
 @dataclass(frozen=True)
@@ -154,17 +187,13 @@ class EvalTask:
 def _evaluate_schemes(
     evaluator: Evaluator, task: EvalTask
 ) -> Tuple[SchemeOutcome, ...]:
+    evaluations = evaluate_many(
+        [task.chip], task.schemes, evaluator, benchmarks=task.benchmarks
+    )[0]
     outcomes: List[SchemeOutcome] = []
-    for name in task.schemes:
+    for name, evaluation in zip(task.schemes, evaluations):
         scheme = get_scheme(name)
-        try:
-            architecture = Cache3T1DArchitecture(
-                task.chip, scheme, config=evaluator.config
-            )
-            evaluation = evaluator.evaluate(
-                architecture, benchmarks=task.benchmarks
-            )
-        except ChipDiscardedError:
+        if evaluation is None:
             outcomes.append(SchemeOutcome(scheme=name, discarded=True))
             continue
         results = evaluation.results
@@ -175,7 +204,11 @@ def _evaluate_schemes(
         ]))
         refresh_norm = 0.0
         if scheme.is_global:
-            refresh_watts = architecture.power_model().global_refresh_power(
+            power_model = CachePowerModel(
+                evaluator.node, cell_kind="3T1D",
+                geometry=evaluator.config.geometry,
+            )
+            refresh_watts = power_model.global_refresh_power(
                 task.chip.chip_retention_time
             )
             refresh_norm = refresh_watts / ideal_watts
@@ -223,17 +256,34 @@ class ParallelChipRunner:
     deterministically seeded and self-contained.
     """
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        evaluator_cache_size: Optional[int] = None,
+    ):
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if evaluator_cache_size is not None:
+            # Applies to the serial/inline path immediately; worker
+            # processes pick it up through the pool initializer.
+            set_evaluator_cache_size(evaluator_cache_size)
+        self.evaluator_cache_size = (
+            evaluator_cache_size
+            if evaluator_cache_size is not None
+            else _EVALUATOR_CACHE_MAX
+        )
         self._executor: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self.evaluator_cache_size,),
+            )
         return self._executor
 
     def map(
@@ -307,11 +357,14 @@ class ParallelChipRunner:
 
 
 __all__ = [
+    "DEFAULT_EVALUATOR_CACHE_SIZE",
     "EvaluatorSpec",
     "EvalTask",
     "SchemeOutcome",
     "ParallelChipRunner",
+    "evaluator_cache_size",
     "evaluator_for",
     "run_eval_task",
     "run_build_task",
+    "set_evaluator_cache_size",
 ]

@@ -49,21 +49,22 @@ def run(
     good, median, bad = YieldModel(context.chips_3t1d("severe")).pick_good_median_bad()
     chips = {"good": good, "median": median, "bad": bad}
     spec = context.evaluator_spec()
-    pairs = [
-        (scheme, label) for scheme in schemes for label in chips
-    ]
+    # One task per chip, all schemes batched through evaluate_many.
+    labels = list(chips)
+    scheme_names = tuple(scheme.name for scheme in schemes)
     tasks = [
-        EvalTask(evaluator=spec, chip=chips[label], schemes=(scheme.name,))
-        for scheme, label in pairs
+        EvalTask(evaluator=spec, chip=chips[label], schemes=scheme_names)
+        for label in labels
     ]
     outcomes = context.runner.evaluate(
         tasks, observer=context.observer, label="fig09: schemes x chips"
     )
     performance: Dict[str, Dict[str, float]] = {s.name: {} for s in schemes}
     power: Dict[str, Dict[str, float]] = {s.name: {} for s in schemes}
-    for (scheme, label), (outcome,) in zip(pairs, outcomes):
-        performance[scheme.name][label] = outcome.normalized_performance
-        power[scheme.name][label] = outcome.dynamic_power_normalized
+    for label, chip_outcomes in zip(labels, outcomes):
+        for outcome in chip_outcomes:
+            performance[outcome.scheme][label] = outcome.normalized_performance
+            power[outcome.scheme][label] = outcome.dynamic_power_normalized
     return Fig09Result(performance=performance, power=power)
 
 

@@ -54,27 +54,26 @@ def run(
     performance: Dict[str, Dict[str, Dict[int, float]]] = {
         label: {scheme.name: {} for scheme in schemes} for label in chips
     }
-    triples = [
-        (ways, label, scheme)
-        for ways in ways_sweep
-        for label in chips
-        for scheme in schemes
-    ]
+    # One task per (ways, chip) with all schemes batched; each worker's
+    # evaluate_many call then shares the per-associativity suite.
+    scheme_names = tuple(scheme.name for scheme in schemes)
+    pairs = [(ways, label) for ways in ways_sweep for label in chips]
     tasks = [
         EvalTask(
             evaluator=context.evaluator_spec(ways=ways),
             chip=chips[label],
-            schemes=(scheme.name,),
+            schemes=scheme_names,
         )
-        for ways, label, scheme in triples
+        for ways, label in pairs
     ]
     outcomes = context.runner.evaluate(
         tasks, observer=context.observer, label="fig11: associativity sweep"
     )
-    for (ways, label, scheme), (outcome,) in zip(triples, outcomes):
-        performance[label][scheme.name][ways] = (
-            outcome.normalized_performance
-        )
+    for (ways, label), chip_outcomes in zip(pairs, outcomes):
+        for outcome in chip_outcomes:
+            performance[label][outcome.scheme][ways] = (
+                outcome.normalized_performance
+            )
     return Fig11Result(performance=performance)
 
 

@@ -41,6 +41,9 @@ class ExperimentContext:
     seed: int = 2007  # the paper's year; any fixed value works
     benchmarks: Optional[Sequence[str]] = None
     workers: int = 1
+    evaluator_cache_size: Optional[int] = None
+    """Capacity of the per-process evaluator LRU (traces are cached per
+    :class:`EvaluatorSpec`); ``None`` keeps the engine default."""
     observer: RunObserver = field(
         default=NULL_OBSERVER, repr=False, compare=False
     )
@@ -101,7 +104,9 @@ class ExperimentContext:
     def runner(self) -> ParallelChipRunner:
         """The (lazily created) chip-batch scheduler for this context."""
         if self._runner is None:
-            self._runner = ParallelChipRunner(self.workers)
+            self._runner = ParallelChipRunner(
+                self.workers, evaluator_cache_size=self.evaluator_cache_size
+            )
         return self._runner
 
     def close(self) -> None:

@@ -1,0 +1,352 @@
+"""The batched evaluation kernel: bit-identity and edge semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ChipDiscardedError,
+    ConfigurationError,
+    SimulationError,
+)
+from repro.technology import NODE_32NM
+from repro.variation import VariationParams
+from repro.array import ChipSampler
+from repro.cache import CacheConfig, RetentionAwareCache
+from repro.cache.refresh import NoRefresh, PartialRefresh
+from repro.core import (
+    Cache3T1DArchitecture,
+    Evaluator,
+    LINE_LEVEL_SCHEMES,
+    SCHEME_GLOBAL,
+    TraceArtifacts,
+    evaluate,
+    evaluate_many,
+    kernel_fallback_reason,
+    kernel_supports,
+    simulate_trace,
+)
+from repro.workloads.generator import MemoryTrace
+
+ALL_SCHEMES = (SCHEME_GLOBAL,) + LINE_LEVEL_SCHEMES
+
+
+@pytest.fixture(scope="module")
+def kernel_evaluator():
+    return Evaluator(NODE_32NM, n_references=1200, seed=11)
+
+
+@pytest.fixture(scope="module")
+def controller_evaluator():
+    return Evaluator(
+        NODE_32NM, n_references=1200, seed=11, use_batch_kernel=False
+    )
+
+
+@pytest.fixture(scope="module")
+def chips():
+    typical = ChipSampler(
+        NODE_32NM, VariationParams.typical(), seed=20
+    ).sample_3t1d_chip()
+    severe = ChipSampler(
+        NODE_32NM, VariationParams.severe(), seed=21
+    ).sample_3t1d_chip()
+    return [typical, severe]
+
+
+def _evaluate(evaluator, chip, scheme):
+    try:
+        return evaluator.evaluate(
+            Cache3T1DArchitecture(chip, scheme, config=evaluator.config)
+        )
+    except ChipDiscardedError:
+        return None
+
+
+class TestBitIdentity:
+    """evaluate_many == RetentionAwareCache on every scheme x benchmark."""
+
+    @pytest.mark.parametrize(
+        "scheme", ALL_SCHEMES, ids=lambda s: s.name
+    )
+    def test_scheme_identical_on_full_suite(
+        self, scheme, chips, kernel_evaluator, controller_evaluator
+    ):
+        for chip in chips:
+            via_kernel = _evaluate(kernel_evaluator, chip, scheme)
+            via_controller = _evaluate(controller_evaluator, chip, scheme)
+            assert (via_kernel is None) == (via_controller is None)
+            if via_kernel is None:
+                continue
+            assert (
+                set(via_kernel.results)
+                == set(kernel_evaluator.benchmarks)
+            )
+            for bench in via_kernel.results:
+                a = via_kernel.results[bench]
+                b = via_controller.results[bench]
+                assert a.stats == b.stats, (scheme.name, bench)
+                assert (
+                    a.normalized_performance == b.normalized_performance
+                ), (scheme.name, bench)
+                assert a.ipc == b.ipc
+                assert a.dynamic_power_watts == b.dynamic_power_watts
+                assert (
+                    a.dynamic_power_normalized == b.dynamic_power_normalized
+                )
+
+    def test_baseline_stats_identical(
+        self, kernel_evaluator, controller_evaluator
+    ):
+        for bench in kernel_evaluator.benchmarks:
+            assert kernel_evaluator.baseline_stats(
+                bench
+            ) == controller_evaluator.baseline_stats(bench)
+
+
+class TestKernelSupports:
+    def test_fast_path_schemes_supported(self, chips, kernel_evaluator):
+        for scheme in ALL_SCHEMES:
+            cache = Cache3T1DArchitecture(
+                chips[0], scheme, config=kernel_evaluator.config
+            ).build_cache()
+            if scheme.name.startswith("RSP"):
+                assert not kernel_supports(cache)
+                assert "block" in kernel_fallback_reason(cache)
+            else:
+                assert kernel_supports(cache)
+                assert kernel_fallback_reason(cache) is None
+
+    def test_real_l2_falls_back(self):
+        cache = RetentionAwareCache(CacheConfig(real_l2=True))
+        assert not kernel_supports(cache)
+        assert "L2" in kernel_fallback_reason(cache)
+
+    def test_online_refresh_falls_back(self):
+        cache = RetentionAwareCache(
+            CacheConfig(), refresh=PartialRefresh(), online_refresh=True
+        )
+        assert cache.refresh_engine is not None
+        assert not kernel_supports(cache)
+        assert "token" in kernel_fallback_reason(cache)
+
+    def test_simulate_trace_rejects_unsupported(self, kernel_evaluator):
+        cache = RetentionAwareCache(CacheConfig(real_l2=True))
+        artifacts = kernel_evaluator.trace_artifacts(
+            kernel_evaluator.benchmarks[0],
+            cache.config.geometry.n_sets,
+        )
+        with pytest.raises(ConfigurationError):
+            simulate_trace(cache, artifacts)
+
+
+def _micro_trace(cycles, addresses, writes):
+    return MemoryTrace(
+        cycles=np.asarray(cycles, dtype=np.int64),
+        line_addresses=np.asarray(addresses, dtype=np.int64),
+        is_write=np.asarray(writes, dtype=bool),
+        name="micro",
+        instructions=len(cycles),
+    )
+
+
+def _run_both(grid, replacement, refresh, trace, config=None):
+    """(controller stats, kernel stats) on identical fresh caches."""
+    config = config or CacheConfig()
+
+    def build():
+        return RetentionAwareCache(
+            config,
+            retention_cycles=grid,
+            replacement=replacement,
+            refresh=refresh,
+            quantize=False,
+        )
+
+    via_controller = build().run_trace(
+        trace.cycles, trace.line_addresses, trace.is_write
+    )
+    via_kernel = simulate_trace(
+        build(), TraceArtifacts.from_trace(trace, config.geometry.n_sets)
+    )
+    return via_controller, via_kernel
+
+
+class TestEdgeSemantics:
+    """Controller corner cases the kernel must reproduce exactly."""
+
+    def test_all_dead_set_dsp_bypasses(self):
+        config = CacheConfig()
+        geometry = config.geometry
+        grid = np.full((geometry.n_sets, geometry.ways), 100000, np.int64)
+        grid[0, :] = 0  # every line in set 0 is dead
+        trace = _micro_trace(
+            cycles=range(0, 40, 2),
+            addresses=[w * geometry.n_sets for w in range(5)] * 4,
+            writes=[False, True] * 10,
+        )
+        ctrl, kern = _run_both(grid, "DSP", NoRefresh(), trace)
+        assert ctrl == kern
+        assert kern.misses_dead_bypass == len(trace)
+
+    def test_all_dead_set_lru_expires_immediately(self):
+        config = CacheConfig()
+        geometry = config.geometry
+        grid = np.full((geometry.n_sets, geometry.ways), 100000, np.int64)
+        grid[0, :] = 0
+        trace = _micro_trace(
+            cycles=range(0, 40, 2),
+            addresses=[w * geometry.n_sets for w in range(5)] * 4,
+            writes=[False, True] * 10,
+        )
+        ctrl, kern = _run_both(grid, "LRU", NoRefresh(), trace)
+        assert ctrl == kern
+        # LRU keeps filling the dead lines; every reference misses.
+        assert kern.hits == 0
+        assert kern.misses == len(trace)
+
+    def test_write_through_mode(self):
+        config = CacheConfig(write_back=False)
+        geometry = config.geometry
+        grid = np.full((geometry.n_sets, geometry.ways), 500, np.int64)
+        trace = _micro_trace(
+            cycles=range(0, 40, 2),
+            addresses=[w * geometry.n_sets for w in range(5)] * 4,
+            writes=[False, True] * 10,
+        )
+        ctrl, kern = _run_both(grid, "LRU", NoRefresh(), trace, config)
+        assert ctrl == kern
+        assert kern.write_throughs == 10
+        assert kern.writebacks == 0
+
+    @pytest.mark.parametrize("replacement", ["LRU", "DSP"])
+    def test_dirty_line_expires_on_referenced_cycle(self, replacement):
+        config = CacheConfig()
+        geometry = config.geometry
+        grid = np.full((geometry.n_sets, geometry.ways), 100000, np.int64)
+        grid[0, :] = 50
+        # Write fills a dirty line at cycle 0 (lifetime 50); the next
+        # reference lands exactly on the expiry cycle, so the sweep must
+        # write the line back and reclassify the access as expired-miss.
+        trace = _micro_trace(
+            cycles=[0, 50, 60], addresses=[0, 0, 0],
+            writes=[True, False, True],
+        )
+        ctrl, kern = _run_both(grid, replacement, NoRefresh(), trace)
+        assert ctrl == kern
+        assert kern.expiry_writebacks == 1
+        assert kern.misses_expired == 1
+
+    def test_partial_refresh_identical_on_micro_trace(self):
+        config = CacheConfig()
+        geometry = config.geometry
+        grid = np.full((geometry.n_sets, geometry.ways), 900, np.int64)
+        trace = _micro_trace(
+            cycles=range(0, 30000, 250),
+            addresses=[w * geometry.n_sets for w in range(6)] * 20,
+            writes=[True, False, False] * 40,
+        )
+        refresh = PartialRefresh(
+            threshold_cycles=config.partial_refresh_threshold_cycles
+        )
+        ctrl, kern = _run_both(grid, "LRU", refresh, trace)
+        assert ctrl == kern
+        assert kern.line_refreshes > 0
+
+
+class TestTraceArtifacts:
+    def test_set_and_tag_decomposition(self):
+        trace = _micro_trace(
+            cycles=[0, 1, 2], addresses=[0, 257, 513], writes=[False] * 3
+        )
+        artifacts = TraceArtifacts.from_trace(trace, 256)
+        assert artifacts.set_indices == [0, 1, 1]
+        assert artifacts.tags == [0, 1, 2]
+        assert artifacts.end_cycle == 2
+        assert len(artifacts) == 3
+
+    def test_evaluator_caches_artifacts(self, kernel_evaluator):
+        bench = kernel_evaluator.benchmarks[0]
+        first = kernel_evaluator.trace_artifacts(bench, 256)
+        second = kernel_evaluator.trace_artifacts(bench, 256)
+        assert first is second
+        assert kernel_evaluator.trace_artifacts(bench, 128) is not first
+
+    def test_set_count_mismatch_rejected(self, kernel_evaluator, chips):
+        cache = Cache3T1DArchitecture(
+            chips[0], LINE_LEVEL_SCHEMES[0], config=kernel_evaluator.config
+        ).build_cache()
+        wrong = kernel_evaluator.trace_artifacts(
+            kernel_evaluator.benchmarks[0],
+            cache.config.geometry.n_sets * 2,
+        )
+        with pytest.raises(ConfigurationError):
+            simulate_trace(cache, wrong)
+
+    def test_used_cache_rejected(self, kernel_evaluator, chips):
+        cache = Cache3T1DArchitecture(
+            chips[0], LINE_LEVEL_SCHEMES[0], config=kernel_evaluator.config
+        ).build_cache()
+        artifacts = kernel_evaluator.trace_artifacts(
+            kernel_evaluator.benchmarks[0],
+            cache.config.geometry.n_sets,
+        )
+        # The kernel reads only immutable cache state, so reusing it for
+        # several kernel runs is fine ...
+        assert simulate_trace(cache, artifacts) == simulate_trace(
+            cache, artifacts
+        )
+        # ... but a cache that already ran event-mode accesses is stale.
+        cache.run_trace(
+            np.asarray([0]), np.asarray([0]), np.asarray([False])
+        )
+        with pytest.raises(SimulationError):
+            simulate_trace(cache, artifacts)
+
+
+class TestEvaluateMany:
+    def test_row_per_chip_column_per_scheme(self, chips, kernel_evaluator):
+        schemes = [LINE_LEVEL_SCHEMES[0], "partial-refresh/DSP"]
+        rows = evaluate_many(chips, schemes, kernel_evaluator)
+        assert len(rows) == len(chips)
+        for row in rows:
+            assert [e.scheme for e in row] == [
+                "no-refresh/LRU", "partial-refresh/DSP",
+            ]
+
+    def test_matches_single_evaluate(self, chips, kernel_evaluator):
+        scheme = LINE_LEVEL_SCHEMES[0]
+        batched = evaluate_many(
+            chips[:1], [scheme], kernel_evaluator
+        )[0][0]
+        single = evaluate(chips[0], scheme, kernel_evaluator)
+        assert (
+            batched.normalized_performance == single.normalized_performance
+        )
+
+    def test_discarded_chip_yields_none(self, kernel_evaluator):
+        sampler = ChipSampler(NODE_32NM, VariationParams.severe(), seed=99)
+        discarded = None
+        for chip in sampler.sample_3t1d_chips(30):
+            if _evaluate(kernel_evaluator, chip, SCHEME_GLOBAL) is None:
+                discarded = chip
+                break
+        assert discarded is not None, "expected a global-scheme discard"
+        row = evaluate_many(
+            [discarded], [SCHEME_GLOBAL, LINE_LEVEL_SCHEMES[0]],
+            kernel_evaluator,
+        )[0]
+        assert row[0] is None
+        assert row[1] is not None
+        with pytest.raises(ChipDiscardedError):
+            evaluate(discarded, SCHEME_GLOBAL, kernel_evaluator)
+
+    def test_bad_suite_rejected(self, chips):
+        with pytest.raises(ConfigurationError):
+            evaluate_many(chips, [LINE_LEVEL_SCHEMES[0]], suite=object())
+
+    def test_benchmark_subset(self, chips, kernel_evaluator):
+        row = evaluate_many(
+            chips[:1], [LINE_LEVEL_SCHEMES[0]], kernel_evaluator,
+            benchmarks=["gcc", "mcf"],
+        )[0]
+        assert set(row[0].results) == {"gcc", "mcf"}

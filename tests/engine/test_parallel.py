@@ -108,3 +108,100 @@ class TestSerialParallelIdentity:
             assert np.array_equal(
                 serial.power[scheme], parallel.power[scheme]
             )
+
+
+class TestEvaluatorCacheConfig:
+    def test_default_size(self):
+        from repro.engine.parallel import (
+            DEFAULT_EVALUATOR_CACHE_SIZE,
+            evaluator_cache_size,
+        )
+
+        assert DEFAULT_EVALUATOR_CACHE_SIZE >= 1
+        assert evaluator_cache_size() >= 1
+
+    def test_resize_evicts_lru(self):
+        from repro.engine.parallel import (
+            evaluator_cache_size,
+            evaluator_for,
+            set_evaluator_cache_size,
+        )
+
+        original = evaluator_cache_size()
+        spec_a = EvaluatorSpec(node=NODE_32NM, n_references=601, seed=71)
+        spec_b = EvaluatorSpec(node=NODE_32NM, n_references=602, seed=71)
+        try:
+            set_evaluator_cache_size(1)
+            first = evaluator_for(spec_a)
+            evaluator_for(spec_b)  # evicts spec_a
+            assert evaluator_for(spec_a) is not first
+        finally:
+            set_evaluator_cache_size(original)
+
+    def test_invalid_size_rejected(self):
+        from repro.engine.parallel import set_evaluator_cache_size
+
+        with pytest.raises(ConfigurationError):
+            set_evaluator_cache_size(0)
+
+    def test_runner_propagates_size_to_serial_path(self):
+        from repro.engine.parallel import evaluator_cache_size
+
+        original = evaluator_cache_size()
+        try:
+            runner = ParallelChipRunner(workers=1, evaluator_cache_size=3)
+            assert runner.evaluator_cache_size == 3
+            assert evaluator_cache_size() == 3
+        finally:
+            from repro.engine.parallel import set_evaluator_cache_size
+
+            set_evaluator_cache_size(original)
+
+    def test_context_field_reaches_runner(self):
+        context = ExperimentContext(
+            n_chips=1, n_references=600, evaluator_cache_size=4
+        )
+        from repro.engine.parallel import (
+            evaluator_cache_size,
+            set_evaluator_cache_size,
+        )
+
+        original = evaluator_cache_size()
+        try:
+            assert context.runner.evaluator_cache_size == 4
+        finally:
+            context.close()
+            set_evaluator_cache_size(original)
+
+
+class TestTraceReuse:
+    def test_second_evaluation_regenerates_no_traces(self, monkeypatch):
+        """A warm process-local evaluator never rebuilds its traces."""
+        from repro.workloads.generator import SyntheticWorkload
+
+        calls = {"memory_trace": 0}
+        original = SyntheticWorkload.memory_trace
+
+        def counting(self, *args, **kwargs):
+            calls["memory_trace"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(SyntheticWorkload, "memory_trace", counting)
+        # A seed no other test uses, so the process-local cache is cold.
+        spec = EvaluatorSpec(node=NODE_32NM, n_references=700, seed=20207)
+        chip = ChipSampler(
+            NODE_32NM, VariationParams.typical(), seed=12
+        ).sample_3t1d_chip()
+        task = EvalTask(
+            evaluator=spec, chip=chip, schemes=("no-refresh/LRU",)
+        )
+        run_eval_task(task)
+        generated = calls["memory_trace"]
+        assert generated > 0
+        run_eval_task(task)
+        run_eval_task(
+            EvalTask(
+                evaluator=spec, chip=chip, schemes=("partial-refresh/DSP",)
+            )
+        )
+        assert calls["memory_trace"] == generated

@@ -36,22 +36,66 @@ class TestExports:
 
     def test_quickstart_docstring_flow(self):
         """The flow shown in the package docstring works verbatim."""
-        from repro import (
-            Cache3T1DArchitecture,
-            ChipSampler,
-            Evaluator,
-            NODE_32NM,
-            SCHEME_RSP_FIFO,
-            VariationParams,
-        )
+        from repro import ChipSampler, Evaluator, NODE_32NM, VariationParams
+        from repro import evaluate
 
         sampler = ChipSampler(NODE_32NM, VariationParams.severe(), seed=1)
         chip = sampler.sample_3t1d_chip()
-        arch = Cache3T1DArchitecture(chip, SCHEME_RSP_FIFO)
-        result = Evaluator(NODE_32NM, n_references=1500).evaluate(
-            arch, benchmarks=["gcc"]
+        result = evaluate(
+            chip, "partial-refresh/DSP",
+            Evaluator(NODE_32NM, n_references=1500),
+            benchmarks=["gcc"],
         )
         assert 0.0 < result.normalized_performance <= 1.05
+
+
+class TestFacade:
+    """The stable top-level facade (ISSUE 2 satellite)."""
+
+    REQUIRED = [
+        "ChipSampler",
+        "VariationParams",
+        "RetentionScheme",
+        "CacheConfig",
+        "evaluate",
+        "evaluate_many",
+        "TraceArtifacts",
+        "Evaluator",
+    ]
+
+    def test_required_names_in_all(self):
+        for name in self.REQUIRED:
+            assert name in repro.__all__, name
+
+    def test_all_has_no_duplicates(self):
+        seen = set()
+        dupes = [n for n in repro.__all__ if n in seen or seen.add(n)]
+        assert not dupes, dupes
+
+    def test_star_import_resolves_everything(self):
+        namespace = {}
+        exec("from repro import *", namespace)
+        missing = [n for n in repro.__all__ if n not in namespace]
+        assert not missing, missing
+
+    def test_facade_evaluate_many(self):
+        from repro import (
+            ChipSampler,
+            Evaluator,
+            NODE_32NM,
+            VariationParams,
+            evaluate_many,
+        )
+
+        chips = ChipSampler(
+            NODE_32NM, VariationParams.typical(), seed=5
+        ).sample_3t1d_chips(2)
+        suite = Evaluator(NODE_32NM, n_references=800)
+        rows = evaluate_many(
+            chips, ["no-refresh/LRU"], suite, benchmarks=["gcc"]
+        )
+        assert len(rows) == 2
+        assert all(row[0] is not None for row in rows)
 
 
 class TestDeterminism:
