@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# One entry point for every gate CI runs, so local runs match CI runs.
+#
+#   scripts/check.sh            # run everything available
+#   scripts/check.sh tests      # tier-1 pytest suite only
+#   scripts/check.sh analysis   # python -m repro.analysis
+#   scripts/check.sh lint       # ruff
+#   scripts/check.sh types      # mypy (strict on repro.analysis)
+#
+# ruff/mypy are optional-dependency tools (pip install -e ".[lint]").
+# When absent they are skipped with a notice; set CHECK_REQUIRE_LINT=1
+# (CI does) to turn a missing tool into a failure.
+
+set -u
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+failures=0
+
+run_gate() {
+    local name="$1"; shift
+    echo "==> ${name}: $*"
+    if "$@"; then
+        echo "==> ${name}: ok"
+    else
+        echo "==> ${name}: FAILED"
+        failures=$((failures + 1))
+    fi
+}
+
+run_optional_tool() {
+    local name="$1" module="$2"; shift 2
+    if python -c "import ${module}" >/dev/null 2>&1; then
+        run_gate "${name}" python -m "${module}" "$@"
+    elif [ "${CHECK_REQUIRE_LINT:-0}" = "1" ]; then
+        echo "==> ${name}: ${module} not installed (required by CHECK_REQUIRE_LINT=1)"
+        failures=$((failures + 1))
+    else
+        echo "==> ${name}: ${module} not installed, skipping (pip install -e \".[lint]\")"
+    fi
+}
+
+selected=("$@")
+runs() {
+    local gate="$1"
+    if [ "${#selected[@]}" -eq 0 ]; then
+        return 0
+    fi
+    for s in "${selected[@]}"; do
+        [ "$s" = "$gate" ] && return 0
+    done
+    return 1
+}
+
+if runs tests; then
+    run_gate "tests" python -m pytest -x -q
+fi
+
+if runs analysis; then
+    run_gate "analysis" python -m repro.analysis src/repro \
+        --baseline analysis-baseline.json --strict-baseline
+fi
+
+if runs lint; then
+    run_optional_tool "lint" ruff check src tests
+fi
+
+if runs types; then
+    run_optional_tool "types" mypy --config-file pyproject.toml
+fi
+
+if [ "$failures" -ne 0 ]; then
+    echo "check.sh: ${failures} gate(s) failed"
+    exit 1
+fi
+echo "check.sh: all selected gates passed"

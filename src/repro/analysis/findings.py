@@ -1,0 +1,49 @@
+"""The unit of linter output: a :class:`Finding` pinned to one source line.
+
+Findings are value objects: two runs over the same tree produce the same
+findings in the same order, which is what lets the baseline file match on
+content rather than on line numbers (lines drift; the offending source
+text mostly does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``snippet`` is the stripped source line the finding points at; the
+    baseline matches on ``(rule, path, snippet)`` so renumbering a file
+    does not invalidate suppressions recorded for unchanged code.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    snippet: str = field(default="", compare=False)
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+__all__ = ["Finding"]

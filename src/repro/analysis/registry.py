@@ -1,0 +1,90 @@
+"""Pluggable rule registry.
+
+Rules self-register at import time via :func:`register_rule`; the runner
+asks :func:`all_rules` for the active set.  Registration is keyed by the
+rule id (``DET001`` ...), so a downstream package can *replace* a stock
+rule by registering its own class under the same id before running the
+analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Type
+
+from repro.analysis.findings import Finding
+from repro.analysis.source import Project, SourceModule
+
+
+class Rule:
+    """Base class for one check.
+
+    Subclasses set ``rule_id``/``name``/``description`` and override
+    :meth:`check_module` (per-file checks) and/or :meth:`check_project`
+    (cross-file checks, run once after every module was visited).
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+    # ------------------------------------------------------------------
+
+    def finding(
+        self, module: SourceModule, line: int, col: int, message: str
+    ) -> Finding:
+        """Build a finding pinned to ``line`` of ``module``."""
+        return Finding(
+            path=module.display_path,
+            line=line,
+            col=col,
+            rule=self.rule_id,
+            message=message,
+            snippet=module.snippet_at(line),
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add ``cls`` to the registry (replacing by id)."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, ordered by id."""
+    _ensure_builtin_rules()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_builtin_rules()
+    try:
+        return _REGISTRY[rule_id.upper()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def rule_ids() -> List[str]:
+    _ensure_builtin_rules()
+    return sorted(_REGISTRY)
+
+
+def _ensure_builtin_rules() -> None:
+    # Deferred so "import repro.analysis.registry" alone cannot race the
+    # builtin registrations; importing the package wires them in.
+    from repro.analysis import rules  # noqa: F401
+
+
+__all__ = ["Rule", "all_rules", "get_rule", "register_rule", "rule_ids"]

@@ -1,0 +1,11 @@
+"""Built-in rule families.
+
+Importing this package registers every stock rule with
+:mod:`repro.analysis.registry`.  Third-party rules follow the same
+pattern: subclass :class:`~repro.analysis.registry.Rule`, decorate with
+:func:`~repro.analysis.registry.register_rule`, import before running.
+"""
+
+from repro.analysis.rules import api_drift, determinism, units, worker_safety
+
+__all__ = ["api_drift", "determinism", "units", "worker_safety"]

@@ -1,0 +1,359 @@
+"""Determinism rules (DET).
+
+The reproduction's headline guarantee is that serial and parallel runs,
+and controller and batched-kernel replays, are bit-identical.  Every rule
+here rejects a construct that can silently break that guarantee: global
+RNG state, wall-clock reads, hash-order iteration, environment reads in
+worker code, and mutable default arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.source import SourceModule
+
+# Constructors on numpy.random that are explicitly seeded at the call
+# site; everything else on the module is legacy global-state API.
+_SEEDED_NUMPY_FACTORIES = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+    "BitGenerator",
+}
+
+_WALLCLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+
+def _import_aliases(tree: ast.Module, module: str) -> Set[str]:
+    """Names the file binds to ``module`` (``import numpy as np`` -> np)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or module)
+                elif alias.name.startswith(module + ".") and alias.asname is None:
+                    aliases.add(module)
+    return aliases
+
+
+def _from_imports(tree: ast.Module, module: str) -> Dict[str, str]:
+    """Local name -> original name, for ``from module import ...``."""
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names[alias.asname or alias.name] = alias.name
+    return names
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` -> ["a", "b", "c"]; None for non-trivial expressions."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.insert(0, node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.insert(0, node.id)
+        return parts
+    return None
+
+
+@register_rule
+class RandomModuleCallRule(Rule):
+    """DET001: calls into the stdlib ``random`` module's global state."""
+
+    rule_id = "DET001"
+    name = "random-module-call"
+    description = (
+        "stdlib random.* uses interpreter-global RNG state; draw from an "
+        "explicitly seeded numpy Generator instead"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        aliases = _import_aliases(module.tree, "random")
+        from_names = _from_imports(module.tree, "random")
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None:
+                continue
+            if len(chain) == 2 and chain[0] in aliases:
+                if chain[1] != "Random":
+                    findings.append(self.finding(
+                        module, node.lineno, node.col_offset,
+                        f"call to random.{chain[1]}() uses global RNG state",
+                    ))
+            elif len(chain) == 1 and chain[0] in from_names:
+                original = from_names[chain[0]]
+                if original != "Random":
+                    findings.append(self.finding(
+                        module, node.lineno, node.col_offset,
+                        f"call to random.{original}() uses global RNG state",
+                    ))
+        return findings
+
+
+@register_rule
+class LegacyNumpyRandomRule(Rule):
+    """DET002: legacy ``numpy.random`` API or unseeded ``default_rng()``."""
+
+    rule_id = "DET002"
+    name = "legacy-numpy-random"
+    description = (
+        "numpy.random legacy functions share module-global state and "
+        "default_rng() without a seed is entropy-seeded; both break "
+        "replayability"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        numpy_aliases = _import_aliases(module.tree, "numpy")
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None or len(chain) != 3:
+                continue
+            root, mid, leaf = chain
+            if root not in numpy_aliases or mid != "random":
+                continue
+            if leaf not in _SEEDED_NUMPY_FACTORIES:
+                findings.append(self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"legacy numpy.random.{leaf}() draws from module-global "
+                    "state; use a seeded default_rng()",
+                ))
+            elif leaf == "default_rng" and not node.args and not node.keywords:
+                findings.append(self.finding(
+                    module, node.lineno, node.col_offset,
+                    "default_rng() without a seed is entropy-seeded and "
+                    "irreproducible",
+                ))
+        return findings
+
+
+@register_rule
+class WallClockRule(Rule):
+    """DET003: wall-clock reads that can leak into results.
+
+    ``time.perf_counter``/``monotonic`` stay legal -- they time batches
+    in observers and never feed simulation state.
+    """
+
+    rule_id = "DET003"
+    name = "wallclock-read"
+    description = (
+        "time.time()/datetime.now() make output depend on when the run "
+        "happened; results must be a pure function of config and seed"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        datetime_from = _from_imports(module.tree, "datetime")
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None:
+                continue
+            # time.time(), datetime.now(), datetime.datetime.now(), ...
+            tail = tuple(chain[-2:]) if len(chain) >= 2 else None
+            if tail in _WALLCLOCK_CALLS:
+                root = chain[0]
+                if root in ("time", "datetime") or root in datetime_from:
+                    findings.append(self.finding(
+                        module, node.lineno, node.col_offset,
+                        f"wall-clock read {'.'.join(chain)}() in "
+                        "result-affecting code",
+                    ))
+            elif (
+                len(chain) == 1
+                and chain[0] in datetime_from
+                and datetime_from[chain[0]] in ("now", "utcnow")
+            ):
+                findings.append(self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"wall-clock read {chain[0]}() in result-affecting code",
+                ))
+        return findings
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    """DET004: iteration whose order the platform, not the code, decides."""
+
+    rule_id = "DET004"
+    name = "unordered-iteration"
+    description = (
+        "iterating sets or os.listdir() visits elements in hash/filesystem "
+        "order; wrap the iterable in sorted()"
+    )
+
+    _DIR_CALLS = {("os", "listdir"), ("os", "scandir")}
+
+    def _is_unordered(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if chain is None:
+                return None
+            if len(chain) == 1 and chain[0] in ("set", "frozenset"):
+                return f"{chain[0]}()"
+            if tuple(chain) in self._DIR_CALLS:
+                return f"{'.'.join(chain)}()"
+            if chain[-1] == "iterdir":
+                return "Path.iterdir()"
+        return None
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        flagged: Set[int] = set()
+
+        def flag(node: ast.AST, what: str) -> None:
+            if id(node) in flagged:
+                return
+            flagged.add(id(node))
+            findings.append(self.finding(
+                module, node.lineno, node.col_offset,
+                f"iteration over {what} has platform-dependent order; "
+                "wrap it in sorted()",
+            ))
+
+        for node in ast.walk(module.tree):
+            iters: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                what = self._is_unordered(it)
+                if what is not None:
+                    flag(it, what)
+            # os.listdir()/scandir()/iterdir() anywhere outside sorted(...)
+            if isinstance(node, ast.Call):
+                what = self._is_unordered(node)
+                if what is None or not what.endswith("()") or what in (
+                    "set()", "frozenset()"
+                ):
+                    continue
+                parent = module.parent_of(node)
+                if (
+                    isinstance(parent, ast.Call)
+                    and isinstance(parent.func, ast.Name)
+                    and parent.func.id == "sorted"
+                ):
+                    continue
+                flag(node, what)
+        return findings
+
+
+@register_rule
+class WorkerEnvReadRule(Rule):
+    """DET005: environment reads inside worker-executed code.
+
+    Scoped to ``repro.engine`` and the batched kernel: anything these
+    modules read from the environment can differ between the parent
+    process and spawned workers (or between CI and a laptop), splitting
+    the "identical in every process" invariant the engine relies on.
+    """
+
+    rule_id = "DET005"
+    name = "worker-env-read"
+    description = (
+        "os.environ/os.getenv inside engine workers or the batcheval "
+        "kernel makes worker behavior host-dependent; thread config "
+        "through EvaluatorSpec / task payloads instead"
+    )
+
+    scoped_to: Tuple[str, ...] = ("repro.engine", "repro.core.batcheval")
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if not module.in_package(self.scoped_to):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            dotted: Optional[str] = None
+            if isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if chain is not None and ".".join(chain) in (
+                    "os.getenv", "os.environ.get", "os.environ.items",
+                    "os.environ.keys", "os.environ.values",
+                ):
+                    dotted = ".".join(chain)
+            elif isinstance(node, ast.Subscript):
+                chain = _attr_chain(node.value)
+                if chain == ["os", "environ"]:
+                    dotted = "os.environ[...]"
+            if dotted is not None:
+                findings.append(self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"environment read via {dotted} in worker-executed code",
+                ))
+        return findings
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """DET006: mutable default arguments."""
+
+    rule_id = "DET006"
+    name = "mutable-default-argument"
+    description = (
+        "list/dict/set defaults are shared across calls; state leaking "
+        "between evaluations is order-dependent nondeterminism"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults)
+            defaults.extend(d for d in node.args.kw_defaults if d is not None)
+            for default in defaults:
+                mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+                if not mutable and isinstance(default, ast.Call):
+                    mutable = (
+                        isinstance(default.func, ast.Name)
+                        and default.func.id in ("list", "dict", "set")
+                        and not default.args
+                        and not default.keywords
+                    )
+                if mutable:
+                    findings.append(self.finding(
+                        module, default.lineno, default.col_offset,
+                        f"mutable default argument in {node.name}() is "
+                        "shared across calls",
+                    ))
+        return findings
+
+
+__all__ = [
+    "LegacyNumpyRandomRule",
+    "MutableDefaultRule",
+    "RandomModuleCallRule",
+    "UnorderedIterationRule",
+    "WallClockRule",
+    "WorkerEnvReadRule",
+]

@@ -1,0 +1,294 @@
+"""Unit-consistency rules (UNIT).
+
+The library computes in SI internally; scaled units (``_ns``, ``_ps``,
+``_mw`` ...) appear only at boundaries, and ``repro.units`` owns every
+conversion.  A raw ``* 1e9`` next to a ``_ns`` name is exactly the kind
+of silent factor-of-10^3 bug that CACTI-style config validators exist to
+catch before a sweep burns hours on wrong numbers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.source import SourceModule
+
+#: Name suffixes that declare a scaled (non-SI) unit, mapped to the
+#: repro.units helper that performs the conversion the raw factor implies.
+UNIT_SUFFIXES: Dict[str, str] = {
+    "_ns": "units.ns/units.to_ns",
+    "_ps": "units.ps/units.to_ps",
+    "_us": "units.us/units.to_us",
+    "_nm": "units.nm/units.to_nm",
+    "_um": "units.um/units.to_um",
+    "_mw": "units.mw/units.to_mw",
+    "_fj": "units.fj/units.to_fj",
+    "_pj": "units.pj/units.to_pj",
+    "_ghz": "units.ghz/units.to_ghz",
+    "_mv": "millivolt helpers",
+}
+
+#: Power-of-ten factors that only ever mean a unit conversion when they
+#: multiply or divide a unit-suffixed quantity.
+CONVERSION_FACTORS = {
+    1e3, 1e6, 1e9, 1e12, 1e15, 1e-3, 1e-6, 1e-9, 1e-12, 1e-15,
+}
+
+#: Packages whose physical quantities must route through repro.units.
+WATCHED_PACKAGES: Tuple[str, ...] = (
+    "repro.technology",
+    "repro.array",
+    "repro.cells",
+    "repro.cache",
+    "repro.core",
+    "repro.experiments",
+)
+
+#: The conversion module itself is the one place raw factors belong.
+EXEMPT_MODULES: Tuple[str, ...] = ("repro.units",)
+
+
+def unit_suffix(name: str) -> Optional[str]:
+    """The scaled-unit suffix of ``name``, or None."""
+    lowered = name.lower()
+    for suffix in UNIT_SUFFIXES:
+        if lowered.endswith(suffix):
+            return suffix
+    return None
+
+
+def _name_of(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_conversion_factor(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value in CONVERSION_FACTORS
+    )
+
+
+def _contains_conversion_binop(node: ast.AST) -> Optional[ast.BinOp]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.BinOp) and isinstance(
+            sub.op, (ast.Mult, ast.Div)
+        ):
+            if _is_conversion_factor(sub.left) or _is_conversion_factor(sub.right):
+                return sub
+    return None
+
+
+def _suffixed_names_in(node: ast.AST) -> List[str]:
+    names: List[str] = []
+    for sub in ast.walk(node):
+        name = _name_of(sub)
+        if name is not None and unit_suffix(name) is not None:
+            names.append(name)
+    return names
+
+
+class _UnitRule(Rule):
+    """Shared scoping: only watched packages, never repro.units itself."""
+
+    def applies_to(self, module: SourceModule) -> bool:
+        if module.in_package(EXEMPT_MODULES):
+            return False
+        return module.in_package(WATCHED_PACKAGES)
+
+
+@register_rule
+class RawConversionFactorRule(_UnitRule):
+    """UNIT001: hand-rolled power-of-ten conversions next to unit names."""
+
+    rule_id = "UNIT001"
+    name = "raw-conversion-factor"
+    description = (
+        "a bare *1e9-style factor converting a _ns/_ps/_mw quantity "
+        "bypasses repro.units; use the named helper so the unit is "
+        "machine-checkable"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if not self.applies_to(module):
+            return ()
+        findings: List[Finding] = []
+        seen: set = set()
+
+        def flag(binop: ast.BinOp, context_name: str) -> None:
+            if id(binop) in seen:
+                return
+            seen.add(id(binop))
+            suffix = unit_suffix(context_name)
+            helper = UNIT_SUFFIXES.get(suffix or "", "a repro.units helper")
+            findings.append(self.finding(
+                module, binop.lineno, binop.col_offset,
+                f"raw power-of-ten conversion bound to {context_name!r}; "
+                f"route it through {helper}",
+            ))
+
+        for node in ast.walk(module.tree):
+            targets: List[Tuple[str, ast.AST]] = []
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    name = _name_of(target)
+                    if name is not None:
+                        targets.append((name, node.value))
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                name = _name_of(node.target)
+                if name is not None:
+                    targets.append((name, node.value))
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg is not None:
+                        targets.append((keyword.arg, keyword.value))
+            for name, value in targets:
+                if unit_suffix(name) is None:
+                    continue
+                binop = _contains_conversion_binop(value)
+                if binop is not None:
+                    flag(binop, name)
+            # Conversions *reading* a suffixed quantity back to SI:
+            # seconds = retention_ns * 1e-9
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Mult, ast.Div)
+            ):
+                factor_side = None
+                value_side = None
+                if _is_conversion_factor(node.left):
+                    factor_side, value_side = node.left, node.right
+                elif _is_conversion_factor(node.right):
+                    factor_side, value_side = node.right, node.left
+                if factor_side is None or value_side is None:
+                    continue
+                suffixed = _suffixed_names_in(value_side)
+                if suffixed:
+                    flag(node, suffixed[0])
+        return findings
+
+
+@register_rule
+class MixedSuffixArithmeticRule(_UnitRule):
+    """UNIT002: adding/comparing quantities with different unit suffixes."""
+
+    rule_id = "UNIT002"
+    name = "mixed-suffix-arithmetic"
+    description = (
+        "adding or comparing a _ns quantity to a _ps/_us one without a "
+        "conversion is a unit bug by construction"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if not self.applies_to(module):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            pairs: List[Tuple[ast.AST, ast.AST]] = []
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                pairs.append((node.left, node.right))
+            elif isinstance(node, ast.Compare) and len(node.comparators) == 1:
+                pairs.append((node.left, node.comparators[0]))
+            for left, right in pairs:
+                left_name = _name_of(left)
+                right_name = _name_of(right)
+                if left_name is None or right_name is None:
+                    continue
+                left_suffix = unit_suffix(left_name)
+                right_suffix = unit_suffix(right_name)
+                if (
+                    left_suffix is not None
+                    and right_suffix is not None
+                    and left_suffix != right_suffix
+                ):
+                    findings.append(self.finding(
+                        module, node.lineno, node.col_offset,
+                        f"{left_name!r} ({left_suffix}) combined with "
+                        f"{right_name!r} ({right_suffix}) without conversion",
+                    ))
+        return findings
+
+
+@register_rule
+class SuspiciousDefaultMagnitudeRule(_UnitRule):
+    """UNIT003: scaled-unit names defaulted to SI-magnitude literals.
+
+    ``retention_ns = 2.5e-9`` almost always means an SI value landed in
+    a nanosecond-labelled slot: the suffix promises O(1)-scale numbers.
+    """
+
+    rule_id = "UNIT003"
+    name = "suspicious-default-magnitude"
+    description = (
+        "a _ns/_ps/_nm-suffixed parameter or constant bound to a literal "
+        "below 1e-3 looks like an unconverted SI value"
+    )
+
+    _THRESHOLD = 1e-3
+
+    def _literal_value(self, node: Optional[ast.AST]) -> Optional[float]:
+        if isinstance(node, ast.Constant) and isinstance(
+            node.value, (int, float)
+        ) and not isinstance(node.value, bool):
+            return float(node.value)
+        return None
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if not self.applies_to(module):
+            return ()
+        findings: List[Finding] = []
+
+        def check(name: str, value_node: Optional[ast.AST], where: ast.AST) -> None:
+            if unit_suffix(name) is None:
+                return
+            value = self._literal_value(value_node)
+            if value is None or value == 0.0:
+                return
+            if 0.0 < abs(value) < self._THRESHOLD:
+                findings.append(self.finding(
+                    module, where.lineno, where.col_offset,
+                    f"{name!r} bound to {value!r}: a {unit_suffix(name)} "
+                    "name should hold O(1)-scale numbers, this looks like "
+                    "an unconverted SI value",
+                ))
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                positional = args.posonlyargs + args.args
+                for arg, default in zip(
+                    positional[len(positional) - len(args.defaults):],
+                    args.defaults,
+                ):
+                    check(arg.arg, default, default)
+                for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+                    if kw_default is not None:
+                        check(arg.arg, kw_default, kw_default)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    name = _name_of(target)
+                    if name is not None:
+                        check(name, node.value, node)
+            elif isinstance(node, ast.AnnAssign):
+                name = _name_of(node.target)
+                if name is not None and node.value is not None:
+                    check(name, node.value, node)
+        return findings
+
+
+__all__ = [
+    "MixedSuffixArithmeticRule",
+    "RawConversionFactorRule",
+    "SuspiciousDefaultMagnitudeRule",
+    "UNIT_SUFFIXES",
+    "WATCHED_PACKAGES",
+    "unit_suffix",
+]

@@ -1,0 +1,182 @@
+"""Worker-safety rules (WS).
+
+Everything handed to :class:`repro.engine.ParallelChipRunner` crosses a
+process boundary by pickling.  Lambdas, closures, and locally defined
+classes pickle by *qualified name*, which fails (or worse, resolves to
+the wrong object) in a worker.  These rules reject them at the
+construction sites of the task payloads and at pool submission calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.source import SourceModule
+
+#: Payload types shipped to workers; their constructor arguments must be
+#: picklable by value or importable by module-level name.
+TASK_CONSTRUCTORS = {"ChipBuildTask", "EvaluatorSpec", "EvalTask"}
+
+#: Runner/executor entry points whose callable arguments cross the
+#: process boundary by reference.
+POOL_METHODS = {"map", "evaluate", "build_chips", "submit"}
+
+
+def _callee_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _call_arguments(node: ast.Call) -> List[ast.AST]:
+    arguments: List[ast.AST] = list(node.args)
+    arguments.extend(kw.value for kw in node.keywords)
+    return arguments
+
+
+def _local_definitions(module: SourceModule) -> Dict[int, Set[str]]:
+    """For each function node id: names its body defines locally.
+
+    A name bound by a nested ``def``/``class``/lambda-assignment inside a
+    function only exists in that frame -- pickling it in a task payload
+    cannot resolve in a worker process.
+    """
+    table: Dict[int, Set[str]] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        local: Set[str] = set()
+        for child in ast.iter_child_nodes(node):
+            for sub in ast.walk(child):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)) and sub is not node:
+                    local.add(sub.name)
+                elif isinstance(sub, ast.Assign) and isinstance(
+                    sub.value, ast.Lambda
+                ):
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name):
+                            local.add(target.id)
+        table[id(node)] = local
+    return table
+
+
+def _enclosing_functions(
+    module: SourceModule, node: ast.AST
+) -> List[ast.AST]:
+    chain: List[ast.AST] = []
+    current: Optional[ast.AST] = module.parent_of(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            chain.append(current)
+        current = module.parent_of(current)
+    return chain
+
+
+class _WorkerSafetyRule(Rule):
+    """Shared traversal: flag unpicklable arguments at marked call sites."""
+
+    def _unpicklable_reason(
+        self,
+        module: SourceModule,
+        site: ast.Call,
+        argument: ast.AST,
+        locals_table: Dict[int, Set[str]],
+    ) -> Optional[str]:
+        if isinstance(argument, ast.Lambda):
+            return "a lambda"
+        for sub in ast.walk(argument):
+            if isinstance(sub, ast.Lambda):
+                return "a lambda"
+        if isinstance(argument, ast.Name):
+            for function in _enclosing_functions(module, site):
+                if argument.id in locals_table.get(id(function), set()):
+                    return f"locally defined {argument.id!r}"
+        return None
+
+    def _check_sites(
+        self,
+        module: SourceModule,
+        is_site: "_SitePredicate",
+        what: str,
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        locals_table = _local_definitions(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not is_site(node):
+                continue
+            for argument in _call_arguments(node):
+                reason = self._unpicklable_reason(
+                    module, node, argument, locals_table
+                )
+                if reason is not None:
+                    findings.append(self.finding(
+                        module, argument.lineno, argument.col_offset,
+                        f"{reason} passed to {what} cannot be pickled "
+                        "into a worker process",
+                    ))
+        return findings
+
+
+class _SitePredicate:
+    def __call__(self, node: ast.Call) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+@register_rule
+class UnpicklableTaskArgumentRule(_WorkerSafetyRule):
+    """WS001: unpicklable values inside task-payload constructors."""
+
+    rule_id = "WS001"
+    name = "unpicklable-task-argument"
+    description = (
+        "ChipBuildTask/EvaluatorSpec/EvalTask payloads cross the process "
+        "boundary; lambdas and frame-local definitions cannot"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        class Predicate(_SitePredicate):
+            def __call__(self, node: ast.Call) -> bool:
+                name = _callee_name(node)
+                return name is not None and name in TASK_CONSTRUCTORS
+
+        return self._check_sites(
+            module, Predicate(), "a worker task payload"
+        )
+
+
+@register_rule
+class UnpicklablePoolCallableRule(_WorkerSafetyRule):
+    """WS002: unpicklable callables at pool submission points."""
+
+    rule_id = "WS002"
+    name = "unpicklable-pool-callable"
+    description = (
+        "runner.map/evaluate/build_chips and executor.submit ship their "
+        "callable by qualified name; it must be module-level"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        class Predicate(_SitePredicate):
+            def __call__(self, node: ast.Call) -> bool:
+                return (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in POOL_METHODS
+                )
+
+        return self._check_sites(
+            module, Predicate(), "a process-pool call"
+        )
+
+
+__all__ = [
+    "POOL_METHODS",
+    "TASK_CONSTRUCTORS",
+    "UnpicklablePoolCallableRule",
+    "UnpicklableTaskArgumentRule",
+]

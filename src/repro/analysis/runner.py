@@ -1,0 +1,96 @@
+"""Orchestration: walk files, run rules, apply suppressions and baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, all_rules, get_rule
+from repro.analysis.source import Project, collect_modules
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one run produced, pre-sorted and pre-partitioned.
+
+    ``new_findings`` is what gates CI; ``baselined`` and
+    ``stale_baseline_entries`` keep the accepted-debt ledger visible in
+    every report instead of silently absorbed.
+    """
+
+    target: str
+    rules_run: List[str]
+    new_findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    stale_baseline_entries: List[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_findings
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        return sorted(self.new_findings + self.baselined)
+
+
+def resolve_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    if select is None:
+        return all_rules()
+    return [get_rule(rule_id) for rule_id in select]
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    display_root: Optional[Path] = None,
+) -> AnalysisReport:
+    """Run the selected rules over ``paths`` and return the report.
+
+    Findings are deterministic: files are visited in sorted order, rules
+    in id order, and the result list is fully sorted -- two runs over
+    the same tree always emit byte-identical reports.
+    """
+    root = display_root if display_root is not None else Path.cwd()
+    project: Project = collect_modules(list(paths), root)
+    rules = resolve_rules(select)
+
+    raw: List[Finding] = []
+    for rule in rules:
+        for module in project:
+            raw.extend(rule.check_module(module))
+        raw.extend(rule.check_project(project))
+
+    kept: List[Finding] = []
+    suppressed = 0
+    modules_by_path = {m.display_path: m for m in project}
+    for finding in raw:
+        module = modules_by_path.get(finding.path)
+        if module is not None and module.is_suppressed(finding.line, finding.rule):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort()
+
+    if baseline is not None:
+        new, matched, stale = baseline.partition(kept)
+    else:
+        new, matched, stale = kept, [], []
+
+    return AnalysisReport(
+        target=", ".join(str(p) for p in paths),
+        rules_run=[rule.rule_id for rule in rules],
+        new_findings=sorted(new),
+        baselined=sorted(matched),
+        suppressed_count=suppressed,
+        stale_baseline_entries=stale,
+        files_scanned=len(project.modules),
+    )
+
+
+__all__ = ["AnalysisReport", "resolve_rules", "run_analysis"]

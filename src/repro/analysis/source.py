@@ -1,0 +1,175 @@
+"""Parsed-source model shared by every rule.
+
+A :class:`SourceModule` bundles one file's AST with everything the rules
+repeatedly need: the dotted module name (derived from the package layout
+on disk, so scoped rules can target ``repro.engine.*``), the raw lines
+(for snippets), a parent map (child AST node -> enclosing node), and the
+per-line suppression table parsed from ``# repro: ignore[...]`` comments.
+
+A :class:`Project` is the ordered collection of modules under analysis;
+cross-file rules (API drift) work at this level.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+def parse_suppressions(text: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed rule ids (``None`` = every rule).
+
+    Comments are found with :mod:`tokenize`, so a string literal that
+    merely *contains* ``# repro: ignore`` does not suppress anything.
+    """
+    table: Dict[int, Optional[Set[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            line = tok.start[0]
+            rules = match.group("rules")
+            if rules is None:
+                table[line] = None
+            else:
+                ids = {r.strip().upper() for r in rules.split(",") if r.strip()}
+                existing = table.get(line, set())
+                if existing is None:
+                    continue
+                table[line] = existing | ids
+    except tokenize.TokenizeError:
+        pass
+    return table
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name from the package layout around ``path``.
+
+    Walks upward while ``__init__.py`` siblings exist, so
+    ``src/repro/engine/parallel.py`` resolves to ``repro.engine.parallel``
+    no matter which directory the CLI was pointed at.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file plus the derived tables the rules share."""
+
+    path: Path
+    display_path: str
+    module_name: str
+    text: str
+    tree: ast.Module
+    lines: List[str]
+    suppressions: Dict[int, Optional[Set[str]]]
+    parents: Dict[int, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def from_path(cls, path: Path, display_root: Optional[Path] = None) -> "SourceModule":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        if display_root is not None:
+            try:
+                display = path.resolve().relative_to(display_root.resolve()).as_posix()
+            except ValueError:
+                display = path.as_posix()
+        else:
+            display = path.as_posix()
+        module = cls(
+            path=path,
+            display_path=display,
+            module_name=module_name_for(path),
+            text=text,
+            tree=tree,
+            lines=text.splitlines(),
+            suppressions=parse_suppressions(text),
+        )
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                module.parents[id(child)] = parent
+        return module
+
+    def parent_of(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(id(node))
+
+    def snippet_at(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        if line not in self.suppressions:
+            return False
+        rules = self.suppressions[line]
+        return rules is None or rule.upper() in rules
+
+    def in_package(self, prefixes: Tuple[str, ...]) -> bool:
+        """True when the module lives under any dotted ``prefixes`` entry."""
+        for prefix in prefixes:
+            if self.module_name == prefix or self.module_name.startswith(prefix + "."):
+                return True
+        return False
+
+
+@dataclass
+class Project:
+    """The ordered set of modules one analysis run covers."""
+
+    modules: List[SourceModule]
+
+    def __iter__(self) -> Iterator[SourceModule]:
+        return iter(self.modules)
+
+    def by_module_name(self, name: str) -> Optional[SourceModule]:
+        for module in self.modules:
+            if module.module_name == name:
+                return module
+        return None
+
+
+def collect_modules(paths: List[Path], display_root: Path) -> Project:
+    """Parse every ``*.py`` under ``paths`` into a deterministic Project."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    seen: Set[Path] = set()
+    modules: List[SourceModule] = []
+    for file in files:
+        resolved = file.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        modules.append(SourceModule.from_path(file, display_root))
+    return Project(modules=modules)
+
+
+__all__ = [
+    "Project",
+    "SourceModule",
+    "collect_modules",
+    "module_name_for",
+    "parse_suppressions",
+]

@@ -18,6 +18,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro import units
 from repro.errors import ConfigurationError
 from repro.array.chip import DRAM3T1DChipSample
 from repro.cache.counters import LineCounterConfig
@@ -78,7 +79,7 @@ class YieldModel:
             [self.is_discarded_global(c) for c in self.chips]
         )
         retention_ns = np.array(
-            [c.chip_retention_time * 1e9 for c in self.chips]
+            [units.to_ns(c.chip_retention_time) for c in self.chips]
         )
         return YieldReport(
             n_chips=len(self.chips),

@@ -21,7 +21,7 @@ import json
 import pathlib
 import sys
 import time
-from typing import Any, Dict, List, Optional, Sequence, TextIO
+from typing import Any, Dict, Optional, Sequence, TextIO
 
 
 class RunObserver:

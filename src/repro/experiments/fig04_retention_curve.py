@@ -13,6 +13,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro import units
 from repro.technology.node import NODE_32NM, TechnologyNode
 from repro.variation.parameters import VariationParams
 from repro.cells.retention import AccessTimeCurve, RetentionModel
@@ -61,7 +62,7 @@ def run(
     """Evaluate the Figure 4 curves."""
     model = RetentionModel.for_node(node)
     sigma = CORNER_SIGMA * VariationParams.typical().sigma_vth(node)
-    elapsed = np.linspace(0.0, max_elapsed_us * 1e-6, n_points)
+    elapsed = np.linspace(0.0, units.us(max_elapsed_us), n_points)
     corners = {
         "nominal": AccessTimeCurve(model=model),
         "weak": _corner_curve(model, sigma, +1.0),
@@ -73,14 +74,14 @@ def run(
     for name, curve in corners.items():
         access = np.asarray(curve.access_time(elapsed))
         curves[name] = access / sram
-        retention[name] = curve.retention_time * 1e6
+        retention[name] = units.to_us(curve.retention_time)
     curves["6T SRAM"] = np.ones_like(elapsed)
     return Fig04Result(
         node=node,
-        elapsed_us=elapsed * 1e6,
+        elapsed_us=units.to_us(elapsed),
         curves=curves,
         retention_us=retention,
-        sram_access_time_ps=sram * 1e12,
+        sram_access_time_ps=units.to_ps(sram),
     )
 
 

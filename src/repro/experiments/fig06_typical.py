@@ -16,6 +16,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import units
 from repro.variation.statistics import normalized_histogram
 from repro.core.schemes import SCHEME_GLOBAL
 from repro.engine.parallel import EvalTask
@@ -97,7 +98,7 @@ def run(context: Optional[ExperimentContext] = None) -> Fig06Result:
         points.append(
             GlobalSchemePoint(
                 chip_id=chip.chip_id,
-                retention_ns=chip.chip_retention_time * 1e9,
+                retention_ns=units.to_ns(chip.chip_retention_time),
                 mean_performance=outcome.normalized_performance,
                 worst_benchmark=outcome.worst_benchmark,
                 worst_performance=outcome.worst_performance,

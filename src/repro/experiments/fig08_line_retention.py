@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import units
 from repro.variation.statistics import normalized_histogram
 from repro.core.yieldmodel import YieldModel
 from repro.engine.registry import Experiment, register_experiment
@@ -45,7 +46,7 @@ def run(context: Optional[ExperimentContext] = None) -> Fig08Result:
     histograms = {}
     dead = {}
     for label, chip in (("good", good), ("median", median), ("bad", bad)):
-        retention_ns = chip.retention_by_line * 1e9
+        retention_ns = units.to_ns(chip.retention_by_line)
         histograms[label] = normalized_histogram(retention_ns, LINE_BIN_EDGES_NS)
         dead[label] = model.dead_line_fraction(chip)
     report_stats = model.report()

@@ -92,9 +92,9 @@ def _node_rows(
     norm = median_sram.normalized_frequency
     # Leakage and speed are selected on different axes; report the median
     # of the leakage distribution rather than the speed-median chip's.
-    sram_leakage_mw = float(
-        np.median([c.leakage_power for c in sram_chips])
-    ) * 1e3
+    sram_leakage_mw = units.to_mw(
+        float(np.median([c.leakage_power for c in sram_chips]))
+    )
     rows.append(
         DesignRow(
             node=node.name,
@@ -115,21 +115,21 @@ def _node_rows(
     # --- median 3T1D chip under typical variation (global scheme) ---
     retentions = [c.chip_retention_time for c in dram_chips]
     median_chip = dram_chips[median_chip_index(retentions)]
-    dram_leakage_mw = float(
-        np.median([c.leakage_power for c in dram_chips])
-    ) * 1e3
+    dram_leakage_mw = units.to_mw(
+        float(np.median([c.leakage_power for c in dram_chips]))
+    )
     if median_outcome.discarded:
         perf = 0.0
         mean_power_mw = 0.0
     else:
         perf = median_outcome.normalized_performance
-        mean_power_mw = median_outcome.mean_dynamic_power_watts * 1e3
+        mean_power_mw = units.to_mw(median_outcome.mean_dynamic_power_watts)
     rows.append(
         DesignRow(
             node=node.name,
             design="3T1D median",
             access_time_ps=None,
-            retention_ns=median_chip.chip_retention_time * 1e9,
+            retention_ns=units.to_ns(median_chip.chip_retention_time),
             bips=ideal_bips * perf,
             mean_dynamic_power_mw=float(mean_power_mw),
             full_dynamic_power_mw=units.to_mw(power_3t1d.full_dynamic_power),

@@ -1,0 +1,34 @@
+"""Shared fixture: run selected rules over an in-memory snippet.
+
+Snippets are written under a synthetic ``repro``-like package tree so
+package-scoped rules (DET005, UNIT*) see realistic dotted module names.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import run_analysis
+
+
+@pytest.fixture
+def check(tmp_path):
+    """check(source, select=[...], module="repro.core.sample") -> findings."""
+
+    def _check(source, select=None, module="repro.core.sample"):
+        parts = module.split(".")
+        directory = tmp_path
+        for part in parts[:-1]:
+            directory = directory / part
+            directory.mkdir(exist_ok=True)
+            init = directory / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+        target = directory / f"{parts[-1]}.py"
+        target.write_text(textwrap.dedent(source))
+        report = run_analysis(
+            [target], select=select, display_root=tmp_path
+        )
+        return report.new_findings
+
+    return _check

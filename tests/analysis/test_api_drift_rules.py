@@ -1,0 +1,162 @@
+"""Positive/negative fixtures for the API-drift rules."""
+
+import textwrap
+
+from repro.analysis import run_analysis
+
+
+def rules_hit(findings):
+    return {f.rule for f in findings}
+
+
+class TestAPI001ExportedNameUndefined:
+    def test_flags_phantom_export(self, check):
+        findings = check(
+            """
+            def real():
+                return 1
+
+            __all__ = ["real", "phantom"]
+            """,
+            select=["API001"],
+        )
+        assert rules_hit(findings) == {"API001"}
+        assert "phantom" in findings[0].message
+
+    def test_allows_getattr_provided_names(self, check):
+        findings = check(
+            """
+            def __getattr__(name):
+                if name == "LazyThing":
+                    from repro.core import sample
+                    return sample
+                raise AttributeError(name)
+
+            __all__ = ["LazyThing"]
+            """,
+            select=["API001"],
+        )
+        assert findings == []
+
+    def test_allows_imported_and_assigned_names(self, check):
+        findings = check(
+            """
+            from os.path import join as path_join
+
+            VERSION = "1.0"
+
+            __all__ = ["VERSION", "path_join"]
+            """,
+            select=["API001"],
+        )
+        assert findings == []
+
+
+class TestAPI002PublicNameUnexported:
+    def test_flags_public_def_missing_from_all(self, check):
+        findings = check(
+            """
+            __all__ = ["listed"]
+
+            def listed():
+                return 1
+
+            def forgotten():
+                return 2
+            """,
+            select=["API002"],
+        )
+        assert rules_hit(findings) == {"API002"}
+        assert "forgotten" in findings[0].message
+
+    def test_allows_private_and_no_all_modules(self, check):
+        findings = check(
+            """
+            def helper():
+                return 1
+
+            def _internal():
+                return 2
+            """,
+            select=["API002"],
+        )
+        assert findings == []
+
+
+class TestAPI003FacadeDrift:
+    def _facade_project(self, tmp_path, facade_src, sub_src):
+        root = tmp_path / "proj"
+        (root / "repro" / "core").mkdir(parents=True)
+        (root / "repro" / "__init__.py").write_text(textwrap.dedent(facade_src))
+        (root / "repro" / "core" / "__init__.py").write_text(
+            textwrap.dedent(sub_src)
+        )
+        return run_analysis(
+            [root / "repro"], select=["API003"], display_root=root
+        ).new_findings
+
+    def test_flags_import_of_unexported_subpackage_name(self, tmp_path):
+        findings = self._facade_project(
+            tmp_path,
+            """
+            from repro.core import evaluate, secret_helper
+
+            __all__ = ["evaluate", "secret_helper"]
+            """,
+            """
+            def evaluate():
+                return 1
+
+            def secret_helper():
+                return 2
+
+            __all__ = ["evaluate"]
+            """,
+        )
+        assert any("secret_helper" in f.message for f in findings)
+
+    def test_flags_rexport_missing_from_facade_all(self, tmp_path):
+        findings = self._facade_project(
+            tmp_path,
+            """
+            from repro.core import evaluate, evaluate_many
+
+            __all__ = ["evaluate"]
+            """,
+            """
+            def evaluate():
+                return 1
+
+            def evaluate_many():
+                return 2
+
+            __all__ = ["evaluate", "evaluate_many"]
+            """,
+        )
+        assert any(
+            "omits it from repro.__all__" in f.message for f in findings
+        )
+
+    def test_flags_missing_required_exports(self, tmp_path):
+        findings = self._facade_project(
+            tmp_path,
+            """
+            __all__ = ["evaluate"]
+            """,
+            """
+            __all__ = []
+            """,
+        )
+        required = {
+            f.message for f in findings if "required facade export" in f.message
+        }
+        assert any("evaluate_many" in m for m in required)
+
+    def test_shipped_facade_is_clean(self):
+        from pathlib import Path
+
+        repo_src = Path(__file__).resolve().parents[2] / "src"
+        findings = run_analysis(
+            [repo_src / "repro"], select=["API003"], display_root=repo_src
+        ).new_findings
+        assert findings == []

@@ -1,0 +1,221 @@
+"""CLI behavior: exit codes, JSON schema, suppression, baseline round-trip."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import EXIT_FINDINGS, EXIT_OK, EXIT_USAGE, main
+from repro.analysis.reporters import REPORT_SCHEMA_VERSION
+
+CLEAN_SOURCE = """
+def helper(items=None):
+    return items or []
+"""
+
+DIRTY_SOURCE = """
+import random
+
+def jitter(items=[]):
+    items.append(random.random())
+    return items
+"""
+
+
+def write_module(tmp_path, source, name="sample.py"):
+    target = tmp_path / name
+    target.write_text(textwrap.dedent(source))
+    return target
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        target = write_module(tmp_path, CLEAN_SOURCE)
+        assert main([str(target), "--no-baseline"]) == EXIT_OK
+        assert "OK: 0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        target = write_module(tmp_path, DIRTY_SOURCE)
+        assert main([str(target), "--no-baseline"]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "DET006" in out
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert main([str(tmp_path / "nope.py")]) == EXIT_USAGE
+
+    def test_unknown_rule_select_raises_usage(self, tmp_path):
+        target = write_module(tmp_path, CLEAN_SOURCE)
+        with pytest.raises(KeyError):
+            main([str(target), "--select", "NOPE999", "--no-baseline"])
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_OK
+        out = capsys.readouterr().out
+        for family_member in ("DET001", "UNIT001", "API001", "WS001"):
+            assert family_member in out
+
+
+class TestJsonReport:
+    def test_schema_of_failing_run(self, tmp_path, capsys):
+        target = write_module(tmp_path, DIRTY_SOURCE)
+        code = main([str(target), "--format", "json", "--no-baseline"])
+        assert code == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+        assert payload["ok"] is False
+        assert payload["counts"]["new"] == len(payload["findings"]) > 0
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "rule", "path", "line", "col", "message", "snippet",
+            }
+            assert isinstance(finding["line"], int)
+        assert payload["rules_run"] == sorted(payload["rules_run"])
+
+    def test_json_is_deterministic(self, tmp_path, capsys):
+        target = write_module(tmp_path, DIRTY_SOURCE)
+        main([str(target), "--format", "json", "--no-baseline"])
+        first = capsys.readouterr().out
+        main([str(target), "--format", "json", "--no-baseline"])
+        assert capsys.readouterr().out == first
+
+
+class TestSuppressionComments:
+    def test_inline_ignore_silences_named_rule(self, tmp_path, capsys):
+        target = write_module(
+            tmp_path,
+            """
+            import random
+
+            def jitter():
+                return random.random()  # repro: ignore[DET001]
+            """,
+        )
+        assert main([str(target), "--no-baseline"]) == EXIT_OK
+        assert "1 suppressed inline" in capsys.readouterr().out
+
+    def test_ignore_of_other_rule_does_not_silence(self, tmp_path):
+        target = write_module(
+            tmp_path,
+            """
+            import random
+
+            def jitter():
+                return random.random()  # repro: ignore[DET002]
+            """,
+        )
+        assert main([str(target), "--no-baseline"]) == EXIT_FINDINGS
+
+    def test_bare_ignore_silences_everything_on_line(self, tmp_path):
+        target = write_module(
+            tmp_path,
+            """
+            import random
+
+            def jitter(items=[]):  # repro: ignore
+                return random.random()  # repro: ignore
+            """,
+        )
+        assert main([str(target), "--no-baseline"]) == EXIT_OK
+
+    def test_ignore_inside_string_literal_is_inert(self, tmp_path):
+        target = write_module(
+            tmp_path,
+            """
+            import random
+
+            DOC = "use  # repro: ignore[DET001]  to suppress"
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        assert main([str(target), "--no-baseline"]) == EXIT_FINDINGS
+
+
+class TestBaselineRoundTrip:
+    def test_capture_then_clean_then_stale(self, tmp_path, capsys):
+        target = write_module(tmp_path, DIRTY_SOURCE)
+        baseline = tmp_path / "baseline.json"
+
+        # 1. introduce findings, capture them
+        assert main([
+            str(target), "--write-baseline",
+            "--baseline", str(baseline),
+            "--reason", "legacy jitter helper, scheduled for removal",
+        ]) == EXIT_OK
+        capsys.readouterr()
+        recorded = json.loads(baseline.read_text())
+        assert recorded["version"] == 1
+        assert len(recorded["findings"]) >= 2
+        assert all(
+            e["reason"] == "legacy jitter helper, scheduled for removal"
+            for e in recorded["findings"]
+        )
+
+        # 2. re-run against the baseline: clean
+        assert main([
+            str(target), "--baseline", str(baseline),
+        ]) == EXIT_OK
+        assert "baselined" in capsys.readouterr().out
+
+        # 3. fix the code: baseline entries go stale but run stays green...
+        write_module(tmp_path, CLEAN_SOURCE)
+        assert main([
+            str(target), "--baseline", str(baseline),
+        ]) == EXIT_OK
+        assert "stale baseline entry" in capsys.readouterr().out
+
+        # ...unless strictness is requested.
+        assert main([
+            str(target), "--baseline", str(baseline), "--strict-baseline",
+        ]) == EXIT_FINDINGS
+
+    def test_second_occurrence_of_baselined_pattern_fails(self, tmp_path, capsys):
+        target = write_module(tmp_path, DIRTY_SOURCE)
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            str(target), "--write-baseline", "--baseline", str(baseline),
+        ]) == EXIT_OK
+        capsys.readouterr()
+
+        doubled = DIRTY_SOURCE + textwrap.dedent(
+            """
+            def jitter_again(items=[]):
+                items.append(random.random())
+                return items
+            """
+        )
+        write_module(tmp_path, doubled)
+        assert main([
+            str(target), "--baseline", str(baseline),
+        ]) == EXIT_FINDINGS
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path):
+        target = write_module(tmp_path, CLEAN_SOURCE)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"version": 99, "findings": []}))
+        assert main([
+            str(target), "--baseline", str(baseline),
+        ]) == EXIT_USAGE
+
+
+class TestSelfAnalysis:
+    REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+    def test_shipped_tree_is_clean_with_checked_in_baseline(self, capsys):
+        baseline = self.REPO_SRC.parents[1] / "analysis-baseline.json"
+        argv = [str(self.REPO_SRC)]
+        if baseline.exists():
+            argv += ["--baseline", str(baseline)]
+        else:
+            argv += ["--no-baseline"]
+        assert main(argv) == EXIT_OK
+
+    def test_every_rule_family_ran(self, capsys):
+        assert main([str(self.REPO_SRC), "--format", "json", "--no-baseline"]) == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        families = {rule_id[:3] for rule_id in payload["rules_run"]}
+        assert {"DET", "UNI", "API", "WS0"} <= families
+        assert payload["files_scanned"] > 80

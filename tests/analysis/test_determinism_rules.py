@@ -1,0 +1,252 @@
+"""Positive/negative fixtures for every determinism rule."""
+
+
+def rules_hit(findings):
+    return {f.rule for f in findings}
+
+
+class TestDET001RandomModule:
+    def test_flags_global_random_call(self, check):
+        findings = check(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+            select=["DET001"],
+        )
+        assert rules_hit(findings) == {"DET001"}
+
+    def test_flags_from_import_call(self, check):
+        findings = check(
+            """
+            from random import randint
+
+            def pick():
+                return randint(0, 3)
+            """,
+            select=["DET001"],
+        )
+        assert rules_hit(findings) == {"DET001"}
+
+    def test_allows_seeded_random_instance(self, check):
+        findings = check(
+            """
+            import random
+
+            def make_rng(seed):
+                return random.Random(seed)
+            """,
+            select=["DET001"],
+        )
+        assert findings == []
+
+    def test_allows_unrelated_attribute_named_random(self, check):
+        findings = check(
+            """
+            def draw(rng):
+                return rng.random()
+            """,
+            select=["DET001"],
+        )
+        assert findings == []
+
+
+class TestDET002LegacyNumpyRandom:
+    def test_flags_legacy_api(self, check):
+        findings = check(
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.normal(size=n)
+            """,
+            select=["DET002"],
+        )
+        assert rules_hit(findings) == {"DET002"}
+
+    def test_flags_unseeded_default_rng(self, check):
+        findings = check(
+            """
+            import numpy as np
+
+            def rng():
+                return np.random.default_rng()
+            """,
+            select=["DET002"],
+        )
+        assert rules_hit(findings) == {"DET002"}
+
+    def test_allows_seeded_default_rng(self, check):
+        findings = check(
+            """
+            import numpy as np
+
+            def rng(seed):
+                return np.random.default_rng(seed)
+            """,
+            select=["DET002"],
+        )
+        assert findings == []
+
+
+class TestDET003WallClock:
+    def test_flags_time_time(self, check):
+        findings = check(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            select=["DET003"],
+        )
+        assert rules_hit(findings) == {"DET003"}
+
+    def test_flags_datetime_now(self, check):
+        findings = check(
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """,
+            select=["DET003"],
+        )
+        assert rules_hit(findings) == {"DET003"}
+
+    def test_allows_perf_counter(self, check):
+        findings = check(
+            """
+            import time
+
+            def elapsed(start):
+                return time.perf_counter() - start
+            """,
+            select=["DET003"],
+        )
+        assert findings == []
+
+
+class TestDET004UnorderedIteration:
+    def test_flags_set_literal_iteration(self, check):
+        findings = check(
+            """
+            def schemes():
+                out = []
+                for name in {"lru", "dsp"}:
+                    out.append(name)
+                return out
+            """,
+            select=["DET004"],
+        )
+        assert rules_hit(findings) == {"DET004"}
+
+    def test_flags_set_call_in_comprehension(self, check):
+        findings = check(
+            """
+            def names(raw):
+                return [n for n in set(raw)]
+            """,
+            select=["DET004"],
+        )
+        assert rules_hit(findings) == {"DET004"}
+
+    def test_flags_bare_listdir(self, check):
+        findings = check(
+            """
+            import os
+
+            def entries(path):
+                return os.listdir(path)
+            """,
+            select=["DET004"],
+        )
+        assert rules_hit(findings) == {"DET004"}
+
+    def test_allows_sorted_wrapping(self, check):
+        findings = check(
+            """
+            import os
+
+            def entries(path, raw):
+                ordered = sorted(os.listdir(path))
+                return [n for n in sorted(set(raw))] + ordered
+            """,
+            select=["DET004"],
+        )
+        assert findings == []
+
+
+class TestDET005WorkerEnvRead:
+    def test_flags_environ_in_engine(self, check):
+        findings = check(
+            """
+            import os
+
+            def workers():
+                return int(os.environ.get("WORKERS", "1"))
+            """,
+            select=["DET005"],
+            module="repro.engine.sample",
+        )
+        assert rules_hit(findings) == {"DET005"}
+
+    def test_flags_getenv_and_subscript_in_kernel(self, check):
+        findings = check(
+            """
+            import os
+
+            def knobs():
+                return os.getenv("A"), os.environ["B"]
+            """,
+            select=["DET005"],
+            module="repro.core.batcheval",
+        )
+        assert len(findings) == 2
+
+    def test_ignores_modules_outside_scope(self, check):
+        findings = check(
+            """
+            import os
+
+            def knobs():
+                return os.getenv("A")
+            """,
+            select=["DET005"],
+            module="repro.experiments.sample",
+        )
+        assert findings == []
+
+
+class TestDET006MutableDefault:
+    def test_flags_list_default(self, check):
+        findings = check(
+            """
+            def collect(items=[]):
+                return items
+            """,
+            select=["DET006"],
+        )
+        assert rules_hit(findings) == {"DET006"}
+
+    def test_flags_dict_call_default(self, check):
+        findings = check(
+            """
+            def collect(*, table=dict()):
+                return table
+            """,
+            select=["DET006"],
+        )
+        assert rules_hit(findings) == {"DET006"}
+
+    def test_allows_none_sentinel(self, check):
+        findings = check(
+            """
+            def collect(items=None):
+                return items or []
+            """,
+            select=["DET006"],
+        )
+        assert findings == []

@@ -1,0 +1,140 @@
+"""Positive/negative fixtures for the unit-consistency rules."""
+
+
+def rules_hit(findings):
+    return {f.rule for f in findings}
+
+
+class TestUNIT001RawConversionFactor:
+    def test_flags_assignment_with_raw_factor(self, check):
+        findings = check(
+            """
+            def report(chip):
+                retention_ns = chip.retention * 1e9
+                return retention_ns
+            """,
+            select=["UNIT001"],
+        )
+        assert rules_hit(findings) == {"UNIT001"}
+
+    def test_flags_keyword_argument_with_raw_factor(self, check):
+        findings = check(
+            """
+            def row(make_row, access):
+                return make_row(access_time_ps=access * 1e12)
+            """,
+            select=["UNIT001"],
+        )
+        assert rules_hit(findings) == {"UNIT001"}
+
+    def test_flags_reading_suffixed_name_back_to_si(self, check):
+        findings = check(
+            """
+            def seconds(delay_ns):
+                return delay_ns * 1e-9
+            """,
+            select=["UNIT001"],
+        )
+        assert rules_hit(findings) == {"UNIT001"}
+
+    def test_allows_units_helpers(self, check):
+        findings = check(
+            """
+            from repro import units
+
+            def report(chip):
+                retention_ns = units.to_ns(chip.retention)
+                return retention_ns
+            """,
+            select=["UNIT001"],
+        )
+        assert findings == []
+
+    def test_allows_epsilon_guards_without_unit_context(self, check):
+        findings = check(
+            """
+            import numpy as np
+
+            def safe_ratio(a, b):
+                return a / np.maximum(b, 1e-12)
+            """,
+            select=["UNIT001"],
+        )
+        assert findings == []
+
+    def test_ignores_unwatched_packages(self, check):
+        findings = check(
+            """
+            def report(chip):
+                retention_ns = chip.retention * 1e9
+                return retention_ns
+            """,
+            select=["UNIT001"],
+            module="repro.workloads.sample",
+        )
+        assert findings == []
+
+
+class TestUNIT002MixedSuffixArithmetic:
+    def test_flags_addition_across_suffixes(self, check):
+        findings = check(
+            """
+            def total(setup_ns, hold_ps):
+                return setup_ns + hold_ps
+            """,
+            select=["UNIT002"],
+        )
+        assert rules_hit(findings) == {"UNIT002"}
+
+    def test_flags_comparison_across_suffixes(self, check):
+        findings = check(
+            """
+            def late(access_ps, budget_ns):
+                return access_ps > budget_ns
+            """,
+            select=["UNIT002"],
+        )
+        assert rules_hit(findings) == {"UNIT002"}
+
+    def test_allows_same_suffix(self, check):
+        findings = check(
+            """
+            def total(setup_ns, hold_ns):
+                return setup_ns + hold_ns
+            """,
+            select=["UNIT002"],
+        )
+        assert findings == []
+
+
+class TestUNIT003SuspiciousDefaultMagnitude:
+    def test_flags_si_value_in_ns_parameter(self, check):
+        findings = check(
+            """
+            def refresh(period_ns=2.5e-9):
+                return period_ns
+            """,
+            select=["UNIT003"],
+        )
+        assert rules_hit(findings) == {"UNIT003"}
+
+    def test_flags_si_value_in_module_constant(self, check):
+        findings = check(
+            """
+            RETENTION_FLOOR_NS = 1.2e-8
+            """,
+            select=["UNIT003"],
+        )
+        assert rules_hit(findings) == {"UNIT003"}
+
+    def test_allows_plausible_magnitudes(self, check):
+        findings = check(
+            """
+            RETENTION_FLOOR_NS = 12.0
+
+            def refresh(period_ns=2.5, window_us=0.5):
+                return period_ns + window_us * 1000.0
+            """,
+            select=["UNIT003"],
+        )
+        assert findings == []

@@ -1,0 +1,89 @@
+"""Positive/negative fixtures for the worker-safety rules."""
+
+
+def rules_hit(findings):
+    return {f.rule for f in findings}
+
+
+class TestWS001UnpicklableTaskArgument:
+    def test_flags_lambda_in_task_payload(self, check):
+        findings = check(
+            """
+            def submit(EvalTask, spec):
+                return EvalTask(evaluator=spec, reduce=lambda r: r.bips)
+            """,
+            select=["WS001"],
+        )
+        assert rules_hit(findings) == {"WS001"}
+
+    def test_flags_locally_defined_callable(self, check):
+        findings = check(
+            """
+            def submit(ChipBuildTask, seed):
+                def build():
+                    return seed
+                return ChipBuildTask(build)
+            """,
+            select=["WS001"],
+        )
+        assert rules_hit(findings) == {"WS001"}
+
+    def test_allows_module_level_values(self, check):
+        findings = check(
+            """
+            def reduce_outcome(result):
+                return result.bips
+
+            def submit(EvalTask, spec):
+                return EvalTask(evaluator=spec, reduce=reduce_outcome)
+            """,
+            select=["WS001"],
+        )
+        assert findings == []
+
+
+class TestWS002UnpicklablePoolCallable:
+    def test_flags_lambda_at_pool_map(self, check):
+        findings = check(
+            """
+            def fan_out(runner, tasks):
+                return runner.map(lambda t: t.run(), tasks)
+            """,
+            select=["WS002"],
+        )
+        assert rules_hit(findings) == {"WS002"}
+
+    def test_flags_nested_def_at_submit(self, check):
+        findings = check(
+            """
+            def fan_out(executor, tasks):
+                def run_one(task):
+                    return task.run()
+                return [executor.submit(run_one, t) for t in tasks]
+            """,
+            select=["WS002"],
+        )
+        assert rules_hit(findings) == {"WS002"}
+
+    def test_allows_module_level_function(self, check):
+        findings = check(
+            """
+            def run_one(task):
+                return task.run()
+
+            def fan_out(runner, tasks):
+                return runner.map(run_one, tasks)
+            """,
+            select=["WS002"],
+        )
+        assert findings == []
+
+    def test_allows_sorted_key_lambdas(self, check):
+        findings = check(
+            """
+            def order(points):
+                return sorted(points, key=lambda p: p.retention_ns)
+            """,
+            select=["WS002"],
+        )
+        assert findings == []

@@ -7,7 +7,7 @@ from repro.errors import ConfigurationError
 from repro.technology import NODE_32NM
 from repro.variation import VariationParams
 from repro.array import ChipSampler
-from repro.array.bist import BISTResult, RetentionBIST
+from repro.array.bist import RetentionBIST
 
 
 @pytest.fixture(scope="module")

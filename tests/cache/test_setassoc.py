@@ -1,6 +1,5 @@
 """Set-associative L2 simulator and the real-L2 mode."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.array import CacheGeometry
 from repro.cache import (
     AccessOutcome,
     FullRefresh,

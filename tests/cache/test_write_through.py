@@ -1,6 +1,5 @@
 """Write-through (no-write-allocate) cache mode."""
 
-import numpy as np
 import pytest
 
 from repro.cache import AccessOutcome, CacheConfig, RetentionAwareCache

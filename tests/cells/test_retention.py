@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.technology import NODE_32NM, NODE_45NM, NODE_65NM, calibration
-from repro.cells import AccessTimeCurve, DRAM3T1DCell, RetentionModel
+from repro.technology import NODE_32NM, NODE_45NM, NODE_65NM
+from repro.cells import AccessTimeCurve, RetentionModel
 
 
 @pytest.fixture

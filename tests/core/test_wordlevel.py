@@ -1,6 +1,5 @@
 """Word-level refresh study."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

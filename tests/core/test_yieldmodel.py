@@ -1,6 +1,5 @@
 """Yield model and chip binning."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -1,7 +1,6 @@
 """Tournament branch predictor."""
 
 import numpy as np
-import pytest
 
 from repro.cpu.branch import TournamentPredictor
 

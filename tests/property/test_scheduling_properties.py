@@ -1,6 +1,5 @@
 """Property-based tests of the token engine and the closed-form model."""
 
-import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

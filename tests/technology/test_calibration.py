@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import units
 from repro.errors import CalibrationError
 from repro.technology import NODE_32NM, NODE_45NM, NODE_65NM, calibration
 from repro.technology.transistor import Transistor

@@ -1,7 +1,5 @@
 """Unit-conversion helpers."""
 
-import math
-
 import pytest
 
 from repro import units

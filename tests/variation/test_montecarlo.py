@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.technology import NODE_32NM
-from repro.variation import ChipVariation, VariationParams, VariationSampler
+from repro.variation import VariationParams, VariationSampler
 
 
 @pytest.fixture
