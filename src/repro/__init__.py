@@ -32,6 +32,7 @@ from repro.errors import (
     CalibrationError,
     ChipDiscardedError,
     ConfigurationError,
+    ExecutionError,
     ReproError,
     SimulationError,
     TraceError,
@@ -101,21 +102,29 @@ from repro.core import (
 from repro.engine import (
     CLIProgressReporter,
     CompositeObserver,
+    CorruptedPayload,
     CsvExport,
     DEFAULT_EVALUATOR_CACHE_SIZE,
+    EngineConfig,
     EvaluatorSpec,
     EvalTask,
     Experiment,
+    FaultPlan,
+    InjectedFaultError,
     JSONMetricsObserver,
     NULL_OBSERVER,
     ParallelChipRunner,
     ResultCache,
+    RunJournal,
     RunObserver,
+    RunnerStats,
     all_experiments,
     evaluator_cache_size,
     get_experiment,
     register_experiment,
+    resolve_cache,
     set_evaluator_cache_size,
+    task_key,
 )
 
 __version__ = "1.0.0"
@@ -138,6 +147,7 @@ __all__ = [
     "SimulationError",
     "TraceError",
     "ChipDiscardedError",
+    "ExecutionError",
     "TechnologyNode",
     "ALL_NODES",
     "NODE_65NM",
@@ -192,17 +202,25 @@ __all__ = [
     "set_evaluator_cache_size",
     "CLIProgressReporter",
     "CompositeObserver",
+    "CorruptedPayload",
     "CsvExport",
+    "EngineConfig",
     "EvalTask",
     "EvaluatorSpec",
     "Experiment",
     "ExperimentContext",
+    "FaultPlan",
+    "InjectedFaultError",
     "JSONMetricsObserver",
     "NULL_OBSERVER",
     "ParallelChipRunner",
     "ResultCache",
+    "RunJournal",
     "RunObserver",
+    "RunnerStats",
     "all_experiments",
     "get_experiment",
     "register_experiment",
+    "resolve_cache",
+    "task_key",
 ]

@@ -1,26 +1,52 @@
 """repro.engine -- parallel Monte-Carlo execution behind a unified API.
 
-The engine has four pieces:
+The engine has six pieces:
 
+* :mod:`repro.engine.config` -- :class:`EngineConfig`, the consolidated
+  execution/robustness configuration every entry point shares (pool
+  width, cache directories, checkpointing, supervision budgets, fault
+  plan).  None of its knobs ever change results.
 * :mod:`repro.engine.parallel` -- :class:`ParallelChipRunner`, the
-  process-pool chip-batch scheduler.  Chip draws are reserved serially
-  (per-chip seeds) and realized in parallel; evaluations ship an
+  supervised process-pool chip-batch scheduler.  Chip draws are reserved
+  serially (per-chip seeds) and realized in parallel; evaluations ship an
   :class:`EvaluatorSpec` so each worker rebuilds identical seeded traces.
-  Serial and parallel runs are bit-identical.
+  The supervisor adds per-task timeouts, bounded retries with
+  deterministic backoff, crashed-worker respawn, poison-task quarantine,
+  and graceful degradation to serial execution.  Serial, parallel, and
+  recovered runs are bit-identical.
+* :mod:`repro.engine.checkpoint` -- :class:`RunJournal`, the write-ahead
+  run journal.  Every completed work item is flushed durably under its
+  content digest (:func:`task_key`), so an interrupted run restarted
+  with ``--resume`` recomputes only what is missing.
+* :mod:`repro.engine.faults` -- :class:`FaultPlan`, seeded deterministic
+  fault injection (worker crashes, errors, hangs, corrupted payloads)
+  that makes the recovery paths testable in CI, gated on output
+  identity.
 * :mod:`repro.engine.cache` -- :class:`ResultCache`, an on-disk
   content-keyed result store (package version + experiment source digest
   + context fingerprint), so re-running ``run_all`` after editing one
   experiment skips the untouched sweeps.
 * :mod:`repro.engine.observer` -- the :class:`RunObserver` event protocol
-  (per-run / per-experiment / per-chip) with CLI-progress and
-  JSON-metrics consumers.
+  (per-run / per-experiment / per-chip, plus the robustness events
+  ``on_task_retried`` / ``on_worker_respawned`` / ``on_run_checkpointed``
+  / ``on_run_resumed``) with CLI-progress and JSON-metrics consumers.
 * :mod:`repro.engine.registry` -- the uniform :class:`Experiment`
   protocol (``run`` / ``report`` / optional ``csv_rows`` and
-  ``default_context_overrides``) plus the ordered registry that drives
+  ``default_context_overrides``, plus the cached ``execute`` path and
+  the shared ``cli`` entry point) and the ordered registry that drives
   ``run_all`` without experiment-name special cases.
 """
 
-from repro.engine.cache import ResultCache, source_digest
+from repro.engine.cache import ResultCache, resolve_cache, source_digest
+from repro.engine.checkpoint import RunJournal, task_key
+from repro.engine.config import EngineConfig
+from repro.engine.faults import (
+    CRASH_EXIT_CODE,
+    CorruptedPayload,
+    FAULT_KINDS,
+    FaultPlan,
+    InjectedFaultError,
+)
 from repro.engine.observer import (
     CLIProgressReporter,
     CompositeObserver,
@@ -33,6 +59,7 @@ from repro.engine.parallel import (
     EvalTask,
     EvaluatorSpec,
     ParallelChipRunner,
+    RunnerStats,
     SchemeOutcome,
     evaluator_cache_size,
     evaluator_for,
@@ -51,13 +78,23 @@ from repro.engine.registry import (
 
 __all__ = [
     "ResultCache",
+    "resolve_cache",
     "source_digest",
+    "RunJournal",
+    "task_key",
+    "EngineConfig",
+    "CRASH_EXIT_CODE",
+    "CorruptedPayload",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "InjectedFaultError",
     "RunObserver",
     "NULL_OBSERVER",
     "CompositeObserver",
     "CLIProgressReporter",
     "JSONMetricsObserver",
     "ParallelChipRunner",
+    "RunnerStats",
     "DEFAULT_EVALUATOR_CACHE_SIZE",
     "EvaluatorSpec",
     "EvalTask",

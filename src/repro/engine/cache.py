@@ -43,6 +43,27 @@ def source_digest(module_name: str) -> str:
         return ""
 
 
+def resolve_cache(
+    out_dir: Optional[pathlib.Path] = None,
+    cache_dir: Optional[pathlib.Path] = None,
+    enabled: bool = True,
+) -> Optional["ResultCache"]:
+    """The result cache a CLI invocation should use, or ``None``.
+
+    One shared policy for ``run_all`` and the per-experiment entry
+    points: an explicit ``cache_dir`` wins; otherwise the cache lives
+    under ``out_dir/.cache``; with neither (or ``enabled=False``, the
+    ``--no-cache`` flag) caching is off.
+    """
+    if not enabled:
+        return None
+    if cache_dir is None:
+        if out_dir is None:
+            return None
+        cache_dir = pathlib.Path(out_dir) / ".cache"
+    return ResultCache(cache_dir)
+
+
 class ResultCache:
     """Content-keyed pickle store under one directory."""
 
@@ -114,4 +135,4 @@ class ResultCache:
         return removed
 
 
-__all__ = ["ResultCache", "source_digest"]
+__all__ = ["ResultCache", "resolve_cache", "source_digest"]

@@ -1,0 +1,198 @@
+"""Write-ahead run journal: durable per-task results for resumable runs.
+
+A :class:`RunJournal` is an append-only file of ``(key, value)`` records,
+where the key is the content digest of one engine task
+(:func:`task_key`: the task function's qualified name plus the pickled
+task payload) and the value is that task's result.  The
+:class:`~repro.engine.parallel.ParallelChipRunner` flushes every
+completed work item to the journal as soon as it arrives, so a run
+killed at any point -- including mid-write -- restarts with ``--resume``
+and recomputes only the missing items.
+
+Because keys are content digests, resumed entries are only ever reused
+for *byte-identical* task payloads executed by the same function: any
+change to the context (seed, scale, node, schemes) changes the task
+bytes and misses the journal, which is what keeps resumed runs
+bit-identical to uninterrupted ones.
+
+Record format (after a magic header)::
+
+    <u64 little-endian blob length> <16-byte sha256 prefix> <pickle blob>
+
+Each record is flushed and fsynced before the runner reports the item
+complete (write-ahead with respect to downstream consumers).  On load,
+the first record whose length or digest does not check out -- a torn
+tail from a SIGKILL mid-write -- is dropped along with everything after
+it, and the file is truncated back to the last durable record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import pathlib
+import pickle
+import struct
+from typing import Any, Callable, Dict
+
+MAGIC = b"REPRO-JOURNAL-1\n"
+
+_LENGTH = struct.Struct("<Q")
+_DIGEST_BYTES = 16
+
+#: Cap on a single record's pickle blob; a longer length prefix is
+#: treated as corruption rather than an allocation request.
+MAX_RECORD_BYTES = 1 << 31
+
+
+def _canonical_dumps(task: Any) -> bytes:
+    """Pickle ``task`` without memoization, so equal values give equal
+    bytes.
+
+    A plain ``pickle.dumps`` emits memo *backreferences* whenever the
+    same object appears twice (e.g. a chip's technology node that is
+    identical to the evaluator spec's), which makes the bytes depend on
+    object identity -- and identity differs between a fresh run and one
+    whose inputs were restored from a journal.  Task payloads are
+    acyclic, so memo-free "fast" pickling is safe and canonical.
+    """
+    buffer = io.BytesIO()
+    pickler = pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    pickler.fast = True
+    pickler.dump(task)
+    return buffer.getvalue()
+
+
+def task_key(fn: Callable[..., Any], task: Any) -> str:
+    """Content digest identifying one unit of engine work.
+
+    Two keys are equal exactly when the same module-level function would
+    run over a value-identical pickled payload -- the precondition for
+    reusing a journalled result.
+    """
+    ident = "{}:{}".format(
+        getattr(fn, "__module__", ""), getattr(fn, "__qualname__", repr(fn))
+    )
+    return hashlib.sha256(
+        ident.encode() + b"\x00" + _canonical_dumps(task)
+    ).hexdigest()
+
+
+class RunJournal:
+    """Append-only durable store of completed task results for one run.
+
+    ``resume=True`` loads every intact record from an existing file
+    (truncating a torn tail); ``resume=False`` starts the journal fresh.
+    The journal is an engine-internal durability layer: entries are keyed
+    by :func:`task_key` digests, never inspected by experiments.
+    """
+
+    def __init__(self, path: pathlib.Path, resume: bool = False):
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._entries: Dict[str, Any] = {}
+        self.restored = 0
+        """Number of intact records loaded from a pre-existing journal."""
+        durable_end = 0
+        if resume and self.path.exists():
+            durable_end = self._load()
+            self.restored = len(self._entries)
+        if durable_end >= len(MAGIC):
+            self._handle = open(self.path, "r+b")
+            self._handle.seek(durable_end)
+            self._handle.truncate()
+        else:
+            # Fresh start -- including over a file whose header did not
+            # verify, which must be rewritten, not appended to.
+            self._handle = open(self.path, "wb")
+            self._handle.write(MAGIC)
+            self._handle.flush()
+
+    @staticmethod
+    def path_for(directory: pathlib.Path, run_key: str) -> pathlib.Path:
+        """Journal file for one run, named by the run key's digest."""
+        digest = hashlib.sha256(run_key.encode()).hexdigest()[:16]
+        return pathlib.Path(directory) / f"run-{digest}.journal"
+
+    # ------------------------------------------------------------------
+
+    def _load(self) -> int:
+        """Read intact records; returns the offset of the durable end."""
+        with open(self.path, "rb") as handle:
+            header = handle.read(len(MAGIC))
+            if header != MAGIC:
+                # Not a journal (or a torn header): start over.
+                return 0
+            durable_end = handle.tell()
+            while True:
+                raw_length = handle.read(_LENGTH.size)
+                if len(raw_length) < _LENGTH.size:
+                    break
+                (length,) = _LENGTH.unpack(raw_length)
+                if length > MAX_RECORD_BYTES:
+                    break
+                digest = handle.read(_DIGEST_BYTES)
+                if len(digest) < _DIGEST_BYTES:
+                    break
+                blob = handle.read(length)
+                if len(blob) < length:
+                    break
+                if hashlib.sha256(blob).digest()[:_DIGEST_BYTES] != digest:
+                    break
+                try:
+                    key, value = pickle.loads(blob)
+                except Exception:
+                    break
+                self._entries[key] = value
+                durable_end = handle.tell()
+            return durable_end
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The journalled result for ``key``, or ``default``."""
+        return self._entries.get(key, default)
+
+    def record(self, key: str, value: Any) -> bool:
+        """Durably append one completed result; False if already stored.
+
+        The record is flushed and fsynced before returning, so a crash
+        immediately after cannot lose it.
+        """
+        if key in self._entries:
+            return False
+        blob = pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
+        self._handle.write(_LENGTH.pack(len(blob)))
+        self._handle.write(hashlib.sha256(blob).digest()[:_DIGEST_BYTES])
+        self._handle.write(blob)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._entries[key] = value
+        return True
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "MAGIC",
+    "MAX_RECORD_BYTES",
+    "RunJournal",
+    "task_key",
+]

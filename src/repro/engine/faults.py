@@ -1,0 +1,207 @@
+"""Seeded fault injection for the execution engine.
+
+A :class:`FaultPlan` deterministically decides, per (task, attempt)
+pair, whether a worker should crash, raise, hang, or corrupt its result
+payload.  The decision is a pure function of the plan's seed, the task's
+content digest, and the attempt number, so a given plan reproduces the
+same fault pattern for the same work regardless of scheduling -- which
+makes the engine's recovery paths (retry, respawn, quarantine, serial
+degradation) testable in CI.
+
+Faults never touch the computation itself: a task that survives (or
+exhausts) its injected faults produces exactly the result a fault-free
+run would, so fault-injected runs are gated on output identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+#: Exit status used by hard crash injection so a supervising test can
+#: distinguish an injected worker death from an organic one.
+CRASH_EXIT_CODE = 113
+
+#: Fault kinds in cumulative-draw order.
+FAULT_KINDS = ("crash", "error", "hang", "corrupt")
+
+
+class InjectedFaultError(Exception):
+    """An error raised on purpose by fault injection.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected
+    faults stand in for arbitrary worker failures, so they must travel
+    the same unhandled path a real bug would.
+    """
+
+
+@dataclass(frozen=True)
+class CorruptedPayload:
+    """The result envelope an injected ``corrupt`` fault returns.
+
+    The supervisor treats any :class:`CorruptedPayload` result as a task
+    failure (standing in for a checksum mismatch on a real corrupted
+    payload) and retries the task.
+    """
+
+    task_key: str
+    attempt: int
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected worker faults.
+
+    Rates are per-(task, attempt) probabilities evaluated against a hash
+    of ``(seed, task_key, attempt)``; they must sum to at most 1.  A task
+    is only ever faulted on its first ``max_faults_per_task`` attempts,
+    which guarantees forward progress as long as the supervisor's retry
+    budget is at least that large.
+
+    ``crash`` kills the worker process outright (``os._exit``) when
+    running in a pool, exercising the broken-pool respawn path; inline it
+    degrades to a raised :class:`InjectedFaultError`.  ``error`` raises,
+    ``hang`` sleeps for ``hang_s`` (tripping a configured task timeout),
+    and ``corrupt`` replaces the result with a :class:`CorruptedPayload`.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    error_rate: float = 0.0
+    hang_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    hang_s: float = 30.0
+    max_faults_per_task: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "error_rate", "hang_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
+        if self.total_rate > 1.0:
+            raise ConfigurationError(
+                f"fault rates must sum to <= 1, got {self.total_rate}"
+            )
+        if self.hang_s < 0:
+            raise ConfigurationError(f"hang_s must be >= 0, got {self.hang_s}")
+        if self.max_faults_per_task < 0:
+            raise ConfigurationError(
+                "max_faults_per_task must be >= 0, got "
+                f"{self.max_faults_per_task}"
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_rate(self) -> float:
+        """Combined probability that an eligible attempt is faulted."""
+        return (
+            self.crash_rate + self.error_rate
+            + self.hang_rate + self.corrupt_rate
+        )
+
+    def draw(self, task_key: str, attempt: int) -> float:
+        """The deterministic uniform [0, 1) draw for one attempt."""
+        digest = hashlib.sha256(
+            f"{self.seed}|{task_key}|{attempt}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def decision(self, task_key: str, attempt: int) -> Optional[str]:
+        """The fault kind injected for this attempt, or ``None``.
+
+        Attempts at or beyond ``max_faults_per_task`` are never faulted.
+        """
+        if attempt >= self.max_faults_per_task:
+            return None
+        draw = self.draw(task_key, attempt)
+        threshold = 0.0
+        for kind, rate in zip(FAULT_KINDS, (
+            self.crash_rate, self.error_rate,
+            self.hang_rate, self.corrupt_rate,
+        )):
+            threshold += rate
+            if draw < threshold:
+                return kind
+        return None
+
+    def apply(self, task_key: str, attempt: int, hard: bool) -> Optional[str]:
+        """Execute this attempt's pre-task fault, if any.
+
+        ``hard`` is True in pool workers, where a ``crash`` fault kills
+        the process; inline (serial or degraded execution) it raises
+        instead, since killing the coordinating process would defeat the
+        harness.  Returns the injected kind (``corrupt`` is returned for
+        the caller to apply to the result after the task runs).
+        """
+        kind = self.decision(task_key, attempt)
+        if kind == "crash":
+            if hard:
+                os._exit(CRASH_EXIT_CODE)
+            raise InjectedFaultError(
+                f"injected worker crash (task {task_key[:12]}, "
+                f"attempt {attempt})"
+            )
+        if kind == "error":
+            raise InjectedFaultError(
+                f"injected task error (task {task_key[:12]}, "
+                f"attempt {attempt})"
+            )
+        if kind == "hang":
+            time.sleep(self.hang_s)
+        return kind
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a CLI spec like ``"seed=7,crash=0.2,hang_s=5"``.
+
+        Keys are the rate names with the ``_rate`` suffix optional
+        (``crash`` == ``crash_rate``) plus ``seed``, ``hang_s``, and
+        ``max_faults_per_task``.
+        """
+        known = {f.name: f for f in fields(cls)}
+        values = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ConfigurationError(
+                    f"bad fault spec entry {part!r}; expected key=value"
+                )
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            if key in FAULT_KINDS:
+                key = f"{key}_rate"
+            if key not in known:
+                raise ConfigurationError(
+                    f"unknown fault spec key {key!r}; expected one of "
+                    f"{sorted(known)}"
+                )
+            try:
+                values[key] = (
+                    int(raw) if known[key].type == "int" else float(raw)
+                )
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad fault spec value {raw!r} for {key!r}"
+                ) from None
+        return cls(**values)
+
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "CorruptedPayload",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "InjectedFaultError",
+]

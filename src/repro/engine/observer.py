@@ -50,6 +50,20 @@ class RunObserver:
     def on_batch_end(self, label: str, total: int, elapsed: float) -> None:
         """A chip batch fully completed."""
 
+    def on_task_retried(
+        self, label: str, index: int, attempt: int, reason: str
+    ) -> None:
+        """One work item failed and is being retried (``attempt`` so far)."""
+
+    def on_worker_respawned(self, label: str, pool_failures: int) -> None:
+        """The worker pool broke (crash/timeout) and was recycled."""
+
+    def on_run_checkpointed(self, label: str, flushed: int) -> None:
+        """``flushed`` batch results were durably journalled."""
+
+    def on_run_resumed(self, label: str, restored: int) -> None:
+        """``restored`` batch results were served from the run journal."""
+
     def on_run_end(self, elapsed: float) -> None:
         """The multi-experiment run finished."""
 
@@ -87,6 +101,24 @@ class CompositeObserver(RunObserver):
     def on_batch_end(self, label: str, total: int, elapsed: float) -> None:
         for obs in self.observers:
             obs.on_batch_end(label, total, elapsed)
+
+    def on_task_retried(
+        self, label: str, index: int, attempt: int, reason: str
+    ) -> None:
+        for obs in self.observers:
+            obs.on_task_retried(label, index, attempt, reason)
+
+    def on_worker_respawned(self, label: str, pool_failures: int) -> None:
+        for obs in self.observers:
+            obs.on_worker_respawned(label, pool_failures)
+
+    def on_run_checkpointed(self, label: str, flushed: int) -> None:
+        for obs in self.observers:
+            obs.on_run_checkpointed(label, flushed)
+
+    def on_run_resumed(self, label: str, restored: int) -> None:
+        for obs in self.observers:
+            obs.on_run_resumed(label, restored)
 
     def on_run_end(self, elapsed: float) -> None:
         for obs in self.observers:
@@ -126,12 +158,41 @@ class CLIProgressReporter(RunObserver):
         if completed == total or completed % step == 0:
             self._emit(f"  [{label}] {completed}/{total}")
 
+    def on_task_retried(
+        self, label: str, index: int, attempt: int, reason: str
+    ) -> None:
+        self._emit(f"  [{label}] task {index} retry #{attempt}: {reason}")
+
+    def on_worker_respawned(self, label: str, pool_failures: int) -> None:
+        self._emit(
+            f"  [{label}] worker pool respawned (failure #{pool_failures})"
+        )
+
+    def on_run_resumed(self, label: str, restored: int) -> None:
+        self._emit(f"  [{label}] resumed {restored} results from checkpoint")
+
     def on_run_end(self, elapsed: float) -> None:
         self._emit(f"all experiments done in {elapsed:.1f}s")
 
 
+def _empty_robustness() -> Dict[str, int]:
+    return {
+        "task_retries": 0,
+        "worker_respawns": 0,
+        "results_checkpointed": 0,
+        "results_resumed": 0,
+    }
+
+
 class JSONMetricsObserver(RunObserver):
     """Collects per-experiment/per-batch timings and dumps them as JSON.
+
+    Durations are measured with the monotonic ``time.perf_counter``
+    clock (never wall clock, so a suspended laptop or an NTP step cannot
+    corrupt them); the single wall-clock read is the intentional
+    ``started_at_unix_s`` run timestamp.  Alongside timing, the record
+    accumulates the engine's robustness events: retries, pool respawns,
+    and checkpoint/resume counts.
 
     The record is available in-memory as :attr:`metrics` and, if a
     ``path`` was given, written to disk when the run ends.
@@ -139,14 +200,28 @@ class JSONMetricsObserver(RunObserver):
 
     def __init__(self, path: Optional[pathlib.Path] = None):
         self.path = pathlib.Path(path) if path is not None else None
-        self.metrics: Dict[str, Any] = {"experiments": [], "total_elapsed_s": None}
+        self.metrics: Dict[str, Any] = self._empty_metrics()
         self._batch_starts: Dict[str, float] = {}
         self._current: Optional[Dict[str, Any]] = None
+
+    @staticmethod
+    def _empty_metrics() -> Dict[str, Any]:
+        return {
+            "experiments": [],
+            "total_elapsed_s": None,
+            "started_at_unix_s": None,
+            "robustness": _empty_robustness(),
+        }
 
     # ------------------------------------------------------------------
 
     def on_run_start(self, n_experiments: int) -> None:
-        self.metrics = {"experiments": [], "total_elapsed_s": None}
+        self.metrics = self._empty_metrics()
+        # Intentional run timestamp: metrics are diagnostics, never
+        # results, so recording when the run happened is allowed here.
+        self.metrics["started_at_unix_s"] = round(
+            time.time(), 3  # repro: ignore[DET003]
+        )
         self._current = None
 
     def on_experiment_start(self, name: str) -> None:
@@ -166,6 +241,9 @@ class JSONMetricsObserver(RunObserver):
         self._current = None
 
     def on_batch_start(self, label: str, total: int) -> None:
+        # Monotonic clock: batch durations must not jump with the wall
+        # clock (the recorded elapsed comes from the engine, also
+        # perf_counter-based; this start only guards unmatched ends).
         self._batch_starts[label] = time.perf_counter()
         if self._current is not None:
             self._current["batches"].append({
@@ -181,6 +259,20 @@ class JSONMetricsObserver(RunObserver):
                 if batch["label"] == label and batch["elapsed_s"] is None:
                     batch["elapsed_s"] = round(elapsed, 4)
                     break
+
+    def on_task_retried(
+        self, label: str, index: int, attempt: int, reason: str
+    ) -> None:
+        self.metrics["robustness"]["task_retries"] += 1
+
+    def on_worker_respawned(self, label: str, pool_failures: int) -> None:
+        self.metrics["robustness"]["worker_respawns"] += 1
+
+    def on_run_checkpointed(self, label: str, flushed: int) -> None:
+        self.metrics["robustness"]["results_checkpointed"] += flushed
+
+    def on_run_resumed(self, label: str, restored: int) -> None:
+        self.metrics["robustness"]["results_resumed"] += restored
 
     def on_run_end(self, elapsed: float) -> None:
         self.metrics["total_elapsed_s"] = round(elapsed, 4)

@@ -21,16 +21,20 @@ results -- only wall-clock differs.
 
 from __future__ import annotations
 
-import os
 import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExecutionError
 from repro.technology.node import TechnologyNode
 from repro.array.chip import ChipBuildTask, DRAM3T1DChipSample
 from repro.array.power import CachePowerModel
@@ -39,6 +43,9 @@ from repro.core.architecture import IdealCacheArchitecture
 from repro.core.batcheval import evaluate_many
 from repro.core.evaluation import Evaluator
 from repro.core.schemes import get_scheme
+from repro.engine.checkpoint import RunJournal, task_key
+from repro.engine.config import EngineConfig
+from repro.engine.faults import CorruptedPayload, FaultPlan
 from repro.engine.observer import NULL_OBSERVER, RunObserver
 
 
@@ -247,35 +254,122 @@ def run_build_task(task: ChipBuildTask):
     return task.build()
 
 
+@dataclass
+class RunnerStats:
+    """Robustness counters one :class:`ParallelChipRunner` accumulates."""
+
+    task_retries: int = 0
+    worker_respawns: int = 0
+    tasks_quarantined: int = 0
+    results_checkpointed: int = 0
+    results_resumed: int = 0
+
+
+def _supervised_call(
+    fn: Callable[[Any], Any],
+    task: Any,
+    plan: Optional[FaultPlan],
+    key: str,
+    attempt: int,
+    hard_faults: bool,
+):
+    """Run one task under the (optional) fault plan.
+
+    Module-level so it pickles by name into workers; ``hard_faults``
+    selects process-killing crash injection (pool) vs. raising (inline).
+    """
+    kind = None
+    if plan is not None:
+        kind = plan.apply(key, attempt, hard_faults)
+    result = fn(task)
+    if kind == "corrupt":
+        return CorruptedPayload(task_key=key, attempt=attempt)
+    return result
+
+
+_MISSING = object()
+
+#: How long the supervisor blocks waiting for completions before it
+#: re-checks task deadlines and due retries.
+_SUPERVISION_TICK = 0.1
+
+
 class ParallelChipRunner:
-    """Schedules chip batches over a (lazily created) process pool.
+    """Schedules chip batches over a supervised process pool.
 
     ``workers=1`` (or a single-item batch) runs inline in the calling
     process; results are always returned in task order, and are
     bit-identical across worker counts because every task is
     deterministically seeded and self-contained.
+
+    The runner is configured by an :class:`EngineConfig` (the legacy
+    ``workers=`` / ``evaluator_cache_size=`` keywords remain as shims
+    that build one internally).  Beyond scheduling, it supervises the
+    pool: per-task timeouts, bounded retries with deterministic backoff,
+    crashed-worker respawn, poison-task quarantine (a task that exhausts
+    its pool retry budget finishes inline instead), and graceful
+    degradation to serial execution after repeated pool failures.  When
+    the config names a ``checkpoint_dir``, every completed work item is
+    flushed to a :class:`~repro.engine.checkpoint.RunJournal` keyed by
+    the task's content digest, and ``resume=True`` restores completed
+    items instead of recomputing them -- none of which changes results.
     """
 
     def __init__(
         self,
-        workers: Optional[int] = None,
+        workers: Optional[Any] = None,
         evaluator_cache_size: Optional[int] = None,
+        *,
+        config: Optional[EngineConfig] = None,
+        run_key: str = "",
     ):
-        if workers is not None and workers < 1:
-            raise ConfigurationError(f"workers must be >= 1, got {workers}")
-        self.workers = workers if workers is not None else (os.cpu_count() or 1)
-        if evaluator_cache_size is not None:
+        if isinstance(workers, EngineConfig):
+            if config is not None:
+                raise ConfigurationError(
+                    "pass the EngineConfig either positionally or as "
+                    "config=, not both"
+                )
+            config, workers = workers, None
+        if config is None:
+            # Legacy keyword shim: the old signature becomes a config.
+            config = EngineConfig(
+                workers=workers, evaluator_cache_size=evaluator_cache_size
+            )
+        elif workers is not None or evaluator_cache_size is not None:
+            raise ConfigurationError(
+                "workers/evaluator_cache_size are EngineConfig fields; "
+                "set them there instead of passing them alongside config"
+            )
+        self.config = config
+        self.workers = config.effective_workers
+        if config.evaluator_cache_size is not None:
             # Applies to the serial/inline path immediately; worker
             # processes pick it up through the pool initializer.
-            set_evaluator_cache_size(evaluator_cache_size)
+            set_evaluator_cache_size(config.evaluator_cache_size)
         self.evaluator_cache_size = (
-            evaluator_cache_size
-            if evaluator_cache_size is not None
+            config.evaluator_cache_size
+            if config.evaluator_cache_size is not None
             else _EVALUATOR_CACHE_MAX
         )
+        self.run_key = run_key
+        self.stats = RunnerStats()
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._journal: Optional[RunJournal] = None
+        self._journal_opened = False
+        self._degraded = False
+        self._pool_failures = 0
 
     # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True once repeated pool failures forced serial execution."""
+        return self._degraded
+
+    @property
+    def pool_failures(self) -> int:
+        """Pool breakdowns (crashes/timeouts) seen so far."""
+        return self._pool_failures
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -285,6 +379,38 @@ class ParallelChipRunner:
                 initargs=(self.evaluator_cache_size,),
             )
         return self._executor
+
+    def _shutdown_executor(self, force: bool = False) -> None:
+        executor = self._executor
+        self._executor = None
+        if executor is None:
+            return
+        if not force:
+            executor.shutdown()
+            return
+        # A broken or hung pool: don't wait for it, and reclaim any
+        # worker still grinding on a timed-out task.  ``_processes`` is
+        # private, so treat the kill as best-effort.
+        processes = getattr(executor, "_processes", None) or {}
+        alive = list(processes.values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in alive:
+            try:
+                process.kill()
+            except Exception:
+                pass
+
+    def _ensure_journal(self) -> Optional[RunJournal]:
+        if not self._journal_opened:
+            self._journal_opened = True
+            if self.config.checkpoint_dir is not None:
+                path = RunJournal.path_for(
+                    self.config.checkpoint_dir, self.run_key
+                )
+                self._journal = RunJournal(path, resume=self.config.resume)
+        return self._journal
+
+    # ------------------------------------------------------------------
 
     def map(
         self,
@@ -297,31 +423,233 @@ class ParallelChipRunner:
 
         ``fn`` must be a module-level callable (it crosses the process
         boundary by reference).  The observer sees one ``on_chip_done``
-        event per completed item, in completion order.
+        event per computed item, in completion order, plus the
+        robustness events (``on_run_resumed`` / ``on_task_retried`` /
+        ``on_worker_respawned`` / ``on_run_checkpointed``) when the
+        corresponding recovery paths fire.
         """
         tasks = list(tasks)
         total = len(tasks)
         observer.on_batch_start(label, total)
         start = time.perf_counter()
-        if self.workers <= 1 or total <= 1:
-            results = []
-            for index, task in enumerate(tasks):
-                results.append(fn(task))
-                observer.on_chip_done(label, index + 1, total)
-        else:
-            executor = self._ensure_executor()
-            futures = {
-                executor.submit(fn, task): index
-                for index, task in enumerate(tasks)
-            }
-            results = [None] * total
-            completed = 0
-            for future in as_completed(futures):
-                results[futures[future]] = future.result()
-                completed += 1
-                observer.on_chip_done(label, completed, total)
+        journal = self._ensure_journal()
+        plan = self.config.fault_plan
+        keys: Optional[List[str]] = None
+        if journal is not None or plan is not None:
+            keys = [task_key(fn, task) for task in tasks]
+        results: List[Any] = [_MISSING] * total
+        if journal is not None:
+            restored = 0
+            for index in range(total):
+                if keys[index] in journal:
+                    results[index] = journal.get(keys[index])
+                    restored += 1
+            if restored:
+                self.stats.results_resumed += restored
+                observer.on_run_resumed(label, restored)
+        remaining = [i for i in range(total) if results[i] is _MISSING]
+        state = {"completed": total - len(remaining), "flushed": 0}
+
+        def finish(index: int, value: Any) -> None:
+            results[index] = value
+            state["completed"] += 1
+            if journal is not None and journal.record(keys[index], value):
+                state["flushed"] += 1
+            observer.on_chip_done(label, state["completed"], total)
+
+        if remaining:
+            if self.workers <= 1 or len(remaining) <= 1 or self._degraded:
+                self._run_serial(fn, tasks, keys, remaining, finish,
+                                 observer, label)
+            else:
+                self._run_pool(fn, tasks, keys, remaining, finish,
+                               observer, label)
+                leftovers = [i for i in remaining if results[i] is _MISSING]
+                if leftovers:
+                    # Quarantined tasks and the tail of a degraded run
+                    # finish inline, where a persistent failure surfaces
+                    # as a real traceback.
+                    self._run_serial(fn, tasks, keys, leftovers, finish,
+                                     observer, label)
+        if state["flushed"]:
+            self.stats.results_checkpointed += state["flushed"]
+            observer.on_run_checkpointed(label, state["flushed"])
         observer.on_batch_end(label, total, time.perf_counter() - start)
         return results
+
+    # ------------------------------------------------------------------
+
+    def _run_serial(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: List[Any],
+        keys: Optional[List[str]],
+        indices: Sequence[int],
+        finish: Callable[[int, Any], None],
+        observer: RunObserver,
+        label: str,
+    ) -> None:
+        """Inline execution with the same retry budget as the pool."""
+        plan = self.config.fault_plan
+        for index in indices:
+            key = keys[index] if keys is not None else ""
+            failures = 0
+            while True:
+                try:
+                    value = _supervised_call(
+                        fn, tasks[index], plan, key, failures, False
+                    )
+                    if isinstance(value, CorruptedPayload):
+                        raise ExecutionError(
+                            f"corrupted payload from task {index} of "
+                            f"{label!r} (attempt {value.attempt})"
+                        )
+                    break
+                except Exception as exc:
+                    failures += 1
+                    if failures > self.config.max_retries:
+                        raise ExecutionError(
+                            f"task {index} of batch {label!r} failed "
+                            f"{failures} times; giving up"
+                        ) from exc
+                    self.stats.task_retries += 1
+                    observer.on_task_retried(label, index, failures, repr(exc))
+                    time.sleep(self.config.retry_backoff(failures))
+            finish(index, value)
+
+    def _run_pool(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: List[Any],
+        keys: Optional[List[str]],
+        remaining: Sequence[int],
+        finish: Callable[[int, Any], None],
+        observer: RunObserver,
+        label: str,
+    ) -> None:
+        """The supervision loop: submit, watch deadlines, retry, respawn."""
+        config = self.config
+        plan = config.fault_plan
+        attempts: Dict[int, int] = {index: 0 for index in remaining}
+        failures: Dict[int, int] = {index: 0 for index in remaining}
+        pending: Dict[Any, int] = {}
+        deadlines: Dict[Any, float] = {}
+        delayed: List[Tuple[float, int]] = []
+        quarantined: List[int] = []
+
+        def submit(index: int) -> bool:
+            """Submit one task; respawns the pool if submission breaks."""
+            key = keys[index] if keys is not None else ""
+            while not self._degraded:
+                executor = self._ensure_executor()
+                try:
+                    future = executor.submit(
+                        _supervised_call, fn, tasks[index], plan, key,
+                        attempts[index], True,
+                    )
+                except BrokenExecutor:
+                    note_pool_failure()
+                    continue
+                pending[future] = index
+                if config.task_timeout is not None:
+                    deadlines[future] = (
+                        time.monotonic() + config.task_timeout
+                    )
+                return True
+            return False
+
+        def note_pool_failure() -> None:
+            self._pool_failures += 1
+            self.stats.worker_respawns += 1
+            self._shutdown_executor(force=True)
+            observer.on_worker_respawned(label, self._pool_failures)
+            if self._pool_failures >= config.max_pool_failures:
+                self._degraded = True
+
+        def task_failed(index: int, reason: str) -> None:
+            failures[index] += 1
+            attempts[index] += 1
+            if failures[index] > config.max_retries:
+                quarantined.append(index)
+                self.stats.tasks_quarantined += 1
+            else:
+                self.stats.task_retries += 1
+                observer.on_task_retried(label, index, failures[index], reason)
+                delayed.append((
+                    time.monotonic() + config.retry_backoff(failures[index]),
+                    index,
+                ))
+
+        for index in remaining:
+            if not submit(index):
+                return
+        while (pending or delayed) and not self._degraded:
+            now = time.monotonic()
+            for entry in [e for e in delayed if e[0] <= now]:
+                delayed.remove(entry)
+                if not submit(entry[1]):
+                    return
+            if not pending:
+                if not delayed:
+                    break
+                next_due = min(entry[0] for entry in delayed)
+                pause = min(_SUPERVISION_TICK, next_due - time.monotonic())
+                if pause > 0:
+                    time.sleep(pause)
+                continue
+            done, _ = wait(
+                list(pending), timeout=_SUPERVISION_TICK,
+                return_when=FIRST_COMPLETED,
+            )
+            broken = False
+            in_flight_casualties: List[int] = []
+            for future in done:
+                index = pending.pop(future)
+                deadlines.pop(future, None)
+                try:
+                    value = future.result()
+                except BrokenExecutor:
+                    # The pool died under this task; it may or may not
+                    # be the culprit, so it is resubmitted (with a fresh
+                    # attempt number) rather than charged a failure.
+                    broken = True
+                    in_flight_casualties.append(index)
+                    continue
+                except Exception as exc:
+                    task_failed(index, repr(exc))
+                    continue
+                if isinstance(value, CorruptedPayload):
+                    task_failed(
+                        index,
+                        f"corrupted payload (attempt {value.attempt})",
+                    )
+                    continue
+                finish(index, value)
+            now = time.monotonic()
+            timed_out = [
+                future for future, deadline in deadlines.items()
+                if deadline <= now
+            ]
+            for future in timed_out:
+                index = pending.pop(future)
+                deadlines.pop(future, None)
+                task_failed(
+                    index, f"task timeout after {config.task_timeout:g}s"
+                )
+                # The worker is still grinding on the hung task; the
+                # only way to reclaim it is to recycle the pool.
+                broken = True
+            if broken:
+                survivors = sorted(pending.values()) + in_flight_casualties
+                pending.clear()
+                deadlines.clear()
+                note_pool_failure()
+                if self._degraded:
+                    return
+                for index in survivors:
+                    attempts[index] += 1
+                    if not submit(index):
+                        return
 
     def build_chips(
         self,
@@ -344,10 +672,19 @@ class ParallelChipRunner:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down (a later batch re-creates it)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        """Shut the worker pool and journal down.
+
+        A later batch re-creates the pool; the journal re-opens in
+        resume mode so already-flushed results survive the close.
+        """
+        self._shutdown_executor()
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+        if self._journal_opened and self.config.checkpoint_dir is not None:
+            # Re-open on next use without discarding flushed entries.
+            self.config = self.config.replace(resume=True)
+        self._journal_opened = False
 
     def __enter__(self) -> "ParallelChipRunner":
         return self
@@ -362,6 +699,7 @@ __all__ = [
     "EvalTask",
     "SchemeOutcome",
     "ParallelChipRunner",
+    "RunnerStats",
     "evaluator_cache_size",
     "evaluator_for",
     "run_eval_task",

@@ -76,6 +76,43 @@ class Experiment:
             return ()
         return tuple(self.csv_rows(result))
 
+    def execute(
+        self, context: Any, cache: Optional[Any] = None
+    ) -> Tuple[Any, bool]:
+        """Run under this experiment's effective context, memoised.
+
+        Applies ``default_context_overrides``, consults ``cache`` (a
+        :class:`~repro.engine.cache.ResultCache`, keyed on the effective
+        context) when given, and stores fresh results back.  Returns
+        ``(result, cached)`` -- the one code path ``run_all`` and the
+        per-experiment CLIs share, so cached and recomputed runs cannot
+        drift apart.
+        """
+        context = self.context_for(context)
+        key = None
+        if cache is not None:
+            key = cache.key_for(self, context)
+            hit = cache.get(key)
+            if hit is not None:
+                return hit, True
+        result = self.run(context)
+        if cache is not None and key is not None:
+            cache.put(key, result)
+        return result, False
+
+    def cli(self, argv: Optional[Sequence[str]] = None) -> None:
+        """Run this experiment's command-line entry point.
+
+        Every registered experiment exposes the shared engine flags
+        (``--workers``/``--cache-dir``/``--metrics``/``--resume``/
+        ``--checkpoint-dir``/...); see
+        :func:`repro.experiments.cli.experiment_main`.
+        """
+        # Lazy: the registry must not pull the driver CLI in at import.
+        from repro.experiments.cli import experiment_main
+
+        experiment_main(self, argv)
+
 
 _REGISTRY: Dict[str, Experiment] = {}
 

@@ -28,6 +28,15 @@ class TraceError(ReproError):
     """A workload trace is malformed or violates an expected invariant."""
 
 
+class ExecutionError(ReproError):
+    """The execution engine could not complete a task.
+
+    Raised when a work item keeps failing after its full retry budget --
+    pool retries, quarantine, and a final inline attempt -- so the batch
+    cannot produce a complete, bit-identical result set.
+    """
+
+
 class ChipDiscardedError(ReproError):
     """The selected retention scheme cannot operate the sampled chip.
 

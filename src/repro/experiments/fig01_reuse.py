@@ -96,9 +96,9 @@ EXPERIMENT = register_experiment(Experiment(
 ))
 
 
-def main() -> None:
-    """Regenerate and print Figure 1."""
-    print(report(run()))
+def main(argv=None) -> None:
+    """Regenerate and print Figure 1 (shared engine CLI flags)."""
+    EXPERIMENT.cli(argv)
 
 
 if __name__ == "__main__":

@@ -101,9 +101,9 @@ EXPERIMENT = register_experiment(Experiment(
 ))
 
 
-def main() -> None:
-    """Regenerate and print Figure 7."""
-    print(report(run()))
+def main(argv=None) -> None:
+    """Regenerate and print Figure 7 (shared engine CLI flags)."""
+    EXPERIMENT.cli(argv)
 
 
 if __name__ == "__main__":

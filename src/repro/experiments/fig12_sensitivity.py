@@ -262,9 +262,9 @@ EXPERIMENT = register_experiment(Experiment(
 ))
 
 
-def main() -> None:
-    """Regenerate and print Figure 12."""
-    print(report(run()))
+def main(argv=None) -> None:
+    """Regenerate and print Figure 12 (shared engine CLI flags)."""
+    EXPERIMENT.cli(argv)
 
 
 if __name__ == "__main__":

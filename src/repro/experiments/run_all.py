@@ -4,6 +4,14 @@ Usage::
 
     python -m repro.experiments.run_all [--chips N] [--refs N] [--out DIR]
                                         [--workers N] [--no-cache]
+                                        [--resume] [--checkpoint-dir DIR]
+
+The flags are the shared engine surface from
+:mod:`repro.experiments.cli`; every per-experiment ``__main__`` accepts
+the same set.  Chip-level results are journalled under
+``OUT/.checkpoints`` as they complete, so an interrupted run (crash,
+SIGKILL, Ctrl-C) restarted with ``--resume`` recomputes only what is
+missing and still emits byte-identical outputs.
 
 Writes one text report per experiment (plus a combined ``summary.txt``)
 to the output directory.  The run is driven entirely by the experiment
@@ -39,6 +47,11 @@ from repro.engine.observer import (
     JSONMetricsObserver,
 )
 from repro.engine.registry import all_experiments
+from repro.experiments.cli import (
+    cache_from_args,
+    context_from_args,
+    engine_parent_parser,
+)
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.reporting import write_csv
 
@@ -65,18 +78,7 @@ def run_all(
     for experiment in experiments:
         observer.on_experiment_start(experiment.name)
         start = time.perf_counter()
-        experiment_context = experiment.context_for(context)
-        cached = False
-        result = None
-        key = None
-        if cache is not None:
-            key = cache.key_for(experiment, experiment_context)
-            result = cache.get(key)
-            cached = result is not None
-        if result is None:
-            result = experiment.run(experiment_context)
-            if cache is not None and key is not None:
-                cache.put(key, result)
+        result, cached = experiment.execute(context, cache)
         text = experiment.report(result)
         elapsed = time.perf_counter() - start
         (out_dir / f"{experiment.name}.txt").write_text(text + "\n")
@@ -95,57 +97,20 @@ def run_all(
 
 
 def main(argv=None) -> None:
-    """CLI entry point."""
+    """CLI entry point (shared engine flags; see ``--help``)."""
     parser = argparse.ArgumentParser(
-        description="Regenerate all paper tables and figures."
+        description="Regenerate all paper tables and figures.",
+        parents=[engine_parent_parser()],
     )
-    parser.add_argument(
-        "--chips", type=int, default=60,
-        help="Monte-Carlo chips per scenario (paper scale: 100)",
-    )
-    parser.add_argument(
-        "--refs", type=int, default=8000,
-        help="trace references per benchmark",
-    )
-    parser.add_argument("--seed", type=int, default=2007)
-    parser.add_argument(
-        "--out", type=pathlib.Path, default=pathlib.Path("results"),
-        help="output directory for the text reports",
-    )
-    parser.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for chip batches (1 = serial; results "
-        "are bit-identical at any width)",
-    )
-    parser.add_argument(
-        "--cache-dir", type=pathlib.Path, default=None,
-        help="result-cache directory (default: OUT/.cache)",
-    )
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="recompute everything, ignoring the result cache",
-    )
-    parser.add_argument(
-        "--metrics", type=pathlib.Path, default=None,
-        help="timing metrics JSON path (default: OUT/metrics.json)",
-    )
+    parser.set_defaults(out=pathlib.Path("results"))
     args = parser.parse_args(argv)
-    cache = None
-    if not args.no_cache:
-        cache_dir = args.cache_dir or args.out / ".cache"
-        cache = ResultCache(cache_dir)
+    cache = cache_from_args(args)
     metrics_path = args.metrics or args.out / "metrics.json"
     observer = CompositeObserver([
         CLIProgressReporter(),
         JSONMetricsObserver(metrics_path),
     ])
-    context = ExperimentContext(
-        n_chips=args.chips,
-        n_references=args.refs,
-        seed=args.seed,
-        workers=args.workers,
-        observer=observer,
-    )
+    context = context_from_args(args, observer=observer)
     try:
         # The reporter already announces each experiment; silence the
         # legacy progress callback to avoid double printing.

@@ -21,6 +21,7 @@ from repro.technology.node import NODE_32NM, TechnologyNode
 from repro.variation.parameters import VariationParams
 from repro.array.chip import ChipSampler, DRAM3T1DChipSample, SRAMChipSample
 from repro.core.evaluation import Evaluator
+from repro.engine.config import EngineConfig
 from repro.engine.observer import NULL_OBSERVER, RunObserver
 from repro.engine.parallel import EvaluatorSpec, ParallelChipRunner
 
@@ -41,9 +42,15 @@ class ExperimentContext:
     seed: int = 2007  # the paper's year; any fixed value works
     benchmarks: Optional[Sequence[str]] = None
     workers: int = 1
+    """Deprecation shim for :attr:`engine`'s ``workers`` field; kept so
+    existing ``ExperimentContext(workers=N)`` call sites keep working."""
     evaluator_cache_size: Optional[int] = None
-    """Capacity of the per-process evaluator LRU (traces are cached per
-    :class:`EvaluatorSpec`); ``None`` keeps the engine default."""
+    """Deprecation shim for :attr:`engine`'s ``evaluator_cache_size``."""
+    engine: Optional[EngineConfig] = None
+    """The consolidated engine configuration (pool width, caches,
+    checkpointing, supervision).  ``None`` builds one from the legacy
+    ``workers`` / ``evaluator_cache_size`` shims; passing both an
+    ``engine`` and non-default legacy knobs is a configuration error."""
     observer: RunObserver = field(
         default=NULL_OBSERVER, repr=False, compare=False
     )
@@ -65,8 +72,28 @@ class ExperimentContext:
             raise ConfigurationError("n_chips must be >= 1")
         if self.n_references < 1:
             raise ConfigurationError("n_references must be >= 1")
-        if self.workers < 1:
-            raise ConfigurationError("workers must be >= 1")
+        if self.engine is None:
+            if self.workers < 1:
+                raise ConfigurationError("workers must be >= 1")
+            self.engine = EngineConfig(
+                workers=self.workers,
+                evaluator_cache_size=self.evaluator_cache_size,
+            )
+        else:
+            mirrors = (self.workers, self.evaluator_cache_size)
+            synced = (
+                self.engine.effective_workers,
+                self.engine.evaluator_cache_size,
+            )
+            if mirrors not in ((1, None), synced):
+                raise ConfigurationError(
+                    "workers/evaluator_cache_size conflict with the "
+                    "provided EngineConfig; set them on the config only"
+                )
+        # Keep the legacy mirrors readable regardless of which surface
+        # configured the engine.
+        self.workers = self.engine.effective_workers
+        self.evaluator_cache_size = self.engine.evaluator_cache_size
 
     # ------------------------------------------------------------------
     # builders
@@ -77,13 +104,33 @@ class ExperimentContext:
 
         Caches start fresh (the scale may have changed) but the engine's
         worker pool is shared with the parent, so a derived context does
-        not spawn new processes.
+        not spawn new processes.  The legacy ``workers`` /
+        ``evaluator_cache_size`` keywords are translated into a replaced
+        :class:`EngineConfig` (they cannot be combined with an explicit
+        ``engine`` override).
         """
         for name in overrides:
             if name.startswith("_") or name not in self.__dataclass_fields__:
                 raise ConfigurationError(
                     f"unknown ExperimentContext field {name!r}"
                 )
+        legacy = {
+            name: overrides.pop(name)
+            for name in ("workers", "evaluator_cache_size")
+            if name in overrides
+        }
+        engine = overrides.pop("engine", None)
+        if engine is not None and legacy:
+            raise ConfigurationError(
+                "pass engine knobs through the engine= override, not "
+                f"alongside it: {sorted(legacy)}"
+            )
+        if engine is None:
+            engine = self.engine.replace(**legacy) if legacy else self.engine
+        overrides["engine"] = engine
+        # Pre-sync the legacy mirrors so __post_init__ sees no conflict.
+        overrides["workers"] = engine.effective_workers
+        overrides["evaluator_cache_size"] = engine.evaluator_cache_size
         derived = replace(self, **overrides)
         derived._runner = self._runner
         return derived
@@ -102,10 +149,15 @@ class ExperimentContext:
 
     @property
     def runner(self) -> ParallelChipRunner:
-        """The (lazily created) chip-batch scheduler for this context."""
+        """The (lazily created) chip-batch scheduler for this context.
+
+        The runner's checkpoint journal is keyed by this context's
+        :meth:`cache_fingerprint`, so a resumed run only restores
+        results journalled under an identical configuration.
+        """
         if self._runner is None:
             self._runner = ParallelChipRunner(
-                self.workers, evaluator_cache_size=self.evaluator_cache_size
+                config=self.engine, run_key=self.cache_fingerprint()
             )
         return self._runner
 

@@ -258,9 +258,9 @@ EXPERIMENT = register_experiment(Experiment(
 ))
 
 
-def main() -> None:
-    """Regenerate and print Table 3."""
-    print(report(run()))
+def main(argv=None) -> None:
+    """Regenerate and print Table 3 (shared engine CLI flags)."""
+    EXPERIMENT.cli(argv)
 
 
 if __name__ == "__main__":

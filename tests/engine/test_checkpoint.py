@@ -1,0 +1,153 @@
+"""The write-ahead run journal: durability, torn tails, content keys."""
+
+import hashlib
+import pickle
+
+from repro.engine.checkpoint import MAGIC, RunJournal, task_key
+
+
+def _double(x):
+    return 2 * x
+
+
+def _triple(x):
+    return 3 * x
+
+
+class TestTaskKey:
+    def test_stable_across_calls(self):
+        assert task_key(_double, (1, 2.5, "a")) == task_key(_double, (1, 2.5, "a"))
+
+    def test_distinguishes_payloads(self):
+        assert task_key(_double, 1) != task_key(_double, 2)
+
+    def test_distinguishes_functions(self):
+        assert task_key(_double, 1) != task_key(_triple, 1)
+
+    def test_identity_insensitive(self):
+        # The same value appearing once vs. twice as the same object must
+        # not change the key: a journal written by a fresh run has to hit
+        # when the payload was rebuilt from restored (unpickled) parts.
+        shared = (1.0, 2.0, 3.0)
+        copied = pickle.loads(pickle.dumps(shared))
+        assert shared == copied and shared is not copied
+        assert task_key(_double, (shared, shared)) == task_key(
+            _double, (shared, copied)
+        )
+
+
+class TestRunJournalRoundTrip:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "run.journal"
+        with RunJournal(path) as journal:
+            assert journal.record("k1", {"a": 1}) is True
+            assert journal.record("k2", [1, 2, 3]) is True
+            assert len(journal) == 2
+            assert "k1" in journal
+            assert journal.get("k1") == {"a": 1}
+        with RunJournal(path, resume=True) as journal:
+            assert journal.restored == 2
+            assert journal.get("k2") == [1, 2, 3]
+
+    def test_duplicate_record_is_noop(self, tmp_path):
+        path = tmp_path / "run.journal"
+        with RunJournal(path) as journal:
+            assert journal.record("k", 1) is True
+            assert journal.record("k", 2) is False
+            assert journal.get("k") == 1
+        size = path.stat().st_size
+        with RunJournal(path, resume=True) as journal:
+            assert journal.get("k") == 1
+        assert path.stat().st_size == size
+
+    def test_fresh_open_discards_existing(self, tmp_path):
+        path = tmp_path / "run.journal"
+        with RunJournal(path) as journal:
+            journal.record("k", 1)
+        with RunJournal(path, resume=False) as journal:
+            assert len(journal) == 0
+            assert journal.restored == 0
+
+    def test_missing_key_default(self, tmp_path):
+        with RunJournal(tmp_path / "run.journal") as journal:
+            assert journal.get("absent") is None
+            assert journal.get("absent", 7) == 7
+
+
+class TestTornTailRecovery:
+    def _journal_with(self, path, n):
+        with RunJournal(path) as journal:
+            for i in range(n):
+                journal.record(f"k{i}", i * i)
+        return path.stat().st_size
+
+    def test_trailing_garbage_truncated(self, tmp_path):
+        path = tmp_path / "run.journal"
+        durable = self._journal_with(path, 3)
+        with open(path, "ab") as handle:
+            handle.write(b"\x99" * 11)  # a torn record: partial length
+        with RunJournal(path, resume=True) as journal:
+            assert journal.restored == 3
+            journal.record("k3", 9)
+        # The torn bytes were truncated away before the append.
+        with RunJournal(path, resume=True) as journal:
+            assert journal.restored == 4
+            assert journal.get("k3") == 9
+        assert path.stat().st_size > durable
+
+    def test_corrupt_record_drops_suffix(self, tmp_path):
+        path = tmp_path / "run.journal"
+        self._journal_with(path, 1)
+        first_end = path.stat().st_size
+        self._journal_with_append(path, "k1", 1)
+        self._journal_with_append(path, "k2", 4)
+        data = bytearray(path.read_bytes())
+        data[first_end + 30] ^= 0xFF  # flip a byte inside record 2
+        path.write_bytes(bytes(data))
+        with RunJournal(path, resume=True) as journal:
+            # Record 1 survives; the corrupt record and everything after
+            # it are dropped.
+            assert journal.restored == 1
+            assert journal.get("k0") == 0
+        assert path.stat().st_size == first_end
+
+    @staticmethod
+    def _journal_with_append(path, key, value):
+        with RunJournal(path, resume=True) as journal:
+            journal.record(key, value)
+
+    def test_non_journal_file_starts_over(self, tmp_path):
+        path = tmp_path / "run.journal"
+        path.write_bytes(b"not a journal at all")
+        with RunJournal(path, resume=True) as journal:
+            assert journal.restored == 0
+            journal.record("k", 1)
+        assert path.read_bytes().startswith(MAGIC)
+        with RunJournal(path, resume=True) as journal:
+            assert journal.restored == 1
+
+    def test_oversized_length_treated_as_corruption(self, tmp_path):
+        path = tmp_path / "run.journal"
+        self._journal_with(path, 2)
+        with open(path, "ab") as handle:
+            handle.write((1 << 62).to_bytes(8, "little"))
+            handle.write(b"\x00" * 16)
+        with RunJournal(path, resume=True) as journal:
+            assert journal.restored == 2
+
+
+class TestPathFor:
+    def test_stable_and_distinct(self, tmp_path):
+        a = RunJournal.path_for(tmp_path, "chips=4|seed=1")
+        b = RunJournal.path_for(tmp_path, "chips=4|seed=1")
+        c = RunJournal.path_for(tmp_path, "chips=4|seed=2")
+        assert a == b != c
+        assert a.parent == tmp_path
+        digest = hashlib.sha256(b"chips=4|seed=1").hexdigest()[:16]
+        assert a.name == f"run-{digest}.journal"
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = RunJournal.path_for(tmp_path / "deep" / "dir", "k")
+        with RunJournal(path) as journal:
+            journal.record("k", 1)
+        assert path.exists()

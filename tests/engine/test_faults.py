@@ -1,0 +1,148 @@
+"""Seeded fault injection: determinism, spec parsing, validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.engine.faults import (
+    CRASH_EXIT_CODE,
+    CorruptedPayload,
+    FAULT_KINDS,
+    FaultPlan,
+    InjectedFaultError,
+)
+
+
+class TestDeterminism:
+    def test_decision_is_pure(self):
+        plan_a = FaultPlan(seed=7, crash_rate=0.3, error_rate=0.3)
+        plan_b = FaultPlan(seed=7, crash_rate=0.3, error_rate=0.3)
+        keys = [f"key-{i}" for i in range(50)]
+        for key in keys:
+            for attempt in range(3):
+                assert plan_a.decision(key, attempt) == plan_b.decision(
+                    key, attempt
+                )
+
+    def test_seed_changes_pattern(self):
+        keys = [f"key-{i}" for i in range(200)]
+        a = [FaultPlan(seed=1, crash_rate=0.5).decision(k, 0) for k in keys]
+        b = [FaultPlan(seed=2, crash_rate=0.5).decision(k, 0) for k in keys]
+        assert a != b
+
+    def test_rates_approximately_respected(self):
+        plan = FaultPlan(seed=3, crash_rate=0.25, error_rate=0.25)
+        kinds = [plan.decision(f"key-{i}", 0) for i in range(800)]
+        faulted = sum(1 for kind in kinds if kind is not None)
+        assert 0.4 < faulted / len(kinds) < 0.6
+        assert set(kinds) <= {None, "crash", "error"}
+
+    def test_max_faults_per_task_bounds_attempts(self):
+        plan = FaultPlan(seed=0, error_rate=1.0, max_faults_per_task=2)
+        key = "always-faulted"
+        assert plan.decision(key, 0) == "error"
+        assert plan.decision(key, 1) == "error"
+        assert plan.decision(key, 2) is None
+        assert plan.decision(key, 99) is None
+
+    def test_draw_uniform_range(self):
+        plan = FaultPlan(seed=11)
+        draws = [plan.draw(f"k{i}", 0) for i in range(100)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert len(set(draws)) > 90  # not degenerate
+
+
+class TestApply:
+    def test_error_fault_raises(self):
+        plan = FaultPlan(seed=0, error_rate=1.0)
+        with pytest.raises(InjectedFaultError):
+            plan.apply("k", 0, hard=False)
+
+    def test_soft_crash_raises_instead_of_exiting(self):
+        plan = FaultPlan(seed=0, crash_rate=1.0)
+        with pytest.raises(InjectedFaultError):
+            plan.apply("k", 0, hard=False)
+
+    def test_corrupt_is_returned_to_caller(self):
+        plan = FaultPlan(seed=0, corrupt_rate=1.0)
+        assert plan.apply("k", 0, hard=False) == "corrupt"
+
+    def test_hang_sleeps_then_reports(self):
+        plan = FaultPlan(seed=0, hang_rate=1.0, hang_s=0.0)
+        assert plan.apply("k", 0, hard=False) == "hang"
+
+    def test_exhausted_attempts_fault_free(self):
+        plan = FaultPlan(seed=0, crash_rate=1.0, max_faults_per_task=1)
+        assert plan.apply("k", 1, hard=False) is None
+
+    def test_injected_error_is_not_a_repro_error(self):
+        from repro.errors import ReproError
+
+        # Injected faults must travel the unhandled path a real bug would.
+        assert not issubclass(InjectedFaultError, ReproError)
+
+    def test_crash_exit_code_distinct(self):
+        assert CRASH_EXIT_CODE not in (0, 1, 2)
+
+
+class TestFromSpec:
+    def test_full_spec(self):
+        plan = FaultPlan.from_spec(
+            "seed=7,crash=0.2,error_rate=0.1,hang=0.05,corrupt=0.05,"
+            "hang_s=5,max_faults_per_task=2"
+        )
+        assert plan == FaultPlan(
+            seed=7, crash_rate=0.2, error_rate=0.1, hang_rate=0.05,
+            corrupt_rate=0.05, hang_s=5.0, max_faults_per_task=2,
+        )
+
+    def test_rate_suffix_optional(self):
+        assert FaultPlan.from_spec("crash=0.2") == FaultPlan.from_spec(
+            "crash_rate=0.2"
+        )
+
+    def test_whitespace_and_empty_entries_tolerated(self):
+        plan = FaultPlan.from_spec(" seed=3 , crash=0.1 ,")
+        assert plan.seed == 3 and plan.crash_rate == 0.1
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_spec("explode=0.5")
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_spec("crash")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_spec("crash=lots")
+
+
+class TestValidation:
+    def test_rate_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(crash_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(error_rate=-0.1)
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(crash_rate=0.6, error_rate=0.6)
+
+    def test_negative_hang_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(hang_s=-1.0)
+
+    def test_negative_max_faults_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(max_faults_per_task=-1)
+
+    def test_total_rate(self):
+        plan = FaultPlan(crash_rate=0.1, error_rate=0.2, corrupt_rate=0.3)
+        assert plan.total_rate == pytest.approx(0.6)
+
+    def test_fault_kinds_cover_rates(self):
+        assert FAULT_KINDS == ("crash", "error", "hang", "corrupt")
+
+    def test_corrupted_payload_fields(self):
+        payload = CorruptedPayload(task_key="abc", attempt=1)
+        assert payload.task_key == "abc" and payload.attempt == 1
