@@ -1,0 +1,181 @@
+"""Measure the wall-clock cost of tracing on the Figure 10 workload.
+
+Two stages, mirroring the guarantees the trace layer makes:
+
+1. **Bit-identity check** -- the fig10 experiment runs traced and
+   untraced; the report text and CSV exports must match byte for byte
+   (tracing is strictly observational).  Any mismatch fails the run
+   (exit 1).
+2. **Overhead gate** -- both variants are timed over several repeats
+   (after a warm-up pass that populates chip batches and trace caches);
+   the minimum traced time may exceed the minimum untraced time by at
+   most ``--max-overhead-pct`` (default 2%).
+
+Results land in ``BENCH_trace_overhead.json`` (see ``--out``), the
+repo's perf-trajectory record.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.trace_overhead_bench \
+        --chips 8 --refs 20000 --out BENCH_trace_overhead.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.engine import trace as trace_mod
+from repro.engine.registry import get_experiment
+from repro.experiments.runner import ExperimentContext
+
+EXPERIMENT = "fig10_hundred_chips"
+
+
+def _run_once(experiment, context, tracer) -> float:
+    start = time.perf_counter()
+    with trace_mod.activate(tracer):
+        experiment.execute(context, None)
+    return time.perf_counter() - start
+
+
+def _outputs(experiment, context, tracer) -> Dict[str, object]:
+    with trace_mod.activate(tracer):
+        result, _ = experiment.execute(context, None)
+    return {
+        "report": experiment.report(result),
+        "csv": {
+            export.filename: (export.headers, export.rows)
+            for export in experiment.csv_exports(result)
+        },
+    }
+
+
+def check_identity(n_chips: int, n_references: int, seed: int) -> Dict:
+    """Traced and untraced fig10 outputs must be byte-identical."""
+    experiment = get_experiment(EXPERIMENT)
+    context = ExperimentContext(
+        n_chips=n_chips, n_references=n_references, seed=seed
+    )
+    try:
+        untraced = _outputs(experiment, context, None)
+        tracer = trace_mod.Tracer()
+        traced = _outputs(experiment, context, tracer)
+    finally:
+        context.close()
+    return {
+        "chips": n_chips,
+        "references": n_references,
+        "spans_recorded": len(tracer.spans()),
+        "ok": traced == untraced and len(tracer.spans()) > 0,
+    }
+
+
+def time_overhead(
+    n_chips: int, n_references: int, seed: int, repeats: int
+) -> Dict:
+    """Min-of-repeats traced vs untraced wall-clock on the fig10 shape."""
+    experiment = get_experiment(EXPERIMENT)
+    context = ExperimentContext(
+        n_chips=n_chips, n_references=n_references, seed=seed
+    )
+    tracer = trace_mod.Tracer()
+    untraced_s: List[float] = []
+    traced_s: List[float] = []
+    try:
+        _run_once(experiment, context, None)  # warm chips, traces, caches
+        for _ in range(repeats):
+            untraced_s.append(_run_once(experiment, context, None))
+            traced_s.append(_run_once(experiment, context, tracer))
+    finally:
+        context.close()
+    base, traced = min(untraced_s), min(traced_s)
+    return {
+        "workload": f"{EXPERIMENT}: {n_chips} chips x {n_references} refs",
+        "chips": n_chips,
+        "references": n_references,
+        "repeats": repeats,
+        "untraced_s": untraced_s,
+        "traced_s": traced_s,
+        "untraced_min_s": base,
+        "traced_min_s": traced,
+        "overhead_pct": (traced - base) / base * 100.0 if base else 0.0,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chips", type=int, default=8,
+                        help="chips in the timing batch (default 8)")
+    parser.add_argument("--refs", type=int, default=20000,
+                        help="trace length for the timing batch")
+    parser.add_argument("--identity-chips", type=int, default=2,
+                        help="chips in the bit-identity check")
+    parser.add_argument("--identity-refs", type=int, default=1500,
+                        help="trace length for the bit-identity check")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repeats per variant (min is reported)")
+    parser.add_argument("--max-overhead-pct", type=float, default=2.0,
+                        help="fail when tracing costs more than this")
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument("--out", default="BENCH_trace_overhead.json")
+    args = parser.parse_args(argv)
+
+    print(
+        f"identity check: {EXPERIMENT} traced vs untraced "
+        f"({args.identity_chips} chips, {args.identity_refs} refs) ..."
+    )
+    identity = check_identity(
+        args.identity_chips, args.identity_refs, args.seed
+    )
+    print(
+        f"  outputs {'identical' if identity['ok'] else 'DIFFER'}, "
+        f"{identity['spans_recorded']} spans recorded"
+    )
+
+    print(
+        f"timing: {args.chips} chips x {args.refs} refs, "
+        f"{args.repeats} repeats per variant ..."
+    )
+    timing = time_overhead(args.chips, args.refs, args.seed, args.repeats)
+    print(
+        f"  untraced {timing['untraced_min_s']:.3f}s  "
+        f"traced {timing['traced_min_s']:.3f}s  "
+        f"overhead {timing['overhead_pct']:+.2f}%"
+    )
+
+    overhead_ok = timing["overhead_pct"] < args.max_overhead_pct
+    payload = {
+        "benchmark": "trace_overhead",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "seed": args.seed,
+        "identity": identity,
+        "timing": timing,
+        "max_overhead_pct": args.max_overhead_pct,
+        "overhead_ok": overhead_ok,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if not identity["ok"]:
+        print("bit-identity check FAILED", file=sys.stderr)
+        return 1
+    if not overhead_ok:
+        print(
+            f"tracing overhead {timing['overhead_pct']:.2f}% exceeds "
+            f"{args.max_overhead_pct}% gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

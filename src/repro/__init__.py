@@ -50,6 +50,7 @@ from repro.variation import (
     VariationParams,
     VariationSampler,
     harmonic_mean,
+    validate_chip_count,
 )
 from repro.cells import (
     AccessTimeCurve,
@@ -60,6 +61,7 @@ from repro.cells import (
 from repro.array import (
     CacheGeometry,
     CachePowerModel,
+    ChipBuildTask,
     ChipSampler,
     DRAM3T1DChipSample,
     SRAMChipSample,
@@ -106,8 +108,10 @@ from repro.engine import (
     CsvExport,
     DEFAULT_EVALUATOR_CACHE_SIZE,
     EngineConfig,
+    EngineEvent,
     EvaluatorSpec,
     EvalTask,
+    EventStream,
     Experiment,
     FaultPlan,
     InjectedFaultError,
@@ -118,13 +122,20 @@ from repro.engine import (
     RunJournal,
     RunObserver,
     RunnerStats,
+    Span,
+    TracedResult,
+    Tracer,
+    activate,
     all_experiments,
+    dispatch,
     evaluator_cache_size,
     get_experiment,
     register_experiment,
     resolve_cache,
     set_evaluator_cache_size,
+    span,
     task_key,
+    tracing_active,
 )
 
 __version__ = "1.0.0"
@@ -158,12 +169,14 @@ __all__ = [
     "ChipVariation",
     "QuadTreeSampler",
     "harmonic_mean",
+    "validate_chip_count",
     "SRAM6TCell",
     "DRAM3T1DCell",
     "RetentionModel",
     "AccessTimeCurve",
     "CacheGeometry",
     "CachePowerModel",
+    "ChipBuildTask",
     "ChipSampler",
     "SRAMChipSample",
     "DRAM3T1DChipSample",
@@ -205,8 +218,10 @@ __all__ = [
     "CorruptedPayload",
     "CsvExport",
     "EngineConfig",
+    "EngineEvent",
     "EvalTask",
     "EvaluatorSpec",
+    "EventStream",
     "Experiment",
     "ExperimentContext",
     "FaultPlan",
@@ -218,9 +233,16 @@ __all__ = [
     "RunJournal",
     "RunObserver",
     "RunnerStats",
+    "Span",
+    "TracedResult",
+    "Tracer",
+    "activate",
     "all_experiments",
+    "dispatch",
     "get_experiment",
     "register_experiment",
     "resolve_cache",
+    "span",
     "task_key",
+    "tracing_active",
 ]

@@ -22,7 +22,11 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.technology.node import TechnologyNode
-from repro.variation.montecarlo import ChipVariation, VariationSampler
+from repro.variation.montecarlo import (
+    ChipVariation,
+    VariationSampler,
+    validate_chip_count,
+)
 from repro.variation.parameters import VariationParams
 import repro.cells.dram3t1d as dram3t1d
 from repro.cells.dram3t1d import DRAM3T1DCell
@@ -296,7 +300,10 @@ class ChipSampler:
         self, count: int, size_factor: float = 1.0
     ) -> List[SRAMChipSample]:
         """Draw ``count`` consecutive 6T chips."""
-        return [self.sample_sram_chip(size_factor) for _ in range(count)]
+        return [
+            self.sample_sram_chip(size_factor)
+            for _ in range(validate_chip_count(count))
+        ]
 
     def _build_sram_sample(
         self, chip: ChipVariation, size_factor: float
@@ -366,7 +373,10 @@ class ChipSampler:
 
     def sample_3t1d_chips(self, count: int) -> List[DRAM3T1DChipSample]:
         """Draw ``count`` consecutive 3T1D chips."""
-        return [self.sample_3t1d_chip() for _ in range(count)]
+        return [
+            self.sample_3t1d_chip()
+            for _ in range(validate_chip_count(count))
+        ]
 
     def _build_3t1d_sample(self, chip: ChipVariation) -> DRAM3T1DChipSample:
         cell = DRAM3T1DCell(self.node)

@@ -48,6 +48,19 @@ from repro.cache.stats import CacheStats
 from repro.workloads.generator import MemoryTrace
 
 
+def _trace_span(name: str, cat: str = "task", **args):
+    """Ambient engine trace span (no-op unless a tracer is active).
+
+    The import is deferred to call time: ``repro.engine``'s package init
+    imports :mod:`repro.engine.parallel`, which imports this module, so
+    a module-level import of ``repro.engine.trace`` here would be a
+    cycle whenever batcheval is imported first.
+    """
+    from repro.engine.trace import span
+
+    return span(name, cat=cat, **args)
+
+
 @dataclass(frozen=True)
 class TraceArtifacts:
     """Per-trace arrays precomputed once and shared by every evaluation.
@@ -75,17 +88,21 @@ class TraceArtifacts:
         """Precompute the kernel's per-reference arrays for one trace."""
         if n_sets < 1:
             raise ConfigurationError("n_sets must be >= 1")
-        addresses = np.asarray(trace.line_addresses, dtype=np.int64)
-        return cls(
-            name=trace.name,
-            n_sets=n_sets,
-            cycles=np.asarray(trace.cycles, dtype=np.int64).tolist(),
-            set_indices=(addresses % n_sets).tolist(),
-            tags=(addresses // n_sets).tolist(),
-            is_write=np.asarray(trace.is_write, dtype=bool).tolist(),
-            warmup_references=trace.warmup_references,
-            end_cycle=int(trace.cycles[-1]) if len(trace) else 0,
-        )
+        with _trace_span(
+            "trace_artifacts", cat="traces",
+            benchmark=trace.name, references=len(trace),
+        ):
+            addresses = np.asarray(trace.line_addresses, dtype=np.int64)
+            return cls(
+                name=trace.name,
+                n_sets=n_sets,
+                cycles=np.asarray(trace.cycles, dtype=np.int64).tolist(),
+                set_indices=(addresses % n_sets).tolist(),
+                tags=(addresses // n_sets).tolist(),
+                is_write=np.asarray(trace.is_write, dtype=bool).tolist(),
+                warmup_references=trace.warmup_references,
+                end_cycle=int(trace.cycles[-1]) if len(trace) else 0,
+            )
 
 
 def kernel_fallback_reason(cache: RetentionAwareCache) -> Optional[str]:
@@ -548,18 +565,22 @@ def evaluate_many(
     ]
     results = []
     for chip in chips:
-        row = []
-        for scheme in scheme_objs:
-            try:
-                architecture = Cache3T1DArchitecture(
-                    chip, scheme, config=evaluator.config
-                )
-                row.append(
-                    evaluator.evaluate(architecture, benchmarks=benchmarks)
-                )
-            except ChipDiscardedError:
-                row.append(None)
-        results.append(row)
+        with _trace_span(
+            "evaluate_schemes", cat="kernel",
+            chip_id=getattr(chip, "chip_id", -1), schemes=len(scheme_objs),
+        ):
+            row = []
+            for scheme in scheme_objs:
+                try:
+                    architecture = Cache3T1DArchitecture(
+                        chip, scheme, config=evaluator.config
+                    )
+                    row.append(
+                        evaluator.evaluate(architecture, benchmarks=benchmarks)
+                    )
+                except ChipDiscardedError:
+                    row.append(None)
+            results.append(row)
     return results
 
 

@@ -26,10 +26,17 @@ The engine has six pieces:
   content-keyed result store (package version + experiment source digest
   + context fingerprint), so re-running ``run_all`` after editing one
   experiment skips the untouched sweeps.
-* :mod:`repro.engine.observer` -- the :class:`RunObserver` event protocol
-  (per-run / per-experiment / per-chip, plus the robustness events
-  ``on_task_retried`` / ``on_worker_respawned`` / ``on_run_checkpointed``
-  / ``on_run_resumed``) with CLI-progress and JSON-metrics consumers.
+* :mod:`repro.engine.events` -- the typed event stream: one frozen
+  dataclass per thing the engine can report, dispatched through a single
+  :class:`EventStream` ``emit``/``subscribe`` surface that progress
+  reporters, metrics collectors, and the tracer all consume.
+* :mod:`repro.engine.observer` -- the standard event consumers
+  (CLI progress, JSON metrics) plus the deprecated :class:`RunObserver`
+  ``on_*`` callback surface, kept working through routing shims.
+* :mod:`repro.engine.trace` -- cross-process hierarchical tracing and
+  profiling: ambient :func:`span` context managers, worker-side span
+  collection shipped home with task results, Chrome ``trace_event``
+  export, and the aggregated per-phase table in ``metrics.json``.
 * :mod:`repro.engine.registry` -- the uniform :class:`Experiment`
   protocol (``run`` / ``report`` / optional ``csv_rows`` and
   ``default_context_overrides``, plus the cached ``execute`` path and
@@ -39,7 +46,38 @@ The engine has six pieces:
 
 from repro.engine.cache import ResultCache, resolve_cache, source_digest
 from repro.engine.checkpoint import RunJournal, task_key
-from repro.engine.config import EngineConfig
+from repro.engine.config import EngineConfig, warn_legacy_engine_kwargs
+from repro.engine.events import (
+    BatchEnded,
+    BatchStarted,
+    ChipCompleted,
+    EngineEvent,
+    EventStream,
+    ExperimentEnded,
+    ExperimentStarted,
+    RunCheckpointed,
+    RunEnded,
+    RunResumed,
+    RunStarted,
+    SpansCollected,
+    Subscriber,
+    TaskRetried,
+    WorkerRespawned,
+    dispatch,
+)
+from repro.engine.trace import (
+    NULL_SPAN,
+    Instant,
+    Span,
+    TracedResult,
+    Tracer,
+    activate,
+    collect_task_spans,
+    current_tracer,
+    peak_rss_kb,
+    span,
+    tracing_active,
+)
 from repro.engine.faults import (
     CRASH_EXIT_CODE,
     CorruptedPayload,
@@ -51,6 +89,7 @@ from repro.engine.observer import (
     CLIProgressReporter,
     CompositeObserver,
     JSONMetricsObserver,
+    LegacyEmitShims,
     NULL_OBSERVER,
     RunObserver,
 )
@@ -83,13 +122,42 @@ __all__ = [
     "RunJournal",
     "task_key",
     "EngineConfig",
+    "warn_legacy_engine_kwargs",
     "CRASH_EXIT_CODE",
     "CorruptedPayload",
     "FAULT_KINDS",
     "FaultPlan",
     "InjectedFaultError",
+    "EngineEvent",
+    "RunStarted",
+    "ExperimentStarted",
+    "ExperimentEnded",
+    "RunEnded",
+    "BatchStarted",
+    "ChipCompleted",
+    "BatchEnded",
+    "TaskRetried",
+    "WorkerRespawned",
+    "RunCheckpointed",
+    "RunResumed",
+    "SpansCollected",
+    "Subscriber",
+    "dispatch",
+    "EventStream",
+    "Span",
+    "Instant",
+    "NULL_SPAN",
+    "TracedResult",
+    "Tracer",
+    "peak_rss_kb",
+    "current_tracer",
+    "tracing_active",
+    "span",
+    "activate",
+    "collect_task_spans",
     "RunObserver",
     "NULL_OBSERVER",
+    "LegacyEmitShims",
     "CompositeObserver",
     "CLIProgressReporter",
     "JSONMetricsObserver",

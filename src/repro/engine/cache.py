@@ -28,6 +28,8 @@ import pickle
 import tempfile
 from typing import Any, Optional
 
+from repro.engine.trace import span as trace_span
+
 
 def source_digest(module_name: str) -> str:
     """SHA-256 of a module's source file ('' if it cannot be read)."""
@@ -99,31 +101,39 @@ class ResultCache:
     def get(self, key: str) -> Optional[Any]:
         """The cached value, or ``None`` on a miss or unreadable entry."""
         path = self.path_for(key)
-        try:
-            with open(path, "rb") as handle:
-                return pickle.load(handle)
-        except FileNotFoundError:
-            return None
-        except Exception:
-            # A truncated or version-incompatible entry is just a miss.
-            return None
+        with trace_span("cache_get", cat="cache_io", key=key[:12]) as sp:
+            try:
+                with open(path, "rb") as handle:
+                    value = pickle.load(handle)
+            except FileNotFoundError:
+                sp.set(hit=False)
+                return None
+            except Exception:
+                # A truncated or version-incompatible entry is just a miss.
+                sp.set(hit=False)
+                return None
+            sp.set(hit=True)
+            return value
 
     def put(self, key: str, value: Any) -> pathlib.Path:
         """Store ``value`` under ``key`` (atomic replace)."""
         path = self.path_for(key)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.directory, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
+        with trace_span("cache_put", cat="cache_io", key=key[:12]):
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, suffix=".tmp"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(
+                        value, handle, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
         return path
 
     def clear(self) -> int:

@@ -36,6 +36,8 @@ import pickle
 import struct
 from typing import Any, Callable, Dict
 
+from repro.engine.trace import span as trace_span
+
 MAGIC = b"REPRO-JOURNAL-1\n"
 
 _LENGTH = struct.Struct("<Q")
@@ -119,7 +121,8 @@ class RunJournal:
 
     def _load(self) -> int:
         """Read intact records; returns the offset of the durable end."""
-        with open(self.path, "rb") as handle:
+        with trace_span("journal_load", cat="checkpoint"), \
+                open(self.path, "rb") as handle:
             header = handle.read(len(MAGIC))
             if header != MAGIC:
                 # Not a journal (or a torn header): start over.
@@ -168,12 +171,15 @@ class RunJournal:
         """
         if key in self._entries:
             return False
-        blob = pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
-        self._handle.write(_LENGTH.pack(len(blob)))
-        self._handle.write(hashlib.sha256(blob).digest()[:_DIGEST_BYTES])
-        self._handle.write(blob)
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        with trace_span("journal_record", cat="checkpoint"):
+            blob = pickle.dumps(
+                (key, value), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._handle.write(_LENGTH.pack(len(blob)))
+            self._handle.write(hashlib.sha256(blob).digest()[:_DIGEST_BYTES])
+            self._handle.write(blob)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
         self._entries[key] = value
         return True
 

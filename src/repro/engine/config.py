@@ -20,11 +20,34 @@ from __future__ import annotations
 import dataclasses
 import os
 import pathlib
+import warnings
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.engine.faults import FaultPlan
+
+
+def warn_legacy_engine_kwargs(
+    where: str, names: Sequence[str], stacklevel: int = 3
+) -> None:
+    """Emit the one shared ``DeprecationWarning`` for legacy engine kwargs.
+
+    Every pre-:class:`EngineConfig` keyword (``workers=``, ``cache_dir=``,
+    ``task_timeout=``, ...) still works wherever it used to, but each use
+    funnels through this helper so the message -- and the scheduled
+    removal noted in DESIGN.md -- stays consistent across
+    ``ExperimentContext``, ``ParallelChipRunner``, and
+    ``with_overrides``.
+    """
+    listed = ", ".join(f"{name}=" for name in names)
+    warnings.warn(
+        f"{where}({listed}...) is deprecated; pass "
+        f"engine=EngineConfig({listed}...) instead (see DESIGN.md for "
+        "the removal schedule)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
 
 
 @dataclass(frozen=True)
@@ -108,4 +131,4 @@ class EngineConfig:
         return self.retry_backoff_s * (2 ** max(0, failure - 1))
 
 
-__all__ = ["EngineConfig"]
+__all__ = ["EngineConfig", "warn_legacy_engine_kwargs"]

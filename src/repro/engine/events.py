@@ -1,0 +1,230 @@
+"""Typed engine events and the single emit/subscribe surface.
+
+The engine used to report progress through a zoo of positional
+callbacks on :class:`~repro.engine.observer.RunObserver`
+(``on_task_retried``, ``on_worker_respawned``, ...); every new
+capability grew the callback list and every consumer had to override
+the right subset.  This module replaces that surface with *typed
+events*: one frozen dataclass per thing that can happen, dispatched
+through a single :meth:`EventStream.emit` call to any number of
+subscribers.
+
+A subscriber is anything with a ``handle(event)`` method (a plain
+callable also works).  Legacy :class:`RunObserver` subclasses remain
+valid subscribers: the base class's ``handle`` routes each typed event
+to the matching deprecated ``on_*`` callback.
+
+Events are strictly *observational*: they carry timings and counters,
+never results, so attaching or detaching subscribers can never change
+what an experiment computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Tuple, Union
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """Base class for everything the engine can report."""
+
+
+# ----------------------------------------------------------------------
+# run / experiment lifecycle
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunStarted(EngineEvent):
+    """A multi-experiment run is starting."""
+
+    n_experiments: int
+
+
+@dataclass(frozen=True)
+class ExperimentStarted(EngineEvent):
+    """One experiment is about to run."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ExperimentEnded(EngineEvent):
+    """One experiment finished (``cached`` if served from the cache)."""
+
+    name: str
+    elapsed_s: float
+    cached: bool
+
+
+@dataclass(frozen=True)
+class RunEnded(EngineEvent):
+    """The multi-experiment run finished."""
+
+    elapsed_s: float
+
+
+# ----------------------------------------------------------------------
+# batch progress
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchStarted(EngineEvent):
+    """A chip batch of ``total`` work items is being scheduled."""
+
+    label: str
+    total: int
+
+
+@dataclass(frozen=True)
+class ChipCompleted(EngineEvent):
+    """One work item of a batch completed (``completed`` so far)."""
+
+    label: str
+    completed: int
+    total: int
+
+
+@dataclass(frozen=True)
+class BatchEnded(EngineEvent):
+    """A chip batch fully completed."""
+
+    label: str
+    total: int
+    elapsed_s: float
+
+
+# ----------------------------------------------------------------------
+# robustness
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskRetried(EngineEvent):
+    """One work item failed and is being retried (``attempt`` so far)."""
+
+    label: str
+    index: int
+    attempt: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class WorkerRespawned(EngineEvent):
+    """The worker pool broke (crash/timeout) and was recycled."""
+
+    label: str
+    pool_failures: int
+
+
+@dataclass(frozen=True)
+class RunCheckpointed(EngineEvent):
+    """``flushed`` batch results were durably journalled."""
+
+    label: str
+    flushed: int
+
+
+@dataclass(frozen=True)
+class RunResumed(EngineEvent):
+    """``restored`` batch results were served from the run journal."""
+
+    label: str
+    restored: int
+
+
+# ----------------------------------------------------------------------
+# tracing
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpansCollected(EngineEvent):
+    """Trace spans shipped back from one completed worker task.
+
+    ``spans`` is a tuple of :class:`~repro.engine.trace.Span`; the event
+    exists so worker-side profiling data flows through the same emit
+    surface as every other engine signal (a tracer subscribes, legacy
+    observers ignore it).  ``peak_rss_kb`` is the worker's peak resident
+    set size at the time the task finished (0 when unavailable).
+    """
+
+    label: str
+    spans: Tuple[Any, ...]
+    pid: int
+    peak_rss_kb: int = 0
+
+
+#: A subscriber: an object with ``handle(event)`` or a bare callable.
+Subscriber = Union[Callable[[EngineEvent], None], Any]
+
+
+def dispatch(subscriber: Subscriber, event: EngineEvent) -> None:
+    """Deliver one event to one subscriber (``handle`` or call)."""
+    handler = getattr(subscriber, "handle", None)
+    if handler is not None:
+        handler(event)
+    else:
+        subscriber(event)
+
+
+class EventStream:
+    """Fans every emitted event out to its subscribers, in order.
+
+    The stream is itself a valid subscriber (``handle`` aliases
+    ``emit``), so streams compose.
+    :class:`~repro.engine.observer.CompositeObserver` layers the legacy
+    ``on_*`` emitter shims on top of this class for call sites that
+    still speak the deprecated callback surface.
+    """
+
+    def __init__(self, subscribers: Iterable[Subscriber] = ()):
+        self._subscribers: List[Subscriber] = list(subscribers)
+
+    @property
+    def subscribers(self) -> Tuple[Subscriber, ...]:
+        """The current subscribers, in dispatch order."""
+        return tuple(self._subscribers)
+
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        """Add a subscriber; returns it (usable as a decorator)."""
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Remove a subscriber (no error if absent)."""
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            pass
+
+    def emit(self, event: EngineEvent) -> None:
+        """Deliver ``event`` to every subscriber, in subscription order."""
+        for subscriber in self._subscribers:
+            dispatch(subscriber, event)
+
+    def handle(self, event: EngineEvent) -> None:
+        """Alias for :meth:`emit`: a stream is a composable subscriber."""
+        self.emit(event)
+
+
+__all__ = [
+    "EngineEvent",
+    "RunStarted",
+    "ExperimentStarted",
+    "ExperimentEnded",
+    "RunEnded",
+    "BatchStarted",
+    "ChipCompleted",
+    "BatchEnded",
+    "TaskRetried",
+    "WorkerRespawned",
+    "RunCheckpointed",
+    "RunResumed",
+    "SpansCollected",
+    "Subscriber",
+    "dispatch",
+    "EventStream",
+]

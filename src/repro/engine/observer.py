@@ -1,18 +1,28 @@
-"""Progress and timing hooks for the execution engine.
+"""Progress and timing consumers for the engine's typed event stream.
 
-:class:`RunObserver` is the event surface the engine reports through:
-per-run, per-experiment, and per-chip (batch item) events.  Observers are
-strictly passive -- they never influence results, so serial, parallel and
-cached runs stay bit-identical regardless of which observers are
-attached.
-
-Two concrete observers cover the common cases:
+The engine reports through typed events
+(:mod:`repro.engine.events`): frozen dataclasses dispatched to any
+subscriber with a ``handle(event)`` method.  This module hosts the
+standard consumers:
 
 * :class:`CLIProgressReporter` prints human-readable progress lines;
 * :class:`JSONMetricsObserver` accumulates a machine-readable timing
-  record and dumps it as JSON at the end of the run.
+  record (optionally including a tracer's per-phase table) and dumps it
+  as JSON at the end of the run;
+* :class:`CompositeObserver` fans events out to several subscribers (a
+  thin legacy veneer over :class:`~repro.engine.events.EventStream`).
 
-Several observers can be fanned out with :class:`CompositeObserver`.
+Subscribers are strictly passive -- they never influence results, so
+serial, parallel, cached, and traced runs stay bit-identical regardless
+of what is attached.
+
+**Deprecated surface.**  :class:`RunObserver`'s per-event ``on_*``
+callbacks (``on_task_retried``, ``on_worker_respawned``, ...) are the
+legacy observer API.  They keep working: the base class's
+``handle(event)`` routes each typed event to the matching overridden
+callback (warning once per class), and the built-in consumers accept
+direct ``on_*`` calls through :class:`LegacyEmitShims`.  New code should
+subscribe with ``handle(event)`` and match on event types.
 """
 
 from __future__ import annotations
@@ -21,16 +31,87 @@ import json
 import pathlib
 import sys
 import time
-from typing import Any, Dict, Optional, Sequence, TextIO
+import warnings
+from typing import Any, Callable, Dict, Optional, Sequence, TextIO, Tuple, Type
+
+from repro.engine.events import (
+    BatchEnded,
+    BatchStarted,
+    ChipCompleted,
+    EngineEvent,
+    EventStream,
+    ExperimentEnded,
+    ExperimentStarted,
+    RunCheckpointed,
+    RunEnded,
+    RunResumed,
+    RunStarted,
+    TaskRetried,
+    WorkerRespawned,
+)
+
+#: Typed event -> (legacy callback name, positional-argument unpacker).
+_LEGACY_ROUTES: Dict[
+    Type[EngineEvent], Tuple[str, Callable[[Any], Tuple[Any, ...]]]
+] = {
+    RunStarted: ("on_run_start", lambda e: (e.n_experiments,)),
+    ExperimentStarted: ("on_experiment_start", lambda e: (e.name,)),
+    ExperimentEnded: (
+        "on_experiment_end", lambda e: (e.name, e.elapsed_s, e.cached)
+    ),
+    BatchStarted: ("on_batch_start", lambda e: (e.label, e.total)),
+    ChipCompleted: ("on_chip_done", lambda e: (e.label, e.completed, e.total)),
+    BatchEnded: ("on_batch_end", lambda e: (e.label, e.total, e.elapsed_s)),
+    TaskRetried: (
+        "on_task_retried", lambda e: (e.label, e.index, e.attempt, e.reason)
+    ),
+    WorkerRespawned: (
+        "on_worker_respawned", lambda e: (e.label, e.pool_failures)
+    ),
+    RunCheckpointed: ("on_run_checkpointed", lambda e: (e.label, e.flushed)),
+    RunResumed: ("on_run_resumed", lambda e: (e.label, e.restored)),
+    RunEnded: ("on_run_end", lambda e: (e.elapsed_s,)),
+}
+
+_LEGACY_WARNED: set = set()
+
+
+def _warn_legacy(cls: type, what: str) -> None:
+    if cls in _LEGACY_WARNED:
+        return
+    _LEGACY_WARNED.add(cls)
+    warnings.warn(
+        f"{what} is deprecated; subscribe with handle(event) over typed "
+        "repro.engine.events instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class RunObserver:
-    """Engine event hooks; the base class ignores every event.
+    """Legacy observer base: typed events routed to ``on_*`` callbacks.
 
-    Subclass and override the events you care about.  All callbacks must
-    be cheap and side-effect-free with respect to the computation --
-    they run on the coordinating process, between result arrivals.
+    Subclassing this and overriding ``on_*`` still works anywhere a
+    subscriber is accepted -- :meth:`handle` routes each typed event to
+    the matching overridden callback (and warns once per class that the
+    callback surface is deprecated).  New subscribers should override
+    :meth:`handle` directly.  All callbacks must be cheap and
+    side-effect-free with respect to the computation -- they run on the
+    coordinating process, between result arrivals.
     """
+
+    def handle(self, event: EngineEvent) -> None:
+        """Deliver one typed event (routes to legacy ``on_*`` overrides)."""
+        route = _LEGACY_ROUTES.get(type(event))
+        if route is None:
+            return  # new event kinds are invisible to legacy observers
+        name, unpack = route
+        if getattr(type(self), name, None) is getattr(RunObserver, name):
+            return  # callback not overridden: nothing to do
+        _warn_legacy(type(self), f"overriding RunObserver.{name}")
+        getattr(self, name)(*unpack(event))
+
+    # -- deprecated callback surface (each is routed from handle()) ----
 
     def on_run_start(self, n_experiments: int) -> None:
         """A multi-experiment run is starting."""
@@ -69,63 +150,75 @@ class RunObserver:
 
 
 NULL_OBSERVER = RunObserver()
-"""Shared do-nothing observer (the default everywhere)."""
+"""Shared do-nothing subscriber (the default everywhere)."""
 
 
-class CompositeObserver(RunObserver):
-    """Forwards every event to a sequence of observers, in order."""
+class LegacyEmitShims:
+    """Deprecated ``on_*`` *emitter* methods over a ``handle()`` surface.
 
-    def __init__(self, observers: Sequence[RunObserver]):
-        self.observers = tuple(observers)
+    Mixed into the built-in consumers so code that still calls the old
+    positional callbacks directly (``observer.on_chip_done(...)``) keeps
+    working: each shim builds the typed event and feeds it to
+    ``self.handle``.
+    """
+
+    def _emit_legacy(self, event: EngineEvent) -> None:
+        _warn_legacy(type(self), "calling the on_* emitter surface")
+        self.handle(event)  # type: ignore[attr-defined]
 
     def on_run_start(self, n_experiments: int) -> None:
-        for obs in self.observers:
-            obs.on_run_start(n_experiments)
+        self._emit_legacy(RunStarted(n_experiments))
 
     def on_experiment_start(self, name: str) -> None:
-        for obs in self.observers:
-            obs.on_experiment_start(name)
+        self._emit_legacy(ExperimentStarted(name))
 
     def on_experiment_end(self, name: str, elapsed: float, cached: bool) -> None:
-        for obs in self.observers:
-            obs.on_experiment_end(name, elapsed, cached)
+        self._emit_legacy(ExperimentEnded(name, elapsed, cached))
 
     def on_batch_start(self, label: str, total: int) -> None:
-        for obs in self.observers:
-            obs.on_batch_start(label, total)
+        self._emit_legacy(BatchStarted(label, total))
 
     def on_chip_done(self, label: str, completed: int, total: int) -> None:
-        for obs in self.observers:
-            obs.on_chip_done(label, completed, total)
+        self._emit_legacy(ChipCompleted(label, completed, total))
 
     def on_batch_end(self, label: str, total: int, elapsed: float) -> None:
-        for obs in self.observers:
-            obs.on_batch_end(label, total, elapsed)
+        self._emit_legacy(BatchEnded(label, total, elapsed))
 
     def on_task_retried(
         self, label: str, index: int, attempt: int, reason: str
     ) -> None:
-        for obs in self.observers:
-            obs.on_task_retried(label, index, attempt, reason)
+        self._emit_legacy(TaskRetried(label, index, attempt, reason))
 
     def on_worker_respawned(self, label: str, pool_failures: int) -> None:
-        for obs in self.observers:
-            obs.on_worker_respawned(label, pool_failures)
+        self._emit_legacy(WorkerRespawned(label, pool_failures))
 
     def on_run_checkpointed(self, label: str, flushed: int) -> None:
-        for obs in self.observers:
-            obs.on_run_checkpointed(label, flushed)
+        self._emit_legacy(RunCheckpointed(label, flushed))
 
     def on_run_resumed(self, label: str, restored: int) -> None:
-        for obs in self.observers:
-            obs.on_run_resumed(label, restored)
+        self._emit_legacy(RunResumed(label, restored))
 
     def on_run_end(self, elapsed: float) -> None:
-        for obs in self.observers:
-            obs.on_run_end(elapsed)
+        self._emit_legacy(RunEnded(elapsed))
 
 
-class CLIProgressReporter(RunObserver):
+class CompositeObserver(LegacyEmitShims, EventStream):
+    """Forwards every event to a sequence of subscribers, in order.
+
+    Retained for compatibility; new code should build an
+    :class:`~repro.engine.events.EventStream` directly.
+    """
+
+    def __init__(self, observers: Sequence[Any]):
+        EventStream.__init__(self, observers)
+
+    @property
+    def observers(self) -> Tuple[Any, ...]:
+        """The wrapped subscribers (dispatch order)."""
+        return self.subscribers
+
+
+class CLIProgressReporter(LegacyEmitShims, RunObserver):
     """Prints progress lines suitable for a terminal.
 
     Per-chip events are throttled to roughly ``updates_per_batch`` lines
@@ -140,39 +233,40 @@ class CLIProgressReporter(RunObserver):
         self.stream = stream if stream is not None else sys.stdout
         self.updates_per_batch = max(1, updates_per_batch)
 
-    def _emit(self, message: str) -> None:
+    def _print(self, message: str) -> None:
         print(message, file=self.stream, flush=True)
 
-    def on_run_start(self, n_experiments: int) -> None:
-        self._emit(f"running {n_experiments} experiments")
-
-    def on_experiment_start(self, name: str) -> None:
-        self._emit(f"{name}: running...")
-
-    def on_experiment_end(self, name: str, elapsed: float, cached: bool) -> None:
-        suffix = " (cached)" if cached else ""
-        self._emit(f"{name}: done in {elapsed:.1f}s{suffix}")
-
-    def on_chip_done(self, label: str, completed: int, total: int) -> None:
-        step = max(1, total // self.updates_per_batch)
-        if completed == total or completed % step == 0:
-            self._emit(f"  [{label}] {completed}/{total}")
-
-    def on_task_retried(
-        self, label: str, index: int, attempt: int, reason: str
-    ) -> None:
-        self._emit(f"  [{label}] task {index} retry #{attempt}: {reason}")
-
-    def on_worker_respawned(self, label: str, pool_failures: int) -> None:
-        self._emit(
-            f"  [{label}] worker pool respawned (failure #{pool_failures})"
-        )
-
-    def on_run_resumed(self, label: str, restored: int) -> None:
-        self._emit(f"  [{label}] resumed {restored} results from checkpoint")
-
-    def on_run_end(self, elapsed: float) -> None:
-        self._emit(f"all experiments done in {elapsed:.1f}s")
+    def handle(self, event: EngineEvent) -> None:
+        if isinstance(event, ChipCompleted):
+            step = max(1, event.total // self.updates_per_batch)
+            if event.completed == event.total or event.completed % step == 0:
+                self._print(
+                    f"  [{event.label}] {event.completed}/{event.total}"
+                )
+        elif isinstance(event, RunStarted):
+            self._print(f"running {event.n_experiments} experiments")
+        elif isinstance(event, ExperimentStarted):
+            self._print(f"{event.name}: running...")
+        elif isinstance(event, ExperimentEnded):
+            suffix = " (cached)" if event.cached else ""
+            self._print(f"{event.name}: done in {event.elapsed_s:.1f}s{suffix}")
+        elif isinstance(event, TaskRetried):
+            self._print(
+                f"  [{event.label}] task {event.index} retry "
+                f"#{event.attempt}: {event.reason}"
+            )
+        elif isinstance(event, WorkerRespawned):
+            self._print(
+                f"  [{event.label}] worker pool respawned "
+                f"(failure #{event.pool_failures})"
+            )
+        elif isinstance(event, RunResumed):
+            self._print(
+                f"  [{event.label}] resumed {event.restored} results "
+                "from checkpoint"
+            )
+        elif isinstance(event, RunEnded):
+            self._print(f"all experiments done in {event.elapsed_s:.1f}s")
 
 
 def _empty_robustness() -> Dict[str, int]:
@@ -184,22 +278,28 @@ def _empty_robustness() -> Dict[str, int]:
     }
 
 
-class JSONMetricsObserver(RunObserver):
+class JSONMetricsObserver(LegacyEmitShims, RunObserver):
     """Collects per-experiment/per-batch timings and dumps them as JSON.
 
     Durations are measured with the monotonic ``time.perf_counter``
     clock (never wall clock, so a suspended laptop or an NTP step cannot
     corrupt them); the single wall-clock read is the intentional
     ``started_at_unix_s`` run timestamp.  Alongside timing, the record
-    accumulates the engine's robustness events: retries, pool respawns,
-    and checkpoint/resume counts.
+    accumulates the engine's robustness events (retries, pool respawns,
+    checkpoint/resume counts) and, when a ``tracer`` is attached, the
+    aggregated per-phase trace table under ``trace_phases``.
 
     The record is available in-memory as :attr:`metrics` and, if a
     ``path`` was given, written to disk when the run ends.
     """
 
-    def __init__(self, path: Optional[pathlib.Path] = None):
+    def __init__(
+        self,
+        path: Optional[pathlib.Path] = None,
+        tracer: Optional[Any] = None,
+    ):
         self.path = pathlib.Path(path) if path is not None else None
+        self.tracer = tracer
         self.metrics: Dict[str, Any] = self._empty_metrics()
         self._batch_starts: Dict[str, float] = {}
         self._current: Optional[Dict[str, Any]] = None
@@ -215,7 +315,31 @@ class JSONMetricsObserver(RunObserver):
 
     # ------------------------------------------------------------------
 
-    def on_run_start(self, n_experiments: int) -> None:
+    def handle(self, event: EngineEvent) -> None:
+        if isinstance(event, RunStarted):
+            self._run_started()
+        elif isinstance(event, ExperimentStarted):
+            self._experiment_started(event.name)
+        elif isinstance(event, ExperimentEnded):
+            self._experiment_ended(event)
+        elif isinstance(event, BatchStarted):
+            self._batch_started(event)
+        elif isinstance(event, BatchEnded):
+            self._batch_ended(event)
+        elif isinstance(event, TaskRetried):
+            self.metrics["robustness"]["task_retries"] += 1
+        elif isinstance(event, WorkerRespawned):
+            self.metrics["robustness"]["worker_respawns"] += 1
+        elif isinstance(event, RunCheckpointed):
+            self.metrics["robustness"]["results_checkpointed"] += event.flushed
+        elif isinstance(event, RunResumed):
+            self.metrics["robustness"]["results_resumed"] += event.restored
+        elif isinstance(event, RunEnded):
+            self._run_ended(event.elapsed_s)
+
+    # ------------------------------------------------------------------
+
+    def _run_started(self) -> None:
         self.metrics = self._empty_metrics()
         # Intentional run timestamp: metrics are diagnostics, never
         # results, so recording when the run happened is allowed here.
@@ -224,7 +348,7 @@ class JSONMetricsObserver(RunObserver):
         )
         self._current = None
 
-    def on_experiment_start(self, name: str) -> None:
+    def _experiment_started(self, name: str) -> None:
         self._current = {
             "name": name,
             "elapsed_s": None,
@@ -233,49 +357,37 @@ class JSONMetricsObserver(RunObserver):
         }
         self.metrics["experiments"].append(self._current)
 
-    def on_experiment_end(self, name: str, elapsed: float, cached: bool) -> None:
-        if self._current is None or self._current["name"] != name:
-            self.on_experiment_start(name)
-        self._current["elapsed_s"] = round(elapsed, 4)
-        self._current["cached"] = cached
+    def _experiment_ended(self, event: ExperimentEnded) -> None:
+        if self._current is None or self._current["name"] != event.name:
+            self._experiment_started(event.name)
+        self._current["elapsed_s"] = round(event.elapsed_s, 4)
+        self._current["cached"] = event.cached
         self._current = None
 
-    def on_batch_start(self, label: str, total: int) -> None:
+    def _batch_started(self, event: BatchStarted) -> None:
         # Monotonic clock: batch durations must not jump with the wall
         # clock (the recorded elapsed comes from the engine, also
         # perf_counter-based; this start only guards unmatched ends).
-        self._batch_starts[label] = time.perf_counter()
+        self._batch_starts[event.label] = time.perf_counter()
         if self._current is not None:
             self._current["batches"].append({
-                "label": label,
-                "items": total,
+                "label": event.label,
+                "items": event.total,
                 "elapsed_s": None,
             })
 
-    def on_batch_end(self, label: str, total: int, elapsed: float) -> None:
-        self._batch_starts.pop(label, None)
+    def _batch_ended(self, event: BatchEnded) -> None:
+        self._batch_starts.pop(event.label, None)
         if self._current is not None:
             for batch in reversed(self._current["batches"]):
-                if batch["label"] == label and batch["elapsed_s"] is None:
-                    batch["elapsed_s"] = round(elapsed, 4)
+                if batch["label"] == event.label and batch["elapsed_s"] is None:
+                    batch["elapsed_s"] = round(event.elapsed_s, 4)
                     break
 
-    def on_task_retried(
-        self, label: str, index: int, attempt: int, reason: str
-    ) -> None:
-        self.metrics["robustness"]["task_retries"] += 1
-
-    def on_worker_respawned(self, label: str, pool_failures: int) -> None:
-        self.metrics["robustness"]["worker_respawns"] += 1
-
-    def on_run_checkpointed(self, label: str, flushed: int) -> None:
-        self.metrics["robustness"]["results_checkpointed"] += flushed
-
-    def on_run_resumed(self, label: str, restored: int) -> None:
-        self.metrics["robustness"]["results_resumed"] += restored
-
-    def on_run_end(self, elapsed: float) -> None:
+    def _run_ended(self, elapsed: float) -> None:
         self.metrics["total_elapsed_s"] = round(elapsed, 4)
+        if self.tracer is not None:
+            self.metrics["trace_phases"] = self.tracer.phase_table()
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self.path.write_text(json.dumps(self.metrics, indent=2) + "\n")
@@ -284,6 +396,7 @@ class JSONMetricsObserver(RunObserver):
 __all__ = [
     "RunObserver",
     "NULL_OBSERVER",
+    "LegacyEmitShims",
     "CompositeObserver",
     "CLIProgressReporter",
     "JSONMetricsObserver",

@@ -21,6 +21,7 @@ results -- only wall-clock differs.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
 from concurrent.futures import (
@@ -43,10 +44,23 @@ from repro.core.architecture import IdealCacheArchitecture
 from repro.core.batcheval import evaluate_many
 from repro.core.evaluation import Evaluator
 from repro.core.schemes import get_scheme
+from repro.engine import trace as trace_mod
 from repro.engine.checkpoint import RunJournal, task_key
-from repro.engine.config import EngineConfig
+from repro.engine.config import EngineConfig, warn_legacy_engine_kwargs
+from repro.engine.events import (
+    BatchEnded,
+    BatchStarted,
+    ChipCompleted,
+    RunCheckpointed,
+    RunResumed,
+    SpansCollected,
+    Subscriber,
+    TaskRetried,
+    WorkerRespawned,
+    dispatch,
+)
 from repro.engine.faults import CorruptedPayload, FaultPlan
-from repro.engine.observer import NULL_OBSERVER, RunObserver
+from repro.engine.observer import NULL_OBSERVER
 
 
 @dataclass(frozen=True)
@@ -122,7 +136,12 @@ def evaluator_for(spec: EvaluatorSpec) -> Evaluator:
     """The process-local cached evaluator for ``spec``."""
     evaluator = _EVALUATOR_CACHE.get(spec)
     if evaluator is None:
-        evaluator = spec.build()
+        with trace_mod.span(
+            "build_evaluator", cat="traces",
+            node=getattr(spec.node, "name", str(spec.node)),
+            n_references=spec.n_references,
+        ):
+            evaluator = spec.build()
         _EVALUATOR_CACHE[spec] = evaluator
         while len(_EVALUATOR_CACHE) > _EVALUATOR_CACHE_MAX:
             _EVALUATOR_CACHE.popitem(last=False)
@@ -241,17 +260,28 @@ def run_eval_task(task: EvalTask):
     """Execute one evaluation task (in a worker or inline)."""
     evaluator = evaluator_for(task.evaluator)
     if task.kind == "ideal_ipc":
-        ideal = IdealCacheArchitecture(evaluator.node, config=evaluator.config)
-        return tuple(
-            evaluator.evaluate_benchmark(ideal, name).ipc
-            for name in evaluator.benchmarks
-        )
-    return _evaluate_schemes(evaluator, task)
+        with trace_mod.span("ideal_ipc", cat="evaluate"):
+            ideal = IdealCacheArchitecture(
+                evaluator.node, config=evaluator.config
+            )
+            return tuple(
+                evaluator.evaluate_benchmark(ideal, name).ipc
+                for name in evaluator.benchmarks
+            )
+    with trace_mod.span(
+        "evaluate_chip", cat="evaluate",
+        chip_id=getattr(task.chip, "chip_id", -1),
+        schemes=len(task.schemes),
+    ):
+        return _evaluate_schemes(evaluator, task)
 
 
 def run_build_task(task: ChipBuildTask):
     """Execute one chip-build task (in a worker or inline)."""
-    return task.build()
+    with trace_mod.span(
+        "build_chip", cat="build", chip_id=getattr(task, "chip_id", -1)
+    ):
+        return task.build()
 
 
 @dataclass
@@ -272,19 +302,38 @@ def _supervised_call(
     key: str,
     attempt: int,
     hard_faults: bool,
+    collect_spans: bool = False,
 ):
     """Run one task under the (optional) fault plan.
 
     Module-level so it pickles by name into workers; ``hard_faults``
     selects process-killing crash injection (pool) vs. raising (inline).
+
+    With ``collect_spans`` (pool submissions of a traced run) the task
+    runs under a per-task span collector and the result travels home
+    wrapped in a :class:`~repro.engine.trace.TracedResult` -- which the
+    supervisor unwraps *before* journalling or returning anything, so
+    profiling never touches outputs.  The inline path never wraps: the
+    coordinator's ambient tracer receives spans directly.
     """
     kind = None
     if plan is not None:
         kind = plan.apply(key, attempt, hard_faults)
-    result = fn(task)
+    if not collect_spans:
+        result = fn(task)
+        if kind == "corrupt":
+            return CorruptedPayload(task_key=key, attempt=attempt)
+        return result
+    with trace_mod.collect_task_spans() as collected:
+        result = fn(task)
     if kind == "corrupt":
-        return CorruptedPayload(task_key=key, attempt=attempt)
-    return result
+        result = CorruptedPayload(task_key=key, attempt=attempt)
+    return trace_mod.TracedResult(
+        value=result,
+        spans=collected.spans,
+        pid=os.getpid(),
+        peak_rss_kb=trace_mod.peak_rss_kb(),
+    )
 
 
 _MISSING = object()
@@ -332,6 +381,16 @@ class ParallelChipRunner:
             config, workers = workers, None
         if config is None:
             # Legacy keyword shim: the old signature becomes a config.
+            legacy = [
+                name for name, value in (
+                    ("workers", workers),
+                    ("evaluator_cache_size", evaluator_cache_size),
+                ) if value is not None
+            ]
+            if legacy:
+                warn_legacy_engine_kwargs(
+                    "ParallelChipRunner", legacy, stacklevel=3
+                )
             config = EngineConfig(
                 workers=workers, evaluator_cache_size=evaluator_cache_size
             )
@@ -416,21 +475,23 @@ class ParallelChipRunner:
         self,
         fn: Callable[[Any], Any],
         tasks: Sequence[Any],
-        observer: RunObserver = NULL_OBSERVER,
+        observer: Subscriber = NULL_OBSERVER,
         label: str = "batch",
     ) -> List[Any]:
         """Run ``fn`` over ``tasks``; results come back in task order.
 
         ``fn`` must be a module-level callable (it crosses the process
-        boundary by reference).  The observer sees one ``on_chip_done``
-        event per computed item, in completion order, plus the
-        robustness events (``on_run_resumed`` / ``on_task_retried`` /
-        ``on_worker_respawned`` / ``on_run_checkpointed``) when the
-        corresponding recovery paths fire.
+        boundary by reference).  ``observer`` is any typed-event
+        subscriber (an :class:`~repro.engine.events.EventStream`, a
+        legacy :class:`RunObserver`, or a bare callable); it sees one
+        :class:`~repro.engine.events.ChipCompleted` per computed item in
+        completion order, the batch lifecycle events, the robustness
+        events when recovery paths fire, and -- on traced pool runs --
+        one :class:`~repro.engine.events.SpansCollected` per task.
         """
         tasks = list(tasks)
         total = len(tasks)
-        observer.on_batch_start(label, total)
+        dispatch(observer, BatchStarted(label, total))
         start = time.perf_counter()
         journal = self._ensure_journal()
         plan = self.config.fault_plan
@@ -440,13 +501,16 @@ class ParallelChipRunner:
         results: List[Any] = [_MISSING] * total
         if journal is not None:
             restored = 0
-            for index in range(total):
-                if keys[index] in journal:
-                    results[index] = journal.get(keys[index])
-                    restored += 1
+            with trace_mod.span("journal_restore", cat="checkpoint",
+                                label=label) as restore_span:
+                for index in range(total):
+                    if keys[index] in journal:
+                        results[index] = journal.get(keys[index])
+                        restored += 1
+                restore_span.set(restored=restored)
             if restored:
                 self.stats.results_resumed += restored
-                observer.on_run_resumed(label, restored)
+                dispatch(observer, RunResumed(label, restored))
         remaining = [i for i in range(total) if results[i] is _MISSING]
         state = {"completed": total - len(remaining), "flushed": 0}
 
@@ -455,7 +519,7 @@ class ParallelChipRunner:
             state["completed"] += 1
             if journal is not None and journal.record(keys[index], value):
                 state["flushed"] += 1
-            observer.on_chip_done(label, state["completed"], total)
+            dispatch(observer, ChipCompleted(label, state["completed"], total))
 
         if remaining:
             if self.workers <= 1 or len(remaining) <= 1 or self._degraded:
@@ -473,8 +537,9 @@ class ParallelChipRunner:
                                      observer, label)
         if state["flushed"]:
             self.stats.results_checkpointed += state["flushed"]
-            observer.on_run_checkpointed(label, state["flushed"])
-        observer.on_batch_end(label, total, time.perf_counter() - start)
+            dispatch(observer, RunCheckpointed(label, state["flushed"]))
+        dispatch(observer, BatchEnded(label, total,
+                                      time.perf_counter() - start))
         return results
 
     # ------------------------------------------------------------------
@@ -486,7 +551,7 @@ class ParallelChipRunner:
         keys: Optional[List[str]],
         indices: Sequence[int],
         finish: Callable[[int, Any], None],
-        observer: RunObserver,
+        observer: Subscriber,
         label: str,
     ) -> None:
         """Inline execution with the same retry budget as the pool."""
@@ -513,7 +578,9 @@ class ParallelChipRunner:
                             f"{failures} times; giving up"
                         ) from exc
                     self.stats.task_retries += 1
-                    observer.on_task_retried(label, index, failures, repr(exc))
+                    dispatch(
+                        observer, TaskRetried(label, index, failures, repr(exc))
+                    )
                     time.sleep(self.config.retry_backoff(failures))
             finish(index, value)
 
@@ -524,12 +591,15 @@ class ParallelChipRunner:
         keys: Optional[List[str]],
         remaining: Sequence[int],
         finish: Callable[[int, Any], None],
-        observer: RunObserver,
+        observer: Subscriber,
         label: str,
     ) -> None:
         """The supervision loop: submit, watch deadlines, retry, respawn."""
         config = self.config
         plan = config.fault_plan
+        # Decided once per batch: traced runs ask workers to collect and
+        # ship their spans home alongside each result.
+        collect_spans = trace_mod.tracing_active()
         attempts: Dict[int, int] = {index: 0 for index in remaining}
         failures: Dict[int, int] = {index: 0 for index in remaining}
         pending: Dict[Any, int] = {}
@@ -545,7 +615,7 @@ class ParallelChipRunner:
                 try:
                     future = executor.submit(
                         _supervised_call, fn, tasks[index], plan, key,
-                        attempts[index], True,
+                        attempts[index], True, collect_spans,
                     )
                 except BrokenExecutor:
                     note_pool_failure()
@@ -562,7 +632,7 @@ class ParallelChipRunner:
             self._pool_failures += 1
             self.stats.worker_respawns += 1
             self._shutdown_executor(force=True)
-            observer.on_worker_respawned(label, self._pool_failures)
+            dispatch(observer, WorkerRespawned(label, self._pool_failures))
             if self._pool_failures >= config.max_pool_failures:
                 self._degraded = True
 
@@ -574,7 +644,10 @@ class ParallelChipRunner:
                 self.stats.tasks_quarantined += 1
             else:
                 self.stats.task_retries += 1
-                observer.on_task_retried(label, index, failures[index], reason)
+                dispatch(
+                    observer,
+                    TaskRetried(label, index, failures[index], reason),
+                )
                 delayed.append((
                     time.monotonic() + config.retry_backoff(failures[index]),
                     index,
@@ -618,6 +691,13 @@ class ParallelChipRunner:
                 except Exception as exc:
                     task_failed(index, repr(exc))
                     continue
+                if isinstance(value, trace_mod.TracedResult):
+                    # Unwrap BEFORE journalling/returning: profiling
+                    # data must never reach results or checkpoints.
+                    dispatch(observer, SpansCollected(
+                        label, value.spans, value.pid, value.peak_rss_kb,
+                    ))
+                    value = value.value
                 if isinstance(value, CorruptedPayload):
                     task_failed(
                         index,
@@ -654,7 +734,7 @@ class ParallelChipRunner:
     def build_chips(
         self,
         tasks: Sequence[ChipBuildTask],
-        observer: RunObserver = NULL_OBSERVER,
+        observer: Subscriber = NULL_OBSERVER,
         label: str = "sample chips",
     ) -> List[Any]:
         """Realize reserved chip-build tasks (order = reservation order)."""
@@ -663,7 +743,7 @@ class ParallelChipRunner:
     def evaluate(
         self,
         tasks: Sequence[EvalTask],
-        observer: RunObserver = NULL_OBSERVER,
+        observer: Subscriber = NULL_OBSERVER,
         label: str = "evaluate chips",
     ) -> List[Any]:
         """Run evaluation tasks; one result per task, in task order."""

@@ -25,14 +25,19 @@ import pathlib
 import time
 from typing import Optional, Sequence, Union
 
+from repro.engine import trace as trace_mod
 from repro.engine.cache import ResultCache, resolve_cache
 from repro.engine.config import EngineConfig
-from repro.engine.faults import FaultPlan
-from repro.engine.observer import (
-    JSONMetricsObserver,
-    NULL_OBSERVER,
-    RunObserver,
+from repro.engine.events import (
+    EventStream,
+    ExperimentEnded,
+    ExperimentStarted,
+    RunEnded,
+    RunStarted,
+    Subscriber,
 )
+from repro.engine.faults import FaultPlan
+from repro.engine.observer import JSONMetricsObserver, NULL_OBSERVER
 from repro.engine.registry import Experiment, get_experiment
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.reporting import write_csv
@@ -77,6 +82,12 @@ def engine_parent_parser() -> argparse.ArgumentParser:
         "--metrics", type=pathlib.Path, default=None,
         help="timing/robustness metrics JSON path "
         "(default: OUT/metrics.json)",
+    )
+    engine.add_argument(
+        "--trace", type=pathlib.Path, default=None, metavar="PATH",
+        help="profile the run and write a Chrome trace_event JSON "
+        "(load in chrome://tracing or Perfetto); outputs stay "
+        "bit-identical to an untraced run",
     )
     robustness = parent.add_argument_group("robustness")
     robustness.add_argument(
@@ -141,7 +152,7 @@ def engine_config_from_args(args: argparse.Namespace) -> EngineConfig:
 
 def context_from_args(
     args: argparse.Namespace,
-    observer: RunObserver = NULL_OBSERVER,
+    observer: Subscriber = NULL_OBSERVER,
 ) -> ExperimentContext:
     """The experiment context a parsed shared namespace describes."""
     return ExperimentContext(
@@ -185,22 +196,30 @@ def experiment_main(
     metrics_path = args.metrics
     if metrics_path is None and args.out is not None:
         metrics_path = args.out / f"{name}_metrics.json"
-    observer = (
-        JSONMetricsObserver(metrics_path)
-        if metrics_path is not None else NULL_OBSERVER
-    )
-    context = context_from_args(args, observer=observer)
+    tracer = trace_mod.Tracer() if args.trace is not None else None
+    stream = EventStream()
+    if tracer is not None:
+        # Subscribed before the metrics observer so the run span is
+        # closed by the time the per-phase table is written out.
+        stream.subscribe(tracer)
+    if metrics_path is not None:
+        stream.subscribe(JSONMetricsObserver(metrics_path, tracer=tracer))
+    context = context_from_args(args, observer=stream)
     cache = cache_from_args(args)
-    observer.on_run_start(1)
-    observer.on_experiment_start(name)
-    start = time.perf_counter()
-    try:
-        result, cached = experiment.execute(context, cache)
-    finally:
-        context.close()
-    elapsed = time.perf_counter() - start
-    observer.on_experiment_end(name, elapsed, cached)
-    observer.on_run_end(elapsed)
+    with trace_mod.activate(tracer):
+        stream.emit(RunStarted(1))
+        stream.emit(ExperimentStarted(name))
+        start = time.perf_counter()
+        try:
+            result, cached = experiment.execute(context, cache)
+        finally:
+            context.close()
+        elapsed = time.perf_counter() - start
+        stream.emit(ExperimentEnded(name, elapsed, cached))
+        stream.emit(RunEnded(elapsed))
+    if tracer is not None:
+        trace_path = tracer.to_chrome(args.trace)
+        print(f"trace written to {trace_path}")
     text = experiment.report(result)
     print(text)
     if args.out is not None:

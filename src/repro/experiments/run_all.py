@@ -40,12 +40,17 @@ import time
 import warnings
 from typing import Callable, List, Optional, Tuple
 
+from repro.engine import trace as trace_mod
 from repro.engine.cache import ResultCache
-from repro.engine.observer import (
-    CLIProgressReporter,
-    CompositeObserver,
-    JSONMetricsObserver,
+from repro.engine.events import (
+    EventStream,
+    ExperimentEnded,
+    ExperimentStarted,
+    RunEnded,
+    RunStarted,
+    dispatch,
 )
+from repro.engine.observer import CLIProgressReporter, JSONMetricsObserver
 from repro.engine.registry import all_experiments
 from repro.experiments.cli import (
     cache_from_args,
@@ -72,11 +77,11 @@ def run_all(
     out_dir.mkdir(parents=True, exist_ok=True)
     experiments = all_experiments()
     observer = context.observer
-    observer.on_run_start(len(experiments))
+    dispatch(observer, RunStarted(len(experiments)))
     run_start = time.perf_counter()
     summary_parts = []
     for experiment in experiments:
-        observer.on_experiment_start(experiment.name)
+        dispatch(observer, ExperimentStarted(experiment.name))
         start = time.perf_counter()
         result, cached = experiment.execute(context, cache)
         text = experiment.report(result)
@@ -87,12 +92,12 @@ def run_all(
                 write_csv(out_dir / export.filename, export.headers, export.rows)
         suffix = " (cached)" if cached else ""
         progress(f"{experiment.name}: done in {elapsed:.1f}s{suffix}")
-        observer.on_experiment_end(experiment.name, elapsed, cached)
+        dispatch(observer, ExperimentEnded(experiment.name, elapsed, cached))
         summary_parts.append(f"{'=' * 72}\n{experiment.name}\n{'=' * 72}")
         summary_parts.append(text)
     summary_path = out_dir / "summary.txt"
     summary_path.write_text("\n\n".join(summary_parts) + "\n")
-    observer.on_run_end(time.perf_counter() - run_start)
+    dispatch(observer, RunEnded(time.perf_counter() - run_start))
     return summary_path
 
 
@@ -106,19 +111,26 @@ def main(argv=None) -> None:
     args = parser.parse_args(argv)
     cache = cache_from_args(args)
     metrics_path = args.metrics or args.out / "metrics.json"
-    observer = CompositeObserver([
-        CLIProgressReporter(),
-        JSONMetricsObserver(metrics_path),
-    ])
-    context = context_from_args(args, observer=observer)
+    tracer = trace_mod.Tracer() if args.trace is not None else None
+    stream = EventStream([CLIProgressReporter()])
+    if tracer is not None:
+        # Subscribed before the metrics observer so the run span is
+        # closed by the time the per-phase table is written out.
+        stream.subscribe(tracer)
+    stream.subscribe(JSONMetricsObserver(metrics_path, tracer=tracer))
+    context = context_from_args(args, observer=stream)
     try:
-        # The reporter already announces each experiment; silence the
-        # legacy progress callback to avoid double printing.
-        summary = run_all(
-            context, args.out, progress=lambda line: None, cache=cache
-        )
+        with trace_mod.activate(tracer):
+            # The reporter already announces each experiment; silence
+            # the legacy progress callback to avoid double printing.
+            summary = run_all(
+                context, args.out, progress=lambda line: None, cache=cache
+            )
     finally:
         context.close()
+    if tracer is not None:
+        trace_path = tracer.to_chrome(args.trace)
+        print(f"trace written to {trace_path}")
     print(f"combined report: {summary}")
 
 

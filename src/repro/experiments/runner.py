@@ -21,8 +21,9 @@ from repro.technology.node import NODE_32NM, TechnologyNode
 from repro.variation.parameters import VariationParams
 from repro.array.chip import ChipSampler, DRAM3T1DChipSample, SRAMChipSample
 from repro.core.evaluation import Evaluator
-from repro.engine.config import EngineConfig
-from repro.engine.observer import NULL_OBSERVER, RunObserver
+from repro.engine.config import EngineConfig, warn_legacy_engine_kwargs
+from repro.engine.events import Subscriber
+from repro.engine.observer import NULL_OBSERVER
 from repro.engine.parallel import EvaluatorSpec, ParallelChipRunner
 
 
@@ -51,9 +52,12 @@ class ExperimentContext:
     checkpointing, supervision).  ``None`` builds one from the legacy
     ``workers`` / ``evaluator_cache_size`` shims; passing both an
     ``engine`` and non-default legacy knobs is a configuration error."""
-    observer: RunObserver = field(
+    observer: Subscriber = field(
         default=NULL_OBSERVER, repr=False, compare=False
     )
+    """Any typed-event subscriber (an
+    :class:`~repro.engine.events.EventStream`, a legacy
+    :class:`~repro.engine.observer.RunObserver`, or a bare callable)."""
     _chips_3t1d: Dict[str, List[DRAM3T1DChipSample]] = field(
         init=False, default_factory=dict, repr=False
     )
@@ -75,6 +79,16 @@ class ExperimentContext:
         if self.engine is None:
             if self.workers < 1:
                 raise ConfigurationError("workers must be >= 1")
+            legacy = [
+                name for name, default_hit in (
+                    ("workers", self.workers == 1),
+                    ("evaluator_cache_size", self.evaluator_cache_size is None),
+                ) if not default_hit
+            ]
+            if legacy:
+                warn_legacy_engine_kwargs(
+                    "ExperimentContext", legacy, stacklevel=4
+                )
             self.engine = EngineConfig(
                 workers=self.workers,
                 evaluator_cache_size=self.evaluator_cache_size,
@@ -119,6 +133,10 @@ class ExperimentContext:
             for name in ("workers", "evaluator_cache_size")
             if name in overrides
         }
+        if legacy:
+            warn_legacy_engine_kwargs(
+                "with_overrides", sorted(legacy), stacklevel=3
+            )
         engine = overrides.pop("engine", None)
         if engine is not None and legacy:
             raise ConfigurationError(

@@ -17,7 +17,11 @@ die-to-die gate-length sigma.
 
 from repro.variation.parameters import VariationParams
 from repro.variation.quadtree import QuadTreeSampler
-from repro.variation.montecarlo import ChipVariation, VariationSampler
+from repro.variation.montecarlo import (
+    ChipVariation,
+    VariationSampler,
+    validate_chip_count,
+)
 from repro.variation.statistics import (
     DistributionSummary,
     harmonic_mean,
@@ -30,6 +34,7 @@ __all__ = [
     "QuadTreeSampler",
     "ChipVariation",
     "VariationSampler",
+    "validate_chip_count",
     "DistributionSummary",
     "harmonic_mean",
     "normalized_histogram",

@@ -11,7 +11,7 @@ in vectorised form.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -23,6 +23,24 @@ from repro.variation.quadtree import QuadTreeSampler
 DEFAULT_SUBARRAY_ROWS: int = 2
 DEFAULT_SUBARRAY_COLS: int = 4
 """The 64KB cache's 8 sub-arrays laid out as a 2 x 4 grid on the die."""
+
+
+def validate_chip_count(count: int) -> int:
+    """Validate a Monte-Carlo batch size; returns it for chaining.
+
+    The one shared count check behind every batch-sampling entry point
+    (:meth:`VariationSampler.sample_chips`,
+    :meth:`~repro.array.chip.ChipSampler.sample_3t1d_chips`,
+    :meth:`~repro.array.chip.ChipSampler.sample_sram_chips`, seed
+    reservation), so they all reject bad sizes with the same error.
+    """
+    if not isinstance(count, (int, np.integer)) or isinstance(count, bool):
+        raise ConfigurationError(
+            f"chip count must be an integer, got {type(count).__name__}"
+        )
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    return int(count)
 
 
 @dataclass
@@ -123,8 +141,7 @@ class VariationSampler:
         processes, via :meth:`chip_from_seed`) yields exactly the chips
         :meth:`sample_chip` would have produced serially.
         """
-        if count < 0:
-            raise ConfigurationError(f"count must be >= 0, got {count}")
+        count = validate_chip_count(count)
         reserved = []
         for _ in range(count):
             chip_id = self._next_chip_id
@@ -168,12 +185,19 @@ class VariationSampler:
         ((chip_id, chip_seed),) = self.reserve_chip_seeds(1)
         return self.chip_from_seed(chip_id, chip_seed)
 
-    def sample_chips(self, count: int) -> Iterator[ChipVariation]:
-        """Yield ``count`` consecutive chip draws."""
-        if count < 0:
-            raise ConfigurationError(f"count must be >= 0, got {count}")
-        for _ in range(count):
-            yield self.sample_chip()
+    def sample_chips(self, count: int) -> List[ChipVariation]:
+        """``count`` consecutive chip draws, as a list.
+
+        Earlier revisions returned a lazy generator here while the
+        :class:`~repro.array.chip.ChipSampler` batch methods returned
+        lists; the trio is now consistent (list-returning, shared count
+        validation), so batch call sites compose without surprises --
+        a generator silently consumed twice yields zero chips the
+        second time.
+        """
+        return [
+            self.sample_chip() for _ in range(validate_chip_count(count))
+        ]
 
     @staticmethod
     def golden(node: TechnologyNode) -> ChipVariation:

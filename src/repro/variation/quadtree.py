@@ -12,7 +12,7 @@ the requested ``sigma**2`` (equal split across levels).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Tuple
 
 import numpy as np
@@ -35,6 +35,15 @@ class QuadTreeSampler:
 
     positions: Tuple[Tuple[float, float], ...]
     levels: int = 3
+    _level_indices: Tuple[np.ndarray, ...] = field(
+        init=False, repr=False, compare=False
+    )
+    """Per-level region indices, precomputed once at construction.
+
+    Positions and levels are frozen, so the mapping never changes;
+    recomputing it on every :meth:`sample` / :meth:`correlation` call
+    (as earlier revisions did) was pure overhead on the Monte-Carlo
+    hot path."""
 
     def __post_init__(self) -> None:
         if self.levels < 1:
@@ -46,6 +55,14 @@ class QuadTreeSampler:
                 raise ConfigurationError(
                     f"positions must lie in the unit square, got ({x}, {y})"
                 )
+        object.__setattr__(
+            self,
+            "_level_indices",
+            tuple(
+                self._compute_region_indices(level)
+                for level in range(self.levels)
+            ),
+        )
 
     @staticmethod
     def grid(rows: int, cols: int, levels: int = 3) -> "QuadTreeSampler":
@@ -64,7 +81,7 @@ class QuadTreeSampler:
         """Number of sampled die positions."""
         return len(self.positions)
 
-    def _region_indices(self, level: int) -> np.ndarray:
+    def _compute_region_indices(self, level: int) -> np.ndarray:
         """Flat region index of each position at ``level`` (0 = whole die)."""
         divisions = 2 ** level
         indices = np.empty(self.n_sites, dtype=np.int64)
@@ -73,6 +90,10 @@ class QuadTreeSampler:
             row = min(int(y * divisions), divisions - 1)
             indices[i] = row * divisions + col
         return indices
+
+    def _region_indices(self, level: int) -> np.ndarray:
+        """Cached flat region index of each position at ``level``."""
+        return self._level_indices[level]
 
     def sample(self, sigma: float, rng: np.random.Generator) -> np.ndarray:
         """Draw one correlated sample vector with total std ``sigma``.
@@ -88,7 +109,7 @@ class QuadTreeSampler:
         for level in range(self.levels):
             divisions = 2 ** level
             components = rng.normal(0.0, level_sigma, size=divisions * divisions)
-            values += components[self._region_indices(level)]
+            values += components[self._level_indices[level]]
         return values
 
     def correlation(self, site_a: int, site_b: int) -> float:
@@ -101,7 +122,7 @@ class QuadTreeSampler:
             raise ConfigurationError("site index out of range")
         shared = 0
         for level in range(self.levels):
-            indices = self._region_indices(level)
+            indices = self._level_indices[level]
             if indices[site_a] == indices[site_b]:
                 shared += 1
         return shared / self.levels

@@ -110,6 +110,34 @@ class TestContextShims:
         with pytest.raises(ConfigurationError):
             context.with_overrides(engine=EngineConfig(), workers=2)
 
+    def test_legacy_context_kwargs_warn_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="EngineConfig"):
+            ExperimentContext(n_chips=1, n_references=600, workers=3)
+
+    def test_legacy_with_overrides_kwargs_warn_deprecation(self):
+        context = ExperimentContext(n_chips=2, n_references=600)
+        with pytest.warns(DeprecationWarning, match="EngineConfig"):
+            derived = context.with_overrides(workers=5)
+        assert derived.engine.workers == 5
+
+    def test_legacy_runner_kwargs_warn_deprecation(self):
+        from repro.engine.parallel import ParallelChipRunner
+
+        with pytest.warns(DeprecationWarning, match="EngineConfig"):
+            runner = ParallelChipRunner(workers=1)
+        runner.close()
+
+    def test_engine_config_path_warns_nothing(self, recwarn):
+        import warnings as warnings_mod
+
+        warnings_mod.simplefilter("always")
+        ExperimentContext(
+            n_chips=1, n_references=600, engine=EngineConfig(workers=2)
+        )
+        assert not [
+            w for w in recwarn if w.category is DeprecationWarning
+        ]
+
     def test_derived_context_shares_runner(self):
         context = ExperimentContext(n_chips=2, n_references=600)
         try:

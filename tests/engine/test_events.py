@@ -1,0 +1,114 @@
+"""The typed event stream: dispatch, subscription, composition."""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.events import (
+    BatchEnded,
+    BatchStarted,
+    ChipCompleted,
+    EngineEvent,
+    EventStream,
+    ExperimentEnded,
+    ExperimentStarted,
+    RunCheckpointed,
+    RunEnded,
+    RunResumed,
+    RunStarted,
+    SpansCollected,
+    TaskRetried,
+    WorkerRespawned,
+    dispatch,
+)
+
+ALL_EVENTS = [
+    RunStarted(3),
+    ExperimentStarted("fig10"),
+    ExperimentEnded("fig10", 1.5, False),
+    RunEnded(2.0),
+    BatchStarted("eval", 10),
+    ChipCompleted("eval", 1, 10),
+    BatchEnded("eval", 10, 0.9),
+    TaskRetried("eval", 4, 1, "ValueError"),
+    WorkerRespawned("eval", 2),
+    RunCheckpointed("eval", 7),
+    RunResumed("eval", 3),
+    SpansCollected("eval", (), 1234, 2048),
+]
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def handle(self, event):
+        self.events.append(event)
+
+
+class TestEventDataclasses:
+    def test_every_event_is_a_frozen_engine_event(self):
+        for event in ALL_EVENTS:
+            assert isinstance(event, EngineEvent)
+            assert dataclasses.is_dataclass(event)
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                event.anything = 1
+
+    def test_events_compare_by_value(self):
+        assert ChipCompleted("b", 1, 2) == ChipCompleted("b", 1, 2)
+        assert ChipCompleted("b", 1, 2) != ChipCompleted("b", 2, 2)
+
+
+class TestDispatch:
+    def test_prefers_handle_method(self):
+        recorder = Recorder()
+        dispatch(recorder, RunStarted(1))
+        assert recorder.events == [RunStarted(1)]
+
+    def test_falls_back_to_bare_callable(self):
+        seen = []
+        dispatch(seen.append, RunStarted(1))
+        assert seen == [RunStarted(1)]
+
+
+class TestEventStream:
+    def test_emits_in_subscription_order(self):
+        stream = EventStream()
+        order = []
+        stream.subscribe(lambda e: order.append("a"))
+        stream.subscribe(lambda e: order.append("b"))
+        stream.emit(RunStarted(1))
+        assert order == ["a", "b"]
+
+    def test_constructor_subscribers_and_property(self):
+        a, b = Recorder(), Recorder()
+        stream = EventStream([a])
+        stream.subscribe(b)
+        assert stream.subscribers == (a, b)
+
+    def test_unsubscribe_is_idempotent(self):
+        a = Recorder()
+        stream = EventStream([a])
+        stream.unsubscribe(a)
+        stream.unsubscribe(a)  # absent: no error
+        stream.emit(RunStarted(1))
+        assert a.events == []
+
+    def test_streams_compose_as_subscribers(self):
+        inner_seen = Recorder()
+        inner = EventStream([inner_seen])
+        outer = EventStream([inner])
+        outer.emit(ChipCompleted("b", 1, 1))
+        assert inner_seen.events == [ChipCompleted("b", 1, 1)]
+
+    def test_subscribe_returns_subscriber(self):
+        stream = EventStream()
+        recorder = Recorder()
+        assert stream.subscribe(recorder) is recorder
+
+    def test_all_events_flow_through(self):
+        recorder = Recorder()
+        stream = EventStream([recorder])
+        for event in ALL_EVENTS:
+            stream.emit(event)
+        assert recorder.events == ALL_EVENTS

@@ -1,8 +1,22 @@
-"""Progress/timing observers."""
+"""Progress/timing consumers of the typed event stream."""
 
 import io
 import json
+import warnings
 
+import pytest
+
+from repro.engine.events import (
+    BatchEnded,
+    BatchStarted,
+    ChipCompleted,
+    EngineEvent,
+    ExperimentEnded,
+    ExperimentStarted,
+    RunEnded,
+    RunStarted,
+    TaskRetried,
+)
 from repro.engine.observer import (
     CLIProgressReporter,
     CompositeObserver,
@@ -12,16 +26,16 @@ from repro.engine.observer import (
 )
 
 
-def drive(observer: RunObserver) -> None:
-    """Send one complete run's worth of events."""
-    observer.on_run_start(1)
-    observer.on_experiment_start("fig10")
-    observer.on_batch_start("eval", 8)
+def drive(observer) -> None:
+    """Send one complete run's worth of typed events."""
+    observer.handle(RunStarted(1))
+    observer.handle(ExperimentStarted("fig10"))
+    observer.handle(BatchStarted("eval", 8))
     for i in range(1, 9):
-        observer.on_chip_done("eval", i, 8)
-    observer.on_batch_end("eval", 8, 0.5)
-    observer.on_experiment_end("fig10", 0.6, False)
-    observer.on_run_end(0.7)
+        observer.handle(ChipCompleted("eval", i, 8))
+    observer.handle(BatchEnded("eval", 8, 0.5))
+    observer.handle(ExperimentEnded("fig10", 0.6, False))
+    observer.handle(RunEnded(0.7))
 
 
 def test_null_observer_ignores_everything():
@@ -40,7 +54,7 @@ def test_cli_reporter_throttles_chip_lines():
 def test_cli_reporter_marks_cached_experiments():
     stream = io.StringIO()
     reporter = CLIProgressReporter(stream=stream)
-    reporter.on_experiment_end("fig09", 0.0, True)
+    reporter.handle(ExperimentEnded("fig09", 0.0, True))
     assert "(cached)" in stream.getvalue()
 
 
@@ -55,23 +69,100 @@ def test_json_metrics_written_at_run_end(tmp_path):
     assert experiment["cached"] is False
     (batch,) = experiment["batches"]
     assert batch == {"label": "eval", "items": 8, "elapsed_s": 0.5}
+    assert "trace_phases" not in record
+
+
+def test_json_metrics_includes_phase_table_with_tracer(tmp_path):
+    from repro.engine.trace import Tracer
+
+    path = tmp_path / "metrics.json"
+    tracer = Tracer()
+    observer = JSONMetricsObserver(path, tracer=tracer)
+    tracer.handle(RunStarted(1))
+    drive(observer)
+    tracer.handle(RunEnded(0.7))
+    # The metrics file was written at RunEnded with whatever the tracer
+    # had at that moment; the in-memory record carries the table.
+    assert "trace_phases" in observer.metrics
+    assert "phases" in observer.metrics["trace_phases"]
+
+
+def test_json_metrics_counts_robustness_events(tmp_path):
+    observer = JSONMetricsObserver(tmp_path / "m.json")
+    observer.handle(RunStarted(1))
+    observer.handle(TaskRetried("eval", 3, 1, "boom"))
+    observer.handle(TaskRetried("eval", 3, 2, "boom"))
+    observer.handle(RunEnded(0.1))
+    assert observer.metrics["robustness"]["task_retries"] == 2
 
 
 def test_composite_fans_out_in_order():
-    class Recorder(RunObserver):
+    class Recorder:
         def __init__(self):
             self.events = []
 
-        def on_experiment_start(self, name):
-            self.events.append(("start", name))
-
-        def on_experiment_end(self, name, elapsed, cached):
-            self.events.append(("end", name, cached))
+        def handle(self, event):
+            self.events.append(event)
 
     first, second = Recorder(), Recorder()
     composite = CompositeObserver([first, second])
-    composite.on_experiment_start("fig06")
-    composite.on_experiment_end("fig06", 1.0, True)
-    expected = [("start", "fig06"), ("end", "fig06", True)]
+    composite.handle(ExperimentStarted("fig06"))
+    composite.handle(ExperimentEnded("fig06", 1.0, True))
+    expected = [
+        ExperimentStarted("fig06"),
+        ExperimentEnded("fig06", 1.0, True),
+    ]
     assert first.events == expected
     assert second.events == expected
+    assert composite.observers == (first, second)
+
+
+# ----------------------------------------------------------------------
+# deprecated legacy surface
+# ----------------------------------------------------------------------
+
+
+class TestLegacyCompatibility:
+    def test_on_star_overrides_still_receive_events(self):
+        class Legacy(RunObserver):
+            def __init__(self):
+                self.seen = []
+
+            def on_experiment_start(self, name):
+                self.seen.append(("start", name))
+
+            def on_experiment_end(self, name, elapsed, cached):
+                self.seen.append(("end", name, cached))
+
+        legacy = Legacy()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy.handle(ExperimentStarted("fig06"))
+            legacy.handle(ExperimentEnded("fig06", 1.0, True))
+            legacy.handle(RunEnded(2.0))  # not overridden: ignored
+        assert legacy.seen == [("start", "fig06"), ("end", "fig06", True)]
+
+    def test_on_star_override_warns_deprecation(self):
+        class Warner(RunObserver):
+            def on_chip_done(self, label, completed, total):
+                pass
+
+        with pytest.warns(DeprecationWarning, match="handle"):
+            Warner().handle(ChipCompleted("b", 1, 2))
+
+    def test_legacy_emitter_shims_on_builtins(self):
+        stream = io.StringIO()
+        reporter = CLIProgressReporter(stream=stream)
+        with pytest.warns(DeprecationWarning, match="on_\\* emitter"):
+            reporter.on_experiment_end("fig09", 0.0, True)
+        assert "(cached)" in stream.getvalue()
+
+    def test_unknown_event_kinds_are_invisible_to_legacy(self):
+        class Newer(EngineEvent):
+            pass
+
+        class Legacy(RunObserver):
+            def on_run_end(self, elapsed):
+                raise AssertionError("must not fire")
+
+        Legacy().handle(Newer())  # silently ignored

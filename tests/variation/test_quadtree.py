@@ -79,6 +79,38 @@ class TestSampling:
         assert corr == pytest.approx(1 / 3, abs=0.08)
 
 
+class TestPrecomputedRegionIndices:
+    """The per-level region indices are built once in ``__post_init__``.
+
+    Regression for the per-call recomputation: precomputing must not
+    change a single bit of the sampled values or the model correlation.
+    """
+
+    def test_cached_indices_match_fresh_computation(self, grid_sampler):
+        for level in range(grid_sampler.levels):
+            fresh = grid_sampler._compute_region_indices(level)
+            cached = grid_sampler._region_indices(level)
+            assert np.array_equal(fresh, cached)
+            # The cache hands back the same array object every time.
+            assert grid_sampler._region_indices(level) is cached
+
+    def test_one_index_tuple_per_level(self, grid_sampler):
+        assert len(grid_sampler._level_indices) == grid_sampler.levels
+
+    def test_sampling_bit_identical_across_instances(self):
+        # Two independently constructed (hence independently precomputed)
+        # samplers must produce byte-identical draws from equal rng state.
+        a = QuadTreeSampler.grid(4, 4).sample(1.3, np.random.default_rng(77))
+        b = QuadTreeSampler.grid(4, 4).sample(1.3, np.random.default_rng(77))
+        assert a.tobytes() == b.tobytes()
+
+    def test_correlation_unchanged_by_precompute(self):
+        sampler = QuadTreeSampler(positions=((0.05, 0.05), (0.95, 0.95)))
+        # Analytic anchors that held before the precompute refactor.
+        assert sampler.correlation(0, 0) == pytest.approx(1.0)
+        assert sampler.correlation(0, 1) == pytest.approx(1 / 3)
+
+
 class TestModelCorrelation:
     def test_identical_site_full_correlation(self, grid_sampler):
         assert grid_sampler.correlation(0, 0) == pytest.approx(1.0)
