@@ -1,16 +1,23 @@
-"""Time the batched evaluation kernel against the event controller.
+"""Time the batched evaluation kernels against the event controller.
 
-Two stages, mirroring the guarantees the kernel makes:
+Three stages, mirroring the guarantees the kernels make:
 
 1. **Bit-identity check** -- every scheme x benchmark on a small chip
    batch, comparing the kernel-routed evaluation against
    ``use_batch_kernel=False``.  Any mismatch fails the run (exit 1).
-2. **Timing** -- the Figure 10 workload shape (severe-variation chips x
+2. **Coverage** -- ``kernel_support`` is queried for every scheme; the
+   ``fast_path_coverage`` fraction reports how much of the scheme x
+   benchmark grid replays without the event controller (the flattened
+   or timeline kernels).  Since PR 6 every scheme has a kernel path,
+   so the expected fraction is 1.0.
+3. **Timing** -- the Figure 10 workload shape (severe-variation chips x
    the headline schemes) evaluated end to end through both paths, plus
-   raw per-scheme ``simulate_trace`` vs ``run_trace`` timings.
+   raw per-scheme ``simulate_trace`` vs ``run_trace`` timings.  Every
+   row times the real kernel; there are no copied fallback rows.
 
 Results land in ``BENCH_batcheval.json`` (see ``--out``), the repo's
-perf-trajectory record.
+perf-trajectory record.  CI passes ``--require-full-coverage`` and
+``--min-suite-speedup 5`` to gate regressions.
 
 Usage::
 
@@ -29,7 +36,7 @@ from typing import Dict, List, Optional
 
 from repro.array.chip import ChipSampler
 from repro.core.architecture import Cache3T1DArchitecture
-from repro.core.batcheval import kernel_supports, simulate_trace
+from repro.core.batcheval import kernel_support, simulate_trace
 from repro.core.evaluation import Evaluator
 from repro.core.schemes import (
     HEADLINE_SCHEMES,
@@ -95,6 +102,35 @@ def check_identity(n_chips: int, n_references: int, seed: int) -> Dict:
     }
 
 
+def measure_coverage(evaluator: Evaluator, seed: int) -> Dict:
+    """The fraction of the scheme x benchmark grid off the event path.
+
+    ``kernel_support`` classifies per cache configuration, so every
+    benchmark of a scheme shares that scheme's path; the grid framing
+    matches how the suite timing (chips x schemes x benchmarks) scales.
+    The probe chip is variation-free so every scheme (including global
+    refresh, which discards weak severe-variation chips) can build.
+    """
+    sampler = ChipSampler(NODE_32NM, VariationParams.none(), seed=seed)
+    chip = sampler.sample_3t1d_chips(1)[0]
+    n_benchmarks = len(evaluator.benchmarks)
+    paths: Dict[str, str] = {}
+    covered = 0
+    for scheme in ALL_SCHEMES:
+        arch = Cache3T1DArchitecture(chip, scheme, config=evaluator.config)
+        support = kernel_support(arch.build_cache())
+        paths[scheme.name] = support.path
+        if support.path != "event":
+            covered += n_benchmarks
+    cells = len(ALL_SCHEMES) * n_benchmarks
+    return {
+        "paths": paths,
+        "cells": cells,
+        "covered": covered,
+        "fraction": covered / cells if cells else 0.0,
+    }
+
+
 def time_kernel(n_chips: int, n_references: int, seed: int) -> Dict:
     """Time both paths on the Figure 10 shape; returns the JSON payload."""
     sampler = ChipSampler(NODE_32NM, VariationParams.severe(), seed=seed)
@@ -114,7 +150,7 @@ def time_kernel(n_chips: int, n_references: int, seed: int) -> Dict:
     schemes: Dict[str, Dict] = {}
     for scheme in HEADLINE_SCHEMES:
         arch = Cache3T1DArchitecture(chips[0], scheme, config=fast.config)
-        fast_path = kernel_supports(arch.build_cache())
+        support = kernel_support(arch.build_cache())
         bench = fast.benchmarks[0]
         trace = fast.trace(bench)
         artifacts = fast.trace_artifacts(bench, fast.config.geometry.n_sets)
@@ -124,18 +160,17 @@ def time_kernel(n_chips: int, n_references: int, seed: int) -> Dict:
             warmup_references=trace.warmup_references,
         )
         controller_s = time.perf_counter() - start
-        if fast_path:
-            start = time.perf_counter()
-            simulate_trace(arch.build_cache(), artifacts)
-            kernel_s = time.perf_counter() - start
-        else:
-            kernel_s = controller_s
+        start = time.perf_counter()
+        simulate_trace(arch.build_cache(), artifacts)
+        kernel_s = time.perf_counter() - start
         schemes[scheme.name] = {
-            "fast_path": fast_path,
+            "path": support.path,
             "trace_controller_s": controller_s,
             "trace_kernel_s": kernel_s,
             "trace_speedup": controller_s / kernel_s if kernel_s else 0.0,
         }
+
+    coverage = measure_coverage(fast, seed)
 
     start = time.perf_counter()
     for chip in chips:
@@ -148,24 +183,20 @@ def time_kernel(n_chips: int, n_references: int, seed: int) -> Dict:
             _evaluate(fast, chip, scheme)
     kernel_total = time.perf_counter() - start
 
-    fastpath_speedups = [
-        entry["trace_speedup"]
-        for entry in schemes.values()
-        if entry["fast_path"]
-    ]
+    speedups = [entry["trace_speedup"] for entry in schemes.values()]
     return {
         "workload": "fig10 shape: severe chips x headline schemes",
         "chips": n_chips,
         "references": n_references,
         "schemes": schemes,
+        "fast_path_coverage": coverage["fraction"],
+        "coverage": coverage,
         "suite_controller_s": controller_total,
         "suite_kernel_s": kernel_total,
         "suite_speedup": (
             controller_total / kernel_total if kernel_total else 0.0
         ),
-        "min_fastpath_speedup": (
-            min(fastpath_speedups) if fastpath_speedups else 0.0
-        ),
+        "min_scheme_speedup": min(speedups) if speedups else 0.0,
     }
 
 
@@ -181,6 +212,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="trace length for the bit-identity check")
     parser.add_argument("--seed", type=int, default=2007)
     parser.add_argument("--out", default="BENCH_batcheval.json")
+    parser.add_argument("--require-full-coverage", action="store_true",
+                        help="fail unless fast_path_coverage == 1.0")
+    parser.add_argument("--min-suite-speedup", type=float, default=None,
+                        help="fail unless the suite speedup meets this floor")
     args = parser.parse_args(argv)
 
     print(
@@ -202,13 +237,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     timing = time_kernel(args.chips, args.refs, args.seed)
     for name, entry in timing["schemes"].items():
-        tag = "kernel" if entry["fast_path"] else "fallback"
         print(
-            f"  {name:24s} [{tag}] controller "
+            f"  {name:24s} [{entry['path']}] controller "
             f"{entry['trace_controller_s'] * 1e3:7.1f}ms  kernel "
             f"{entry['trace_kernel_s'] * 1e3:7.1f}ms  "
             f"{entry['trace_speedup']:.2f}x"
         )
+    print(
+        f"  coverage: {timing['coverage']['covered']}/"
+        f"{timing['coverage']['cells']} scheme x benchmark cells "
+        f"off the event path ({timing['fast_path_coverage']:.2f})"
+    )
     print(
         f"  suite: controller {timing['suite_controller_s']:.2f}s  "
         f"kernel {timing['suite_kernel_s']:.2f}s  "
@@ -228,12 +267,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         handle.write("\n")
     print(f"wrote {args.out}")
 
+    failed = False
     if not identity["ok"]:
         print("bit-identity check FAILED", file=sys.stderr)
         for mismatch in identity["mismatches"]:
             print(f"  {mismatch}", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if args.require_full_coverage and timing["fast_path_coverage"] < 1.0:
+        print(
+            f"coverage gate FAILED: fast_path_coverage "
+            f"{timing['fast_path_coverage']:.2f} < 1.0",
+            file=sys.stderr,
+        )
+        failed = True
+    if (
+        args.min_suite_speedup is not None
+        and timing["suite_speedup"] < args.min_suite_speedup
+    ):
+        print(
+            f"speedup gate FAILED: suite {timing['suite_speedup']:.2f}x "
+            f"< {args.min_suite_speedup:g}x",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

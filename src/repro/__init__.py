@@ -93,11 +93,13 @@ from repro.core import (
     SCHEME_PARTIAL_DSP,
     SCHEME_RSP_FIFO,
     SCHEME_RSP_LRU,
+    KernelSupport,
     TraceArtifacts,
     YieldModel,
     evaluate,
     evaluate_many,
     get_scheme,
+    kernel_support,
     kernel_supports,
     simulate_trace,
 )
@@ -207,6 +209,8 @@ __all__ = [
     "TraceArtifacts",
     "evaluate",
     "evaluate_many",
+    "KernelSupport",
+    "kernel_support",
     "kernel_supports",
     "simulate_trace",
     "YieldModel",

@@ -32,6 +32,11 @@ REQUIRED_FACADE_EXPORTS: Tuple[str, ...] = (
 
 FACADE_MODULE = "repro"
 
+#: The private boolean kernel probe; everything outside its home module
+#: must go through the typed :func:`repro.core.kernel_support` instead.
+KERNEL_PROBE_NAME = "_kernel_supported"
+KERNEL_PROBE_HOME = "repro.core.batcheval"
+
 
 def declared_all(tree: ast.Module) -> Optional[List[Tuple[str, int]]]:
     """``__all__`` entries with line numbers, or None when undeclared.
@@ -251,9 +256,63 @@ class FacadeDriftRule(Rule):
         return findings
 
 
+@register_rule
+class PrivateKernelProbeRule(Rule):
+    """API004: no new imports or uses of the private kernel probe.
+
+    ``_kernel_supported`` is a boolean implementation detail of
+    ``repro.core.batcheval``; the supported surface is the typed
+    :func:`repro.core.kernel_support`, which also reports *which* replay
+    path (flattened / timeline / event) a cache takes and why.
+    """
+
+    rule_id = "API004"
+    name = "private-kernel-probe"
+    description = (
+        "importing or referencing the private _kernel_supported helper "
+        "outside repro.core.batcheval bypasses the typed kernel_support "
+        "surface"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if module.module_name == KERNEL_PROBE_HOME:
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == KERNEL_PROBE_NAME:
+                        findings.append(self.finding(
+                            module, node.lineno, node.col_offset,
+                            f"import of private {KERNEL_PROBE_NAME!r}; use "
+                            "repro.core.kernel_support (typed KernelSupport "
+                            "result) instead",
+                        ))
+            elif isinstance(node, ast.Attribute):
+                if node.attr == KERNEL_PROBE_NAME:
+                    findings.append(self.finding(
+                        module, node.lineno, node.col_offset,
+                        f"reference to private {KERNEL_PROBE_NAME!r}; use "
+                        "repro.core.kernel_support (typed KernelSupport "
+                        "result) instead",
+                    ))
+            elif isinstance(node, ast.Name):
+                if node.id == KERNEL_PROBE_NAME:
+                    findings.append(self.finding(
+                        module, node.lineno, node.col_offset,
+                        f"reference to private {KERNEL_PROBE_NAME!r}; use "
+                        "repro.core.kernel_support (typed KernelSupport "
+                        "result) instead",
+                    ))
+        return findings
+
+
 __all__ = [
     "ExportedNameUndefinedRule",
     "FacadeDriftRule",
+    "KERNEL_PROBE_HOME",
+    "KERNEL_PROBE_NAME",
+    "PrivateKernelProbeRule",
     "PublicNameUnexportedRule",
     "REQUIRED_FACADE_EXPORTS",
     "declared_all",

@@ -165,10 +165,10 @@ class RetentionAwareCache:
         self.replacement = replacement
         self.refresh = refresh if refresh is not None else NoRefresh()
 
-        self.sets = [
-            SetState(self.retention_grid[s], index=s)
-            for s in range(geometry.n_sets)
-        ]
+        # Per-set state is built lazily on first touch: the batched replay
+        # kernels read only ``retention_grid`` and the policy objects, so
+        # they never pay for n_sets SetState constructions.
+        self._sets: Optional[List[SetState]] = None
         # Optional token-arbitrated scheduled refresh (section 4.3.1's
         # hardware mechanism); only meaningful for the periodic policies.
         self.refresh_engine: Optional[TokenRefreshEngine] = None
@@ -197,6 +197,17 @@ class RetentionAwareCache:
         self._last_cycle = 0
         self._finalized = False
         self._recently_expired_tags: set = set()
+
+    @property
+    def sets(self) -> List[SetState]:
+        """Per-set mutable state (built lazily on first access)."""
+        if self._sets is None:
+            rows = self.retention_grid.tolist()
+            self._sets = [
+                SetState(rows[s], index=s)
+                for s in range(self.config.geometry.n_sets)
+            ]
+        return self._sets
 
     # ------------------------------------------------------------------
     # main access path

@@ -43,10 +43,12 @@ from repro.core.evaluation import (
     Evaluator,
 )
 from repro.core.batcheval import (
+    KernelSupport,
     TraceArtifacts,
     evaluate,
     evaluate_many,
     kernel_fallback_reason,
+    kernel_support,
     kernel_supports,
     simulate_trace,
 )
@@ -82,7 +84,9 @@ __all__ = [
     "TraceArtifacts",
     "evaluate",
     "evaluate_many",
+    "KernelSupport",
     "kernel_fallback_reason",
+    "kernel_support",
     "kernel_supports",
     "simulate_trace",
     "YieldModel",

@@ -6,32 +6,37 @@ Every figure driver ultimately replays benchmark reference traces through
 reference, but it pays interpreter overhead per memory reference.  This
 module provides the production path:
 
-* :class:`TraceArtifacts` -- per-trace numpy-derived artifacts (set
-  indices, tags, integer cycles, write masks) precomputed **once per
-  suite** and shared by every evaluation instead of being re-derived per
-  access;
-* :func:`simulate_trace` -- a flattened, policy-specialized simulation
-  kernel that is **bit-identical** to ``RetentionAwareCache.run_trace``
-  for the schemes whose semantics allow it (LRU/DSP placement with
-  no-refresh, partial-refresh, full-refresh, or global refresh); the
-  RSP block-move schemes, the online token-refresh engine, and the real
-  L2 simulator fall back to the event controller (see
-  :func:`kernel_fallback_reason`);
+* :class:`TraceArtifacts` -- per-trace columnar artifacts (a numpy
+  structured array plus the plain-``int`` views derived from it)
+  precomputed **once per suite** and shared by every evaluation instead
+  of being re-derived per access;
+* :func:`kernel_support` -- the typed capability probe: which replay
+  path (``"flattened"``, ``"timeline"``, or ``"event"``) a cache
+  configuration takes, and why when it must fall back;
+* :func:`simulate_trace` -- the batched replay dispatcher.  LRU/DSP
+  placement under the paper's four closed-form refresh policies runs the
+  flattened kernel in this module; the RSP block-move schemes, the
+  online token-refresh engine, and the real L2 simulator run the
+  timeline kernels in :mod:`repro.core.timeline`.  Both paths are
+  **bit-identical** to ``RetentionAwareCache.run_trace``; only caches
+  with third-party refresh/replacement/device objects fall back to the
+  event controller;
 * :func:`evaluate_many` / :func:`evaluate` -- the stable batched API the
   engine (:mod:`repro.engine.parallel`) and the fig09/fig10/fig11
   drivers route through.
 
-Bit-identity is enforced by tests that cross-validate the kernel against
-the event controller on every scheme x benchmark; the perf harness in
-``benchmarks/perf/`` times both paths and records the speedup in
-``BENCH_batcheval.json``.
+Bit-identity is enforced by tests that cross-validate the kernels
+against the event controller on every scheme x benchmark; the perf
+harness in ``benchmarks/perf/`` times both paths and records the speedup
+and fast-path coverage in ``BENCH_batcheval.json``.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,8 +48,15 @@ from repro.cache.refresh import (
     NoRefresh,
     PartialRefresh,
 )
-from repro.cache.replacement import DSPPolicy, LRUPolicy
+from repro.cache.replacement import (
+    DSPPolicy,
+    LRUPolicy,
+    RSPFIFOPolicy,
+    RSPLRUPolicy,
+)
+from repro.cache.setassoc import SetAssociativeCache
 from repro.cache.stats import CacheStats
+from repro.cache.token import TokenRefreshEngine
 from repro.workloads.generator import MemoryTrace
 
 
@@ -61,14 +73,27 @@ def _trace_span(name: str, cat: str = "task", **args):
     return span(name, cat=cat, **args)
 
 
+#: Columnar layout shared by the replay kernels: one record per memory
+#: reference, in program order.
+COLUMN_DTYPE = np.dtype([
+    ("cycle", np.int64),
+    ("set", np.int32),
+    ("tag", np.int64),
+    ("write", np.bool_),
+])
+
+
 @dataclass(frozen=True)
 class TraceArtifacts:
-    """Per-trace arrays precomputed once and shared by every evaluation.
+    """Per-trace columns precomputed once and shared by every evaluation.
 
     The event controller re-derives ``line_address % n_sets`` and
     ``line_address // n_sets`` (plus numpy-scalar conversions) on every
-    access of every (chip, scheme) evaluation.  The kernel instead runs
-    over these plain-``int`` lists, derived once per (trace, n_sets).
+    access of every (chip, scheme) evaluation.  The kernels instead run
+    over views of one structured array (:data:`COLUMN_DTYPE`), derived
+    once per (trace, n_sets): the flattened kernel walks the
+    program-order plain-``int`` lists; the per-set timeline kernel walks
+    the :meth:`set_streams` regrouping of the same columns.
     """
 
     name: str
@@ -85,7 +110,7 @@ class TraceArtifacts:
 
     @classmethod
     def from_trace(cls, trace: MemoryTrace, n_sets: int) -> "TraceArtifacts":
-        """Precompute the kernel's per-reference arrays for one trace."""
+        """Precompute the kernels' per-reference columns for one trace."""
         if n_sets < 1:
             raise ConfigurationError("n_sets must be >= 1")
         with _trace_span(
@@ -93,86 +118,234 @@ class TraceArtifacts:
             benchmark=trace.name, references=len(trace),
         ):
             addresses = np.asarray(trace.line_addresses, dtype=np.int64)
-            return cls(
+            columns = np.empty(len(addresses), dtype=COLUMN_DTYPE)
+            columns["cycle"] = np.asarray(trace.cycles, dtype=np.int64)
+            columns["set"] = addresses % n_sets
+            columns["tag"] = addresses // n_sets
+            columns["write"] = np.asarray(trace.is_write, dtype=bool)
+            artifacts = cls(
                 name=trace.name,
                 n_sets=n_sets,
-                cycles=np.asarray(trace.cycles, dtype=np.int64).tolist(),
-                set_indices=(addresses % n_sets).tolist(),
-                tags=(addresses // n_sets).tolist(),
-                is_write=np.asarray(trace.is_write, dtype=bool).tolist(),
+                cycles=columns["cycle"].tolist(),
+                set_indices=columns["set"].tolist(),
+                tags=columns["tag"].tolist(),
+                is_write=columns["write"].tolist(),
                 warmup_references=trace.warmup_references,
                 end_cycle=int(trace.cycles[-1]) if len(trace) else 0,
             )
+            object.__setattr__(artifacts, "_columns", columns)
+            return artifacts
+
+    def columnar(self) -> np.ndarray:
+        """The trace as one structured array (:data:`COLUMN_DTYPE`).
+
+        Built eagerly by :meth:`from_trace` (and lazily for artifacts
+        constructed field-by-field), then cached on the instance.
+        """
+        cached = getattr(self, "_columns", None)
+        if cached is not None:
+            return cached
+        columns = np.empty(len(self.cycles), dtype=COLUMN_DTYPE)
+        columns["cycle"] = self.cycles
+        columns["set"] = self.set_indices
+        columns["tag"] = self.tags
+        columns["write"] = self.is_write
+        object.__setattr__(self, "_columns", columns)
+        return columns
+
+    def set_streams(self) -> List[Optional[Tuple]]:
+        """The columns regrouped per cache set, for the timeline kernel.
+
+        One entry per set: ``None`` for sets the trace never touches,
+        else ``(ticks, cycles, tags, writes, warm_split)`` plain-int
+        lists in program order, where ``ticks`` are global reference
+        indices and ``warm_split`` is the position of the first
+        post-warmup reference in this set's stream.  Derived once via a
+        stable argsort over the ``set`` column, then cached.
+        """
+        cached = getattr(self, "_set_streams", None)
+        if cached is not None:
+            return cached
+        columns = self.columnar()
+        streams: List[Optional[Tuple]] = [None] * self.n_sets
+        if len(columns):
+            order = np.argsort(columns["set"], kind="stable")
+            sets_sorted = columns["set"][order]
+            bounds = np.searchsorted(
+                sets_sorted, np.arange(self.n_sets + 1)
+            )
+            cycles_sorted = columns["cycle"][order]
+            tags_sorted = columns["tag"][order]
+            writes_sorted = columns["write"][order]
+            warm = self.warmup_references
+            for s in range(self.n_sets):
+                lo, hi = int(bounds[s]), int(bounds[s + 1])
+                if lo == hi:
+                    continue
+                ticks = order[lo:hi]
+                streams[s] = (
+                    ticks.tolist(),
+                    cycles_sorted[lo:hi].tolist(),
+                    tags_sorted[lo:hi].tolist(),
+                    writes_sorted[lo:hi].tolist(),
+                    int(np.searchsorted(ticks, warm)),
+                )
+        object.__setattr__(self, "_set_streams", streams)
+        return streams
 
 
-def kernel_fallback_reason(cache: RetentionAwareCache) -> Optional[str]:
-    """Why ``cache`` cannot take the batched kernel (None = it can).
+#: The replay paths :func:`kernel_support` can assign a cache to.
+KERNEL_PATHS = ("flattened", "timeline", "event")
 
-    The kernel is specialized for placement policies that never move
-    blocks between ways and refresh policies whose accounting is a pure
-    function of (line age, line retention).
+
+@dataclass(frozen=True)
+class KernelSupport:
+    """Which replay path a cache configuration takes, and why.
+
+    ``path`` is ``"flattened"`` (this module's stationary-placement
+    kernel), ``"timeline"`` (the RSP/token/L2 kernels in
+    :mod:`repro.core.timeline`), or ``"event"`` (the per-reference event
+    controller, with ``reason`` explaining the fallback).  ``supported``
+    is True exactly when :func:`simulate_trace` accepts the cache.
     """
-    if type(cache.replacement) not in (LRUPolicy, DSPPolicy):
-        return (
-            f"replacement {cache.replacement.name!r} physically moves "
-            "blocks between ways (RSP intrinsic refresh); block moves are "
-            "inherently sequential, so the event controller runs them"
-        )
+
+    supported: bool
+    path: str
+    reason: Optional[str] = None
+
+
+def kernel_support(cache: RetentionAwareCache) -> KernelSupport:
+    """Classify ``cache`` onto a batched replay path.
+
+    The kernels are specialized for the paper's own policy and device
+    objects; a cache wired with third-party refresh policies, placement
+    policies, refresh engines, or L2 simulators keeps the event
+    controller (the returned ``reason`` says which object forced it).
+    """
     if type(cache.refresh) not in (
         NoRefresh,
         PartialRefresh,
         FullRefresh,
         GlobalRefresh,
     ):
-        return (
+        return KernelSupport(False, "event", (
             f"refresh policy {cache.refresh.name!r} is not one of the "
             "paper's four closed-form policies"
-        )
-    if cache.refresh_engine is not None:
-        return (
-            "online token refresh serializes scheduled per-line services; "
-            "only the event controller models the token engine"
-        )
-    if cache.l2_cache is not None:
-        return (
-            "the real L2 simulator keeps its own sequential tag state; "
-            "only the event controller drives it"
-        )
-    return None
+        ))
+    if type(cache.replacement) not in (
+        LRUPolicy, DSPPolicy, RSPFIFOPolicy, RSPLRUPolicy
+    ):
+        return KernelSupport(False, "event", (
+            f"replacement {cache.replacement.name!r} is not one of the "
+            "paper's four placement policies"
+        ))
+    if (
+        cache.refresh_engine is not None
+        and type(cache.refresh_engine) is not TokenRefreshEngine
+    ):
+        return KernelSupport(False, "event", (
+            "third-party refresh engines only run on the event controller"
+        ))
+    if (
+        cache.l2_cache is not None
+        and type(cache.l2_cache) is not SetAssociativeCache
+    ):
+        return KernelSupport(False, "event", (
+            "third-party L2 simulators only run on the event controller"
+        ))
+    if (
+        cache.refresh_engine is not None
+        or cache.l2_cache is not None
+        or type(cache.replacement) in (RSPFIFOPolicy, RSPLRUPolicy)
+    ):
+        return KernelSupport(True, "timeline")
+    return KernelSupport(True, "flattened")
+
+
+def _kernel_supported(cache: RetentionAwareCache) -> bool:
+    """Private predicate behind the dispatcher; use :func:`kernel_support`.
+
+    Kept out of the public surface on purpose (linter rule API004): the
+    typed :class:`KernelSupport` result is the supported probe.
+    """
+    return kernel_support(cache).supported
 
 
 def kernel_supports(cache: RetentionAwareCache) -> bool:
-    """True when :func:`simulate_trace` is exact for this cache."""
-    return kernel_fallback_reason(cache) is None
+    """Deprecated: use ``kernel_support(cache).supported``.
+
+    Note the semantic change behind the shim: the RSP schemes, the token
+    engine, and the real L2 are now kernel-supported (timeline path), so
+    this returns True for configurations it used to reject.
+    """
+    warnings.warn(
+        "kernel_supports() is deprecated; use "
+        "repro.core.kernel_support(cache).supported",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return kernel_support(cache).supported
+
+
+def kernel_fallback_reason(cache: RetentionAwareCache) -> Optional[str]:
+    """Deprecated: use ``kernel_support(cache).reason``.
+
+    Returns ``None`` for every kernel-supported cache -- including the
+    RSP/token/L2 configurations that used to fall back.
+    """
+    warnings.warn(
+        "kernel_fallback_reason() is deprecated; use "
+        "repro.core.kernel_support(cache).reason",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return kernel_support(cache).reason
 
 
 def simulate_trace(
     cache: RetentionAwareCache, artifacts: TraceArtifacts
 ) -> CacheStats:
-    """Run a whole trace through the batched kernel; returns the stats.
+    """Run a whole trace through the batched kernels; returns the stats.
 
     ``cache`` must be a *fresh* (never accessed) simulator instance; it is
     used as the source of configuration, quantised retention, and policy
-    objects, and is not mutated.  The returned :class:`CacheStats` is
-    bit-identical to ``cache.run_trace`` on the same trace for every
-    supported configuration (see :func:`kernel_fallback_reason`).
+    objects, and is not mutated.  Dispatches on
+    :func:`kernel_support`: stationary LRU/DSP placement runs the
+    flattened kernel here; RSP placement, the token engine, and the real
+    L2 run the timeline kernels in :mod:`repro.core.timeline`.  The
+    returned :class:`CacheStats` is bit-identical to ``cache.run_trace``
+    on the same trace for every supported configuration.
     """
-    reason = kernel_fallback_reason(cache)
-    if reason is not None:
-        raise ConfigurationError(f"kernel cannot run this cache: {reason}")
+    support = kernel_support(cache)
+    if not support.supported:
+        raise ConfigurationError(
+            f"kernel cannot run this cache: {support.reason}"
+        )
     if cache._tick:
         raise SimulationError(
             "simulate_trace needs a fresh (never accessed) cache instance"
         )
+    if artifacts.n_sets != cache.config.geometry.n_sets:
+        raise ConfigurationError(
+            f"artifacts were built for {artifacts.n_sets} sets but the "
+            f"cache has {cache.config.geometry.n_sets}"
+        )
+    if support.path == "timeline":
+        # Deferred: repro.core.timeline imports this module's artifacts.
+        from repro.core.timeline import simulate_trace_timeline
+
+        return simulate_trace_timeline(cache, artifacts)
+    return _simulate_flattened(cache, artifacts)
+
+
+def _simulate_flattened(
+    cache: RetentionAwareCache, artifacts: TraceArtifacts
+) -> CacheStats:
+    """The stationary-placement (LRU/DSP, no devices) replay kernel."""
     config = cache.config
     geometry = config.geometry
     n_sets = geometry.n_sets
     n_ways = geometry.ways
-    if artifacts.n_sets != n_sets:
-        raise ConfigurationError(
-            f"artifacts were built for {artifacts.n_sets} sets but the "
-            f"cache has {n_sets}"
-        )
 
     refresh = cache.refresh
     aware = cache.replacement.uses_retention_info
@@ -312,10 +485,6 @@ def simulate_trace(
             writes_in[start:stop],
         ):
             tick += 1
-            if wr:
-                stores += 1
-            else:
-                loads += 1
             base = s * n_ways
             row = set_tags[s]
 
@@ -353,9 +522,11 @@ def simulate_trace(
                             nxt = e
                 next_expiry[s] = nxt
 
-            if tag in row:
+            # Hits vastly outnumber misses, so a single ``index`` scan
+            # with an exception fallback beats ``in`` + ``index``.
+            try:
                 way = base + row.index(tag)
-            else:
+            except ValueError:
                 way = -1
 
             if wr and not write_back:
@@ -451,6 +622,13 @@ def simulate_trace(
         loads = stores = hits = misses_cold = misses_expired = 0
         misses_dead = writebacks = expiry_wb = write_throughs = 0
         l2_acc = line_refreshes = refresh_blocked = wb_stall = fills = 0
+    else:
+        # loads/stores are state-independent: count them from the columnar
+        # write flags instead of branching once per access in the loop.
+        measured_from = warm if 0 < warm < n else 0
+        writes_col = artifacts.columnar()["write"]
+        stores = int(np.count_nonzero(writes_col[measured_from:]))
+        loads = (n - measured_from) - stores
 
     # Finalize: refreshes still owed by resident lines, then the global
     # scheme's whole-cache passes.
@@ -614,8 +792,12 @@ def evaluate(
 
 
 __all__ = [
+    "COLUMN_DTYPE",
+    "KERNEL_PATHS",
+    "KernelSupport",
     "TraceArtifacts",
     "simulate_trace",
+    "kernel_support",
     "kernel_supports",
     "kernel_fallback_reason",
     "evaluate_many",

@@ -35,7 +35,7 @@ from repro.core.architecture import (
     Cache6TArchitecture,
     IdealCacheArchitecture,
 )
-from repro.core.batcheval import TraceArtifacts, kernel_supports, simulate_trace
+from repro.core.batcheval import TraceArtifacts, kernel_support, simulate_trace
 
 Architecture = Union[
     Cache3T1DArchitecture, Cache6TArchitecture, IdealCacheArchitecture
@@ -55,6 +55,10 @@ class BenchmarkResult:
     dynamic_power_normalized: float
     stats: Optional[CacheStats] = None
     estimate: Optional[PerformanceEstimate] = None
+    kernel_path: str = "event"
+    """Which replay path produced ``stats``: ``"flattened"``,
+    ``"timeline"``, or ``"event"`` (see
+    :func:`repro.core.batcheval.kernel_support`)."""
 
 
 @dataclass(frozen=True)
@@ -101,6 +105,14 @@ class ChipEvaluation:
         )
         return name, self.results[name].normalized_performance
 
+    @property
+    def kernel_paths(self) -> Dict[str, str]:
+        """Replay path taken per benchmark (``benchmark -> path``)."""
+        return {
+            name: result.kernel_path
+            for name, result in self.results.items()
+        }
+
 
 class Evaluator:
     """Runs benchmark suites against cache architectures.
@@ -136,6 +148,7 @@ class Evaluator:
             )
         self._traces: Dict[str, MemoryTrace] = {}
         self._baseline_stats: Dict[Tuple[str, int], CacheStats] = {}
+        self._baseline_paths: Dict[Tuple[str, int], str] = {}
         self._artifacts: Dict[Tuple[str, int], TraceArtifacts] = {}
 
     # ------------------------------------------------------------------
@@ -171,26 +184,34 @@ class Evaluator:
             self._artifacts[key] = artifacts
         return artifacts
 
-    def _run_trace(self, cache, benchmark: str) -> CacheStats:
+    def _run_trace(self, cache, benchmark: str) -> Tuple[CacheStats, str]:
         """Run the benchmark trace through ``cache``.
 
-        Routes through the batched kernel (:mod:`repro.core.batcheval`)
-        whenever the cache's policies allow -- bit-identical to the event
-        controller -- and falls back to ``RetentionAwareCache.run_trace``
-        for the RSP block-move schemes, the token engine, and the real L2.
+        Routes through the batched kernels (:mod:`repro.core.batcheval`)
+        whenever :func:`~repro.core.batcheval.kernel_support` allows --
+        bit-identical to the event controller -- and falls back to
+        ``RetentionAwareCache.run_trace`` for caches wired with
+        third-party policy or device objects.  Returns the stats plus the
+        replay path taken (``"flattened"``/``"timeline"``/``"event"``).
         """
-        if self.use_batch_kernel and kernel_supports(cache):
-            return simulate_trace(
-                cache,
-                self.trace_artifacts(benchmark, cache.config.geometry.n_sets),
-            )
+        if self.use_batch_kernel:
+            support = kernel_support(cache)
+            if support.supported:
+                stats = simulate_trace(
+                    cache,
+                    self.trace_artifacts(
+                        benchmark, cache.config.geometry.n_sets
+                    ),
+                )
+                return stats, support.path
         trace = self.trace(benchmark)
-        return cache.run_trace(
+        stats = cache.run_trace(
             trace.cycles,
             trace.line_addresses,
             trace.is_write,
             warmup_references=trace.warmup_references,
         )
+        return stats, "event"
 
     def baseline_stats(self, benchmark: str, ways: Optional[int] = None) -> CacheStats:
         """Ideal-cache stats on the benchmark trace (cached per assoc)."""
@@ -203,10 +224,16 @@ class Evaluator:
                 else self.config.with_ways(ways)
             )
             ideal = IdealCacheArchitecture(self.node, config)
-            self._baseline_stats[key] = self._run_trace(
-                ideal.build_cache(), benchmark
-            )
+            stats, path = self._run_trace(ideal.build_cache(), benchmark)
+            self._baseline_stats[key] = stats
+            self._baseline_paths[key] = path
         return self._baseline_stats[key]
+
+    def baseline_path(self, benchmark: str, ways: Optional[int] = None) -> str:
+        """Replay path the cached ideal baseline took for ``benchmark``."""
+        ways = ways or self.config.geometry.ways
+        self.baseline_stats(benchmark, ways)
+        return self._baseline_paths[(benchmark, ways)]
 
     # ------------------------------------------------------------------
     # evaluation
@@ -236,6 +263,7 @@ class Evaluator:
                 dynamic_power_watts=ideal_power,
                 dynamic_power_normalized=1.0,
                 stats=baseline,
+                kernel_path=self.baseline_path(benchmark, ways),
             )
 
         if isinstance(architecture, Cache6TArchitecture):
@@ -251,11 +279,12 @@ class Evaluator:
                 dynamic_power_watts=ideal_power * norm,
                 dynamic_power_normalized=norm,
                 stats=baseline,
+                kernel_path=self.baseline_path(benchmark, ways),
             )
 
         # --- 3T1D architecture ---
         cache = architecture.build_cache()
-        stats = self._run_trace(cache, benchmark)
+        stats, kernel_path = self._run_trace(cache, benchmark)
         model = AnalyticCPUModel(profile, architecture.config)
         if architecture.scheme.is_global:
             duty = min(
@@ -317,6 +346,7 @@ class Evaluator:
             dynamic_power_normalized=dynamic_power / ideal_power,
             stats=stats,
             estimate=estimate,
+            kernel_path=kernel_path,
         )
 
     def evaluate(

@@ -46,7 +46,7 @@ The engine has six pieces:
 
 from repro.engine.cache import ResultCache, resolve_cache, source_digest
 from repro.engine.checkpoint import RunJournal, task_key
-from repro.engine.config import EngineConfig, warn_legacy_engine_kwargs
+from repro.engine.config import EngineConfig
 from repro.engine.events import (
     BatchEnded,
     BatchStarted,
@@ -59,6 +59,7 @@ from repro.engine.events import (
     RunEnded,
     RunResumed,
     RunStarted,
+    KernelPathsCollected,
     SpansCollected,
     Subscriber,
     TaskRetried,
@@ -122,7 +123,6 @@ __all__ = [
     "RunJournal",
     "task_key",
     "EngineConfig",
-    "warn_legacy_engine_kwargs",
     "CRASH_EXIT_CODE",
     "CorruptedPayload",
     "FAULT_KINDS",
@@ -140,6 +140,7 @@ __all__ = [
     "WorkerRespawned",
     "RunCheckpointed",
     "RunResumed",
+    "KernelPathsCollected",
     "SpansCollected",
     "Subscriber",
     "dispatch",

@@ -10,9 +10,10 @@ plan).  None of these knobs ever affect results -- serial, parallel,
 cached, resumed, and fault-injected runs stay bit-identical -- so the
 config deliberately contributes nothing to cache fingerprints.
 
-Legacy keyword signatures (``ExperimentContext(workers=...)``,
-``ParallelChipRunner(workers=..., evaluator_cache_size=...)``) remain as
-deprecation shims that build an :class:`EngineConfig` internally.
+The legacy keyword signatures (``ExperimentContext(workers=...)``,
+``ParallelChipRunner(workers=..., evaluator_cache_size=...)``) completed
+their deprecation cycle and were removed; :class:`EngineConfig` is the
+only way to configure the engine (see DESIGN.md section 3d).
 """
 
 from __future__ import annotations
@@ -20,34 +21,11 @@ from __future__ import annotations
 import dataclasses
 import os
 import pathlib
-import warnings
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.engine.faults import FaultPlan
-
-
-def warn_legacy_engine_kwargs(
-    where: str, names: Sequence[str], stacklevel: int = 3
-) -> None:
-    """Emit the one shared ``DeprecationWarning`` for legacy engine kwargs.
-
-    Every pre-:class:`EngineConfig` keyword (``workers=``, ``cache_dir=``,
-    ``task_timeout=``, ...) still works wherever it used to, but each use
-    funnels through this helper so the message -- and the scheduled
-    removal noted in DESIGN.md -- stays consistent across
-    ``ExperimentContext``, ``ParallelChipRunner``, and
-    ``with_overrides``.
-    """
-    listed = ", ".join(f"{name}=" for name in names)
-    warnings.warn(
-        f"{where}({listed}...) is deprecated; pass "
-        f"engine=EngineConfig({listed}...) instead (see DESIGN.md for "
-        "the removal schedule)",
-        DeprecationWarning,
-        stacklevel=stacklevel,
-    )
 
 
 @dataclass(frozen=True)
@@ -131,4 +109,4 @@ class EngineConfig:
         return self.retry_backoff_s * (2 ** max(0, failure - 1))
 
 
-__all__ = ["EngineConfig", "warn_legacy_engine_kwargs"]
+__all__ = ["EngineConfig"]

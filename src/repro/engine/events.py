@@ -157,6 +157,21 @@ class SpansCollected(EngineEvent):
     peak_rss_kb: int = 0
 
 
+@dataclass(frozen=True)
+class KernelPathsCollected(EngineEvent):
+    """Replay paths taken by one completed evaluation batch.
+
+    ``paths`` maps ``"scheme/benchmark"`` cells to the replay path that
+    produced their statistics (``"flattened"``, ``"timeline"`` or
+    ``"event"`` -- see :func:`repro.core.kernel_support`).  Purely
+    observational: the paths are bit-identity-gated, so which kernel ran
+    never changes a result, only how long it took.
+    """
+
+    label: str
+    paths: Tuple[Tuple[str, str], ...]
+
+
 #: A subscriber: an object with ``handle(event)`` or a bare callable.
 Subscriber = Union[Callable[[EngineEvent], None], Any]
 
@@ -224,6 +239,7 @@ __all__ = [
     "RunCheckpointed",
     "RunResumed",
     "SpansCollected",
+    "KernelPathsCollected",
     "Subscriber",
     "dispatch",
     "EventStream",

@@ -42,6 +42,7 @@ from repro.engine.events import (
     EventStream,
     ExperimentEnded,
     ExperimentStarted,
+    KernelPathsCollected,
     RunCheckpointed,
     RunEnded,
     RunResumed,
@@ -76,13 +77,19 @@ _LEGACY_ROUTES: Dict[
 _LEGACY_WARNED: set = set()
 
 
-def _warn_legacy(cls: type, what: str) -> None:
+def _warn_legacy(cls: type, what: str, event_name: str) -> None:
+    """One consolidated deprecation message for every ``on_*`` shim.
+
+    Always names the typed-event replacement so the migration is
+    copy-pasteable from the warning itself.
+    """
     if cls in _LEGACY_WARNED:
         return
     _LEGACY_WARNED.add(cls)
     warnings.warn(
-        f"{what} is deprecated; subscribe with handle(event) over typed "
-        "repro.engine.events instead",
+        f"{what} is deprecated; the typed-event replacement is "
+        f"repro.engine.events.{event_name}: subscribe with handle(event) "
+        "and match on the event type",
         DeprecationWarning,
         stacklevel=3,
     )
@@ -108,7 +115,10 @@ class RunObserver:
         name, unpack = route
         if getattr(type(self), name, None) is getattr(RunObserver, name):
             return  # callback not overridden: nothing to do
-        _warn_legacy(type(self), f"overriding RunObserver.{name}")
+        _warn_legacy(
+            type(self), f"overriding RunObserver.{name}",
+            type(event).__name__,
+        )
         getattr(self, name)(*unpack(event))
 
     # -- deprecated callback surface (each is routed from handle()) ----
@@ -163,7 +173,10 @@ class LegacyEmitShims:
     """
 
     def _emit_legacy(self, event: EngineEvent) -> None:
-        _warn_legacy(type(self), "calling the on_* emitter surface")
+        _warn_legacy(
+            type(self), "calling the on_* emitter surface",
+            type(event).__name__,
+        )
         self.handle(event)  # type: ignore[attr-defined]
 
     def on_run_start(self, n_experiments: int) -> None:
@@ -311,6 +324,7 @@ class JSONMetricsObserver(LegacyEmitShims, RunObserver):
             "total_elapsed_s": None,
             "started_at_unix_s": None,
             "robustness": _empty_robustness(),
+            "kernel_paths": {},
         }
 
     # ------------------------------------------------------------------
@@ -334,6 +348,11 @@ class JSONMetricsObserver(LegacyEmitShims, RunObserver):
             self.metrics["robustness"]["results_checkpointed"] += event.flushed
         elif isinstance(event, RunResumed):
             self.metrics["robustness"]["results_resumed"] += event.restored
+        elif isinstance(event, KernelPathsCollected):
+            # scheme/benchmark -> replay path ("flattened" | "timeline"
+            # | "event"); later batches overwrite earlier cells, which
+            # is fine because paths are a pure function of the scheme.
+            self.metrics["kernel_paths"].update(dict(event.paths))
         elif isinstance(event, RunEnded):
             self._run_ended(event.elapsed_s)
 

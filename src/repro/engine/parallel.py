@@ -46,11 +46,12 @@ from repro.core.evaluation import Evaluator
 from repro.core.schemes import get_scheme
 from repro.engine import trace as trace_mod
 from repro.engine.checkpoint import RunJournal, task_key
-from repro.engine.config import EngineConfig, warn_legacy_engine_kwargs
+from repro.engine.config import EngineConfig
 from repro.engine.events import (
     BatchEnded,
     BatchStarted,
     ChipCompleted,
+    KernelPathsCollected,
     RunCheckpointed,
     RunResumed,
     SpansCollected,
@@ -176,6 +177,10 @@ class SchemeOutcome:
     refresh_power_normalized: float = 0.0
     """Closed-form global-refresh share of ``dynamic_power_normalized``;
     zero for line-level schemes."""
+    kernel_paths: Tuple[Tuple[str, str], ...] = ()
+    """Per-benchmark replay path (``(benchmark, path)`` pairs, in suite
+    order) that produced this outcome's statistics -- see
+    :func:`repro.core.kernel_support`.  Empty for discarded chips."""
 
 
 @dataclass(frozen=True, eq=False)
@@ -251,6 +256,10 @@ def _evaluate_schemes(
                 )),
                 ideal_power_watts=ideal_watts,
                 refresh_power_normalized=refresh_norm,
+                kernel_paths=tuple(
+                    (bench, result.kernel_path)
+                    for bench, result in results.items()
+                ),
             )
         )
     return tuple(outcomes)
@@ -351,9 +360,9 @@ class ParallelChipRunner:
     bit-identical across worker counts because every task is
     deterministically seeded and self-contained.
 
-    The runner is configured by an :class:`EngineConfig` (the legacy
-    ``workers=`` / ``evaluator_cache_size=`` keywords remain as shims
-    that build one internally).  Beyond scheduling, it supervises the
+    The runner is configured by an :class:`EngineConfig`; the legacy
+    ``workers=`` / ``evaluator_cache_size=`` keywords completed their
+    deprecation cycle and were removed.  Beyond scheduling, it supervises the
     pool: per-task timeouts, bounded retries with deterministic backoff,
     crashed-worker respawn, poison-task quarantine (a task that exhausts
     its pool retry budget finishes inline instead), and graceful
@@ -366,38 +375,18 @@ class ParallelChipRunner:
 
     def __init__(
         self,
-        workers: Optional[Any] = None,
-        evaluator_cache_size: Optional[int] = None,
-        *,
         config: Optional[EngineConfig] = None,
+        *,
         run_key: str = "",
     ):
-        if isinstance(workers, EngineConfig):
-            if config is not None:
-                raise ConfigurationError(
-                    "pass the EngineConfig either positionally or as "
-                    "config=, not both"
-                )
-            config, workers = workers, None
         if config is None:
-            # Legacy keyword shim: the old signature becomes a config.
-            legacy = [
-                name for name, value in (
-                    ("workers", workers),
-                    ("evaluator_cache_size", evaluator_cache_size),
-                ) if value is not None
-            ]
-            if legacy:
-                warn_legacy_engine_kwargs(
-                    "ParallelChipRunner", legacy, stacklevel=3
-                )
-            config = EngineConfig(
-                workers=workers, evaluator_cache_size=evaluator_cache_size
-            )
-        elif workers is not None or evaluator_cache_size is not None:
-            raise ConfigurationError(
-                "workers/evaluator_cache_size are EngineConfig fields; "
-                "set them there instead of passing them alongside config"
+            config = EngineConfig()
+        elif not isinstance(config, EngineConfig):
+            raise TypeError(
+                "ParallelChipRunner takes an EngineConfig; the legacy "
+                "workers=/evaluator_cache_size= arguments were removed "
+                "-- pass EngineConfig(workers=..., "
+                "evaluator_cache_size=...) instead"
             )
         self.config = config
         self.workers = config.effective_workers
@@ -746,8 +735,29 @@ class ParallelChipRunner:
         observer: Subscriber = NULL_OBSERVER,
         label: str = "evaluate chips",
     ) -> List[Any]:
-        """Run evaluation tasks; one result per task, in task order."""
-        return self.map(run_eval_task, tasks, observer=observer, label=label)
+        """Run evaluation tasks; one result per task, in task order.
+
+        After the batch completes, the replay paths taken per
+        scheme x benchmark cell are aggregated and reported through one
+        :class:`~repro.engine.events.KernelPathsCollected` event.
+        """
+        results = self.map(
+            run_eval_task, tasks, observer=observer, label=label
+        )
+        paths: Dict[str, str] = {}
+        for value in results:
+            if not isinstance(value, tuple):
+                continue
+            for outcome in value:
+                if not isinstance(outcome, SchemeOutcome):
+                    continue
+                for bench, path in outcome.kernel_paths:
+                    paths[f"{outcome.scheme}/{bench}"] = path
+        if paths:
+            dispatch(observer, KernelPathsCollected(
+                label, tuple(sorted(paths.items())),
+            ))
+        return results
 
     # ------------------------------------------------------------------
 

@@ -21,7 +21,7 @@ from repro.technology.node import NODE_32NM, TechnologyNode
 from repro.variation.parameters import VariationParams
 from repro.array.chip import ChipSampler, DRAM3T1DChipSample, SRAMChipSample
 from repro.core.evaluation import Evaluator
-from repro.engine.config import EngineConfig, warn_legacy_engine_kwargs
+from repro.engine.config import EngineConfig
 from repro.engine.events import Subscriber
 from repro.engine.observer import NULL_OBSERVER
 from repro.engine.parallel import EvaluatorSpec, ParallelChipRunner
@@ -32,9 +32,11 @@ class ExperimentContext:
     """Scale, caching, and execution engine for one experiment run.
 
     ``n_chips`` / ``n_references`` default to paper scale (100 chips) and
-    a laptop-sized trace; benches pass smaller values.  ``workers``
-    selects the engine's process-pool width (1 = serial; results are
-    identical either way).
+    a laptop-sized trace; benches pass smaller values.  Execution knobs
+    (pool width, caches, checkpointing, supervision) live exclusively on
+    :attr:`engine` -- the legacy ``workers`` / ``evaluator_cache_size``
+    constructor keywords completed their deprecation cycle and were
+    removed (read-only mirror properties remain).
     """
 
     node: TechnologyNode = NODE_32NM
@@ -42,16 +44,10 @@ class ExperimentContext:
     n_references: int = 8000
     seed: int = 2007  # the paper's year; any fixed value works
     benchmarks: Optional[Sequence[str]] = None
-    workers: int = 1
-    """Deprecation shim for :attr:`engine`'s ``workers`` field; kept so
-    existing ``ExperimentContext(workers=N)`` call sites keep working."""
-    evaluator_cache_size: Optional[int] = None
-    """Deprecation shim for :attr:`engine`'s ``evaluator_cache_size``."""
     engine: Optional[EngineConfig] = None
     """The consolidated engine configuration (pool width, caches,
-    checkpointing, supervision).  ``None`` builds one from the legacy
-    ``workers`` / ``evaluator_cache_size`` shims; passing both an
-    ``engine`` and non-default legacy knobs is a configuration error."""
+    checkpointing, supervision).  ``None`` means serial execution
+    (``EngineConfig(workers=1)``), the historical default."""
     observer: Subscriber = field(
         default=NULL_OBSERVER, repr=False, compare=False
     )
@@ -77,37 +73,27 @@ class ExperimentContext:
         if self.n_references < 1:
             raise ConfigurationError("n_references must be >= 1")
         if self.engine is None:
-            if self.workers < 1:
-                raise ConfigurationError("workers must be >= 1")
-            legacy = [
-                name for name, default_hit in (
-                    ("workers", self.workers == 1),
-                    ("evaluator_cache_size", self.evaluator_cache_size is None),
-                ) if not default_hit
-            ]
-            if legacy:
-                warn_legacy_engine_kwargs(
-                    "ExperimentContext", legacy, stacklevel=4
-                )
-            self.engine = EngineConfig(
-                workers=self.workers,
-                evaluator_cache_size=self.evaluator_cache_size,
+            self.engine = EngineConfig(workers=1)
+        elif not isinstance(self.engine, EngineConfig):
+            raise ConfigurationError(
+                "engine must be an EngineConfig; the legacy workers=/"
+                "evaluator_cache_size= keywords were removed -- pass "
+                "engine=EngineConfig(workers=..., evaluator_cache_size=...)"
             )
-        else:
-            mirrors = (self.workers, self.evaluator_cache_size)
-            synced = (
-                self.engine.effective_workers,
-                self.engine.evaluator_cache_size,
-            )
-            if mirrors not in ((1, None), synced):
-                raise ConfigurationError(
-                    "workers/evaluator_cache_size conflict with the "
-                    "provided EngineConfig; set them on the config only"
-                )
-        # Keep the legacy mirrors readable regardless of which surface
-        # configured the engine.
-        self.workers = self.engine.effective_workers
-        self.evaluator_cache_size = self.engine.evaluator_cache_size
+
+    # ------------------------------------------------------------------
+    # read-only mirrors of the engine's knobs (informational)
+    # ------------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """The engine's effective pool width (read-only mirror)."""
+        return self.engine.effective_workers
+
+    @property
+    def evaluator_cache_size(self) -> Optional[int]:
+        """The engine's evaluator LRU capacity (read-only mirror)."""
+        return self.engine.evaluator_cache_size
 
     # ------------------------------------------------------------------
     # builders
@@ -118,37 +104,24 @@ class ExperimentContext:
 
         Caches start fresh (the scale may have changed) but the engine's
         worker pool is shared with the parent, so a derived context does
-        not spawn new processes.  The legacy ``workers`` /
-        ``evaluator_cache_size`` keywords are translated into a replaced
-        :class:`EngineConfig` (they cannot be combined with an explicit
-        ``engine`` override).
+        not spawn new processes.  Engine knobs are overridden by passing
+        a whole ``engine=EngineConfig(...)`` (derive one from
+        ``context.engine.replace(...)``); the legacy ``workers`` /
+        ``evaluator_cache_size`` keywords were removed.
         """
+        for name in ("workers", "evaluator_cache_size"):
+            if name in overrides:
+                raise ConfigurationError(
+                    f"the legacy {name!r} override was removed; pass "
+                    f"engine=context.engine.replace({name}=...) (an "
+                    "EngineConfig) instead"
+                )
         for name in overrides:
             if name.startswith("_") or name not in self.__dataclass_fields__:
                 raise ConfigurationError(
                     f"unknown ExperimentContext field {name!r}"
                 )
-        legacy = {
-            name: overrides.pop(name)
-            for name in ("workers", "evaluator_cache_size")
-            if name in overrides
-        }
-        if legacy:
-            warn_legacy_engine_kwargs(
-                "with_overrides", sorted(legacy), stacklevel=3
-            )
-        engine = overrides.pop("engine", None)
-        if engine is not None and legacy:
-            raise ConfigurationError(
-                "pass engine knobs through the engine= override, not "
-                f"alongside it: {sorted(legacy)}"
-            )
-        if engine is None:
-            engine = self.engine.replace(**legacy) if legacy else self.engine
-        overrides["engine"] = engine
-        # Pre-sync the legacy mirrors so __post_init__ sees no conflict.
-        overrides["workers"] = engine.effective_workers
-        overrides["evaluator_cache_size"] = engine.evaluator_cache_size
+        overrides.setdefault("engine", self.engine)
         derived = replace(self, **overrides)
         derived._runner = self._runner
         return derived

@@ -16,15 +16,16 @@ from repro.cache.refresh import NoRefresh, PartialRefresh
 from repro.core import (
     Cache3T1DArchitecture,
     Evaluator,
+    KernelSupport,
     LINE_LEVEL_SCHEMES,
     SCHEME_GLOBAL,
     TraceArtifacts,
     evaluate,
     evaluate_many,
-    kernel_fallback_reason,
-    kernel_supports,
+    kernel_support,
     simulate_trace,
 )
+from repro.core.batcheval import kernel_fallback_reason, kernel_supports
 from repro.workloads.generator import MemoryTrace
 
 ALL_SCHEMES = (SCHEME_GLOBAL,) + LINE_LEVEL_SCHEMES
@@ -103,40 +104,81 @@ class TestBitIdentity:
             ) == controller_evaluator.baseline_stats(bench)
 
 
-class TestKernelSupports:
-    def test_fast_path_schemes_supported(self, chips, kernel_evaluator):
+class _ThirdPartyRefresh(NoRefresh):
+    """A refresh policy the kernels were never specialized for."""
+
+    name = "third-party"
+
+
+class TestKernelSupport:
+    """The typed path classifier and its deprecated boolean shims."""
+
+    def test_every_paper_scheme_supported(self, chips, kernel_evaluator):
         for scheme in ALL_SCHEMES:
             cache = Cache3T1DArchitecture(
                 chips[0], scheme, config=kernel_evaluator.config
             ).build_cache()
+            support = kernel_support(cache)
+            assert support.supported
+            assert support.reason is None
             if scheme.name.startswith("RSP"):
-                assert not kernel_supports(cache)
-                assert "block" in kernel_fallback_reason(cache)
+                assert support.path == "timeline"
             else:
-                assert kernel_supports(cache)
-                assert kernel_fallback_reason(cache) is None
+                assert support.path == "flattened"
 
-    def test_real_l2_falls_back(self):
+    def test_real_l2_takes_timeline_path(self):
         cache = RetentionAwareCache(CacheConfig(real_l2=True))
-        assert not kernel_supports(cache)
-        assert "L2" in kernel_fallback_reason(cache)
+        support = kernel_support(cache)
+        assert support == KernelSupport(True, "timeline")
 
-    def test_online_refresh_falls_back(self):
+    def test_online_refresh_takes_timeline_path(self):
         cache = RetentionAwareCache(
             CacheConfig(), refresh=PartialRefresh(), online_refresh=True
         )
         assert cache.refresh_engine is not None
-        assert not kernel_supports(cache)
-        assert "token" in kernel_fallback_reason(cache)
+        assert kernel_support(cache) == KernelSupport(True, "timeline")
+
+    def test_third_party_refresh_keeps_event_controller(self):
+        cache = RetentionAwareCache(
+            CacheConfig(), refresh=_ThirdPartyRefresh()
+        )
+        support = kernel_support(cache)
+        assert not support.supported
+        assert support.path == "event"
+        assert "closed-form" in support.reason
 
     def test_simulate_trace_rejects_unsupported(self, kernel_evaluator):
-        cache = RetentionAwareCache(CacheConfig(real_l2=True))
+        cache = RetentionAwareCache(
+            CacheConfig(), refresh=_ThirdPartyRefresh()
+        )
         artifacts = kernel_evaluator.trace_artifacts(
             kernel_evaluator.benchmarks[0],
             cache.config.geometry.n_sets,
         )
         with pytest.raises(ConfigurationError):
             simulate_trace(cache, artifacts)
+
+    def test_facade_exports_kernel_support(self):
+        import repro
+
+        assert repro.kernel_support is kernel_support
+        assert repro.KernelSupport is KernelSupport
+
+    def test_deprecated_shims_warn_and_track_new_semantics(self):
+        # RSP/token/L2 configurations are now kernel-supported, so the
+        # boolean shim answers True where it used to answer False.
+        cache = RetentionAwareCache(CacheConfig(real_l2=True))
+        with pytest.warns(DeprecationWarning, match="kernel_support"):
+            assert kernel_supports(cache) is True
+        with pytest.warns(DeprecationWarning, match="kernel_support"):
+            assert kernel_fallback_reason(cache) is None
+        unsupported = RetentionAwareCache(
+            CacheConfig(), refresh=_ThirdPartyRefresh()
+        )
+        with pytest.warns(DeprecationWarning):
+            assert kernel_supports(unsupported) is False
+        with pytest.warns(DeprecationWarning):
+            assert "closed-form" in kernel_fallback_reason(unsupported)
 
 
 def _micro_trace(cycles, addresses, writes):

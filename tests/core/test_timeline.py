@@ -1,0 +1,257 @@
+"""The timeline kernels: RSP/token/L2 bit-identity and edge semantics.
+
+The full-suite identity sweep (all nine schemes x eight benchmarks,
+which routes the RSP schemes through these kernels) lives in
+``test_batcheval.py``; this module drives the timeline paths directly
+on crafted micro-traces where the awkward interleavings -- same-cycle
+expiry, refreshes on the warmup boundary, unsustainable retention --
+are guaranteed to occur.
+"""
+
+import numpy as np
+import pytest
+
+from repro.technology import NODE_32NM
+from repro.variation import VariationParams
+from repro.array import ChipSampler
+from repro.cache import CacheConfig, RetentionAwareCache
+from repro.cache.refresh import NoRefresh, PartialRefresh
+from repro.core import (
+    Cache3T1DArchitecture,
+    Evaluator,
+    TraceArtifacts,
+    simulate_trace,
+)
+from repro.core.schemes import (
+    SCHEME_NO_REFRESH_LRU,
+    SCHEME_RSP_FIFO,
+    SCHEME_RSP_LRU,
+)
+from repro.workloads.generator import MemoryTrace
+
+
+def _micro_trace(cycles, addresses, writes, warmup=0):
+    cycles = list(cycles)
+    return MemoryTrace(
+        cycles=np.asarray(cycles, dtype=np.int64),
+        line_addresses=np.asarray(list(addresses), dtype=np.int64),
+        is_write=np.asarray(list(writes), dtype=bool),
+        name="micro",
+        instructions=len(cycles),
+        warmup_references=warmup,
+    )
+
+
+def _run_both(
+    grid, replacement, refresh, trace, config=None, online_refresh=False
+):
+    """(controller stats, kernel stats) on identical fresh caches."""
+    config = config or CacheConfig()
+
+    def build():
+        return RetentionAwareCache(
+            config,
+            retention_cycles=grid,
+            replacement=replacement,
+            refresh=refresh,
+            quantize=False,
+            online_refresh=online_refresh,
+        )
+
+    via_controller = build().run_trace(
+        trace.cycles, trace.line_addresses, trace.is_write,
+        warmup_references=trace.warmup_references,
+    )
+    via_kernel = simulate_trace(
+        build(), TraceArtifacts.from_trace(trace, config.geometry.n_sets)
+    )
+    return via_controller, via_kernel
+
+
+def _full_grid(retention=100000):
+    geometry = CacheConfig().geometry
+    return np.full((geometry.n_sets, geometry.ways), retention, np.int64)
+
+
+def _busy_trace(n_sets, tags=6, repeats=20, stride=250):
+    """A reuse-heavy stream in set 0 that exercises hits and evictions."""
+    n = tags * repeats
+    return _micro_trace(
+        cycles=range(0, n * stride, stride),
+        addresses=[t * n_sets for t in range(tags)] * repeats,
+        writes=[True, False, False] * (n // 3),
+    )
+
+
+class TestTimelineIdentityMicro:
+    """Each timeline subsystem against the controller on micro-traces."""
+
+    @pytest.mark.parametrize("replacement", ["RSP-FIFO", "RSP-LRU"])
+    def test_rsp_placement_identity(self, replacement):
+        geometry = CacheConfig().geometry
+        grid = _full_grid()
+        # Mixed retention in set 0 so RSP's retention-ordered placement
+        # and promotion actually reorder lines.
+        grid[0] = [4000, 900, 250000, 60]
+        trace = _busy_trace(geometry.n_sets, tags=3, repeats=40)
+        ctrl, kern = _run_both(grid, replacement, NoRefresh(), trace)
+        assert ctrl == kern
+        assert kern.hits > 0
+        assert kern.misses > 0
+
+    def test_token_engine_identity(self):
+        geometry = CacheConfig().geometry
+        grid = _full_grid(3000)
+        trace = _busy_trace(geometry.n_sets, tags=3, repeats=40)
+        ctrl, kern = _run_both(
+            grid, "LRU",
+            PartialRefresh(
+                threshold_cycles=CacheConfig()
+                .partial_refresh_threshold_cycles
+            ),
+            trace, online_refresh=True,
+        )
+        assert ctrl == kern
+        assert kern.line_refreshes > 0
+
+    def test_real_l2_identity(self):
+        config = CacheConfig(real_l2=True)
+        geometry = config.geometry
+        trace = _busy_trace(geometry.n_sets, tags=8, repeats=15)
+        ctrl, kern = _run_both(
+            _full_grid(), "LRU", NoRefresh(), trace, config=config
+        )
+        assert ctrl == kern
+        assert kern.l2_accesses > 0
+        assert kern.l2_hits > 0
+
+    def test_warmup_split_identity(self):
+        geometry = CacheConfig().geometry
+        grid = _full_grid()
+        grid[0] = [4000, 900, 250000, 60]
+        trace = _busy_trace(geometry.n_sets)
+        warm = _micro_trace(
+            trace.cycles, trace.line_addresses, trace.is_write,
+            warmup=len(trace) // 2,
+        )
+        ctrl, kern = _run_both(grid, "RSP-FIFO", NoRefresh(), warm)
+        assert ctrl == kern
+
+
+class TestTimelineEdges:
+    """The interleavings the interval arithmetic must get exactly right."""
+
+    @pytest.mark.parametrize("replacement", ["RSP-FIFO", "RSP-LRU"])
+    def test_same_cycle_expiry_vs_access_rsp(self, replacement):
+        grid = _full_grid()
+        grid[0, :] = 50
+        # A dirty fill at cycle 0 (lifetime 50); the next reference lands
+        # exactly on the expiry cycle, so the sweep must write the line
+        # back and classify the access as an expired miss -- not a hit.
+        trace = _micro_trace(
+            cycles=[0, 50, 60], addresses=[0, 0, 0],
+            writes=[True, False, True],
+        )
+        ctrl, kern = _run_both(grid, replacement, NoRefresh(), trace)
+        assert ctrl == kern
+        assert kern.expiry_writebacks == 1
+        assert kern.misses_expired == 1
+
+    def test_refresh_on_warmup_boundary(self):
+        # Retention 2100 with the paper's 2048-cycle margin means the
+        # engine requests a refresh 52 cycles after each fill.  The warmup
+        # boundary is placed exactly on that service cycle, so the
+        # refresh and the counter reset land on the same reference.
+        grid = _full_grid(2100)
+        trace = _micro_trace(
+            cycles=[0, 52, 100, 2200, 4200],
+            addresses=[0, 0, 0, 0, 0],
+            writes=[True, False, False, False, False],
+            warmup=2,
+        )
+        ctrl, kern = _run_both(
+            grid, "LRU", PartialRefresh(threshold_cycles=6000), trace,
+            online_refresh=True,
+        )
+        assert ctrl == kern
+        assert kern.hits > 0
+
+    def test_token_exhaustion_inside_epoch(self):
+        geometry = CacheConfig().geometry
+        # Retention 2056 <= margin (2048) + refresh op (8): can_sustain
+        # is False, so the engine never schedules these lines and they
+        # expire mid-epoch even though online refresh is armed.
+        grid = _full_grid()
+        grid[0, :] = 2056
+        trace = _micro_trace(
+            cycles=[0, 1000, 3000, 5000],
+            addresses=[0, 0, 0, 0],
+            writes=[True, False, False, False],
+        )
+        ctrl, kern = _run_both(
+            grid, "LRU", PartialRefresh(threshold_cycles=6000), trace,
+            online_refresh=True,
+        )
+        assert ctrl == kern
+        assert kern.line_refreshes == 0
+        assert kern.misses_expired > 0
+
+
+class TestKernelPathReporting:
+    """evaluate results carry the replay path each benchmark took."""
+
+    @pytest.fixture(scope="class")
+    def evaluator(self):
+        return Evaluator(NODE_32NM, n_references=800, seed=11)
+
+    @pytest.fixture(scope="class")
+    def chip(self):
+        return ChipSampler(
+            NODE_32NM, VariationParams.typical(), seed=20
+        ).sample_3t1d_chip()
+
+    def test_rsp_reports_timeline(self, evaluator, chip):
+        evaluation = evaluator.evaluate(
+            Cache3T1DArchitecture(
+                chip, SCHEME_RSP_FIFO, config=evaluator.config
+            )
+        )
+        assert set(evaluation.kernel_paths) == set(evaluator.benchmarks)
+        assert set(evaluation.kernel_paths.values()) == {"timeline"}
+
+    def test_stationary_reports_flattened(self, evaluator, chip):
+        evaluation = evaluator.evaluate(
+            Cache3T1DArchitecture(
+                chip, SCHEME_NO_REFRESH_LRU, config=evaluator.config
+            )
+        )
+        assert set(evaluation.kernel_paths.values()) == {"flattened"}
+
+    def test_event_mode_reports_event(self, chip):
+        slow = Evaluator(
+            NODE_32NM, n_references=800, seed=11, use_batch_kernel=False
+        )
+        evaluation = slow.evaluate(
+            Cache3T1DArchitecture(chip, SCHEME_RSP_LRU, config=slow.config)
+        )
+        assert set(evaluation.kernel_paths.values()) == {"event"}
+
+    def test_baseline_path(self, evaluator):
+        assert evaluator.baseline_path(evaluator.benchmarks[0]) in (
+            "flattened", "timeline"
+        )
+
+    def test_metrics_observer_records_paths(self):
+        from repro.engine.events import KernelPathsCollected
+        from repro.engine.observer import JSONMetricsObserver
+
+        observer = JSONMetricsObserver()
+        observer.handle(KernelPathsCollected(
+            label="fig10",
+            paths=(("RSP-FIFO/gcc", "timeline"), ("no-refresh/LRU/gcc",
+                                                  "flattened")),
+        ))
+        assert observer.metrics["kernel_paths"] == {
+            "RSP-FIFO/gcc": "timeline",
+            "no-refresh/LRU/gcc": "flattened",
+        }

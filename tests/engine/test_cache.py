@@ -39,7 +39,7 @@ def test_key_tracks_context_fingerprint(tmp_path):
     ):
         assert cache.key_for(experiment, other) != cache.key_for(experiment, base)
     # Worker count never changes results, so it never changes the key.
-    same_results = base.with_overrides(workers=4)
+    same_results = base.with_overrides(engine=base.engine.replace(workers=4))
     assert cache.key_for(experiment, same_results) == cache.key_for(
         experiment, base
     )

@@ -58,13 +58,25 @@ class TestValidation:
         assert EngineConfig(fault_plan=plan).fault_plan is plan
 
 
-class TestContextShims:
-    def test_legacy_workers_builds_engine(self):
-        context = ExperimentContext(n_chips=1, n_references=600, workers=3)
-        assert context.engine.workers == 3
-        assert context.workers == 3
+class TestLegacyKwargsRemoved:
+    """PR 5's deprecation cycle is complete: the legacy engine kwargs
+    are gone, and every misuse names the ``EngineConfig`` migration."""
 
-    def test_engine_config_syncs_mirrors(self):
+    def test_context_workers_kwarg_removed(self):
+        with pytest.raises(TypeError):
+            ExperimentContext(n_chips=1, n_references=600, workers=3)
+
+    def test_context_evaluator_cache_size_kwarg_removed(self):
+        with pytest.raises(TypeError):
+            ExperimentContext(
+                n_chips=1, n_references=600, evaluator_cache_size=4
+            )
+
+    def test_context_engine_type_checked(self):
+        with pytest.raises(ConfigurationError, match="EngineConfig"):
+            ExperimentContext(n_chips=1, n_references=600, engine=3)
+
+    def test_engine_config_drives_read_only_mirrors(self):
         engine = EngineConfig(workers=4, evaluator_cache_size=5)
         context = ExperimentContext(
             n_chips=1, n_references=600, engine=engine
@@ -72,60 +84,49 @@ class TestContextShims:
         assert context.workers == 4
         assert context.evaluator_cache_size == 5
 
-    def test_conflicting_legacy_and_engine_rejected(self):
-        with pytest.raises(ConfigurationError):
-            ExperimentContext(
-                n_chips=1, n_references=600, workers=3,
-                engine=EngineConfig(workers=4),
-            )
+    def test_mirrors_are_read_only(self):
+        context = ExperimentContext(n_chips=1, n_references=600)
+        with pytest.raises(AttributeError):
+            context.workers = 4
 
-    def test_matching_legacy_and_engine_accepted(self):
-        context = ExperimentContext(
-            n_chips=1, n_references=600, workers=4,
-            engine=EngineConfig(workers=4),
-        )
-        assert context.workers == 4
+    def test_with_overrides_workers_removed(self):
+        context = ExperimentContext(n_chips=2, n_references=600)
+        with pytest.raises(ConfigurationError, match="EngineConfig"):
+            context.with_overrides(workers=5)
 
-    def test_invalid_legacy_workers_rejected(self):
-        with pytest.raises(ConfigurationError):
-            ExperimentContext(n_chips=1, n_references=600, workers=0)
-
-    def test_with_overrides_translates_legacy_knobs(self):
-        context = ExperimentContext(
-            n_chips=2, n_references=600,
-            engine=EngineConfig(workers=2, max_retries=7),
-        )
-        derived = context.with_overrides(workers=5)
-        assert derived.engine.workers == 5
-        assert derived.engine.max_retries == 7  # other knobs preserved
-        assert derived.workers == 5
+    def test_with_overrides_evaluator_cache_size_removed(self):
+        context = ExperimentContext(n_chips=2, n_references=600)
+        with pytest.raises(ConfigurationError, match="EngineConfig"):
+            context.with_overrides(evaluator_cache_size=5)
 
     def test_with_overrides_engine_replaces(self):
         context = ExperimentContext(n_chips=2, n_references=600)
         derived = context.with_overrides(engine=EngineConfig(workers=6))
         assert derived.workers == 6
 
-    def test_with_overrides_engine_plus_legacy_rejected(self):
-        context = ExperimentContext(n_chips=2, n_references=600)
-        with pytest.raises(ConfigurationError):
-            context.with_overrides(engine=EngineConfig(), workers=2)
-
-    def test_legacy_context_kwargs_warn_deprecation(self):
-        with pytest.warns(DeprecationWarning, match="EngineConfig"):
-            ExperimentContext(n_chips=1, n_references=600, workers=3)
-
-    def test_legacy_with_overrides_kwargs_warn_deprecation(self):
-        context = ExperimentContext(n_chips=2, n_references=600)
-        with pytest.warns(DeprecationWarning, match="EngineConfig"):
-            derived = context.with_overrides(workers=5)
+    def test_engine_replace_is_the_migration(self):
+        context = ExperimentContext(
+            n_chips=2, n_references=600,
+            engine=EngineConfig(workers=2, max_retries=7),
+        )
+        derived = context.with_overrides(
+            engine=context.engine.replace(workers=5)
+        )
         assert derived.engine.workers == 5
+        assert derived.engine.max_retries == 7  # other knobs preserved
+        assert derived.workers == 5
 
-    def test_legacy_runner_kwargs_warn_deprecation(self):
+    def test_runner_legacy_kwargs_removed(self):
         from repro.engine.parallel import ParallelChipRunner
 
-        with pytest.warns(DeprecationWarning, match="EngineConfig"):
-            runner = ParallelChipRunner(workers=1)
-        runner.close()
+        with pytest.raises(TypeError):
+            ParallelChipRunner(workers=1)
+
+    def test_runner_positional_non_config_rejected(self):
+        from repro.engine.parallel import ParallelChipRunner
+
+        with pytest.raises(TypeError, match="EngineConfig"):
+            ParallelChipRunner(4)
 
     def test_engine_config_path_warns_nothing(self, recwarn):
         import warnings as warnings_mod

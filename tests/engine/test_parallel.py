@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.engine.config import EngineConfig
 from repro.technology import NODE_32NM
 from repro.variation import VariationParams
 from repro.array import ChipSampler
@@ -50,10 +51,10 @@ class TestEvalTaskValidation:
 class TestRunnerBasics:
     def test_workers_validated(self):
         with pytest.raises(ConfigurationError):
-            ParallelChipRunner(workers=0)
+            ParallelChipRunner(EngineConfig(workers=0))
 
     def test_map_preserves_task_order(self):
-        with ParallelChipRunner(workers=2) as runner:
+        with ParallelChipRunner(EngineConfig(workers=2)) as runner:
             results = runner.map(abs, [-3, -1, -2, 0, 5])
         assert results == [3, 1, 2, 0, 5]
 
@@ -63,7 +64,7 @@ class TestRunnerBasics:
         ).sample_3t1d_chips(4)
         sampler = ChipSampler(NODE_32NM, VariationParams.severe(), seed=30)
         tasks = sampler.reserve_build_tasks(4, kind="3t1d")
-        with ParallelChipRunner(workers=2) as runner:
+        with ParallelChipRunner(EngineConfig(workers=2)) as runner:
             parallel = runner.build_chips(tasks)
         for a, b in zip(serial, parallel):
             assert a.chip_id == b.chip_id
@@ -89,10 +90,12 @@ class TestRunnerBasics:
 class TestSerialParallelIdentity:
     def test_fig10_parallel_matches_serial(self):
         serial_ctx = ExperimentContext(
-            n_chips=4, n_references=1200, seed=6, workers=1
+            n_chips=4, n_references=1200, seed=6,
+            engine=EngineConfig(workers=1),
         )
         parallel_ctx = ExperimentContext(
-            n_chips=4, n_references=1200, seed=6, workers=4
+            n_chips=4, n_references=1200, seed=6,
+            engine=EngineConfig(workers=4),
         )
         try:
             serial = fig10_hundred_chips.run(serial_ctx)
@@ -149,7 +152,9 @@ class TestEvaluatorCacheConfig:
 
         original = evaluator_cache_size()
         try:
-            runner = ParallelChipRunner(workers=1, evaluator_cache_size=3)
+            runner = ParallelChipRunner(
+                EngineConfig(workers=1, evaluator_cache_size=3)
+            )
             assert runner.evaluator_cache_size == 3
             assert evaluator_cache_size() == 3
         finally:
@@ -159,7 +164,8 @@ class TestEvaluatorCacheConfig:
 
     def test_context_field_reaches_runner(self):
         context = ExperimentContext(
-            n_chips=1, n_references=600, evaluator_cache_size=4
+            n_chips=1, n_references=600,
+            engine=EngineConfig(workers=1, evaluator_cache_size=4),
         )
         from repro.engine.parallel import (
             evaluator_cache_size,

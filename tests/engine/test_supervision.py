@@ -246,15 +246,17 @@ class TestRunnerConfigSurface:
 
     def test_config_both_positional_and_keyword_rejected(self):
         config = EngineConfig(workers=2)
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(TypeError):
             ParallelChipRunner(config, config=config)
 
-    def test_config_plus_legacy_keywords_rejected(self):
-        with pytest.raises(ConfigurationError):
-            ParallelChipRunner(workers=2, config=EngineConfig())
+    def test_legacy_keywords_removed(self):
+        with pytest.raises(TypeError):
+            ParallelChipRunner(workers=2)
+        with pytest.raises(TypeError):
+            ParallelChipRunner(evaluator_cache_size=3)
 
-    def test_legacy_keywords_build_config(self):
-        runner = ParallelChipRunner(workers=3)
+    def test_keyword_config_accepted(self):
+        runner = ParallelChipRunner(config=EngineConfig(workers=3))
         assert runner.config.workers == 3
         assert runner.workers == 3
         runner.close()
