@@ -39,10 +39,19 @@ from repro.errors import (
 )
 from repro.technology import (
     ALL_NODES,
+    DEFAULT_TECHNOLOGY,
+    DRAM3T1DBackend,
     NODE_32NM,
     NODE_45NM,
     NODE_65NM,
+    RetentionMap,
+    STTRAMBackend,
+    TechnologyBackend,
     TechnologyNode,
+    VarDRAMBackend,
+    backend_names,
+    get_backend,
+    register_backend,
 )
 from repro.variation import (
     ChipVariation,
@@ -100,7 +109,6 @@ from repro.core import (
     evaluate_many,
     get_scheme,
     kernel_support,
-    kernel_supports,
     simulate_trace,
 )
 from repro.engine import (
@@ -166,6 +174,15 @@ __all__ = [
     "NODE_65NM",
     "NODE_45NM",
     "NODE_32NM",
+    "DEFAULT_TECHNOLOGY",
+    "TechnologyBackend",
+    "DRAM3T1DBackend",
+    "STTRAMBackend",
+    "VarDRAMBackend",
+    "RetentionMap",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "VariationParams",
     "VariationSampler",
     "ChipVariation",
@@ -211,7 +228,6 @@ __all__ = [
     "evaluate_many",
     "KernelSupport",
     "kernel_support",
-    "kernel_supports",
     "simulate_trace",
     "YieldModel",
     "DEFAULT_EVALUATOR_CACHE_SIZE",

@@ -37,6 +37,22 @@ FACADE_MODULE = "repro"
 KERNEL_PROBE_NAME = "_kernel_supported"
 KERNEL_PROBE_HOME = "repro.core.batcheval"
 
+#: The cell-backend protocol (PR 7).  A backend subclass that skips one
+#: of these methods would only fail at sampling/evaluation time; the
+#: static rule moves that failure to lint time.  Kept in sync with
+#: ``repro.technology.backends.BACKEND_PROTOCOL_METHODS`` by a test.
+BACKEND_BASE_NAME = "TechnologyBackend"
+BACKEND_HOME = "repro.technology.backends"
+BACKEND_REQUIRED_METHODS: Tuple[str, ...] = (
+    "cell_timing",
+    "cell_energy",
+    "leakage_power",
+    "nominal_retention_time",
+    "sample_retention_map",
+    "refresh_cost",
+    "latency_model",
+)
+
 
 def declared_all(tree: ast.Module) -> Optional[List[Tuple[str, int]]]:
     """``__all__`` entries with line numbers, or None when undeclared.
@@ -307,7 +323,67 @@ class PrivateKernelProbeRule(Rule):
         return findings
 
 
+@register_rule
+class TechnologyBackendConformanceRule(Rule):
+    """API005: backend subclasses must satisfy the whole protocol.
+
+    Every class that derives from
+    :class:`repro.technology.backends.TechnologyBackend` (directly, by
+    plain or attribute-qualified base name) must define all of the
+    protocol's methods.  A partial backend imports cleanly and only
+    explodes once a chip is sampled or an evaluator configured; this
+    rule surfaces the gap statically, next to API001-004 in the same
+    baseline/CI gate.
+    """
+
+    rule_id = "API005"
+    name = "technology-backend-conformance"
+    description = (
+        "a TechnologyBackend subclass missing protocol methods defers "
+        "its failure to chip-sampling time; implement the full "
+        "cell_timing/.../latency_model surface"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name == BACKEND_BASE_NAME:
+                # The ABC itself declares the protocol.
+                continue
+            if not any(
+                (isinstance(base, ast.Name) and base.id == BACKEND_BASE_NAME)
+                or (isinstance(base, ast.Attribute)
+                    and base.attr == BACKEND_BASE_NAME)
+                for base in node.bases
+            ):
+                continue
+            defined = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            missing = [
+                method
+                for method in BACKEND_REQUIRED_METHODS
+                if method not in defined
+            ]
+            if missing:
+                findings.append(self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"backend {node.name!r} does not implement protocol "
+                    f"method(s) {', '.join(repr(m) for m in missing)}; "
+                    "every TechnologyBackend subclass must define the "
+                    "full cell/retention/refresh/latency surface",
+                ))
+        return findings
+
+
 __all__ = [
+    "BACKEND_BASE_NAME",
+    "BACKEND_HOME",
+    "BACKEND_REQUIRED_METHODS",
     "ExportedNameUndefinedRule",
     "FacadeDriftRule",
     "KERNEL_PROBE_HOME",
@@ -315,6 +391,7 @@ __all__ = [
     "PrivateKernelProbeRule",
     "PublicNameUnexportedRule",
     "REQUIRED_FACADE_EXPORTS",
+    "TechnologyBackendConformanceRule",
     "declared_all",
     "getattr_provided_names",
     "module_bindings",

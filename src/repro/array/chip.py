@@ -28,11 +28,15 @@ from repro.variation.montecarlo import (
     validate_chip_count,
 )
 from repro.variation.parameters import VariationParams
-import repro.cells.dram3t1d as dram3t1d
 from repro.cells.dram3t1d import DRAM3T1DCell
 from repro.cells.retention import RetentionModel
 from repro.cells.sram6t import SRAM6TCell
 from repro.array.geometry import CacheGeometry
+from repro.technology.backends import (
+    DEFAULT_TECHNOLOGY,
+    TechnologyBackend,
+    get_backend,
+)
 
 
 @dataclass(frozen=True)
@@ -114,6 +118,14 @@ class DRAM3T1DChipSample:
     word 0 also covers the line's tag cells.  Populated by the sampler to
     support word-granularity refresh studies; the per-line values are the
     row-wise minima of this array."""
+    technology: str = DEFAULT_TECHNOLOGY
+    """Registered technology backend this chip was sampled with.  The
+    class name predates the backend protocol; a sample is the generic
+    per-line retention map any registered backend produces."""
+    latency_factor_by_line: Optional[np.ndarray] = None
+    """Optional per-line access-time multiplier (design-induced latency
+    variation, e.g. the vardram backend); ``None`` for uniform-latency
+    technologies."""
 
     def __post_init__(self) -> None:
         if self.retention_by_line.shape != (self.geometry.n_lines,):
@@ -129,6 +141,18 @@ class DRAM3T1DChipSample:
                 raise ConfigurationError(
                     "retention_by_word must have one row per line"
                 )
+        if self.latency_factor_by_line is not None:
+            if self.latency_factor_by_line.shape != (self.geometry.n_lines,):
+                raise ConfigurationError(
+                    "latency_factor_by_line must have one entry per line"
+                )
+
+    @property
+    def mean_latency_factor(self) -> float:
+        """Mean design-induced latency multiplier (1.0 when uniform)."""
+        if self.latency_factor_by_line is None:
+            return 1.0
+        return float(np.mean(self.latency_factor_by_line))
 
     @property
     def retention_grid(self) -> np.ndarray:
@@ -192,6 +216,8 @@ class DRAM3T1DChipSample:
             leakage_power=self.leakage_power,
             golden_leakage_power=self.golden_leakage_power,
             retention_by_word=self.retention_by_word,
+            technology=self.technology,
+            latency_factor_by_line=self.latency_factor_by_line,
         )
 
 
@@ -215,11 +241,17 @@ class ChipBuildTask:
     chip_seed: int
     size_factor: float = 1.0
     """6T cell size factor; ignored for 3T1D builds."""
+    technology: str = DEFAULT_TECHNOLOGY
+    """Backend name used for ``kind == "3t1d"`` (retention-map) builds."""
 
     def build(self) -> Union["DRAM3T1DChipSample", "SRAMChipSample"]:
         """Realize the reserved chip sample."""
         sampler = ChipSampler(
-            self.node, self.params, seed=0, geometry=self.geometry
+            self.node,
+            self.params,
+            seed=0,
+            geometry=self.geometry,
+            technology=self.technology,
         )
         chip = sampler._sampler.chip_from_seed(self.chip_id, self.chip_seed)
         if self.kind == "3t1d":
@@ -245,13 +277,19 @@ class ChipSampler:
     params: VariationParams
     seed: int = 0
     geometry: CacheGeometry = field(default_factory=CacheGeometry)
+    technology: str = DEFAULT_TECHNOLOGY
+    """Registered backend that maps variation draws to retention maps for
+    the ``sample_3t1d_*`` entry points (6T sampling is backend-independent
+    -- it is the normalisation reference)."""
     _sampler: VariationSampler = field(init=False, repr=False)
+    _backend: TechnologyBackend = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.geometry.n_subarrays != 8:
             raise ConfigurationError(
                 "the variation layout assumes the paper's 8 sub-arrays"
             )
+        self._backend = get_backend(self.technology)
         self._sampler = VariationSampler(
             node=self.node, params=self.params, seed=self.seed
         )
@@ -283,6 +321,7 @@ class ChipSampler:
                 chip_id=chip_id,
                 chip_seed=chip_seed,
                 size_factor=size_factor,
+                technology=self.technology,
             )
             for chip_id, chip_seed in self._sampler.reserve_chip_seeds(count)
         ]
@@ -379,72 +418,17 @@ class ChipSampler:
         ]
 
     def _build_3t1d_sample(self, chip: ChipVariation) -> DRAM3T1DChipSample:
-        cell = DRAM3T1DCell(self.node)
-        model = RetentionModel(cell)
-        sigma_vth = (
-            self.params.sigma_vth(self.node)
-            * dram3t1d.DEVICE_AREA_SIGMA_SCALE
-        )
-        sigma_eps = (
-            dram3t1d.DIODE_BOOST_SIGMA_FACTOR * self.params.sigma_vth_rel
-        )
-        geometry = self.geometry
-        rows = geometry.rows_per_pair
-        cells = geometry.cells_per_line
-
-        words_per_line = 8  # 512 data bits in 64-bit words
-        retention = np.empty(geometry.n_lines)
-        word_retention = np.empty((geometry.n_lines, words_per_line))
-        leakage = 0.0
-        golden_cell_leak = cell.nominal_cell_leakage_power()
-        sram_golden = (
-            SRAM6TCell(self.node).nominal_cell_leakage_power()
-            * geometry.total_cells
-        )
-        for pair in range(geometry.n_pairs):
-            sub_a, sub_b = geometry.subarrays_of_pair(pair)
-            delta_l = 0.5 * (
-                chip.delta_l_total(sub_a) + chip.delta_l_total(sub_b)
-            )
-            shape = (rows, cells)
-            if sigma_vth > 0:
-                d_t1 = chip.rng.normal(0.0, sigma_vth, size=shape)
-                d_t2 = chip.rng.normal(0.0, sigma_vth, size=shape)
-            else:
-                d_t1 = np.zeros(shape)
-                d_t2 = np.zeros(shape)
-            eps = (
-                chip.rng.normal(0.0, sigma_eps, size=shape)
-                if sigma_eps > 0
-                else np.zeros(shape)
-            )
-            cell_retention = np.asarray(
-                model.retention_time(d_t1, d_t2, delta_l, eps)
-            )
-            line_retention = np.min(cell_retention, axis=1)
-            # Word-granularity minima: 8 x 64 data cells; the tag cells
-            # (beyond bit 512) fold into word 0, which refreshes with the
-            # tags anyway.
-            data_words = np.min(
-                cell_retention[:, : 8 * 64].reshape(rows, 8, 64), axis=2
-            )
-            if cells > 8 * 64:
-                tag_min = np.min(cell_retention[:, 8 * 64:], axis=1)
-                data_words[:, 0] = np.minimum(data_words[:, 0], tag_min)
-            line_ids = np.arange(rows) * geometry.n_pairs + pair
-            retention[line_ids] = line_retention
-            word_retention[line_ids] = data_words
-            # Supply leakage flows through the read stack; reuse the T2 draw.
-            leakage += float(np.sum(cell.leakage_power(d_t2, delta_l)))
-
+        rmap = self._backend.sample_retention_map(chip, self.geometry)
         return DRAM3T1DChipSample(
             node=self.node,
-            geometry=geometry,
+            geometry=self.geometry,
             chip_id=chip.chip_id,
-            retention_by_line=retention,
-            leakage_power=leakage,
-            golden_leakage_power=sram_golden,
-            retention_by_word=word_retention,
+            retention_by_line=rmap.retention_by_line,
+            leakage_power=rmap.leakage_power,
+            golden_leakage_power=rmap.golden_leakage_power,
+            retention_by_word=rmap.retention_by_word,
+            technology=self.technology,
+            latency_factor_by_line=rmap.latency_factor_by_line,
         )
 
     # ------------------------------------------------------------------

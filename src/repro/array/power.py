@@ -43,25 +43,55 @@ class CachePowerModel:
 
     node: TechnologyNode
     cell_kind: str = "3T1D"
+    """``"6T"``/``"3T1D"`` use the Table 3 calibration anchors directly;
+    any other value must be a registered technology backend name whose
+    :class:`~repro.technology.backends.CellEnergy` supplies the access and
+    refresh energies."""
     geometry: CacheGeometry = CacheGeometry()
 
     def __post_init__(self) -> None:
-        if self.cell_kind not in ("6T", "3T1D"):
-            raise ConfigurationError(
-                f"cell_kind must be '6T' or '3T1D', got {self.cell_kind!r}"
-            )
+        if self.cell_kind in ("6T", "3T1D"):
+            return
+        from repro.technology.backends import get_backend
+
+        get_backend(self.cell_kind)  # raises ConfigurationError if unknown
+
+    def _backend_energy(self):
+        from repro.technology.backends import get_backend
+
+        return get_backend(self.cell_kind).cell_energy(self.node)
 
     # --- energies ---------------------------------------------------------
 
     @property
     def port_access_energy(self) -> float:
-        """Energy of one full-width port access (joules)."""
-        return calibration.port_access_energy(self.node, self.cell_kind)
+        """Energy of one full-width port access (joules).
+
+        For backend cell kinds this is the *read* energy; writes add
+        :attr:`store_energy_premium` per store on top.
+        """
+        if self.cell_kind in ("6T", "3T1D"):
+            return calibration.port_access_energy(self.node, self.cell_kind)
+        return self._backend_energy().read_energy
+
+    @property
+    def store_energy_premium(self) -> float:
+        """Extra energy of a write over a read, joules.
+
+        Zero for the calibrated 6T/3T1D kinds (Table 3 anchors already
+        average reads and writes); positive for asymmetric technologies
+        such as STT-RAM.
+        """
+        if self.cell_kind in ("6T", "3T1D"):
+            return 0.0
+        return self._backend_energy().store_energy_premium
 
     @property
     def refresh_line_energy(self) -> float:
         """Energy to refresh one line (pipelined read + write back), joules."""
-        return calibration.refresh_line_energy(self.node)
+        if self.cell_kind in ("6T", "3T1D"):
+            return calibration.refresh_line_energy(self.node)
+        return self._backend_energy().refresh_line_energy
 
     @property
     def l2_access_energy(self) -> float:
@@ -131,11 +161,14 @@ class CachePowerModel:
         line_refreshes: float = 0.0,
         extra_l2_accesses: float = 0.0,
         include_line_counters: bool = False,
+        store_accesses: float = 0.0,
     ) -> float:
         """Dynamic power from event counts of a simulation window, watts.
 
         ``cycles`` is the window length in clock cycles; the event counts
-        are totals over the window.
+        are totals over the window.  ``store_accesses`` (a subset of
+        ``port_accesses``) only matters for technologies with asymmetric
+        write energy: each store is charged the write-over-read premium.
         """
         if cycles <= 0:
             raise ConfigurationError(f"cycles must be positive, got {cycles}")
@@ -145,6 +178,9 @@ class CachePowerModel:
             + line_refreshes * self.refresh_line_energy
             + extra_l2_accesses * self.l2_access_energy
         )
+        premium = self.store_energy_premium
+        if premium > 0.0 and store_accesses > 0.0:
+            energy += store_accesses * premium
         power = energy / window
         if include_line_counters:
             power += self.line_counter_power()

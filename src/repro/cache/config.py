@@ -25,6 +25,11 @@ class CacheConfig:
 
     geometry: CacheGeometry = field(default_factory=CacheGeometry)
     hit_latency_cycles: int = 3
+    write_hit_extra_cycles: int = 0
+    """Extra cycles a write hit occupies beyond ``hit_latency_cycles``.
+    Zero for the paper's 3T1D design; technologies with asymmetric writes
+    (e.g. STT-RAM) set this from their backend's latency model, and the
+    CPU model charges it as a store-port stall."""
     l2_latency_cycles: int = 12
     memory_latency_cycles: int = 250
     l2_miss_rate: float = 0.05
@@ -46,6 +51,8 @@ class CacheConfig:
     def __post_init__(self) -> None:
         if self.hit_latency_cycles < 1:
             raise ConfigurationError("hit_latency_cycles must be >= 1")
+        if self.write_hit_extra_cycles < 0:
+            raise ConfigurationError("write_hit_extra_cycles must be >= 0")
         if self.l2_latency_cycles <= self.hit_latency_cycles:
             raise ConfigurationError(
                 "L2 latency must exceed the L1 hit latency"
@@ -82,6 +89,7 @@ class CacheConfig:
         return CacheConfig(
             geometry=self.geometry.with_ways(ways),
             hit_latency_cycles=self.hit_latency_cycles,
+            write_hit_extra_cycles=self.write_hit_extra_cycles,
             l2_latency_cycles=self.l2_latency_cycles,
             memory_latency_cycles=self.memory_latency_cycles,
             l2_miss_rate=self.l2_miss_rate,

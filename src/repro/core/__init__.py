@@ -47,9 +47,7 @@ from repro.core.batcheval import (
     TraceArtifacts,
     evaluate,
     evaluate_many,
-    kernel_fallback_reason,
     kernel_support,
-    kernel_supports,
     simulate_trace,
 )
 from repro.core.yieldmodel import YieldModel, YieldReport
@@ -85,9 +83,7 @@ __all__ = [
     "evaluate",
     "evaluate_many",
     "KernelSupport",
-    "kernel_fallback_reason",
     "kernel_support",
-    "kernel_supports",
     "simulate_trace",
     "YieldModel",
     "YieldReport",

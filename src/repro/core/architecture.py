@@ -132,9 +132,16 @@ class Cache3T1DArchitecture:
         )
 
     def power_model(self) -> CachePowerModel:
-        """Dynamic/leakage power bookkeeping for this architecture."""
+        """Dynamic/leakage power bookkeeping for this architecture.
+
+        The default 3T1D technology keeps the calibrated Table 3 energy
+        path; chips sampled through another registered backend get that
+        backend's access/refresh energies.
+        """
+        technology = getattr(self.chip, "technology", "3t1d")
+        cell_kind = "3T1D" if technology == "3t1d" else technology
         return CachePowerModel(
-            self.node, cell_kind="3T1D", geometry=self.config.geometry
+            self.node, cell_kind=cell_kind, geometry=self.config.geometry
         )
 
 

@@ -34,7 +34,6 @@ and fast-path coverage in ``BENCH_batcheval.json``.
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -269,37 +268,6 @@ def _kernel_supported(cache: RetentionAwareCache) -> bool:
     typed :class:`KernelSupport` result is the supported probe.
     """
     return kernel_support(cache).supported
-
-
-def kernel_supports(cache: RetentionAwareCache) -> bool:
-    """Deprecated: use ``kernel_support(cache).supported``.
-
-    Note the semantic change behind the shim: the RSP schemes, the token
-    engine, and the real L2 are now kernel-supported (timeline path), so
-    this returns True for configurations it used to reject.
-    """
-    warnings.warn(
-        "kernel_supports() is deprecated; use "
-        "repro.core.kernel_support(cache).supported",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return kernel_support(cache).supported
-
-
-def kernel_fallback_reason(cache: RetentionAwareCache) -> Optional[str]:
-    """Deprecated: use ``kernel_support(cache).reason``.
-
-    Returns ``None`` for every kernel-supported cache -- including the
-    RSP/token/L2 configurations that used to fall back.
-    """
-    warnings.warn(
-        "kernel_fallback_reason() is deprecated; use "
-        "repro.core.kernel_support(cache).reason",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return kernel_support(cache).reason
 
 
 def simulate_trace(
@@ -798,8 +766,6 @@ __all__ = [
     "TraceArtifacts",
     "simulate_trace",
     "kernel_support",
-    "kernel_supports",
-    "kernel_fallback_reason",
     "evaluate_many",
     "evaluate",
 ]

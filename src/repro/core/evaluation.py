@@ -323,6 +323,7 @@ class Evaluator:
                 extra_l2_accesses=max(
                     0, stats.l2_accesses - baseline.l2_accesses
                 ),
+                store_accesses=stats.stores,
             ) + power_model.global_refresh_power(
                 architecture.chip_retention_cycles / self.node.frequency
             )
@@ -335,6 +336,7 @@ class Evaluator:
                     0, stats.l2_accesses - baseline.l2_accesses
                 ),
                 include_line_counters=True,
+                store_accesses=stats.stores,
             )
         return BenchmarkResult(
             benchmark=benchmark,

@@ -42,6 +42,11 @@ LOAD_CONFLICT_WEIGHT: float = 0.5
 """Probability-weight of a one-cycle delay when a load collides with a
 refresh/move that holds a read port."""
 
+HIT_LATENCY_EXPOSURE: float = 0.5
+"""Fraction of extra L1 load-to-use cycles the OoO scheduler cannot
+hide.  Charged only for the cycles a technology's hit latency exceeds
+the structural 3-cycle array latency (zero for the paper's designs)."""
+
 
 @dataclass(frozen=True)
 class PerformanceEstimate:
@@ -163,6 +168,23 @@ class AnalyticCPUModel:
         )
 
         cpi_stall = stats.write_buffer_stall_cycles / instructions
+        extra_write_cycles = self.cache_config.write_hit_extra_cycles
+        if extra_write_cycles:
+            # Asymmetric-write technologies (STT-RAM): every store holds
+            # the single write port extra cycles; with one write port the
+            # occupancy serialises into the store stream.
+            cpi_stall += stats.stores / instructions * extra_write_cycles
+        extra_hit_cycles = (
+            self.cache_config.hit_latency_cycles
+            - self.cache_config.geometry.access_latency_cycles
+        )
+        if extra_hit_cycles > 0:
+            # Slower-array technologies (variation-afflicted DRAM): every
+            # load-to-use chain sees the extra hit cycles; the scheduler
+            # hides part of them.
+            cpi_stall += (
+                loads_per_instr * extra_hit_cycles * HIT_LATENCY_EXPOSURE
+            )
 
         estimate = PerformanceEstimate(
             ipc=0.0,  # placeholder, replaced below

@@ -30,7 +30,7 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -78,6 +78,9 @@ class EvaluatorSpec:
     n_references: int = 8000
     seed: int = 2007
     benchmarks: Optional[Tuple[str, ...]] = None
+    technology: str = "3t1d"
+    """Registered technology backend; non-default backends adjust the
+    cache timing (read/write hit latency) from their latency model."""
 
     def __post_init__(self) -> None:
         if self.benchmarks is not None:
@@ -90,6 +93,17 @@ class EvaluatorSpec:
         config = CacheConfig()
         if self.ways != config.geometry.ways:
             config = config.with_ways(self.ways)
+        if self.technology != "3t1d":
+            from repro.technology.backends import get_backend
+
+            latency = get_backend(self.technology).latency_model(
+                self.node, config.geometry
+            )
+            config = replace(
+                config,
+                hit_latency_cycles=latency.read_hit_cycles,
+                write_hit_extra_cycles=latency.write_extra_cycles,
+            )
         return Evaluator(
             self.node,
             config=config,
@@ -177,6 +191,12 @@ class SchemeOutcome:
     refresh_power_normalized: float = 0.0
     """Closed-form global-refresh share of ``dynamic_power_normalized``;
     zero for line-level schemes."""
+    mean_miss_rate: float = 0.0
+    """Suite-mean L1 miss rate (includes expiry-induced misses)."""
+    mean_expired_miss_rate: float = 0.0
+    """Suite-mean rate of accesses that missed because the line's
+    retention expired (or the line is dead) -- the technology-variation
+    signal the cross-backend comparison tracks."""
     kernel_paths: Tuple[Tuple[str, str], ...] = ()
     """Per-benchmark replay path (``(benchmark, path)`` pairs, in suite
     order) that produced this outcome's statistics -- see
@@ -235,14 +255,17 @@ def _evaluate_schemes(
         ]))
         refresh_norm = 0.0
         if scheme.is_global:
+            technology = getattr(task.chip, "technology", "3t1d")
             power_model = CachePowerModel(
-                evaluator.node, cell_kind="3T1D",
+                evaluator.node,
+                cell_kind="3T1D" if technology == "3t1d" else technology,
                 geometry=evaluator.config.geometry,
             )
             refresh_watts = power_model.global_refresh_power(
                 task.chip.chip_retention_time
             )
             refresh_norm = refresh_watts / ideal_watts
+        with_stats = [r for r in results.values() if r.stats is not None]
         outcomes.append(
             SchemeOutcome(
                 scheme=name,
@@ -256,6 +279,12 @@ def _evaluate_schemes(
                 )),
                 ideal_power_watts=ideal_watts,
                 refresh_power_normalized=refresh_norm,
+                mean_miss_rate=float(np.mean(
+                    [r.stats.miss_rate for r in with_stats]
+                )) if with_stats else 0.0,
+                mean_expired_miss_rate=float(np.mean(
+                    [r.stats.expired_miss_rate for r in with_stats]
+                )) if with_stats else 0.0,
                 kernel_paths=tuple(
                     (bench, result.kernel_path)
                     for bench, result in results.items()

@@ -15,6 +15,7 @@ Module                    Paper content
 ``fig11_associativity``   Figure 11: associativity sweep x 3 chips x 3 schemes
 ``fig12_sensitivity``     Figure 12: mu-sigma/mu performance surfaces
 ``table3``                Table 3: per-node summary (ideal 6T / 1X 6T / 3T1D)
+``techcompare``           Cross-technology sweep (3T1D / STT-RAM / var-DRAM)
 ========================  ====================================================
 
 Every module exposes ``run(...)`` returning a result dataclass and
@@ -41,6 +42,7 @@ from repro.experiments import (  # noqa: E402  (registration side effects)
     fig11_associativity,
     fig12_sensitivity,
     table3,
+    techcompare,
 )
 
 __all__ = [
@@ -56,4 +58,5 @@ __all__ = [
     "fig11_associativity",
     "fig12_sensitivity",
     "table3",
+    "techcompare",
 ]

@@ -39,6 +39,7 @@ from repro.engine.events import (
 from repro.engine.faults import FaultPlan
 from repro.engine.observer import JSONMetricsObserver, NULL_OBSERVER
 from repro.engine.registry import Experiment, get_experiment
+from repro.technology.backends import backend_names
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.reporting import write_csv
 
@@ -60,6 +61,12 @@ def engine_parent_parser() -> argparse.ArgumentParser:
         help="trace references per benchmark",
     )
     scale.add_argument("--seed", type=int, default=2007)
+    scale.add_argument(
+        "--technology", type=str, default="3t1d",
+        choices=backend_names(), metavar="BACKEND",
+        help="technology backend to sample chips with "
+        f"(one of: {', '.join(backend_names())}; default: 3t1d)",
+    )
     engine = parent.add_argument_group("engine")
     engine.add_argument(
         "--workers", type=int, default=1,
@@ -159,6 +166,7 @@ def context_from_args(
         n_chips=args.chips,
         n_references=args.refs,
         seed=args.seed,
+        technology=getattr(args, "technology", "3t1d"),
         engine=engine_config_from_args(args),
         observer=observer,
     )

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.technology.node import NODE_32NM, TechnologyNode
+from repro.technology.backends import get_backend
 from repro.variation.parameters import VariationParams
 from repro.array.chip import ChipSampler, DRAM3T1DChipSample, SRAMChipSample
 from repro.core.evaluation import Evaluator
@@ -44,6 +45,11 @@ class ExperimentContext:
     n_references: int = 8000
     seed: int = 2007  # the paper's year; any fixed value works
     benchmarks: Optional[Sequence[str]] = None
+    technology: str = "3t1d"
+    """Registered technology backend name (see
+    :func:`repro.technology.backend_names`).  The default 3T1D backend
+    reproduces the paper; alternatives re-run the same experiments on the
+    same workloads with a different cell technology underneath."""
     engine: Optional[EngineConfig] = None
     """The consolidated engine configuration (pool width, caches,
     checkpointing, supervision).  ``None`` means serial execution
@@ -60,7 +66,7 @@ class ExperimentContext:
     _chips_sram: Dict[Tuple[str, float], List[SRAMChipSample]] = field(
         init=False, default_factory=dict, repr=False
     )
-    _evaluators: Dict[Tuple[str, int], Evaluator] = field(
+    _evaluators: Dict[Tuple[str, int, str], Evaluator] = field(
         init=False, default_factory=dict, repr=False
     )
     _runner: Optional[ParallelChipRunner] = field(
@@ -72,6 +78,7 @@ class ExperimentContext:
             raise ConfigurationError("n_chips must be >= 1")
         if self.n_references < 1:
             raise ConfigurationError("n_references must be >= 1")
+        get_backend(self.technology)  # fail fast on unknown backends
         if self.engine is None:
             self.engine = EngineConfig(workers=1)
         elif not isinstance(self.engine, EngineConfig):
@@ -176,10 +183,15 @@ class ExperimentContext:
             f"{self.node.name}@{self.node.frequency:g}Hz"
             f"/{self.node.vdd:g}V/{self.node.vth:g}V"
         )
-        return (
+        fingerprint = (
             f"node={node}|chips={self.n_chips}|refs={self.n_references}"
             f"|seed={self.seed}|benchmarks={benchmarks}"
         )
+        # Appended only for non-default backends so pre-backend journals,
+        # cache entries, and run keys stay valid for 3T1D runs.
+        if self.technology != "3t1d":
+            fingerprint += f"|technology={self.technology}"
+        return fingerprint
 
     # ------------------------------------------------------------------
     # cached inputs
@@ -203,13 +215,18 @@ class ExperimentContext:
         """The cached Monte-Carlo 3T1D chip batch for ``scenario``."""
         if scenario not in self._chips_3t1d:
             sampler = ChipSampler(
-                self.node, self.scenario(scenario), seed=self.seed
+                self.node,
+                self.scenario(scenario),
+                seed=self.seed,
+                technology=self.technology,
             )
             tasks = sampler.reserve_build_tasks(self.n_chips, kind="3t1d")
             self._chips_3t1d[scenario] = self.runner.build_chips(
                 tasks,
                 observer=self.observer,
-                label=f"sample 3T1D chips ({scenario})",
+                label=f"sample {self.technology} chips ({scenario})"
+                if self.technology != "3t1d"
+                else f"sample 3T1D chips ({scenario})",
             )
         return self._chips_3t1d[scenario]
 
@@ -240,11 +257,12 @@ class ExperimentContext:
             n_references=self.n_references,
             seed=self.seed,
             benchmarks=tuple(self.benchmarks) if self.benchmarks else None,
+            technology=self.technology,
         )
 
     def evaluator(self, ways: int = 4) -> Evaluator:
         """The cached evaluator for an associativity (traces shared)."""
-        key = (self.node.name, ways)
+        key = (self.node.name, ways, self.technology)
         if key not in self._evaluators:
             self._evaluators[key] = self.evaluator_spec(ways).build()
         return self._evaluators[key]

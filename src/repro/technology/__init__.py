@@ -18,6 +18,26 @@ from repro.technology.transistor import Transistor, TransistorType
 from repro.technology.wire import WireModel
 from repro.technology import calibration
 
+# Imported last: backends builds on calibration/node above, and the
+# concrete backends lazily import repro.cells/repro.array at call time.
+from repro.technology.backends import (
+    DEFAULT_TECHNOLOGY,
+    DRAM3T1DBackend,
+    DVFSPoint,
+    CellEnergy,
+    CellTiming,
+    LatencyModel,
+    RefreshCost,
+    RetentionMap,
+    STTRAMBackend,
+    TechnologyBackend,
+    VarDRAMBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.technology import backends
+
 __all__ = [
     "TechnologyNode",
     "NODE_65NM",
@@ -28,4 +48,19 @@ __all__ = [
     "TransistorType",
     "WireModel",
     "calibration",
+    "backends",
+    "DEFAULT_TECHNOLOGY",
+    "TechnologyBackend",
+    "DRAM3T1DBackend",
+    "STTRAMBackend",
+    "VarDRAMBackend",
+    "DVFSPoint",
+    "CellTiming",
+    "CellEnergy",
+    "LatencyModel",
+    "RefreshCost",
+    "RetentionMap",
+    "backend_names",
+    "get_backend",
+    "register_backend",
 ]

@@ -1,0 +1,845 @@
+"""Pluggable technology backends behind one typed protocol.
+
+The paper's central abstraction is deliberately narrow: all process
+variation is lumped into a single per-line retention time, and everything
+downstream -- refresh x placement schemes, :class:`ChipSampler` retention
+maps, the batched/timeline kernels -- consumes only that abstraction.
+:class:`TechnologyBackend` makes the abstraction explicit so alternative
+cell technologies can be dropped underneath the unchanged scheme
+machinery:
+
+* :class:`DRAM3T1DBackend` -- the paper's 3T1D cell, a verbatim port of the
+  original ``ChipSampler`` sampling loop (bit-identical draw order, so the
+  default backend reproduces pre-backend outputs exactly).
+* :class:`STTRAMBackend` -- an STT-RAM L1 with asymmetric read/write
+  latency and energy, relaxed-retention banks, and DVFS-point-dependent
+  retention scaling, after ARC (arxiv 2407.19612): retention follows
+  ``tau0 * exp(Delta)`` in the thermal stability factor ``Delta``, relaxed
+  banks trade stability for write energy, and a hotter/faster DVFS point
+  erodes ``Delta``.
+* :class:`VarDRAMBackend` -- a commodity-DRAM-style array with
+  design-induced access-latency variation after Lee et al. (arxiv
+  1610.09604): a cell's distance from its sense amplifiers sets a
+  deterministic latency gradient, distant rows also restore less charge
+  (shorter effective retention), and process variation adds a lognormal
+  retention tail.
+
+Backends register by name in a module-level registry; ``get_backend``
+resolves the names the ``--technology`` CLI flag and
+``ExperimentContext.technology`` accept.  Registration enforces full
+protocol conformance (no partial duck-typing) -- mirrored statically by
+linter rule API005.
+
+The two non-3T1D models keep the paper's *trace-scale* framing: retention
+times land in the same tens-of-microseconds window the 3T1D study
+observes, so the existing benchmark traces exercise expiry/refresh
+behaviour rather than trivially never (STT-RAM at seconds of retention) or
+always (unscaled DRAM refresh windows) expiring.  They are design-point
+models for comparing scheme machinery across technologies, not sign-off
+device models.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.technology import calibration
+from repro.technology.node import TechnologyNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.array.geometry import CacheGeometry
+    from repro.variation.montecarlo import ChipVariation
+
+
+# ---------------------------------------------------------------------------
+# Typed payloads
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Intrinsic array timing of one backend at one node, seconds."""
+
+    read_time: float
+    write_time: float
+
+    def __post_init__(self) -> None:
+        if self.read_time <= 0 or self.write_time <= 0:
+            raise ConfigurationError("cell timing values must be positive")
+
+
+@dataclass(frozen=True)
+class CellEnergy:
+    """Per-access energy of one backend at one node, joules."""
+
+    read_energy: float
+    write_energy: float
+    refresh_line_energy: float
+
+    def __post_init__(self) -> None:
+        if self.read_energy <= 0 or self.write_energy <= 0:
+            raise ConfigurationError("access energies must be positive")
+        if self.refresh_line_energy < 0:
+            raise ConfigurationError("refresh_line_energy must be >= 0")
+
+    @property
+    def store_energy_premium(self) -> float:
+        """Extra energy of a write over a read, joules (>= 0 clamped)."""
+        return max(self.write_energy - self.read_energy, 0.0)
+
+
+@dataclass(frozen=True)
+class RefreshCost:
+    """What a refresh pass costs -- or that the technology needs none."""
+
+    needs_refresh: bool
+    cycles_per_line: int
+    energy_per_line: float
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_line < 0 or self.energy_per_line < 0:
+            raise ConfigurationError("refresh costs must be >= 0")
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Pipeline view of a backend's access latency, in core cycles."""
+
+    read_hit_cycles: int
+    write_hit_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.read_hit_cycles < 1:
+            raise ConfigurationError("read_hit_cycles must be >= 1")
+        if self.write_hit_cycles < self.read_hit_cycles:
+            raise ConfigurationError(
+                "write_hit_cycles must be >= read_hit_cycles (writes may be "
+                "slower than reads, never faster)"
+            )
+
+    @property
+    def write_extra_cycles(self) -> int:
+        """Cycles a write hit spends beyond a read hit."""
+        return self.write_hit_cycles - self.read_hit_cycles
+
+
+@dataclass(frozen=True)
+class DVFSPoint:
+    """One voltage/frequency operating point, relative to nominal."""
+
+    name: str = "nominal"
+    vdd_scale: float = 1.0
+    frequency_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.vdd_scale <= 0 or self.frequency_scale <= 0:
+            raise ConfigurationError("DVFS scales must be positive")
+
+
+DVFS_NOMINAL = DVFSPoint()
+
+
+@dataclass(frozen=True)
+class RetentionMap:
+    """One sampled chip reduced to the per-line quantities schemes consume.
+
+    ``latency_factor_by_line`` is ``None`` for technologies without
+    design-induced latency variation; when present it holds each line's
+    access-time multiplier relative to the nearest-to-sense-amps line.
+    """
+
+    retention_by_line: np.ndarray
+    retention_by_word: np.ndarray
+    leakage_power: float
+    golden_leakage_power: float
+    latency_factor_by_line: Optional[np.ndarray] = None
+
+
+#: Data words per line used for word-granularity retention minima
+#: (512 data bits in 64-bit words; tag cells fold into word 0).
+WORDS_PER_LINE: int = 8
+_WORD_BITS: int = 64
+
+
+def _line_and_word_minima(
+    cell_retention: np.ndarray, rows: int, cells: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reduce a (rows, cells) retention draw to line and word minima.
+
+    Shared by every backend so word-granularity refresh studies see the
+    same tag-folding convention regardless of technology.
+    """
+    line_retention = np.min(cell_retention, axis=1)
+    data_bits = WORDS_PER_LINE * _WORD_BITS
+    data_words = np.min(
+        cell_retention[:, :data_bits].reshape(rows, WORDS_PER_LINE, _WORD_BITS),
+        axis=2,
+    )
+    if cells > data_bits:
+        tag_min = np.min(cell_retention[:, data_bits:], axis=1)
+        data_words[:, 0] = np.minimum(data_words[:, 0], tag_min)
+    return line_retention, data_words
+
+
+# ---------------------------------------------------------------------------
+# The protocol
+# ---------------------------------------------------------------------------
+
+#: Methods every backend must implement; API005 enforces this statically
+#: and :func:`register_backend` enforces it at registration time.
+BACKEND_PROTOCOL_METHODS: Tuple[str, ...] = (
+    "cell_timing",
+    "cell_energy",
+    "leakage_power",
+    "nominal_retention_time",
+    "sample_retention_map",
+    "refresh_cost",
+    "latency_model",
+)
+
+
+class TechnologyBackend(ABC):
+    """One cell technology reduced to the surface the schemes consume.
+
+    A backend owns the physics: how fast/expensive an access is, how much
+    the array leaks, how long a line retains its value, and how process
+    variation maps onto the per-line retention/latency arrays.  Everything
+    above (refresh x placement schemes, kernels, experiments) is
+    technology-agnostic.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    @abstractmethod
+    def cell_timing(self, node: TechnologyNode) -> CellTiming:
+        """Intrinsic array read/write times at ``node``."""
+
+    @abstractmethod
+    def cell_energy(self, node: TechnologyNode) -> CellEnergy:
+        """Per-access and per-refresh energies at ``node``."""
+
+    @abstractmethod
+    def leakage_power(
+        self, node: TechnologyNode, geometry: "CacheGeometry"
+    ) -> float:
+        """Nominal (no-variation) leakage of the full array, watts."""
+
+    @abstractmethod
+    def nominal_retention_time(self, node: TechnologyNode) -> float:
+        """No-variation retention time of one line, seconds."""
+
+    @abstractmethod
+    def sample_retention_map(
+        self,
+        chip: "ChipVariation",
+        geometry: "CacheGeometry",
+        rng: Optional[np.random.Generator] = None,
+    ) -> RetentionMap:
+        """Reduce one correlated-variation draw to per-line quantities.
+
+        ``rng`` defaults to the chip's private generator; backends must
+        consume it in a single documented draw order so a fixed chip seed
+        reproduces the map bit for bit.
+        """
+
+    @abstractmethod
+    def refresh_cost(
+        self, node: TechnologyNode, geometry: "CacheGeometry"
+    ) -> RefreshCost:
+        """Cost of refreshing one line, or that no refresh is needed."""
+
+    @abstractmethod
+    def latency_model(
+        self, node: TechnologyNode, geometry: "CacheGeometry"
+    ) -> LatencyModel:
+        """Pipeline hit latencies at ``node`` in core cycles."""
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, TechnologyBackend] = {}
+
+
+def register_backend(
+    backend: TechnologyBackend, replace: bool = False
+) -> TechnologyBackend:
+    """Register ``backend`` under its ``name``; returns it for chaining.
+
+    Registration enforces full protocol conformance: the object must be a
+    concrete :class:`TechnologyBackend` with every protocol method
+    callable.  Partial duck-typing is rejected here (and statically by
+    linter rule API005).
+    """
+    if not isinstance(backend, TechnologyBackend):
+        raise ConfigurationError(
+            f"backend must be a TechnologyBackend instance, got "
+            f"{type(backend).__name__}"
+        )
+    missing = [
+        method
+        for method in BACKEND_PROTOCOL_METHODS
+        if not callable(getattr(backend, method, None))
+    ]
+    if missing:
+        raise ConfigurationError(
+            f"backend {type(backend).__name__} does not satisfy the "
+            f"TechnologyBackend protocol; missing {', '.join(missing)}"
+        )
+    name = backend.name
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(
+            f"backend {type(backend).__name__} must define a non-empty "
+            "string 'name'"
+        )
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"technology backend {name!r} is already registered; pass "
+            "replace=True to override"
+        )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> TechnologyBackend:
+    """Resolve a registered backend by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(backend_names()) or "<none>"
+        raise ConfigurationError(
+            f"unknown technology backend {name!r}; registered: {known}"
+        ) from None
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Names of all registered backends, sorted for stable CLI choices."""
+    return tuple(sorted(_REGISTRY))
+
+
+# ---------------------------------------------------------------------------
+# Default backend: the paper's 3T1D cell
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DRAM3T1DBackend(TechnologyBackend):
+    """The paper's 3T1D DRAM cell -- the default backend.
+
+    ``sample_retention_map`` is a verbatim port of the original
+    ``ChipSampler._build_3t1d_sample`` loop: identical rng draw order and
+    identical arithmetic, so chips sampled through the backend are
+    bit-identical to pre-backend outputs.
+    """
+
+    name: str = "3t1d"
+
+    def cell_timing(self, node: TechnologyNode) -> CellTiming:
+        # The 3T1D cell is designed to match the 6T array access (section
+        # 2.2); writes reuse the same array cycle.
+        access = calibration.nominal_access_time(node)
+        return CellTiming(read_time=access, write_time=access)
+
+    def cell_energy(self, node: TechnologyNode) -> CellEnergy:
+        port = calibration.port_access_energy(node, "3T1D")
+        return CellEnergy(
+            read_energy=port,
+            write_energy=port,
+            refresh_line_energy=calibration.refresh_line_energy(node),
+        )
+
+    def leakage_power(
+        self, node: TechnologyNode, geometry: "CacheGeometry"
+    ) -> float:
+        from repro.cells.dram3t1d import DRAM3T1DCell
+
+        return (
+            DRAM3T1DCell(node).nominal_cell_leakage_power()
+            * geometry.total_cells
+        )
+
+    def nominal_retention_time(self, node: TechnologyNode) -> float:
+        return calibration.nominal_retention_time(node)
+
+    def sample_retention_map(
+        self,
+        chip: "ChipVariation",
+        geometry: "CacheGeometry",
+        rng: Optional[np.random.Generator] = None,
+    ) -> RetentionMap:
+        import repro.cells.dram3t1d as dram3t1d
+        from repro.cells.dram3t1d import DRAM3T1DCell
+        from repro.cells.retention import RetentionModel
+        from repro.cells.sram6t import SRAM6TCell
+
+        rng = chip.rng if rng is None else rng
+        node = chip.node
+        params = chip.params
+        cell = DRAM3T1DCell(node)
+        model = RetentionModel(cell)
+        sigma_vth = params.sigma_vth(node) * dram3t1d.DEVICE_AREA_SIGMA_SCALE
+        sigma_eps = dram3t1d.DIODE_BOOST_SIGMA_FACTOR * params.sigma_vth_rel
+        rows = geometry.rows_per_pair
+        cells = geometry.cells_per_line
+
+        retention = np.empty(geometry.n_lines)
+        word_retention = np.empty((geometry.n_lines, WORDS_PER_LINE))
+        leakage = 0.0
+        sram_golden = (
+            SRAM6TCell(node).nominal_cell_leakage_power()
+            * geometry.total_cells
+        )
+        for pair in range(geometry.n_pairs):
+            sub_a, sub_b = geometry.subarrays_of_pair(pair)
+            delta_l = 0.5 * (
+                chip.delta_l_total(sub_a) + chip.delta_l_total(sub_b)
+            )
+            shape = (rows, cells)
+            if sigma_vth > 0:
+                d_t1 = rng.normal(0.0, sigma_vth, size=shape)
+                d_t2 = rng.normal(0.0, sigma_vth, size=shape)
+            else:
+                d_t1 = np.zeros(shape)
+                d_t2 = np.zeros(shape)
+            eps = (
+                rng.normal(0.0, sigma_eps, size=shape)
+                if sigma_eps > 0
+                else np.zeros(shape)
+            )
+            cell_retention = np.asarray(
+                model.retention_time(d_t1, d_t2, delta_l, eps)
+            )
+            line_retention, data_words = _line_and_word_minima(
+                cell_retention, rows, cells
+            )
+            line_ids = np.arange(rows) * geometry.n_pairs + pair
+            retention[line_ids] = line_retention
+            word_retention[line_ids] = data_words
+            # Supply leakage flows through the read stack; reuse the T2 draw.
+            leakage += float(np.sum(cell.leakage_power(d_t2, delta_l)))
+
+        return RetentionMap(
+            retention_by_line=retention,
+            retention_by_word=word_retention,
+            leakage_power=leakage,
+            golden_leakage_power=sram_golden,
+        )
+
+    def refresh_cost(
+        self, node: TechnologyNode, geometry: "CacheGeometry"
+    ) -> RefreshCost:
+        return RefreshCost(
+            needs_refresh=True,
+            cycles_per_line=geometry.refresh_cycles_per_line,
+            energy_per_line=calibration.refresh_line_energy(node),
+        )
+
+    def latency_model(
+        self, node: TechnologyNode, geometry: "CacheGeometry"
+    ) -> LatencyModel:
+        cycles = geometry.access_latency_cycles
+        return LatencyModel(read_hit_cycles=cycles, write_hit_cycles=cycles)
+
+
+# ---------------------------------------------------------------------------
+# STT-RAM backend (ARC, arxiv 2407.19612)
+# ---------------------------------------------------------------------------
+
+STTRAM_ATTEMPT_PERIOD: float = units.ns(1.0)
+"""Thermal attempt period tau0 of the free layer, seconds (standard
+1/f0 with f0 ~ 1 GHz)."""
+
+STTRAM_THERMAL_STABILITY: float = 11.0
+"""Nominal thermal stability factor Delta of the scaled free layer.
+
+Deliberately an aggressively *relaxed-retention* design point (retention
+tau0 * e^11 ~ 60 us): ARC's premise is that shrinking the free layer (or
+raising temperature) trades non-volatility for write energy, pushing
+retention down into the architectural window where refresh/expiry policies
+matter.  Commodity STT-RAM sits at Delta ~ 40-60 (years)."""
+
+STTRAM_STABILITY_SIGMA_FACTOR: float = 0.8
+"""Random sigma of Delta, relative, as a multiple of the scenario's
+sigma_Vth/Vth (free-layer volume and anisotropy mismatch track the same
+lithographic tolerances)."""
+
+STTRAM_STABILITY_L_COUPLING: float = 0.5
+"""Correlated coupling of Delta to the sub-array gate-length deviation:
+Delta scales with free-layer volume, so a longer-drawn region is more
+stable.  Units: relative Delta per unit of relative gate length."""
+
+STTRAM_RELAXED_BANK_FACTOR: float = 0.85
+"""Delta multiplier of the relaxed-retention banks (odd sub-array pairs).
+ARC provisions part of the array with a smaller free layer: cheaper writes,
+shorter retention -- the placement schemes must steer around it."""
+
+STTRAM_DVFS_STABILITY_SENSITIVITY: float = 2.0
+"""Relative Delta lost per unit of supply overdrive: a faster/hotter DVFS
+point raises junction temperature and read-disturb rates, eroding thermal
+stability (Delta ~ 1/T).  ``delta *= 1 - k * (vdd_scale - 1)``."""
+
+STTRAM_WRITE_TIME_FACTOR: float = 3.0
+"""MTJ write pulse relative to the 6T array access time (spin-torque
+switching needs nanosecond-class pulses)."""
+
+STTRAM_READ_ENERGY_FACTOR: float = 0.8
+"""Read energy relative to the 6T port access (small sensing currents)."""
+
+STTRAM_WRITE_ENERGY_FACTOR: float = 6.0
+"""Write energy relative to the 6T port access (switching current must
+beat the thermal barrier)."""
+
+STTRAM_PERIPHERY_LEAKAGE_SHARE: float = 0.08
+"""Array leakage relative to the 6T cache: the MTJ cell itself is
+non-volatile and leak-free; only CMOS periphery leaks."""
+
+
+@dataclass(frozen=True)
+class STTRAMBackend(TechnologyBackend):
+    """Relaxed-retention STT-RAM with DVFS-dependent stability (ARC)."""
+
+    name: str = "sttram"
+    dvfs: DVFSPoint = DVFS_NOMINAL
+
+    def _nominal_delta(self) -> float:
+        """Thermal stability at this DVFS point (fully-retained banks)."""
+        delta = STTRAM_THERMAL_STABILITY * (
+            1.0
+            - STTRAM_DVFS_STABILITY_SENSITIVITY * (self.dvfs.vdd_scale - 1.0)
+        )
+        if delta <= 0:
+            raise ConfigurationError(
+                f"DVFS point {self.dvfs.name!r} leaves no thermal stability"
+            )
+        return delta
+
+    def cell_timing(self, node: TechnologyNode) -> CellTiming:
+        access = calibration.nominal_access_time(node)
+        return CellTiming(
+            read_time=access,
+            write_time=STTRAM_WRITE_TIME_FACTOR * access,
+        )
+
+    def cell_energy(self, node: TechnologyNode) -> CellEnergy:
+        port = calibration.port_access_energy(node, "6T")
+        read = STTRAM_READ_ENERGY_FACTOR * port
+        write = STTRAM_WRITE_ENERGY_FACTOR * port
+        return CellEnergy(
+            read_energy=read,
+            write_energy=write,
+            # "Refresh" on relaxed-retention STT-RAM is a scrub: read the
+            # line and rewrite it before the thermal barrier loses the bit
+            # (ARC section IV), so a pass costs a full read + write.
+            refresh_line_energy=read + write,
+        )
+
+    def leakage_power(
+        self, node: TechnologyNode, geometry: "CacheGeometry"
+    ) -> float:
+        from repro.cells.sram6t import SRAM6TCell
+
+        return (
+            STTRAM_PERIPHERY_LEAKAGE_SHARE
+            * SRAM6TCell(node).nominal_cell_leakage_power()
+            * geometry.total_cells
+        )
+
+    def nominal_retention_time(self, node: TechnologyNode) -> float:
+        return STTRAM_ATTEMPT_PERIOD * math.exp(self._nominal_delta())
+
+    def sample_retention_map(
+        self,
+        chip: "ChipVariation",
+        geometry: "CacheGeometry",
+        rng: Optional[np.random.Generator] = None,
+    ) -> RetentionMap:
+        from repro.cells.sram6t import SRAM6TCell
+
+        rng = chip.rng if rng is None else rng
+        node = chip.node
+        params = chip.params
+        delta0 = self._nominal_delta()
+        sigma_delta = STTRAM_STABILITY_SIGMA_FACTOR * params.sigma_vth_rel
+        rows = geometry.rows_per_pair
+        cells = geometry.cells_per_line
+
+        retention = np.empty(geometry.n_lines)
+        word_retention = np.empty((geometry.n_lines, WORDS_PER_LINE))
+        sram_golden = (
+            SRAM6TCell(node).nominal_cell_leakage_power()
+            * geometry.total_cells
+        )
+        # Draw order: one (rows, cells) normal draw per sub-array pair, in
+        # pair order.
+        for pair in range(geometry.n_pairs):
+            sub_a, sub_b = geometry.subarrays_of_pair(pair)
+            delta_l = 0.5 * (
+                chip.delta_l_total(sub_a) + chip.delta_l_total(sub_b)
+            )
+            relax = (
+                STTRAM_RELAXED_BANK_FACTOR if pair % 2 else 1.0
+            )
+            correlated = 1.0 + STTRAM_STABILITY_L_COUPLING * (
+                delta_l / node.feature_size
+            )
+            shape = (rows, cells)
+            z = (
+                rng.normal(0.0, sigma_delta, size=shape)
+                if sigma_delta > 0
+                else np.zeros(shape)
+            )
+            delta_cells = delta0 * relax * correlated * (1.0 + z)
+            # A cell whose barrier collapses retains nothing.
+            cell_retention = np.where(
+                delta_cells > 0,
+                STTRAM_ATTEMPT_PERIOD * np.exp(np.minimum(delta_cells, 60.0)),
+                0.0,
+            )
+            line_retention, data_words = _line_and_word_minima(
+                cell_retention, rows, cells
+            )
+            line_ids = np.arange(rows) * geometry.n_pairs + pair
+            retention[line_ids] = line_retention
+            word_retention[line_ids] = data_words
+
+        return RetentionMap(
+            retention_by_line=retention,
+            retention_by_word=word_retention,
+            # Periphery leakage is CMOS and draw-independent.
+            leakage_power=self.leakage_power(node, geometry),
+            golden_leakage_power=sram_golden,
+        )
+
+    def refresh_cost(
+        self, node: TechnologyNode, geometry: "CacheGeometry"
+    ) -> RefreshCost:
+        # Refresh schemes act as scrubbing here: a pass re-reads and
+        # rewrites the line before thermal decay flips a bit, taking the
+        # same sense-amp-limited cycles as a DRAM refresh pass.
+        return RefreshCost(
+            needs_refresh=True,
+            cycles_per_line=geometry.refresh_cycles_per_line,
+            energy_per_line=self.cell_energy(node).refresh_line_energy,
+        )
+
+    def latency_model(
+        self, node: TechnologyNode, geometry: "CacheGeometry"
+    ) -> LatencyModel:
+        read_cycles = geometry.access_latency_cycles
+        timing = self.cell_timing(node)
+        extra_time = timing.write_time - timing.read_time
+        frequency = node.frequency * self.dvfs.frequency_scale
+        extra_cycles = int(math.ceil(extra_time * frequency))
+        return LatencyModel(
+            read_hit_cycles=read_cycles,
+            write_hit_cycles=read_cycles + extra_cycles,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Variation-aware DRAM backend (Lee et al., arxiv 1610.09604)
+# ---------------------------------------------------------------------------
+
+VARDRAM_NOMINAL_RETENTION: float = units.us(40.0)
+"""Nominal restore-limited retention window, seconds.  Trace-scaled: real
+DRAM refresh windows are 32-64 ms, but the paper's benchmark traces span
+microseconds, so the window is scaled into the observable range (same
+framing the 3T1D study itself uses) while keeping the *relative* spread
+from the Lee et al. distributions."""
+
+VARDRAM_RETENTION_SIGMA_FACTOR: float = 1.2
+"""Lognormal sigma of per-cell retention as a multiple of the scenario's
+sigma_Vth/Vth (leaky-cell tails dominate DRAM retention statistics)."""
+
+VARDRAM_LATENCY_SLOPE: float = 0.3
+"""Design-induced latency gradient: the row farthest from its sense
+amplifiers is 30% slower than the nearest (Lee et al. observe that
+bitline/wordline position sets a deterministic access-time spread)."""
+
+VARDRAM_LATENCY_JITTER_FACTOR: float = 0.4
+"""Lognormal process jitter on the per-pair latency factor, as a multiple
+of sigma_Vth/Vth, on top of the deterministic position gradient."""
+
+VARDRAM_L_RETENTION_COUPLING: float = 2.0
+"""Correlated coupling of retention to the sub-array gate length: a
+shorter-drawn access transistor leaks more charge off the cell.
+``retention *= exp(-k * delta_l / L)``."""
+
+VARDRAM_READ_TIME_FACTOR: float = 1.5
+"""DRAM sensing relative to the 6T array access (destructive read +
+restore makes the array cycle longer)."""
+
+VARDRAM_READ_ENERGY_FACTOR: float = 0.9
+VARDRAM_WRITE_ENERGY_FACTOR: float = 1.1
+"""Access energies relative to the 6T port access: opening a row costs,
+but the 1T1C array moves less switched capacitance per bit."""
+
+VARDRAM_LEAKAGE_SHARE: float = 0.05
+"""Array leakage relative to the 6T cache: 1T1C cells have no static
+supply-to-ground path; only periphery leaks."""
+
+
+@dataclass(frozen=True)
+class VarDRAMBackend(TechnologyBackend):
+    """Commodity-style DRAM with design-induced latency variation."""
+
+    name: str = "vardram"
+
+    def cell_timing(self, node: TechnologyNode) -> CellTiming:
+        access = VARDRAM_READ_TIME_FACTOR * calibration.nominal_access_time(
+            node
+        )
+        return CellTiming(read_time=access, write_time=access)
+
+    def cell_energy(self, node: TechnologyNode) -> CellEnergy:
+        port = calibration.port_access_energy(node, "6T")
+        return CellEnergy(
+            read_energy=VARDRAM_READ_ENERGY_FACTOR * port,
+            write_energy=VARDRAM_WRITE_ENERGY_FACTOR * port,
+            refresh_line_energy=calibration.refresh_line_energy(node),
+        )
+
+    def leakage_power(
+        self, node: TechnologyNode, geometry: "CacheGeometry"
+    ) -> float:
+        from repro.cells.sram6t import SRAM6TCell
+
+        return (
+            VARDRAM_LEAKAGE_SHARE
+            * SRAM6TCell(node).nominal_cell_leakage_power()
+            * geometry.total_cells
+        )
+
+    def nominal_retention_time(self, node: TechnologyNode) -> float:
+        return VARDRAM_NOMINAL_RETENTION
+
+    def sample_retention_map(
+        self,
+        chip: "ChipVariation",
+        geometry: "CacheGeometry",
+        rng: Optional[np.random.Generator] = None,
+    ) -> RetentionMap:
+        from repro.cells.sram6t import SRAM6TCell
+
+        rng = chip.rng if rng is None else rng
+        node = chip.node
+        params = chip.params
+        sigma_ret = VARDRAM_RETENTION_SIGMA_FACTOR * params.sigma_vth_rel
+        sigma_lat = VARDRAM_LATENCY_JITTER_FACTOR * params.sigma_vth_rel
+        rows = geometry.rows_per_pair
+        cells = geometry.cells_per_line
+
+        retention = np.empty(geometry.n_lines)
+        word_retention = np.empty((geometry.n_lines, WORDS_PER_LINE))
+        latency_factor = np.empty(geometry.n_lines)
+        sram_golden = (
+            SRAM6TCell(node).nominal_cell_leakage_power()
+            * geometry.total_cells
+        )
+        # Deterministic position gradient: row r of a pair sits r/(rows-1)
+        # of the way up the bitline from its sense amplifiers.
+        distance = (
+            np.arange(rows) / (rows - 1) if rows > 1 else np.zeros(rows)
+        )
+        position = 1.0 + VARDRAM_LATENCY_SLOPE * distance
+        # Draw order per pair: one (rows,) latency-jitter draw, then one
+        # (rows, cells) retention draw.
+        for pair in range(geometry.n_pairs):
+            sub_a, sub_b = geometry.subarrays_of_pair(pair)
+            delta_l = 0.5 * (
+                chip.delta_l_total(sub_a) + chip.delta_l_total(sub_b)
+            )
+            correlated = math.exp(
+                -VARDRAM_L_RETENTION_COUPLING * delta_l / node.feature_size
+            )
+            jitter = (
+                np.exp(rng.normal(0.0, sigma_lat, size=rows))
+                if sigma_lat > 0
+                else np.ones(rows)
+            )
+            row_latency = position * jitter
+            shape = (rows, cells)
+            z = (
+                rng.normal(0.0, sigma_ret, size=shape)
+                if sigma_ret > 0
+                else np.zeros(shape)
+            )
+            # Distant rows restore less charge each access, so their
+            # effective retention shrinks by the same design factor that
+            # slows them down (restore truncation, Lee et al. section 5).
+            cell_retention = (
+                VARDRAM_NOMINAL_RETENTION
+                * correlated
+                * np.exp(z)
+                / row_latency[:, None]
+            )
+            line_retention, data_words = _line_and_word_minima(
+                cell_retention, rows, cells
+            )
+            line_ids = np.arange(rows) * geometry.n_pairs + pair
+            retention[line_ids] = line_retention
+            word_retention[line_ids] = data_words
+            latency_factor[line_ids] = row_latency
+
+        return RetentionMap(
+            retention_by_line=retention,
+            retention_by_word=word_retention,
+            leakage_power=self.leakage_power(node, geometry),
+            golden_leakage_power=sram_golden,
+            latency_factor_by_line=latency_factor,
+        )
+
+    def refresh_cost(
+        self, node: TechnologyNode, geometry: "CacheGeometry"
+    ) -> RefreshCost:
+        return RefreshCost(
+            needs_refresh=True,
+            cycles_per_line=geometry.refresh_cycles_per_line,
+            energy_per_line=calibration.refresh_line_energy(node),
+        )
+
+    def latency_model(
+        self, node: TechnologyNode, geometry: "CacheGeometry"
+    ) -> LatencyModel:
+        base = geometry.access_latency_cycles
+        extra_time = (VARDRAM_READ_TIME_FACTOR - 1.0) * (
+            calibration.nominal_access_time(node)
+        )
+        extra_cycles = int(math.ceil(extra_time * node.frequency))
+        cycles = base + extra_cycles
+        return LatencyModel(read_hit_cycles=cycles, write_hit_cycles=cycles)
+
+
+DEFAULT_TECHNOLOGY: str = "3t1d"
+
+register_backend(DRAM3T1DBackend())
+register_backend(STTRAMBackend())
+register_backend(VarDRAMBackend())
+
+__all__ = [
+    "BACKEND_PROTOCOL_METHODS",
+    "CellEnergy",
+    "CellTiming",
+    "DEFAULT_TECHNOLOGY",
+    "DRAM3T1DBackend",
+    "DVFSPoint",
+    "DVFS_NOMINAL",
+    "LatencyModel",
+    "RefreshCost",
+    "RetentionMap",
+    "STTRAMBackend",
+    "TechnologyBackend",
+    "VarDRAMBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+]

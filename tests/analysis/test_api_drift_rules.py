@@ -160,3 +160,83 @@ class TestAPI003FacadeDrift:
             [repo_src / "repro"], select=["API003"], display_root=repo_src
         ).new_findings
         assert findings == []
+
+
+class TestAPI005TechnologyBackendConformance:
+    def test_flags_partial_backend(self, check):
+        findings = check(
+            """
+            from repro.technology.backends import TechnologyBackend
+
+            class HalfBackend(TechnologyBackend):
+                name = "half"
+
+                def cell_timing(self, node):
+                    return None
+
+                def cell_energy(self, node):
+                    return None
+            """,
+            select=["API005"],
+        )
+        assert rules_hit(findings) == {"API005"}
+        assert "HalfBackend" in findings[0].message
+        assert "sample_retention_map" in findings[0].message
+
+    def test_flags_attribute_qualified_base(self, check):
+        findings = check(
+            """
+            import repro.technology.backends as backends
+
+            class EmptyBackend(backends.TechnologyBackend):
+                name = "empty"
+            """,
+            select=["API005"],
+        )
+        assert rules_hit(findings) == {"API005"}
+        assert "latency_model" in findings[0].message
+
+    def test_allows_complete_backend(self, check):
+        source = (
+            "from repro.technology.backends import TechnologyBackend\n\n"
+            "class FullBackend(TechnologyBackend):\n"
+            "    name = \"full\"\n"
+        )
+        for method in (
+            "cell_timing", "cell_energy", "leakage_power",
+            "nominal_retention_time", "sample_retention_map",
+            "refresh_cost", "latency_model",
+        ):
+            source += f"\n    def {method}(self, *args):\n        pass\n"
+        findings = check(source, select=["API005"])
+        assert findings == []
+
+    def test_abc_and_unrelated_classes_exempt(self, check):
+        findings = check(
+            """
+            import abc
+
+            class TechnologyBackend(abc.ABC):
+                pass
+
+            class Unrelated:
+                pass
+            """,
+            select=["API005"],
+        )
+        assert findings == []
+
+    def test_required_methods_match_runtime_protocol(self):
+        from repro.analysis.rules.api_drift import BACKEND_REQUIRED_METHODS
+        from repro.technology.backends import BACKEND_PROTOCOL_METHODS
+
+        assert BACKEND_REQUIRED_METHODS == BACKEND_PROTOCOL_METHODS
+
+    def test_shipped_backends_are_clean(self):
+        from pathlib import Path
+
+        repo_src = Path(__file__).resolve().parents[2] / "src"
+        findings = run_analysis(
+            [repo_src / "repro"], select=["API005"], display_root=repo_src
+        ).new_findings
+        assert findings == []

@@ -25,7 +25,6 @@ from repro.core import (
     kernel_support,
     simulate_trace,
 )
-from repro.core.batcheval import kernel_fallback_reason, kernel_supports
 from repro.workloads.generator import MemoryTrace
 
 ALL_SCHEMES = (SCHEME_GLOBAL,) + LINE_LEVEL_SCHEMES
@@ -164,21 +163,31 @@ class TestKernelSupport:
         assert repro.kernel_support is kernel_support
         assert repro.KernelSupport is KernelSupport
 
-    def test_deprecated_shims_warn_and_track_new_semantics(self):
-        # RSP/token/L2 configurations are now kernel-supported, so the
-        # boolean shim answers True where it used to answer False.
-        cache = RetentionAwareCache(CacheConfig(real_l2=True))
-        with pytest.warns(DeprecationWarning, match="kernel_support"):
-            assert kernel_supports(cache) is True
-        with pytest.warns(DeprecationWarning, match="kernel_support"):
-            assert kernel_fallback_reason(cache) is None
-        unsupported = RetentionAwareCache(
-            CacheConfig(), refresh=_ThirdPartyRefresh()
+    def test_deprecated_probe_shims_are_gone(self):
+        # PR-6 deprecated the boolean kernel_supports /
+        # kernel_fallback_reason probes; the cycle is complete and the
+        # names must no longer be importable anywhere.
+        import repro
+        import repro.core
+        import repro.core.batcheval as batcheval
+
+        for module in (repro, repro.core, batcheval):
+            assert not hasattr(module, "kernel_supports")
+            assert not hasattr(module, "kernel_fallback_reason")
+            assert "kernel_supports" not in module.__all__
+            assert "kernel_fallback_reason" not in module.__all__
+
+    def test_import_repro_emits_no_deprecation_warnings(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning",
+             "-c", "import repro"],
+            capture_output=True,
+            text=True,
         )
-        with pytest.warns(DeprecationWarning):
-            assert kernel_supports(unsupported) is False
-        with pytest.warns(DeprecationWarning):
-            assert "closed-form" in kernel_fallback_reason(unsupported)
+        assert proc.returncode == 0, proc.stderr
 
 
 def _micro_trace(cycles, addresses, writes):

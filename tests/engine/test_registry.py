@@ -23,6 +23,8 @@ PAPER_ORDER = (
     "fig11_associativity",
     "fig12_sensitivity",
     "table3",
+    # Extensions ride after the paper's own figures.
+    "techcompare",
 )
 
 
@@ -47,7 +49,8 @@ def test_plot_shaped_experiments_export_csv():
         e.name for e in all_experiments() if e.csv_rows is not None
     }
     assert with_csv == {
-        "fig01_reuse", "fig10_hundred_chips", "fig12_sensitivity"
+        "fig01_reuse", "fig10_hundred_chips", "fig12_sensitivity",
+        "techcompare",
     }
 
 

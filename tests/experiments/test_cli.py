@@ -19,9 +19,9 @@ from repro.experiments.cli import (
 )
 
 SHARED_FLAGS = (
-    "--chips", "--refs", "--seed", "--workers", "--out", "--cache-dir",
-    "--no-cache", "--metrics", "--checkpoint-dir", "--resume",
-    "--task-timeout", "--max-retries", "--inject-faults",
+    "--chips", "--refs", "--seed", "--technology", "--workers", "--out",
+    "--cache-dir", "--no-cache", "--metrics", "--checkpoint-dir",
+    "--resume", "--task-timeout", "--max-retries", "--inject-faults",
 )
 
 
@@ -100,6 +100,17 @@ class TestConfigFromArgs:
         )
         assert context.n_chips == 2 and context.n_references == 700
         assert context.engine.workers == 2
+
+    def test_technology_flag_round_trips_to_context(self):
+        assert _parse([]).technology == "3t1d"
+        args = _parse(["--technology", "sttram"])
+        assert args.technology == "sttram"
+        assert context_from_args(args).technology == "sttram"
+
+    def test_technology_flag_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            _parse(["--technology", "bubble-memory"])
+        assert "sttram" in capsys.readouterr().err
 
     def test_cache_policy(self, tmp_path):
         assert cache_from_args(_parse([])) is None

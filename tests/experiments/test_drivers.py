@@ -16,6 +16,7 @@ from repro.experiments import (
     fig11_associativity,
     fig12_sensitivity,
     table3,
+    techcompare,
 )
 
 
@@ -206,6 +207,40 @@ class TestTable3:
         assert dram.bips > sram.bips  # the paper's headline
         assert dram.leakage_power_mw < ideal.leakage_power_mw
         assert "Table 3" in table3.report(result)
+
+
+class TestTechCompare:
+    def test_sweeps_all_backends_on_batched_kernels(self):
+        context = ExperimentContext(n_chips=2, n_references=1200, seed=9)
+        result = techcompare.run(context)
+        assert len(result.rows) == (
+            len(techcompare.TECHNOLOGIES)
+            * len(techcompare.SEVERITIES)
+            * len(techcompare.SCHEMES)
+        )
+        assert {r.technology for r in result.rows} == set(
+            techcompare.TECHNOLOGIES
+        )
+        # Every cell of every backend must replay on the batched
+        # flattened/timeline kernels -- no event-path fallbacks.
+        assert result.fast_path_coverage == 1.0
+        for row in result.rows:
+            assert row.chips >= 1
+            assert row.mean_performance > 0
+            assert row.energy_delay > 0
+        # The latency-variation model only exists in vardram.
+        vardram = result.rows_for("vardram")
+        assert all(r.mean_latency_factor > 1.0 for r in vardram)
+        assert all(
+            r.mean_latency_factor == 1.0
+            for r in result.rows_for("3t1d") + result.rows_for("sttram")
+        )
+        text = techcompare.report(result)
+        assert "fast_path_coverage: 1.000" in text
+        assert "sttram" in text and "vardram" in text
+        exports = techcompare.csv_rows(result)
+        assert exports[0].filename == "techcompare.csv"
+        assert len(exports[0].rows) == len(result.rows)
 
 
 class TestCsvExport:

@@ -1,0 +1,323 @@
+"""The technology-backend protocol: conformance, determinism, identity.
+
+Three layers of guarantees:
+
+* every registered backend satisfies the full protocol and produces
+  structurally valid, deterministic, picklable retention maps;
+* the default 3T1D backend is *bit-identical* to the pre-backend
+  ``ChipSampler`` sampling loop (golden digests) and to pre-backend
+  evaluation outputs through the batched kernels (golden floats);
+* the STT-RAM and variation-aware-DRAM models have the shapes their
+  source papers describe (relaxed banks, latency gradients) and still
+  run entirely on the batched/timeline kernels.
+"""
+
+import hashlib
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import NODE_32NM
+from repro.technology.backends import (
+    BACKEND_PROTOCOL_METHODS,
+    DEFAULT_TECHNOLOGY,
+    DRAM3T1DBackend,
+    RetentionMap,
+    STTRAMBackend,
+    TechnologyBackend,
+    VarDRAMBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.variation import VariationParams
+from repro.array import ChipSampler
+from repro.core import (
+    Cache3T1DArchitecture,
+    Evaluator,
+    evaluate_many,
+    kernel_support,
+)
+from repro.engine.parallel import EvaluatorSpec
+
+ALL_BACKENDS = ("3t1d", "sttram", "vardram")
+
+#: Golden digests/values of two severe chips sampled pre-backend
+#: (ChipSampler(NODE_32NM, severe, seed=7)); the default backend must
+#: reproduce them bit-for-bit.
+GOLDEN_CHIPS = (
+    {
+        "retention_sha": "c91a3bfa2813e67da8df4b15f838af1bf3c9d4e33f"
+        "1b09a1503ce752a47d0bcb",
+        "word_sha": "d5ec0be8a288f2f6be82bfda4c50800cefabc751d6e00b"
+        "ce957112484042a46d",
+        "leakage": 0.04851042048635436,
+    },
+    {
+        "retention_sha": "2a33857d446610d91a28d890158a9334b32cf55eb5"
+        "e7e5edfbd2f40a0fc309d5",
+        "word_sha": "11c33594657eb0ba623f3871107427714c764b7b49af8f"
+        "1b94952c973e2927d7",
+        "leakage": 0.020423840085980402,
+    },
+)
+
+#: Pre-backend evaluation outputs (normalized_performance,
+#: dynamic_power_normalized) for the same two chips through
+#: Evaluator(NODE_32NM, n_references=1500, seed=3), per scheme.
+GOLDEN_EVALS = {
+    (0, "no-refresh/LRU"): (0.9928319119155711, 1.0388053808456845),
+    (0, "partial-refresh/DSP"): (0.9982941761504412, 1.102268235187481),
+    (0, "rsp-fifo"): (0.9964427707894231, 1.1812800991349026),
+    (1, "no-refresh/LRU"): (0.9970305633670952, 1.0292047545163836),
+    (1, "partial-refresh/DSP"): (0.9986265170882993, 1.086695548526384),
+    (1, "rsp-fifo"): (0.9964419920373198, 1.182641473374127),
+}
+
+
+def sample_chips(technology, n=2, severity="severe", seed=7):
+    sampler = ChipSampler(
+        NODE_32NM,
+        getattr(VariationParams, severity)(),
+        seed=seed,
+        technology=technology,
+    )
+    return [sampler.sample_3t1d_chip() for _ in range(n)]
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_registry_resolves_and_name_matches(self, name):
+        backend = get_backend(name)
+        assert isinstance(backend, TechnologyBackend)
+        assert backend.name == name
+        assert name in backend_names()
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_all_protocol_methods_callable(self, name):
+        backend = get_backend(name)
+        for method in BACKEND_PROTOCOL_METHODS:
+            assert callable(getattr(backend, method))
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_scalar_surface_is_physical(self, name):
+        from repro.array.geometry import CacheGeometry
+
+        backend = get_backend(name)
+        timing = backend.cell_timing(NODE_32NM)
+        energy = backend.cell_energy(NODE_32NM)
+        assert timing.read_time > 0 and timing.write_time > 0
+        assert energy.read_energy > 0 and energy.write_energy > 0
+        assert backend.leakage_power(NODE_32NM, CacheGeometry()) >= 0
+        assert backend.nominal_retention_time(NODE_32NM) > 0
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_latency_and_refresh_models(self, name):
+        backend = get_backend(name)
+        chips = sample_chips(name, n=1)
+        geometry = chips[0].geometry
+        latency = backend.latency_model(NODE_32NM, geometry)
+        assert latency.read_hit_cycles >= 1
+        assert latency.write_extra_cycles >= 0
+        cost = backend.refresh_cost(NODE_32NM, geometry)
+        assert cost.cycles_per_line >= 0
+        assert cost.energy_per_line >= 0
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_retention_map_shape(self, name):
+        chip = sample_chips(name, n=1)[0]
+        geometry = chip.geometry
+        assert chip.retention_by_line.shape == (geometry.n_lines,)
+        assert chip.retention_by_word.shape == (geometry.n_lines, 8)
+        assert np.all(chip.retention_by_line >= 0)
+        assert chip.leakage_power > 0
+        assert chip.golden_leakage_power > 0
+        # Line retention is the min over the line's words.
+        np.testing.assert_allclose(
+            chip.retention_by_line,
+            chip.retention_by_word.min(axis=1),
+        )
+        assert chip.technology == name
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_retention_map_deterministic_under_seed(self, name):
+        first = sample_chips(name, n=2)
+        second = sample_chips(name, n=2)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(
+                a.retention_by_line, b.retention_by_line
+            )
+            np.testing.assert_array_equal(
+                a.retention_by_word, b.retention_by_word
+            )
+            assert a.leakage_power == b.leakage_power
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_backend_and_samples_pickle(self, name):
+        backend = get_backend(name)
+        clone = pickle.loads(pickle.dumps(backend))
+        assert clone.name == backend.name
+        chip = sample_chips(name, n=1)[0]
+        chip_clone = pickle.loads(pickle.dumps(chip))
+        np.testing.assert_array_equal(
+            chip_clone.retention_by_line, chip.retention_by_line
+        )
+        assert chip_clone.technology == name
+
+
+class TestRegistry:
+    def test_unknown_backend_raises_with_known_names(self):
+        with pytest.raises(ConfigurationError, match="sttram"):
+            get_backend("femtojoule-magic")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="registered"):
+            register_backend(DRAM3T1DBackend())
+
+    def test_replace_allows_reregistration(self):
+        register_backend(DRAM3T1DBackend(), replace=True)
+        assert get_backend("3t1d").name == "3t1d"
+
+    def test_non_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_backend(object())
+
+    def test_default_technology_is_registered(self):
+        assert DEFAULT_TECHNOLOGY in backend_names()
+
+
+class TestDefaultBackendBitIdentity:
+    """The 3T1D backend is a verbatim port of the original sampler."""
+
+    @pytest.fixture(scope="class")
+    def chips(self):
+        return sample_chips("3t1d", n=2)
+
+    def test_retention_maps_match_pre_backend_digests(self, chips):
+        for chip, golden in zip(chips, GOLDEN_CHIPS):
+            assert (
+                hashlib.sha256(chip.retention_by_line.tobytes()).hexdigest()
+                == golden["retention_sha"]
+            )
+            assert (
+                hashlib.sha256(chip.retention_by_word.tobytes()).hexdigest()
+                == golden["word_sha"]
+            )
+            assert chip.leakage_power == golden["leakage"]
+
+    def test_kernel_outputs_match_pre_backend_goldens(self, chips):
+        suite = Evaluator(NODE_32NM, n_references=1500, seed=3)
+        schemes = ("no-refresh/LRU", "partial-refresh/DSP", "rsp-fifo")
+        rows = evaluate_many(chips, schemes, suite)
+        for chip_index, per_scheme in enumerate(rows):
+            for scheme, evaluation in zip(schemes, per_scheme):
+                golden = GOLDEN_EVALS[(chip_index, scheme)]
+                assert evaluation.normalized_performance == golden[0]
+                assert evaluation.dynamic_power_normalized == golden[1]
+
+    def test_default_sampler_is_backend_routed(self, chips):
+        backend = get_backend("3t1d")
+        from repro.variation.montecarlo import VariationSampler
+
+        chip = VariationSampler(
+            NODE_32NM, VariationParams.severe(), seed=99
+        ).sample_chip()
+        rmap = backend.sample_retention_map(chip, chips[0].geometry)
+        assert isinstance(rmap, RetentionMap)
+        assert rmap.latency_factor_by_line is None  # no latency variation
+
+
+class TestSTTRAMModel:
+    @pytest.fixture(scope="class")
+    def chip(self):
+        return sample_chips("sttram", n=1)[0]
+
+    def test_relaxed_banks_shorten_retention(self, chip):
+        # Line index is row * n_pairs + pair, so a (rows, pairs) view
+        # puts each sub-array pair in one column; odd pairs are relaxed.
+        geometry = chip.geometry
+        per_pair = chip.retention_by_line.reshape(
+            geometry.rows_per_pair, geometry.n_pairs
+        )
+        strict = per_pair[:, 0::2].mean()
+        relaxed = per_pair[:, 1::2].mean()
+        assert relaxed < strict
+
+    def test_dvfs_point_erodes_retention(self):
+        from repro.technology.backends import DVFSPoint
+
+        nominal = STTRAMBackend()
+        hot = STTRAMBackend(dvfs=DVFSPoint("turbo", vdd_scale=1.1,
+                                           frequency_scale=1.2))
+        assert (
+            hot.nominal_retention_time(NODE_32NM)
+            < nominal.nominal_retention_time(NODE_32NM)
+        )
+
+    def test_write_asymmetry(self):
+        backend = get_backend("sttram")
+        timing = backend.cell_timing(NODE_32NM)
+        energy = backend.cell_energy(NODE_32NM)
+        assert timing.write_time > timing.read_time
+        assert energy.write_energy > energy.read_energy
+        chip = sample_chips("sttram", n=1)[0]
+        latency = backend.latency_model(NODE_32NM, chip.geometry)
+        assert latency.write_extra_cycles >= 1
+
+    def test_scrub_refresh_is_read_plus_write(self):
+        backend = get_backend("sttram")
+        chip = sample_chips("sttram", n=1)[0]
+        cost = backend.refresh_cost(NODE_32NM, chip.geometry)
+        assert cost.needs_refresh
+        assert cost.energy_per_line > 0
+
+    def test_no_latency_variation_map(self, chip):
+        assert chip.latency_factor_by_line is None
+        assert chip.mean_latency_factor == 1.0
+
+
+class TestVarDRAMModel:
+    @pytest.fixture(scope="class")
+    def chip(self):
+        return sample_chips("vardram", n=1)[0]
+
+    def test_latency_factors_present_and_skewed_slow(self, chip):
+        # The deterministic mat-position gradient only adds latency;
+        # process jitter (median 1) can pull single lines slightly
+        # below nominal, but the population mean must sit above it.
+        factors = chip.latency_factor_by_line
+        assert factors is not None
+        assert factors.shape == chip.retention_by_line.shape
+        assert np.all(factors > 0)
+        assert chip.mean_latency_factor > 1.0
+
+    def test_slower_lines_retain_less(self, chip):
+        # The restore-truncation coupling: the slowest third of lines
+        # must retain less on average than the fastest third.
+        order = np.argsort(chip.latency_factor_by_line)
+        third = len(order) // 3
+        fast = chip.retention_by_line[order[:third]].mean()
+        slow = chip.retention_by_line[order[-third:]].mean()
+        assert slow < fast
+
+
+class TestKernelPathCoverage:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_backends_stay_on_batched_kernels(self, name):
+        spec = EvaluatorSpec(
+            node=NODE_32NM, ways=4, n_references=800, seed=5,
+            technology=name,
+        )
+        from repro.core import get_scheme
+
+        evaluator = spec.build()
+        chip = sample_chips(name, n=1, severity="typical")[0]
+        for scheme in ("no-refresh/LRU", "rsp-fifo"):
+            architecture = Cache3T1DArchitecture(
+                chip, get_scheme(scheme), config=evaluator.config
+            )
+            support = kernel_support(architecture.build_cache())
+            assert support.supported
+            assert support.path in ("flattened", "timeline")
