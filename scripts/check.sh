@@ -59,7 +59,8 @@ fi
 
 if runs analysis; then
     run_gate "analysis" python -m repro.analysis src/repro \
-        --baseline analysis-baseline.json --strict-baseline
+        --baseline analysis-baseline.json --strict-baseline \
+        --strict-suppressions
 fi
 
 if runs lint; then

@@ -28,18 +28,26 @@ class BaselineEntry:
     path: str
     snippet: str
     reason: str
+    flow_path: Tuple[str, ...] = ()
+    """Interprocedural evidence chain captured with path-carrying (FLOW)
+    findings at ``--write-baseline`` time.  Purely documentary: matching
+    stays on ``(rule, path, snippet)`` so a refactor elsewhere in the
+    chain does not invalidate the accepted entry."""
 
     @property
     def key(self) -> Tuple[str, str, str]:
         return (self.rule, self.path, self.snippet)
 
-    def to_dict(self) -> Dict[str, str]:
-        return {
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
             "rule": self.rule,
             "path": self.path,
             "snippet": self.snippet,
             "reason": self.reason,
         }
+        if self.flow_path:
+            payload["flow_path"] = list(self.flow_path)
+        return payload
 
 
 @dataclass
@@ -64,6 +72,9 @@ class Baseline:
                 path=str(raw["path"]),
                 snippet=str(raw["snippet"]),
                 reason=str(raw.get("reason", "")),
+                flow_path=tuple(
+                    str(step) for step in raw.get("flow_path", ())
+                ),
             ))
         return cls(entries=entries)
 
@@ -86,7 +97,8 @@ class Baseline:
     ) -> "Baseline":
         entries = [
             BaselineEntry(
-                rule=f.rule, path=f.path, snippet=f.snippet, reason=reason
+                rule=f.rule, path=f.path, snippet=f.snippet, reason=reason,
+                flow_path=f.flow_path,
             )
             for f in findings
         ]

@@ -1,7 +1,15 @@
 """``python -m repro.analysis`` -- the command-line entry point.
 
-Exit codes: 0 clean, 1 new findings (or stale baseline under
-``--strict-baseline``), 2 usage/configuration error.
+Two modes share the entry point:
+
+* ``python -m repro.analysis [paths]`` -- run the lint rules (exit
+  codes: 0 clean, 1 new findings -- or stale baseline entries under
+  ``--strict-baseline``, stale suppressions under
+  ``--strict-suppressions`` -- 2 usage/configuration error);
+* ``python -m repro.analysis impact --since <rev>`` -- golden-cone
+  impact analysis: which experiment suites can observe the changes
+  since ``<rev>`` (exit 0 with a report; 2 when git or the arguments
+  fail).
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ from repro.analysis.baseline import (
     DEFAULT_BASELINE_NAME,
 )
 from repro.analysis.registry import all_rules
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.analysis.runner import run_analysis
 
 EXIT_OK = 0
@@ -29,7 +37,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "Static determinism / unit-consistency / API-drift / "
-            "worker-safety checks for the repro codebase."
+            "worker-safety / whole-program flow checks for the repro "
+            "codebase.  Use the 'impact' subcommand for golden-cone "
+            "impact analysis."
         ),
     )
     parser.add_argument(
@@ -37,7 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
@@ -68,13 +78,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail when baseline entries no longer match anything",
     )
     parser.add_argument(
+        "--strict-suppressions", action="store_true",
+        help=(
+            "fail when '# repro: ignore' comments no longer suppress "
+            "anything"
+        ),
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the registered rules and exit",
     )
     return parser
 
 
+def build_impact_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis impact",
+        description=(
+            "Golden-cone impact analysis: intersect the functions "
+            "changed since a git revision with the reverse-reachability "
+            "cone of every experiment suite's evaluate path, and report "
+            "which golden suites a change can observe."
+        ),
+    )
+    parser.add_argument(
+        "--since", required=True,
+        help="git revision to diff against (e.g. origin/main, HEAD~1)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None, action="append",
+        help="source roots to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the JSON report to this file",
+    )
+    return parser
+
+
+def impact_main(argv: Optional[List[str]] = None) -> int:
+    from repro.analysis.flow.impact import run_impact
+
+    parser = build_impact_parser()
+    args = parser.parse_args(argv)
+
+    roots: List[Path] = args.root or [Path("src/repro")]
+    for root in roots:
+        if not root.exists():
+            print(f"error: no such path: {root}", file=sys.stderr)
+            return EXIT_USAGE
+
+    try:
+        report = run_impact(args.since, roots)
+    except (RuntimeError, OSError, SyntaxError, UnicodeDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.out is not None:
+        args.out.write_text(report.render_json() + "\n", encoding="utf-8")
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return EXIT_OK
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "impact":
+        return impact_main(argv[1:])
+
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -121,6 +199,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except SyntaxError as error:
         print(f"error: cannot parse {error.filename}: {error}", file=sys.stderr)
         return EXIT_USAGE
+    except UnicodeDecodeError as error:
+        print(f"error: cannot decode source file: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except OSError as error:
+        print(f"error: cannot read source file: {error}", file=sys.stderr)
+        return EXIT_USAGE
 
     if args.write_baseline:
         if baseline_path is None:
@@ -137,14 +221,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return EXIT_OK
 
-    output = render_json(report) if args.format == "json" else render_text(report)
+    if args.format == "json":
+        output = render_json(report)
+    elif args.format == "sarif":
+        output = render_sarif(report)
+    else:
+        output = render_text(report)
     print(output)
 
     if not report.ok:
         return EXIT_FINDINGS
     if args.strict_baseline and report.stale_baseline_entries:
         return EXIT_FINDINGS
+    if args.strict_suppressions and report.stale_suppressions:
+        return EXIT_FINDINGS
     return EXIT_OK
 
 
-__all__ = ["EXIT_FINDINGS", "EXIT_OK", "EXIT_USAGE", "build_parser", "main"]
+__all__ = [
+    "EXIT_FINDINGS",
+    "EXIT_OK",
+    "EXIT_USAGE",
+    "build_impact_parser",
+    "build_parser",
+    "impact_main",
+    "main",
+]

@@ -19,6 +19,13 @@ class Finding:
     ``snippet`` is the stripped source line the finding points at; the
     baseline matches on ``(rule, path, snippet)`` so renumbering a file
     does not invalidate suppressions recorded for unchanged code.
+
+    ``flow_path`` is the interprocedural evidence chain attached by the
+    whole-program FLOW rules (``file:line in qualname`` steps from the
+    source of a flow to its sink); single-module rules leave it empty.
+    It is carried by every reporter but never participates in ordering
+    or baseline matching -- the path explains a finding, it does not
+    identify it.
     """
 
     path: str
@@ -27,6 +34,7 @@ class Finding:
     rule: str
     message: str
     snippet: str = field(default="", compare=False)
+    flow_path: Tuple[str, ...] = field(default=(), compare=False)
 
     @property
     def baseline_key(self) -> Tuple[str, str, str]:
@@ -40,6 +48,7 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "snippet": self.snippet,
+            "flow_path": list(self.flow_path),
         }
 
     def render(self) -> str:

@@ -1,0 +1,353 @@
+"""Golden-cone impact analysis: which golden suites can a diff affect?
+
+The reproduction's correctness story is anchored on ten paper drivers
+(plus the cross-technology sweep) whose outputs are digest-checked in
+CI.  Those golden jobs are expensive; a docs-or-tooling PR should not
+pay for them, and a PR that touches the evaluation path must never skip
+them.  This module decides which case a diff is:
+
+1. every driver's ``run`` entry point gets a forward-reachability cone
+   over the whole-program call graph (conservative: ``direct`` +
+   ``name`` + ``ref`` edges, so registry indirection and callbacks are
+   inside the cone);
+2. ``git diff --unified=0 <rev>`` is parsed into changed line sets and
+   mapped to the innermost enclosing functions (module bodies count:
+   import-time code runs for every suite that imports the module);
+3. a suite is *affected* when its cone intersects the changed set.
+
+Changed Python files the graph cannot see (deleted modules, files
+outside the analysis root) are treated conservatively: every suite is
+affected.  Non-Python changes never affect any suite.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.flow.graph import (
+    MODULE_BODY,
+    CallGraph,
+    get_call_graph,
+)
+from repro.analysis.source import Project, collect_modules
+
+IMPACT_SCHEMA_VERSION = 1
+
+#: ``repro.experiments`` modules that are plumbing, not golden drivers.
+NON_DRIVER_MODULES = {
+    "runner", "cli", "reporting", "run_all", "__init__", "__main__",
+}
+
+_HUNK_RE = re.compile(
+    r"^@@ -(?P<old_start>\d+)(?:,(?P<old_count>\d+))? "
+    r"\+(?P<new_start>\d+)(?:,(?P<new_count>\d+))? @@"
+)
+
+
+def golden_entry_points(graph: CallGraph) -> Dict[str, str]:
+    """Suite name -> qualname of its golden ``run`` entry point."""
+    entries: Dict[str, str] = {}
+    for qualname, info in graph.functions.items():
+        if info.name != "run" or info.class_name is not None:
+            continue
+        parts = info.module.split(".")
+        if len(parts) != 3 or parts[:2] != ["repro", "experiments"]:
+            continue
+        if parts[2] in NON_DRIVER_MODULES:
+            continue
+        if qualname != f"{info.module}.run":
+            continue  # nested helper named run
+        entries[parts[2]] = qualname
+    return dict(sorted(entries.items()))
+
+
+@dataclass
+class DiffSummary:
+    """Parsed ``git diff --unified=0`` output."""
+
+    changed_lines: Dict[str, Set[int]] = field(default_factory=dict)
+    """New-file path -> changed/added line numbers (deletion positions
+    map to the surviving neighbour line)."""
+    deleted_files: List[str] = field(default_factory=list)
+
+
+def parse_unified_diff(text: str) -> DiffSummary:
+    """Parse a ``--unified=0`` diff into per-file changed-line sets."""
+    summary = DiffSummary()
+    current: Optional[str] = None
+    for line in text.splitlines():
+        if line.startswith("+++ "):
+            target = line[4:].strip()
+            if target == "/dev/null":
+                current = None
+            else:
+                current = target[2:] if target.startswith("b/") else target
+                summary.changed_lines.setdefault(current, set())
+        elif line.startswith("--- "):
+            source = line[4:].strip()
+            if source != "/dev/null":
+                name = source[2:] if source.startswith("a/") else source
+                # Becomes a deletion if no +++ side follows.
+                summary.deleted_files.append(name)
+        elif line.startswith("@@") and current is not None:
+            match = _HUNK_RE.match(line)
+            if match is None:
+                continue
+            start = int(match.group("new_start"))
+            count = match.group("new_count")
+            span = int(count) if count is not None else 1
+            if span == 0:
+                # Pure deletion: anchor on the surviving line so the
+                # enclosing function still registers as changed.
+                summary.changed_lines[current].add(max(start, 1))
+            else:
+                summary.changed_lines[current].update(
+                    range(start, start + span)
+                )
+    summary.deleted_files = [
+        name for name in summary.deleted_files
+        if name not in summary.changed_lines
+    ]
+    return summary
+
+
+def git_diff_since(rev: str, repo_root: Path) -> str:
+    """``git diff --unified=0 <rev>`` over the repository."""
+    result = subprocess.run(
+        ["git", "diff", "--unified=0", "--no-color", rev, "--", "."],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"git diff against {rev!r} failed: {result.stderr.strip()}"
+        )
+    return result.stdout
+
+
+@dataclass
+class SuiteImpact:
+    """One golden suite's verdict for a diff."""
+
+    suite: str
+    entry_point: str
+    affected: bool
+    witnesses: List[str] = field(default_factory=list)
+    """Changed functions inside the suite's cone (capped sample)."""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "suite": self.suite,
+            "entry_point": self.entry_point,
+            "affected": self.affected,
+            "witnesses": list(self.witnesses),
+        }
+
+
+@dataclass
+class ImpactReport:
+    """The full verdict: per-suite impact plus the evidence."""
+
+    since: str
+    suites: List[SuiteImpact]
+    changed_functions: List[str]
+    unmapped_python_files: List[str]
+    non_code_files: List[str]
+
+    @property
+    def affected_suites(self) -> List[str]:
+        return [s.suite for s in self.suites if s.affected]
+
+    @property
+    def unaffected_suites(self) -> List[str]:
+        return [s.suite for s in self.suites if not s.affected]
+
+    @property
+    def cone_empty(self) -> bool:
+        return not self.affected_suites
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": IMPACT_SCHEMA_VERSION,
+            "since": self.since,
+            "cone_empty": self.cone_empty,
+            "affected_suites": self.affected_suites,
+            "unaffected_suites": self.unaffected_suites,
+            "suites": [s.to_dict() for s in self.suites],
+            "changed_functions": list(self.changed_functions),
+            "unmapped_python_files": list(self.unmapped_python_files),
+            "non_code_files": list(self.non_code_files),
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        lines: List[str] = [f"impact since {self.since}:"]
+        if self.changed_functions:
+            lines.append(
+                f"  {len(self.changed_functions)} changed function(s):"
+            )
+            for name in self.changed_functions[:20]:
+                lines.append(f"    {name}")
+            if len(self.changed_functions) > 20:
+                lines.append(
+                    f"    ... {len(self.changed_functions) - 20} more"
+                )
+        else:
+            lines.append("  no analyzed source functions changed")
+        for entry in self.unmapped_python_files:
+            lines.append(
+                f"  unmapped python file (conservatively affects "
+                f"everything): {entry}"
+            )
+        if self.non_code_files:
+            lines.append(
+                f"  {len(self.non_code_files)} non-code file(s) ignored"
+            )
+        for suite in self.suites:
+            if suite.affected:
+                witness = (
+                    f" (via {', '.join(suite.witnesses[:3])})"
+                    if suite.witnesses else ""
+                )
+                lines.append(f"  AFFECTED  {suite.suite}{witness}")
+        for suite in self.suites:
+            if not suite.affected:
+                lines.append(f"  clear     {suite.suite}")
+        verdict = (
+            "fast lane: no golden suite is reachable from this diff"
+            if self.cone_empty
+            else f"{len(self.affected_suites)}/{len(self.suites)} golden "
+            "suite(s) must run"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _display_to_module(project: Project) -> Dict[str, str]:
+    return {m.display_path: m.module_name for m in project}
+
+
+def compute_impact(
+    project: Project,
+    diff: DiffSummary,
+    *,
+    since: str = "<diff>",
+) -> ImpactReport:
+    """Intersect a diff's changed functions with every golden cone."""
+    graph = get_call_graph(project)
+    entries = golden_entry_points(graph)
+    by_display = _display_to_module(project)
+
+    changed: Set[str] = set()
+    unmapped: List[str] = []
+    non_code: List[str] = []
+
+    for path, lines in sorted(diff.changed_lines.items()):
+        if not path.endswith(".py"):
+            non_code.append(path)
+            continue
+        module_name = by_display.get(path)
+        if module_name is None:
+            # Under the analysis root but not parsed (deleted mid-diff)
+            # or outside it entirely: only files that *look* like they
+            # belong to the analyzed tree are conservative triggers.
+            if _looks_analyzed(path, project):
+                unmapped.append(path)
+            else:
+                non_code.append(path)
+            continue
+        for line in sorted(lines):
+            info = graph.function_at(module_name, line)
+            if info is not None:
+                changed.add(info.qualname)
+    for path in diff.deleted_files:
+        if not path.endswith(".py"):
+            non_code.append(path)
+        elif _looks_analyzed(path, project):
+            unmapped.append(path)
+        else:
+            non_code.append(path)
+
+    # Module bodies piggy-back: changing module-level code affects every
+    # suite whose cone touches any function of that module (imports run).
+    changed_modules = {
+        graph.functions[q].module for q in changed
+        if graph.functions[q].name == MODULE_BODY
+    }
+
+    suites: List[SuiteImpact] = []
+    for suite, entry in entries.items():
+        cone = graph.reachable_from(entry)
+        cone_modules = {graph.functions[q].module for q in cone}
+        witnesses = sorted(changed & cone)
+        if not witnesses and changed_modules & cone_modules:
+            witnesses = sorted(
+                f"{m}.{MODULE_BODY}"
+                for m in changed_modules & cone_modules
+            )
+        affected = bool(witnesses) or bool(unmapped)
+        if not witnesses and unmapped:
+            witnesses = [f"unmapped file {p}" for p in unmapped[:3]]
+        suites.append(SuiteImpact(
+            suite=suite,
+            entry_point=entry,
+            affected=affected,
+            witnesses=witnesses[:8],
+        ))
+
+    return ImpactReport(
+        since=since,
+        suites=suites,
+        changed_functions=sorted(changed),
+        unmapped_python_files=sorted(set(unmapped)),
+        non_code_files=sorted(set(non_code)),
+    )
+
+
+def _looks_analyzed(path: str, project: Project) -> bool:
+    """Heuristic: does ``path`` live under the analyzed source tree?"""
+    prefixes: Set[str] = set()
+    for module in project:
+        display = module.display_path
+        if "/" in display:
+            prefixes.add(display.split("/", 1)[0])
+    head = path.split("/", 1)[0] if "/" in path else ""
+    return head in prefixes
+
+
+def run_impact(
+    since: str,
+    roots: Sequence[Path],
+    repo_root: Optional[Path] = None,
+    diff_text: Optional[str] = None,
+) -> ImpactReport:
+    """End-to-end: diff against ``since``, analyze ``roots``, report."""
+    root = repo_root if repo_root is not None else Path.cwd()
+    if diff_text is None:
+        diff_text = git_diff_since(since, root)
+    project = collect_modules(list(roots), root)
+    return compute_impact(
+        project, parse_unified_diff(diff_text), since=since
+    )
+
+
+__all__ = [
+    "DiffSummary",
+    "IMPACT_SCHEMA_VERSION",
+    "ImpactReport",
+    "NON_DRIVER_MODULES",
+    "SuiteImpact",
+    "compute_impact",
+    "git_diff_since",
+    "golden_entry_points",
+    "parse_unified_diff",
+    "run_impact",
+]

@@ -1,8 +1,15 @@
-"""Text and JSON renderings of an :class:`AnalysisReport`.
+"""Text, JSON, and SARIF renderings of an :class:`AnalysisReport`.
 
 The JSON schema is versioned and stable -- CI and editor integrations
 parse it -- so additions bump ``REPORT_SCHEMA_VERSION`` and never rename
-existing keys.
+existing keys.  Version 2 added ``flow_path`` per finding (the
+interprocedural evidence chain of the FLOW rules), the
+``stale_suppressions`` section, and their counters.
+
+The SARIF rendering targets SARIF 2.1.0 so CI can upload the report as
+GitHub code-scanning annotations; baselined findings are carried with a
+``suppressions`` entry instead of being dropped, matching SARIF's own
+model of accepted results.
 """
 
 from __future__ import annotations
@@ -10,9 +17,17 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
-from repro.analysis.runner import AnalysisReport
+from repro.analysis.registry import all_rules
+from repro.analysis.findings import Finding
+from repro.analysis.runner import AnalysisReport, STALE_SUPPRESSION_RULE
 
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(report: AnalysisReport) -> str:
@@ -21,6 +36,8 @@ def render_text(report: AnalysisReport) -> str:
         lines.append(finding.render())
         if finding.snippet:
             lines.append(f"    {finding.snippet}")
+        for step in finding.flow_path:
+            lines.append(f"    flow: {step}")
     if report.baselined:
         lines.append(
             f"{len(report.baselined)} baselined finding(s) suppressed "
@@ -31,11 +48,14 @@ def render_text(report: AnalysisReport) -> str:
             f"stale baseline entry: {entry.rule} {entry.path} "
             f"{entry.snippet!r} no longer matches anything -- remove it"
         )
+    for finding in report.stale_suppressions:
+        lines.append(f"{finding.render()}")
     status = "OK" if report.ok else "FAIL"
     lines.append(
         f"{status}: {len(report.new_findings)} finding(s), "
         f"{len(report.baselined)} baselined, "
         f"{report.suppressed_count} suppressed inline, "
+        f"{len(report.stale_suppressions)} stale suppression(s), "
         f"{report.files_scanned} file(s), "
         f"{len(report.rules_run)} rule(s)"
     )
@@ -54,11 +74,15 @@ def report_to_dict(report: AnalysisReport) -> Dict[str, Any]:
             "baselined": len(report.baselined),
             "suppressed_inline": report.suppressed_count,
             "stale_baseline_entries": len(report.stale_baseline_entries),
+            "stale_suppressions": len(report.stale_suppressions),
         },
         "findings": [f.to_dict() for f in report.new_findings],
         "baselined": [f.to_dict() for f in report.baselined],
         "stale_baseline_entries": [
             e.to_dict() for e in report.stale_baseline_entries
+        ],
+        "stale_suppressions": [
+            f.to_dict() for f in report.stale_suppressions
         ],
     }
 
@@ -67,4 +91,114 @@ def render_json(report: AnalysisReport) -> str:
     return json.dumps(report_to_dict(report), indent=2, sort_keys=True)
 
 
-__all__ = ["REPORT_SCHEMA_VERSION", "render_json", "render_text", "report_to_dict"]
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+
+
+def _sarif_location(finding: Finding) -> Dict[str, Any]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {
+                "uri": finding.path,
+                "uriBaseId": "SRCROOT",
+            },
+            "region": {
+                "startLine": max(finding.line, 1),
+                "startColumn": max(finding.col + 1, 1),
+            },
+        },
+    }
+
+
+def _sarif_result(
+    finding: Finding, *, baselined: bool = False
+) -> Dict[str, Any]:
+    message = finding.message
+    if finding.flow_path:
+        message += "\nflow: " + " -> ".join(finding.flow_path)
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "note" if baselined else "error",
+        "message": {"text": message},
+        "locations": [_sarif_location(finding)],
+    }
+    if finding.snippet:
+        region = result["locations"][0]["physicalLocation"]["region"]
+        region["snippet"] = {"text": finding.snippet}
+    if baselined:
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": "accepted in analysis-baseline.json",
+        }]
+    return result
+
+
+def sarif_to_dict(report: AnalysisReport) -> Dict[str, Any]:
+    """The full SARIF 2.1.0 log for one analysis run."""
+    described: Dict[str, Dict[str, Any]] = {}
+    for rule in all_rules():
+        described[rule.rule_id] = {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+        }
+    described.setdefault(STALE_SUPPRESSION_RULE, {
+        "id": STALE_SUPPRESSION_RULE,
+        "name": "stale-suppression",
+        "shortDescription": {
+            "text": "a '# repro: ignore' comment whose rule no longer "
+                    "fires on that line",
+        },
+    })
+    results: List[Dict[str, Any]] = []
+    for finding in report.new_findings:
+        results.append(_sarif_result(finding))
+    for finding in report.baselined:
+        results.append(_sarif_result(finding, baselined=True))
+    for finding in report.stale_suppressions:
+        result = _sarif_result(finding)
+        result["level"] = "warning"
+        results.append(result)
+    rule_ids_used = sorted({r["ruleId"] for r in results} | set(report.rules_run))
+    rules = [
+        described[rule_id] for rule_id in rule_ids_used
+        if rule_id in described
+    ]
+    index_of = {rule["id"]: i for i, rule in enumerate(rules)}
+    for result in results:
+        if result["ruleId"] in index_of:
+            result["ruleIndex"] = index_of[result["ruleId"]]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-analysis",
+                    "informationUri": (
+                        "https://example.invalid/repro/analysis"
+                    ),
+                    "rules": rules,
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(report: AnalysisReport) -> str:
+    return json.dumps(sarif_to_dict(report), indent=2, sort_keys=True)
+
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "report_to_dict",
+    "sarif_to_dict",
+]

@@ -7,5 +7,6 @@ pattern: subclass :class:`~repro.analysis.registry.Rule`, decorate with
 """
 
 from repro.analysis.rules import api_drift, determinism, units, worker_safety
+from repro.analysis.flow import rules as flow
 
-__all__ = ["api_drift", "determinism", "units", "worker_safety"]
+__all__ = ["api_drift", "determinism", "flow", "units", "worker_safety"]

@@ -4,12 +4,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.baseline import Baseline, BaselineEntry
 from repro.analysis.findings import Finding
 from repro.analysis.registry import Rule, all_rules, get_rule
-from repro.analysis.source import Project, collect_modules
+from repro.analysis.source import Project, SourceModule, collect_modules
+
+STALE_SUPPRESSION_RULE = "META001"
+"""Meta-finding id for ``# repro: ignore[...]`` comments that no longer
+suppress anything.  Not a registered rule: it is derived from the run's
+own suppression accounting, so it cannot be selected or suppressed."""
 
 
 @dataclass
@@ -18,7 +23,10 @@ class AnalysisReport:
 
     ``new_findings`` is what gates CI; ``baselined`` and
     ``stale_baseline_entries`` keep the accepted-debt ledger visible in
-    every report instead of silently absorbed.
+    every report instead of silently absorbed.  ``stale_suppressions``
+    does the same for inline ``# repro: ignore`` comments whose rule no
+    longer fires on the line -- informational by default, gating under
+    ``--strict-suppressions``.
     """
 
     target: str
@@ -27,6 +35,7 @@ class AnalysisReport:
     baselined: List[Finding] = field(default_factory=list)
     suppressed_count: int = 0
     stale_baseline_entries: List[BaselineEntry] = field(default_factory=list)
+    stale_suppressions: List[Finding] = field(default_factory=list)
     files_scanned: int = 0
 
     @property
@@ -68,11 +77,15 @@ def run_analysis(
 
     kept: List[Finding] = []
     suppressed = 0
+    used_suppressions: Dict[Tuple[str, int], Set[str]] = {}
     modules_by_path = {m.display_path: m for m in project}
     for finding in raw:
         module = modules_by_path.get(finding.path)
         if module is not None and module.is_suppressed(finding.line, finding.rule):
             suppressed += 1
+            used_suppressions.setdefault(
+                (finding.path, finding.line), set()
+            ).add(finding.rule.upper())
         else:
             kept.append(finding)
     kept.sort()
@@ -89,8 +102,67 @@ def run_analysis(
         baselined=sorted(matched),
         suppressed_count=suppressed,
         stale_baseline_entries=stale,
+        stale_suppressions=_stale_suppressions(
+            project, [rule.rule_id for rule in rules],
+            used_suppressions, full_rule_set=select is None,
+        ),
         files_scanned=len(project.modules),
     )
 
 
-__all__ = ["AnalysisReport", "resolve_rules", "run_analysis"]
+def _stale_suppressions(
+    project: Project,
+    rules_run: Sequence[str],
+    used: Dict[Tuple[str, int], Set[str]],
+    *,
+    full_rule_set: bool,
+) -> List[Finding]:
+    """``# repro: ignore`` comments that suppressed nothing this run.
+
+    A named id is judged only when its rule actually ran; a bare (ruleless)
+    comment only when the full rule set ran -- otherwise a ``--select``
+    subset would mark every unrelated suppression stale.
+    """
+    active = {rule_id.upper() for rule_id in rules_run}
+    findings: List[Finding] = []
+    for module in project:
+        for line, rule_ids in sorted(module.suppressions.items()):
+            consumed = used.get((module.display_path, line), set())
+            if rule_ids is None:
+                if full_rule_set and not consumed:
+                    findings.append(_stale_suppression_finding(
+                        module, line,
+                        "no rule fires on this line; remove the bare "
+                        "'# repro: ignore'",
+                    ))
+                continue
+            for rule_id in sorted(rule_ids):
+                if rule_id in active and rule_id not in consumed:
+                    findings.append(_stale_suppression_finding(
+                        module, line,
+                        f"{rule_id} no longer fires on this line; remove "
+                        f"it from the '# repro: ignore[{rule_id}]' comment",
+                    ))
+    findings.sort()
+    return findings
+
+
+def _stale_suppression_finding(
+    module: SourceModule, line: int, message: str
+) -> Finding:
+    return Finding(
+        path=module.display_path,
+        line=line,
+        col=0,
+        rule=STALE_SUPPRESSION_RULE,
+        message=f"stale suppression: {message}",
+        snippet=module.snippet_at(line),
+    )
+
+
+__all__ = [
+    "AnalysisReport",
+    "STALE_SUPPRESSION_RULE",
+    "resolve_rules",
+    "run_analysis",
+]

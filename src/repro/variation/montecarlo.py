@@ -200,10 +200,12 @@ class VariationSampler:
         ]
 
     @staticmethod
-    def golden(node: TechnologyNode) -> ChipVariation:
+    def golden(node: TechnologyNode, seed: int = 0) -> ChipVariation:
         """The no-variation (golden) chip at ``node``.
 
         Used as the normalisation reference for every distribution plot.
+        ``seed`` feeds the chip's (otherwise unused) RNG; the default
+        keeps golden chips bit-identical across every caller.
         """
         params = VariationParams.none()
         n_sub = DEFAULT_SUBARRAY_ROWS * DEFAULT_SUBARRAY_COLS
@@ -212,6 +214,6 @@ class VariationSampler:
             params=params,
             delta_l_d2d=0.0,
             delta_l_subarray=np.zeros(n_sub),
-            rng=np.random.default_rng(0),
+            rng=np.random.default_rng(seed),
             chip_id=-1,
         )

@@ -9,6 +9,57 @@ import textwrap
 import pytest
 
 from repro.analysis import run_analysis
+from repro.analysis.source import collect_modules
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """tree({"repro.variation.sampler": src, ...}) -> package root.
+
+    Writes each dotted module (plus the ``__init__.py`` chain above it)
+    under ``tmp_path`` so whole-program rules see realistic module names.
+    """
+
+    def _build(modules):
+        for dotted, source in modules.items():
+            parts = dotted.split(".")
+            directory = tmp_path
+            for part in parts[:-1]:
+                directory = directory / part
+                directory.mkdir(exist_ok=True)
+                init = directory / "__init__.py"
+                if not init.exists():
+                    init.write_text("")
+            (directory / f"{parts[-1]}.py").write_text(
+                textwrap.dedent(source)
+            )
+        return tmp_path
+
+    return _build
+
+
+@pytest.fixture
+def flow_check(tree, tmp_path):
+    """flow_check(modules, select=[...]) -> new findings over the tree."""
+
+    def _check(modules, select=None):
+        root = tree(modules)
+        report = run_analysis([root], select=select, display_root=root)
+        return report.new_findings
+
+    return _check
+
+
+@pytest.fixture
+def graph_of(tree, tmp_path):
+    """graph_of(modules) -> whole-program CallGraph over the tree."""
+    from repro.analysis.flow.graph import build_call_graph
+
+    def _build(modules):
+        root = tree(modules)
+        return build_call_graph(collect_modules([root], root))
+
+    return _build
 
 
 @pytest.fixture

@@ -1,0 +1,133 @@
+"""Baseline edge cases: multisets, renames, flow-path round-trip."""
+
+import json
+import textwrap
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.cli import EXIT_FINDINGS, EXIT_OK, main
+from repro.analysis.findings import Finding
+
+
+def finding(path="repro/core/sample.py", line=4, rule="DET001",
+            snippet="return random.random()"):
+    return Finding(
+        path=path, line=line, col=11, rule=rule,
+        message="global random", snippet=snippet,
+    )
+
+
+class TestMultisetMatching:
+    def test_same_snippet_on_two_lines_needs_two_entries(self):
+        findings = [finding(line=4), finding(line=9)]
+        one_entry = Baseline(entries=[BaselineEntry(
+            rule="DET001", path="repro/core/sample.py",
+            snippet="return random.random()", reason="legacy",
+        )])
+        new, matched, stale = one_entry.partition(findings)
+        assert len(matched) == 1
+        assert len(new) == 1
+        assert stale == []
+
+    def test_two_entries_absorb_both_lines(self):
+        findings = [finding(line=4), finding(line=9)]
+        entry = BaselineEntry(
+            rule="DET001", path="repro/core/sample.py",
+            snippet="return random.random()", reason="legacy",
+        )
+        two_entries = Baseline(entries=[entry, BaselineEntry(**vars(entry))])
+        new, matched, stale = two_entries.partition(findings)
+        assert new == []
+        assert len(matched) == 2
+        assert stale == []
+
+    def test_surplus_duplicate_entries_reported_stale_once_each(self):
+        entry = BaselineEntry(
+            rule="DET001", path="repro/core/sample.py",
+            snippet="return random.random()", reason="legacy",
+        )
+        baseline = Baseline(entries=[
+            entry, BaselineEntry(**vars(entry)), BaselineEntry(**vars(entry)),
+        ])
+        new, matched, stale = baseline.partition([finding(line=4)])
+        assert new == []
+        assert len(matched) == 1
+        assert len(stale) == 2
+
+
+class TestRenameStaleness:
+    DIRTY = """
+    import random
+
+    def jitter():
+        return random.random()
+    """
+
+    def test_rename_makes_entries_stale_and_findings_new(self, tmp_path, capsys):
+        old = tmp_path / "legacy.py"
+        old.write_text(textwrap.dedent(self.DIRTY))
+        baseline_path = tmp_path / "baseline.json"
+        assert main([
+            str(old), "--write-baseline", "--baseline", str(baseline_path),
+        ]) == EXIT_OK
+        capsys.readouterr()
+
+        # Rename: same content, new path -> entries no longer match.
+        renamed = tmp_path / "modern.py"
+        old.rename(renamed)
+        assert main([
+            str(renamed), "--baseline", str(baseline_path),
+        ]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "stale baseline entry" in out
+        assert "legacy.py" in out
+        assert "modern.py" in out
+
+    def test_strict_baseline_fails_on_stale_only(self, tmp_path, capsys):
+        old = tmp_path / "legacy.py"
+        old.write_text(textwrap.dedent(self.DIRTY))
+        baseline_path = tmp_path / "baseline.json"
+        assert main([
+            str(old), "--write-baseline", "--baseline", str(baseline_path),
+        ]) == EXIT_OK
+        capsys.readouterr()
+
+        old.write_text("def quiet():\n    return 1\n")
+        assert main([
+            str(old), "--baseline", str(baseline_path),
+        ]) == EXIT_OK
+        assert main([
+            str(old), "--baseline", str(baseline_path), "--strict-baseline",
+        ]) == EXIT_FINDINGS
+
+
+class TestFlowPathRoundTrip:
+    def test_flow_path_saved_and_loaded(self, tmp_path):
+        chain = (
+            "repro/app.py:7 in repro.app.build",
+            "repro/app.py:8 in repro.app.build",
+            "sink repro.variation.sampler.sample",
+        )
+        source = Finding(
+            path="repro/app.py", line=7, col=10, rule="FLOW001",
+            message="unseeded rng reaches sampler",
+            snippet="rng = np.random.default_rng()",
+            flow_path=chain,
+        )
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings([source], "known seed fork").save(baseline_path)
+
+        raw = json.loads(baseline_path.read_text())
+        assert raw["findings"][0]["flow_path"] == list(chain)
+
+        loaded = Baseline.load(baseline_path)
+        assert loaded.entries[0].flow_path == chain
+        # Matching stays content-based: the chain is documentation only.
+        assert loaded.entries[0].key == (
+            "FLOW001", "repro/app.py", "rng = np.random.default_rng()",
+        )
+
+    def test_entries_without_flow_path_omit_the_key(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings([finding()], "legacy").save(baseline_path)
+        raw = json.loads(baseline_path.read_text())
+        assert "flow_path" not in raw["findings"][0]

@@ -53,7 +53,8 @@ class TestExitCodes:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == EXIT_OK
         out = capsys.readouterr().out
-        for family_member in ("DET001", "UNIT001", "API001", "WS001"):
+        for family_member in ("DET001", "UNIT001", "API001", "WS001",
+                              "FLOW001", "FLOW004"):
             assert family_member in out
 
 
@@ -69,6 +70,7 @@ class TestJsonReport:
         for finding in payload["findings"]:
             assert set(finding) == {
                 "rule", "path", "line", "col", "message", "snippet",
+                "flow_path",
             }
             assert isinstance(finding["line"], int)
         assert payload["rules_run"] == sorted(payload["rules_run"])
@@ -199,6 +201,115 @@ class TestBaselineRoundTrip:
         assert main([
             str(target), "--baseline", str(baseline),
         ]) == EXIT_USAGE
+
+
+class TestUnreadableSources:
+    def test_non_utf8_file_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "latin.py"
+        target.write_bytes(b"# caf\xe9\nx = 1\n")
+        assert main([str(target), "--no-baseline"]) == EXIT_USAGE
+        assert "cannot decode" in capsys.readouterr().err
+
+    def test_non_utf8_file_in_directory_exits_two(self, tmp_path, capsys):
+        write_module(tmp_path, CLEAN_SOURCE)
+        (tmp_path / "binary.py").write_bytes(b"\xff\xfe\x00bad")
+        assert main([str(tmp_path), "--no-baseline"]) == EXIT_USAGE
+        assert "error" in capsys.readouterr().err
+
+    def test_unparsable_file_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n")
+        assert main([str(target), "--no-baseline"]) == EXIT_USAGE
+        assert "cannot parse" in capsys.readouterr().err
+
+
+class TestStaleSuppressions:
+    def test_stale_named_suppression_reported_not_gating(self, tmp_path, capsys):
+        target = write_module(
+            tmp_path,
+            """
+            def quiet():
+                return 1  # repro: ignore[DET001]
+            """,
+        )
+        assert main([str(target), "--no-baseline"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "META001" in out
+        assert "stale suppression" in out
+        assert "1 stale suppression(s)" in out
+
+    def test_strict_suppressions_gates(self, tmp_path):
+        target = write_module(
+            tmp_path,
+            """
+            def quiet():
+                return 1  # repro: ignore[DET001]
+            """,
+        )
+        assert main([
+            str(target), "--no-baseline", "--strict-suppressions",
+        ]) == EXIT_FINDINGS
+
+    def test_active_suppression_is_not_stale(self, tmp_path, capsys):
+        target = write_module(
+            tmp_path,
+            """
+            import random
+
+            def jitter():
+                return random.random()  # repro: ignore[DET001]
+            """,
+        )
+        assert main([
+            str(target), "--no-baseline", "--strict-suppressions",
+        ]) == EXIT_OK
+        assert "META001" not in capsys.readouterr().out
+
+    def test_named_suppression_not_judged_under_foreign_select(
+        self, tmp_path
+    ):
+        # DET001 did not run, so its suppression cannot be called stale.
+        target = write_module(
+            tmp_path,
+            """
+            def quiet():
+                return 1  # repro: ignore[DET001]
+            """,
+        )
+        assert main([
+            str(target), "--no-baseline", "--select", "DET002",
+            "--strict-suppressions",
+        ]) == EXIT_OK
+
+    def test_bare_suppression_not_judged_under_select_subset(self, tmp_path):
+        target = write_module(
+            tmp_path,
+            """
+            import random
+
+            def jitter():
+                return random.random()  # repro: ignore
+            """,
+        )
+        # Under the full rule set the comment is consumed by DET001; under
+        # a subset that cannot fire it must not be reported stale either.
+        assert main([
+            str(target), "--no-baseline", "--select", "UNIT001",
+            "--strict-suppressions",
+        ]) == EXIT_OK
+
+    def test_stale_bare_suppression_under_full_rules(self, tmp_path, capsys):
+        target = write_module(
+            tmp_path,
+            """
+            def quiet():
+                return 1  # repro: ignore
+            """,
+        )
+        assert main([
+            str(target), "--no-baseline", "--strict-suppressions",
+        ]) == EXIT_FINDINGS
+        assert "bare" in capsys.readouterr().out
 
 
 class TestSelfAnalysis:

@@ -1,0 +1,351 @@
+"""FLOW001-005: seed provenance and process-boundary flow rules."""
+
+
+SAMPLER = """
+def sample(rng):
+    return rng.integers(0, 10)
+"""
+
+
+class TestFlow001UnseededRngReachesSampler:
+    def test_unseeded_rng_passed_into_sampler_is_reported(self, flow_check):
+        findings = flow_check({
+            "repro.variation.sampler": SAMPLER,
+            "repro.app.main": """
+            import numpy as np
+
+            from repro.variation.sampler import sample
+
+            def build():
+                rng = np.random.default_rng()
+                return sample(rng)
+            """,
+        }, select=["FLOW001"])
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "FLOW001"
+        assert "default_rng" in finding.message
+        assert "repro.variation.sampler.sample" in finding.message
+        assert len(finding.flow_path) >= 2
+        assert any("sink" in step for step in finding.flow_path)
+
+    def test_literal_seed_is_fine_outside_sampling_packages(self, flow_check):
+        findings = flow_check({
+            "repro.variation.sampler": SAMPLER,
+            "repro.app.main": """
+            import numpy as np
+
+            from repro.variation.sampler import sample
+
+            def build():
+                rng = np.random.default_rng(42)
+                return sample(rng)
+            """,
+        }, select=["FLOW001"])
+        assert findings == []
+
+    def test_seed_parameter_is_fine(self, flow_check):
+        findings = flow_check({
+            "repro.variation.sampler": SAMPLER,
+            "repro.app.main": """
+            import numpy as np
+
+            from repro.variation.sampler import sample
+
+            def build(seed):
+                rng = np.random.default_rng(seed)
+                return sample(rng)
+            """,
+        }, select=["FLOW001"])
+        assert findings == []
+
+    def test_taint_propagates_through_helper_return(self, flow_check):
+        findings = flow_check({
+            "repro.variation.sampler": SAMPLER,
+            "repro.app.main": """
+            import numpy as np
+
+            from repro.variation.sampler import sample
+
+            def make():
+                return np.random.default_rng()
+
+            def build():
+                rng = make()
+                return sample(rng)
+            """,
+        }, select=["FLOW001"])
+        assert len(findings) == 1
+        assert findings[0].line == 7  # the default_rng() creation site
+
+    def test_unseeded_rng_that_never_reaches_sampling_is_silent(
+        self, flow_check
+    ):
+        findings = flow_check({
+            "repro.variation.sampler": SAMPLER,
+            "repro.app.main": """
+            import numpy as np
+
+            def local_noise():
+                rng = np.random.default_rng()
+                return rng.random()
+            """,
+        }, select=["FLOW001"])
+        assert findings == []
+
+
+class TestFlow002SamplingRngProvenance:
+    def test_hardcoded_literal_seed_in_sampling_code(self, flow_check):
+        findings = flow_check({
+            "repro.variation.golden": """
+            import numpy as np
+
+            def golden_chip():
+                rng = np.random.default_rng(0)
+                return rng.integers(0, 10)
+            """,
+        }, select=["FLOW002"])
+        assert len(findings) == 1
+        assert findings[0].rule == "FLOW002"
+        assert "not derived from an explicit seed parameter" in (
+            findings[0].message
+        )
+
+    def test_missing_seed_argument_in_sampling_code(self, flow_check):
+        findings = flow_check({
+            "repro.engine.faults.plan": """
+            import numpy as np
+
+            def roll():
+                return np.random.default_rng().random()
+            """,
+        }, select=["FLOW002"])
+        assert len(findings) == 1
+        assert "no seed argument" in findings[0].message
+
+    def test_seed_parameter_threaded_is_clean(self, flow_check):
+        findings = flow_check({
+            "repro.variation.montecarlo": """
+            import numpy as np
+
+            def sample_chip(chip_seed):
+                rng = np.random.default_rng(chip_seed)
+                return rng.integers(0, 10)
+            """,
+        }, select=["FLOW002"])
+        assert findings == []
+
+    def test_parameter_proven_through_call_sites(self, flow_check):
+        # ``value`` is not seed-named; its call site passes ``seed``.
+        findings = flow_check({
+            "repro.variation.montecarlo": """
+            import numpy as np
+
+            def make_rng(value):
+                return np.random.default_rng(value)
+
+            def sample(seed):
+                return make_rng(seed).integers(0, 10)
+            """,
+        }, select=["FLOW002"])
+        assert findings == []
+
+    def test_self_seed_attribute_is_clean(self, flow_check):
+        findings = flow_check({
+            "repro.technology.backend": """
+            import numpy as np
+
+            class Backend:
+                def __init__(self, seed):
+                    self.seed = seed
+
+                def sample(self):
+                    return np.random.default_rng(self.seed)
+            """,
+        }, select=["FLOW002"])
+        assert findings == []
+
+
+class TestFlow003AmbientRngReachable:
+    def test_ambient_stdlib_call_in_reachable_helper(self, flow_check):
+        findings = flow_check({
+            "repro.util.noise": """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+            "repro.variation.sampler": """
+            from repro.util.noise import jitter
+
+            def sample(seed):
+                return jitter() + seed
+            """,
+        }, select=["FLOW003"])
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "FLOW003"
+        assert "random.random()" in finding.message
+        assert finding.path.endswith("repro/util/noise.py")
+        assert len(finding.flow_path) == 2  # sampler entry -> helper
+
+    def test_legacy_numpy_global_call_is_reported(self, flow_check):
+        findings = flow_check({
+            "repro.variation.sampler": """
+            import numpy as np
+
+            def sample(seed):
+                return np.random.rand()
+            """,
+        }, select=["FLOW003"])
+        assert len(findings) == 1
+        assert "numpy.random.rand()" in findings[0].message
+
+    def test_unreachable_ambient_call_is_silent(self, flow_check):
+        findings = flow_check({
+            "repro.util.noise": """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+            "repro.variation.sampler": """
+            def sample(seed):
+                return seed
+            """,
+        }, select=["FLOW003"])
+        assert findings == []
+
+    def test_seeded_random_instance_is_not_ambient(self, flow_check):
+        findings = flow_check({
+            "repro.variation.sampler": """
+            import random
+
+            def sample(seed):
+                return random.Random(seed).random()
+            """,
+        }, select=["FLOW003"])
+        assert findings == []
+
+
+class TestFlow004TaintedTaskPayload:
+    def test_helper_returning_lambda_into_task_payload(self, flow_check):
+        findings = flow_check({
+            "repro.app.main": """
+            def make_fn(scale):
+                return lambda value: value * scale
+
+            def EvalTask(fn):
+                return fn
+
+            def submit():
+                return EvalTask(fn=make_fn(2.0))
+            """,
+        }, select=["FLOW004"])
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "FLOW004"
+        assert "returns a lambda" in finding.message
+        assert "worker task payload" in finding.message
+        assert len(finding.flow_path) == 2
+
+    def test_local_bound_from_helper_then_passed(self, flow_check):
+        findings = flow_check({
+            "repro.app.main": """
+            def make_fn(scale):
+                def apply(value):
+                    return value * scale
+                return apply
+
+            def submit(pool, chips):
+                fn = make_fn(2.0)
+                return pool.map(fn, chips)
+            """,
+        }, select=["FLOW004"])
+        assert len(findings) == 1
+        assert "frame-local def" in findings[0].message
+        assert "process-pool call" in findings[0].message
+        assert len(findings[0].flow_path) == 3
+
+    def test_helper_returning_module_level_function_is_clean(
+        self, flow_check
+    ):
+        findings = flow_check({
+            "repro.app.main": """
+            def worker(value):
+                return value
+
+            def make_fn(scale):
+                return worker
+
+            def submit(pool, chips):
+                return pool.map(make_fn(2.0), chips)
+            """,
+        }, select=["FLOW004"])
+        assert findings == []
+
+
+class TestFlow005TaintedPoolInitializer:
+    def test_lambda_initializer(self, flow_check):
+        findings = flow_check({
+            "repro.app.main": """
+            def start(pool_cls):
+                return pool_cls(initializer=lambda: None)
+            """,
+        }, select=["FLOW005"])
+        assert len(findings) == 1
+        assert findings[0].rule == "FLOW005"
+        assert "lambda" in findings[0].message
+
+    def test_nested_function_initializer(self, flow_check):
+        findings = flow_check({
+            "repro.app.main": """
+            def start(pool_cls):
+                def setup():
+                    return None
+                return pool_cls(initializer=setup)
+            """,
+        }, select=["FLOW005"])
+        assert len(findings) == 1
+        assert "frame-local def" in findings[0].message
+
+    def test_lambda_inside_initargs(self, flow_check):
+        findings = flow_check({
+            "repro.app.main": """
+            def init_worker(fn):
+                return fn
+
+            def start(pool_cls):
+                return pool_cls(
+                    initializer=init_worker,
+                    initargs=(lambda: None,),
+                )
+            """,
+        }, select=["FLOW005"])
+        assert len(findings) == 1
+        assert "a lambda" in findings[0].message
+
+    def test_module_level_initializer_is_clean(self, flow_check):
+        findings = flow_check({
+            "repro.app.main": """
+            def init_worker():
+                return None
+
+            def start(pool_cls):
+                return pool_cls(initializer=init_worker, initargs=(1,))
+            """,
+        }, select=["FLOW005"])
+        assert findings == []
+
+    def test_helper_returned_closure_initializer(self, flow_check):
+        findings = flow_check({
+            "repro.app.main": """
+            def make_init(size):
+                return lambda: size
+
+            def start(pool_cls):
+                return pool_cls(initializer=make_init(8))
+            """,
+        }, select=["FLOW005"])
+        assert len(findings) == 1
+        assert "returns a lambda" in findings[0].message

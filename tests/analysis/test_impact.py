@@ -1,0 +1,276 @@
+"""Golden-cone impact analysis: diff parsing, cones, CLI plumbing."""
+
+import json
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import EXIT_OK, EXIT_USAGE, impact_main
+from repro.analysis.flow.graph import get_call_graph
+from repro.analysis.flow.impact import (
+    IMPACT_SCHEMA_VERSION,
+    compute_impact,
+    golden_entry_points,
+    parse_unified_diff,
+)
+from repro.analysis.source import collect_modules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+ALL_SUITES = [
+    "fig01_reuse", "fig04_retention_curve", "fig06_typical",
+    "fig07_leakage", "fig08_line_retention", "fig09_schemes",
+    "fig10_hundred_chips", "fig11_associativity", "fig12_sensitivity",
+    "table3", "techcompare",
+]
+
+#: Suites whose evaluate path goes through the batched scheme kernel.
+SCHEME_SUITES = [
+    "fig06_typical", "fig09_schemes", "fig10_hundred_chips",
+    "fig11_associativity", "fig12_sensitivity", "table3", "techcompare",
+]
+
+
+@pytest.fixture(scope="module")
+def repo_project():
+    return collect_modules([REPO_ROOT / "src" / "repro"], REPO_ROOT)
+
+
+def one_line_diff(path, lineno):
+    return (
+        f"--- a/{path}\n"
+        f"+++ b/{path}\n"
+        f"@@ -{lineno},1 +{lineno},1 @@\n"
+    )
+
+
+class TestDiffParsing:
+    def test_hunk_ranges_and_prefix_stripping(self):
+        summary = parse_unified_diff(textwrap.dedent("""\
+            --- a/src/repro/core/batcheval.py
+            +++ b/src/repro/core/batcheval.py
+            @@ -10,2 +12,3 @@
+            @@ -40,1 +44,1 @@
+        """))
+        assert summary.changed_lines == {
+            "src/repro/core/batcheval.py": {12, 13, 14, 44},
+        }
+        assert summary.deleted_files == []
+
+    def test_pure_deletion_anchors_on_surviving_line(self):
+        summary = parse_unified_diff(textwrap.dedent("""\
+            --- a/src/repro/core/batcheval.py
+            +++ b/src/repro/core/batcheval.py
+            @@ -30,4 +29,0 @@
+        """))
+        assert summary.changed_lines == {
+            "src/repro/core/batcheval.py": {29},
+        }
+
+    def test_deleted_file_goes_to_dev_null(self):
+        summary = parse_unified_diff(textwrap.dedent("""\
+            --- a/src/repro/core/gone.py
+            +++ /dev/null
+            @@ -1,10 +0,0 @@
+        """))
+        assert summary.deleted_files == ["src/repro/core/gone.py"]
+        assert summary.changed_lines == {}
+
+    def test_multiple_files(self):
+        summary = parse_unified_diff(textwrap.dedent("""\
+            --- a/README.md
+            +++ b/README.md
+            @@ -1,1 +1,2 @@
+            --- a/src/repro/units.py
+            +++ b/src/repro/units.py
+            @@ -5,1 +5,1 @@
+        """))
+        assert set(summary.changed_lines) == {
+            "README.md", "src/repro/units.py",
+        }
+
+
+class TestGoldenEntryPoints:
+    def test_all_eleven_suites_found(self, repo_project):
+        graph = get_call_graph(repo_project)
+        entries = golden_entry_points(graph)
+        assert sorted(entries) == ALL_SUITES
+        for suite, qualname in entries.items():
+            assert qualname == f"repro.experiments.{suite}.run"
+
+    def test_plumbing_modules_excluded(self, repo_project):
+        graph = get_call_graph(repo_project)
+        entries = golden_entry_points(graph)
+        assert "run_all" not in entries
+        assert "runner" not in entries
+
+
+class TestImpactCones:
+    def test_batcheval_change_affects_every_scheme_suite(self, repo_project):
+        # Acceptance: a commit touching repro/core/batcheval.py reports
+        # every golden suite reachable from it.
+        source = REPO_ROOT / "src" / "repro" / "core" / "batcheval.py"
+        lines = source.read_text(encoding="utf-8").splitlines()
+        lineno = next(
+            i + 1 for i, line in enumerate(lines)
+            if line.startswith("def evaluate(")
+        ) + 1
+        report = compute_impact(
+            repo_project,
+            parse_unified_diff(
+                one_line_diff("src/repro/core/batcheval.py", lineno)
+            ),
+            since="test",
+        )
+        assert report.affected_suites == SCHEME_SUITES
+        assert not report.cone_empty
+        for suite in report.suites:
+            if suite.affected:
+                assert suite.witnesses
+
+    def test_docs_only_change_has_empty_cone(self, repo_project):
+        # Acceptance: a docs-only commit reports an empty cone.
+        diff = (
+            one_line_diff("README.md", 1)
+            + one_line_diff("DESIGN.md", 10)
+        )
+        report = compute_impact(
+            repo_project, parse_unified_diff(diff), since="docs",
+        )
+        assert report.cone_empty
+        assert report.affected_suites == []
+        assert report.unaffected_suites == ALL_SUITES
+        assert sorted(report.non_code_files) == ["DESIGN.md", "README.md"]
+        assert "fast lane" in report.render_text()
+
+    def test_chip_sampler_change_affects_chip_building_suites(
+        self, repo_project
+    ):
+        source = REPO_ROOT / "src" / "repro" / "array" / "chip.py"
+        lines = source.read_text(encoding="utf-8").splitlines()
+        lineno = next(
+            i + 1 for i, line in enumerate(lines)
+            if "_build_3t1d_sample" in line
+        ) + 1
+        report = compute_impact(
+            repo_project,
+            parse_unified_diff(one_line_diff("src/repro/array/chip.py", lineno)),
+            since="test",
+        )
+        assert len(report.affected_suites) >= 8
+
+    def test_unmapped_source_file_is_conservative(self, repo_project):
+        report = compute_impact(
+            repo_project,
+            parse_unified_diff(
+                one_line_diff("src/repro/core/brand_new_module.py", 1)
+            ),
+            since="test",
+        )
+        assert report.affected_suites == ALL_SUITES
+        assert report.unmapped_python_files == [
+            "src/repro/core/brand_new_module.py",
+        ]
+
+    def test_python_file_outside_tree_is_ignored(self, repo_project):
+        report = compute_impact(
+            repo_project,
+            parse_unified_diff(one_line_diff("benchmarks/perf/bench.py", 3)),
+            since="test",
+        )
+        assert report.cone_empty
+        assert "benchmarks/perf/bench.py" in report.non_code_files
+
+    def test_json_report_shape(self, repo_project):
+        report = compute_impact(
+            repo_project,
+            parse_unified_diff(one_line_diff("README.md", 1)),
+            since="origin/main",
+        )
+        payload = json.loads(report.render_json())
+        assert payload["schema_version"] == IMPACT_SCHEMA_VERSION
+        assert payload["since"] == "origin/main"
+        assert payload["cone_empty"] is True
+        assert set(payload) >= {
+            "affected_suites", "unaffected_suites", "suites",
+            "changed_functions", "unmapped_python_files", "non_code_files",
+        }
+
+
+class TestImpactCli:
+    @pytest.fixture
+    def git_repo(self, tmp_path, monkeypatch):
+        """A tiny real repo: one driver whose run() calls a core helper."""
+        root = tmp_path / "repo"
+        pkg = root / "src" / "repro"
+        for sub in ("experiments", "core"):
+            (pkg / sub).mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "experiments" / "__init__.py").write_text("")
+        (pkg / "core" / "__init__.py").write_text("")
+        (pkg / "core" / "engine.py").write_text(textwrap.dedent("""\
+            def evaluate(trace):
+                return trace
+
+
+            def unrelated():
+                return None
+        """))
+        (pkg / "experiments" / "fig99_demo.py").write_text(
+            textwrap.dedent("""\
+                from repro.core.engine import evaluate
+
+
+                def run(context):
+                    return evaluate(context)
+            """)
+        )
+        (root / "README.md").write_text("demo\n")
+
+        def git(*args):
+            subprocess.run(
+                ["git", *args], cwd=root, check=True,
+                capture_output=True, text=True,
+                env={
+                    "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                    "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+                    "HOME": str(tmp_path), "PATH": "/usr/bin:/bin",
+                },
+            )
+
+        git("init", "-q")
+        git("add", "-A")
+        git("commit", "-qm", "seed")
+        monkeypatch.chdir(root)
+        return root
+
+    def test_core_change_reports_affected_suite(self, git_repo, capsys):
+        engine = git_repo / "src" / "repro" / "core" / "engine.py"
+        engine.write_text(
+            engine.read_text().replace("return trace", "return trace * 2")
+        )
+        assert impact_main(["--since", "HEAD", "--format", "json"]) == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["affected_suites"] == ["fig99_demo"]
+        assert payload["cone_empty"] is False
+
+    def test_docs_change_takes_fast_lane(self, git_repo, capsys):
+        (git_repo / "README.md").write_text("demo updated\n")
+        out_file = git_repo / "impact.json"
+        assert impact_main([
+            "--since", "HEAD", "--out", str(out_file),
+        ]) == EXIT_OK
+        assert "fast lane" in capsys.readouterr().out
+        payload = json.loads(out_file.read_text())
+        assert payload["cone_empty"] is True
+
+    def test_bad_revision_is_usage_error(self, git_repo, capsys):
+        assert impact_main(["--since", "no-such-rev"]) == EXIT_USAGE
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_root_is_usage_error(self, git_repo, capsys):
+        assert impact_main([
+            "--since", "HEAD", "--root", "no/such/dir",
+        ]) == EXIT_USAGE
