@@ -1,0 +1,143 @@
+"""Throughput benchmark for the geometry/banking sweep workload.
+
+Runs :mod:`repro.experiments.geomsweep` on a configurable grid and
+records sweep throughput (configurations and chip-scheme evaluations per
+second) in ``BENCH_geomsweep.json``, the perf-trajectory record the CI
+perf job uploads.
+
+The run doubles as the kernel-coverage gate for swept geometries: with
+``--require-full-coverage`` the bench fails (exit 1) unless every swept
+cell replays entirely on the batched flattened/timeline kernels
+(``fast_path_coverage == 1.0`` and zero event-controller fallbacks).
+The CI smoke job runs the reduced default grid; the full 540-cell grid
+is ``--sizes 16,32,64,128,256 --banks 2,4,8 --ways 1,2,4,8
+--severities none,typical,severe``.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.geomsweep_bench \
+        --chips 2 --refs 800 --out BENCH_geomsweep.json \
+        --require-full-coverage
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import geomsweep
+from repro.experiments.runner import ExperimentContext
+
+
+def _int_tuple(text: str):
+    return tuple(int(part) for part in text.split(","))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chips", type=int, default=2,
+                        help="Monte-Carlo chips per (size, banks, severity)")
+    parser.add_argument("--refs", type=int, default=800,
+                        help="trace references per benchmark")
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument("--sizes", type=_int_tuple, default=(16, 64),
+                        metavar="KB,KB,...",
+                        help="cache sizes in KB (default: 16,64)")
+    parser.add_argument("--banks", type=_int_tuple, default=(2, 4),
+                        metavar="N,N,...",
+                        help="bankings to sweep (default: 2,4)")
+    parser.add_argument("--ways", type=_int_tuple, default=(1, 4),
+                        metavar="N,N,...",
+                        help="associativities to sweep (default: 1,4)")
+    parser.add_argument("--severities", type=lambda s: tuple(s.split(",")),
+                        default=("typical", "severe"),
+                        metavar="NAME,NAME,...",
+                        help="variation severities (default: typical,severe)")
+    parser.add_argument("--out", default="BENCH_geomsweep.json")
+    parser.add_argument("--require-full-coverage", action="store_true",
+                        help="fail unless every swept cell has "
+                        "fast_path_coverage == 1.0")
+    args = parser.parse_args(argv)
+
+    context = ExperimentContext(
+        n_chips=args.chips, n_references=args.refs, seed=args.seed
+    )
+    grid = (
+        f"{len(args.sizes)} sizes x {len(args.ways)} ways x "
+        f"{len(args.banks)} banks x {len(geomsweep.SCHEMES)} schemes x "
+        f"{len(args.severities)} severities"
+    )
+    print(f"geomsweep: {grid}, {args.chips} chips, {args.refs} refs ...")
+    start = time.perf_counter()
+    result = geomsweep.run(
+        context,
+        sizes_kb=args.sizes,
+        banks_sweep=args.banks,
+        ways_sweep=args.ways,
+        severities=args.severities,
+    )
+    elapsed = time.perf_counter() - start
+
+    evaluations = sum(row.chips for row in result.rows)
+    fallback_cells = [
+        f"{row.size_kb}KB/{row.ways}w/b{row.banks}/{row.severity}/"
+        f"{row.scheme}"
+        for row in result.rows
+        if row.fast_path_coverage < 1.0
+    ]
+    print(
+        f"  {result.n_configurations} configurations, {evaluations} "
+        f"chip-scheme evaluations in {elapsed:.1f}s "
+        f"({result.n_configurations / elapsed:.1f} configs/s)"
+    )
+    print(
+        f"  fast_path_coverage: {result.fast_path_coverage:.3f} "
+        f"({len(fallback_cells)} cells with event fallbacks)"
+    )
+
+    payload = {
+        "benchmark": "geomsweep",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "seed": args.seed,
+        "grid": {
+            "sizes_kb": list(args.sizes),
+            "ways": list(args.ways),
+            "banks": list(args.banks),
+            "schemes": list(geomsweep.SCHEMES),
+            "severities": list(args.severities),
+        },
+        "chips": args.chips,
+        "references": args.refs,
+        "configurations": result.n_configurations,
+        "evaluations": evaluations,
+        "elapsed_s": elapsed,
+        "configs_per_s": result.n_configurations / elapsed,
+        "evaluations_per_s": evaluations / elapsed,
+        "fast_path_coverage": result.fast_path_coverage,
+        "event_fallback_cells": fallback_cells,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.require_full_coverage and (
+        result.fast_path_coverage < 1.0 or fallback_cells
+    ):
+        print(
+            f"coverage gate FAILED: fast_path_coverage "
+            f"{result.fast_path_coverage:.3f}, fallbacks: "
+            f"{fallback_cells}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,7 @@ WATCHED_PACKAGES: Tuple[str, ...] = (
     "repro.cache",
     "repro.core",
     "repro.experiments",
+    "repro.variation",
 )
 
 #: The conversion module itself is the one place raw factors belong.

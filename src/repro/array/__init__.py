@@ -6,10 +6,20 @@ shares 64 sense amplifiers and forms the 512-bit blocks) and produces the
 chip-level Monte-Carlo samples every architecture experiment consumes.
 """
 
-from repro.array.geometry import CacheGeometry
+from repro.array.geometry import CacheGeometry, derived_tag_bits
 from repro.array.subarray import SubArrayTiming, RefreshTiming
 from repro.array.power import CachePowerModel
 from repro.array.bist import BISTResult, RetentionBIST
+from repro.array.cactimodel import (
+    CACTI_ANCHORS,
+    ArrayMetrics,
+    access_time_factor,
+    bank_leakage_overhead_factor,
+    derived_access_latency_cycles,
+    leakage_factor,
+    read_energy_factor,
+    reference_metrics,
+)
 from repro.array.chip import (
     ChipBuildTask,
     ChipSampler,
@@ -18,6 +28,8 @@ from repro.array.chip import (
 )
 
 __all__ = [
+    "ArrayMetrics",
+    "CACTI_ANCHORS",
     "ChipBuildTask",
     "CacheGeometry",
     "SubArrayTiming",
@@ -28,4 +40,11 @@ __all__ = [
     "ChipSampler",
     "DRAM3T1DChipSample",
     "SRAMChipSample",
+    "access_time_factor",
+    "bank_leakage_overhead_factor",
+    "derived_access_latency_cycles",
+    "derived_tag_bits",
+    "leakage_factor",
+    "read_energy_factor",
+    "reference_metrics",
 ]

@@ -31,6 +31,7 @@ from repro.variation.parameters import VariationParams
 from repro.cells.dram3t1d import DRAM3T1DCell
 from repro.cells.retention import RetentionModel
 from repro.cells.sram6t import SRAM6TCell
+from repro.array import cactimodel
 from repro.array.geometry import CacheGeometry
 from repro.technology.backends import (
     DEFAULT_TECHNOLOGY,
@@ -285,13 +286,20 @@ class ChipSampler:
     _backend: TechnologyBackend = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        if self.geometry.n_subarrays != 8:
-            raise ConfigurationError(
-                "the variation layout assumes the paper's 8 sub-arrays"
-            )
         self._backend = get_backend(self.technology)
+        # The correlation grid follows the geometry's die placement: the
+        # paper's 8 sub-arrays land on the historical 2 x 4 layout, and
+        # swept geometries get their own most-square grid with enough
+        # quad-tree levels to resolve it.
+        die_rows, die_cols = self.geometry.die_grid
+        levels = max(3, (max(die_rows, die_cols) - 1).bit_length())
         self._sampler = VariationSampler(
-            node=self.node, params=self.params, seed=self.seed
+            node=self.node,
+            params=self.params,
+            seed=self.seed,
+            subarray_rows=die_rows,
+            subarray_cols=die_cols,
+            quadtree_levels=levels,
         )
 
     # ------------------------------------------------------------------
@@ -380,6 +388,13 @@ class ChipSampler:
                 else np.zeros(shape)
             )
             leakage += float(np.sum(cell.leakage_power(leak_vth, delta_l)))
+        # Banking periphery leakage (sense columns, row drivers, control)
+        # relative to the paper layout; an exact no-op for the paper's
+        # organisation, so default-geometry chips stay bit-identical.
+        leakage = cactimodel.scale_chip_leakage(leakage, geometry)
+        golden_chip_leak = cactimodel.scale_chip_leakage(
+            golden_cell_leak * geometry.total_cells, geometry
+        )
         worst_access = float(np.max(access_by_line))
 
         p_flip = cell.flip_probability(sigma_vth_min)
@@ -395,7 +410,7 @@ class ChipSampler:
             worst_access_time=worst_access,
             nominal_access_time=cell.nominal_access_time(),
             leakage_power=leakage,
-            golden_leakage_power=golden_cell_leak * self.geometry.total_cells,
+            golden_leakage_power=golden_chip_leak,
             flip_count=flip_count,
             total_cells=self.geometry.total_cells,
             access_time_by_line=access_by_line,
@@ -424,8 +439,12 @@ class ChipSampler:
             geometry=self.geometry,
             chip_id=chip.chip_id,
             retention_by_line=rmap.retention_by_line,
-            leakage_power=rmap.leakage_power,
-            golden_leakage_power=rmap.golden_leakage_power,
+            leakage_power=cactimodel.scale_chip_leakage(
+                rmap.leakage_power, self.geometry
+            ),
+            golden_leakage_power=cactimodel.scale_chip_leakage(
+                rmap.golden_leakage_power, self.geometry
+            ),
             retention_by_word=rmap.retention_by_word,
             technology=self.technology,
             latency_factor_by_line=rmap.latency_factor_by_line,
@@ -445,7 +464,9 @@ class ChipSampler:
         """The no-variation 6T chip (the normalisation reference)."""
         geometry = geometry or CacheGeometry()
         cell = SRAM6TCell(node, size_factor=size_factor)
-        golden_leak = cell.nominal_cell_leakage_power() * geometry.total_cells
+        golden_leak = cactimodel.scale_chip_leakage(
+            cell.nominal_cell_leakage_power() * geometry.total_cells, geometry
+        )
         return SRAMChipSample(
             node=node,
             cell_label=cell.label,
@@ -469,14 +490,19 @@ class ChipSampler:
         cell = DRAM3T1DCell(node)
         model = RetentionModel(cell)
         nominal = model.nominal_retention_time()
-        sram_golden = (
-            SRAM6TCell(node).nominal_cell_leakage_power() * geometry.total_cells
+        sram_golden = cactimodel.scale_chip_leakage(
+            SRAM6TCell(node).nominal_cell_leakage_power()
+            * geometry.total_cells,
+            geometry,
         )
         return DRAM3T1DChipSample(
             node=node,
             geometry=geometry,
             chip_id=-1,
             retention_by_line=np.full(geometry.n_lines, nominal),
-            leakage_power=cell.nominal_cell_leakage_power() * geometry.total_cells,
+            leakage_power=cactimodel.scale_chip_leakage(
+                cell.nominal_cell_leakage_power() * geometry.total_cells,
+                geometry,
+            ),
             golden_leakage_power=sram_golden,
         )

@@ -17,9 +17,36 @@ of one set have (partially) independent retention times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
+
+PHYSICAL_ADDRESS_BITS: int = 44
+"""Physical address width used to size tags (matches the paper's era)."""
+
+STATUS_BITS_PER_LINE: int = 2
+"""Valid + dirty bits stored alongside each tag."""
+
+
+def derived_tag_bits(size_bytes: int, line_bits: int, ways: int) -> int:
+    """Tag/status/LRU bits per line for a ``PHYSICAL_ADDRESS_BITS`` machine.
+
+    Address tag (physical address minus set-index and line-offset bits)
+    plus the valid/dirty status bits plus ``ceil(log2(ways))`` LRU bits.
+    Reproduces the paper's 34 bits at the 64KB / 4-way / 512-bit point.
+    """
+    n_lines = (size_bytes * 8) // line_bits
+    n_sets = max(1, n_lines // ways)
+    set_index_bits = (n_sets - 1).bit_length()
+    line_offset_bits = ((line_bits // 8) - 1).bit_length()
+    lru_bits = (ways - 1).bit_length()
+    address_tag = PHYSICAL_ADDRESS_BITS - set_index_bits - line_offset_bits
+    if address_tag <= 0:
+        raise ConfigurationError(
+            f"cache of {size_bytes} bytes leaves no address tag bits in a "
+            f"{PHYSICAL_ADDRESS_BITS}-bit physical address"
+        )
+    return address_tag + STATUS_BITS_PER_LINE + lru_bits
 
 
 @dataclass(frozen=True)
@@ -68,6 +95,176 @@ class CacheGeometry:
                 f"holds {self.total_data_bits}"
             )
 
+    # --- derived construction (the sweep-facing API) ---------------------
+
+    @classmethod
+    def from_capacity(
+        cls,
+        size_bytes: int,
+        ways: int,
+        line_bits: int = 512,
+        banks: Optional[int] = None,
+        read_ports: int = 2,
+        write_ports: int = 1,
+        n_subarrays: Optional[int] = None,
+        subarray_rows: Optional[int] = None,
+        subarray_cols: Optional[int] = None,
+        sense_amps_per_pair: Optional[int] = None,
+        tag_bits_per_line: Optional[int] = None,
+        access_latency_cycles: Optional[int] = None,
+    ) -> "CacheGeometry":
+        """Build a consistent geometry from the top-level knobs.
+
+        Every dependent field is derived so the result always satisfies
+        the ``__post_init__`` invariants:
+
+        * ``banks`` is the number of sub-array *pairs* (the refresh and
+          placement domains); each pair contributes two sub-arrays, each
+          storing half of every line it holds (so ``subarray_cols =
+          line_bits / 2`` and ``subarray_rows = n_lines / banks``).
+          The default banking keeps sub-arrays at the paper's 256 rows.
+        * ``sense_amps_per_pair`` defaults to ``line_bits / 8``: the
+          paper's 8-cycle per-line refresh at any line width.
+        * ``tag_bits_per_line`` defaults to :func:`derived_tag_bits`.
+        * ``access_latency_cycles`` defaults to the calibrated
+          geometry-timing model (two pipeline cycles plus however many
+          array cycles the organisation needs relative to the paper's
+          one); the 64KB paper point derives the paper's 3 cycles.
+
+        Explicit keyword values for the derived fields are pinned
+        verbatim (and still validated), which is how
+        :meth:`with_ways` keeps the Figure 11 sweep's physical layout
+        frozen across associativities.
+        """
+        if size_bytes <= 0 or line_bits <= 0:
+            raise ConfigurationError(
+                "cache size and line size must be positive"
+            )
+        total_bits = size_bytes * 8
+        if total_bits % line_bits != 0:
+            raise ConfigurationError(
+                f"{size_bytes} bytes is not a whole number of "
+                f"{line_bits}-bit lines"
+            )
+        n_lines = total_bits // line_bits
+        if banks is None:
+            if n_subarrays is not None:
+                banks = n_subarrays // 2
+            else:
+                banks = max(1, n_lines // 256)
+        if banks < 1:
+            raise ConfigurationError(f"banks must be >= 1, got {banks}")
+        if n_subarrays is None:
+            n_subarrays = 2 * banks
+        elif n_subarrays != 2 * banks:
+            raise ConfigurationError(
+                f"{n_subarrays} sub-arrays is inconsistent with {banks} "
+                "banks (each bank is one sub-array pair)"
+            )
+        if n_lines % banks != 0:
+            raise ConfigurationError(
+                f"{n_lines} lines do not divide into {banks} banks"
+            )
+        if line_bits % 2 != 0:
+            raise ConfigurationError(
+                "line_bits must split evenly across a sub-array pair"
+            )
+        if subarray_rows is None:
+            subarray_rows = n_lines // banks
+        if subarray_cols is None:
+            subarray_cols = line_bits // 2
+        if sense_amps_per_pair is None:
+            sense_amps_per_pair = max(1, line_bits // 8)
+        if tag_bits_per_line is None:
+            tag_bits_per_line = derived_tag_bits(size_bytes, line_bits, ways)
+        if access_latency_cycles is None:
+            provisional = cls(
+                size_bytes=size_bytes,
+                line_bits=line_bits,
+                ways=ways,
+                n_subarrays=n_subarrays,
+                subarray_rows=subarray_rows,
+                subarray_cols=subarray_cols,
+                sense_amps_per_pair=sense_amps_per_pair,
+                tag_bits_per_line=tag_bits_per_line,
+                read_ports=read_ports,
+                write_ports=write_ports,
+            )
+            # Lazy import: the calibrated timing model consumes geometry
+            # objects, so the dependency must point this way at runtime.
+            from repro.array.cactimodel import derived_access_latency_cycles
+
+            return provisional.replace(
+                access_latency_cycles=derived_access_latency_cycles(
+                    provisional
+                )
+            )
+        return cls(
+            size_bytes=size_bytes,
+            line_bits=line_bits,
+            ways=ways,
+            n_subarrays=n_subarrays,
+            subarray_rows=subarray_rows,
+            subarray_cols=subarray_cols,
+            sense_amps_per_pair=sense_amps_per_pair,
+            tag_bits_per_line=tag_bits_per_line,
+            read_ports=read_ports,
+            write_ports=write_ports,
+            access_latency_cycles=access_latency_cycles,
+        )
+
+    _REPLACE_TOP_LEVEL = (
+        "size_bytes",
+        "ways",
+        "line_bits",
+        "banks",
+        "read_ports",
+        "write_ports",
+    )
+    _REPLACE_DERIVED = (
+        "n_subarrays",
+        "subarray_rows",
+        "subarray_cols",
+        "sense_amps_per_pair",
+        "tag_bits_per_line",
+        "access_latency_cycles",
+    )
+
+    def replace(self, **knobs: object) -> "CacheGeometry":
+        """A copy with ``knobs`` applied and dependent fields re-derived.
+
+        Top-level knobs (``size_bytes``/``ways``/``line_bits``/``banks``/
+        ports) default to this geometry's values; dependent fields are
+        re-derived through :meth:`from_capacity` unless explicitly pinned
+        in ``knobs``.  Banking is preserved (not re-defaulted) so
+        ``replace(ways=...)`` never silently re-floorplans the array.
+        """
+        base = {
+            "size_bytes": self.size_bytes,
+            "ways": self.ways,
+            "line_bits": self.line_bits,
+            "banks": self.n_pairs,
+            "read_ports": self.read_ports,
+            "write_ports": self.write_ports,
+        }
+        derived = {}
+        for key, value in knobs.items():
+            if key in self._REPLACE_TOP_LEVEL:
+                base[key] = value
+            elif key in self._REPLACE_DERIVED:
+                derived[key] = value
+            else:
+                raise ConfigurationError(
+                    f"unknown geometry knob {key!r}; expected one of "
+                    f"{self._REPLACE_TOP_LEVEL + self._REPLACE_DERIVED}"
+                )
+        if "banks" in knobs and "n_subarrays" in derived:
+            if derived["n_subarrays"] != 2 * int(base["banks"]):  # type: ignore[arg-type]
+                raise ConfigurationError(
+                    "banks and n_subarrays knobs disagree"
+                )
+        return CacheGeometry.from_capacity(**base, **derived)  # type: ignore[arg-type]
+
     # --- derived counts --------------------------------------------------
 
     @property
@@ -104,6 +301,60 @@ class CacheGeometry:
     def total_cells(self) -> int:
         """All memory cells in the cache (data + tags)."""
         return self.n_lines * self.cells_per_line
+
+    @property
+    def banks(self) -> int:
+        """Independently-addressed banks (alias of :attr:`n_pairs`).
+
+        Each sub-array pair is one bank: it refreshes autonomously and
+        holds a contiguous interleaving class of lines.
+        """
+        return self.n_pairs
+
+    @property
+    def total_ports(self) -> int:
+        """All ports on the array (read + write)."""
+        return self.read_ports + self.write_ports
+
+    @property
+    def die_grid(self) -> Tuple[int, int]:
+        """Sub-array placement grid ``(rows, cols)`` on the die.
+
+        The most-square factorisation of ``n_subarrays`` with
+        ``rows <= cols`` -- the paper's 8 sub-arrays land on the 2 x 4
+        grid the variation model has always assumed.
+        """
+        n = self.n_subarrays
+        rows = 1
+        for divisor in range(1, int(n**0.5) + 1):
+            if n % divisor == 0:
+                rows = divisor
+        return rows, n // rows
+
+    @property
+    def ndbl(self) -> int:
+        """CACTI-style bitline divisions (die-grid rows)."""
+        return self.die_grid[0]
+
+    @property
+    def ndwl(self) -> int:
+        """CACTI-style wordline divisions (die-grid columns)."""
+        return self.die_grid[1]
+
+    @property
+    def signature(self) -> str:
+        """A compact, unique label for cache keys and sweep tables.
+
+        Encodes every physical field, so two geometries share a
+        signature iff they are equal.
+        """
+        return (
+            f"{self.size_bytes}B-{self.ways}w-{self.line_bits}l"
+            f"-{self.n_subarrays}x{self.subarray_rows}x{self.subarray_cols}"
+            f"-s{self.sense_amps_per_pair}-t{self.tag_bits_per_line}"
+            f"-{self.read_ports}r{self.write_ports}w"
+            f"-c{self.access_latency_cycles}"
+        )
 
     @property
     def line_offset_bits(self) -> int:
@@ -167,18 +418,17 @@ class CacheGeometry:
         """Same cache re-organised with a different associativity.
 
         Used by the Figure 11 associativity sweep; total capacity, line
-        size, and the physical sub-array layout stay fixed.
+        size, the physical sub-array layout, the tag width, and the
+        access latency all stay pinned (only the set/way indexing
+        changes), so chips sampled at one associativity re-interpret
+        bit-identically at another.
         """
-        return CacheGeometry(
-            size_bytes=self.size_bytes,
-            line_bits=self.line_bits,
+        return self.replace(
             ways=ways,
             n_subarrays=self.n_subarrays,
             subarray_rows=self.subarray_rows,
             subarray_cols=self.subarray_cols,
             sense_amps_per_pair=self.sense_amps_per_pair,
             tag_bits_per_line=self.tag_bits_per_line,
-            read_ports=self.read_ports,
-            write_ports=self.write_ports,
             access_latency_cycles=self.access_latency_cycles,
         )

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.technology import calibration
 from repro.technology.node import TechnologyNode
+from repro.array import cactimodel
 from repro.array.geometry import CacheGeometry
 from repro.array.subarray import RefreshTiming
 
@@ -64,15 +65,34 @@ class CachePowerModel:
     # --- energies ---------------------------------------------------------
 
     @property
+    def geometry_energy_factor(self) -> float:
+        """Per-access energy scaling of this organisation vs. the paper's.
+
+        From the CACTI-calibrated banking model (DESIGN 3h); exactly 1.0
+        for the paper organisation, so the calibrated Table 3 anchors
+        pass through untouched on every existing driver.
+        """
+        return cactimodel.read_energy_factor(self.geometry)
+
+    def _scale_by_geometry(self, energy: float) -> float:
+        factor = self.geometry_energy_factor
+        if factor == 1.0:
+            return energy
+        return energy * factor
+
+    @property
     def port_access_energy(self) -> float:
         """Energy of one full-width port access (joules).
 
         For backend cell kinds this is the *read* energy; writes add
-        :attr:`store_energy_premium` per store on top.
+        :attr:`store_energy_premium` per store on top.  Non-paper
+        organisations scale by :attr:`geometry_energy_factor`.
         """
         if self.cell_kind in ("6T", "3T1D"):
-            return calibration.port_access_energy(self.node, self.cell_kind)
-        return self._backend_energy().read_energy
+            base = calibration.port_access_energy(self.node, self.cell_kind)
+        else:
+            base = self._backend_energy().read_energy
+        return self._scale_by_geometry(base)
 
     @property
     def store_energy_premium(self) -> float:
@@ -88,10 +108,16 @@ class CachePowerModel:
 
     @property
     def refresh_line_energy(self) -> float:
-        """Energy to refresh one line (pipelined read + write back), joules."""
+        """Energy to refresh one line (pipelined read + write back), joules.
+
+        Scales with :attr:`geometry_energy_factor` like any other
+        full-line array operation.
+        """
         if self.cell_kind in ("6T", "3T1D"):
-            return calibration.refresh_line_energy(self.node)
-        return self._backend_energy().refresh_line_energy
+            base = calibration.refresh_line_energy(self.node)
+        else:
+            base = self._backend_energy().refresh_line_energy
+        return self._scale_by_geometry(base)
 
     @property
     def l2_access_energy(self) -> float:

@@ -19,6 +19,7 @@ from repro.errors import ConfigurationError
 from repro.technology import calibration
 from repro.technology.node import TechnologyNode
 from repro.technology.wire import WireModel
+from repro.array import cactimodel
 from repro.array.geometry import CacheGeometry
 
 ArrayLike = Union[float, np.ndarray]
@@ -39,9 +40,27 @@ class SubArrayTiming:
     geometry: CacheGeometry = CacheGeometry()
 
     @property
+    def geometry_time_factor(self) -> float:
+        """Access-time scaling of this organisation vs. the paper's.
+
+        The CACTI-calibrated banking model (DESIGN 3h): bitline RC with
+        rows, wordline RC with columns, H-tree routing with die extent,
+        port loading.  Exactly 1.0 for the paper organisation.
+        """
+        return cactimodel.access_time_factor(self.geometry)
+
+    @property
     def nominal_access_time(self) -> float:
-        """Ideal array access time at this node, seconds."""
-        return calibration.nominal_access_time(self.node)
+        """Ideal array access time at this node, seconds.
+
+        The node calibration anchors the paper organisation; other
+        geometries scale by :attr:`geometry_time_factor`.
+        """
+        base = calibration.nominal_access_time(self.node)
+        factor = self.geometry_time_factor
+        if factor == 1.0:
+            return base
+        return base * factor
 
     @property
     def bitline_length(self) -> float:

@@ -9,14 +9,37 @@ the paper:
 * ``counter_bits`` -- per-line retention counters are 3 bits wide
   (section 4.3.1);
 * L2 latency / write-buffer depth for the backing store model.
+
+Geometry-adjacent scalars live on the geometries, not here: the L1 hit
+latency defaults to ``geometry.access_latency_cycles`` (pass an explicit
+value only to override the derived one), and the backing L2 is a full
+:class:`CacheGeometry` in :attr:`CacheConfig.l2_geometry`.  The historical
+``l2_capacity_bytes``/``l2_ways`` keywords still work as deprecated shims
+that fold into ``l2_geometry`` (and remain readable as concrete mirrors),
+mirroring the EngineConfig keyword migration.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.array.geometry import CacheGeometry
+
+DEFAULT_L2_CAPACITY_BYTES: int = 2 * 1024 * 1024
+"""Table 2's 2MB L2."""
+
+DEFAULT_L2_WAYS: int = 4
+"""Table 2's 4-way L2."""
+
+
+def default_l2_geometry(line_bits: int = 512) -> CacheGeometry:
+    """The Table 2 L2 (2MB, 4-way, LRU, write-back) as a geometry."""
+    return CacheGeometry.from_capacity(
+        DEFAULT_L2_CAPACITY_BYTES, DEFAULT_L2_WAYS, line_bits=line_bits
+    )
 
 
 @dataclass(frozen=True)
@@ -24,7 +47,9 @@ class CacheConfig:
     """All knobs of one retention-aware cache instance."""
 
     geometry: CacheGeometry = field(default_factory=CacheGeometry)
-    hit_latency_cycles: int = 3
+    hit_latency_cycles: Optional[int] = None
+    """L1 hit latency; ``None`` (the default) reads the geometry's
+    derived ``access_latency_cycles`` -- 3 for the paper point."""
     write_hit_extra_cycles: int = 0
     """Extra cycles a write hit occupies beyond ``hit_latency_cycles``.
     Zero for the paper's 3T1D design; technologies with asymmetric writes
@@ -45,10 +70,23 @@ class CacheConfig:
     """When True the simulator instantiates the Table 2 L2 (2MB, 4-way,
     LRU, write-back) and measures its miss rate from the trace instead of
     using the per-benchmark statistical ``l2_miss_rate``."""
-    l2_capacity_bytes: int = 2 * 1024 * 1024
-    l2_ways: int = 4
+    l2_geometry: Optional[CacheGeometry] = None
+    """Backing L2 organisation; ``None`` derives the Table 2 default.
+    Always concrete after construction."""
+    l2_capacity_bytes: Optional[int] = None
+    """Deprecated: pass ``l2_geometry`` (a full :class:`CacheGeometry`)
+    instead.  Still readable -- mirrors ``l2_geometry.size_bytes``."""
+    l2_ways: Optional[int] = None
+    """Deprecated: pass ``l2_geometry`` instead.  Still readable --
+    mirrors ``l2_geometry.ways``."""
 
     def __post_init__(self) -> None:
+        if self.hit_latency_cycles is None:
+            object.__setattr__(
+                self,
+                "hit_latency_cycles",
+                self.geometry.access_latency_cycles,
+            )
         if self.hit_latency_cycles < 1:
             raise ConfigurationError("hit_latency_cycles must be >= 1")
         if self.write_hit_extra_cycles < 0:
@@ -73,8 +111,55 @@ class CacheConfig:
             raise ConfigurationError("write_buffer_entries must be >= 1")
         if self.l2_write_interval_cycles < 1:
             raise ConfigurationError("l2_write_interval_cycles must be >= 1")
-        if self.l2_capacity_bytes <= 0 or self.l2_ways < 1:
-            raise ConfigurationError("L2 capacity and ways must be positive")
+        self._resolve_l2()
+
+    def _resolve_l2(self) -> None:
+        """Fold the deprecated L2 scalars into ``l2_geometry``.
+
+        After this, ``l2_geometry`` is concrete and the deprecated
+        fields mirror it, so legacy readers and ``dataclasses.replace``
+        round-trips keep working without warnings.
+        """
+        capacity = self.l2_capacity_bytes
+        ways = self.l2_ways
+        if self.l2_geometry is None:
+            if capacity is not None or ways is not None:
+                warnings.warn(
+                    "CacheConfig(l2_capacity_bytes=..., l2_ways=...) is "
+                    "deprecated; pass l2_geometry="
+                    "CacheGeometry.from_capacity(...) instead",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+            if capacity is None:
+                capacity = DEFAULT_L2_CAPACITY_BYTES
+            if ways is None:
+                ways = DEFAULT_L2_WAYS
+            if capacity <= 0 or ways < 1:
+                raise ConfigurationError(
+                    "L2 capacity and ways must be positive"
+                )
+            resolved = CacheGeometry.from_capacity(
+                capacity, ways, line_bits=self.geometry.line_bits
+            )
+            object.__setattr__(self, "l2_geometry", resolved)
+        else:
+            if capacity is not None and capacity != self.l2_geometry.size_bytes:
+                raise ConfigurationError(
+                    f"l2_capacity_bytes={capacity} disagrees with "
+                    f"l2_geometry ({self.l2_geometry.size_bytes} bytes); "
+                    "drop the deprecated keyword"
+                )
+            if ways is not None and ways != self.l2_geometry.ways:
+                raise ConfigurationError(
+                    f"l2_ways={ways} disagrees with l2_geometry "
+                    f"({self.l2_geometry.ways} ways); drop the "
+                    "deprecated keyword"
+                )
+        object.__setattr__(
+            self, "l2_capacity_bytes", self.l2_geometry.size_bytes
+        )
+        object.__setattr__(self, "l2_ways", self.l2_geometry.ways)
 
     @property
     def miss_latency_cycles(self) -> float:
@@ -86,19 +171,20 @@ class CacheConfig:
 
     def with_ways(self, ways: int) -> "CacheConfig":
         """Same configuration at a different associativity (Figure 11)."""
-        return CacheConfig(
-            geometry=self.geometry.with_ways(ways),
-            hit_latency_cycles=self.hit_latency_cycles,
-            write_hit_extra_cycles=self.write_hit_extra_cycles,
-            l2_latency_cycles=self.l2_latency_cycles,
-            memory_latency_cycles=self.memory_latency_cycles,
-            l2_miss_rate=self.l2_miss_rate,
-            counter_bits=self.counter_bits,
-            partial_refresh_threshold_cycles=self.partial_refresh_threshold_cycles,
-            write_buffer_entries=self.write_buffer_entries,
-            l2_write_interval_cycles=self.l2_write_interval_cycles,
-            write_back=self.write_back,
-            real_l2=self.real_l2,
-            l2_capacity_bytes=self.l2_capacity_bytes,
-            l2_ways=self.l2_ways,
+        import dataclasses
+
+        return dataclasses.replace(
+            self, geometry=self.geometry.with_ways(ways)
+        )
+
+    def with_geometry(self, geometry: CacheGeometry) -> "CacheConfig":
+        """Same scheme/L2 knobs rebound to a different L1 organisation.
+
+        The hit latency re-derives from the new geometry; everything
+        else (schemes, L2, backing-store timing) carries over.
+        """
+        import dataclasses
+
+        return dataclasses.replace(
+            self, geometry=geometry, hit_latency_cycles=None
         )

@@ -38,6 +38,7 @@ import numpy as np
 from repro.errors import ConfigurationError, ExecutionError
 from repro.technology.node import TechnologyNode
 from repro.array.chip import ChipBuildTask, DRAM3T1DChipSample
+from repro.array.geometry import CacheGeometry
 from repro.array.power import CachePowerModel
 from repro.cache.config import CacheConfig
 from repro.core.architecture import IdealCacheArchitecture
@@ -81,18 +82,30 @@ class EvaluatorSpec:
     technology: str = "3t1d"
     """Registered technology backend; non-default backends adjust the
     cache timing (read/write hit latency) from their latency model."""
+    geometry: Optional["CacheGeometry"] = None
+    """L1 organisation to evaluate; ``None`` keeps the legacy ways-based
+    paper-geometry path (bit-identical to pre-geometry specs).  When
+    set, its associativity must agree with ``ways``."""
 
     def __post_init__(self) -> None:
         if self.benchmarks is not None:
             object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
         if self.ways < 1:
             raise ConfigurationError(f"ways must be >= 1, got {self.ways}")
+        if self.geometry is not None and self.geometry.ways != self.ways:
+            raise ConfigurationError(
+                f"spec ways={self.ways} disagrees with geometry.ways="
+                f"{self.geometry.ways}"
+            )
 
     def build(self) -> Evaluator:
         """Construct the evaluator this spec describes."""
-        config = CacheConfig()
-        if self.ways != config.geometry.ways:
-            config = config.with_ways(self.ways)
+        if self.geometry is not None:
+            config = CacheConfig(geometry=self.geometry)
+        else:
+            config = CacheConfig()
+            if self.ways != config.geometry.ways:
+                config = config.with_ways(self.ways)
         if self.technology != "3t1d":
             from repro.technology.backends import get_backend
 

@@ -16,6 +16,7 @@ Module                    Paper content
 ``fig12_sensitivity``     Figure 12: mu-sigma/mu performance surfaces
 ``table3``                Table 3: per-node summary (ideal 6T / 1X 6T / 3T1D)
 ``techcompare``           Cross-technology sweep (3T1D / STT-RAM / var-DRAM)
+``geomsweep``             Geometry/banking sweep (size x assoc x banks)
 ========================  ====================================================
 
 Every module exposes ``run(...)`` returning a result dataclass and
@@ -43,6 +44,7 @@ from repro.experiments import (  # noqa: E402  (registration side effects)
     fig12_sensitivity,
     table3,
     techcompare,
+    geomsweep,
 )
 
 __all__ = [
@@ -59,4 +61,5 @@ __all__ = [
     "fig12_sensitivity",
     "table3",
     "techcompare",
+    "geomsweep",
 ]

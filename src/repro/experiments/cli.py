@@ -39,6 +39,8 @@ from repro.engine.events import (
 from repro.engine.faults import FaultPlan
 from repro.engine.observer import JSONMetricsObserver, NULL_OBSERVER
 from repro.engine.registry import Experiment, get_experiment
+from repro.errors import ConfigurationError
+from repro.array.geometry import CacheGeometry
 from repro.technology.backends import backend_names
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.reporting import write_csv
@@ -66,6 +68,12 @@ def engine_parent_parser() -> argparse.ArgumentParser:
         choices=backend_names(), metavar="BACKEND",
         help="technology backend to sample chips with "
         f"(one of: {', '.join(backend_names())}; default: 3t1d)",
+    )
+    scale.add_argument(
+        "--geometry", type=str, default=None, metavar="SIZEKB:WAYS[:BANKS]",
+        help="L1 organisation to study instead of the paper's 64KB "
+        "4-way point, e.g. '128:2' or '256:8:16'; dependent fields "
+        "derive via CacheGeometry.from_capacity",
     )
     engine = parent.add_argument_group("engine")
     engine.add_argument(
@@ -157,6 +165,32 @@ def engine_config_from_args(args: argparse.Namespace) -> EngineConfig:
     )
 
 
+def parse_geometry_spec(spec: Optional[str]) -> Optional[CacheGeometry]:
+    """Parse a ``--geometry SIZEKB:WAYS[:BANKS]`` flag value.
+
+    ``None`` (flag absent) stays ``None`` -- the paper's default
+    geometry, with every historical cache key intact.
+    """
+    if spec is None:
+        return None
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise SystemExit(
+            f"--geometry expects SIZEKB:WAYS[:BANKS], got {spec!r}"
+        )
+    try:
+        size_kb, ways = int(parts[0]), int(parts[1])
+        banks = int(parts[2]) if len(parts) == 3 else None
+    except ValueError:
+        raise SystemExit(
+            f"--geometry fields must be integers, got {spec!r}"
+        ) from None
+    try:
+        return CacheGeometry.from_capacity(size_kb * 1024, ways, banks=banks)
+    except ConfigurationError as exc:
+        raise SystemExit(f"--geometry {spec!r}: {exc}") from None
+
+
 def context_from_args(
     args: argparse.Namespace,
     observer: Subscriber = NULL_OBSERVER,
@@ -167,6 +201,7 @@ def context_from_args(
         n_references=args.refs,
         seed=args.seed,
         technology=getattr(args, "technology", "3t1d"),
+        geometry=parse_geometry_spec(getattr(args, "geometry", None)),
         engine=engine_config_from_args(args),
         observer=observer,
     )
@@ -244,4 +279,5 @@ __all__ = [
     "engine_config_from_args",
     "engine_parent_parser",
     "experiment_main",
+    "parse_geometry_spec",
 ]

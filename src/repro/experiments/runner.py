@@ -21,6 +21,7 @@ from repro.technology.node import NODE_32NM, TechnologyNode
 from repro.technology.backends import get_backend
 from repro.variation.parameters import VariationParams
 from repro.array.chip import ChipSampler, DRAM3T1DChipSample, SRAMChipSample
+from repro.array.geometry import CacheGeometry
 from repro.core.evaluation import Evaluator
 from repro.engine.config import EngineConfig
 from repro.engine.events import Subscriber
@@ -50,6 +51,11 @@ class ExperimentContext:
     :func:`repro.technology.backend_names`).  The default 3T1D backend
     reproduces the paper; alternatives re-run the same experiments on the
     same workloads with a different cell technology underneath."""
+    geometry: Optional[CacheGeometry] = None
+    """L1 organisation the experiment studies.  ``None`` (the default)
+    means the paper's 64KB / 4-way point; sweeps pass a
+    :meth:`~repro.array.geometry.CacheGeometry.from_capacity` geometry
+    and every chip batch, evaluator, and cache key follows it."""
     engine: Optional[EngineConfig] = None
     """The consolidated engine configuration (pool width, caches,
     checkpointing, supervision).  ``None`` means serial execution
@@ -66,9 +72,9 @@ class ExperimentContext:
     _chips_sram: Dict[Tuple[str, float], List[SRAMChipSample]] = field(
         init=False, default_factory=dict, repr=False
     )
-    _evaluators: Dict[Tuple[str, int, str], Evaluator] = field(
-        init=False, default_factory=dict, repr=False
-    )
+    _evaluators: Dict[
+        Tuple[str, int, str, Optional[CacheGeometry]], Evaluator
+    ] = field(init=False, default_factory=dict, repr=False)
     _runner: Optional[ParallelChipRunner] = field(
         init=False, default=None, repr=False, compare=False
     )
@@ -191,6 +197,10 @@ class ExperimentContext:
         # cache entries, and run keys stay valid for 3T1D runs.
         if self.technology != "3t1d":
             fingerprint += f"|technology={self.technology}"
+        # Same pattern for geometry: the paper point keeps its
+        # historical fingerprint.
+        if self.geometry is not None and self.geometry != CacheGeometry():
+            fingerprint += f"|geometry={self.geometry.signature}"
         return fingerprint
 
     # ------------------------------------------------------------------
@@ -219,6 +229,7 @@ class ExperimentContext:
                 self.scenario(scenario),
                 seed=self.seed,
                 technology=self.technology,
+                **self._sampler_geometry(),
             )
             tasks = sampler.reserve_build_tasks(self.n_chips, kind="3t1d")
             self._chips_3t1d[scenario] = self.runner.build_chips(
@@ -237,7 +248,10 @@ class ExperimentContext:
         key = (scenario, size_factor)
         if key not in self._chips_sram:
             sampler = ChipSampler(
-                self.node, self.scenario(scenario), seed=self.seed + 17
+                self.node,
+                self.scenario(scenario),
+                seed=self.seed + 17,
+                **self._sampler_geometry(),
             )
             tasks = sampler.reserve_build_tasks(
                 self.n_chips, kind="sram", size_factor=size_factor
@@ -249,20 +263,52 @@ class ExperimentContext:
             )
         return self._chips_sram[key]
 
-    def evaluator_spec(self, ways: int = 4) -> EvaluatorSpec:
-        """The spec workers use to rebuild this context's evaluator."""
+    def _sampler_geometry(self) -> Dict[str, CacheGeometry]:
+        """Extra :class:`ChipSampler` kwargs for a non-default geometry.
+
+        Empty at the paper point so the historical call (and its chip
+        sequence) stays byte-identical.
+        """
+        if self.geometry is None:
+            return {}
+        return {"geometry": self.geometry}
+
+    def evaluator_spec(
+        self,
+        ways: Optional[int] = None,
+        geometry: Optional[CacheGeometry] = None,
+    ) -> EvaluatorSpec:
+        """The spec workers use to rebuild this context's evaluator.
+
+        ``geometry`` defaults to the context's; when one is in play,
+        ``ways`` re-derives the set/way indexing through
+        :meth:`~repro.array.geometry.CacheGeometry.with_ways` (the
+        physical layout stays pinned).  With no geometry anywhere the
+        legacy ways-only spec is returned unchanged.
+        """
+        geometry = geometry if geometry is not None else self.geometry
+        if geometry is not None and ways is not None and ways != geometry.ways:
+            geometry = geometry.with_ways(ways)
         return EvaluatorSpec(
             node=self.node,
-            ways=ways,
+            ways=geometry.ways if geometry is not None else (
+                4 if ways is None else ways
+            ),
             n_references=self.n_references,
             seed=self.seed,
             benchmarks=tuple(self.benchmarks) if self.benchmarks else None,
             technology=self.technology,
+            geometry=geometry,
         )
 
-    def evaluator(self, ways: int = 4) -> Evaluator:
-        """The cached evaluator for an associativity (traces shared)."""
-        key = (self.node.name, ways, self.technology)
+    def evaluator(
+        self,
+        ways: Optional[int] = None,
+        geometry: Optional[CacheGeometry] = None,
+    ) -> Evaluator:
+        """The cached evaluator for a configuration (traces shared)."""
+        spec = self.evaluator_spec(ways, geometry)
+        key = (self.node.name, spec.ways, self.technology, spec.geometry)
         if key not in self._evaluators:
-            self._evaluators[key] = self.evaluator_spec(ways).build()
+            self._evaluators[key] = spec.build()
         return self._evaluators[key]

@@ -11,7 +11,7 @@ in vectorised form.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -200,15 +200,25 @@ class VariationSampler:
         ]
 
     @staticmethod
-    def golden(node: TechnologyNode, seed: int = 0) -> ChipVariation:
+    def golden(
+        node: TechnologyNode,
+        seed: int = 0,
+        n_subarrays: Optional[int] = None,
+    ) -> ChipVariation:
         """The no-variation (golden) chip at ``node``.
 
         Used as the normalisation reference for every distribution plot.
         ``seed`` feeds the chip's (otherwise unused) RNG; the default
         keeps golden chips bit-identical across every caller.
+        ``n_subarrays`` sizes the (all-zero) correlated deviation vector
+        for non-paper geometries; the default is the paper's 8.
         """
         params = VariationParams.none()
-        n_sub = DEFAULT_SUBARRAY_ROWS * DEFAULT_SUBARRAY_COLS
+        n_sub = (
+            DEFAULT_SUBARRAY_ROWS * DEFAULT_SUBARRAY_COLS
+            if n_subarrays is None
+            else n_subarrays
+        )
         return ChipVariation(
             node=node,
             params=params,

@@ -23,13 +23,14 @@ ALL_SUITES = [
     "fig01_reuse", "fig04_retention_curve", "fig06_typical",
     "fig07_leakage", "fig08_line_retention", "fig09_schemes",
     "fig10_hundred_chips", "fig11_associativity", "fig12_sensitivity",
-    "table3", "techcompare",
+    "geomsweep", "table3", "techcompare",
 ]
 
 #: Suites whose evaluate path goes through the batched scheme kernel.
 SCHEME_SUITES = [
     "fig06_typical", "fig09_schemes", "fig10_hundred_chips",
-    "fig11_associativity", "fig12_sensitivity", "table3", "techcompare",
+    "fig11_associativity", "fig12_sensitivity", "geomsweep",
+    "table3", "techcompare",
 ]
 
 
@@ -93,7 +94,7 @@ class TestDiffParsing:
 
 
 class TestGoldenEntryPoints:
-    def test_all_eleven_suites_found(self, repo_project):
+    def test_all_twelve_suites_found(self, repo_project):
         graph = get_call_graph(repo_project)
         entries = golden_entry_points(graph)
         assert sorted(entries) == ALL_SUITES
@@ -144,6 +145,26 @@ class TestImpactCones:
         assert report.unaffected_suites == ALL_SUITES
         assert sorted(report.non_code_files) == ["DESIGN.md", "README.md"]
         assert "fast lane" in report.render_text()
+
+    def test_array_model_change_reaches_the_geometry_sweep(
+        self, repo_project
+    ):
+        # Acceptance: geomsweep is auto-discovered and repro/array/*
+        # edits land in its reverse-reachability cone.
+        source = REPO_ROOT / "src" / "repro" / "array" / "cactimodel.py"
+        lines = source.read_text(encoding="utf-8").splitlines()
+        lineno = next(
+            i + 1 for i, line in enumerate(lines)
+            if line.startswith("def access_time_factor(")
+        ) + 1
+        report = compute_impact(
+            repo_project,
+            parse_unified_diff(
+                one_line_diff("src/repro/array/cactimodel.py", lineno)
+            ),
+            since="test",
+        )
+        assert "geomsweep" in report.affected_suites
 
     def test_chip_sampler_change_affects_chip_building_suites(
         self, repo_project

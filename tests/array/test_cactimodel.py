@@ -1,0 +1,120 @@
+"""The CACTI-anchored geometry scaling model (DESIGN 3h)."""
+
+import pytest
+
+from repro.array import CacheGeometry
+from repro.array.cactimodel import (
+    CACTI_ANCHORS,
+    access_time_factor,
+    bank_leakage_overhead_factor,
+    derived_access_latency_cycles,
+    is_paper_organisation,
+    leakage_factor,
+    read_energy_factor,
+    reference_metrics,
+    scale_chip_leakage,
+)
+
+ANCHOR_TOLERANCE = 0.15
+"""The acceptance bar: every SNIPPETS.md CACTI anchor value must
+reproduce within 15% on access time, read energy, and leakage."""
+
+
+class TestCactiAnchors:
+    @pytest.mark.parametrize(
+        "anchor", CACTI_ANCHORS, ids=[a.label for a in CACTI_ANCHORS]
+    )
+    def test_access_time_within_tolerance(self, anchor):
+        modelled = reference_metrics(anchor.geometry).access_time
+        assert modelled == pytest.approx(
+            anchor.access_time, rel=ANCHOR_TOLERANCE
+        )
+
+    @pytest.mark.parametrize(
+        "anchor", CACTI_ANCHORS, ids=[a.label for a in CACTI_ANCHORS]
+    )
+    def test_read_energy_within_tolerance(self, anchor):
+        modelled = reference_metrics(anchor.geometry).read_energy
+        assert modelled == pytest.approx(
+            anchor.read_energy, rel=ANCHOR_TOLERANCE
+        )
+
+    @pytest.mark.parametrize(
+        "anchor", CACTI_ANCHORS, ids=[a.label for a in CACTI_ANCHORS]
+    )
+    def test_leakage_within_tolerance(self, anchor):
+        modelled = reference_metrics(anchor.geometry).leakage_power
+        assert modelled == pytest.approx(
+            anchor.leakage_power, rel=ANCHOR_TOLERANCE
+        )
+
+    def test_covers_16_64_256_kb(self):
+        sizes = {a.geometry.size_bytes for a in CACTI_ANCHORS}
+        assert {16 * 1024, 64 * 1024, 256 * 1024} <= sizes
+
+
+class TestPaperPointIdentity:
+    """All scaling must vanish exactly at the paper's organisation."""
+
+    def test_paper_factors_are_exactly_one(self):
+        paper = CacheGeometry()
+        assert access_time_factor(paper) == 1.0
+        assert read_energy_factor(paper) == 1.0
+        assert leakage_factor(paper) == 1.0
+        assert bank_leakage_overhead_factor(paper) == 1.0
+        assert is_paper_organisation(paper)
+
+    @pytest.mark.parametrize("ways", [1, 2, 4, 8])
+    def test_associativity_variants_share_the_paper_key(self, ways):
+        # Figure 11 re-indexes the same physical array; its timing and
+        # power must not move.
+        variant = CacheGeometry().with_ways(ways)
+        assert access_time_factor(variant) == 1.0
+        assert read_energy_factor(variant) == 1.0
+        assert leakage_factor(variant) == 1.0
+
+    def test_scale_chip_leakage_is_identity_at_paper_point(self):
+        assert scale_chip_leakage(0.123456789, CacheGeometry()) == 0.123456789
+
+    def test_paper_latency_derives_to_three_cycles(self):
+        assert derived_access_latency_cycles(CacheGeometry()) == 3
+        assert CacheGeometry.from_capacity(
+            64 * 1024, 4
+        ).access_latency_cycles == 3
+
+
+class TestScalingShape:
+    def test_bigger_caches_are_slower_and_leakier(self):
+        small = CacheGeometry.from_capacity(16 * 1024, 4, banks=2)
+        large = CacheGeometry.from_capacity(256 * 1024, 4, banks=2)
+        assert access_time_factor(large) > access_time_factor(small)
+        assert leakage_factor(large) > leakage_factor(small)
+        assert read_energy_factor(large) > read_energy_factor(small)
+
+    def test_banking_trades_leakage_for_speed(self):
+        lazy = CacheGeometry.from_capacity(256 * 1024, 4, banks=2)
+        eager = CacheGeometry.from_capacity(256 * 1024, 4, banks=16)
+        assert access_time_factor(eager) < access_time_factor(lazy)
+        assert bank_leakage_overhead_factor(eager) > (
+            bank_leakage_overhead_factor(lazy)
+        )
+
+    def test_more_ports_cost_time_and_energy(self):
+        one_port = CacheGeometry.from_capacity(
+            64 * 1024, 4, read_ports=1, write_ports=0
+        )
+        many_ports = CacheGeometry.from_capacity(
+            64 * 1024, 4, read_ports=8, write_ports=0
+        )
+        assert access_time_factor(many_ports) > access_time_factor(one_port)
+        assert read_energy_factor(many_ports) > read_energy_factor(one_port)
+
+    def test_derived_latencies_stay_below_l2(self):
+        # The sweep grid must produce valid CacheConfigs (hit latency
+        # strictly below the 12-cycle L2 default).
+        for size_kb in (16, 32, 64, 128, 256):
+            for banks in (2, 4, 8):
+                derived = CacheGeometry.from_capacity(
+                    size_kb * 1024, 4, banks=banks
+                )
+                assert 2 < derived.access_latency_cycles < 12

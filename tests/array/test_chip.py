@@ -125,12 +125,29 @@ class TestDRAMChipSample:
 
 
 class TestSamplerValidation:
-    def test_rejects_wrong_subarray_count(self):
-        with pytest.raises(ConfigurationError):
-            ChipSampler(
-                NODE_32NM,
-                VariationParams.typical(),
-                geometry=CacheGeometry(
-                    n_subarrays=4, subarray_rows=256, subarray_cols=512
-                ),
-            )
+    def test_accepts_swept_subarray_counts(self):
+        # Non-paper banking used to be rejected; the variation grid now
+        # follows the geometry's die placement.
+        geometry = CacheGeometry(
+            n_subarrays=4, subarray_rows=256, subarray_cols=512
+        )
+        sampler = ChipSampler(
+            NODE_32NM, VariationParams.typical(), geometry=geometry
+        )
+        chip = sampler.sample_3t1d_chip()
+        assert chip.retention_by_line.shape == (geometry.n_lines,)
+        assert sampler._sampler.n_subarrays == 4
+
+    def test_correlation_grid_follows_die_grid(self):
+        from repro.array.geometry import CacheGeometry as G
+
+        geometry = G.from_capacity(256 * 1024, 8, banks=16)
+        sampler = ChipSampler(
+            NODE_32NM, VariationParams.severe(), geometry=geometry
+        )
+        assert sampler._sampler.n_subarrays == geometry.n_subarrays
+        rows, cols = geometry.die_grid
+        assert (sampler._sampler.subarray_rows,
+                sampler._sampler.subarray_cols) == (rows, cols)
+        chip = sampler.sample_3t1d_chip()
+        assert chip.retention_by_line.shape == (geometry.n_lines,)

@@ -1,9 +1,9 @@
-"""Cache array geometry (section 3.2 organisation)."""
+"""Cache array geometry (section 3.2 organisation + derived sweep API)."""
 
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.array import CacheGeometry
+from repro.array import CacheGeometry, derived_tag_bits
 
 
 @pytest.fixture
@@ -91,6 +91,115 @@ class TestAssociativityVariants:
     def test_rejects_nondividing_ways(self, geometry):
         with pytest.raises(ConfigurationError):
             geometry.with_ways(3)
+
+
+SWEEP_SIZES_KB = (16, 32, 64, 128, 256)
+SWEEP_WAYS = (1, 2, 4, 8)
+SWEEP_BANKS = (2, 4, 8)
+
+
+class TestFromCapacity:
+    def test_paper_point_is_the_default_geometry(self):
+        # The byte-identity foundation: deriving the paper's knobs
+        # reproduces the hand-written Section 3.2 organisation exactly.
+        assert CacheGeometry.from_capacity(64 * 1024, 4) == CacheGeometry()
+
+    def test_default_banking_keeps_256_rows(self):
+        derived = CacheGeometry.from_capacity(256 * 1024, 8)
+        assert derived.subarray_rows == 256
+        assert derived.banks == 16
+
+    @pytest.mark.parametrize("size_kb", SWEEP_SIZES_KB)
+    @pytest.mark.parametrize("ways", SWEEP_WAYS)
+    def test_round_trips_across_the_sweep_grid(self, size_kb, ways):
+        derived = CacheGeometry.from_capacity(size_kb * 1024, ways)
+        assert derived.size_bytes == size_kb * 1024
+        assert derived.ways == ways
+        assert derived.n_lines == size_kb * 1024 * 8 // 512
+        assert derived.n_lines % derived.n_pairs == 0
+        assert derived.line_bits % derived.sense_amps_per_pair == 0
+        assert derived.tag_bits_per_line == derived_tag_bits(
+            size_kb * 1024, 512, ways
+        )
+
+    @pytest.mark.parametrize("size_kb", SWEEP_SIZES_KB)
+    @pytest.mark.parametrize("banks", SWEEP_BANKS)
+    @pytest.mark.parametrize("ways", SWEEP_WAYS)
+    def test_sweep_grid_satisfies_invariants(self, size_kb, banks, ways):
+        # Every geometry the geomsweep grid emits must construct (the
+        # classmethod cannot assemble objects that trip __post_init__).
+        base = CacheGeometry.from_capacity(size_kb * 1024, 4, banks=banks)
+        variant = base.with_ways(ways)
+        assert variant.banks == banks
+        assert variant.n_subarrays == 2 * banks
+        assert (
+            variant.n_subarrays
+            * variant.subarray_rows
+            * variant.subarray_cols
+            == variant.total_data_bits
+        )
+
+    def test_rejects_partial_lines(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry.from_capacity(1000, 1)
+
+    def test_rejects_inconsistent_banks_and_subarrays(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry.from_capacity(64 * 1024, 4, banks=4, n_subarrays=4)
+
+    def test_paper_tag_width_derived(self):
+        assert derived_tag_bits(64 * 1024, 512, 4) == 34
+
+
+class TestReplace:
+    def test_rederives_dependent_fields(self):
+        grown = CacheGeometry().replace(size_bytes=128 * 1024)
+        assert grown.size_bytes == 128 * 1024
+        assert grown.banks == 4  # banking preserved, not re-defaulted
+        assert grown.subarray_rows == 512
+
+    def test_banks_knob_refloorplans(self):
+        rebanked = CacheGeometry().replace(banks=8)
+        assert rebanked.n_subarrays == 16
+        assert rebanked.subarray_rows == 128
+
+    def test_rejects_unknown_knobs(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry().replace(bogus_knob=3)
+
+    def test_with_ways_pins_the_physical_layout(self):
+        base = CacheGeometry.from_capacity(128 * 1024, 4, banks=8)
+        variant = base.with_ways(8)
+        for field in (
+            "n_subarrays", "subarray_rows", "subarray_cols",
+            "sense_amps_per_pair", "tag_bits_per_line",
+            "access_latency_cycles",
+        ):
+            assert getattr(variant, field) == getattr(base, field)
+
+
+class TestDieGrid:
+    def test_paper_grid_matches_historical_sampler(self):
+        assert CacheGeometry().die_grid == (2, 4)
+        assert CacheGeometry().ndwl == 4
+        assert CacheGeometry().ndbl == 2
+
+    @pytest.mark.parametrize("banks", SWEEP_BANKS)
+    def test_grid_covers_all_subarrays(self, banks):
+        geometry = CacheGeometry.from_capacity(64 * 1024, 4, banks=banks)
+        rows, cols = geometry.die_grid
+        assert rows * cols == geometry.n_subarrays
+        assert rows <= cols
+
+
+class TestSignature:
+    def test_unique_per_geometry(self):
+        a = CacheGeometry()
+        b = CacheGeometry.from_capacity(64 * 1024, 4, banks=8)
+        assert a.signature != b.signature
+        assert a.signature == CacheGeometry.from_capacity(
+            64 * 1024, 4
+        ).signature
 
 
 class TestValidation:

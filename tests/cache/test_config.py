@@ -1,9 +1,18 @@
 """Cache configuration."""
 
+import dataclasses
+import warnings
+
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.array import CacheGeometry
 from repro.cache import CacheConfig
+from repro.cache.config import (
+    DEFAULT_L2_CAPACITY_BYTES,
+    DEFAULT_L2_WAYS,
+    default_l2_geometry,
+)
 
 
 class TestDefaults:
@@ -30,6 +39,65 @@ class TestWithWays:
         assert config.geometry.ways == ways
         assert config.hit_latency_cycles == 3
         assert config.partial_refresh_threshold_cycles == 6000
+
+
+class TestGeometryDerivedFields:
+    def test_hit_latency_reads_the_geometry(self):
+        geometry = CacheGeometry.from_capacity(256 * 1024, 8, banks=8)
+        config = CacheConfig(geometry=geometry)
+        assert config.hit_latency_cycles == geometry.access_latency_cycles
+
+    def test_explicit_hit_latency_still_overrides(self):
+        assert CacheConfig(hit_latency_cycles=5).hit_latency_cycles == 5
+
+    def test_with_geometry_rederives_latency(self):
+        slow = CacheConfig().with_geometry(
+            CacheGeometry.from_capacity(256 * 1024, 4, banks=2)
+        )
+        assert slow.hit_latency_cycles == slow.geometry.access_latency_cycles
+        assert slow.hit_latency_cycles > 3
+
+    def test_l2_geometry_concrete_by_default(self):
+        config = CacheConfig()
+        assert config.l2_geometry == default_l2_geometry()
+        assert config.l2_capacity_bytes == DEFAULT_L2_CAPACITY_BYTES
+        assert config.l2_ways == DEFAULT_L2_WAYS
+
+
+class TestDeprecatedL2Keywords:
+    def test_legacy_keywords_warn_and_fold_into_geometry(self):
+        with pytest.warns(DeprecationWarning, match="l2_geometry"):
+            config = CacheConfig(
+                l2_capacity_bytes=1024 * 1024, l2_ways=8
+            )
+        assert config.l2_geometry.size_bytes == 1024 * 1024
+        assert config.l2_geometry.ways == 8
+        assert config.l2_capacity_bytes == 1024 * 1024
+        assert config.l2_ways == 8
+
+    def test_l2_geometry_keyword_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = CacheConfig(
+                l2_geometry=CacheGeometry.from_capacity(1024 * 1024, 8)
+            )
+        assert config.l2_ways == 8
+
+    def test_replace_round_trip_is_silent(self):
+        # The concrete mirrors written back after resolution must not
+        # re-trigger the deprecation shim on dataclasses.replace.
+        config = CacheConfig()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            replaced = dataclasses.replace(config, counter_bits=4)
+        assert replaced.l2_geometry == config.l2_geometry
+
+    def test_disagreeing_legacy_value_raises(self):
+        with pytest.raises(ConfigurationError, match="deprecated keyword"):
+            CacheConfig(
+                l2_geometry=CacheGeometry.from_capacity(1024 * 1024, 8),
+                l2_ways=4,
+            )
 
 
 class TestValidation:

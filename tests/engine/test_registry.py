@@ -25,6 +25,7 @@ PAPER_ORDER = (
     "table3",
     # Extensions ride after the paper's own figures.
     "techcompare",
+    "geomsweep",
 )
 
 
@@ -50,7 +51,7 @@ def test_plot_shaped_experiments_export_csv():
     }
     assert with_csv == {
         "fig01_reuse", "fig10_hundred_chips", "fig12_sensitivity",
-        "techcompare",
+        "techcompare", "geomsweep",
     }
 
 

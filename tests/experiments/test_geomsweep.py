@@ -1,0 +1,94 @@
+"""The geometry/banking sweep driver."""
+
+import pytest
+
+from repro.array import CacheGeometry
+from repro.engine.registry import experiment_names, get_experiment
+from repro.experiments import geomsweep
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    context = ExperimentContext(n_chips=2, n_references=600, seed=21)
+    return geomsweep.run(
+        context,
+        sizes_kb=(16, 64),
+        banks_sweep=(2, 4),
+        ways_sweep=(1, 4),
+        severities=("typical", "severe"),
+    )
+
+
+class TestGridShape:
+    def test_full_grid_meets_the_500_configuration_floor(self):
+        cells = (
+            len(geomsweep.SIZES_KB)
+            * len(geomsweep.WAYS_SWEEP)
+            * len(geomsweep.BANKS_SWEEP)
+            * len(geomsweep.SCHEMES)
+            * len(geomsweep.SEVERITIES)
+        )
+        assert cells >= 500
+
+    def test_sweep_geometries_cover_the_grid(self):
+        geometries = geomsweep.sweep_geometries()
+        assert len(geometries) == (
+            len(geomsweep.SIZES_KB)
+            * len(geomsweep.BANKS_SWEEP)
+            * len(geomsweep.WAYS_SWEEP)
+        )
+        # Construction through from_capacity/with_ways already enforces
+        # the __post_init__ invariants; spot-check the derived identity.
+        for geometry in geometries:
+            assert geometry.n_subarrays == 2 * geometry.banks
+
+    def test_paper_point_is_in_the_swept_space(self):
+        assert CacheGeometry() in geomsweep.sweep_geometries()
+
+
+class TestSmallSweep:
+    def test_cell_count(self, small_sweep):
+        assert small_sweep.n_configurations == 2 * 2 * 2 * 3 * 2
+
+    def test_full_kernel_coverage(self, small_sweep):
+        assert small_sweep.fast_path_coverage == 1.0
+        assert all(
+            row.fast_path_coverage == 1.0 for row in small_sweep.rows
+        )
+
+    def test_yields_are_fractions_over_live_chips(self, small_sweep):
+        for row in small_sweep.rows:
+            assert 0.0 <= row.frequency_yield <= 1.0
+            assert 0 <= row.chips <= 2
+
+    def test_leakage_grows_with_size_and_banking(self, small_sweep):
+        by_point = {
+            (row.size_kb, row.banks): row.leakage_mw
+            for row in small_sweep.rows_for("typical", "no-refresh/LRU")
+            if row.ways == 4
+        }
+        assert by_point[(64, 2)] > by_point[(16, 2)]
+        assert by_point[(16, 4)] > by_point[(16, 2)]
+
+    def test_report_carries_the_coverage_gate(self, small_sweep):
+        text = geomsweep.report(small_sweep)
+        assert "fast_path_coverage: 1.000" in text
+        assert "configurations: 48" in text
+
+    def test_csv_exports_every_cell(self, small_sweep):
+        (export,) = geomsweep.csv_rows(small_sweep)
+        assert export.filename == "geomsweep.csv"
+        assert len(export.rows) == small_sweep.n_configurations
+
+
+class TestRegistration:
+    def test_registered_after_techcompare(self):
+        names = list(experiment_names())
+        assert names.index("geomsweep") == names.index("techcompare") + 1
+
+    def test_scale_override_trims_the_chip_batch(self):
+        experiment = get_experiment("geomsweep")
+        context = ExperimentContext(n_chips=60, n_references=600)
+        derived = experiment.context_for(context)
+        assert derived.n_chips == 15

@@ -1,0 +1,59 @@
+"""Golden bit-identity of the 64KB paper point across the geometry API.
+
+The parametric geometry model scales timing/energy/leakage for swept
+organisations, but the paper's fixed 64KB / 4-way / 8-subarray point
+must stay a *point* in the swept space: every scaling factor
+short-circuits to exactly 1.0 there, so driver outputs are byte-for-byte
+what they were before geometry became a parameter.  These digests pin
+that contract; a change here means the paper reproduction moved.
+"""
+
+import hashlib
+
+from repro.array import CacheGeometry
+from repro.experiments import fig10_hundred_chips, table3
+from repro.experiments.runner import ExperimentContext
+
+GOLDEN_FIG10_DIGEST = (
+    "c4062ea884fbf9f1d9c5eab4cdd3e5bcefb2bfead5ef447a32e504add7eb8033"
+)
+GOLDEN_TABLE3_DIGEST = (
+    "7a0e4cb27294abbca94cba556ca3d502c134f47a092cf3527cdd52a1b9855423"
+)
+GOLDEN_SCALE = dict(n_chips=2, n_references=800, seed=9)
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def test_fig10_report_is_byte_identical():
+    context = ExperimentContext(**GOLDEN_SCALE)
+    text = fig10_hundred_chips.report(fig10_hundred_chips.run(context))
+    assert _digest(text) == GOLDEN_FIG10_DIGEST
+
+
+def test_table3_report_is_byte_identical():
+    context = ExperimentContext(**GOLDEN_SCALE)
+    text = table3.report(table3.run(context))
+    assert _digest(text) == GOLDEN_TABLE3_DIGEST
+
+
+def test_default_fingerprint_has_no_geometry_suffix():
+    # Cache entries, run journals, and resume keys from before the
+    # geometry redesign must stay valid for paper-point runs.
+    default = ExperimentContext(**GOLDEN_SCALE)
+    explicit = default.with_overrides(geometry=CacheGeometry())
+    assert "geometry=" not in default.cache_fingerprint()
+    assert explicit.cache_fingerprint() == default.cache_fingerprint()
+
+
+def test_explicit_paper_geometry_spec_stays_legacy_compatible():
+    # An explicit paper-point geometry evaluates through the same
+    # CacheConfig as the legacy ways-only spec.
+    default = ExperimentContext(**GOLDEN_SCALE)
+    explicit = default.with_overrides(geometry=CacheGeometry())
+    assert (
+        explicit.evaluator_spec().build().config
+        == default.evaluator_spec().build().config
+    )
