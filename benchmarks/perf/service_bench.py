@@ -1,0 +1,173 @@
+"""Measure the execution service: dedupe ratio + submit latency.
+
+Two stages, mirroring the guarantees the service makes:
+
+1. **Fleet-wide dedupe gate** -- two identical fig10 jobs are submitted
+   concurrently against one service root.  Exactly one may compute; the
+   other must resolve through the shared :class:`ShardedResultCache`
+   (in-flight coalescing + content-keyed hits).  The gate fails unless
+   the service's cache-hit counter went up AND both jobs' ``result.pkl``
+   payloads are byte-identical (``--require-dedupe``, on by default in
+   CI).
+2. **Submit-to-first-event latency** -- over several repeats, the
+   wall-clock from :meth:`ExecutionService.submit` returning to the
+   first typed engine event landing in the job's ``events.jsonl``.
+   Reported as min-of-repeats; gated by ``--max-first-event-s``.
+
+Results land in ``BENCH_service.json`` (see ``--out``), the repo's
+perf-trajectory record.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.service_bench \
+        --chips 2 --refs 800 --out BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.service import ExecutionService
+
+EXPERIMENT = "fig10_hundred_chips"
+
+
+def check_dedupe(n_chips: int, n_references: int, seed: int) -> Dict:
+    """Two concurrent identical jobs: one compute, one shared-cache hit."""
+    with tempfile.TemporaryDirectory(prefix="service-bench-") as root:
+        service = ExecutionService(Path(root))
+        handles = [
+            service.submit(
+                EXPERIMENT, chips=n_chips, refs=n_references, seed=seed
+            )
+            for _ in range(2)
+        ]
+        statuses = [handle.wait() for handle in handles]
+        payloads = {
+            pickle.dumps(handle.result()) for handle in handles
+        }
+        service.close()
+        cached_states = sorted(status.cached for status in statuses)
+        hits = service.cache.stats.hits
+        return {
+            "chips": n_chips,
+            "references": n_references,
+            "jobs": len(handles),
+            "states": [status.state for status in statuses],
+            "cached_flags": cached_states,
+            "cache_hits": hits,
+            "computed_jobs": cached_states.count(False),
+            "dedupe_ratio": cached_states.count(True) / len(handles),
+            "byte_identical": len(payloads) == 1,
+            "ok": (
+                all(status.state == "done" for status in statuses)
+                and hits > 0
+                and len(payloads) == 1
+                and cached_states == [False, True]
+            ),
+        }
+
+
+def time_submit_latency(
+    n_chips: int, n_references: int, seed: int, repeats: int
+) -> Dict:
+    """Min-of-repeats submit-to-first-event wall-clock."""
+    latencies: List[float] = []
+    for repeat in range(repeats):
+        with tempfile.TemporaryDirectory(prefix="service-bench-") as root:
+            service = ExecutionService(Path(root))
+            start = time.perf_counter()
+            handle = service.submit(
+                EXPERIMENT,
+                chips=n_chips,
+                refs=n_references,
+                # A fresh seed per repeat keeps every run a real compute.
+                seed=seed + repeat,
+            )
+            for _ in handle.events(follow=True):
+                latencies.append(time.perf_counter() - start)
+                break
+            handle.wait()
+            service.close()
+    return {
+        "workload": f"{EXPERIMENT}: {n_chips} chips x {n_references} refs",
+        "repeats": repeats,
+        "first_event_s": latencies,
+        "first_event_min_s": min(latencies),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chips", type=int, default=2,
+                        help="chips per job (default 2)")
+    parser.add_argument("--refs", type=int, default=800,
+                        help="trace length per job (default 800)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="latency repeats (min is reported)")
+    parser.add_argument("--require-dedupe", action="store_true",
+                        help="fail unless the dedupe gate passes")
+    parser.add_argument("--max-first-event-s", type=float, default=30.0,
+                        help="fail when submit-to-first-event exceeds this")
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument("--out", default="BENCH_service.json")
+    args = parser.parse_args(argv)
+
+    print(
+        f"dedupe gate: 2 concurrent identical {EXPERIMENT} jobs "
+        f"({args.chips} chips, {args.refs} refs) ..."
+    )
+    dedupe = check_dedupe(args.chips, args.refs, args.seed)
+    print(
+        f"  {dedupe['computed_jobs']} computed, "
+        f"{dedupe['cache_hits']} cache hits, byte-identical: "
+        f"{dedupe['byte_identical']}"
+    )
+
+    print(
+        f"latency: submit-to-first-event over {args.repeats} repeats ..."
+    )
+    latency = time_submit_latency(
+        args.chips, args.refs, args.seed, args.repeats
+    )
+    print(f"  first event after {latency['first_event_min_s']:.3f}s (min)")
+
+    latency_ok = latency["first_event_min_s"] <= args.max_first_event_s
+    payload = {
+        "benchmark": "service",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "seed": args.seed,
+        "dedupe": dedupe,
+        "latency": latency,
+        "max_first_event_s": args.max_first_event_s,
+        "latency_ok": latency_ok,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.require_dedupe and not dedupe["ok"]:
+        print("fleet-wide dedupe gate FAILED", file=sys.stderr)
+        return 1
+    if not latency_ok:
+        print(
+            f"first-event latency {latency['first_event_min_s']:.3f}s "
+            f"exceeds {args.max_first_event_s:g}s gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

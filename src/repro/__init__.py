@@ -33,6 +33,7 @@ from repro.errors import (
     ChipDiscardedError,
     ConfigurationError,
     ExecutionError,
+    JobCancelled,
     ReproError,
     SimulationError,
     TraceError,
@@ -112,6 +113,7 @@ from repro.core import (
     simulate_trace,
 )
 from repro.engine import (
+    CacheStats,
     CLIProgressReporter,
     CompositeObserver,
     CorruptedPayload,
@@ -126,18 +128,24 @@ from repro.engine import (
     FaultPlan,
     InjectedFaultError,
     JSONMetricsObserver,
+    LOCAL_BACKEND,
     NULL_OBSERVER,
     ParallelChipRunner,
     ResultCache,
     RunJournal,
     RunObserver,
     RunnerStats,
+    SUBPROCESS_FLEET_BACKEND,
+    ShardedResultCache,
     Span,
     TracedResult,
     Tracer,
     activate,
     all_experiments,
+    canonical_dumps,
+    decode_event,
     dispatch,
+    encode_event,
     evaluator_cache_size,
     get_experiment,
     register_experiment,
@@ -151,15 +159,29 @@ from repro.engine import (
 __version__ = "1.0.0"
 
 
-def __getattr__(name):
-    # ExperimentContext lives with the experiment drivers; importing it
-    # eagerly here would pull every driver in on ``import repro``, so it
-    # resolves lazily instead.
-    if name == "ExperimentContext":
-        from repro.experiments.runner import ExperimentContext
+#: Facade names resolved lazily: ExperimentContext lives with the
+#: experiment drivers and the service symbols live with the service
+#: layer; importing either eagerly would pull heavy subpackages in on
+#: every ``import repro``.
+_LAZY_EXPORTS = {
+    "ExperimentContext": ("repro.experiments.runner", "ExperimentContext"),
+    "ExecutionService": ("repro.service", "ExecutionService"),
+    "JobHandle": ("repro.service", "JobHandle"),
+    "JobSpec": ("repro.service", "JobSpec"),
+    "JobStatus": ("repro.service", "JobStatus"),
+}
 
-        return ExperimentContext
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
 
 __all__ = [
     "ReproError",
@@ -169,6 +191,7 @@ __all__ = [
     "TraceError",
     "ChipDiscardedError",
     "ExecutionError",
+    "JobCancelled",
     "TechnologyNode",
     "ALL_NODES",
     "NODE_65NM",
@@ -233,6 +256,7 @@ __all__ = [
     "DEFAULT_EVALUATOR_CACHE_SIZE",
     "evaluator_cache_size",
     "set_evaluator_cache_size",
+    "CacheStats",
     "CLIProgressReporter",
     "CompositeObserver",
     "CorruptedPayload",
@@ -242,23 +266,33 @@ __all__ = [
     "EvalTask",
     "EvaluatorSpec",
     "EventStream",
+    "ExecutionService",
     "Experiment",
     "ExperimentContext",
     "FaultPlan",
     "InjectedFaultError",
     "JSONMetricsObserver",
+    "JobHandle",
+    "JobSpec",
+    "JobStatus",
+    "LOCAL_BACKEND",
     "NULL_OBSERVER",
     "ParallelChipRunner",
     "ResultCache",
     "RunJournal",
     "RunObserver",
     "RunnerStats",
+    "SUBPROCESS_FLEET_BACKEND",
+    "ShardedResultCache",
     "Span",
     "TracedResult",
     "Tracer",
     "activate",
     "all_experiments",
+    "canonical_dumps",
+    "decode_event",
     "dispatch",
+    "encode_event",
     "get_experiment",
     "register_experiment",
     "resolve_cache",

@@ -9,12 +9,14 @@ Three families on top of the call graph and taint engine:
   results are a pure function of config and seed.  An ambient or
   hard-coded generator anywhere upstream of the samplers silently forks
   that seed space.
-* **FLOW004-005, process-boundary flow** -- values flowing into
-  :class:`~repro.engine.ParallelChipRunner` task payloads or pool
-  initializers must be picklable by module-level name.  WS001/WS002
-  check the direct argument expressions; these rules chase the
-  *indirect* flows (a helper that returns a frame-local callable, a
-  local bound to one) that the single-module rules cannot see.
+* **FLOW004-006, process-boundary flow** -- values flowing into
+  :class:`~repro.engine.ParallelChipRunner` task payloads, pool
+  initializers, or durable-queue task envelopes must be picklable by
+  module-level name.  WS001/WS002 check the direct argument
+  expressions; these rules chase the *indirect* flows (a helper that
+  returns a frame-local callable, a local bound to one) that the
+  single-module rules cannot see, and FLOW006 applies both layers to
+  the service queue where no fork-inheritance escape hatch exists.
 
 All findings carry ``flow_path`` -- the interprocedural chain that
 justifies the report -- rendered by every reporter and preserved by
@@ -461,6 +463,105 @@ class TaintedTaskPayloadRule(_BoundaryFlowRule):
         return findings
 
 
+#: Queue-payload sites: envelope construction and durable enqueueing.
+#: Everything in an envelope is pickled to disk and unpickled by fleet
+#: workers in *other* processes (possibly other hosts), so the WS001
+#: constraints apply with no fork-inheritance escape hatch.
+QUEUE_CONSTRUCTORS: Tuple[str, ...] = ("TaskEnvelope",)
+QUEUE_METHODS: Tuple[str, ...] = ("enqueue",)
+
+
+@register_rule
+class TaintedQueuePayloadRule(_BoundaryFlowRule):
+    """FLOW006: queue job payloads must pickle across process boundaries.
+
+    The durable task queue (``repro.service.queue``) writes envelopes to
+    disk for fleet workers that share no memory with the producer --
+    unlike a forked pool, nothing frame-local can ever resolve.  This
+    rule applies the WS001 direct checks (lambdas, frame-local
+    definitions) plus the FLOW004 indirect chase (helpers returning
+    frame-local callables) at every ``TaskEnvelope(...)`` construction
+    and ``queue.enqueue(...)`` call.
+    """
+
+    rule_id = "FLOW006"
+    name = "tainted-queue-payload"
+    description = (
+        "values flowing into TaskEnvelope(...) or DurableTaskQueue."
+        "enqueue(...) are pickled to disk for workers in other "
+        "processes; lambdas, frame-local callables, and helper-returned "
+        "closures cannot cross that boundary"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = self._graph(project)
+        findings: List[Finding] = []
+        for module in project:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = _callee_name(node)
+                is_envelope = callee in QUEUE_CONSTRUCTORS
+                is_enqueue = (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in QUEUE_METHODS
+                )
+                if not (is_envelope or is_enqueue):
+                    continue
+                owner = graph.owner_of(node)
+                if owner is None:
+                    continue
+                what = (
+                    "a queue task envelope" if is_envelope
+                    else "a durable-queue enqueue"
+                )
+                locals_table = _frame_local_callables(graph, owner)
+                arguments: List[ast.AST] = list(node.args)
+                arguments.extend(kw.value for kw in node.keywords)
+                for argument in arguments:
+                    finding = self._check_queue_argument(
+                        graph, module, owner, argument, locals_table, what
+                    )
+                    if finding is not None:
+                        findings.append(finding)
+        return findings
+
+    def _check_queue_argument(
+        self,
+        graph: CallGraph,
+        module: SourceModule,
+        owner: str,
+        argument: ast.AST,
+        locals_table: Dict[str, str],
+        what: str,
+    ) -> Optional[Finding]:
+        reason: Optional[str] = None
+        path: Tuple[str, ...] = (
+            f"{module.display_path}:{argument.lineno} in {owner}",
+        )
+        for sub in ast.walk(argument):
+            if isinstance(sub, ast.Lambda):
+                reason = "a lambda"
+                break
+        if reason is None and isinstance(argument, ast.Name):
+            if argument.id in locals_table:
+                reason = locals_table[argument.id]
+        if reason is None:
+            verdict = self._indirect_unpicklable(
+                graph, module, owner, argument
+            )
+            if verdict is not None:
+                reason, path = verdict
+        if reason is None:
+            return None
+        return self._path_finding(
+            module, argument.lineno, argument.col_offset,
+            f"{reason} flows into {what} and cannot be unpickled by a "
+            "fleet worker process",
+            path,
+        )
+
+
 @register_rule
 class TaintedPoolInitializerRule(_BoundaryFlowRule):
     """FLOW005: pool initializers must be module-level callables."""
@@ -564,9 +665,12 @@ def _callee_name(node: ast.Call) -> Optional[str]:
 
 __all__ = [
     "AmbientRngReachableFromSamplerRule",
+    "QUEUE_CONSTRUCTORS",
+    "QUEUE_METHODS",
     "SAMPLING_PACKAGES",
     "SamplingRngProvenanceRule",
     "TaintedPoolInitializerRule",
+    "TaintedQueuePayloadRule",
     "TaintedTaskPayloadRule",
     "UnseededRngReachesSamplerRule",
 ]

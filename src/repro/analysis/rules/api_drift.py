@@ -28,6 +28,7 @@ REQUIRED_FACADE_EXPORTS: Tuple[str, ...] = (
     "Experiment",
     "ResultCache",
     "RunObserver",
+    "ExecutionService",
 )
 
 FACADE_MODULE = "repro"
@@ -121,28 +122,53 @@ def module_bindings(tree: ast.Module) -> Set[str]:
 
 
 def getattr_provided_names(tree: ast.Module) -> Set[str]:
-    """Names a module-level ``__getattr__`` serves via string compares.
+    """Names a module-level ``__getattr__`` serves lazily.
 
-    The facade resolves ``ExperimentContext`` lazily through
-    ``if name == "ExperimentContext": ...``; those names are legitimate
-    exports even though no top-level binding exists.
+    Two idioms count as legitimate exports without a top-level binding:
+    string compares (``if name == "ExperimentContext": ...``) and a
+    lookup in a module-level registry dict (``_LAZY_EXPORTS[name]``),
+    whose string keys are harvested.
     """
     provided: Set[str] = set()
+    dict_keys: Dict[str, Set[str]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            continue
+        keys = {
+            key.value
+            for key in node.value.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                dict_keys[target.id] = keys
     for node in tree.body:
         if not (isinstance(node, ast.FunctionDef) and node.name == "__getattr__"):
             continue
         for sub in ast.walk(node):
-            if not isinstance(sub, ast.Compare):
-                continue
-            operands = [sub.left] + list(sub.comparators)
-            names = {o.id for o in operands if isinstance(o, ast.Name)}
-            if "name" not in names:
-                continue
-            for operand in operands:
-                if isinstance(operand, ast.Constant) and isinstance(
-                    operand.value, str
+            if isinstance(sub, ast.Compare):
+                operands = [sub.left] + list(sub.comparators)
+                names = {o.id for o in operands if isinstance(o, ast.Name)}
+                if "name" not in names:
+                    continue
+                for operand in operands:
+                    if isinstance(operand, ast.Constant) and isinstance(
+                        operand.value, str
+                    ):
+                        provided.add(operand.value)
+            elif isinstance(sub, ast.Subscript):
+                if not isinstance(sub.value, ast.Name):
+                    continue
+                registry = dict_keys.get(sub.value.id)
+                if registry is None:
+                    continue
+                if any(
+                    isinstance(part, ast.Name) and part.id == "name"
+                    for part in ast.walk(sub.slice)
                 ):
-                    provided.add(operand.value)
+                    provided.update(registry)
     return provided
 
 

@@ -14,14 +14,15 @@ Geometry-adjacent scalars live on the geometries, not here: the L1 hit
 latency defaults to ``geometry.access_latency_cycles`` (pass an explicit
 value only to override the derived one), and the backing L2 is a full
 :class:`CacheGeometry` in :attr:`CacheConfig.l2_geometry`.  The historical
-``l2_capacity_bytes``/``l2_ways`` keywords still work as deprecated shims
-that fold into ``l2_geometry`` (and remain readable as concrete mirrors),
-mirroring the EngineConfig keyword migration.
+``l2_capacity_bytes``/``l2_ways`` construction keywords completed their
+deprecation cycle and are now hard errors when passed without a matching
+``l2_geometry`` (DESIGN.md section 3h removal ledger); the fields remain
+readable as concrete mirrors of ``l2_geometry``, which is what keeps
+``dataclasses.replace`` round-trips silent.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -74,11 +75,12 @@ class CacheConfig:
     """Backing L2 organisation; ``None`` derives the Table 2 default.
     Always concrete after construction."""
     l2_capacity_bytes: Optional[int] = None
-    """Deprecated: pass ``l2_geometry`` (a full :class:`CacheGeometry`)
-    instead.  Still readable -- mirrors ``l2_geometry.size_bytes``."""
+    """Read-only mirror of ``l2_geometry.size_bytes``.  Passing it
+    without a matching ``l2_geometry`` is a removed legacy spelling and
+    raises :class:`~repro.errors.ConfigurationError`."""
     l2_ways: Optional[int] = None
-    """Deprecated: pass ``l2_geometry`` instead.  Still readable --
-    mirrors ``l2_geometry.ways``."""
+    """Read-only mirror of ``l2_geometry.ways``; same removal rule as
+    ``l2_capacity_bytes``."""
 
     def __post_init__(self) -> None:
         if self.hit_latency_cycles is None:
@@ -114,33 +116,25 @@ class CacheConfig:
         self._resolve_l2()
 
     def _resolve_l2(self) -> None:
-        """Fold the deprecated L2 scalars into ``l2_geometry``.
+        """Resolve ``l2_geometry`` and its concrete scalar mirrors.
 
-        After this, ``l2_geometry`` is concrete and the deprecated
-        fields mirror it, so legacy readers and ``dataclasses.replace``
-        round-trips keep working without warnings.
+        After this, ``l2_geometry`` is concrete and the scalar fields
+        mirror it, so readers and ``dataclasses.replace`` round-trips
+        (which re-pass the mirrored values) keep working silently.
+        Passing a bare scalar *without* ``l2_geometry`` completed its
+        deprecation cycle and is now a hard error.
         """
         capacity = self.l2_capacity_bytes
         ways = self.l2_ways
         if self.l2_geometry is None:
             if capacity is not None or ways is not None:
-                warnings.warn(
-                    "CacheConfig(l2_capacity_bytes=..., l2_ways=...) is "
-                    "deprecated; pass l2_geometry="
-                    "CacheGeometry.from_capacity(...) instead",
-                    DeprecationWarning,
-                    stacklevel=3,
-                )
-            if capacity is None:
-                capacity = DEFAULT_L2_CAPACITY_BYTES
-            if ways is None:
-                ways = DEFAULT_L2_WAYS
-            if capacity <= 0 or ways < 1:
                 raise ConfigurationError(
-                    "L2 capacity and ways must be positive"
+                    "CacheConfig(l2_capacity_bytes=..., l2_ways=...) was "
+                    "removed; pass l2_geometry="
+                    "CacheGeometry.from_capacity(...) instead"
                 )
-            resolved = CacheGeometry.from_capacity(
-                capacity, ways, line_bits=self.geometry.line_bits
+            resolved = default_l2_geometry(
+                line_bits=self.geometry.line_bits
             )
             object.__setattr__(self, "l2_geometry", resolved)
         else:

@@ -31,8 +31,8 @@ The engine has six pieces:
   :class:`EventStream` ``emit``/``subscribe`` surface that progress
   reporters, metrics collectors, and the tracer all consume.
 * :mod:`repro.engine.observer` -- the standard event consumers
-  (CLI progress, JSON metrics) plus the deprecated :class:`RunObserver`
-  ``on_*`` callback surface, kept working through routing shims.
+  (CLI progress, JSON metrics) built on the typed :class:`RunObserver`
+  ``handle(event)`` base (the legacy ``on_*`` shims were removed).
 * :mod:`repro.engine.trace` -- cross-process hierarchical tracing and
   profiling: ambient :func:`span` context managers, worker-side span
   collection shipped home with task results, Chrome ``trace_event``
@@ -44,9 +44,19 @@ The engine has six pieces:
   ``run_all`` without experiment-name special cases.
 """
 
-from repro.engine.cache import ResultCache, resolve_cache, source_digest
-from repro.engine.checkpoint import RunJournal, task_key
-from repro.engine.config import EngineConfig
+from repro.engine.cache import (
+    CacheStats,
+    ResultCache,
+    ShardedResultCache,
+    resolve_cache,
+    source_digest,
+)
+from repro.engine.checkpoint import RunJournal, canonical_dumps, task_key
+from repro.engine.config import (
+    EngineConfig,
+    LOCAL_BACKEND,
+    SUBPROCESS_FLEET_BACKEND,
+)
 from repro.engine.events import (
     BatchEnded,
     BatchStarted,
@@ -64,7 +74,9 @@ from repro.engine.events import (
     Subscriber,
     TaskRetried,
     WorkerRespawned,
+    decode_event,
     dispatch,
+    encode_event,
 )
 from repro.engine.trace import (
     NULL_SPAN,
@@ -90,7 +102,6 @@ from repro.engine.observer import (
     CLIProgressReporter,
     CompositeObserver,
     JSONMetricsObserver,
-    LegacyEmitShims,
     NULL_OBSERVER,
     RunObserver,
 )
@@ -117,12 +128,17 @@ from repro.engine.registry import (
 )
 
 __all__ = [
+    "CacheStats",
     "ResultCache",
+    "ShardedResultCache",
     "resolve_cache",
     "source_digest",
     "RunJournal",
+    "canonical_dumps",
     "task_key",
     "EngineConfig",
+    "LOCAL_BACKEND",
+    "SUBPROCESS_FLEET_BACKEND",
     "CRASH_EXIT_CODE",
     "CorruptedPayload",
     "FAULT_KINDS",
@@ -144,6 +160,8 @@ __all__ = [
     "SpansCollected",
     "Subscriber",
     "dispatch",
+    "encode_event",
+    "decode_event",
     "EventStream",
     "Span",
     "Instant",
@@ -158,7 +176,6 @@ __all__ = [
     "collect_task_spans",
     "RunObserver",
     "NULL_OBSERVER",
-    "LegacyEmitShims",
     "CompositeObserver",
     "CLIProgressReporter",
     "JSONMetricsObserver",

@@ -16,18 +16,32 @@ runs produce bit-identical results, so they share entries.
 
 Values are stored as pickle files, written atomically; any unreadable or
 stale entry behaves as a miss.
+
+:class:`ShardedResultCache` is the fleet-wide variant the execution
+service uses: entries are spread over ``shard-XX`` subdirectories by
+key prefix, and every shard access runs under an advisory per-shard file
+lock, so many concurrent jobs (from many client processes) can share one
+cache directory and dedupe work without contending on a single lock.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import importlib
 import os
 import pathlib
 import pickle
 import tempfile
-from typing import Any, Optional
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
 
+try:  # POSIX advisory locks; sharding degrades gracefully without them.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+from repro.errors import ConfigurationError
 from repro.engine.trace import span as trace_span
 
 
@@ -66,12 +80,30 @@ def resolve_cache(
     return ResultCache(cache_dir)
 
 
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters one cache instance accumulates.
+
+    Purely diagnostic -- the counters never feed results -- but the
+    execution service's dedupe gates read them (a second identical job
+    must arrive as a hit, not a recompute)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of the counters."""
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+
 class ResultCache:
     """Content-keyed pickle store under one directory."""
 
     def __init__(self, directory: pathlib.Path):
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
 
     # ------------------------------------------------------------------
 
@@ -107,12 +139,15 @@ class ResultCache:
                     value = pickle.load(handle)
             except FileNotFoundError:
                 sp.set(hit=False)
+                self.stats.misses += 1
                 return None
             except Exception:
                 # A truncated or version-incompatible entry is just a miss.
                 sp.set(hit=False)
+                self.stats.misses += 1
                 return None
             sp.set(hit=True)
+            self.stats.hits += 1
             return value
 
     def put(self, key: str, value: Any) -> pathlib.Path:
@@ -134,15 +169,108 @@ class ResultCache:
                 except OSError:
                     pass
                 raise
+        self.stats.puts += 1
         return path
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0
-        for path in self.directory.glob("*.pkl"):
+        for path in sorted(self.directory.glob("*.pkl")):
             path.unlink()
             removed += 1
         return removed
 
 
-__all__ = ["ResultCache", "resolve_cache", "source_digest"]
+class ShardedResultCache(ResultCache):
+    """A :class:`ResultCache` sharded by key prefix with per-shard locks.
+
+    Entries live under ``shard-<prefix>/`` subdirectories chosen by the
+    first ``shard_prefix_len`` hex characters of the (sha256) cache key,
+    and each shard's reads and writes run under an advisory ``flock`` on
+    that shard's ``.lock`` file.  Concurrent jobs -- in one process, in
+    many service worker threads, or in entirely separate client
+    processes -- therefore share entries safely, and writers to
+    *different* shards never contend with each other.
+
+    The interface is exactly :class:`ResultCache`'s, so
+    :meth:`~repro.engine.registry.Experiment.execute` and every other
+    call site accept either transparently.  On platforms without
+    ``fcntl`` the locks degrade to no-ops; atomic-rename puts keep even
+    the unlocked cache corruption-free (a concurrent reader sees the old
+    or the new entry, never a torn one).
+    """
+
+    def __init__(
+        self, directory: pathlib.Path, shard_prefix_len: int = 2
+    ):
+        if not 1 <= shard_prefix_len <= 8:
+            raise ConfigurationError(
+                "shard_prefix_len must be in [1, 8], got "
+                f"{shard_prefix_len}"
+            )
+        self.shard_prefix_len = shard_prefix_len
+        super().__init__(directory)
+
+    # ------------------------------------------------------------------
+
+    def shard_for(self, key: str) -> pathlib.Path:
+        """The shard directory holding ``key``'s entry."""
+        prefix = key[: self.shard_prefix_len].lower()
+        return self.directory / f"shard-{prefix}"
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """File backing one cache key (inside its shard)."""
+        return self.shard_for(key) / f"{key}.pkl"
+
+    @contextlib.contextmanager
+    def _shard_lock(self, key: str, exclusive: bool) -> Iterator[None]:
+        """Advisory per-shard lock (shared for reads, exclusive for
+        writes); a no-op where ``fcntl`` is unavailable."""
+        shard = self.shard_for(key)
+        shard.mkdir(parents=True, exist_ok=True)
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        lock_path = shard.with_name(shard.name + ".lock")
+        with open(lock_path, "a+b") as handle:
+            fcntl.flock(
+                handle.fileno(),
+                fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH,
+            )
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, under the shard's shared lock."""
+        with self._shard_lock(key, exclusive=False):
+            return super().get(key)
+
+    def put(self, key: str, value: Any) -> pathlib.Path:
+        """Store ``value``, under the shard's exclusive lock."""
+        with self._shard_lock(key, exclusive=True):
+            return super().put(key, value)
+
+    def clear(self) -> int:
+        """Delete every entry in every shard; returns the number removed."""
+        removed = 0
+        for shard in sorted(self.directory.glob("shard-*")):
+            if not shard.is_dir():
+                continue
+            with self._shard_lock(shard.name.split("-", 1)[1], True):
+                for path in sorted(shard.glob("*.pkl")):
+                    path.unlink()
+                    removed += 1
+        return removed
+
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "ShardedResultCache",
+    "resolve_cache",
+    "source_digest",
+]

@@ -48,7 +48,7 @@ _DIGEST_BYTES = 16
 MAX_RECORD_BYTES = 1 << 31
 
 
-def _canonical_dumps(task: Any) -> bytes:
+def canonical_dumps(task: Any) -> bytes:
     """Pickle ``task`` without memoization, so equal values give equal
     bytes.
 
@@ -77,7 +77,7 @@ def task_key(fn: Callable[..., Any], task: Any) -> str:
         getattr(fn, "__module__", ""), getattr(fn, "__qualname__", repr(fn))
     )
     return hashlib.sha256(
-        ident.encode() + b"\x00" + _canonical_dumps(task)
+        ident.encode() + b"\x00" + canonical_dumps(task)
     ).hexdigest()
 
 
@@ -200,5 +200,6 @@ __all__ = [
     "MAGIC",
     "MAX_RECORD_BYTES",
     "RunJournal",
+    "canonical_dumps",
     "task_key",
 ]

@@ -28,6 +28,13 @@ from repro.errors import ConfigurationError
 from repro.engine.faults import FaultPlan
 
 
+#: The default execution backend: the in-process supervised pool.
+LOCAL_BACKEND = "local"
+
+#: The durable-queue fleet backend (see :mod:`repro.service.fleet`).
+SUBPROCESS_FLEET_BACKEND = "subprocess-fleet"
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Execution, caching, and robustness knobs for one engine run.
@@ -38,6 +45,25 @@ class EngineConfig:
 
     workers: Optional[int] = None
     """Process-pool width; ``None`` lets the runner use the CPU count."""
+    backend: str = LOCAL_BACKEND
+    """Which execution backend fans chip batches out.  ``"local"`` (the
+    default) is the in-process supervised pool and is bit-identical to
+    every historical run; ``"subprocess-fleet"`` routes batches through a
+    durable on-disk task queue served by persistent worker processes
+    (see :mod:`repro.service.backends`).  Unknown names fail when the
+    runner first resolves them, so third-party backends registered via
+    :func:`repro.service.backends.register_execution_backend` are legal
+    values here."""
+    fleet_size: Optional[int] = None
+    """Worker-process count for the subprocess-fleet backend; ``None``
+    falls back to :attr:`effective_workers`.  Ignored by ``"local"``."""
+    queue_dir: Optional[pathlib.Path] = None
+    """Durable task-queue directory for queue-based backends; ``None``
+    derives ``checkpoint_dir / "fleet-queue"`` (a private temporary
+    directory when no checkpoint dir is configured either).  Sharing one
+    queue directory across runs and clients dedupes work fleet-wide:
+    queue results are keyed by content-digest task keys, exactly like
+    the run journal."""
     cache_dir: Optional[pathlib.Path] = None
     """Result-cache directory (experiment-level memoisation)."""
     evaluator_cache_size: Optional[int] = None
@@ -61,6 +87,15 @@ class EngineConfig:
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1, got {self.workers}"
+            )
+        if not self.backend or not isinstance(self.backend, str):
+            raise ConfigurationError(
+                f"backend must be a non-empty backend name, got "
+                f"{self.backend!r}"
+            )
+        if self.fleet_size is not None and self.fleet_size < 1:
+            raise ConfigurationError(
+                f"fleet_size must be >= 1, got {self.fleet_size}"
             )
         if (
             self.evaluator_cache_size is not None
@@ -86,7 +121,7 @@ class EngineConfig:
             raise ConfigurationError(
                 f"max_pool_failures must be >= 0, got {self.max_pool_failures}"
             )
-        for name in ("cache_dir", "checkpoint_dir"):
+        for name in ("cache_dir", "checkpoint_dir", "queue_dir"):
             value = getattr(self, name)
             if value is not None and not isinstance(value, pathlib.Path):
                 object.__setattr__(self, name, pathlib.Path(value))
@@ -100,6 +135,13 @@ class EngineConfig:
             return self.workers
         return os.cpu_count() or 1
 
+    @property
+    def effective_fleet_size(self) -> int:
+        """Worker processes a queue-based backend should keep alive."""
+        if self.fleet_size is not None:
+            return self.fleet_size
+        return self.effective_workers
+
     def replace(self, **overrides) -> "EngineConfig":
         """A derived config with the given fields replaced."""
         return dataclasses.replace(self, **overrides)
@@ -109,4 +151,4 @@ class EngineConfig:
         return self.retry_backoff_s * (2 ** max(0, failure - 1))
 
 
-__all__ = ["EngineConfig"]
+__all__ = ["EngineConfig", "LOCAL_BACKEND", "SUBPROCESS_FLEET_BACKEND"]

@@ -10,9 +10,9 @@ through a single :meth:`EventStream.emit` call to any number of
 subscribers.
 
 A subscriber is anything with a ``handle(event)`` method (a plain
-callable also works).  Legacy :class:`RunObserver` subclasses remain
-valid subscribers: the base class's ``handle`` routes each typed event
-to the matching deprecated ``on_*`` callback.
+callable also works).  The legacy ``on_*`` routing shims completed
+their deprecation cycle and were removed (DESIGN.md section 3d);
+``handle``/``dispatch`` is the only delivery surface.
 
 Events are strictly *observational*: they carry timings and counters,
 never results, so attaching or detaching subscribers can never change
@@ -21,8 +21,9 @@ what an experiment computes.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, List, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -172,6 +173,75 @@ class KernelPathsCollected(EngineEvent):
     paths: Tuple[Tuple[str, str], ...]
 
 
+# ----------------------------------------------------------------------
+# JSON codec (the execution service's durable event stream)
+# ----------------------------------------------------------------------
+
+#: Event classes that survive a JSON round trip.  ``SpansCollected`` is
+#: deliberately absent: span payloads are arbitrary objects and the
+#: service's ``events.jsonl`` files only carry progress-shaped records.
+_CODEC_EVENT_TYPES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        RunStarted,
+        ExperimentStarted,
+        ExperimentEnded,
+        RunEnded,
+        BatchStarted,
+        ChipCompleted,
+        BatchEnded,
+        TaskRetried,
+        WorkerRespawned,
+        RunCheckpointed,
+        RunResumed,
+        KernelPathsCollected,
+    )
+}
+
+
+def encode_event(event: EngineEvent) -> Optional[Dict[str, Any]]:
+    """``event`` as a JSON-ready dict, or ``None`` if not encodable.
+
+    The dict carries a ``"type"`` discriminator plus the event's fields;
+    :func:`decode_event` inverts it.  Events outside the codec set
+    (currently only :class:`SpansCollected`, whose span payloads are not
+    JSON-shaped) encode to ``None`` so writers can skip them.
+    """
+    name = type(event).__name__
+    if name not in _CODEC_EVENT_TYPES:
+        return None
+    record: Dict[str, Any] = {"type": name}
+    for field in dataclasses.fields(event):
+        value = getattr(event, field.name)
+        if isinstance(value, tuple):
+            value = [
+                list(item) if isinstance(item, tuple) else item
+                for item in value
+            ]
+        record[field.name] = value
+    return record
+
+
+def decode_event(record: Dict[str, Any]) -> EngineEvent:
+    """The typed event a :func:`encode_event` dict stands for."""
+    payload = dict(record)
+    try:
+        name = payload.pop("type")
+        cls = _CODEC_EVENT_TYPES[name]
+    except KeyError:
+        raise ValueError(
+            f"not a decodable engine event record: {record!r}"
+        ) from None
+    for field in dataclasses.fields(cls):
+        value = payload.get(field.name)
+        if isinstance(value, list):
+            payload[field.name] = tuple(
+                tuple(item) if isinstance(item, list) else item
+                for item in value
+            )
+    return cls(**payload)
+
+
 #: A subscriber: an object with ``handle(event)`` or a bare callable.
 Subscriber = Union[Callable[[EngineEvent], None], Any]
 
@@ -189,10 +259,9 @@ class EventStream:
     """Fans every emitted event out to its subscribers, in order.
 
     The stream is itself a valid subscriber (``handle`` aliases
-    ``emit``), so streams compose.
-    :class:`~repro.engine.observer.CompositeObserver` layers the legacy
-    ``on_*`` emitter shims on top of this class for call sites that
-    still speak the deprecated callback surface.
+    ``emit``), so streams compose;
+    :class:`~repro.engine.observer.CompositeObserver` is the named
+    composition the runner and drivers build on.
     """
 
     def __init__(self, subscribers: Iterable[Subscriber] = ()):
@@ -242,5 +311,7 @@ __all__ = [
     "KernelPathsCollected",
     "Subscriber",
     "dispatch",
+    "encode_event",
+    "decode_event",
     "EventStream",
 ]

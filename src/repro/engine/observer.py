@@ -10,19 +10,20 @@ standard consumers:
   record (optionally including a tracer's per-phase table) and dumps it
   as JSON at the end of the run;
 * :class:`CompositeObserver` fans events out to several subscribers (a
-  thin legacy veneer over :class:`~repro.engine.events.EventStream`).
+  named :class:`~repro.engine.events.EventStream` subclass).
 
 Subscribers are strictly passive -- they never influence results, so
 serial, parallel, cached, and traced runs stay bit-identical regardless
 of what is attached.
 
-**Deprecated surface.**  :class:`RunObserver`'s per-event ``on_*``
-callbacks (``on_task_retried``, ``on_worker_respawned``, ...) are the
-legacy observer API.  They keep working: the base class's
-``handle(event)`` routes each typed event to the matching overridden
-callback (warning once per class), and the built-in consumers accept
-direct ``on_*`` calls through :class:`LegacyEmitShims`.  New code should
-subscribe with ``handle(event)`` and match on event types.
+**Removed surface.**  The legacy per-event ``on_*`` callbacks
+(``on_task_retried``, ``on_worker_respawned``, ...) and the
+``LegacyEmitShims`` emitter mixin completed their deprecation cycle and
+are gone (DESIGN.md section 3d).  Subscribers override
+:meth:`RunObserver.handle` and match on event types; defining an old
+``on_*`` name on a :class:`RunObserver` subclass is now a hard
+:class:`~repro.errors.ConfigurationError` at class-definition time, so
+a stale subscriber fails loudly instead of silently observing nothing.
 """
 
 from __future__ import annotations
@@ -31,9 +32,9 @@ import json
 import pathlib
 import sys
 import time
-import warnings
-from typing import Any, Callable, Dict, Optional, Sequence, TextIO, Tuple, Type
+from typing import Any, Dict, Optional, Sequence, TextIO, Tuple
 
+from repro.errors import ConfigurationError
 from repro.engine.events import (
     BatchEnded,
     BatchStarted,
@@ -51,179 +52,67 @@ from repro.engine.events import (
     WorkerRespawned,
 )
 
-#: Typed event -> (legacy callback name, positional-argument unpacker).
-_LEGACY_ROUTES: Dict[
-    Type[EngineEvent], Tuple[str, Callable[[Any], Tuple[Any, ...]]]
-] = {
-    RunStarted: ("on_run_start", lambda e: (e.n_experiments,)),
-    ExperimentStarted: ("on_experiment_start", lambda e: (e.name,)),
-    ExperimentEnded: (
-        "on_experiment_end", lambda e: (e.name, e.elapsed_s, e.cached)
-    ),
-    BatchStarted: ("on_batch_start", lambda e: (e.label, e.total)),
-    ChipCompleted: ("on_chip_done", lambda e: (e.label, e.completed, e.total)),
-    BatchEnded: ("on_batch_end", lambda e: (e.label, e.total, e.elapsed_s)),
-    TaskRetried: (
-        "on_task_retried", lambda e: (e.label, e.index, e.attempt, e.reason)
-    ),
-    WorkerRespawned: (
-        "on_worker_respawned", lambda e: (e.label, e.pool_failures)
-    ),
-    RunCheckpointed: ("on_run_checkpointed", lambda e: (e.label, e.flushed)),
-    RunResumed: ("on_run_resumed", lambda e: (e.label, e.restored)),
-    RunEnded: ("on_run_end", lambda e: (e.elapsed_s,)),
-}
-
-_LEGACY_WARNED: set = set()
-
-
-def _warn_legacy(cls: type, what: str, event_name: str) -> None:
-    """One consolidated deprecation message for every ``on_*`` shim.
-
-    Always names the typed-event replacement so the migration is
-    copy-pasteable from the warning itself.
-    """
-    if cls in _LEGACY_WARNED:
-        return
-    _LEGACY_WARNED.add(cls)
-    warnings.warn(
-        f"{what} is deprecated; the typed-event replacement is "
-        f"repro.engine.events.{event_name}: subscribe with handle(event) "
-        "and match on the event type",
-        DeprecationWarning,
-        stacklevel=3,
-    )
+#: Callback names of the removed legacy observer surface.  A subclass
+#: defining any of these almost certainly expected the old ``handle``
+#: routing, so class creation rejects them outright.
+_REMOVED_CALLBACK_NAMES = frozenset({
+    "on_run_start",
+    "on_experiment_start",
+    "on_experiment_end",
+    "on_batch_start",
+    "on_chip_done",
+    "on_batch_end",
+    "on_task_retried",
+    "on_worker_respawned",
+    "on_run_checkpointed",
+    "on_run_resumed",
+    "on_run_end",
+})
 
 
 class RunObserver:
-    """Legacy observer base: typed events routed to ``on_*`` callbacks.
+    """Base subscriber: override :meth:`handle` and match on event types.
 
-    Subclassing this and overriding ``on_*`` still works anywhere a
-    subscriber is accepted -- :meth:`handle` routes each typed event to
-    the matching overridden callback (and warns once per class that the
-    callback surface is deprecated).  New subscribers should override
-    :meth:`handle` directly.  All callbacks must be cheap and
+    The base :meth:`handle` ignores every event, so subclasses only
+    handle what they care about.  Handlers must be cheap and
     side-effect-free with respect to the computation -- they run on the
     coordinating process, between result arrivals.
+
+    The legacy ``on_*`` callback routing was removed; defining one of
+    those names on a subclass raises
+    :class:`~repro.errors.ConfigurationError` immediately, naming the
+    typed-event surface to migrate to.
     """
 
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        stale = sorted(_REMOVED_CALLBACK_NAMES.intersection(vars(cls)))
+        if stale:
+            raise ConfigurationError(
+                f"{cls.__name__} defines removed legacy observer "
+                f"callback(s) {', '.join(stale)}; the on_* surface was "
+                "removed -- override handle(event) and match on "
+                "repro.engine.events types instead"
+            )
+
     def handle(self, event: EngineEvent) -> None:
-        """Deliver one typed event (routes to legacy ``on_*`` overrides)."""
-        route = _LEGACY_ROUTES.get(type(event))
-        if route is None:
-            return  # new event kinds are invisible to legacy observers
-        name, unpack = route
-        if getattr(type(self), name, None) is getattr(RunObserver, name):
-            return  # callback not overridden: nothing to do
-        _warn_legacy(
-            type(self), f"overriding RunObserver.{name}",
-            type(event).__name__,
-        )
-        getattr(self, name)(*unpack(event))
-
-    # -- deprecated callback surface (each is routed from handle()) ----
-
-    def on_run_start(self, n_experiments: int) -> None:
-        """A multi-experiment run is starting."""
-
-    def on_experiment_start(self, name: str) -> None:
-        """One experiment is about to run."""
-
-    def on_experiment_end(self, name: str, elapsed: float, cached: bool) -> None:
-        """One experiment finished (``cached`` if served from the cache)."""
-
-    def on_batch_start(self, label: str, total: int) -> None:
-        """A chip batch of ``total`` work items is being scheduled."""
-
-    def on_chip_done(self, label: str, completed: int, total: int) -> None:
-        """One work item of a batch completed (``completed`` so far)."""
-
-    def on_batch_end(self, label: str, total: int, elapsed: float) -> None:
-        """A chip batch fully completed."""
-
-    def on_task_retried(
-        self, label: str, index: int, attempt: int, reason: str
-    ) -> None:
-        """One work item failed and is being retried (``attempt`` so far)."""
-
-    def on_worker_respawned(self, label: str, pool_failures: int) -> None:
-        """The worker pool broke (crash/timeout) and was recycled."""
-
-    def on_run_checkpointed(self, label: str, flushed: int) -> None:
-        """``flushed`` batch results were durably journalled."""
-
-    def on_run_resumed(self, label: str, restored: int) -> None:
-        """``restored`` batch results were served from the run journal."""
-
-    def on_run_end(self, elapsed: float) -> None:
-        """The multi-experiment run finished."""
+        """Deliver one typed event (base implementation ignores it)."""
 
 
 NULL_OBSERVER = RunObserver()
 """Shared do-nothing subscriber (the default everywhere)."""
 
 
-class LegacyEmitShims:
-    """Deprecated ``on_*`` *emitter* methods over a ``handle()`` surface.
-
-    Mixed into the built-in consumers so code that still calls the old
-    positional callbacks directly (``observer.on_chip_done(...)``) keeps
-    working: each shim builds the typed event and feeds it to
-    ``self.handle``.
-    """
-
-    def _emit_legacy(self, event: EngineEvent) -> None:
-        _warn_legacy(
-            type(self), "calling the on_* emitter surface",
-            type(event).__name__,
-        )
-        self.handle(event)  # type: ignore[attr-defined]
-
-    def on_run_start(self, n_experiments: int) -> None:
-        self._emit_legacy(RunStarted(n_experiments))
-
-    def on_experiment_start(self, name: str) -> None:
-        self._emit_legacy(ExperimentStarted(name))
-
-    def on_experiment_end(self, name: str, elapsed: float, cached: bool) -> None:
-        self._emit_legacy(ExperimentEnded(name, elapsed, cached))
-
-    def on_batch_start(self, label: str, total: int) -> None:
-        self._emit_legacy(BatchStarted(label, total))
-
-    def on_chip_done(self, label: str, completed: int, total: int) -> None:
-        self._emit_legacy(ChipCompleted(label, completed, total))
-
-    def on_batch_end(self, label: str, total: int, elapsed: float) -> None:
-        self._emit_legacy(BatchEnded(label, total, elapsed))
-
-    def on_task_retried(
-        self, label: str, index: int, attempt: int, reason: str
-    ) -> None:
-        self._emit_legacy(TaskRetried(label, index, attempt, reason))
-
-    def on_worker_respawned(self, label: str, pool_failures: int) -> None:
-        self._emit_legacy(WorkerRespawned(label, pool_failures))
-
-    def on_run_checkpointed(self, label: str, flushed: int) -> None:
-        self._emit_legacy(RunCheckpointed(label, flushed))
-
-    def on_run_resumed(self, label: str, restored: int) -> None:
-        self._emit_legacy(RunResumed(label, restored))
-
-    def on_run_end(self, elapsed: float) -> None:
-        self._emit_legacy(RunEnded(elapsed))
-
-
-class CompositeObserver(LegacyEmitShims, EventStream):
+class CompositeObserver(EventStream):
     """Forwards every event to a sequence of subscribers, in order.
 
-    Retained for compatibility; new code should build an
-    :class:`~repro.engine.events.EventStream` directly.
+    A named :class:`~repro.engine.events.EventStream` subclass whose
+    constructor takes the subscriber sequence positionally; ``observers``
+    is an alias for :attr:`~repro.engine.events.EventStream.subscribers`.
     """
 
     def __init__(self, observers: Sequence[Any]):
-        EventStream.__init__(self, observers)
+        super().__init__(observers)
 
     @property
     def observers(self) -> Tuple[Any, ...]:
@@ -231,7 +120,7 @@ class CompositeObserver(LegacyEmitShims, EventStream):
         return self.subscribers
 
 
-class CLIProgressReporter(LegacyEmitShims, RunObserver):
+class CLIProgressReporter(RunObserver):
     """Prints progress lines suitable for a terminal.
 
     Per-chip events are throttled to roughly ``updates_per_batch`` lines
@@ -291,7 +180,7 @@ def _empty_robustness() -> Dict[str, int]:
     }
 
 
-class JSONMetricsObserver(LegacyEmitShims, RunObserver):
+class JSONMetricsObserver(RunObserver):
     """Collects per-experiment/per-batch timings and dumps them as JSON.
 
     Durations are measured with the monotonic ``time.perf_counter``
@@ -415,7 +304,6 @@ class JSONMetricsObserver(LegacyEmitShims, RunObserver):
 __all__ = [
     "RunObserver",
     "NULL_OBSERVER",
-    "LegacyEmitShims",
     "CompositeObserver",
     "CLIProgressReporter",
     "JSONMetricsObserver",

@@ -47,7 +47,7 @@ from repro.core.evaluation import Evaluator
 from repro.core.schemes import get_scheme
 from repro.engine import trace as trace_mod
 from repro.engine.checkpoint import RunJournal, task_key
-from repro.engine.config import EngineConfig
+from repro.engine.config import EngineConfig, LOCAL_BACKEND
 from repro.engine.events import (
     BatchEnded,
     BatchStarted,
@@ -444,6 +444,7 @@ class ParallelChipRunner:
         self.run_key = run_key
         self.stats = RunnerStats()
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._backend_executor: Optional[Any] = None
         self._journal: Optional[RunJournal] = None
         self._journal_opened = False
         self._degraded = False
@@ -527,7 +528,11 @@ class ParallelChipRunner:
         journal = self._ensure_journal()
         plan = self.config.fault_plan
         keys: Optional[List[str]] = None
-        if journal is not None or plan is not None:
+        if (
+            journal is not None
+            or plan is not None
+            or self.config.backend != LOCAL_BACKEND
+        ):
             keys = [task_key(fn, task) for task in tasks]
         results: List[Any] = [_MISSING] * total
         if journal is not None:
@@ -553,7 +558,10 @@ class ParallelChipRunner:
             dispatch(observer, ChipCompleted(label, state["completed"], total))
 
         if remaining:
-            if self.workers <= 1 or len(remaining) <= 1 or self._degraded:
+            if self.config.backend != LOCAL_BACKEND:
+                self._run_backend(fn, tasks, keys, remaining, finish,
+                                  observer, label)
+            elif self.workers <= 1 or len(remaining) <= 1 or self._degraded:
                 self._run_serial(fn, tasks, keys, remaining, finish,
                                  observer, label)
             else:
@@ -613,6 +621,45 @@ class ParallelChipRunner:
                         observer, TaskRetried(label, index, failures, repr(exc))
                     )
                     time.sleep(self.config.retry_backoff(failures))
+            finish(index, value)
+
+    def _run_backend(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: List[Any],
+        keys: Optional[List[str]],
+        remaining: Sequence[int],
+        finish: Callable[[int, Any], None],
+        observer: Subscriber,
+        label: str,
+    ) -> None:
+        """Route a batch through the configured execution backend.
+
+        Non-local backends (``"subprocess-fleet"`` and anything
+        registered via
+        :func:`repro.service.backends.register_execution_backend`) come
+        here; the executor is created lazily on first use and lives
+        until :meth:`close`, so a persistent fleet amortises across
+        batches.  Supervision events the executor reports are folded
+        into :attr:`stats` exactly like the pool path's.
+        """
+        from repro.service.backends import BatchItem, get_execution_backend
+
+        if self._backend_executor is None:
+            backend = get_execution_backend(self.config.backend)
+            self._backend_executor = backend.executor(self.config)
+
+        def notify(event: Any) -> None:
+            if isinstance(event, TaskRetried):
+                self.stats.task_retries += 1
+            elif isinstance(event, WorkerRespawned):
+                self.stats.worker_respawns += 1
+            dispatch(observer, event)
+
+        items = [BatchItem(i, keys[i], tasks[i]) for i in remaining]
+        for index, value in self._backend_executor.run_batch(
+            fn, items, notify, label=label
+        ):
             finish(index, value)
 
     def _run_pool(
@@ -810,6 +857,9 @@ class ParallelChipRunner:
         resume mode so already-flushed results survive the close.
         """
         self._shutdown_executor()
+        if self._backend_executor is not None:
+            self._backend_executor.close()
+            self._backend_executor = None
         if self._journal is not None:
             self._journal.close()
             self._journal = None

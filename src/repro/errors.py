@@ -37,6 +37,16 @@ class ExecutionError(ReproError):
     """
 
 
+class JobCancelled(ReproError):
+    """An execution-service job was cancelled before it finished.
+
+    Raised by :meth:`repro.service.ExecutionService.result` for a
+    cancelled job, and inside the running job's event loop to unwind it
+    at the next event boundary (results never come from a partially
+    cancelled run).
+    """
+
+
 class ChipDiscardedError(ReproError):
     """The selected retention scheme cannot operate the sampled chip.
 

@@ -27,7 +27,7 @@ from typing import Optional, Sequence, Union
 
 from repro.engine import trace as trace_mod
 from repro.engine.cache import ResultCache, resolve_cache
-from repro.engine.config import EngineConfig
+from repro.engine.config import EngineConfig, LOCAL_BACKEND
 from repro.engine.events import (
     EventStream,
     ExperimentEnded,
@@ -99,6 +99,25 @@ def engine_parent_parser() -> argparse.ArgumentParser:
         "(default: OUT/metrics.json)",
     )
     engine.add_argument(
+        "--backend", type=str, default=LOCAL_BACKEND, metavar="NAME",
+        help="execution backend for chip batches: 'local' (in-process "
+        "pool, the default) or 'subprocess-fleet' (persistent worker "
+        "processes over a durable on-disk queue); results are "
+        "bit-identical across backends",
+    )
+    engine.add_argument(
+        "--fleet-size", type=int, default=None,
+        help="worker processes in a subprocess fleet "
+        "(default: --workers)",
+    )
+    engine.add_argument(
+        "--queue-dir", type=pathlib.Path, default=None,
+        help="durable task-queue directory for the subprocess-fleet "
+        "backend; share it across runs for fleet-wide dedupe "
+        "(default: CHECKPOINT_DIR/fleet-queue, else a private "
+        "temporary directory)",
+    )
+    engine.add_argument(
         "--trace", type=pathlib.Path, default=None, metavar="PATH",
         help="profile the run and write a Chrome trace_event JSON "
         "(load in chrome://tracing or Perfetto); outputs stay "
@@ -162,6 +181,9 @@ def engine_config_from_args(args: argparse.Namespace) -> EngineConfig:
         task_timeout=args.task_timeout,
         max_retries=args.max_retries,
         fault_plan=fault_plan,
+        backend=getattr(args, "backend", LOCAL_BACKEND),
+        fleet_size=getattr(args, "fleet_size", None),
+        queue_dir=getattr(args, "queue_dir", None),
     )
 
 

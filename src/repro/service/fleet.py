@@ -1,0 +1,248 @@
+"""Subprocess-fleet batch executor over the durable task queue.
+
+:class:`SubprocessFleetExecutor` is the coordinator half of the
+``"subprocess-fleet"`` backend: it spawns N persistent
+``python -m repro.service.worker`` processes over one
+:class:`~repro.service.queue.DurableTaskQueue`, enqueues each batch item
+under its content-digest task key, and polls for durably recorded
+results.  Supervision mirrors the in-process pool where the queue makes
+it meaningful: a SIGKILLed worker is respawned and its claimed tasks are
+requeued (:class:`~repro.engine.events.WorkerRespawned` fires), and an
+erroring task is re-enqueued up to the config's retry budget
+(:class:`~repro.engine.events.TaskRetried`) before the batch fails with
+:class:`~repro.errors.ExecutionError`.
+
+Because results are keyed by content digest, the queue directory *is*
+the fleet-wide memo: a second run -- or a concurrent client sharing the
+same ``queue_dir`` -- never recomputes a key any worker has finished,
+and :attr:`SubprocessFleetExecutor.deduped` counts exactly those skips.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.engine.config import EngineConfig
+from repro.engine.events import EngineEvent, TaskRetried, WorkerRespawned
+from repro.service.backends import BatchExecutor
+from repro.service.queue import (
+    DurableTaskQueue,
+    ERROR,
+    OK,
+    TaskEnvelope,
+)
+
+#: Coordinator poll period while waiting on queue results.
+RESULT_POLL_S = 0.02
+
+#: Seconds a stopping fleet worker gets before it is killed.
+SHUTDOWN_GRACE_S = 5.0
+
+
+def _worker_env() -> Dict[str, str]:
+    """Child environment with the repro package importable by name."""
+    import repro
+
+    package_root = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing
+        else os.pathsep.join([package_root, existing])
+    )
+    return env
+
+
+def resolve_queue_dir(config: EngineConfig) -> Tuple[pathlib.Path, bool]:
+    """The queue directory for ``config``; True when it is private.
+
+    An explicit ``queue_dir`` (shared fleet-wide dedupe) wins; otherwise
+    the queue rides next to the run journal under ``checkpoint_dir``;
+    with neither, a private temporary directory is created (and removed
+    when the executor closes).
+    """
+    if config.queue_dir is not None:
+        return config.queue_dir, False
+    if config.checkpoint_dir is not None:
+        return config.checkpoint_dir / "fleet-queue", False
+    return (
+        pathlib.Path(tempfile.mkdtemp(prefix="repro-fleet-queue-")), True
+    )
+
+
+class SubprocessFleetExecutor(BatchExecutor):
+    """Coordinates persistent worker subprocesses over one durable queue."""
+
+    def __init__(self, config: EngineConfig):
+        if config.task_timeout is not None:
+            raise ConfigurationError(
+                "task_timeout is not supported by the subprocess-fleet "
+                "backend (workers own their tasks durably); use the "
+                "local backend for timeout supervision"
+            )
+        self.config = config
+        self.fleet_size = config.effective_fleet_size
+        self.queue_dir, self._private_queue = resolve_queue_dir(config)
+        self.queue = DurableTaskQueue(self.queue_dir)
+        self.deduped = 0
+        """Batch items served from pre-existing queue results."""
+        self._workers: Dict[str, subprocess.Popen] = {}
+        self._respawns = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    def _spawn(self, worker_id: str) -> None:
+        command = [
+            sys.executable, "-m", "repro.service.worker",
+            "--queue", str(self.queue_dir),
+            "--worker-id", worker_id,
+            "--parent-pid", str(os.getpid()),
+        ]
+        if self.config.evaluator_cache_size is not None:
+            command += [
+                "--evaluator-cache-size",
+                str(self.config.evaluator_cache_size),
+            ]
+        self._workers[worker_id] = subprocess.Popen(
+            command,
+            env=_worker_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def ensure_fleet(self) -> None:
+        """Spawn (or top up) the worker fleet."""
+        self.queue.clear_stop()
+        for n in range(self.fleet_size):
+            worker_id = f"w{n:03d}"
+            if worker_id not in self._workers:
+                self._spawn(worker_id)
+
+    def _supervise_workers(
+        self, notify: Callable[[EngineEvent], None], label: str
+    ) -> None:
+        """Respawn dead workers, requeueing their claimed tasks."""
+        for worker_id in sorted(self._workers):
+            process = self._workers[worker_id]
+            if process.poll() is None:
+                continue
+            self.queue.requeue_worker(worker_id)
+            del self._workers[worker_id]
+            self._respawns += 1
+            notify(WorkerRespawned(label, self._respawns))
+            self._spawn(worker_id)
+
+    # ------------------------------------------------------------------
+
+    def run_batch(
+        self,
+        fn: Callable[[Any], Any],
+        items: List[Any],
+        notify: Callable[[EngineEvent], None],
+        label: str = "batch",
+    ) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(index, result)`` pairs as queue results land.
+
+        ``items`` are :class:`~repro.service.backends.BatchItem`-shaped
+        (``index``/``key``/``task``); identical keys within a batch are
+        computed once and fanned out to every index.
+        """
+        if self._closed:
+            raise ExecutionError("fleet executor already closed")
+        by_key: Dict[str, List[int]] = {}
+        tasks_by_key: Dict[str, Any] = {}
+        for item in items:
+            by_key.setdefault(item.key, []).append(item.index)
+            tasks_by_key[item.key] = item.task
+        envelope_fn = TaskEnvelope.for_call(fn, None)
+        failures: Dict[str, int] = {key: 0 for key in by_key}
+        pending: List[str] = []
+        for key in sorted(by_key):
+            if self.queue.read_result(key) is not None:
+                self.deduped += len(by_key[key])
+            elif not self.queue.enqueue(
+                key,
+                TaskEnvelope(
+                    envelope_fn.fn_module,
+                    envelope_fn.fn_qualname,
+                    tasks_by_key[key],
+                ),
+            ):
+                # Enqueued (or finished) by a concurrent client between
+                # the read and the offer; either way the result arrives.
+                pass
+            pending.append(key)
+        self.ensure_fleet()
+        while pending:
+            progressed = False
+            for key in list(pending):
+                recorded = self.queue.read_result(key)
+                if recorded is None:
+                    continue
+                status, value = recorded
+                if status == OK:
+                    pending.remove(key)
+                    progressed = True
+                    for index in by_key[key]:
+                        yield index, value
+                    continue
+                failures[key] += 1
+                self.queue.discard_result(key)
+                if failures[key] > self.config.max_retries:
+                    raise ExecutionError(
+                        f"fleet task {key[:12]} of batch {label!r} failed "
+                        f"{failures[key]} times; giving up: {value}"
+                    )
+                notify(TaskRetried(
+                    label, by_key[key][0], failures[key], str(value),
+                ))
+                self.queue.enqueue(
+                    key,
+                    TaskEnvelope(
+                        envelope_fn.fn_module,
+                        envelope_fn.fn_qualname,
+                        tasks_by_key[key],
+                    ),
+                )
+                progressed = True
+            if pending and not progressed:
+                self._supervise_workers(notify, label)
+                time.sleep(RESULT_POLL_S)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the fleet; a private queue directory is removed."""
+        if self._closed:
+            return
+        self._closed = True
+        self.queue.request_stop()
+        deadline = time.monotonic() + SHUTDOWN_GRACE_S
+        for worker_id in sorted(self._workers):
+            process = self._workers[worker_id]
+            budget = max(0.0, deadline - time.monotonic())
+            try:
+                process.wait(timeout=budget)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        self._workers.clear()
+        if self._private_queue:
+            shutil.rmtree(self.queue_dir, ignore_errors=True)
+
+
+__all__ = [
+    "RESULT_POLL_S",
+    "SHUTDOWN_GRACE_S",
+    "SubprocessFleetExecutor",
+    "resolve_queue_dir",
+]

@@ -64,14 +64,19 @@ class TestGeometryDerivedFields:
         assert config.l2_ways == DEFAULT_L2_WAYS
 
 
-class TestDeprecatedL2Keywords:
-    def test_legacy_keywords_warn_and_fold_into_geometry(self):
-        with pytest.warns(DeprecationWarning, match="l2_geometry"):
-            config = CacheConfig(
-                l2_capacity_bytes=1024 * 1024, l2_ways=8
-            )
-        assert config.l2_geometry.size_bytes == 1024 * 1024
-        assert config.l2_geometry.ways == 8
+class TestRemovedL2Keywords:
+    def test_legacy_keywords_are_hard_errors(self):
+        with pytest.raises(ConfigurationError, match="l2_geometry"):
+            CacheConfig(l2_capacity_bytes=1024 * 1024, l2_ways=8)
+
+    def test_single_legacy_keyword_is_a_hard_error(self):
+        with pytest.raises(ConfigurationError, match="l2_geometry"):
+            CacheConfig(l2_ways=8)
+
+    def test_mirrors_stay_readable(self):
+        config = CacheConfig(
+            l2_geometry=CacheGeometry.from_capacity(1024 * 1024, 8)
+        )
         assert config.l2_capacity_bytes == 1024 * 1024
         assert config.l2_ways == 8
 

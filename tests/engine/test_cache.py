@@ -61,3 +61,106 @@ def test_source_digest_stable_and_missing_module_safe():
         "repro.experiments.fig10_hundred_chips"
     )
     assert source_digest("repro.no_such_module") == ""
+
+
+# ----------------------------------------------------------------------
+# the sharded fleet-wide variant
+# ----------------------------------------------------------------------
+
+
+def test_sharded_cache_spreads_entries_by_key_prefix(tmp_path):
+    from repro.engine.cache import ShardedResultCache
+
+    cache = ShardedResultCache(tmp_path, shard_prefix_len=1)
+    cache.put("aa11", 1)
+    cache.put("ab22", 2)
+    cache.put("ba33", 3)
+    assert cache.path_for("aa11").parent == tmp_path / "shard-a"
+    assert cache.path_for("ba33").parent == tmp_path / "shard-b"
+    assert sorted(p.name for p in tmp_path.glob("shard-*") if p.is_dir()) == [
+        "shard-a", "shard-b",
+    ]
+    assert (cache.get("aa11"), cache.get("ab22"), cache.get("ba33")) == (
+        1, 2, 3,
+    )
+
+
+def test_sharded_cache_has_the_resultcache_interface(tmp_path):
+    from repro.engine.cache import ShardedResultCache
+
+    cache = ShardedResultCache(tmp_path)
+    assert isinstance(cache, ResultCache)
+    cache.put("k1" * 8, {"value": [1, 2, 3]})
+    assert cache.get("k1" * 8) == {"value": [1, 2, 3]}
+    assert cache.get("0" * 16) is None
+    cache.path_for("k1" * 8).write_bytes(b"not a pickle")
+    assert cache.get("k1" * 8) is None  # corrupt entry is a miss
+
+
+def test_sharded_cache_counts_hits_misses_puts(tmp_path):
+    from repro.engine.cache import ShardedResultCache
+
+    cache = ShardedResultCache(tmp_path)
+    cache.put("aa", 1)
+    cache.get("aa")
+    cache.get("aa")
+    cache.get("zz")
+    assert cache.stats.as_dict() == {"hits": 2, "misses": 1, "puts": 1}
+
+
+def test_sharded_cache_clear_sweeps_every_shard(tmp_path):
+    from repro.engine.cache import ShardedResultCache
+
+    cache = ShardedResultCache(tmp_path, shard_prefix_len=1)
+    for key in ("a1", "b2", "c3", "a4"):
+        cache.put(key, key)
+    assert cache.clear() == 4
+    assert all(cache.get(key) is None for key in ("a1", "b2", "c3", "a4"))
+
+
+def test_sharded_cache_prefix_len_validated(tmp_path):
+    from repro.engine.cache import ShardedResultCache
+    from repro.errors import ConfigurationError
+    import pytest
+
+    for bad in (0, 9):
+        with pytest.raises(ConfigurationError, match="shard_prefix_len"):
+            ShardedResultCache(tmp_path, shard_prefix_len=bad)
+
+
+def test_sharded_cache_shared_across_instances(tmp_path):
+    # Two independent instances over one directory (the multi-process
+    # service picture) see each other's entries immediately.
+    from repro.engine.cache import ShardedResultCache
+
+    writer = ShardedResultCache(tmp_path)
+    reader = ShardedResultCache(tmp_path)
+    writer.put("feed" * 4, {"chips": 60})
+    assert reader.get("feed" * 4) == {"chips": 60}
+    assert reader.stats.hits == 1
+
+
+def test_sharded_cache_degrades_without_fcntl(tmp_path, monkeypatch):
+    # Non-POSIX platforms have no flock; atomic renames alone must keep
+    # the cache usable.
+    from repro.engine import cache as cache_mod
+
+    monkeypatch.setattr(cache_mod, "fcntl", None)
+    cache = cache_mod.ShardedResultCache(tmp_path)
+    cache.put("aa", 7)
+    assert cache.get("aa") == 7
+    assert cache.clear() == 1
+
+
+def test_sharded_cache_key_for_matches_flat_cache(tmp_path):
+    # Sharding changes layout, never identity: both variants compute the
+    # same content key, so a sweep can move between them freely.
+    from repro.engine.cache import ShardedResultCache
+
+    experiment = get_experiment("fig10_hundred_chips")
+    context = ExperimentContext(n_chips=4, n_references=900, seed=3)
+    flat = ResultCache(tmp_path / "flat")
+    sharded = ShardedResultCache(tmp_path / "sharded")
+    assert flat.key_for(experiment, context) == sharded.key_for(
+        experiment, context
+    )

@@ -6,6 +6,7 @@ import warnings
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.engine.events import (
     BatchEnded,
     BatchStarted,
@@ -118,51 +119,44 @@ def test_composite_fans_out_in_order():
 
 
 # ----------------------------------------------------------------------
-# deprecated legacy surface
+# removed legacy surface
 # ----------------------------------------------------------------------
 
 
-class TestLegacyCompatibility:
-    def test_on_star_overrides_still_receive_events(self):
-        class Legacy(RunObserver):
-            def __init__(self):
-                self.seen = []
+class TestLegacySurfaceRemoved:
+    def test_defining_on_star_callback_is_a_hard_error(self):
+        with pytest.raises(ConfigurationError, match="on_experiment_start"):
+            class Stale(RunObserver):
+                def on_experiment_start(self, name):
+                    pass
 
-            def on_experiment_start(self, name):
-                self.seen.append(("start", name))
+    def test_error_names_every_stale_callback(self):
+        with pytest.raises(
+            ConfigurationError, match="on_chip_done, on_run_end"
+        ):
+            class Stale(RunObserver):
+                def on_chip_done(self, label, completed, total):
+                    pass
 
-            def on_experiment_end(self, name, elapsed, cached):
-                self.seen.append(("end", name, cached))
+                def on_run_end(self, elapsed):
+                    pass
 
-        legacy = Legacy()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy.handle(ExperimentStarted("fig06"))
-            legacy.handle(ExperimentEnded("fig06", 1.0, True))
-            legacy.handle(RunEnded(2.0))  # not overridden: ignored
-        assert legacy.seen == [("start", "fig06"), ("end", "fig06", True)]
+    def test_builtins_expose_no_emitter_shims(self):
+        reporter = CLIProgressReporter(stream=io.StringIO())
+        for consumer in (reporter, JSONMetricsObserver(), NULL_OBSERVER):
+            assert not hasattr(consumer, "on_experiment_end")
+            assert not hasattr(consumer, "on_chip_done")
 
-    def test_on_star_override_warns_deprecation(self):
-        class Warner(RunObserver):
-            def on_chip_done(self, label, completed, total):
-                pass
-
-        with pytest.warns(DeprecationWarning, match="handle"):
-            Warner().handle(ChipCompleted("b", 1, 2))
-
-    def test_legacy_emitter_shims_on_builtins(self):
-        stream = io.StringIO()
-        reporter = CLIProgressReporter(stream=stream)
-        with pytest.warns(DeprecationWarning, match="on_\\* emitter"):
-            reporter.on_experiment_end("fig09", 0.0, True)
-        assert "(cached)" in stream.getvalue()
-
-    def test_unknown_event_kinds_are_invisible_to_legacy(self):
+    def test_base_handle_ignores_unknown_events(self):
         class Newer(EngineEvent):
             pass
 
-        class Legacy(RunObserver):
-            def on_run_end(self, elapsed):
-                raise AssertionError("must not fire")
+        RunObserver().handle(Newer())  # must not raise
 
-        Legacy().handle(Newer())  # silently ignored
+    def test_typed_subscribers_emit_no_deprecation_warnings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            stream = io.StringIO()
+            drive(CLIProgressReporter(stream=stream))
+            drive(JSONMetricsObserver())
+            drive(NULL_OBSERVER)

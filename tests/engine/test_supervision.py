@@ -7,6 +7,12 @@ import pytest
 from repro.errors import ConfigurationError, ExecutionError
 from repro.engine.checkpoint import RunJournal, task_key
 from repro.engine.config import EngineConfig
+from repro.engine.events import (
+    RunCheckpointed,
+    RunResumed,
+    TaskRetried,
+    WorkerRespawned,
+)
 from repro.engine.faults import FaultPlan
 from repro.engine.observer import RunObserver
 from repro.engine.parallel import ParallelChipRunner
@@ -48,17 +54,15 @@ class _EventLog(RunObserver):
         self.checkpointed = []
         self.resumed = []
 
-    def on_task_retried(self, label, index, attempt, reason):
-        self.retried.append((label, index, attempt))
-
-    def on_worker_respawned(self, label, pool_failures):
-        self.respawned.append((label, pool_failures))
-
-    def on_run_checkpointed(self, label, flushed):
-        self.checkpointed.append((label, flushed))
-
-    def on_run_resumed(self, label, restored):
-        self.resumed.append((label, restored))
+    def handle(self, event):
+        if isinstance(event, TaskRetried):
+            self.retried.append((event.label, event.index, event.attempt))
+        elif isinstance(event, WorkerRespawned):
+            self.respawned.append((event.label, event.pool_failures))
+        elif isinstance(event, RunCheckpointed):
+            self.checkpointed.append((event.label, event.flushed))
+        elif isinstance(event, RunResumed):
+            self.resumed.append((event.label, event.restored))
 
 
 def _fast_config(**overrides):

@@ -1,0 +1,2 @@
+"""Execution-service test package (namespaced: test module basenames
+here collide with tests/experiments and tests/technology)."""

@@ -1,0 +1,176 @@
+"""The execution-backend registry and the engine's backend routing."""
+
+import pytest
+
+from repro.engine.config import (
+    EngineConfig,
+    LOCAL_BACKEND,
+    SUBPROCESS_FLEET_BACKEND,
+)
+from repro.engine.events import TaskRetried
+from repro.engine.parallel import ParallelChipRunner
+from repro.errors import ConfigurationError, ExecutionError
+from repro.service.backends import (
+    BatchExecutor,
+    BatchItem,
+    ExecutionBackend,
+    LocalBackend,
+    SubprocessFleetBackend,
+    execution_backend_names,
+    get_execution_backend,
+    register_execution_backend,
+)
+from repro.variation import harmonic_mean
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = execution_backend_names()
+        assert LOCAL_BACKEND in names
+        assert SUBPROCESS_FLEET_BACKEND in names
+
+    def test_lookup_by_name(self):
+        assert isinstance(get_execution_backend(LOCAL_BACKEND), LocalBackend)
+        assert isinstance(
+            get_execution_backend(SUBPROCESS_FLEET_BACKEND),
+            SubprocessFleetBackend,
+        )
+
+    def test_unknown_backend_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="unknown execution"):
+            get_execution_backend("carrier-pigeon")
+
+    def test_custom_backend_registration(self):
+        class Probe(ExecutionBackend):
+            name = "probe-backend"
+
+            def executor(self, config):
+                raise NotImplementedError
+
+        try:
+            register_execution_backend(Probe())
+            assert "probe-backend" in execution_backend_names()
+        finally:
+            from repro.service import backends
+
+            backends._BACKENDS.pop("probe-backend", None)
+
+    def test_empty_name_rejected(self):
+        class Nameless(ExecutionBackend):
+            def executor(self, config):
+                raise NotImplementedError
+
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            register_execution_backend(Nameless())
+
+
+class TestEngineConfigBackendField:
+    def test_default_is_local(self):
+        assert EngineConfig().backend == LOCAL_BACKEND
+
+    def test_fleet_size_defaults_to_workers(self):
+        config = EngineConfig(workers=3, backend=SUBPROCESS_FLEET_BACKEND)
+        assert config.effective_fleet_size == 3
+
+    def test_explicit_fleet_size_wins(self):
+        config = EngineConfig(
+            workers=2, backend=SUBPROCESS_FLEET_BACKEND, fleet_size=5
+        )
+        assert config.effective_fleet_size == 5
+
+    def test_invalid_fleet_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(fleet_size=0)
+
+    def test_replace_round_trips_backend_fields(self, tmp_path):
+        config = EngineConfig(
+            backend=SUBPROCESS_FLEET_BACKEND,
+            fleet_size=4,
+            queue_dir=tmp_path / "q",
+        )
+        clone = config.replace(workers=8)
+        assert clone.backend == SUBPROCESS_FLEET_BACKEND
+        assert clone.fleet_size == 4
+        assert clone.queue_dir == tmp_path / "q"
+
+
+class TestInlineExecutor:
+    def test_local_backend_runs_batches(self):
+        executor = get_execution_backend(LOCAL_BACKEND).executor(
+            EngineConfig()
+        )
+        items = [
+            BatchItem(0, "k0", [2.0, 2.0]),
+            BatchItem(1, "k1", [4.0, 4.0]),
+        ]
+        out = dict(executor.run_batch(harmonic_mean, items, lambda e: None))
+        assert out == {0: 2.0, 1: 4.0}
+        executor.close()
+
+    def test_retry_budget_and_events(self):
+        config = EngineConfig(max_retries=1)
+        executor = get_execution_backend(LOCAL_BACKEND).executor(config)
+        seen = []
+        with pytest.raises(ExecutionError):
+            list(executor.run_batch(
+                harmonic_mean,
+                [BatchItem(0, "k0", None)],
+                seen.append,
+            ))
+        assert any(isinstance(e, TaskRetried) for e in seen)
+
+
+class TestRunnerBackendRouting:
+    def test_unknown_backend_fails_at_resolution(self):
+        # Config accepts any name (third-party backends register later);
+        # the runner fails loudly when it first resolves the name.
+        config = EngineConfig(workers=1, backend="carrier-pigeon")
+        with ParallelChipRunner(config) as runner:
+            with pytest.raises(ConfigurationError, match="carrier-pigeon"):
+                runner.map(harmonic_mean, [[1.0, 2.0]])
+
+    def test_empty_backend_name_rejected_by_config(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            EngineConfig(backend="")
+
+    def test_runner_close_is_safe_without_backend_use(self):
+        runner = ParallelChipRunner(EngineConfig(workers=1))
+        runner.close()
+
+
+class _RecordingExecutor(BatchExecutor):
+    def __init__(self):
+        self.batches = 0
+        self.closed = False
+
+    def run_batch(self, fn, items, notify, label="batch"):
+        self.batches += 1
+        for item in items:
+            yield item.index, fn(item.task)
+
+    def close(self):
+        self.closed = True
+
+
+class TestRunnerUsesRegisteredBackend:
+    def test_map_routes_through_backend_executor(self):
+        recorder = _RecordingExecutor()
+
+        class Recording(ExecutionBackend):
+            name = "recording"
+
+            def executor(self, config):
+                return recorder
+
+        from repro.service import backends
+
+        register_execution_backend(Recording())
+        try:
+            config = EngineConfig(workers=1).replace(backend="recording")
+            with ParallelChipRunner(config) as runner:
+                out = runner.map(harmonic_mean, [[2.0, 2.0], [4.0, 4.0]])
+            assert out == [2.0, 4.0]
+            assert recorder.batches == 1
+            assert recorder.closed
+        finally:
+            backends._BACKENDS.pop("recording", None)
